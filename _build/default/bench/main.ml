@@ -1,0 +1,788 @@
+(* Benchmark harness: regenerates every table and figure of the XenLoop
+   paper's evaluation (Sect. 4), plus microbenchmarks and two ablations.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --only table1,fig4
+*)
+
+module Setup = Scenarios.Setup
+module Experiment = Scenarios.Experiment
+module Mw = Scenarios.Migration_world
+module Gm = Xenloop.Guest_module
+module Host = Workloads.Host
+module Netperf = Workloads.Netperf
+
+let fmt = Format.std_formatter
+
+let host_of (ep : Scenarios.Endpoint.t) =
+  { Host.stack = ep.Scenarios.Endpoint.stack; udp = ep.udp; tcp = ep.tcp }
+
+type ctx = { duo : Setup.duo; client : Host.t; server : Host.t; dst : Netcore.Ip.t }
+
+let make_ctx ?params ?fifo_k kind =
+  let duo = Setup.build ?params ?fifo_k kind in
+  {
+    duo;
+    client = host_of duo.Setup.client;
+    server = host_of duo.Setup.server;
+    dst = duo.Setup.server_ip;
+  }
+
+let in_ctx ctx f = Experiment.execute ctx.duo (fun () -> f ctx)
+
+let r1 v = Printf.sprintf "%.1f" v
+let r0 v = Printf.sprintf "%.0f" v
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1-3 *)
+
+type snapshot = {
+  ping_rtt_us : float;
+  tcp_rr : float;
+  udp_rr : float;
+  tcp_stream : float;
+  udp_stream : float;
+  lmbench_bw : float;
+  lmbench_lat : float;
+  netpipe_bw : float;
+  netpipe_lat : float;
+}
+
+let snapshot_of kind =
+  let ctx = make_ctx kind in
+  in_ctx ctx (fun { client; server; dst; _ } ->
+      let ping = Workloads.Pingflood.run client ~dst ~count:400 () in
+      let tcp_rr = Netperf.tcp_rr ~client ~server ~dst ~transactions:1500 () in
+      let udp_rr = Netperf.udp_rr ~client ~server ~dst ~transactions:1500 () in
+      let tcp_stream = Netperf.tcp_stream ~client ~server ~dst () in
+      let udp_stream = Netperf.udp_stream ~client ~server ~dst () in
+      let lm_bw = Workloads.Lmbench.bw_tcp ~client ~server ~dst () in
+      let lm_lat = Workloads.Lmbench.lat_tcp ~client ~server ~dst ~round_trips:1500 () in
+      let np = Workloads.Netpipe.single ~client ~server ~dst ~size:16384 ~reps:60 () in
+      let np_lat = Workloads.Netpipe.single ~client ~server ~dst ~size:1 ~reps:400 () in
+      {
+        ping_rtt_us = ping.Workloads.Pingflood.avg_rtt_us;
+        tcp_rr = tcp_rr.Netperf.transactions_per_sec;
+        udp_rr = udp_rr.Netperf.transactions_per_sec;
+        tcp_stream = tcp_stream.Netperf.mbps;
+        udp_stream = udp_stream.Netperf.mbps;
+        lmbench_bw = lm_bw;
+        lmbench_lat = lm_lat;
+        netpipe_bw = np.Workloads.Netpipe.mbps;
+        netpipe_lat = np_lat.Workloads.Netpipe.latency_us;
+      })
+
+let snapshots = lazy (List.map (fun k -> (k, snapshot_of k)) Setup.all_kinds)
+
+let get k = List.assoc k (Lazy.force snapshots)
+
+let table1 () =
+  (* Paper Table 1: inter-machine vs netfront/netback vs XenLoop. *)
+  let t =
+    Sim.Table.create ~title:"Table 1: Latency and bandwidth comparison"
+      ~columns:
+        [ "Benchmark"; "Inter Machine"; "Netfront/Netback"; "XenLoop"; "paper I/N/X" ]
+  in
+  let im = get Setup.Inter_machine
+  and nf = get Setup.Netfront_netback
+  and xl = get Setup.Xenloop_path in
+  let row name f paper =
+    Sim.Table.add_row t [ name; r0 (f im); r0 (f nf); r0 (f xl); paper ]
+  in
+  row "Flood Ping RTT (us)" (fun s -> s.ping_rtt_us) "101/140/28";
+  row "netperf TCP_RR (trans/s)" (fun s -> s.tcp_rr) "9387/10236/28529";
+  row "netperf UDP_RR (trans/s)" (fun s -> s.udp_rr) "9784/12600/32803";
+  row "netperf TCP_STREAM (Mbps)" (fun s -> s.tcp_stream) "941/2656/4143";
+  row "netperf UDP_STREAM (Mbps)" (fun s -> s.udp_stream) "710/707/4380";
+  row "lmbench TCP bw (Mbps)" (fun s -> s.lmbench_bw) "848/1488/4920";
+  Sim.Table.pp fmt t;
+  Format.fprintf fmt "@."
+
+let table2 () =
+  let t =
+    Sim.Table.create ~title:"Table 2: Average bandwidth comparison (Mbps)"
+      ~columns:
+        [
+          "Benchmark";
+          "Inter Machine";
+          "Netfront/Netback";
+          "XenLoop";
+          "Native Loopback";
+          "paper I/N/X/L";
+        ]
+  in
+  let im = get Setup.Inter_machine
+  and nf = get Setup.Netfront_netback
+  and xl = get Setup.Xenloop_path
+  and lo = get Setup.Native_loopback in
+  let row name f paper =
+    Sim.Table.add_row t [ name; r0 (f im); r0 (f nf); r0 (f xl); r0 (f lo); paper ]
+  in
+  row "lmbench (tcp)" (fun s -> s.lmbench_bw) "848/1488/4920/5336";
+  row "netperf (tcp)" (fun s -> s.tcp_stream) "941/2656/4143/4666";
+  row "netperf (udp)" (fun s -> s.udp_stream) "710/707/4380/4928";
+  row "netpipe-mpich" (fun s -> s.netpipe_bw) "645/697/2048/4836";
+  Sim.Table.pp fmt t;
+  Format.fprintf fmt "@."
+
+let table3 () =
+  let t =
+    Sim.Table.create ~title:"Table 3: Average latency comparison"
+      ~columns:
+        [
+          "Benchmark";
+          "Inter Machine";
+          "Netfront/Netback";
+          "XenLoop";
+          "Native Loopback";
+          "paper I/N/X/L";
+        ]
+  in
+  let im = get Setup.Inter_machine
+  and nf = get Setup.Netfront_netback
+  and xl = get Setup.Xenloop_path
+  and lo = get Setup.Native_loopback in
+  let row name f paper =
+    Sim.Table.add_row t [ name; r1 (f im); r1 (f nf); r1 (f xl); r1 (f lo); paper ]
+  in
+  row "Flood Ping RTT (us)" (fun s -> s.ping_rtt_us) "101/140/28/6";
+  row "lmbench lat (us RTT)" (fun s -> s.lmbench_lat) "107/98/33/25";
+  row "netperf TCP_RR (trans/s)" (fun s -> s.tcp_rr) "9387/10236/28529/31969";
+  row "netperf UDP_RR (trans/s)" (fun s -> s.udp_rr) "9784/12600/32803/39623";
+  row "netpipe-mpich (us one-way)" (fun s -> s.netpipe_lat) "77.2/61.0/24.9/23.8";
+  Sim.Table.pp fmt t;
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Figures: per-scenario sweeps *)
+
+let fig_series ~title ~xlabel ~ylabel per_kind =
+  Format.fprintf fmt "=== %s ===@." title;
+  Format.fprintf fmt "# x: %s, y: %s@." xlabel ylabel;
+  List.iter
+    (fun kind ->
+      let points = per_kind kind in
+      Format.fprintf fmt "# series: %s@." (Setup.kind_label kind);
+      List.iter (fun (x, y) -> Format.fprintf fmt "%10.0f %12.2f@." x y) points;
+      Format.fprintf fmt "@.")
+    Setup.all_kinds
+
+let fig4 () =
+  (* UDP throughput vs message size (netperf UDP_STREAM, paper Fig. 4). *)
+  let sizes = [ 64; 256; 1024; 4096; 16384; 32768; 61440 ] in
+  fig_series ~title:"Figure 4: UDP throughput vs message size (netperf)"
+    ~xlabel:"message bytes" ~ylabel:"Mbps" (fun kind ->
+      let ctx = make_ctx kind in
+      in_ctx ctx (fun { client; server; dst; _ } ->
+          List.map
+            (fun size ->
+              let r =
+                Netperf.udp_stream ~client ~server ~dst ~message_size:size
+                  ~total_bytes:(max (512 * 1024) (size * 64))
+                  ()
+              in
+              (float_of_int size, r.Netperf.mbps))
+            sizes))
+
+let fig5 () =
+  (* Throughput vs FIFO size (XenLoop scenario only, paper Fig. 5). *)
+  Format.fprintf fmt "=== Figure 5: UDP throughput vs FIFO size (XenLoop) ===@.";
+  Format.fprintf fmt "# x: FIFO KiB (per direction), y: Mbps@.";
+  List.iter
+    (fun k ->
+      let ctx = make_ctx ~fifo_k:k Setup.Xenloop_path in
+      let mbps =
+        in_ctx ctx (fun { client; server; dst; _ } ->
+            let r = Netperf.udp_stream ~client ~server ~dst () in
+            r.Netperf.mbps)
+      in
+      Format.fprintf fmt "%10d %12.2f@." (1 lsl k * 8 / 1024) mbps)
+    [ 9; 10; 11; 12; 13; 14; 15 ];
+  Format.fprintf fmt "@."
+
+let netpipe_sizes = [ 1; 16; 256; 2048; 16384; 65536; 262144 ]
+
+let fig6_7 () =
+  let results =
+    List.map
+      (fun kind ->
+        let ctx = make_ctx kind in
+        let points =
+          in_ctx ctx (fun { client; server; dst; _ } ->
+              Workloads.Netpipe.sweep ~client ~server ~dst ~sizes:netpipe_sizes ())
+        in
+        (kind, points))
+      Setup.all_kinds
+  in
+  Format.fprintf fmt "=== Figure 6: netpipe-mpich throughput vs message size ===@.";
+  Format.fprintf fmt "# x: message bytes, y: Mbps@.";
+  List.iter
+    (fun (kind, points) ->
+      Format.fprintf fmt "# series: %s@." (Setup.kind_label kind);
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "%10d %12.2f@." p.Workloads.Netpipe.size
+            p.Workloads.Netpipe.mbps)
+        points;
+      Format.fprintf fmt "@.")
+    results;
+  Format.fprintf fmt "=== Figure 7: netpipe-mpich latency vs message size ===@.";
+  Format.fprintf fmt "# x: message bytes, y: one-way latency (us)@.";
+  List.iter
+    (fun (kind, points) ->
+      Format.fprintf fmt "# series: %s@." (Setup.kind_label kind);
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "%10d %12.2f@." p.Workloads.Netpipe.size
+            p.Workloads.Netpipe.latency_us)
+        points;
+      Format.fprintf fmt "@.")
+    results
+
+let osu_sizes = [ 1; 16; 256; 4096; 32768; 262144 ]
+
+let fig8 () =
+  fig_series ~title:"Figure 8: OSU MPI uni-directional bandwidth"
+    ~xlabel:"message bytes" ~ylabel:"Mbps" (fun kind ->
+      let ctx = make_ctx kind in
+      in_ctx ctx (fun { client; server; dst; _ } ->
+          Workloads.Osu.uni_bandwidth ~client ~server ~dst ~sizes:osu_sizes ()
+          |> List.map (fun (p : Workloads.Osu.bw_point) ->
+                 (float_of_int p.Workloads.Osu.size, p.Workloads.Osu.mbps))))
+
+let fig9 () =
+  fig_series ~title:"Figure 9: OSU MPI bi-directional bandwidth"
+    ~xlabel:"message bytes" ~ylabel:"aggregate Mbps" (fun kind ->
+      let ctx = make_ctx kind in
+      in_ctx ctx (fun { client; server; dst; _ } ->
+          Workloads.Osu.bi_bandwidth ~client ~server ~dst ~sizes:osu_sizes ()
+          |> List.map (fun (p : Workloads.Osu.bw_point) ->
+                 (float_of_int p.Workloads.Osu.size, p.Workloads.Osu.mbps))))
+
+let fig10 () =
+  fig_series ~title:"Figure 10: OSU MPI latency" ~xlabel:"message bytes"
+    ~ylabel:"one-way latency (us)" (fun kind ->
+      let ctx = make_ctx kind in
+      in_ctx ctx (fun { client; server; dst; _ } ->
+          Workloads.Osu.latency ~client ~server ~dst ~sizes:osu_sizes ()
+          |> List.map (fun (p : Workloads.Osu.lat_point) ->
+                 (float_of_int p.Workloads.Osu.size, p.Workloads.Osu.latency_us))))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: transactions/sec during migration *)
+
+let fig11 () =
+  Format.fprintf fmt "=== Figure 11: TCP_RR transactions/sec during migration ===@.";
+  Format.fprintf fmt
+    "# guest1 starts remote, migrates in at t=10s, migrates away at t=30s@.";
+  Format.fprintf fmt "# x: time (s), y: transactions/sec@.";
+  let w = Mw.create () in
+  let series = Sim.Series.create ~name:"tcp_rr" in
+  Experiment.run_process ~limit:(Sim.Time.sec 60) w.Mw.engine (fun () ->
+      let g1 = w.Mw.guest1 and g2 = w.Mw.guest2 in
+      let client_tcp = g1.Mw.ep.Scenarios.Endpoint.tcp in
+      let dst = Hypervisor.Domain.ip g2.Mw.domain in
+      let listener =
+        match Netstack.Tcp.listen g2.Mw.ep.Scenarios.Endpoint.tcp ~port:5999 with
+        | Ok l -> l
+        | Error _ -> failwith "listen"
+      in
+      Sim.Engine.spawn w.Mw.engine (fun () ->
+          let conn = Netstack.Tcp.accept listener in
+          try
+            while true do
+              let (_ : Bytes.t) = Netstack.Tcp.recv_exact conn 1 in
+              Netstack.Tcp.send conn (Bytes.make 1 'r')
+            done
+          with Netstack.Tcp.Tcp_error _ -> ());
+      Sim.Engine.at w.Mw.engine
+        (Sim.Time.add Sim.Time.zero (Sim.Time.sec 10))
+        (fun () -> Mw.migrate w g1 ~dst:w.Mw.m2);
+      Sim.Engine.at w.Mw.engine
+        (Sim.Time.add Sim.Time.zero (Sim.Time.sec 30))
+        (fun () -> Mw.migrate w g1 ~dst:w.Mw.m1);
+      let conn =
+        match Netstack.Tcp.connect client_tcp ~dst ~dst_port:5999 with
+        | Ok c -> c
+        | Error _ -> failwith "connect"
+      in
+      let request = Bytes.make 1 'q' in
+      let stop_at = Sim.Time.add Sim.Time.zero (Sim.Time.sec 40) in
+      while Sim.Time.(Sim.Engine.now w.Mw.engine < stop_at) do
+        Netstack.Tcp.send conn request;
+        let (_ : Bytes.t) = Netstack.Tcp.recv_exact conn 1 in
+        Sim.Series.record series
+          ~x:(Sim.Time.instant_to_sec_f (Sim.Engine.now w.Mw.engine))
+          ~y:1.0
+      done);
+  let buckets = Sim.Series.bucketize ~width:1.0 (Sim.Series.points series) in
+  List.iter (fun (x, y) -> Format.fprintf fmt "%10.1f %12.0f@." x y) buckets;
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks (real wall-clock time of the core data structures) *)
+
+let micro () =
+  Format.fprintf fmt "=== Microbenchmarks (Bechamel, real host time) ===@.";
+  let desc = Memory.Page.create () in
+  let k = Xenloop.Fifo.default_k in
+  let data =
+    Array.init (Xenloop.Fifo.data_pages_for ~k) (fun _ -> Memory.Page.create ())
+  in
+  Xenloop.Fifo.init ~desc ~data ~k;
+  let fifo = Xenloop.Fifo.attach ~desc ~data in
+  let payload = Bytes.make 1460 'x' in
+  let test_fifo =
+    Bechamel.Test.make ~name:"xenloop fifo push+pop 1460B"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Xenloop.Fifo.try_push fifo payload);
+           ignore (Xenloop.Fifo.pop fifo)))
+  in
+  let gt = Memory.Grant_table.create ~owner:1 in
+  let meter = Memory.Cost_meter.create () in
+  let page = Memory.Page.create () in
+  let test_grant =
+    Bechamel.Test.make ~name:"grant access+map+unmap+end"
+      (Bechamel.Staged.stage (fun () ->
+           let gref = Memory.Grant_table.grant_access gt ~to_dom:2 ~page ~writable:true in
+           ignore (Memory.Grant_table.map gt gref ~by:2 ~meter);
+           ignore (Memory.Grant_table.unmap gt gref ~by:2 ~meter);
+           ignore (Memory.Grant_table.end_access gt gref)))
+  in
+  let packet =
+    Netcore.Packet.udp
+      ~src_mac:(Netcore.Mac.of_domid ~machine:0 ~domid:1)
+      ~dst_mac:(Netcore.Mac.of_domid ~machine:0 ~domid:2)
+      ~src_ip:(Netcore.Ip.make ~subnet:1 ~host:1)
+      ~dst_ip:(Netcore.Ip.make ~subnet:1 ~host:2)
+      ~src_port:1 ~dst_port:2 (Bytes.make 1400 'p')
+  in
+  let test_codec =
+    Bechamel.Test.make ~name:"codec serialize+parse 1400B"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Netcore.Codec.parse (Netcore.Codec.serialize packet))))
+  in
+  let test_heap =
+    Bechamel.Test.make ~name:"event heap push+pop x100"
+      (Bechamel.Staged.stage (fun () ->
+           let h = Sim.Heap.create ~cmp:compare in
+           for i = 0 to 99 do
+             Sim.Heap.push h (i * 7919 mod 100)
+           done;
+           while not (Sim.Heap.is_empty h) do
+             ignore (Sim.Heap.pop h)
+           done))
+  in
+  let checksum_buf = Bytes.make 1460 'c' in
+  let test_checksum =
+    Bechamel.Test.make ~name:"internet checksum 1460B"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Netcore.Checksum.compute checksum_buf ~off:0 ~len:1460)))
+  in
+  let open Bechamel in
+  let run_one test =
+    let cfg =
+      Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ()
+    in
+    let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock results
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Format.fprintf fmt "%-36s %12.1f ns/run@." name est
+        | Some _ | None -> Format.fprintf fmt "%-36s (no estimate)@." name)
+      ols
+  in
+  List.iter run_one [ test_fifo; test_grant; test_codec; test_heap; test_checksum ];
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablation_copy () =
+  (* Paper Sect. 3.3 argues for two copies over page sharing or transfer.
+     Replayed through the cost model: the per-packet FIFO operation cost is
+     replaced by what grant-share or grant-transfer would cost per packet,
+     with the data copies removed. *)
+  Format.fprintf fmt
+    "=== Ablation: receiver data-transfer strategy (paper Sect. 3.3) ===@.";
+  Format.fprintf fmt "# UDP_STREAM through XenLoop, Mbps (higher is better)@.";
+  let p = Hypervisor.Params.default in
+  let variants =
+    [
+      ("two-copy (XenLoop's choice)", p);
+      ( "page sharing (map+unmap per packet)",
+        {
+          p with
+          Hypervisor.Params.xenloop_copy_ns_per_byte = 0.0;
+          xenloop_fifo_op =
+            Sim.Time.span_add
+              (Sim.Time.span_scale 2 p.Hypervisor.Params.page_map)
+              (Sim.Time.span_scale 2 p.Hypervisor.Params.hypercall);
+        } );
+      ( "page transfer (transfer+zero per packet)",
+        {
+          p with
+          Hypervisor.Params.xenloop_copy_ns_per_byte = 0.0;
+          xenloop_fifo_op =
+            Sim.Time.span_add p.Hypervisor.Params.page_map
+              (Sim.Time.span_add p.Hypervisor.Params.page_zero
+                 (Sim.Time.span_scale 2 p.Hypervisor.Params.hypercall));
+        } );
+    ]
+  in
+  List.iter
+    (fun (name, params) ->
+      let ctx = make_ctx ~params Setup.Xenloop_path in
+      let mbps =
+        in_ctx ctx (fun { client; server; dst; _ } ->
+            (Netperf.udp_stream ~client ~server ~dst ()).Netperf.mbps)
+      in
+      Format.fprintf fmt "%-42s %10.0f Mbps@." name mbps)
+    variants;
+  Format.fprintf fmt "@."
+
+let ablation_discovery () =
+  (* Sensitivity of fast-path engagement to the discovery scan period. *)
+  Format.fprintf fmt "=== Ablation: discovery period vs fast-path delay ===@.";
+  Format.fprintf fmt
+    "# time from co-residence (migration completes) to XenLoop channel active@.";
+  List.iter
+    (fun period_s ->
+      let p =
+        { Hypervisor.Params.default with discovery_period = Sim.Time.sec period_s }
+      in
+      let w = Mw.create ~params:p () in
+      let delay =
+        Experiment.run_process ~limit:(Sim.Time.sec 120) w.Mw.engine (fun () ->
+            let s1 = w.Mw.guest1.Mw.ep.Scenarios.Endpoint.stack in
+            let dst = Hypervisor.Domain.ip w.Mw.guest2.Mw.domain in
+            ignore (Netstack.Stack.ping s1 ~dst ());
+            Mw.migrate w w.Mw.guest1 ~dst:w.Mw.m2;
+            let t0 = Sim.Engine.now w.Mw.engine in
+            let connected () = Gm.connected_peer_ids w.Mw.guest1.Mw.xl_module <> [] in
+            while not (connected ()) do
+              ignore (Netstack.Stack.ping s1 ~dst ~timeout:(Sim.Time.ms 50) ());
+              Sim.Engine.sleep (Sim.Time.ms 10)
+            done;
+            Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now w.Mw.engine) t0))
+      in
+      Format.fprintf fmt "period %2ds -> channel active after %6.2fs@." period_s delay)
+    [ 1; 2; 5; 10 ];
+  Format.fprintf fmt "@."
+
+let ablation_transport () =
+  (* The paper's future-work question (Sect. 6): does intercepting between
+     the socket and transport layers — eliminating IP/UDP processing from
+     the inter-VM path — pay off?  Compare packet-level XenLoop with the
+     Socket_shortcut prototype on the same workloads. *)
+  Format.fprintf fmt
+    "=== Ablation: packet-level XenLoop vs transport-level shortcut ===@.";
+  let run ~shortcut =
+    let ctx = make_ctx Setup.Xenloop_path in
+    if shortcut then
+      (match ctx.duo.Setup.modules with
+      | [ a; b ] ->
+          ignore
+            (Xenloop.Socket_shortcut.enable ~xl_module:a
+               ~udp:ctx.duo.Setup.client.Scenarios.Endpoint.udp ());
+          ignore
+            (Xenloop.Socket_shortcut.enable ~xl_module:b
+               ~udp:ctx.duo.Setup.server.Scenarios.Endpoint.udp ())
+      | _ -> failwith "two modules expected");
+    in_ctx ctx (fun { client; server; dst; _ } ->
+        let rr = Netperf.udp_rr ~client ~server ~dst ~transactions:1500 () in
+        let st = Netperf.udp_stream ~client ~server ~dst () in
+        (rr.Netperf.avg_latency_us, st.Netperf.mbps))
+  in
+  let base_lat, base_bw = run ~shortcut:false in
+  let sc_lat, sc_bw = run ~shortcut:true in
+  Format.fprintf fmt "%-38s %10.1f us/transaction %10.0f Mbps@."
+    "packet-level (published XenLoop)" base_lat base_bw;
+  Format.fprintf fmt "%-38s %10.1f us/transaction %10.0f Mbps@."
+    "transport-level shortcut (Sect. 6)" sc_lat sc_bw;
+  Format.fprintf fmt "latency saved: %.1f us/transaction (%.0f%%)@.@."
+    (base_lat -. sc_lat)
+    ((base_lat -. sc_lat) /. base_lat *. 100.0)
+
+let ablation_scheduler () =
+  (* Paper Sect. 2: "excessive switching of a CPU between domains can
+     negatively impact performance".  The Xen credit scheduler's BOOST
+     priority is what keeps an I/O domain's wake-up latency in the
+     microsecond range even next to CPU hogs; without it, every packet
+     through Dom0 could wait out a 30 ms timeslice. *)
+  Format.fprintf fmt
+    "=== Ablation: credit-scheduler BOOST and I/O wake-up latency ===@.";
+  Format.fprintf fmt
+    "# one pCPU, two CPU-hog domains, one I/O domain waking every 3 ms@.";
+  let measure ~boost =
+    let engine = Sim.Engine.create () in
+    let stats = Sim.Stats.create () in
+    Experiment.run_process ~limit:(Sim.Time.sec 10) engine (fun () ->
+        let s =
+          Hypervisor.Credit_scheduler.create ~engine ~physical_cpus:1
+            ~timeslice:(Sim.Time.ms 30) ~boost ()
+        in
+        let hog1 = Hypervisor.Credit_scheduler.add_vcpu s ~name:"hog1" ~weight:256 () in
+        let hog2 = Hypervisor.Credit_scheduler.add_vcpu s ~name:"hog2" ~weight:256 () in
+        let io = Hypervisor.Credit_scheduler.add_vcpu s ~name:"io" ~weight:256 () in
+        Sim.Engine.spawn engine (fun () ->
+            Hypervisor.Credit_scheduler.run hog1 (Sim.Time.sec 5));
+        Sim.Engine.spawn engine (fun () ->
+            Hypervisor.Credit_scheduler.run hog2 (Sim.Time.sec 5));
+        Sim.Engine.sleep (Sim.Time.ms 50);
+        for _ = 1 to 100 do
+          Sim.Engine.sleep (Sim.Time.ms 3);
+          let t0 = Sim.Engine.now engine in
+          Hypervisor.Credit_scheduler.run io (Sim.Time.us 50);
+          Sim.Stats.add stats
+            (Sim.Time.to_ms_f (Sim.Time.diff (Sim.Engine.now engine) t0))
+        done);
+    stats
+  in
+  let with_boost = measure ~boost:true in
+  let without = measure ~boost:false in
+  Format.fprintf fmt "%-18s wake-to-done: mean %7.2f ms   p99 %7.2f ms@."
+    "with BOOST" (Sim.Stats.mean with_boost)
+    (Sim.Stats.percentile with_boost 99.0);
+  Format.fprintf fmt "%-18s wake-to-done: mean %7.2f ms   p99 %7.2f ms@."
+    "without BOOST" (Sim.Stats.mean without)
+    (Sim.Stats.percentile without 99.0);
+  Format.fprintf fmt "@."
+
+let ablation_contention () =
+  (* The calibrated default gives every domain its own serial vCPU; the
+     credit-scheduled mode shares real cores.  Does a CPU-hog neighbour
+     perturb the XenLoop fast path?  (Paper testbed: a dual-core
+     Pentium D.) *)
+  Format.fprintf fmt
+    "=== Ablation: CPU model — dedicated vCPUs vs credit scheduler ===@.";
+  Format.fprintf fmt
+    "# XenLoop UDP_RR between guest1/guest2; guests 3-4 can burn CPU@.";
+  let measure ~cpu_model ~hogs label =
+    (* Four guests: 1 and 2 run the benchmark, 3 and 4 can hog. *)
+    let c = Scenarios.Setup.build_cluster ?cpu_model ~guests:4 () in
+    let rate =
+      Experiment.run_process c.Setup.c_engine (fun () ->
+          c.Setup.c_warmup ();
+          let host_of_guest i =
+            let _, ep, _ = List.nth c.Setup.guests i in
+            host_of ep
+          in
+          if hogs then
+            List.iter
+              (fun i ->
+                let hog_domain, _, _ = List.nth c.Setup.guests i in
+                Sim.Engine.spawn c.Setup.c_engine (fun () ->
+                    for _ = 1 to 2000 do
+                      Sim.Resource.use
+                        (Hypervisor.Domain.cpu hog_domain)
+                        (Sim.Time.ms 5)
+                    done))
+              [ 2; 3 ];
+          let _, server_ep, _ = List.nth c.Setup.guests 1 in
+          let r =
+            Netperf.udp_rr ~client:(host_of_guest 0) ~server:(host_of_guest 1)
+              ~dst:(Scenarios.Endpoint.ip server_ep) ~transactions:1000 ()
+          in
+          r.Netperf.avg_latency_us)
+    in
+    Format.fprintf fmt "%-52s %10.1f us/transaction@." label rate
+  in
+  let credit boost =
+    Some (Hypervisor.Machine.Credit_scheduled { physical_cpus = 2; boost })
+  in
+  measure ~cpu_model:None ~hogs:true "dedicated vCPUs (calibrated default), 2 hogs";
+  measure ~cpu_model:(credit true) ~hogs:false "credit (2 cores, BOOST), idle neighbours";
+  measure ~cpu_model:(credit true) ~hogs:true "credit (2 cores, BOOST), 2 hogging neighbours";
+  measure ~cpu_model:(credit false) ~hogs:true
+    "credit (2 cores, no BOOST), 2 hogging neighbours";
+  Format.fprintf fmt "@."
+
+let related_baselines () =
+  (* Quantifying the paper's related-work table (Sect. 5): XenSockets
+     trades every kind of transparency for throughput; XenLoop keeps
+     transparency and gets close. *)
+  Format.fprintf fmt "=== Related work: XenSockets-style pipe vs XenLoop ===@.";
+  let total = 16 * 1024 * 1024 in
+  (* XenLoop paths (socket API, fully transparent). *)
+  let ctx = make_ctx Setup.Xenloop_path in
+  let xl_tcp, xl_udp =
+    in_ctx ctx (fun { client; server; dst; _ } ->
+        let tcp = Netperf.tcp_stream ~client ~server ~dst ~total_bytes:total () in
+        let udp = Netperf.udp_stream ~client ~server ~dst ~total_bytes:total () in
+        (tcp.Netperf.mbps, udp.Netperf.mbps))
+  in
+  (* XenSockets-style pipe (explicit API, no discovery, no migration). *)
+  let machine = Option.get ctx.duo.Setup.machine in
+  let d1, d2 =
+    match Hypervisor.Machine.guests machine with
+    | [ a; b ] -> (a, b)
+    | _ -> failwith "two guests expected"
+  in
+  let pipe_mbps =
+    Experiment.run_process ctx.duo.Setup.engine (fun () ->
+        let reader, handle =
+          Related.Xensocket.create_pipe ~machine ~owner:d2
+            ~writer_domid:(Hypervisor.Domain.domid d1)
+            ()
+        in
+        let writer =
+          match
+            Related.Xensocket.connect ~machine ~domain:d1
+              ~reader_domid:(Hypervisor.Domain.domid d2)
+              handle
+          with
+          | Ok w -> w
+          | Error e -> failwith e
+        in
+        (* 16 KiB chunks on a 64 KiB pipe: the writer streams while the
+           reader drains (chunk = pipe size would lockstep instead). *)
+        let chunk = Bytes.make 16384 'p' in
+        Sim.Engine.spawn ctx.duo.Setup.engine (fun () ->
+            for _ = 1 to total / 16384 do
+              Related.Xensocket.send writer chunk
+            done);
+        let t0 = Sim.Engine.now ctx.duo.Setup.engine in
+        let received = ref 0 in
+        while !received < total do
+          received :=
+            !received + Bytes.length (Related.Xensocket.recv reader ~max:65536)
+        done;
+        let dt =
+          Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now ctx.duo.Setup.engine) t0)
+        in
+        float_of_int total *. 8.0 /. dt /. 1e6)
+  in
+  (* XWay-style: transparent for TCP apps, but manually peered. *)
+  let xway_mbps =
+    let engine = Sim.Engine.create () in
+    Experiment.run_process engine (fun () ->
+        let machine =
+          Hypervisor.Machine.create ~engine ~params:Hypervisor.Params.default ~id:0 ()
+        in
+        let mk i =
+          let domain =
+            Hypervisor.Machine.create_domain machine ~name:(Printf.sprintf "g%d" i)
+              ~ip:(Netcore.Ip.make ~subnet:6 ~host:i)
+          in
+          let stack =
+            Netstack.Stack.create ~engine ~params:Hypervisor.Params.default
+              ~cpu:(Hypervisor.Domain.cpu domain)
+              ~ip:(Hypervisor.Domain.ip domain)
+              ~mac:(Hypervisor.Domain.mac domain) ()
+          in
+          (domain, Related.Xway.attach ~machine ~domain ~tcp:(Netstack.Tcp.attach stack))
+        in
+        let d1, x1 = mk 1 and d2, x2 = mk 2 in
+        Related.Xway.register_peer x1 ~peer_ip:(Hypervisor.Domain.ip d2) x2;
+        Related.Xway.register_peer x2 ~peer_ip:(Hypervisor.Domain.ip d1) x1;
+        let listener =
+          match Related.Xway.listen x2 ~port:80 with
+          | Ok l -> l
+          | Error _ -> failwith "listen"
+        in
+        let received = ref 0 in
+        let finished_at = ref Sim.Time.zero in
+        Sim.Engine.spawn engine (fun () ->
+            let conn = Related.Xway.accept listener in
+            while !received < total do
+              received := !received + Bytes.length (Related.Xway.recv conn ~max:65536)
+            done;
+            finished_at := Sim.Engine.now engine);
+        let conn =
+          match Related.Xway.connect x1 ~dst:(Hypervisor.Domain.ip d2) ~dst_port:80 with
+          | Ok c -> c
+          | Error _ -> failwith "connect"
+        in
+        let t0 = Sim.Engine.now engine in
+        let chunk = Bytes.make 16384 'w' in
+        for _ = 1 to total / 16384 do
+          Related.Xway.send conn chunk
+        done;
+        while !received < total do
+          Sim.Engine.sleep (Sim.Time.ms 1)
+        done;
+        float_of_int total *. 8.0
+        /. Sim.Time.to_sec_f (Sim.Time.diff !finished_at t0)
+        /. 1e6)
+  in
+  let nf = make_ctx Setup.Netfront_netback in
+  let nf_tcp =
+    in_ctx nf (fun { client; server; dst; _ } ->
+        (Netperf.tcp_stream ~client ~server ~dst ~total_bytes:total ()).Netperf.mbps)
+  in
+  Format.fprintf fmt
+    "%-28s %10s %14s %10s %10s %10s@." "mechanism" "Mbps" "app-transparent"
+    "discovery" "migration" "direction";
+  let row name mbps transparent discovery migration direction =
+    Format.fprintf fmt "%-28s %10.0f %14s %10s %10s %10s@." name mbps transparent
+      discovery migration direction
+  in
+  row "netfront/netback" nf_tcp "yes" "n/a" "yes" "duplex";
+  row "XenLoop (TCP sockets)" xl_tcp "yes" "yes" "yes" "duplex";
+  row "XenLoop (UDP sockets)" xl_udp "yes" "yes" "yes" "duplex";
+  row "XWay-style (TCP apps)" xway_mbps "TCP only" "no (manual)" "no" "duplex";
+  row "XenSockets-style pipe" pipe_mbps "no (new API)" "no" "no" "one-way";
+  Format.fprintf fmt "@."
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", "Table 1: motivation snapshot (3 scenarios)", table1);
+    ("table2", "Table 2: average bandwidth (4 scenarios)", table2);
+    ("table3", "Table 3: average latency (4 scenarios)", table3);
+    ("fig4", "Figure 4: UDP throughput vs message size", fig4);
+    ("fig5", "Figure 5: throughput vs FIFO size", fig5);
+    ("fig6", "Figures 6+7: netpipe-mpich sweep", fig6_7);
+    ("fig8", "Figure 8: OSU uni-directional bandwidth", fig8);
+    ("fig9", "Figure 9: OSU bi-directional bandwidth", fig9);
+    ("fig10", "Figure 10: OSU latency", fig10);
+    ("fig11", "Figure 11: transactions/sec during migration", fig11);
+    ("micro", "Microbenchmarks of core data structures", micro);
+    ("ablation-copy", "Ablation: copy vs share vs transfer", ablation_copy);
+    ("ablation-discovery", "Ablation: discovery period", ablation_discovery);
+    ( "ablation-transport",
+      "Ablation: packet-level vs transport-level interception",
+      ablation_transport );
+    ( "related-baselines",
+      "Related work: XenSockets-style pipe vs XenLoop",
+      related_baselines );
+    ( "ablation-scheduler",
+      "Ablation: credit-scheduler BOOST vs I/O wake-up latency",
+      ablation_scheduler );
+    ( "ablation-contention",
+      "Ablation: dedicated vCPUs vs credit-scheduled cores",
+      ablation_contention );
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args = List.filter (fun a -> a <> "--") args in
+  match args with
+  | [ "--list" ] ->
+      List.iter (fun (name, doc, _) -> Printf.printf "%-20s %s\n" name doc) experiments
+  | [ "--only"; names ] ->
+      let wanted = String.split_on_char ',' names in
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %s (try --list)\n" name;
+              exit 1)
+        wanted
+  | [] ->
+      Format.fprintf fmt
+        "XenLoop reproduction benchmark suite (simulated Xen substrate)@.@.";
+      List.iter (fun (_, _, f) -> f ()) experiments
+  | _ ->
+      prerr_endline "usage: main.exe [--list | --only name1,name2,...]";
+      exit 1

@@ -1,0 +1,1 @@
+examples/microservices.ml: Bytes Format Hypervisor List Netstack Printf Scenarios Sim String Workloads Xenloop

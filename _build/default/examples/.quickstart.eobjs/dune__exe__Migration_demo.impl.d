@@ -1,0 +1,1 @@
+examples/migration_demo.ml: Hypervisor List Netstack Printf Scenarios Sim Xenloop

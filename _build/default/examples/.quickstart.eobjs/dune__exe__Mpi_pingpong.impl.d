@@ -1,0 +1,1 @@
+examples/mpi_pingpong.ml: List Printf Scenarios Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes List Netstack Printf Scenarios Sim String Xenloop

@@ -1,0 +1,1 @@
+examples/transport_shortcut.mli:

@@ -1,0 +1,1 @@
+examples/web_service.ml: Bytes Format List Netstack Printf Scenarios Sim

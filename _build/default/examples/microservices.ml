@@ -1,0 +1,88 @@
+(* Three co-resident service VMs — frontend, auth, database — chained per
+   request, as in the paper's enterprise motivation (Sect. 1).  XenLoop sets
+   up pairwise channels on demand among all of them.
+
+   Also demonstrates the packet capture: during channel bootstrap the
+   control messages are visible on the frontend's vif (they ride the
+   standard path), and once the channels connect the vif goes quiet —
+   the traffic has moved into shared memory.
+
+   Run with:  dune exec examples/microservices.exe
+*)
+
+module Setup = Scenarios.Setup
+module Gm = Xenloop.Guest_module
+module Tcp = Netstack.Tcp
+module Domain = Hypervisor.Domain
+
+let auth_port = 6000
+let db_port = 6001
+
+let serve engine tcp ~port ~work =
+  match Tcp.listen tcp ~port with
+  | Error e -> failwith (Format.asprintf "listen: %a" Tcp.pp_error e)
+  | Ok listener ->
+      Sim.Engine.spawn engine (fun () ->
+          let conn = Tcp.accept listener in
+          try
+            while true do
+              let request = Workloads.Mpi.recv (Workloads.Mpi.of_tcp conn) in
+              Workloads.Mpi.send (Workloads.Mpi.of_tcp conn) (work request)
+            done
+          with Tcp.Tcp_error _ -> ())
+
+let () =
+  print_endline "Microservice chain: frontend -> auth -> database (3 guests)";
+  print_endline "============================================================";
+  let cluster = Setup.build_cluster ~guests:3 () in
+  let engine = cluster.Setup.c_engine in
+  Scenarios.Experiment.run_process engine (fun () ->
+      cluster.Setup.c_warmup ();
+      let guest i = List.nth cluster.Setup.guests i in
+      let _, frontend, fe_module = guest 0 in
+      let auth_domain, auth, _ = guest 1 in
+      let db_domain, db, _ = guest 2 in
+
+      Printf.printf "channels from the frontend's view: domains %s\n"
+        (String.concat ", "
+           (List.map string_of_int (Gm.connected_peer_ids fe_module)));
+
+      (* Watch the frontend's vif: channel traffic never appears here. *)
+      let cap =
+        match Netstack.Stack.device frontend.Scenarios.Endpoint.stack with
+        | Some dev -> Netstack.Capture.attach ~engine dev
+        | None -> failwith "frontend has no device"
+      in
+
+      (* Services: auth validates tokens, the DB answers queries. *)
+      serve engine auth.Scenarios.Endpoint.tcp ~port:auth_port ~work:(fun _req ->
+          Bytes.of_string "token-ok");
+      serve engine db.Scenarios.Endpoint.tcp ~port:db_port ~work:(fun _req ->
+          Bytes.make 512 'r');
+
+      let connect dst port =
+        match Tcp.connect frontend.Scenarios.Endpoint.tcp ~dst ~dst_port:port with
+        | Ok c -> c
+        | Error e -> failwith (Format.asprintf "connect: %a" Tcp.pp_error e)
+      in
+      let auth_conn = connect (Domain.ip auth_domain) auth_port in
+      let db_conn = connect (Domain.ip db_domain) db_port in
+
+      (* Each client request = one auth roundtrip + one DB roundtrip. *)
+      let stats = Sim.Stats.create () in
+      for _ = 1 to 200 do
+        let t0 = Sim.Engine.now engine in
+        Workloads.Mpi.send (Workloads.Mpi.of_tcp auth_conn) (Bytes.of_string "token?");
+        let (_ : Bytes.t) = Workloads.Mpi.recv (Workloads.Mpi.of_tcp auth_conn) in
+        Workloads.Mpi.send (Workloads.Mpi.of_tcp db_conn) (Bytes.of_string "SELECT ...");
+        let (_ : Bytes.t) = Workloads.Mpi.recv (Workloads.Mpi.of_tcp db_conn) in
+        Sim.Stats.add stats
+          (Sim.Time.to_us_f (Sim.Time.diff (Sim.Engine.now engine) t0))
+      done;
+      Printf.printf "end-to-end request (auth + db hops): mean %.1f us, p99 %.1f us\n"
+        (Sim.Stats.mean stats)
+        (Sim.Stats.percentile stats 99.0);
+      Printf.printf "frames on the frontend vif during 200 requests: %d\n"
+        (Netstack.Capture.count cap);
+      print_endline
+        "(zero data frames: all four hops per request ride shared memory)")

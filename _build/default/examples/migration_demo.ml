@@ -1,0 +1,46 @@
+(* Live migration demo (paper Sect. 3.4 / 4.5): two guests on two machines
+   exchange heartbeats; one migrates next to the other and the traffic
+   transparently switches from the wire to the XenLoop channel — then
+   switches back when it migrates away.
+
+   Run with:  dune exec examples/migration_demo.exe
+*)
+
+module Mw = Scenarios.Migration_world
+module Gm = Xenloop.Guest_module
+
+let () =
+  print_endline "Live migration with transparent data-path switching";
+  print_endline "====================================================";
+  let w = Mw.create () in
+  Scenarios.Experiment.run_process ~limit:(Sim.Time.sec 120) w.Mw.engine (fun () ->
+      let s1 = w.Mw.guest1.Mw.ep.Scenarios.Endpoint.stack in
+      let dst = Hypervisor.Domain.ip w.Mw.guest2.Mw.domain in
+      let show label =
+        match Netstack.Stack.ping s1 ~dst () with
+        | Some rtt ->
+            Printf.printf "[t=%5.1fs] %-34s rtt = %6.1f us  (channels: %d)\n"
+              (Sim.Time.instant_to_sec_f (Sim.Engine.now w.Mw.engine))
+              label (Sim.Time.to_us_f rtt)
+              (List.length (Gm.connected_peer_ids w.Mw.guest1.Mw.xl_module))
+        | None -> Printf.printf "%-30s ping lost\n" label
+      in
+      show "separate machines (wire)";
+      show "separate machines (warm arp)";
+
+      print_endline "-> migrating guest1 onto machine 2 ...";
+      Mw.migrate w w.Mw.guest1 ~dst:w.Mw.m2;
+      show "co-resident, pre-discovery";
+      Sim.Engine.sleep (Sim.Time.sec 6);
+      show "co-resident, bootstrap trigger";
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      show "co-resident, via XenLoop";
+      show "co-resident, via XenLoop";
+
+      print_endline "-> migrating guest1 back to machine 1 ...";
+      Mw.migrate w w.Mw.guest1 ~dst:w.Mw.m1;
+      show "separate again (channel torn down)";
+      Printf.printf "guest1 module: %d channels established, %d torn down\n"
+        (Gm.stats w.Mw.guest1.Mw.xl_module).Gm.channels_established
+        (Gm.stats w.Mw.guest1.Mw.xl_module).Gm.channels_torn_down);
+  print_endline "done."

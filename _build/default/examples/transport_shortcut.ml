@@ -1,0 +1,57 @@
+(* The paper's future work, running: transport-level interception.
+
+   Section 6 of the paper asks whether XenLoop could be implemented
+   "transparently between the socket and transport layers in the protocol
+   stack, instead of below the network layer", to eliminate network
+   protocol processing from the inter-VM data path.  This example runs the
+   same UDP request-response workload three ways:
+
+     netfront          - the standard split-driver path through Dom0
+     xenloop           - the published packet-level XenLoop
+     xenloop+shortcut  - the Sect. 6 prototype on top of the same channel
+
+   Run with:  dune exec examples/transport_shortcut.exe
+*)
+
+module Setup = Scenarios.Setup
+module Shortcut = Xenloop.Socket_shortcut
+
+let host_of (ep : Scenarios.Endpoint.t) =
+  { Workloads.Host.stack = ep.Scenarios.Endpoint.stack; udp = ep.udp; tcp = ep.tcp }
+
+let measure ~kind ~with_shortcut =
+  let duo = Setup.build kind in
+  (if with_shortcut then
+     match duo.Setup.modules with
+     | [ a; b ] ->
+         ignore
+           (Shortcut.enable ~xl_module:a ~udp:duo.Setup.client.Scenarios.Endpoint.udp ());
+         ignore
+           (Shortcut.enable ~xl_module:b ~udp:duo.Setup.server.Scenarios.Endpoint.udp ())
+     | _ -> failwith "expected two xenloop modules");
+  Scenarios.Experiment.execute duo (fun () ->
+      let r =
+        Workloads.Netperf.udp_rr
+          ~client:(host_of duo.Setup.client)
+          ~server:(host_of duo.Setup.server)
+          ~dst:duo.Setup.server_ip ~transactions:1000 ()
+      in
+      r.Workloads.Netperf.avg_latency_us)
+
+let () =
+  print_endline "Where does the remaining inter-VM latency go?";
+  print_endline "=============================================";
+  let netfront = measure ~kind:Setup.Netfront_netback ~with_shortcut:false in
+  let packet = measure ~kind:Setup.Xenloop_path ~with_shortcut:false in
+  let transport = measure ~kind:Setup.Xenloop_path ~with_shortcut:true in
+  Printf.printf "%-40s %8.1f us/transaction\n" "netfront/netback (no XenLoop)" netfront;
+  Printf.printf "%-40s %8.1f us/transaction\n" "packet-level XenLoop (the paper)" packet;
+  Printf.printf "%-40s %8.1f us/transaction\n" "transport-level shortcut (Sect. 6)" transport;
+  Printf.printf "\n";
+  Printf.printf "XenLoop removed     %5.1f us (Dom0, rings, domain switches)\n"
+    (netfront -. packet);
+  Printf.printf "the shortcut removed %4.1f us more (IP + UDP processing)\n"
+    (packet -. transport);
+  Printf.printf
+    "confirming the paper's conjecture that protocol processing dominates\n\
+     what is left of the inter-VM path.\n"

@@ -1,0 +1,1 @@
+lib/evtchn/event_channel.ml: Format Hashtbl Memory Option Sim

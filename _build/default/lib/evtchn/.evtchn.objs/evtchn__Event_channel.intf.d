@@ -1,0 +1,1 @@
+lib/evtchn/event_channel.mli: Format Memory Sim

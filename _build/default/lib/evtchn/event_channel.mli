@@ -1,0 +1,56 @@
+(** Xen-style inter-domain event channels.
+
+    An event channel is a 1-bit notification mechanism between two domains.
+    Notifications are level-triggered and coalesce: sending to a port whose
+    pending bit is already set has no additional effect.  This matters for
+    performance modelling — a fast producer batching packets into a FIFO
+    pays for far fewer interrupt deliveries than packets sent.
+
+    One {!t} models the event-channel subsystem of a single physical
+    machine. *)
+
+type t
+
+type domid = int
+type port = int
+
+type error = Bad_port | Already_bound | Not_bound
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  engine:Sim.Engine.t -> delivery_latency:(unit -> Sim.Time.span) -> t
+(** [delivery_latency] is sampled at each delivery; it models virtual IRQ
+    injection plus the wake-up delay before the target domain runs. *)
+
+val alloc_unbound : t -> dom:domid -> remote:domid -> port
+(** Allocate a port on [dom] that only [remote] may bind to. *)
+
+val bind_interdomain :
+  t -> dom:domid -> remote:domid -> remote_port:port -> (port, error) result
+(** Bind a local port on [dom] to [remote]'s unbound port, completing the
+    channel. *)
+
+val set_handler : t -> dom:domid -> port:port -> (unit -> unit) -> unit
+(** Register the callback run (in process context) when a notification is
+    delivered to [port].  Replaces any previous handler. *)
+
+val notify :
+  t -> dom:domid -> port:port -> meter:Memory.Cost_meter.t -> (unit, error) result
+(** Send an event through [dom]'s end of the channel.  Costs one hypercall
+    (EVTCHNOP_send).  Sets the peer's pending bit; if the bit was clear and
+    the peer is unmasked, schedules the peer's handler after the delivery
+    latency. *)
+
+val mask : t -> dom:domid -> port:port -> unit
+val unmask : t -> dom:domid -> port:port -> unit
+(** Unmasking a port with its pending bit set triggers delivery, as in
+    Xen. *)
+
+val is_pending : t -> dom:domid -> port:port -> bool
+
+val close : t -> dom:domid -> port:port -> unit
+(** Tear down both endpoints.  Subsequent operations return [Bad_port]. *)
+
+val peer : t -> dom:domid -> port:port -> (domid * port) option
+val active_channels : t -> int

@@ -1,0 +1,1 @@
+lib/hypervisor/credit_scheduler.ml: Int64 List Queue Sim

@@ -1,0 +1,1 @@
+lib/hypervisor/domain.ml: Format List Memory Netcore Sim

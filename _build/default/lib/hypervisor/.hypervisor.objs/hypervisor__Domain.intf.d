@@ -1,0 +1,1 @@
+lib/hypervisor/domain.mli: Format Memory Netcore Sim

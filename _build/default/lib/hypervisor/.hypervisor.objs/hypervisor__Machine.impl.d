@@ -1,0 +1,1 @@
+lib/hypervisor/machine.ml: Credit_scheduler Domain Evtchn Hashtbl List Memory Netcore Params Printf Sim Xenstore

@@ -1,0 +1,1 @@
+lib/hypervisor/machine.mli: Domain Evtchn Memory Netcore Params Sim Xenstore

@@ -1,0 +1,1 @@
+lib/hypervisor/migration.ml: Domain Machine Params Sim

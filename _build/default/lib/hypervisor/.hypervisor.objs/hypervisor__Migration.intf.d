@@ -1,0 +1,1 @@
+lib/hypervisor/migration.mli: Domain Machine

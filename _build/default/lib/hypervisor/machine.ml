@@ -1,0 +1,139 @@
+type cpu_model =
+  | Dedicated_cpus
+  | Credit_scheduled of { physical_cpus : int; boost : bool }
+
+type t = {
+  machine_id : int;
+  m_engine : Sim.Engine.t;
+  m_params : Params.t;
+  m_sched : Credit_scheduler.t option;
+  m_xenstore : Xenstore.t;
+  m_evtchn : Evtchn.Event_channel.t;
+  grant_tables : (int, Memory.Grant_table.t) Hashtbl.t;
+  domains : (int, Domain.t) Hashtbl.t;
+  mutable next_domid : int;
+  m_dom0 : Domain.t;
+  m_frames : Memory.Frame_allocator.t;
+}
+
+(* 4 GB of machine memory, as on the paper's testbed. *)
+let machine_frames = 1_048_576
+
+let make_cpu sched ~name =
+  match sched with
+  | None -> None
+  | Some sched ->
+      let vcpu = Credit_scheduler.add_vcpu sched ~name ~weight:256 () in
+      Some
+        (Sim.Resource.custom ~name
+           ~use:(fun span -> Credit_scheduler.run vcpu span)
+           ~busy_time:(fun () -> Credit_scheduler.cpu_time vcpu))
+
+let create ~engine ~params ~id ?(cpu_model = Dedicated_cpus) () =
+  let evtchn =
+    Evtchn.Event_channel.create ~engine ~delivery_latency:(fun () ->
+        params.Params.evtchn_delivery)
+  in
+  let sched =
+    match cpu_model with
+    | Dedicated_cpus -> None
+    | Credit_scheduled { physical_cpus; boost } ->
+        Some (Credit_scheduler.create ~engine ~physical_cpus ~boost ())
+  in
+  let dom0_name = Printf.sprintf "m%d.dom0" id in
+  let dom0 =
+    Domain.make ~domid:0 ~name:dom0_name
+      ~mac:(Netcore.Mac.of_domid ~machine:id ~domid:0)
+      ~ip:(Netcore.Ip.make ~subnet:200 ~host:(id + 1))
+      ?cpu:(make_cpu sched ~name:(dom0_name ^ ".vcpu"))
+      ()
+  in
+  {
+    machine_id = id;
+    m_engine = engine;
+    m_params = params;
+    m_sched = sched;
+    m_xenstore = Xenstore.create ();
+    m_evtchn = evtchn;
+    grant_tables = Hashtbl.create 8;
+    domains = Hashtbl.create 8;
+    next_domid = 1;
+    m_dom0 = dom0;
+    m_frames = Memory.Frame_allocator.create ~total_frames:machine_frames;
+  }
+
+let id t = t.machine_id
+let engine t = t.m_engine
+let params t = t.m_params
+let xenstore t = t.m_xenstore
+let evtchn t = t.m_evtchn
+let dom0 t = t.m_dom0
+
+let register t domain =
+  let domid = Domain.domid domain in
+  Hashtbl.replace t.domains domid domain;
+  Hashtbl.replace t.grant_tables domid (Memory.Grant_table.create ~owner:domid);
+  (match
+     Xenstore.write t.m_xenstore ~caller:Xenstore.dom0
+       ~path:(Xenstore.domain_path domid ^ "/name")
+       ~value:(Domain.name domain)
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  (match
+     Xenstore.write t.m_xenstore ~caller:Xenstore.dom0
+       ~path:(Xenstore.domain_path domid ^ "/mac")
+       ~value:(Netcore.Mac.to_string (Domain.mac domain))
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  match
+    Xenstore.write t.m_xenstore ~caller:Xenstore.dom0
+      ~path:(Xenstore.domain_path domid ^ "/ip")
+      ~value:(Netcore.Ip.to_string (Domain.ip domain))
+  with
+  | Ok () -> ()
+  | Error _ -> assert false
+
+let fresh_domid t =
+  let id = t.next_domid in
+  t.next_domid <- id + 1;
+  id
+
+let create_domain t ~name ~ip =
+  let domid = fresh_domid t in
+  let mac = Netcore.Mac.of_domid ~machine:t.machine_id ~domid in
+  let domain =
+    Domain.make ~domid ~name ~mac ~ip ?cpu:(make_cpu t.m_sched ~name:(name ^ ".vcpu")) ()
+  in
+  register t domain;
+  domain
+
+let adopt_domain t domain =
+  Domain.set_domid domain (fresh_domid t);
+  Domain.set_state domain Domain.Running;
+  register t domain
+
+let remove_domain t domain =
+  let domid = Domain.domid domain in
+  Hashtbl.remove t.domains domid;
+  Hashtbl.remove t.grant_tables domid;
+  Memory.Frame_allocator.release_all t.m_frames ~owner:domid;
+  match Xenstore.rm t.m_xenstore ~caller:Xenstore.dom0 ~path:(Xenstore.domain_path domid) with
+  | Ok () | Error _ -> ()
+
+let shutdown_domain t domain =
+  Domain.run_shutdown domain;
+  remove_domain t domain;
+  Domain.set_state domain Domain.Dead
+
+let frame_allocator t = t.m_frames
+
+let grant_table t domid = Hashtbl.find_opt t.grant_tables domid
+let domain t domid = Hashtbl.find_opt t.domains domid
+
+let guests t =
+  Hashtbl.fold (fun _ d acc -> d :: acc) t.domains []
+  |> List.sort (fun a b -> compare (Domain.domid a) (Domain.domid b))
+
+let guest_count t = Hashtbl.length t.domains

@@ -1,0 +1,51 @@
+(** A physical machine: Dom0 plus guest domains, with per-machine XenStore,
+    event-channel subsystem, and per-domain grant tables. *)
+
+type t
+
+type cpu_model =
+  | Dedicated_cpus
+      (** every domain gets its own serial vCPU (the calibrated default:
+          contention is captured by the cost model's service times) *)
+  | Credit_scheduled of { physical_cpus : int; boost : bool }
+      (** all vCPUs share [physical_cpus] cores under the Xen credit
+          scheduler — slower to simulate, but models real CPU contention
+          (see the [ablation-contention] bench).  [boost] enables the
+          wake-up priority (Xen's default). *)
+
+val create :
+  engine:Sim.Engine.t -> params:Params.t -> id:int -> ?cpu_model:cpu_model -> unit -> t
+
+val id : t -> int
+val engine : t -> Sim.Engine.t
+val params : t -> Params.t
+val xenstore : t -> Xenstore.t
+val evtchn : t -> Evtchn.Event_channel.t
+val dom0 : t -> Domain.t
+
+val create_domain : t -> name:string -> ip:Netcore.Ip.t -> Domain.t
+(** Boot a fresh guest: assigns a domid and a MAC, creates its grant table
+    and its XenStore subtree ([/local/domain/<id>/name]). *)
+
+val adopt_domain : t -> Domain.t -> unit
+(** Attach a migrated-in domain: assigns a fresh domid (identity — MAC and
+    IP — is preserved), recreates grant table and XenStore entries. *)
+
+val remove_domain : t -> Domain.t -> unit
+(** Detach a domain (migration out): drops its grant table and removes its
+    XenStore subtree.  The domain object itself stays alive. *)
+
+val shutdown_domain : t -> Domain.t -> unit
+(** Destroy a guest: runs its shutdown hooks, then detaches it and marks it
+    dead. *)
+
+val frame_allocator : t -> Memory.Frame_allocator.t
+(** The machine's physical frame pool (XenLoop channels and other shared
+    memory draw from it). *)
+
+val grant_table : t -> int -> Memory.Grant_table.t option
+val domain : t -> int -> Domain.t option
+val guests : t -> Domain.t list
+(** Guests (excluding Dom0), sorted by domid. *)
+
+val guest_count : t -> int

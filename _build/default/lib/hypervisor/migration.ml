@@ -1,0 +1,12 @@
+let migrate ~src ~dst domain =
+  (match Machine.domain src (Domain.domid domain) with
+  | Some d when d == domain && Domain.is_running domain -> ()
+  | Some _ | None -> invalid_arg "Migration.migrate: domain not running on src");
+  (* Pre-migration callback from the hypervisor (paper Sect. 3.4). *)
+  Domain.run_pre_migrate domain;
+  Domain.set_state domain Domain.Suspended;
+  Machine.remove_domain src domain;
+  (* Stop-and-copy blackout. *)
+  Sim.Engine.sleep (Machine.params src).Params.migration_downtime;
+  Machine.adopt_domain dst domain;
+  Domain.run_post_restore domain

@@ -1,0 +1,13 @@
+(** Live migration of a guest between machines.
+
+    Reproduces the paper's lifecycle (Sect. 3.4): before the domain leaves,
+    it receives a callback from the hypervisor — XenLoop uses it to delete
+    its advertisement, drain in-flight packets and disengage channels.
+    After restore on the target, post-restore callbacks let the network
+    plumbing reattach and XenLoop re-advertise.
+
+    Must be called from process context: the stop-and-copy downtime is
+    simulated with a sleep. *)
+
+val migrate : src:Machine.t -> dst:Machine.t -> Domain.t -> unit
+(** @raise Invalid_argument if the domain is not running on [src]. *)

@@ -1,0 +1,87 @@
+type t = {
+  hypercall : Sim.Time.span;
+  evtchn_delivery : Sim.Time.span;
+  dom0_wakeup : Sim.Time.span;
+  page_map : Sim.Time.span;
+  page_zero : Sim.Time.span;
+  migration_downtime : Sim.Time.span;
+  syscall : Sim.Time.span;
+  udp_tx : Sim.Time.span;
+  udp_rx : Sim.Time.span;
+  tcp_tx : Sim.Time.span;
+  tcp_rx : Sim.Time.span;
+  tcp_ack : Sim.Time.span;
+  icmp_proc : Sim.Time.span;
+  app_wakeup : Sim.Time.span;
+  netfilter_hook : Sim.Time.span;
+  ip_rx : Sim.Time.span;
+  arp_proc : Sim.Time.span;
+  copy_ns_per_byte : float;
+  xenloop_copy_ns_per_byte : float;
+  xenloop_fifo_op : Sim.Time.span;
+  discovery_period : Sim.Time.span;
+  netfront_tx : Sim.Time.span;
+  netfront_rx : Sim.Time.span;
+  netback_per_packet : Sim.Time.span;
+  netback_per_page : Sim.Time.span;
+  bridge_forward : Sim.Time.span;
+  tso_max_frame : int;
+  wire_gbps : float;
+  wire_latency : Sim.Time.span;
+  nic_tx : Sim.Time.span;
+  nic_rx : Sim.Time.span;
+  nic_interrupt_latency : Sim.Time.span;
+  nic_mtu : int;
+  loopback_xmit : Sim.Time.span;
+  loopback_mtu : int;
+}
+
+let default =
+  {
+    hypercall = Sim.Time.ns 300;
+    evtchn_delivery = Sim.Time.of_us_f 7.0;
+    dom0_wakeup = Sim.Time.of_us_f 10.0;
+    page_map = Sim.Time.of_us_f 1.2;
+    page_zero = Sim.Time.of_us_f 1.0;
+    migration_downtime = Sim.Time.ms 60;
+    syscall = Sim.Time.ns 500;
+    udp_tx = Sim.Time.of_us_f 1.5;
+    udp_rx = Sim.Time.of_us_f 1.6;
+    tcp_tx = Sim.Time.of_us_f 1.0;
+    tcp_rx = Sim.Time.of_us_f 1.1;
+    tcp_ack = Sim.Time.ns 800;
+    icmp_proc = Sim.Time.of_us_f 1.2;
+    app_wakeup = Sim.Time.of_us_f 5.0;
+    netfilter_hook = Sim.Time.ns 250;
+    ip_rx = Sim.Time.ns 400;
+    arp_proc = Sim.Time.ns 600;
+    copy_ns_per_byte = 0.55;
+    xenloop_copy_ns_per_byte = 0.75;
+    xenloop_fifo_op = Sim.Time.ns 200;
+    discovery_period = Sim.Time.sec 5;
+    netfront_tx = Sim.Time.of_us_f 1.0;
+    netfront_rx = Sim.Time.of_us_f 1.0;
+    netback_per_packet = Sim.Time.of_us_f 2.3;
+    netback_per_page = Sim.Time.of_us_f 5.4;
+    bridge_forward = Sim.Time.ns 600;
+    tso_max_frame = 65536;
+    wire_gbps = 1.0;
+    wire_latency = Sim.Time.of_us_f 8.0;
+    nic_tx = Sim.Time.of_us_f 2.0;
+    nic_rx = Sim.Time.of_us_f 6.0;
+    nic_interrupt_latency = Sim.Time.of_us_f 20.0;
+    nic_mtu = 1500;
+    loopback_xmit = Sim.Time.ns 400;
+    loopback_mtu = 16436;
+  }
+
+let copy_cost t bytes = Sim.Time.of_ns_f (float_of_int bytes *. t.copy_ns_per_byte)
+
+let xenloop_copy_cost t bytes =
+  Sim.Time.of_ns_f (float_of_int bytes *. t.xenloop_copy_ns_per_byte)
+
+let wire_time t bytes =
+  (* Include Ethernet preamble + IFG (20 bytes) and FCS (4). *)
+  Sim.Time.of_ns_f (float_of_int ((bytes + 24) * 8) /. t.wire_gbps)
+
+let pages_of_bytes n = if n <= 0 then 1 else (n + 4095) / 4096

@@ -1,0 +1,77 @@
+(** The calibrated cost model — single source of truth for every timing
+    constant in the simulation.
+
+    The defaults are calibrated against the paper's own Table 1/2/3
+    micro-measurements on its Pentium D / Xen 3.2 / 1 Gbps testbed (see
+    EXPERIMENTS.md §Calibration for the derivations).  Workloads and the
+    XenLoop module never read these constants; only the substrate does, so
+    reproduced performance shapes are emergent, not hard-coded. *)
+
+type t = {
+  (* --- Virtualization --- *)
+  hypercall : Sim.Time.span;  (** trap into the hypervisor and back *)
+  evtchn_delivery : Sim.Time.span;
+      (** event-channel notification to handler start: virtual IRQ
+          injection plus scheduling the target vCPU *)
+  dom0_wakeup : Sim.Time.span;
+      (** extra latency before netback processing starts in the driver
+          domain (softirq + inter-domain switch penalty: TLB/cache) *)
+  page_map : Sim.Time.span;  (** map or unmap one granted page *)
+  page_zero : Sim.Time.span;  (** scrub one page before handing it over *)
+  migration_downtime : Sim.Time.span;
+      (** stop-and-copy blackout of live migration *)
+  (* --- Guest / native protocol stack --- *)
+  syscall : Sim.Time.span;
+  udp_tx : Sim.Time.span;  (** UDP+IP output processing per datagram *)
+  udp_rx : Sim.Time.span;
+  tcp_tx : Sim.Time.span;  (** TCP output processing per segment *)
+  tcp_rx : Sim.Time.span;
+  tcp_ack : Sim.Time.span;  (** generating or absorbing a pure ACK *)
+  icmp_proc : Sim.Time.span;  (** in-kernel echo processing per packet *)
+  app_wakeup : Sim.Time.span;
+      (** waking a process blocked in recv() (scheduler latency) *)
+  netfilter_hook : Sim.Time.span;  (** one hook traversal per packet *)
+  ip_rx : Sim.Time.span;  (** per-fragment IP input processing *)
+  arp_proc : Sim.Time.span;
+  copy_ns_per_byte : float;  (** effective memcpy cost, cache misses included *)
+  xenloop_copy_ns_per_byte : float;
+      (** copies into/out of the shared FIFO pages: cross-VM, cold-cache *)
+  xenloop_fifo_op : Sim.Time.span;
+      (** XenLoop FIFO bookkeeping per packet (metadata write, index update) *)
+  discovery_period : Sim.Time.span;
+      (** Dom0 domain-discovery scan interval (paper: 5 s) *)
+  (* --- Netfront / netback split driver --- *)
+  netfront_tx : Sim.Time.span;  (** ring work + grant issue, per packet *)
+  netfront_rx : Sim.Time.span;
+  netback_per_packet : Sim.Time.span;  (** fixed Dom0 cost per packet *)
+  netback_per_page : Sim.Time.span;
+      (** per 4 KiB: grant-copy hypercall + copy + accounting *)
+  bridge_forward : Sim.Time.span;  (** software bridge lookup+forward *)
+  tso_max_frame : int;
+      (** TCP large frames through netfront (TSO-style); UDP gets none *)
+  (* --- Physical network --- *)
+  wire_gbps : float;
+  wire_latency : Sim.Time.span;  (** propagation + switch store-and-forward *)
+  nic_tx : Sim.Time.span;  (** driver + DMA setup per frame *)
+  nic_rx : Sim.Time.span;
+  nic_interrupt_latency : Sim.Time.span;
+      (** interrupt moderation delay before the host sees a frame *)
+  nic_mtu : int;
+  (* --- Native loopback --- *)
+  loopback_xmit : Sim.Time.span;  (** per-packet lo device cost *)
+  loopback_mtu : int;
+}
+
+val default : t
+
+val copy_cost : t -> int -> Sim.Time.span
+(** Time to memcpy [n] bytes. *)
+
+val xenloop_copy_cost : t -> int -> Sim.Time.span
+(** Time to copy [n] bytes into or out of a shared FIFO page. *)
+
+val wire_time : t -> int -> Sim.Time.span
+(** Serialization time of [n] bytes on the physical wire. *)
+
+val pages_of_bytes : int -> int
+(** Number of 4 KiB pages touched by an [n]-byte packet (at least 1). *)

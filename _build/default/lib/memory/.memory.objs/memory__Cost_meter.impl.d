@@ -1,0 +1,1 @@
+lib/memory/cost_meter.ml: Format Hashtbl Option

@@ -1,0 +1,1 @@
+lib/memory/cost_meter.mli: Format

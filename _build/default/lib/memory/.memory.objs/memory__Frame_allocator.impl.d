@@ -1,0 +1,1 @@
+lib/memory/frame_allocator.ml: Array Hashtbl List Option Page

@@ -1,0 +1,1 @@
+lib/memory/grant_table.ml: Cost_meter Format Hashtbl Page

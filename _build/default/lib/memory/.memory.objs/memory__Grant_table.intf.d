@@ -1,0 +1,1 @@
+lib/memory/grant_table.mli: Bytes Cost_meter Format Page

@@ -1,0 +1,1 @@
+lib/memory/page.ml: Bytes Char Printf

@@ -1,0 +1,1 @@
+lib/memory/page.mli: Bytes

@@ -1,0 +1,33 @@
+(** Operation accounting.
+
+    The substrate libraries count the operations that dominate Xen inter-VM
+    networking cost (hypercalls, page copies, page zeroings, event-channel
+    notifications); the hypervisor's cost model converts counts into
+    simulated time, and the benchmark harness reports them so experiments
+    can explain *why* a data path is slow. *)
+
+type t
+
+type op =
+  | Hypercall of string  (** e.g. "gnttab_grant_foreign_access" *)
+  | Page_copy of int  (** bytes copied *)
+  | Page_zero
+  | Event_notify
+  | Domain_switch
+
+val create : unit -> t
+
+val record : t -> op -> unit
+
+val hypercalls : t -> int
+val hypercall_count : t -> string -> int
+val bytes_copied : t -> int
+val page_zeroes : t -> int
+val event_notifies : t -> int
+val domain_switches : t -> int
+
+val reset : t -> unit
+
+val merge_into : src:t -> dst:t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Machine-frame accounting.
+
+    Tracks which domain owns each allocated page and enforces the machine's
+    physical memory limit.  XenLoop channel FIFOs draw their pages from
+    here, so a machine cannot hand out unbounded shared memory, and
+    teardown must return every page (tests assert balance). *)
+
+type t
+
+type error = Out_of_frames
+
+val create : total_frames:int -> t
+
+val total_frames : t -> int
+val free_frames : t -> int
+
+val allocate : t -> owner:int -> (Page.t, error) result
+(** A fresh zeroed page charged to [owner]. *)
+
+val allocate_many : t -> owner:int -> count:int -> (Page.t array, error) result
+(** All-or-nothing. *)
+
+val release : t -> owner:int -> Page.t -> unit
+(** @raise Invalid_argument if the page is not currently owned by
+    [owner] (double free or theft). *)
+
+val owned_by : t -> int -> int
+(** Frames currently charged to a domain. *)
+
+val release_all : t -> owner:int -> unit
+(** Return every frame a domain owns (domain destruction). *)

@@ -1,0 +1,54 @@
+type t = { page_id : int; data : Bytes.t }
+
+let size = 4096
+
+let next_id = ref 0
+
+let create () =
+  let page_id = !next_id in
+  incr next_id;
+  { page_id; data = Bytes.make size '\000' }
+
+let id t = t.page_id
+
+let check_bounds ~what ~off ~len =
+  if off < 0 || len < 0 || off + len > size then
+    invalid_arg (Printf.sprintf "Page.%s: out of bounds (off=%d len=%d)" what off len)
+
+let write t ~off ~src ~src_off ~len =
+  check_bounds ~what:"write" ~off ~len;
+  Bytes.blit src src_off t.data off len
+
+let read t ~off ~dst ~dst_off ~len =
+  check_bounds ~what:"read" ~off ~len;
+  Bytes.blit t.data off dst dst_off len
+
+let get_u8 t off =
+  check_bounds ~what:"get_u8" ~off ~len:1;
+  Char.code (Bytes.get t.data off)
+
+let set_u8 t off v =
+  check_bounds ~what:"set_u8" ~off ~len:1;
+  Bytes.set t.data off (Char.chr (v land 0xff))
+
+let get_u32 t off =
+  check_bounds ~what:"get_u32" ~off ~len:4;
+  Bytes.get_int32_le t.data off
+
+let set_u32 t off v =
+  check_bounds ~what:"set_u32" ~off ~len:4;
+  Bytes.set_int32_le t.data off v
+
+let get_u64 t off =
+  check_bounds ~what:"get_u64" ~off ~len:8;
+  Bytes.get_int64_le t.data off
+
+let set_u64 t off v =
+  check_bounds ~what:"set_u64" ~off ~len:8;
+  Bytes.set_int64_le t.data off v
+
+let zero t = Bytes.fill t.data 0 size '\000'
+
+let is_zeroed t =
+  let rec scan i = i >= size || (Bytes.get t.data i = '\000' && scan (i + 1)) in
+  scan 0

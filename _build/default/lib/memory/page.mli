@@ -1,0 +1,37 @@
+(** Machine pages.
+
+    A page is 4 KiB of real bytes: the XenLoop FIFOs and the netfront rings
+    store actual packet payloads in pages, so tests can verify end-to-end
+    data integrity, not just event ordering. *)
+
+type t
+
+val size : int
+(** 4096. *)
+
+val create : unit -> t
+(** A fresh zeroed page. *)
+
+val id : t -> int
+(** Unique identity (monotonically assigned), usable as a pseudo frame
+    number. *)
+
+val write : t -> off:int -> src:Bytes.t -> src_off:int -> len:int -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val read : t -> off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+
+val get_u32 : t -> int -> int32
+val set_u32 : t -> int -> int32 -> unit
+
+val get_u64 : t -> int -> int64
+val set_u64 : t -> int -> int64 -> unit
+
+val zero : t -> unit
+(** Clear the page (Xen zeroes pages exchanged between domains to prevent
+    data leakage). *)
+
+val is_zeroed : t -> bool

@@ -1,0 +1,1 @@
+lib/netcore/arp.ml: Format Ip Mac

@@ -1,0 +1,1 @@
+lib/netcore/arp.mli: Format Ip Mac

@@ -1,0 +1,1 @@
+lib/netcore/codec.ml: Arp Buffer Bytes Char Checksum Format Int32 Int64 Ip Ipv4 Mac Packet Result Transport

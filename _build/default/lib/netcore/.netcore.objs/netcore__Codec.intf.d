@@ -1,0 +1,1 @@
+lib/netcore/codec.mli: Bytes Format Ipv4 Packet Transport

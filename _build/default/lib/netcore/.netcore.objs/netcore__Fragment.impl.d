@@ -1,0 +1,1 @@
+lib/netcore/fragment.ml: Bytes Codec Hashtbl Ip Ipv4 List Packet

@@ -1,0 +1,1 @@
+lib/netcore/fragment.mli: Codec Packet

@@ -1,0 +1,1 @@
+lib/netcore/ip.ml: Format Int32 Printf String

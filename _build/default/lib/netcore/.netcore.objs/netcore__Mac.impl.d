@@ -1,0 +1,1 @@
+lib/netcore/mac.ml: Format Int64 List Printf String

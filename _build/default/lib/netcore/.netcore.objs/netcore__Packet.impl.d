@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Arp Bytes Format Ipv4 Mac Transport

@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Arp Bytes Format Ip Ipv4 Mac Transport

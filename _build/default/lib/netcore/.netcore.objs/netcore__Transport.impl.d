@@ -1,0 +1,1 @@
+lib/netcore/transport.ml: Format Ipv4 String

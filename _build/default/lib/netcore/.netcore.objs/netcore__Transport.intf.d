@@ -1,0 +1,1 @@
+lib/netcore/transport.mli: Format Ipv4

@@ -1,0 +1,29 @@
+let fold16 v =
+  let v = (v land 0xFFFF) + (v lsr 16) in
+  (v land 0xFFFF) + (v lsr 16)
+
+let ones_complement_sum data ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Checksum: out of bounds";
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + (Char.code (Bytes.get data !i) lsl 8) + Char.code (Bytes.get data (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get data !i) lsl 8);
+  fold16 !sum
+
+let compute data ~off ~len = lnot (ones_complement_sum data ~off ~len) land 0xFFFF
+
+let verify data ~off ~len = ones_complement_sum data ~off ~len = 0xFFFF
+
+let incremental_update ~old_checksum ~old_word ~new_word =
+  (* RFC 1624: HC' = ~(~HC + ~m + m'). *)
+  let sum =
+    (lnot old_checksum land 0xFFFF)
+    + (lnot old_word land 0xFFFF)
+    + (new_word land 0xFFFF)
+  in
+  lnot (fold16 sum) land 0xFFFF

@@ -1,0 +1,322 @@
+type error =
+  | Truncated
+  | Bad_ethertype of int
+  | Bad_protocol of int
+  | Bad_checksum of string
+  | Malformed of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated frame"
+  | Bad_ethertype e -> Format.fprintf fmt "unknown ethertype 0x%04x" e
+  | Bad_protocol p -> Format.fprintf fmt "unknown IP protocol %d" p
+  | Bad_checksum layer -> Format.fprintf fmt "bad %s checksum" layer
+  | Malformed what -> Format.fprintf fmt "malformed %s" what
+
+(* --- Writers --- *)
+
+let w8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let w16 buf v =
+  w8 buf (v lsr 8);
+  w8 buf v
+
+let w32 buf (v : int32) =
+  w16 buf (Int32.to_int (Int32.shift_right_logical v 16));
+  w16 buf (Int32.to_int (Int32.logand v 0xFFFFl))
+
+let wmac buf mac =
+  let v = Mac.to_int64 mac in
+  for i = 5 downto 0 do
+    w8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let wip buf ip = w32 buf (Ip.to_int32 ip)
+
+(* --- Readers (cursor over bytes) --- *)
+
+exception Short
+
+type cursor = { data : Bytes.t; mutable pos : int }
+
+let r8 c =
+  if c.pos >= Bytes.length c.data then raise Short;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let r16 c =
+  let hi = r8 c in
+  (hi lsl 8) lor r8 c
+
+let r32 c =
+  let hi = r16 c in
+  Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int (r16 c))
+
+let rmac c =
+  let v = ref 0L in
+  for _ = 1 to 6 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (r8 c))
+  done;
+  Mac.of_int64 !v
+
+let rip c = Ip.of_int32 (r32 c)
+
+let rbytes c len =
+  if len < 0 || c.pos + len > Bytes.length c.data then raise Short;
+  let b = Bytes.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  b
+
+let remaining c = Bytes.length c.data - c.pos
+
+(* --- Transport --- *)
+
+let tcp_flag_bits (f : Transport.tcp_flags) =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor if f.ack then 0x10 else 0
+
+let tcp_flags_of_bits bits : Transport.tcp_flags =
+  {
+    fin = bits land 0x01 <> 0;
+    syn = bits land 0x02 <> 0;
+    rst = bits land 0x04 <> 0;
+    psh = bits land 0x08 <> 0;
+    ack = bits land 0x10 <> 0;
+  }
+
+(* Serialize transport header with a zero checksum field, then patch the
+   real checksum (computed over header + payload) into [cksum_off]. *)
+let serialize_transport transport ~payload =
+  let buf = Buffer.create 64 in
+  let cksum_off =
+    match transport with
+    | Transport.Icmp i ->
+        w8 buf (match i.echo_kind with `Request -> 8 | `Reply -> 0);
+        w8 buf 0;
+        w16 buf 0;
+        w16 buf i.icmp_ident;
+        w16 buf i.icmp_seq;
+        2
+    | Transport.Udp u ->
+        w16 buf u.udp_src_port;
+        w16 buf u.udp_dst_port;
+        w16 buf (8 + Bytes.length payload);
+        w16 buf 0;
+        6
+    | Transport.Tcp t ->
+        w16 buf t.tcp_src_port;
+        w16 buf t.tcp_dst_port;
+        w32 buf t.seq;
+        w32 buf t.ack_seq;
+        w16 buf (0x5000 lor tcp_flag_bits t.flags);
+        w16 buf t.window;
+        w16 buf 0;
+        w16 buf 0;
+        16
+  in
+  Buffer.add_bytes buf payload;
+  let blob = Buffer.to_bytes buf in
+  let cksum = Checksum.compute blob ~off:0 ~len:(Bytes.length blob) in
+  Bytes.set_uint8 blob cksum_off (cksum lsr 8);
+  Bytes.set_uint8 blob (cksum_off + 1) (cksum land 0xFF);
+  blob
+
+let parse_transport protocol blob =
+  let c = { data = blob; pos = 0 } in
+  try
+    if not (Checksum.verify blob ~off:0 ~len:(Bytes.length blob)) then
+      Error (Bad_checksum "transport")
+    else begin
+      let transport =
+        match protocol with
+        | Ipv4.Icmp ->
+            let ty = r8 c in
+            let _code = r8 c in
+            let _cksum = r16 c in
+            let icmp_ident = r16 c in
+            let icmp_seq = r16 c in
+            let echo_kind =
+              match ty with
+              | 8 -> `Request
+              | 0 -> `Reply
+              | _ -> raise Exit
+            in
+            Transport.Icmp { echo_kind; icmp_ident; icmp_seq }
+        | Ipv4.Udp ->
+            let udp_src_port = r16 c in
+            let udp_dst_port = r16 c in
+            let len = r16 c in
+            let _cksum = r16 c in
+            if len <> Bytes.length blob then raise Exit;
+            Transport.Udp { udp_src_port; udp_dst_port }
+        | Ipv4.Tcp ->
+            let tcp_src_port = r16 c in
+            let tcp_dst_port = r16 c in
+            let seq = r32 c in
+            let ack_seq = r32 c in
+            let off_flags = r16 c in
+            let window = r16 c in
+            let _cksum = r16 c in
+            let _urgent = r16 c in
+            Transport.Tcp
+              {
+                tcp_src_port;
+                tcp_dst_port;
+                seq;
+                ack_seq;
+                flags = tcp_flags_of_bits (off_flags land 0x3F);
+                window;
+              }
+      in
+      let payload = rbytes c (remaining c) in
+      Ok (transport, payload)
+    end
+  with
+  | Short -> Error Truncated
+  | Exit -> Error (Malformed "transport header")
+
+(* --- IPv4 --- *)
+
+let serialize_ipv4_header buf (h : Ipv4.header) ~content_length =
+  let header = Buffer.create Ipv4.header_length in
+  w8 header 0x45;
+  w8 header 0;
+  w16 header (Ipv4.header_length + content_length);
+  w16 header h.ident;
+  assert (h.frag_offset mod 8 = 0);
+  w16 header (((if h.more_fragments then 1 else 0) lsl 13) lor (h.frag_offset / 8));
+  w8 header h.ttl;
+  w8 header (Ipv4.protocol_number h.protocol);
+  w16 header 0;
+  wip header h.src;
+  wip header h.dst;
+  let raw = Buffer.to_bytes header in
+  let cksum = Checksum.compute raw ~off:0 ~len:Ipv4.header_length in
+  Bytes.set_uint8 raw 10 (cksum lsr 8);
+  Bytes.set_uint8 raw 11 (cksum land 0xFF);
+  Buffer.add_bytes buf raw
+
+let parse_ipv4 c =
+  let start = c.pos in
+  let vihl = r8 c in
+  if vihl <> 0x45 then Error (Malformed "IPv4 version/IHL")
+  else begin
+    let _tos = r8 c in
+    let total_length = r16 c in
+    let ident = r16 c in
+    let flags_frag = r16 c in
+    let ttl = r8 c in
+    let proto = r8 c in
+    let _cksum = r16 c in
+    let src = rip c in
+    let dst = rip c in
+    if not (Checksum.verify c.data ~off:start ~len:Ipv4.header_length) then
+      Error (Bad_checksum "IPv4")
+    else
+      match Ipv4.protocol_of_number proto with
+      | None -> Error (Bad_protocol proto)
+      | Some protocol ->
+          let content_len = total_length - Ipv4.header_length in
+          if content_len <> remaining c then Error Truncated
+          else begin
+            let header : Ipv4.header =
+              {
+                src;
+                dst;
+                protocol;
+                ident;
+                frag_offset = (flags_frag land 0x1FFF) * 8;
+                more_fragments = flags_frag land 0x2000 <> 0;
+                ttl;
+              }
+            in
+            let blob = rbytes c content_len in
+            if Ipv4.is_fragment header then
+              Ok (Packet.Ipv4_body { header; content = Packet.Fragment blob })
+            else
+              match parse_transport protocol blob with
+              | Error e -> Error e
+              | Ok (transport, payload) ->
+                  Ok
+                    (Packet.Ipv4_body
+                       { header; content = Packet.Full { transport; payload } })
+          end
+  end
+
+(* --- ARP --- *)
+
+let serialize_arp buf (a : Arp.t) =
+  w16 buf 1;
+  w16 buf 0x0800;
+  w8 buf 6;
+  w8 buf 4;
+  w16 buf (match a.op with Arp.Request -> 1 | Arp.Reply -> 2);
+  wmac buf a.sender_mac;
+  wip buf a.sender_ip;
+  wmac buf a.target_mac;
+  wip buf a.target_ip
+
+let parse_arp c =
+  let htype = r16 c in
+  let ptype = r16 c in
+  let hlen = r8 c in
+  let plen = r8 c in
+  if htype <> 1 || ptype <> 0x0800 || hlen <> 6 || plen <> 4 then
+    Error (Malformed "ARP header")
+  else begin
+    let opn = r16 c in
+    let sender_mac = rmac c in
+    let sender_ip = rip c in
+    let target_mac = rmac c in
+    let target_ip = rip c in
+    match opn with
+    | 1 | 2 ->
+        let op = if opn = 1 then Arp.Request else Arp.Reply in
+        Ok (Packet.Arp_body { Arp.op; sender_mac; sender_ip; target_mac; target_ip })
+    | _ -> Error (Malformed "ARP op")
+  end
+
+(* --- Frames --- *)
+
+let serialize (p : Packet.t) =
+  let buf = Buffer.create 128 in
+  wmac buf p.dst_mac;
+  wmac buf p.src_mac;
+  w16 buf (Packet.ethertype p.body);
+  (match p.body with
+  | Packet.Ipv4_body { header; content } -> (
+      match content with
+      | Packet.Full { transport; payload } ->
+          let blob = serialize_transport transport ~payload in
+          serialize_ipv4_header buf header ~content_length:(Bytes.length blob);
+          Buffer.add_bytes buf blob
+      | Packet.Fragment blob ->
+          serialize_ipv4_header buf header ~content_length:(Bytes.length blob);
+          Buffer.add_bytes buf blob)
+  | Packet.Arp_body a -> serialize_arp buf a
+  | Packet.Xenloop_body data ->
+      w16 buf (Bytes.length data);
+      Buffer.add_bytes buf data);
+  Buffer.to_bytes buf
+
+let parse data =
+  let c = { data; pos = 0 } in
+  try
+    let dst_mac = rmac c in
+    let src_mac = rmac c in
+    let ethertype = r16 c in
+    let body =
+      match ethertype with
+      | 0x0800 -> parse_ipv4 c
+      | 0x0806 -> parse_arp c
+      | 0x58D0 ->
+          let len = r16 c in
+          if len <> remaining c then Error Truncated
+          else Ok (Packet.Xenloop_body (rbytes c len))
+      | other -> Error (Bad_ethertype other)
+    in
+    Result.map (fun body -> { Packet.src_mac; dst_mac; body }) body
+  with Short -> Error Truncated

@@ -1,0 +1,29 @@
+(** Binary serialization of packets.
+
+    Shared-memory data paths (the XenLoop FIFO, the netfront/netback rings)
+    transport real bytes through real pages, so packets must round-trip
+    through an on-the-wire format.  The format follows the actual protocols
+    (Ethernet II, IPv4, ICMP echo, UDP, TCP) closely enough that headers
+    and checksums are genuine; transport checksums are computed without the
+    IPv4 pseudo-header. *)
+
+type error =
+  | Truncated
+  | Bad_ethertype of int
+  | Bad_protocol of int
+  | Bad_checksum of string  (** which layer failed *)
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val serialize : Packet.t -> Bytes.t
+val parse : Bytes.t -> (Packet.t, error) result
+
+(** {1 Transport blobs}
+
+    IP fragmentation slices the serialized transport-header+payload blob;
+    these are the helpers the fragmenter and reassembler use. *)
+
+val serialize_transport : Transport.t -> payload:Bytes.t -> Bytes.t
+val parse_transport :
+  Ipv4.protocol -> Bytes.t -> (Transport.t * Bytes.t, error) result

@@ -1,0 +1,1 @@
+lib/netstack/capture.ml: Format List Netcore Netdevice Sim

@@ -1,0 +1,1 @@
+lib/netstack/capture.mli: Format Netcore Netdevice Sim

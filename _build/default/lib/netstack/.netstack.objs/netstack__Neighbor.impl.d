@@ -1,0 +1,1 @@
+lib/netstack/neighbor.ml: Hashtbl List Netcore Option

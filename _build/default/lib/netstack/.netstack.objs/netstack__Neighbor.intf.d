@@ -1,0 +1,1 @@
+lib/netstack/neighbor.mli: Netcore

@@ -1,0 +1,1 @@
+lib/netstack/netdevice.ml: List Netcore

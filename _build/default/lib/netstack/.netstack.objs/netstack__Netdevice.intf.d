@@ -1,0 +1,1 @@
+lib/netstack/netdevice.mli: Netcore

@@ -1,0 +1,1 @@
+lib/netstack/netfilter.ml: List Netcore

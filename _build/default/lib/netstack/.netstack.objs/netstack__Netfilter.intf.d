@@ -1,0 +1,1 @@
+lib/netstack/netfilter.mli: Netcore

@@ -1,0 +1,1 @@
+lib/netstack/stack.ml: Bytes Hashtbl Hypervisor List Neighbor Netcore Netdevice Netfilter Sim

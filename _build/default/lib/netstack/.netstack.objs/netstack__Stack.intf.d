@@ -1,0 +1,1 @@
+lib/netstack/stack.mli: Bytes Hypervisor Neighbor Netcore Netdevice Netfilter Sim

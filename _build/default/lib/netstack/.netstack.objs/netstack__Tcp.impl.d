@@ -1,0 +1,1 @@
+lib/netstack/tcp.ml: Buffer Bytes Format Hashtbl Hypervisor Int32 List Netcore Queue Sim Stack

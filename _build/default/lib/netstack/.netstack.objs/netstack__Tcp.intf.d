@@ -1,0 +1,1 @@
+lib/netstack/tcp.mli: Bytes Format Netcore Stack

@@ -1,0 +1,1 @@
+lib/netstack/udp.ml: Bytes Hashtbl Hypervisor Netcore Sim Stack

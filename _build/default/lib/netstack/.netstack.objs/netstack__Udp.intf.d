@@ -1,0 +1,1 @@
+lib/netstack/udp.mli: Bytes Netcore Stack

@@ -1,0 +1,50 @@
+type direction = Netdevice.direction = Tx | Rx
+
+type record = {
+  at : Sim.Time.t;
+  dev : string;
+  dir : direction;
+  packet : Netcore.Packet.t;
+}
+
+type t = { mutable recording : bool; mutable rev_records : record list }
+
+let tap t ~engine ~dev_name direction packet =
+  if t.recording then
+    t.rev_records <-
+      { at = Sim.Engine.now engine; dev = dev_name; dir = direction; packet }
+      :: t.rev_records
+
+let attach_many ~engine devices =
+  let t = { recording = true; rev_records = [] } in
+  List.iter
+    (fun dev ->
+      let dev_name = Netdevice.name dev in
+      Netdevice.add_tap dev (fun direction packet ->
+          tap t ~engine ~dev_name direction packet))
+    devices;
+  t
+
+let attach ~engine dev = attach_many ~engine [ dev ]
+
+let stop t = t.recording <- false
+
+let records t = List.rev t.rev_records
+let count t = List.length t.rev_records
+let filter t pred = List.filter pred (records t)
+
+let transport_is proto (r : record) =
+  match Netcore.Packet.transport r.packet with
+  | Some tr -> Netcore.Transport.protocol tr = proto
+  | None -> false
+
+let tcp_only r = transport_is Netcore.Ipv4.Tcp r
+let udp_only r = transport_is Netcore.Ipv4.Udp r
+
+let pp_record fmt r =
+  Format.fprintf fmt "[%a] %-8s %s %a" Sim.Time.pp r.at r.dev
+    (match r.dir with Tx -> "Tx" | Rx -> "Rx")
+    Netcore.Packet.pp r.packet
+
+let pp fmt t =
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_record r) (records t)

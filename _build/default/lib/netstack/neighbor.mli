@@ -1,0 +1,24 @@
+(** Neighbour (ARP) cache.
+
+    XenLoop consults this system-maintained cache to resolve a packet's
+    next-hop MAC before deciding whether the destination is co-resident
+    (paper Sect. 3.1). *)
+
+type t
+
+val create : unit -> t
+
+val lookup : t -> Netcore.Ip.t -> Netcore.Mac.t option
+val insert : t -> Netcore.Ip.t -> Netcore.Mac.t -> unit
+val remove : t -> Netcore.Ip.t -> unit
+val entries : t -> (Netcore.Ip.t * Netcore.Mac.t) list
+
+(** {1 Pending resolutions} *)
+
+val add_waiter : t -> Netcore.Ip.t -> (Netcore.Mac.t -> unit) -> unit
+(** Queue a callback to fire when the address is resolved. *)
+
+val resolved : t -> Netcore.Ip.t -> Netcore.Mac.t -> unit
+(** Insert and fire all waiters. *)
+
+val waiting : t -> Netcore.Ip.t -> bool

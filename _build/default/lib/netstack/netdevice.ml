@@ -1,0 +1,70 @@
+type direction = Tx | Rx
+
+type t = {
+  dev_name : string;
+  dev_mtu : int;
+  dev_gso : int option;
+  dev_mac : Netcore.Mac.t;
+  mutable xmit : (Netcore.Packet.t -> unit) option;
+  mutable deliver : (Netcore.Packet.t -> unit) option;
+  mutable taps : (direction -> Netcore.Packet.t -> unit) list;
+  mutable tx_count : int;
+  mutable tx_byte_count : int;
+  mutable rx_count : int;
+  mutable rx_byte_count : int;
+  mutable drop_count : int;
+}
+
+let create ~name ~mtu ?gso_size ~mac () =
+  {
+    dev_name = name;
+    dev_mtu = mtu;
+    dev_gso = gso_size;
+    dev_mac = mac;
+    xmit = None;
+    deliver = None;
+    taps = [];
+    tx_count = 0;
+    tx_byte_count = 0;
+    rx_count = 0;
+    rx_byte_count = 0;
+    drop_count = 0;
+  }
+
+let name t = t.dev_name
+let mtu t = t.dev_mtu
+let gso_size t = t.dev_gso
+let mac t = t.dev_mac
+
+let set_transmit t f = t.xmit <- Some f
+
+let add_tap t f = t.taps <- t.taps @ [ f ]
+
+let run_taps t direction packet =
+  List.iter (fun f -> f direction packet) t.taps
+
+let transmit t packet =
+  match t.xmit with
+  | None -> t.drop_count <- t.drop_count + 1
+  | Some f ->
+      t.tx_count <- t.tx_count + 1;
+      t.tx_byte_count <- t.tx_byte_count + Netcore.Packet.wire_length packet;
+      run_taps t Tx packet;
+      f packet
+
+let set_receive_handler t f = t.deliver <- Some f
+
+let receive t packet =
+  match t.deliver with
+  | None -> t.drop_count <- t.drop_count + 1
+  | Some f ->
+      t.rx_count <- t.rx_count + 1;
+      t.rx_byte_count <- t.rx_byte_count + Netcore.Packet.wire_length packet;
+      run_taps t Rx packet;
+      f packet
+
+let tx_packets t = t.tx_count
+let tx_bytes t = t.tx_byte_count
+let rx_packets t = t.rx_count
+let rx_bytes t = t.rx_byte_count
+let drops t = t.drop_count

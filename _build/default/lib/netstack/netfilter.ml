@@ -1,0 +1,27 @@
+type verdict = Accept | Steal
+
+type hook_handle = int
+
+type t = {
+  mutable hooks : (hook_handle * (Netcore.Packet.t -> verdict)) list;
+  mutable next_handle : int;
+}
+
+let create () = { hooks = []; next_handle = 0 }
+
+let register t f =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  t.hooks <- t.hooks @ [ (h, f) ];
+  h
+
+let unregister t handle = t.hooks <- List.filter (fun (h, _) -> h <> handle) t.hooks
+
+let run t packet =
+  let rec go = function
+    | [] -> Accept
+    | (_, f) :: rest -> ( match f packet with Steal -> Steal | Accept -> go rest)
+  in
+  go t.hooks
+
+let hook_count t = List.length t.hooks

@@ -1,0 +1,22 @@
+(** Netfilter-style hook points.
+
+    XenLoop inserts itself as a POST_ROUTING hook: it inspects every
+    outgoing packet below the network layer and may {e steal} those bound
+    for a co-resident guest (paper Sect. 3.1). *)
+
+type verdict = Accept | Steal
+
+type t
+type hook_handle
+
+val create : unit -> t
+
+val register : t -> (Netcore.Packet.t -> verdict) -> hook_handle
+(** Hooks run in registration order. *)
+
+val unregister : t -> hook_handle -> unit
+
+val run : t -> Netcore.Packet.t -> verdict
+(** [Steal] as soon as any hook steals; [Accept] if all accept. *)
+
+val hook_count : t -> int

@@ -1,0 +1,113 @@
+(** The per-host IP stack.
+
+    One stack instance runs inside each guest (and Dom0, and each native
+    host).  It owns the host's devices, neighbour cache, POST_ROUTING
+    netfilter hooks, IP fragmentation/reassembly, and in-kernel ICMP echo.
+    UDP and TCP are separate layers ({!Udp}, {!Tcp}) that register
+    themselves as protocol handlers.
+
+    All protocol processing is charged to the host's vCPU resource, so the
+    stack contends with everything else the domain does. *)
+
+type t
+
+exception Unreachable of Netcore.Ip.t
+exception No_route of Netcore.Ip.t
+
+val create :
+  engine:Sim.Engine.t ->
+  params:Hypervisor.Params.t ->
+  cpu:Sim.Resource.t ->
+  ip:Netcore.Ip.t ->
+  mac:Netcore.Mac.t ->
+  unit ->
+  t
+
+val engine : t -> Sim.Engine.t
+val params : t -> Hypervisor.Params.t
+val cpu : t -> Sim.Resource.t
+val ip_addr : t -> Netcore.Ip.t
+val mac_addr : t -> Netcore.Mac.t
+
+val attach_device : t -> Netdevice.t -> unit
+(** Attach the host's Ethernet device ([eth0]); the stack installs its
+    receive handler on it.  The loopback device is built in. *)
+
+val device : t -> Netdevice.t option
+val loopback_device : t -> Netdevice.t
+
+val neighbor : t -> Neighbor.t
+val post_routing : t -> Netfilter.t
+
+(** {1 Output path} *)
+
+val resolve : t -> Netcore.Ip.t -> Netcore.Mac.t
+(** Next-hop MAC: neighbour cache, or blocking ARP (3 × 1 s retries).
+    @raise Unreachable when resolution fails. *)
+
+val ip_send :
+  t -> dst:Netcore.Ip.t -> transport:Netcore.Transport.t -> payload:Bytes.t -> unit
+(** Route, resolve, build, fragment to the egress MTU, run POST_ROUTING
+    hooks on each fragment, and transmit.  Charges protocol tx cost and the
+    user-to-kernel copy on the host CPU.  Process context.
+    @raise No_route when the destination is off-host and no device is
+    attached. *)
+
+val path_mtu : t -> Netcore.Ip.t -> int
+(** The MTU IP fragmentation applies for this destination (loopback MTU
+    for self-addressed traffic). *)
+
+val tcp_mss : t -> Netcore.Ip.t -> int
+(** Segment size for TCP towards this destination: on a TSO-capable egress
+    device TCP may emit GSO super-frames up to the device's gso size;
+    otherwise MTU - 40. *)
+
+(** {1 Input path} *)
+
+val inject_rx : t -> Netcore.Packet.t -> unit
+(** Deliver a frame into the stack as if it came from a device ([netif_rx]).
+    This is the entry point the XenLoop receiver uses.  Process context. *)
+
+val set_protocol_handler :
+  t -> Netcore.Ipv4.protocol -> (Netcore.Packet.t -> unit) -> unit
+(** Register the UDP or TCP input function.  Handlers receive reassembled
+    [Full] packets in process context.  ICMP is handled internally.
+    @raise Invalid_argument for [Icmp]. *)
+
+(** {1 XenLoop control frames} *)
+
+val set_ctrl_handler : t -> (Netcore.Packet.t -> unit) -> unit
+(** Handler for frames of the XenLoop layer-3 protocol type. *)
+
+val send_ctrl : t -> dst_mac:Netcore.Mac.t -> Bytes.t -> unit
+(** Transmit a XenLoop control frame directly through the Ethernet device,
+    below IP and the netfilter hooks. *)
+
+val gratuitous_arp : t -> unit
+(** Broadcast a gratuitous ARP announcing this host's IP-to-MAC binding.
+    Sent after live migration so that bridges and switches relearn the
+    guest's new location. *)
+
+(** {1 ICMP echo} *)
+
+val ping :
+  t ->
+  dst:Netcore.Ip.t ->
+  ?payload_len:int ->
+  ?timeout:Sim.Time.span ->
+  unit ->
+  Sim.Time.span option
+(** Send an echo request and wait for the reply; [None] on timeout
+    (default 1 s).  Blocking; process context. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable tx_datagrams : int;
+  mutable rx_datagrams : int;
+  mutable stolen_by_hook : int;
+  mutable dropped_not_mine : int;
+  mutable echo_requests_served : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,513 @@
+module T = Netcore.Transport
+module P = Netcore.Packet
+
+type error = Refused | Closed | Already_bound
+
+let pp_error fmt = function
+  | Refused -> Format.pp_print_string fmt "connection refused"
+  | Closed -> Format.pp_print_string fmt "connection closed"
+  | Already_bound -> Format.pp_print_string fmt "port already bound"
+
+exception Tcp_error of error
+
+let ephemeral_base = 32768
+let initial_rto = Sim.Time.ms 200
+let max_rto_backoff = 16
+
+(* 256 KiB receive buffer with a fixed window scale of 4 (RFC 1323 style:
+   the 16-bit wire field carries the window in 4-byte units).  Both sides
+   of this stack always apply the scale, as if the option were negotiated
+   on every connection. *)
+let default_recv_capacity = 262_140
+let window_scale = 4
+
+(* --- Serial arithmetic on 32-bit sequence numbers --- *)
+
+let seq_add (s : int32) (n : int) = Int32.add s (Int32.of_int n)
+let seq_diff (a : int32) (b : int32) = Int32.to_int (Int32.sub a b)
+let seq_lt (a : int32) (b : int32) = Int32.sub a b < 0l
+
+(* --- Types --- *)
+
+type conn_key = { local_port : int; peer_ip : Netcore.Ip.t; peer_port : int }
+
+type conn_state = Syn_sent | Syn_received | Established | Conn_closed
+
+type conn = {
+  tcp : t;
+  key : conn_key;
+  conn_mss : int;
+  mutable state : conn_state;
+  (* Send side *)
+  mutable snd_nxt : int32;
+  mutable snd_una : int32;
+  mutable peer_window : int;
+  window_avail : Sim.Condition.t;
+  (* Receive side *)
+  mutable rcv_nxt : int32;
+  recv_chunks : Bytes.t Queue.t;
+  mutable head_offset : int;
+  mutable recv_buffered : int;
+  recv_capacity : int;
+  mutable fin_received : bool;
+  mutable fin_sent : bool;
+  mutable unacked_segments : int;
+      (** received data segments not yet acknowledged (delayed ACK) *)
+  mutable ooo_segments : (int32 * Bytes.t) list;
+      (** out-of-order data held for reassembly, sorted by sequence *)
+  (* Retransmission: the substrate is normally lossless, but frames die
+     during vif detach / migration blackout, so sequence-consuming segments
+     are kept until acknowledged and retransmitted on timeout. *)
+  retx_queue : (int32 * Bytes.t * Netcore.Transport.tcp_flags) Queue.t;
+  mutable rto_armed : bool;
+  mutable rto_backoff : int;
+  data_arrived : Sim.Condition.t;
+  state_changed : Sim.Condition.t;
+  mutable sent_bytes : int;
+  mutable received_bytes : int;
+  mutable window_announced : int;  (** last advertised window *)
+}
+
+and listener = { l_port : int; accept_q : conn Sim.Mailbox.t; l_tcp : t }
+
+and t = {
+  stack : Stack.t;
+  conns : (conn_key, conn) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_ephemeral : int;
+  mutable isn : int32;
+}
+
+let mss c = c.conn_mss
+let peer c = (c.key.peer_ip, c.key.peer_port)
+let local_port c = c.key.local_port
+let bytes_sent c = c.sent_bytes
+let bytes_received c = c.received_bytes
+
+let params c = Stack.params c.tcp.stack
+let cpu c = Stack.cpu c.tcp.stack
+let conn_engine c = Stack.engine c.tcp.stack
+
+let current_window c = c.recv_capacity - c.recv_buffered
+
+(* --- Segment transmission --- *)
+
+let seq_consumed payload (flags : T.tcp_flags) =
+  Bytes.length payload + (if flags.T.syn then 1 else 0) + if flags.T.fin then 1 else 0
+
+let prune_retx c =
+  let pruned = ref false in
+  let continue_pruning = ref true in
+  while !continue_pruning && not (Queue.is_empty c.retx_queue) do
+    let seq, payload, flags = Queue.peek c.retx_queue in
+    let seg_end = seq_add seq (seq_consumed payload flags) in
+    if seq_diff c.snd_una seg_end >= 0 then begin
+      ignore (Queue.pop c.retx_queue);
+      pruned := true
+    end
+    else continue_pruning := false
+  done;
+  if !pruned then c.rto_backoff <- 1
+
+let rec arm_rto c =
+  if not c.rto_armed then begin
+    c.rto_armed <- true;
+    let delay = Sim.Time.span_scale c.rto_backoff initial_rto in
+    Sim.Engine.after (conn_engine c) delay (fun () ->
+        c.rto_armed <- false;
+        if c.state <> Conn_closed then begin
+          prune_retx c;
+          match Queue.peek_opt c.retx_queue with
+          | None -> ()
+          | Some (seq, payload, flags) ->
+              (* Timeout: resend the oldest unacknowledged segment. *)
+              if c.rto_backoff < max_rto_backoff then
+                c.rto_backoff <- c.rto_backoff * 2;
+              (try send_segment c ~seq ~flags ~payload with
+              | Stack.Unreachable _ | Stack.No_route _ -> ());
+              arm_rto c
+        end)
+  end
+
+and send_segment c ~seq ~flags ~payload =
+  let header =
+    {
+      T.tcp_src_port = c.key.local_port;
+      tcp_dst_port = c.key.peer_port;
+      seq;
+      ack_seq = c.rcv_nxt;
+      flags;
+      window = current_window c / window_scale;
+    }
+  in
+  c.window_announced <- header.T.window * window_scale;
+  Stack.ip_send c.tcp.stack ~dst:c.key.peer_ip ~transport:(T.Tcp header) ~payload
+
+(* Transmit a sequence-consuming segment and keep it for retransmission. *)
+let send_tracked c ~seq ~flags ~payload =
+  Queue.push (seq, payload, flags) c.retx_queue;
+  arm_rto c;
+  send_segment c ~seq ~flags ~payload
+
+let send_pure_ack c =
+  c.unacked_segments <- 0;
+  Sim.Resource.use (cpu c) (params c).Hypervisor.Params.tcp_ack;
+  send_segment c ~seq:c.snd_nxt
+    ~flags:{ T.no_flags with T.ack = true }
+    ~payload:Bytes.empty
+
+(* Delayed ACK (no timer needed: the substrate is lossless, and senders
+   set PSH on the tail of every write, which forces an immediate ACK). *)
+let ack_received_data c ~pushed =
+  c.unacked_segments <- c.unacked_segments + 1;
+  if pushed || c.unacked_segments >= 2 then send_pure_ack c
+
+let send_rst t ~dst ~dst_port ~src_port ~seq =
+  let header =
+    {
+      T.tcp_src_port = src_port;
+      tcp_dst_port = dst_port;
+      seq;
+      ack_seq = 0l;
+      flags = { T.no_flags with T.rst = true; ack = true };
+      window = 0;
+    }
+  in
+  Stack.ip_send t.stack ~dst ~transport:(T.Tcp header) ~payload:Bytes.empty
+
+(* --- Receive-side buffering --- *)
+
+let append_data c payload =
+  Queue.push payload c.recv_chunks;
+  c.recv_buffered <- c.recv_buffered + Bytes.length payload;
+  c.received_bytes <- c.received_bytes + Bytes.length payload
+
+let take_data c max =
+  let buf = Buffer.create (min max c.recv_buffered) in
+  let rec fill () =
+    if Buffer.length buf < max && not (Queue.is_empty c.recv_chunks) then begin
+      let head = Queue.peek c.recv_chunks in
+      let available = Bytes.length head - c.head_offset in
+      let want = max - Buffer.length buf in
+      if available <= want then begin
+        Buffer.add_subbytes buf head c.head_offset available;
+        ignore (Queue.pop c.recv_chunks);
+        c.head_offset <- 0;
+        fill ()
+      end
+      else begin
+        Buffer.add_subbytes buf head c.head_offset want;
+        c.head_offset <- c.head_offset + want
+      end
+    end
+  in
+  fill ();
+  let taken = Buffer.length buf in
+  c.recv_buffered <- c.recv_buffered - taken;
+  Buffer.to_bytes buf
+
+(* --- Connection cleanup --- *)
+
+let maybe_reap c =
+  if c.fin_sent && c.fin_received then begin
+    Hashtbl.remove c.tcp.conns c.key;
+    if c.state <> Conn_closed then c.state <- Conn_closed
+  end
+
+let abort c =
+  c.state <- Conn_closed;
+  Hashtbl.remove c.tcp.conns c.key;
+  Sim.Condition.broadcast c.window_avail;
+  Sim.Condition.broadcast c.data_arrived;
+  Sim.Condition.broadcast c.state_changed
+
+(* --- Segment input --- *)
+
+let handle_ack c (h : T.tcp) =
+  if h.T.flags.T.ack then begin
+    if seq_lt c.snd_una h.T.ack_seq then c.snd_una <- h.T.ack_seq;
+    c.peer_window <- h.T.window * window_scale;
+    prune_retx c;
+    Sim.Condition.broadcast c.window_avail
+  end
+
+let handle_segment_for_conn c (h : T.tcp) payload =
+  let p = params c in
+  Sim.Resource.use (cpu c)
+    (if Bytes.length payload = 0 then p.Hypervisor.Params.tcp_ack
+     else
+       Sim.Time.span_add p.Hypervisor.Params.tcp_rx
+         (Hypervisor.Params.copy_cost p (Bytes.length payload)));
+  if h.T.flags.T.rst then abort c
+  else begin
+    match c.state with
+    | Syn_sent ->
+        if h.T.flags.T.syn && h.T.flags.T.ack then begin
+          c.rcv_nxt <- seq_add h.T.seq 1;
+          handle_ack c h;
+          c.state <- Established;
+          send_pure_ack c;
+          Sim.Condition.broadcast c.state_changed
+        end
+    | Syn_received ->
+        handle_ack c h;
+        if h.T.flags.T.ack && seq_diff c.snd_una c.snd_nxt >= 0 then begin
+          c.state <- Established;
+          Sim.Condition.broadcast c.state_changed;
+          (* Deliver to the accept queue now that the handshake is done. *)
+          match Hashtbl.find_opt c.tcp.listeners c.key.local_port with
+          | Some listener -> Sim.Mailbox.send listener.accept_q c
+          | None -> ()
+        end
+    | Established | Conn_closed ->
+        handle_ack c h;
+        let seg_len = Bytes.length payload in
+        if seg_len > 0 then begin
+          if Int32.equal h.T.seq c.rcv_nxt then begin
+            append_data c payload;
+            c.rcv_nxt <- seq_add c.rcv_nxt seg_len;
+            (* Drain any out-of-order segments that are now contiguous. *)
+            let rec drain () =
+              match c.ooo_segments with
+              | (seq, data) :: rest when Int32.equal seq c.rcv_nxt ->
+                  c.ooo_segments <- rest;
+                  append_data c data;
+                  c.rcv_nxt <- seq_add c.rcv_nxt (Bytes.length data);
+                  drain ()
+              | (seq, _) :: rest when seq_lt seq c.rcv_nxt ->
+                  (* Stale duplicate overtaken by the contiguous stream. *)
+                  c.ooo_segments <- rest;
+                  drain ()
+              | _ -> ()
+            in
+            drain ();
+            Sim.Condition.broadcast c.data_arrived;
+            ack_received_data c ~pushed:h.T.flags.T.psh
+          end
+          else if seq_lt h.T.seq c.rcv_nxt then
+            (* Duplicate: re-ACK so the peer can make progress. *)
+            send_pure_ack c
+          else begin
+            (* Future data: hold for reassembly and re-ACK the gap. *)
+            if not (List.exists (fun (s, _) -> Int32.equal s h.T.seq) c.ooo_segments)
+            then
+              c.ooo_segments <-
+                List.sort
+                  (fun (a, _) (b, _) -> if seq_lt a b then -1 else 1)
+                  ((h.T.seq, payload) :: c.ooo_segments);
+            send_pure_ack c
+          end
+        end;
+        if h.T.flags.T.fin && Int32.equal h.T.seq c.rcv_nxt && not c.fin_received
+        then begin
+          c.fin_received <- true;
+          c.rcv_nxt <- seq_add c.rcv_nxt 1;
+          Sim.Condition.broadcast c.data_arrived;
+          send_pure_ack c;
+          maybe_reap c
+        end
+  end
+
+let fresh_isn t =
+  t.isn <- Int32.add t.isn 64021l;
+  t.isn
+
+let make_conn t ~key ~mss ~state ~isn =
+  {
+    tcp = t;
+    key;
+    conn_mss = mss;
+    state;
+    snd_nxt = isn;
+    snd_una = isn;
+    peer_window = default_recv_capacity;
+    window_avail = Sim.Condition.create ();
+    rcv_nxt = 0l;
+    recv_chunks = Queue.create ();
+    head_offset = 0;
+    recv_buffered = 0;
+    recv_capacity = default_recv_capacity;
+    fin_received = false;
+    fin_sent = false;
+    unacked_segments = 0;
+    ooo_segments = [];
+    retx_queue = Queue.create ();
+    rto_armed = false;
+    rto_backoff = 1;
+    data_arrived = Sim.Condition.create ();
+    state_changed = Sim.Condition.create ();
+    sent_bytes = 0;
+    received_bytes = 0;
+    window_announced = default_recv_capacity;
+  }
+
+let handle_syn t (header : Netcore.Ipv4.header) (h : T.tcp) =
+  match Hashtbl.find_opt t.listeners h.T.tcp_dst_port with
+  | None ->
+      send_rst t ~dst:header.Netcore.Ipv4.src ~dst_port:h.T.tcp_src_port
+        ~src_port:h.T.tcp_dst_port ~seq:0l
+  | Some _listener ->
+      let key =
+        {
+          local_port = h.T.tcp_dst_port;
+          peer_ip = header.Netcore.Ipv4.src;
+          peer_port = h.T.tcp_src_port;
+        }
+      in
+      let mss = Stack.tcp_mss t.stack header.Netcore.Ipv4.src in
+      let isn = fresh_isn t in
+      let c = make_conn t ~key ~mss ~state:Syn_received ~isn in
+      c.rcv_nxt <- seq_add h.T.seq 1;
+      c.peer_window <- h.T.window * window_scale;
+      Hashtbl.replace t.conns key c;
+      (* SYN-ACK consumes one sequence number. *)
+      send_tracked c ~seq:c.snd_nxt
+        ~flags:{ T.no_flags with T.syn = true; ack = true }
+        ~payload:Bytes.empty;
+      c.snd_nxt <- seq_add c.snd_nxt 1
+
+let handle_packet t (packet : P.t) =
+  match packet.P.body with
+  | P.Ipv4_body { header; content = P.Full { transport = T.Tcp h; payload } } -> (
+      let key =
+        {
+          local_port = h.T.tcp_dst_port;
+          peer_ip = header.Netcore.Ipv4.src;
+          peer_port = h.T.tcp_src_port;
+        }
+      in
+      match Hashtbl.find_opt t.conns key with
+      | Some conn -> handle_segment_for_conn conn h payload
+      | None ->
+          if h.T.flags.T.syn && not h.T.flags.T.ack then handle_syn t header h
+          else if not h.T.flags.T.rst then
+            send_rst t ~dst:header.Netcore.Ipv4.src ~dst_port:h.T.tcp_src_port
+              ~src_port:h.T.tcp_dst_port ~seq:h.T.ack_seq)
+  | _ -> ()
+
+let attach stack =
+  let t =
+    {
+      stack;
+      conns = Hashtbl.create 16;
+      listeners = Hashtbl.create 4;
+      next_ephemeral = ephemeral_base;
+      isn = 1013904223l;
+    }
+  in
+  Stack.set_protocol_handler stack Netcore.Ipv4.Tcp (handle_packet t);
+  t
+
+(* --- Blocking API --- *)
+
+let listen t ~port =
+  if Hashtbl.mem t.listeners port then Error Already_bound
+  else begin
+    let listener = { l_port = port; accept_q = Sim.Mailbox.create (); l_tcp = t } in
+    Hashtbl.replace t.listeners port listener;
+    Ok listener
+  end
+
+let accept listener =
+  let t = listener.l_tcp in
+  Sim.Resource.use (Stack.cpu t.stack) (Stack.params t.stack).Hypervisor.Params.syscall;
+  Sim.Mailbox.recv listener.accept_q
+
+let accept_opt listener = Sim.Mailbox.recv_opt listener.accept_q
+
+let alloc_ephemeral t =
+  (* Ports are plentiful in the simulation: scan forward from the cursor. *)
+  let rec scan port =
+    let in_use =
+      Hashtbl.fold (fun k _ acc -> acc || k.local_port = port) t.conns false
+    in
+    if in_use then scan (port + 1) else port
+  in
+  let port = scan t.next_ephemeral in
+  t.next_ephemeral <- port + 1;
+  port
+
+let connect t ~dst ~dst_port =
+  let stack = t.stack in
+  Sim.Resource.use (Stack.cpu stack) (Stack.params stack).Hypervisor.Params.syscall;
+  let key = { local_port = alloc_ephemeral t; peer_ip = dst; peer_port = dst_port } in
+  let mss = Stack.tcp_mss stack dst in
+  let isn = fresh_isn t in
+  let c = make_conn t ~key ~mss ~state:Syn_sent ~isn in
+  Hashtbl.replace t.conns key c;
+  send_tracked c ~seq:c.snd_nxt
+    ~flags:{ T.no_flags with T.syn = true }
+    ~payload:Bytes.empty;
+  c.snd_nxt <- seq_add c.snd_nxt 1;
+  while c.state = Syn_sent do
+    Sim.Condition.await c.state_changed
+  done;
+  if c.state = Established then Ok c else Error Refused
+
+let send c data =
+  let p = params c in
+  Sim.Resource.use (cpu c) p.Hypervisor.Params.syscall;
+  let total = Bytes.length data in
+  let off = ref 0 in
+  while !off < total do
+    if c.state <> Established then raise (Tcp_error Closed);
+    let in_flight = seq_diff c.snd_nxt c.snd_una in
+    let window_room = c.peer_window - in_flight in
+    if window_room <= 0 then Sim.Condition.await c.window_avail
+    else begin
+      let len = min (min c.conn_mss (total - !off)) window_room in
+      let last = !off + len >= total in
+      let payload = Bytes.sub data !off len in
+      send_tracked c ~seq:c.snd_nxt
+        ~flags:{ T.no_flags with T.ack = true; psh = last }
+        ~payload;
+      c.snd_nxt <- seq_add c.snd_nxt len;
+      c.sent_bytes <- c.sent_bytes + len;
+      off := !off + len
+    end
+  done
+
+let recv c ~max =
+  let p = params c in
+  Sim.Resource.use (cpu c) p.Hypervisor.Params.syscall;
+  let blocked = ref false in
+  while c.recv_buffered = 0 && not c.fin_received && c.state <> Conn_closed do
+    blocked := true;
+    Sim.Condition.await c.data_arrived
+  done;
+  if !blocked then Sim.Resource.use (cpu c) p.Hypervisor.Params.app_wakeup;
+  if c.recv_buffered = 0 then Bytes.empty
+  else begin
+    let window_before = current_window c in
+    let data = take_data c max in
+    (* Window-update ACK if the drain reopened a nearly-closed window. *)
+    if window_before < c.conn_mss && current_window c >= c.conn_mss then
+      send_pure_ack c;
+    data
+  end
+
+let recv_exact c n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    let chunk = recv c ~max:(n - Buffer.length buf) in
+    if Bytes.length chunk = 0 then raise (Tcp_error Closed);
+    Buffer.add_bytes buf chunk
+  done;
+  Buffer.to_bytes buf
+
+let close c =
+  if not c.fin_sent && c.state <> Conn_closed then begin
+    c.fin_sent <- true;
+    (* Wait for all data to be acknowledged before FIN, so the FIN carries
+       the right sequence number and the peer sees an ordered stream end. *)
+    while c.state = Established && seq_diff c.snd_nxt c.snd_una > 0 do
+      Sim.Condition.await c.window_avail
+    done;
+    if c.state <> Conn_closed then begin
+      send_tracked c ~seq:c.snd_nxt
+        ~flags:{ T.no_flags with T.fin = true; ack = true }
+        ~payload:Bytes.empty;
+      c.snd_nxt <- seq_add c.snd_nxt 1;
+      maybe_reap c
+    end
+  end

@@ -1,0 +1,61 @@
+(** A reliable, windowed, in-order stream transport.
+
+    Faithful to TCP where it matters for the reproduced experiments:
+    three-way handshake, MSS segmentation against the path MTU, sliding
+    window flow control with a 16-bit advertised window, cumulative ACKs,
+    window-update ACKs on receive-buffer drain, FIN/RST teardown.
+    Simplified where the substrate guarantees make machinery moot: all
+    simulated channels are lossless and ordered, so there is no
+    retransmission, reordering queue, or congestion control (the paper's
+    testbed is a single switched LAN).  Sequence numbers use serial
+    (wrap-around) arithmetic and are exercised across the wrap in tests. *)
+
+type t
+(** The per-host TCP layer. *)
+
+type listener
+type conn
+
+type error = Refused | Closed | Already_bound
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Tcp_error of error
+
+val attach : Stack.t -> t
+
+val listen : t -> port:int -> (listener, error) result
+val accept : listener -> conn
+(** Blocking. *)
+
+val accept_opt : listener -> conn option
+
+val connect : t -> dst:Netcore.Ip.t -> dst_port:int -> (conn, error) result
+(** Blocking three-way handshake. *)
+
+val send : conn -> Bytes.t -> unit
+(** Blocking stream send: segments at the connection MSS and respects the
+    peer's advertised window.
+    @raise Tcp_error if the connection is closed under us. *)
+
+val recv : conn -> max:int -> Bytes.t
+(** Blocking; returns 1..max bytes, or the empty string at end-of-stream. *)
+
+val recv_exact : conn -> int -> Bytes.t
+(** Loop {!recv} until exactly [n] bytes arrive.
+    @raise Tcp_error [Closed] if the stream ends first. *)
+
+val close : conn -> unit
+(** Send FIN.  Receiving is still possible until the peer closes. *)
+
+val mss : conn -> int
+val peer : conn -> Netcore.Ip.t * int
+val local_port : conn -> int
+val bytes_sent : conn -> int
+val bytes_received : conn -> int
+
+(** {1 Serial sequence-number arithmetic} (exposed for property tests) *)
+
+val seq_add : int32 -> int -> int32
+val seq_diff : int32 -> int32 -> int
+val seq_lt : int32 -> int32 -> bool

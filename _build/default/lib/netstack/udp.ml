@@ -1,0 +1,156 @@
+module T = Netcore.Transport
+module P = Netcore.Packet
+
+let max_datagram = 65507
+let receive_buffer_bytes = 212_992
+let ephemeral_base = 32768
+let ephemeral_limit = 61000
+
+type socket = {
+  layer : t;
+  sock_port : int;
+  inbox : (Netcore.Ip.t * int * Bytes.t) Sim.Mailbox.t;
+  mutable buffered : int;
+  mutable dropped : int;
+  mutable closed : bool;
+}
+
+and t = {
+  stack : Stack.t;
+  ports : (int, socket) Hashtbl.t;
+  mutable next_ephemeral : int;
+  mutable tx_shortcut :
+    (dst:Netcore.Ip.t -> dst_port:int -> src_port:int -> Bytes.t -> bool) option;
+}
+
+type bind_error = Port_in_use | No_ports_left
+
+let handle_packet t (packet : P.t) =
+  match packet.P.body with
+  | P.Ipv4_body { header; content = P.Full { transport = T.Udp udp; payload } } -> (
+      match Hashtbl.find_opt t.ports udp.T.udp_dst_port with
+      | None -> ()
+      | Some sock ->
+          let params = Stack.params t.stack in
+          Sim.Resource.use (Stack.cpu t.stack)
+            (Sim.Time.span_add params.Hypervisor.Params.udp_rx
+               (Hypervisor.Params.copy_cost params (Bytes.length payload)));
+          if sock.buffered + Bytes.length payload > receive_buffer_bytes then
+            sock.dropped <- sock.dropped + 1
+          else begin
+            sock.buffered <- sock.buffered + Bytes.length payload;
+            Sim.Mailbox.send sock.inbox
+              (header.Netcore.Ipv4.src, udp.T.udp_src_port, payload)
+          end)
+  | _ -> ()
+
+let attach stack =
+  let t =
+    {
+      stack;
+      ports = Hashtbl.create 16;
+      next_ephemeral = ephemeral_base;
+      tx_shortcut = None;
+    }
+  in
+  Stack.set_protocol_handler stack Netcore.Ipv4.Udp (handle_packet t);
+  t
+
+let set_tx_shortcut t f = t.tx_shortcut <- Some f
+let clear_tx_shortcut t = t.tx_shortcut <- None
+
+let alloc_ephemeral t =
+  let start = t.next_ephemeral in
+  let rec scan port =
+    if not (Hashtbl.mem t.ports port) then begin
+      t.next_ephemeral <-
+        (if port + 1 > ephemeral_limit then ephemeral_base else port + 1);
+      Some port
+    end
+    else begin
+      let next = if port + 1 > ephemeral_limit then ephemeral_base else port + 1 in
+      if next = start then None else scan next
+    end
+  in
+  scan start
+
+let bind t ?port () =
+  let chosen =
+    match port with
+    | Some p -> if Hashtbl.mem t.ports p then Error Port_in_use else Ok p
+    | None -> ( match alloc_ephemeral t with Some p -> Ok p | None -> Error No_ports_left)
+  in
+  match chosen with
+  | Error e -> Error e
+  | Ok p ->
+      let sock =
+        {
+          layer = t;
+          sock_port = p;
+          inbox = Sim.Mailbox.create ();
+          buffered = 0;
+          dropped = 0;
+          closed = false;
+        }
+      in
+      Hashtbl.replace t.ports p sock;
+      Ok sock
+
+let port sock = sock.sock_port
+
+let sendto sock ~dst ~dst_port payload =
+  if sock.closed then invalid_arg "Udp.sendto: socket closed";
+  if Bytes.length payload > max_datagram then
+    invalid_arg "Udp.sendto: datagram too large";
+  let stack = sock.layer.stack in
+  Sim.Resource.use (Stack.cpu stack) (Stack.params stack).Hypervisor.Params.syscall;
+  let taken_by_shortcut =
+    match sock.layer.tx_shortcut with
+    | Some shortcut when not (Netcore.Ip.equal dst (Stack.ip_addr stack)) ->
+        shortcut ~dst ~dst_port ~src_port:sock.sock_port payload
+    | Some _ | None -> false
+  in
+  if not taken_by_shortcut then begin
+    let transport =
+      T.Udp { T.udp_src_port = sock.sock_port; udp_dst_port = dst_port }
+    in
+    Stack.ip_send stack ~dst ~transport ~payload
+  end
+
+let recvfrom sock =
+  let stack = sock.layer.stack in
+  let params = Stack.params stack in
+  Sim.Resource.use (Stack.cpu stack) params.Hypervisor.Params.syscall;
+  let blocked = Sim.Mailbox.is_empty sock.inbox in
+  let ((_, _, payload) as msg) = Sim.Mailbox.recv sock.inbox in
+  if blocked then
+    Sim.Resource.use (Stack.cpu stack) params.Hypervisor.Params.app_wakeup;
+  sock.buffered <- sock.buffered - Bytes.length payload;
+  msg
+
+let recv_opt sock =
+  match Sim.Mailbox.recv_opt sock.inbox with
+  | None -> None
+  | Some ((_, _, payload) as msg) ->
+      sock.buffered <- sock.buffered - Bytes.length payload;
+      Some msg
+
+let deliver_local t ~src ~src_port ~dst_port payload =
+  match Hashtbl.find_opt t.ports dst_port with
+  | None -> ()
+  | Some sock ->
+      let params = Stack.params t.stack in
+      Sim.Resource.use (Stack.cpu t.stack)
+        (Hypervisor.Params.copy_cost params (Bytes.length payload));
+      if sock.buffered + Bytes.length payload > receive_buffer_bytes then
+        sock.dropped <- sock.dropped + 1
+      else begin
+        sock.buffered <- sock.buffered + Bytes.length payload;
+        Sim.Mailbox.send sock.inbox (src, src_port, payload)
+      end
+
+let close sock =
+  sock.closed <- true;
+  Hashtbl.remove sock.layer.ports sock.sock_port
+
+let drops sock = sock.dropped

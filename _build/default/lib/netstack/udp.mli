@@ -1,0 +1,59 @@
+(** UDP sockets. *)
+
+type t
+(** The per-host UDP layer. *)
+
+type socket
+
+type bind_error = Port_in_use | No_ports_left
+
+val attach : Stack.t -> t
+(** Create the UDP layer and register it as the stack's UDP protocol
+    handler. *)
+
+val bind : t -> ?port:int -> unit -> (socket, bind_error) result
+(** Bind to a port (an ephemeral one if omitted). *)
+
+val port : socket -> int
+
+val max_datagram : int
+(** 65507 bytes, as for real UDP over IPv4. *)
+
+val sendto : socket -> dst:Netcore.Ip.t -> dst_port:int -> Bytes.t -> unit
+(** Blocking (process context); charges syscall plus stack costs.
+    @raise Invalid_argument beyond {!max_datagram}.
+    @raise Stack.Unreachable / {!Stack.No_route} as from the IP layer. *)
+
+val recvfrom : socket -> Netcore.Ip.t * int * Bytes.t
+(** Blocking receive. *)
+
+val recv_opt : socket -> (Netcore.Ip.t * int * Bytes.t) option
+
+val close : socket -> unit
+
+val drops : socket -> int
+(** Datagrams dropped because the socket receive buffer was full. *)
+
+val receive_buffer_bytes : int
+
+(** {1 Transport-level shortcut hooks}
+
+    Support for interception {e between the socket and transport layers}
+    (the XenLoop paper's future-work direction): a shortcut provider can
+    consume outgoing datagrams before any UDP/IP processing happens, and
+    inject incoming payloads directly into a destination socket. *)
+
+val set_tx_shortcut :
+  t ->
+  (dst:Netcore.Ip.t -> dst_port:int -> src_port:int -> Bytes.t -> bool) ->
+  unit
+(** Consulted by {!sendto} before the normal transport path (never for
+    self-addressed traffic).  Returning [true] consumes the datagram. *)
+
+val clear_tx_shortcut : t -> unit
+
+val deliver_local :
+  t -> src:Netcore.Ip.t -> src_port:int -> dst_port:int -> Bytes.t -> unit
+(** Deliver a payload straight into the socket bound to [dst_port], as the
+    shortcut's receive side.  Charges only the copy into the socket buffer
+    (no transport processing — that is the point). *)

@@ -1,0 +1,1 @@
+lib/physnet/nic.ml: Hypervisor Netcore Netstack Sim Switch

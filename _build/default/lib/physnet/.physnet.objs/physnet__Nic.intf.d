@@ -1,0 +1,1 @@
+lib/physnet/nic.mli: Hypervisor Netcore Netstack Sim Switch

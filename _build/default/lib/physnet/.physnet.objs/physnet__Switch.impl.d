@@ -1,0 +1,1 @@
+lib/physnet/switch.ml: Hashtbl Hypervisor List Netcore Sim

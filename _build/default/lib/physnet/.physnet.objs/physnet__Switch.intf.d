@@ -1,0 +1,1 @@
+lib/physnet/switch.mli: Hypervisor Netcore Sim

@@ -1,0 +1,1 @@
+lib/related/bytestream.ml: Array Bytes Int32 Memory

@@ -1,0 +1,1 @@
+lib/related/bytestream.mli: Bytes Memory

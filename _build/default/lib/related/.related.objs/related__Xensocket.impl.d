@@ -1,0 +1,1 @@
+lib/related/xensocket.ml: Array Bytes Bytestream Evtchn Format Hypervisor Int32 Lazy List Memory Sim

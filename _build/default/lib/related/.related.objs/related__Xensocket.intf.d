@@ -1,0 +1,1 @@
+lib/related/xensocket.mli: Bytes Hypervisor

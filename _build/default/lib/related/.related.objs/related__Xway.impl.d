@@ -1,0 +1,1 @@
+lib/related/xway.ml: Hashtbl Hypervisor Netcore Netstack Sim Xensocket

@@ -1,0 +1,1 @@
+lib/related/xway.mli: Bytes Hypervisor Netcore Netstack

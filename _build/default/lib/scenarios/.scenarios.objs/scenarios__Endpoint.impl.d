@@ -1,0 +1,1 @@
+lib/scenarios/endpoint.ml: Netstack Sim

@@ -1,0 +1,1 @@
+lib/scenarios/endpoint.mli: Hypervisor Netcore Netstack Sim

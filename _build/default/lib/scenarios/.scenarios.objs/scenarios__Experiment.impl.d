@@ -1,0 +1,1 @@
+lib/scenarios/experiment.ml: Setup Sim

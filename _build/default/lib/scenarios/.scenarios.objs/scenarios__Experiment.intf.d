@@ -1,0 +1,1 @@
+lib/scenarios/experiment.mli: Setup Sim

@@ -1,0 +1,1 @@
+lib/scenarios/migration_world.ml: Endpoint Hypervisor List Netcore Netstack Physnet Printf Setup Sim Xenloop Xennet

@@ -1,0 +1,1 @@
+lib/scenarios/migration_world.mli: Endpoint Hypervisor Physnet Sim Xenloop Xennet

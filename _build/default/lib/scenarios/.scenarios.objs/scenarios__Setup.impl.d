@@ -1,0 +1,1 @@
+lib/scenarios/setup.ml: Endpoint Hypervisor List Netcore Netstack Physnet Printf Sim Xenloop Xennet

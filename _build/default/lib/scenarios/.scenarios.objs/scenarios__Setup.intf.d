@@ -1,0 +1,1 @@
+lib/scenarios/setup.mli: Endpoint Hypervisor Netcore Netstack Sim Xenloop Xennet

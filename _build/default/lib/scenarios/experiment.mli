@@ -1,0 +1,12 @@
+(** Running measurement functions inside a scenario's engine. *)
+
+val execute : ?limit:Sim.Time.span -> Setup.duo -> (unit -> 'a) -> 'a
+(** [execute duo f] runs [warmup] and then [f] as a simulation process and
+    drives the engine until [f] returns (bounded by [limit], default 600
+    simulated seconds — periodic timers like discovery keep the event queue
+    non-empty forever, so an unbounded run would not terminate).
+    @raise Failure if [f] has not completed within the limit. *)
+
+val run_process :
+  ?limit:Sim.Time.span -> Sim.Engine.t -> (unit -> 'a) -> 'a
+(** Same, on a bare engine without a scenario warmup. *)

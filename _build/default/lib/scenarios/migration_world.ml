@@ -1,0 +1,122 @@
+module Params = Hypervisor.Params
+module Machine = Hypervisor.Machine
+module Domain = Hypervisor.Domain
+
+type machine_env = {
+  machine : Machine.t;
+  bridge : Xennet.Bridge.t;
+  dom0_ep : Endpoint.t;
+  discovery : Xenloop.Discovery.t;
+}
+
+type guest_env = {
+  domain : Domain.t;
+  ep : Endpoint.t;
+  xl_module : Xenloop.Guest_module.t;
+  location : machine_env ref;
+  vif : Xennet.Vif.t ref;
+  destination : machine_env option ref;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  switch : Physnet.Switch.t;
+  m1 : machine_env;
+  m2 : machine_env;
+  guest1 : guest_env;
+  guest2 : guest_env;
+}
+
+let make_machine ~engine ~params ~switch ~id =
+  let machine = Machine.create ~engine ~params ~id () in
+  let dom0 = Machine.dom0 machine in
+  let bridge =
+    Xennet.Bridge.create ~engine ~params ~cpu:(Domain.cpu dom0)
+      ~name:(Printf.sprintf "xenbr%d" id)
+  in
+  let dom0_ep =
+    Endpoint.make ~engine ~params ~cpu:(Domain.cpu dom0)
+      ~name:(Printf.sprintf "m%d.dom0" id)
+      ~ip:(Domain.ip dom0) ~mac:(Domain.mac dom0)
+  in
+  Setup.attach_stack_to_bridge ~params ~bridge ~stack:dom0_ep.Endpoint.stack
+    ~name:"dom0-vif";
+  (* Uplink: bridge port <-> physical NIC. *)
+  let nic =
+    Physnet.Nic.create ~engine ~params ~cpu:(Domain.cpu dom0) ~switch
+      ~mac:(Netcore.Mac.of_domid ~machine:id ~domid:999)
+      ~name:(Printf.sprintf "m%d.uplink" id)
+  in
+  let uplink_port = ref None in
+  let port =
+    Xennet.Bridge.attach bridge ~name:"uplink" ~deliver:(fun batch ->
+        List.iter (Physnet.Nic.send nic) batch)
+  in
+  uplink_port := Some port;
+  Physnet.Nic.set_receiver nic (fun packet ->
+      match !uplink_port with
+      | Some p -> Xennet.Bridge.inject bridge ~from:p [ packet ]
+      | None -> ());
+  let discovery =
+    Xenloop.Discovery.start ~machine ~dom0_stack:dom0_ep.Endpoint.stack ()
+  in
+  { machine; bridge; dom0_ep; discovery }
+
+let make_guest ~engine ~params ~env ~name ~ip =
+  let domain = Machine.create_domain env.machine ~name ~ip in
+  let ep =
+    Endpoint.make ~engine ~params ~cpu:(Domain.cpu domain) ~name ~ip
+      ~mac:(Domain.mac domain)
+  in
+  let vif =
+    ref
+      (Xennet.Vif.create ~machine:env.machine ~guest:domain ~bridge:env.bridge
+         ~stack:ep.Endpoint.stack ())
+  in
+  let location = ref env in
+  let destination = ref None in
+  (* Hook-registration order matters: the vif plumbing hooks go in before
+     the XenLoop module is created, so pre-migrate runs module-then-vif and
+     post-restore runs vif-then-module (see {!Hypervisor.Domain}). *)
+  Domain.on_pre_migrate domain (fun () -> Xennet.Vif.detach !vif);
+  Domain.on_post_restore domain (fun () ->
+      (match !destination with
+      | Some dst ->
+          location := dst;
+          destination := None
+      | None -> ());
+      vif :=
+        Xennet.Vif.create ~machine:!location.machine ~guest:domain
+          ~bridge:!location.bridge ~stack:ep.Endpoint.stack ();
+      (* Gratuitous ARP: teach every bridge and the switch the new
+         location before any unicast (announcements included) is sent. *)
+      Netstack.Stack.gratuitous_arp ep.Endpoint.stack);
+  let xl_module =
+    Xenloop.Guest_module.create ~domain ~stack:ep.Endpoint.stack
+      ~current_machine:(fun () -> !location.machine)
+      ()
+  in
+  { domain; ep; xl_module; location; vif; destination }
+
+let create ?(params = Params.default) () =
+  let engine = Sim.Engine.create () in
+  let switch = Physnet.Switch.create ~engine ~params in
+  let m1 = make_machine ~engine ~params ~switch ~id:1 in
+  let m2 = make_machine ~engine ~params ~switch ~id:2 in
+  let guest1 =
+    make_guest ~engine ~params ~env:m1 ~name:"guest1"
+      ~ip:(Netcore.Ip.make ~subnet:5 ~host:1)
+  in
+  let guest2 =
+    make_guest ~engine ~params ~env:m2 ~name:"guest2"
+      ~ip:(Netcore.Ip.make ~subnet:5 ~host:2)
+  in
+  { engine; params; switch; m1; m2; guest1; guest2 }
+
+let migrate t g ~dst =
+  ignore t;
+  g.destination := Some dst;
+  Hypervisor.Migration.migrate ~src:!(g.location).machine ~dst:dst.machine g.domain
+
+let co_resident a b = !(a.location) == !(b.location)

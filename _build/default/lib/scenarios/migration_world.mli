@@ -1,0 +1,45 @@
+(** Two Xen machines on one switch, with migratable XenLoop guests — the
+    world behind the paper's Sect. 4.5 / Fig. 11 experiment and the
+    migration tests.
+
+    Each machine runs a Dom0 with a software bridge, an uplink NIC to the
+    switch, and a XenLoop discovery module.  Guests carry their stack,
+    their XenLoop module, and vif plumbing that re-attaches automatically
+    on migration (via domain lifecycle hooks, in the order the paper
+    describes: XenLoop winds down first, then the vif detaches; on restore
+    the vif reattaches first, then XenLoop re-advertises and resends saved
+    packets). *)
+
+type machine_env = {
+  machine : Hypervisor.Machine.t;
+  bridge : Xennet.Bridge.t;
+  dom0_ep : Endpoint.t;
+  discovery : Xenloop.Discovery.t;
+}
+
+type guest_env = {
+  domain : Hypervisor.Domain.t;
+  ep : Endpoint.t;
+  xl_module : Xenloop.Guest_module.t;
+  location : machine_env ref;
+  vif : Xennet.Vif.t ref;
+  destination : machine_env option ref;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Hypervisor.Params.t;
+  switch : Physnet.Switch.t;
+  m1 : machine_env;
+  m2 : machine_env;
+  guest1 : guest_env;  (** starts on [m1] *)
+  guest2 : guest_env;  (** starts on [m2] *)
+}
+
+val create : ?params:Hypervisor.Params.t -> unit -> t
+
+val migrate : t -> guest_env -> dst:machine_env -> unit
+(** Live-migrate a guest (process context): runs the full callback
+    choreography and leaves the guest attached to [dst]'s bridge. *)
+
+val co_resident : guest_env -> guest_env -> bool

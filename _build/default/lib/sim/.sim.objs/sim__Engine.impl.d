@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Heap Printf Rng Stdlib Time

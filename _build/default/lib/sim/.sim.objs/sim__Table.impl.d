@@ -1,0 +1,1 @@
+lib/sim/table.ml: Float Format List Printf Stdlib String

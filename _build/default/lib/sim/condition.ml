@@ -1,0 +1,19 @@
+type t = { queue : (unit -> unit) Queue.t }
+
+let create () = { queue = Queue.create () }
+
+let await t = Engine.suspend ~register:(fun resume -> Queue.push resume t.queue)
+
+let signal t =
+  match Queue.take_opt t.queue with
+  | None -> ()
+  | Some resume -> resume ()
+
+let broadcast t =
+  (* Drain into a list first: a woken process scheduled at the current
+     instant must not be confused with processes that re-await later. *)
+  let resumers = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  List.iter (fun resume -> resume ()) resumers
+
+let waiters t = Queue.length t.queue

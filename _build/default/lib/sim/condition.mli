@@ -1,0 +1,24 @@
+(** Condition variables for simulation processes.
+
+    Unlike OS condition variables there is no associated mutex: the
+    simulation is single-threaded and cooperative, so state checked
+    immediately before {!await} cannot change until the process suspends. *)
+
+type t
+
+val create : unit -> t
+
+val await : t -> unit
+(** Park the calling process until another party calls {!signal} or
+    {!broadcast}.  Must run in process context.
+
+    The usual idiom guards against spurious logic errors by re-checking the
+    predicate: [while not (ready ()) do Condition.await c done]. *)
+
+val signal : t -> unit
+(** Wake the longest-waiting process, if any. *)
+
+val broadcast : t -> unit
+(** Wake every waiting process. *)
+
+val waiters : t -> int

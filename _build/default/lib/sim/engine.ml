@@ -1,0 +1,123 @@
+type event = { time : Time.t; seq : int; run : unit -> unit }
+
+let compare_event a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Stdlib.compare a.seq b.seq
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  mutable next_seq : int;
+  engine_rng : Rng.t;
+}
+
+type _ Effect.t +=
+  | Sleep : Time.span -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let create ?(seed = 42) () =
+  {
+    clock = Time.zero;
+    queue = Heap.create ~cmp:compare_event;
+    next_seq = 0;
+    engine_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+let rng t = t.engine_rng
+
+let enqueue t time run =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time; seq; run }
+
+(* Resumptions must fire exactly once: double-resume would duplicate the
+   continuation and corrupt the simulation, so we guard each one. *)
+let once name f =
+  let fired = ref false in
+  fun () ->
+    if !fired then invalid_arg (Printf.sprintf "Engine: %s resumed twice" name);
+    fired := true;
+    f ()
+
+let run_process t f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep span ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let span =
+                    if Time.span_is_positive span then span else Time.span_zero
+                  in
+                  enqueue t (Time.add t.clock span) (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resume =
+                    once "suspended process" (fun () ->
+                        enqueue t t.clock (fun () -> continue k ()))
+                  in
+                  register resume)
+          | _ -> None);
+    }
+
+let spawn t ?name f =
+  ignore name;
+  enqueue t t.clock (fun () -> run_process t f)
+
+let at t time f =
+  if Time.(time < t.clock) then invalid_arg "Engine.at: instant in the past";
+  enqueue t time (fun () -> run_process t f)
+
+let after t span f =
+  let span = if Time.span_is_positive span then span else Time.span_zero in
+  enqueue t (Time.add t.clock span) (fun () -> run_process t f)
+
+type timer = { mutable cancelled : bool }
+
+let every t ?start period f =
+  let timer = { cancelled = false } in
+  let first = match start with Some s -> s | None -> period in
+  let first = if Time.span_is_positive first then first else Time.span_zero in
+  let rec fire () =
+    if not timer.cancelled then begin
+      run_process t f;
+      enqueue t (Time.add t.clock period) fire
+    end
+  in
+  enqueue t (Time.add t.clock first) fire;
+  timer
+
+let cancel timer = timer.cancelled <- true
+
+let sleep span = Effect.perform (Sleep span)
+let suspend ~register = Effect.perform (Suspend register)
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      ev.run ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let finished = ref false in
+      while not !finished do
+        match Heap.peek t.queue with
+        | Some ev when Time.(ev.time <= limit) -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- limit;
+            finished := true
+      done
+
+let pending_events t = Heap.length t.queue

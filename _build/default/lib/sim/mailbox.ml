@@ -1,0 +1,17 @@
+type 'a t = { items : 'a Queue.t; nonempty : Condition.t }
+
+let create () = { items = Queue.create (); nonempty = Condition.create () }
+
+let send t x =
+  Queue.push x t.items;
+  Condition.signal t.nonempty
+
+let recv t =
+  while Queue.is_empty t.items do
+    Condition.await t.nonempty
+  done;
+  Queue.pop t.items
+
+let recv_opt t = Queue.take_opt t.items
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

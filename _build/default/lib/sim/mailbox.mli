@@ -1,0 +1,18 @@
+(** Unbounded typed FIFO between simulation processes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Never blocks. *)
+
+val recv : 'a t -> 'a
+(** Blocks the calling process until an item is available (process context
+    only). *)
+
+val recv_opt : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

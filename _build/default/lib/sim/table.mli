@@ -1,0 +1,16 @@
+(** Plain-text table rendering for benchmark reports. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders with a title line, a header, a rule, and aligned columns. *)
+
+val cell_f : float -> string
+(** Formats a float with 4 significant digits, dropping a trailing ".0". *)
+
+val cell_i : int -> string

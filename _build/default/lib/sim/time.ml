@@ -1,0 +1,55 @@
+type t = int64
+type span = int64
+
+let zero = 0L
+
+let ( <= ) (a : t) b = Int64.compare a b <= 0
+let ( < ) (a : t) b = Int64.compare a b < 0
+let ( >= ) (a : t) b = Int64.compare a b >= 0
+let ( > ) (a : t) b = Int64.compare a b > 0
+
+let compare = Int64.compare
+let equal = Int64.equal
+
+let add = Int64.add
+let diff = Int64.sub
+
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+
+let ns_int64 n = n
+
+let of_sec_f s = Int64.of_float (Float.round (s *. 1e9))
+let of_us_f u = Int64.of_float (Float.round (u *. 1e3))
+let of_ns_f n = Int64.of_float (Float.round n)
+
+let span_zero = 0L
+let span_add = Int64.add
+let span_sub = Int64.sub
+let span_scale k s = Int64.mul (Int64.of_int k) s
+let span_compare = Int64.compare
+let span_max a b = if Stdlib.( >= ) (Int64.compare a b) 0 then a else b
+let span_is_positive s = Stdlib.( > ) (Int64.compare s 0L) 0
+
+let to_ns s = s
+let to_us_f s = Int64.to_float s /. 1e3
+let to_ms_f s = Int64.to_float s /. 1e6
+let to_sec_f s = Int64.to_float s /. 1e9
+
+let instant_to_sec_f (t : t) = Int64.to_float t /. 1e9
+let instant_to_ns (t : t) = t
+let instant_of_ns n = n
+
+let pp_adaptive fmt (v : int64) =
+  let f = Int64.to_float v in
+  let af = Float.abs f in
+  let lt = Stdlib.( < ) in
+  if lt af 1e3 then Format.fprintf fmt "%Ldns" v
+  else if lt af 1e6 then Format.fprintf fmt "%.2fus" (f /. 1e3)
+  else if lt af 1e9 then Format.fprintf fmt "%.2fms" (f /. 1e6)
+  else Format.fprintf fmt "%.3fs" (f /. 1e9)
+
+let pp = pp_adaptive
+let pp_span = pp_adaptive

@@ -1,0 +1,63 @@
+(** Simulated time.
+
+    Absolute instants and spans are both counted in integer nanoseconds so
+    that the simulation is exactly deterministic: no floating-point drift can
+    reorder events between runs. *)
+
+type t
+(** An absolute instant, in nanoseconds since the start of the simulation. *)
+
+type span
+(** A duration in nanoseconds.  Spans may be negative (e.g. as the result of
+    [diff]), but the engine rejects scheduling into the past. *)
+
+val zero : t
+
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> span -> t
+val diff : t -> t -> span
+(** [diff a b] is [a - b]. *)
+
+(** {1 Span constructors} *)
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val sec : int -> span
+
+val ns_int64 : int64 -> span
+
+val of_sec_f : float -> span
+(** [of_sec_f s] rounds [s] seconds to the nearest nanosecond. *)
+
+val of_us_f : float -> span
+val of_ns_f : float -> span
+
+val span_zero : span
+val span_add : span -> span -> span
+val span_sub : span -> span -> span
+val span_scale : int -> span -> span
+val span_compare : span -> span -> int
+val span_max : span -> span -> span
+val span_is_positive : span -> bool
+
+val to_ns : span -> int64
+val to_us_f : span -> float
+val to_ms_f : span -> float
+val to_sec_f : span -> float
+
+val instant_to_sec_f : t -> float
+val instant_to_ns : t -> int64
+val instant_of_ns : int64 -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints an instant with an adaptive unit, e.g. ["12.5us"], ["3.2s"]. *)
+
+val pp_span : Format.formatter -> span -> unit

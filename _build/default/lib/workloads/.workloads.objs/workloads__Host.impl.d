@@ -1,0 +1,1 @@
+lib/workloads/host.ml: Netstack Sim

@@ -1,0 +1,1 @@
+lib/workloads/host.mli: Netstack Sim

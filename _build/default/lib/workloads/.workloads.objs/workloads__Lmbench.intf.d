@@ -1,0 +1,1 @@
+lib/workloads/lmbench.mli: Host Netcore

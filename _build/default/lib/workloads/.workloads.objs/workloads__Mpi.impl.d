@@ -1,0 +1,1 @@
+lib/workloads/mpi.ml: Bytes Format Host Int32 Netstack Sim

@@ -1,0 +1,1 @@
+lib/workloads/mpi.mli: Bytes Host Netcore Netstack

@@ -1,0 +1,1 @@
+lib/workloads/netperf.ml: Bytes Format Host Netcore Netstack Sim

@@ -1,0 +1,1 @@
+lib/workloads/netpipe.ml: Bytes Host List Mpi Netstack Sim

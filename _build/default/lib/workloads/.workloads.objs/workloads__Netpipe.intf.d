@@ -1,0 +1,1 @@
+lib/workloads/netpipe.mli: Host Netcore

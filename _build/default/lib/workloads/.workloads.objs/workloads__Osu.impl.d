@@ -1,0 +1,1 @@
+lib/workloads/osu.ml: Bytes Host List Mpi Netstack Sim

@@ -1,0 +1,1 @@
+lib/workloads/osu.mli: Host Netcore

@@ -1,0 +1,1 @@
+lib/workloads/pingflood.ml: Host Netstack Sim

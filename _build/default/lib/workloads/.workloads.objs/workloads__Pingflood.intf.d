@@ -1,0 +1,1 @@
+lib/workloads/pingflood.mli: Host Netcore

@@ -1,0 +1,8 @@
+type t = {
+  stack : Netstack.Stack.t;
+  udp : Netstack.Udp.t;
+  tcp : Netstack.Tcp.t;
+}
+
+let engine t = Netstack.Stack.engine t.stack
+let now_s t = Sim.Time.instant_to_sec_f (Sim.Engine.now (engine t))

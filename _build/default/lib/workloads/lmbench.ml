@@ -1,0 +1,12 @@
+let bw_tcp ~client ~server ~dst ?(total_bytes = 8 * 1024 * 1024) () =
+  let result =
+    Netperf.tcp_stream ~client ~server ~dst ~message_size:65536 ~total_bytes ()
+  in
+  result.Netperf.mbps
+
+let lat_tcp ~client ~server ~dst ?(round_trips = 2000) () =
+  let result =
+    Netperf.tcp_rr ~client ~server ~dst ~transactions:round_trips ~request_size:1
+      ~response_size:1 ()
+  in
+  result.Netperf.avg_latency_us

@@ -1,0 +1,20 @@
+(** lmbench-style TCP tests: [bw_tcp] (64 KiB messages, bulk bandwidth) and
+    [lat_tcp] (1-byte round trips), the lmbench rows of Tables 1–3. *)
+
+val bw_tcp :
+  client:Host.t ->
+  server:Host.t ->
+  dst:Netcore.Ip.t ->
+  ?total_bytes:int ->
+  unit ->
+  float
+(** Mbps. *)
+
+val lat_tcp :
+  client:Host.t ->
+  server:Host.t ->
+  dst:Netcore.Ip.t ->
+  ?round_trips:int ->
+  unit ->
+  float
+(** Average round-trip time in microseconds. *)

@@ -1,0 +1,53 @@
+module Tcp = Netstack.Tcp
+
+type conn = Tcp.conn
+
+let of_tcp conn = conn
+
+let port_counter = ref 7001
+
+let fresh_port () =
+  let p = !port_counter in
+  incr port_counter;
+  p
+
+let establish ~client ~server ~dst ?port () =
+  let port = match port with Some p -> p | None -> fresh_port () in
+  let listener =
+    match Tcp.listen server.Host.tcp ~port with
+    | Ok l -> l
+    | Error e -> failwith (Format.asprintf "Mpi.establish: listen: %a" Tcp.pp_error e)
+  in
+  let server_conn = ref None in
+  Sim.Engine.spawn (Host.engine server) (fun () ->
+      server_conn := Some (Tcp.accept listener));
+  let client_conn =
+    match Tcp.connect client.Host.tcp ~dst ~dst_port:port with
+    | Ok c -> c
+    | Error e -> failwith (Format.asprintf "Mpi.establish: connect: %a" Tcp.pp_error e)
+  in
+  (* The final handshake ACK is in flight; give the acceptor a moment. *)
+  let retries = ref 100 in
+  while !server_conn = None && !retries > 0 do
+    decr retries;
+    Sim.Engine.sleep (Sim.Time.us 100)
+  done;
+  match !server_conn with
+  | Some sc -> (client_conn, sc)
+  | None -> failwith "Mpi.establish: accept never completed"
+
+let send conn payload =
+  let len = Bytes.length payload in
+  let framed = Bytes.create (4 + len) in
+  Bytes.set_int32_be framed 0 (Int32.of_int len);
+  Bytes.blit payload 0 framed 4 len;
+  Tcp.send conn framed
+
+let recv conn =
+  let header = Tcp.recv_exact conn 4 in
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len = 0 then Bytes.empty else Tcp.recv_exact conn len
+
+let send_empty conn = send conn Bytes.empty
+
+let close = Tcp.close

@@ -1,0 +1,212 @@
+module Tcp = Netstack.Tcp
+module Udp = Netstack.Udp
+
+type rr_result = {
+  transactions : int;
+  transactions_per_sec : float;
+  avg_latency_us : float;
+  rr_client_cpu : float;
+  rr_server_cpu : float;
+}
+
+type stream_result = {
+  mbps : float;
+  bytes_received : int;
+  messages_sent : int;
+  datagrams_dropped : int;
+  st_client_cpu : float;
+  st_server_cpu : float;
+}
+
+(* netperf-style CPU utilization: vCPU busy time over the wall-clock
+   measurement window, in percent. *)
+let cpu_meter host =
+  let cpu = Netstack.Stack.cpu host.Host.stack in
+  let before = Sim.Resource.busy_time cpu in
+  fun ~wall_s ->
+    if wall_s <= 0.0 then 0.0
+    else
+      let busy =
+        Sim.Time.to_sec_f (Sim.Time.span_sub (Sim.Resource.busy_time cpu) before)
+      in
+      busy /. wall_s *. 100.0
+
+(* Fresh ports per invocation so sweeps can reuse one scenario. *)
+let port_counter = ref 5001
+
+let fresh_port () =
+  let p = !port_counter in
+  incr port_counter;
+  p
+
+let listen_exn tcp ~port =
+  match Tcp.listen tcp ~port with
+  | Ok l -> l
+  | Error e -> failwith (Format.asprintf "netperf: listen: %a" Tcp.pp_error e)
+
+let connect_exn tcp ~dst ~dst_port =
+  match Tcp.connect tcp ~dst ~dst_port with
+  | Ok c -> c
+  | Error e -> failwith (Format.asprintf "netperf: connect: %a" Tcp.pp_error e)
+
+let bind_exn udp ?port () =
+  match Udp.bind udp ?port () with
+  | Ok s -> s
+  | Error _ -> failwith "netperf: udp bind failed"
+
+let elapsed_s engine t0 =
+  Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now engine) t0)
+
+(* ------------------------------------------------------------------ *)
+
+let tcp_rr ~client ~server ~dst ?port ?(transactions = 2000) ?(request_size = 1)
+    ?(response_size = 1) () =
+  let port = match port with Some p -> p | None -> fresh_port () in
+  let listener = listen_exn server.Host.tcp ~port in
+  Sim.Engine.spawn (Host.engine server) (fun () ->
+      let conn = Tcp.accept listener in
+      let response = Bytes.make response_size 'r' in
+      try
+        while true do
+          let (_ : Bytes.t) = Tcp.recv_exact conn request_size in
+          Tcp.send conn response
+        done
+      with Tcp.Tcp_error _ -> ());
+  let conn = connect_exn client.Host.tcp ~dst ~dst_port:port in
+  let engine = Host.engine client in
+  let request = Bytes.make request_size 'q' in
+  let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
+  let t0 = Sim.Engine.now engine in
+  for _ = 1 to transactions do
+    Tcp.send conn request;
+    let (_ : Bytes.t) = Tcp.recv_exact conn response_size in
+    ()
+  done;
+  let dt = elapsed_s engine t0 in
+  Tcp.close conn;
+  {
+    transactions;
+    transactions_per_sec = float_of_int transactions /. dt;
+    avg_latency_us = dt *. 1e6 /. float_of_int transactions;
+    rr_client_cpu = client_cpu ~wall_s:dt;
+    rr_server_cpu = server_cpu ~wall_s:dt;
+  }
+
+let udp_rr ~client ~server ~dst ?port ?(transactions = 2000) ?(request_size = 1)
+    ?(response_size = 1) () =
+  let port = match port with Some p -> p | None -> fresh_port () in
+  let server_sock = bind_exn server.Host.udp ~port () in
+  Sim.Engine.spawn (Host.engine server) (fun () ->
+      let response = Bytes.make response_size 'r' in
+      while true do
+        let src, src_port, _ = Udp.recvfrom server_sock in
+        Udp.sendto server_sock ~dst:src ~dst_port:src_port response
+      done);
+  let client_sock = bind_exn client.Host.udp () in
+  let engine = Host.engine client in
+  let request = Bytes.make request_size 'q' in
+  let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
+  let t0 = Sim.Engine.now engine in
+  for _ = 1 to transactions do
+    Udp.sendto client_sock ~dst ~dst_port:port request;
+    let (_ : Netcore.Ip.t * int * Bytes.t) = Udp.recvfrom client_sock in
+    ()
+  done;
+  let dt = elapsed_s engine t0 in
+  {
+    transactions;
+    transactions_per_sec = float_of_int transactions /. dt;
+    avg_latency_us = dt *. 1e6 /. float_of_int transactions;
+    rr_client_cpu = client_cpu ~wall_s:dt;
+    rr_server_cpu = server_cpu ~wall_s:dt;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let tcp_stream ~client ~server ~dst ?port ?(message_size = 16384)
+    ?(total_bytes = 8 * 1024 * 1024) () =
+  let port = match port with Some p -> p | None -> fresh_port () in
+  let listener = listen_exn server.Host.tcp ~port in
+  let engine = Host.engine client in
+  let received = ref 0 in
+  let finished_at = ref Sim.Time.zero in
+  let done_cond = Sim.Condition.create () in
+  Sim.Engine.spawn (Host.engine server) (fun () ->
+      let conn = Tcp.accept listener in
+      (try
+         while !received < total_bytes do
+           let chunk = Tcp.recv conn ~max:65536 in
+           if Bytes.length chunk = 0 then raise Exit;
+           received := !received + Bytes.length chunk
+         done
+       with Exit | Tcp.Tcp_error _ -> ());
+      finished_at := Sim.Engine.now (Host.engine server);
+      Sim.Condition.broadcast done_cond);
+  let conn = connect_exn client.Host.tcp ~dst ~dst_port:port in
+  let message = Bytes.make message_size 's' in
+  let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
+  let t0 = Sim.Engine.now engine in
+  let messages = (total_bytes + message_size - 1) / message_size in
+  for _ = 1 to messages do
+    Tcp.send conn message
+  done;
+  while !received < total_bytes do
+    Sim.Condition.await done_cond
+  done;
+  let dt = Sim.Time.to_sec_f (Sim.Time.diff !finished_at t0) in
+  Tcp.close conn;
+  {
+    mbps = float_of_int !received *. 8.0 /. dt /. 1e6;
+    bytes_received = !received;
+    messages_sent = messages;
+    datagrams_dropped = 0;
+    st_client_cpu = client_cpu ~wall_s:dt;
+    st_server_cpu = server_cpu ~wall_s:dt;
+  }
+
+let udp_stream ~client ~server ~dst ?port ?(message_size = 61440)
+    ?(total_bytes = 8 * 1024 * 1024) () =
+  let port = match port with Some p -> p | None -> fresh_port () in
+  let server_sock = bind_exn server.Host.udp ~port () in
+  let engine = Host.engine client in
+  let received_bytes = ref 0 in
+  let first_rx = ref None in
+  let last_rx = ref Sim.Time.zero in
+  Sim.Engine.spawn (Host.engine server) (fun () ->
+      while true do
+        let _, _, payload = Udp.recvfrom server_sock in
+        let now = Sim.Engine.now (Host.engine server) in
+        if !first_rx = None then first_rx := Some now;
+        last_rx := now;
+        received_bytes := !received_bytes + Bytes.length payload
+      done);
+  let client_sock = bind_exn client.Host.udp () in
+  let message = Bytes.make message_size 'u' in
+  let messages = (total_bytes + message_size - 1) / message_size in
+  let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
+  let t0 = Sim.Engine.now engine in
+  for _ = 1 to messages do
+    Udp.sendto client_sock ~dst ~dst_port:port message
+  done;
+  (* Wait until the receiver has gone quiet. *)
+  let stable = ref false in
+  while not !stable do
+    let snapshot = !received_bytes in
+    Sim.Engine.sleep (Sim.Time.ms 20);
+    if !received_bytes = snapshot then stable := true
+  done;
+  (* netperf-style receive throughput: bytes delivered to the application
+     over the whole transfer interval. *)
+  ignore !first_rx;
+  let dt =
+    let span = Sim.Time.to_sec_f (Sim.Time.diff !last_rx t0) in
+    if span <= 0.0 then 1e-9 else span
+  in
+  {
+    mbps = float_of_int !received_bytes *. 8.0 /. dt /. 1e6;
+    bytes_received = !received_bytes;
+    messages_sent = messages;
+    datagrams_dropped = Udp.drops server_sock;
+    st_client_cpu = client_cpu ~wall_s:dt;
+    st_server_cpu = server_cpu ~wall_s:dt;
+  }

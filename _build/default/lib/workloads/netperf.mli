@@ -1,0 +1,68 @@
+(** netperf-style benchmarks: TCP_RR, UDP_RR (1-byte request–response
+    transactions) and TCP_STREAM / UDP_STREAM (unidirectional bulk
+    throughput). *)
+
+type rr_result = {
+  transactions : int;
+  transactions_per_sec : float;
+  avg_latency_us : float;
+  rr_client_cpu : float;  (** client vCPU utilization, percent *)
+  rr_server_cpu : float;
+}
+
+type stream_result = {
+  mbps : float;
+  bytes_received : int;
+  messages_sent : int;
+  datagrams_dropped : int;  (** socket-buffer drops at the receiver (UDP) *)
+  st_client_cpu : float;  (** client vCPU utilization, percent *)
+  st_server_cpu : float;
+}
+
+val tcp_rr :
+  client:Host.t ->
+  server:Host.t ->
+  dst:Netcore.Ip.t ->
+  ?port:int ->
+  ?transactions:int ->
+  ?request_size:int ->
+  ?response_size:int ->
+  unit ->
+  rr_result
+(** Default 2000 transactions of 1 byte each way.  Blocking; process
+    context. *)
+
+val udp_rr :
+  client:Host.t ->
+  server:Host.t ->
+  dst:Netcore.Ip.t ->
+  ?port:int ->
+  ?transactions:int ->
+  ?request_size:int ->
+  ?response_size:int ->
+  unit ->
+  rr_result
+
+val tcp_stream :
+  client:Host.t ->
+  server:Host.t ->
+  dst:Netcore.Ip.t ->
+  ?port:int ->
+  ?message_size:int ->
+  ?total_bytes:int ->
+  unit ->
+  stream_result
+(** Default 16 KiB messages, 8 MiB total.  Throughput is measured at the
+    receiver over the receive interval. *)
+
+val udp_stream :
+  client:Host.t ->
+  server:Host.t ->
+  dst:Netcore.Ip.t ->
+  ?port:int ->
+  ?message_size:int ->
+  ?total_bytes:int ->
+  unit ->
+  stream_result
+(** Default 60 KiB datagrams (netperf-style large sends that fragment at
+    the MTU), 8 MiB total. *)

@@ -1,0 +1,50 @@
+type point = { size : int; latency_us : float; mbps : float }
+
+let default_sizes =
+  let rec go acc size = if size > 262_144 then List.rev acc else go (size :: acc) (size * 2) in
+  go [] 1
+
+let default_reps size = max 4 (min 200 (262_144 / max 1 size))
+
+let echo_server conn =
+  try
+    while true do
+      let msg = Mpi.recv conn in
+      Mpi.send conn msg
+    done
+  with Netstack.Tcp.Tcp_error _ | Failure _ -> ()
+
+let measure ~engine ~conn ~size ~reps =
+  let payload = Bytes.make size 'n' in
+  (* One untimed warm-up exchange. *)
+  Mpi.send conn payload;
+  let (_ : Bytes.t) = Mpi.recv conn in
+  let t0 = Sim.Engine.now engine in
+  for _ = 1 to reps do
+    Mpi.send conn payload;
+    let (_ : Bytes.t) = Mpi.recv conn in
+    ()
+  done;
+  let dt = Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now engine) t0) in
+  let one_way_s = dt /. (2.0 *. float_of_int reps) in
+  {
+    size;
+    latency_us = one_way_s *. 1e6;
+    mbps = (if size = 0 then 0.0 else float_of_int size *. 8.0 /. one_way_s /. 1e6);
+  }
+
+let sweep ~client ~server ~dst ?(sizes = default_sizes) ?(reps_for = default_reps) () =
+  let client_conn, server_conn = Mpi.establish ~client ~server ~dst () in
+  Sim.Engine.spawn (Host.engine server) (fun () -> echo_server server_conn);
+  let engine = Host.engine client in
+  let points =
+    List.map (fun size -> measure ~engine ~conn:client_conn ~size ~reps:(reps_for size)) sizes
+  in
+  Mpi.close client_conn;
+  points
+
+let single ~client ~server ~dst ~size ?reps () =
+  let reps = match reps with Some r -> r | None -> default_reps size in
+  match sweep ~client ~server ~dst ~sizes:[ size ] ~reps_for:(fun _ -> reps) () with
+  | [ point ] -> point
+  | _ -> assert false

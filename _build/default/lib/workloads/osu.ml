@@ -1,0 +1,156 @@
+type bw_point = { size : int; mbps : float }
+type lat_point = { size : int; latency_us : float }
+
+let default_sizes = [ 1; 4; 16; 64; 256; 1024; 4096; 16384; 65536; 262144 ]
+
+let default_iterations size = max 2 (min 64 (524_288 / max 1 size / 16))
+
+let elapsed_s engine t0 = Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now engine) t0)
+
+(* --- Uni-directional bandwidth --- *)
+
+let uni_receiver conn ~window =
+  try
+    while true do
+      for _ = 1 to window do
+        let (_ : Bytes.t) = Mpi.recv conn in
+        ()
+      done;
+      Mpi.send_empty conn
+    done
+  with Netstack.Tcp.Tcp_error _ | Failure _ -> ()
+
+let uni_one_size ~engine ~conn ~size ~window ~iterations =
+  let payload = Bytes.make size 'b' in
+  let run () =
+    for _ = 1 to window do
+      Mpi.send conn payload
+    done;
+    let (_ : Bytes.t) = Mpi.recv conn in
+    ()
+  in
+  run () (* warm-up iteration *);
+  let t0 = Sim.Engine.now engine in
+  for _ = 1 to iterations do
+    run ()
+  done;
+  let dt = elapsed_s engine t0 in
+  let bytes = float_of_int (size * window * iterations) in
+  { size; mbps = bytes *. 8.0 /. dt /. 1e6 }
+
+let uni_bandwidth ~client ~server ~dst ?(sizes = default_sizes) ?(window = 16)
+    ?(iterations_for = default_iterations) () =
+  let engine = Host.engine client in
+  List.map
+    (fun size ->
+      (* A fresh connection per size keeps the receiver loop's window in
+         lockstep with the sender. *)
+      let client_conn, server_conn = Mpi.establish ~client ~server ~dst () in
+      Sim.Engine.spawn (Host.engine server) (fun () -> uni_receiver server_conn ~window);
+      let point =
+        uni_one_size ~engine ~conn:client_conn ~size ~window
+          ~iterations:(iterations_for size)
+      in
+      Mpi.close client_conn;
+      point)
+    sizes
+
+(* --- Bi-directional bandwidth --- *)
+
+let bi_bandwidth ~client ~server ~dst ?(sizes = default_sizes) ?(window = 16)
+    ?(iterations_for = default_iterations) () =
+  let engine = Host.engine client in
+  List.map
+    (fun size ->
+      let iterations = 1 + iterations_for size in
+      let client_conn, server_conn = Mpi.establish ~client ~server ~dst () in
+      let payload = Bytes.make size 'c' in
+      (* Server side: per round, concurrently send a window and receive a
+         window, then exchange empty acknowledgements. *)
+      Sim.Engine.spawn (Host.engine server) (fun () ->
+          try
+            while true do
+              let sent = ref false in
+              Sim.Engine.spawn (Host.engine server) (fun () ->
+                  (try
+                     for _ = 1 to window do
+                       Mpi.send server_conn payload
+                     done
+                   with Netstack.Tcp.Tcp_error _ | Failure _ -> ());
+                  sent := true);
+              for _ = 1 to window do
+                let (_ : Bytes.t) = Mpi.recv server_conn in
+                ()
+              done;
+              while not !sent do
+                Sim.Engine.sleep (Sim.Time.us 50)
+              done;
+              Mpi.send_empty server_conn;
+              let (_ : Bytes.t) = Mpi.recv server_conn in
+              ()
+            done
+          with Netstack.Tcp.Tcp_error _ | Failure _ -> ());
+      let round () =
+        let sent = ref false in
+        Sim.Engine.spawn engine (fun () ->
+            (try
+               for _ = 1 to window do
+                 Mpi.send client_conn payload
+               done
+             with Netstack.Tcp.Tcp_error _ | Failure _ -> ());
+            sent := true);
+        for _ = 1 to window do
+          let (_ : Bytes.t) = Mpi.recv client_conn in
+          ()
+        done;
+        while not !sent do
+          Sim.Engine.sleep (Sim.Time.us 50)
+        done;
+        Mpi.send_empty client_conn;
+        let (_ : Bytes.t) = Mpi.recv client_conn in
+        ()
+      in
+      round () (* warm-up *);
+      let t0 = Sim.Engine.now engine in
+      for _ = 1 to iterations - 1 do
+        round ()
+      done;
+      let dt = elapsed_s engine t0 in
+      (* Both directions moved a window per round. *)
+      let bytes = float_of_int (2 * size * window * (iterations - 1)) in
+      Mpi.close client_conn;
+      { size; mbps = bytes *. 8.0 /. dt /. 1e6 })
+    sizes
+
+(* --- Latency --- *)
+
+let latency ~client ~server ~dst ?(sizes = default_sizes) ?(iterations_for = default_iterations)
+    () =
+  let client_conn, server_conn = Mpi.establish ~client ~server ~dst () in
+  Sim.Engine.spawn (Host.engine server) (fun () ->
+      try
+        while true do
+          let msg = Mpi.recv server_conn in
+          Mpi.send server_conn msg
+        done
+      with Netstack.Tcp.Tcp_error _ | Failure _ -> ());
+  let engine = Host.engine client in
+  let points =
+    List.map
+      (fun size ->
+        let payload = Bytes.make size 'l' in
+        let iterations = 4 * iterations_for size in
+        Mpi.send client_conn payload;
+        let (_ : Bytes.t) = Mpi.recv client_conn in
+        let t0 = Sim.Engine.now engine in
+        for _ = 1 to iterations do
+          Mpi.send client_conn payload;
+          let (_ : Bytes.t) = Mpi.recv client_conn in
+          ()
+        done;
+        let dt = elapsed_s engine t0 in
+        { size; latency_us = dt *. 1e6 /. (2.0 *. float_of_int iterations) })
+      sizes
+  in
+  Mpi.close client_conn;
+  points

@@ -1,0 +1,25 @@
+type result = {
+  sent : int;
+  received : int;
+  avg_rtt_us : float;
+  min_rtt_us : float;
+  max_rtt_us : float;
+}
+
+let run host ~dst ?(count = 500) ?(payload_len = 56) () =
+  let stats = Sim.Stats.create () in
+  let received = ref 0 in
+  for _ = 1 to count do
+    match Netstack.Stack.ping host.Host.stack ~dst ~payload_len () with
+    | Some rtt ->
+        incr received;
+        Sim.Stats.add stats (Sim.Time.to_us_f rtt)
+    | None -> ()
+  done;
+  {
+    sent = count;
+    received = !received;
+    avg_rtt_us = Sim.Stats.mean stats;
+    min_rtt_us = (if !received = 0 then 0.0 else Sim.Stats.min stats);
+    max_rtt_us = (if !received = 0 then 0.0 else Sim.Stats.max stats);
+  }

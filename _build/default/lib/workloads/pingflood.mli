@@ -1,0 +1,14 @@
+(** ICMP flood ping (the paper's "Flood Ping RTT" rows): each echo request
+    is sent as soon as the previous reply arrives. *)
+
+type result = {
+  sent : int;
+  received : int;
+  avg_rtt_us : float;
+  min_rtt_us : float;
+  max_rtt_us : float;
+}
+
+val run :
+  Host.t -> dst:Netcore.Ip.t -> ?count:int -> ?payload_len:int -> unit -> result
+(** Default 500 pings of 56 bytes.  Process context. *)

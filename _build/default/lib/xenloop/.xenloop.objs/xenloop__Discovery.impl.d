@@ -1,0 +1,1 @@
+lib/xenloop/discovery.ml: Hypervisor Lazy List Netcore Netstack Proto Sim Xenstore

@@ -1,0 +1,1 @@
+lib/xenloop/discovery.mli: Hypervisor Netstack Proto

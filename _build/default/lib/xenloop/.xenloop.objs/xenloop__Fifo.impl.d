@@ -1,0 +1,1 @@
+lib/xenloop/fifo.ml: Array Bytes Int32 List Memory

@@ -1,0 +1,1 @@
+lib/xenloop/fifo.mli: Bytes Memory

@@ -1,0 +1,1 @@
+lib/xenloop/guest_module.mli: Bytes Hypervisor Netcore Netstack Sim

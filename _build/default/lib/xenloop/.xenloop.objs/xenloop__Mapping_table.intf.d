@@ -1,0 +1,1 @@
+lib/xenloop/mapping_table.mli: Netcore Proto

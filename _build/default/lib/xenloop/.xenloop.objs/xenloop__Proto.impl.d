@@ -1,0 +1,1 @@
+lib/xenloop/proto.ml: Buffer Bytes Char Evtchn Format Int32 Int64 List Memory Netcore Printf String

@@ -1,0 +1,1 @@
+lib/xenloop/proto.mli: Bytes Evtchn Format Memory Netcore

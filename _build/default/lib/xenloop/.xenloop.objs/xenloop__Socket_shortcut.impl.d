@@ -1,0 +1,1 @@
+lib/xenloop/socket_shortcut.ml: Guest_module Netstack

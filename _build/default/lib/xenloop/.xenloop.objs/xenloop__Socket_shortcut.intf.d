@@ -1,0 +1,1 @@
+lib/xenloop/socket_shortcut.mli: Guest_module Netstack

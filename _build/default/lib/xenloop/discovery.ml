@@ -1,0 +1,72 @@
+let advert_key = "xenloop"
+
+let advert_path ~domid = Xenstore.domain_path domid ^ "/" ^ advert_key
+
+type t = {
+  machine : Hypervisor.Machine.t;
+  dom0_stack : Netstack.Stack.t;
+  timer : Sim.Engine.timer;
+  mutable last_scan : Proto.entry list;
+  mutable sent : int;
+}
+
+let scan t =
+  let xs = Hypervisor.Machine.xenstore t.machine in
+  let ids =
+    match Xenstore.directory xs ~caller:Xenstore.dom0 ~path:"/local/domain" with
+    | Ok ids -> List.filter_map int_of_string_opt ids
+    | Error _ -> []
+  in
+  List.filter_map
+    (fun domid ->
+      if domid = 0 then None
+      else if not (Xenstore.exists xs ~caller:Xenstore.dom0 ~path:(advert_path ~domid))
+      then None
+      else
+        match
+          ( Xenstore.read xs ~caller:Xenstore.dom0
+              ~path:(Xenstore.domain_path domid ^ "/mac"),
+            Xenstore.read xs ~caller:Xenstore.dom0
+              ~path:(Xenstore.domain_path domid ^ "/ip") )
+        with
+        | Ok mac_str, Ok ip_str -> (
+            match (Netcore.Mac.of_string mac_str, Netcore.Ip.of_string ip_str) with
+            | Some mac, Some ip ->
+                Some { Proto.entry_domid = domid; entry_mac = mac; entry_ip = ip }
+            | _ -> None)
+        | _ -> None)
+    (List.sort compare ids)
+
+let announce t entries =
+  let message = Proto.encode (Proto.Announce entries) in
+  List.iter
+    (fun e ->
+      t.sent <- t.sent + 1;
+      Netstack.Stack.send_ctrl t.dom0_stack ~dst_mac:e.Proto.entry_mac message)
+    entries
+
+let scan_now t =
+  let entries = scan t in
+  t.last_scan <- entries;
+  announce t entries
+
+let start ~machine ~dom0_stack () =
+  let period = (Hypervisor.Machine.params machine).Hypervisor.Params.discovery_period in
+  let rec t =
+    lazy
+      {
+        machine;
+        dom0_stack;
+        timer =
+          Sim.Engine.every (Hypervisor.Machine.engine machine) period (fun () ->
+              scan_now (Lazy.force t));
+        last_scan = [];
+        sent = 0;
+      }
+  in
+  Lazy.force t
+
+let stop t = Sim.Engine.cancel t.timer
+
+let willing_guests t = t.last_scan
+let announcements_sent t = t.sent

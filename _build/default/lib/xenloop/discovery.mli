@@ -1,0 +1,31 @@
+(** The Domain Discovery module that runs in Dom0 (paper Sect. 3.2).
+
+    Every [discovery_period] (5 s in the paper) it scans XenStore for
+    guests advertising a "xenloop" entry under their subtree — something
+    only Dom0 is allowed to do, which is the whole reason discovery lives
+    in Dom0 — collates their [guest-ID, MAC] pairs, and transmits an
+    announcement message (a XenLoop-type layer-3 packet) to each willing
+    guest. *)
+
+type t
+
+val advert_key : string
+(** ["xenloop"] — the XenStore key guests advertise under their subtree. *)
+
+val advert_path : domid:int -> string
+
+val start :
+  machine:Hypervisor.Machine.t -> dom0_stack:Netstack.Stack.t -> unit -> t
+(** Begins periodic scanning on the machine's engine, with the period from
+    the machine's {!Hypervisor.Params.t}. *)
+
+val stop : t -> unit
+
+val scan_now : t -> unit
+(** One synchronous scan+announce round (process context); tests and the
+    benches use it to avoid waiting out the period. *)
+
+val willing_guests : t -> Proto.entry list
+(** The result of the last scan. *)
+
+val announcements_sent : t -> int

@@ -1,0 +1,156 @@
+module Page = Memory.Page
+
+let default_k = 13
+let slot_bytes = 8
+let mask32 = 0xFFFFFFFF
+
+(* Descriptor page layout (byte offsets). *)
+let off_front = 0
+let off_back = 4
+let off_state = 8
+let off_k = 12
+let off_npages = 16
+let off_grefs = 20
+
+let max_k =
+  (* The gref table must fit in the descriptor page after the header. *)
+  let max_grefs = (Page.size - off_grefs) / 4 in
+  (* 2^k slots * 8 bytes / 4096 per page <= max_grefs  =>  k <= 18. *)
+  let rec find k =
+    if (1 lsl k) * slot_bytes / Page.size > max_grefs then k - 1 else find (k + 1)
+  in
+  find 10
+
+let data_pages_for ~k =
+  let bytes = (1 lsl k) * slot_bytes in
+  (bytes + Page.size - 1) / Page.size
+
+let entry_magic = 0x584C (* "XL" *)
+
+let get_u32_int page off = Int32.to_int (Page.get_u32 page off) land mask32
+let set_u32_int page off v = Page.set_u32 page off (Int32.of_int (v land mask32))
+
+let init ~desc ~data ~k =
+  if k < 1 || k > max_k then invalid_arg "Fifo.init: k out of range";
+  if Array.length data <> data_pages_for ~k then
+    invalid_arg "Fifo.init: wrong number of data pages";
+  Page.zero desc;
+  set_u32_int desc off_front 0;
+  set_u32_int desc off_back 0;
+  set_u32_int desc off_state 1;
+  set_u32_int desc off_k k;
+  set_u32_int desc off_npages (Array.length data)
+
+let write_grefs ~desc grefs =
+  List.iteri (fun i gref -> set_u32_int desc (off_grefs + (4 * i)) gref) grefs
+
+let read_grefs ~desc =
+  let n = get_u32_int desc off_npages in
+  List.init n (fun i -> get_u32_int desc (off_grefs + (4 * i)))
+
+type t = { desc : Page.t; data : Page.t array; fifo_slots : int }
+
+let attach ~desc ~data =
+  let k = get_u32_int desc off_k in
+  if k < 1 || k > max_k then invalid_arg "Fifo.attach: descriptor not initialized";
+  if Array.length data <> data_pages_for ~k then
+    invalid_arg "Fifo.attach: wrong number of data pages";
+  { desc; data; fifo_slots = 1 lsl k }
+
+let slots t = t.fifo_slots
+let max_packet t = (t.fifo_slots - 1) * slot_bytes
+
+let front t = get_u32_int t.desc off_front
+let back t = get_u32_int t.desc off_back
+
+let used_slots t = (back t - front t) land mask32
+let free_slots t = t.fifo_slots - used_slots t
+let is_empty t = used_slots t = 0
+
+let is_active t = get_u32_int t.desc off_state = 1
+let mark_inactive t = set_u32_int t.desc off_state 0
+
+let force_indices ~desc v =
+  set_u32_int desc off_front v;
+  set_u32_int desc off_back v
+
+(* Byte-level ring access spanning the data pages. *)
+
+let ring_bytes t = t.fifo_slots * slot_bytes
+
+let write_ring t ~at ~src ~src_off ~len =
+  let size = ring_bytes t in
+  let rec go at src_off len =
+    if len > 0 then begin
+      let at = at mod size in
+      let page = t.data.(at / Page.size) in
+      let page_off = at mod Page.size in
+      let chunk = min len (Page.size - page_off) in
+      Page.write page ~off:page_off ~src ~src_off ~len:chunk;
+      go (at + chunk) (src_off + chunk) (len - chunk)
+    end
+  in
+  go at src_off len
+
+let read_ring t ~at ~dst ~dst_off ~len =
+  let size = ring_bytes t in
+  let rec go at dst_off len =
+    if len > 0 then begin
+      let at = at mod size in
+      let page = t.data.(at / Page.size) in
+      let page_off = at mod Page.size in
+      let chunk = min len (Page.size - page_off) in
+      Page.read page ~off:page_off ~dst ~dst_off ~len:chunk;
+      go (at + chunk) (dst_off + chunk) (len - chunk)
+    end
+  in
+  go at dst_off len
+
+let slots_for_payload len = 1 + ((len + slot_bytes - 1) / slot_bytes)
+
+let try_push t payload =
+  let len = Bytes.length payload in
+  if len = 0 || len > max_packet t then false
+  else begin
+    let needed = slots_for_payload len in
+    if needed > free_slots t then false
+    else begin
+      let b = back t in
+      let slot_index = b land (t.fifo_slots - 1) in
+      let byte_at = slot_index * slot_bytes in
+      (* Metadata word: u32 length, u16 magic, u16 reserved. *)
+      let meta = Bytes.create slot_bytes in
+      Bytes.set_int32_le meta 0 (Int32.of_int len);
+      Bytes.set_uint16_le meta 4 entry_magic;
+      Bytes.set_uint16_le meta 6 0;
+      write_ring t ~at:byte_at ~src:meta ~src_off:0 ~len:slot_bytes;
+      write_ring t
+        ~at:((byte_at + slot_bytes) mod ring_bytes t)
+        ~src:payload ~src_off:0 ~len;
+      (* Publish: the producer's atomic increment of [back]. *)
+      set_u32_int t.desc off_back (b + needed);
+      true
+    end
+  end
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let f = front t in
+    let slot_index = f land (t.fifo_slots - 1) in
+    let byte_at = slot_index * slot_bytes in
+    let meta = Bytes.create slot_bytes in
+    read_ring t ~at:byte_at ~dst:meta ~dst_off:0 ~len:slot_bytes;
+    let len = Int32.to_int (Bytes.get_int32_le meta 0) in
+    let magic = Bytes.get_uint16_le meta 4 in
+    if magic <> entry_magic || len <= 0 || len > max_packet t then
+      invalid_arg "Fifo.pop: corrupt entry metadata"
+    else begin
+      let payload = Bytes.create len in
+      read_ring t
+        ~at:((byte_at + slot_bytes) mod ring_bytes t)
+        ~dst:payload ~dst_off:0 ~len;
+      set_u32_int t.desc off_front (f + slots_for_payload len);
+      Some payload
+    end
+  end

@@ -1,0 +1,71 @@
+(** The XenLoop lockless FIFO (paper Sect. 3.3, "FIFO design").
+
+    A producer–consumer circular buffer living in shared memory pages.
+    Each entry is an 8-byte metadata word followed by the packet payload in
+    8-byte slots.  The number of slots is 2^k, while the free-running
+    [front] and [back] indices are m-bit with m = 32 > k; because both are
+    only ever incremented (mod 2^32) by exactly one side, no
+    producer–consumer synchronization is needed and wrap-around falls out
+    of the index arithmetic.  The first page is the {e descriptor page}:
+    it holds the indices, the channel state flag, the geometry, and the
+    grant references of the data pages (which is how the connector guest
+    learns what to map during bootstrap). *)
+
+type t
+
+val default_k : int
+(** 13: 2^13 slots of 8 bytes = 64 KiB, the paper's default FIFO size. *)
+
+val data_pages_for : k:int -> int
+(** Number of 4 KiB data pages backing 2^k slots. *)
+
+val max_k : int
+(** Largest supported k (descriptor-page gref table is the limit). *)
+
+(** {1 Setup (listener side)} *)
+
+val init : desc:Memory.Page.t -> data:Memory.Page.t array -> k:int -> unit
+(** Format the descriptor and mark the FIFO active.
+    @raise Invalid_argument if the page count does not match [k] or [k]
+    exceeds {!max_k}. *)
+
+val write_grefs : desc:Memory.Page.t -> Memory.Grant_table.gref list -> unit
+val read_grefs : desc:Memory.Page.t -> Memory.Grant_table.gref list
+
+(** {1 Views}
+
+    Both endpoints attach a view over the same pages; the producer side
+    pushes, the consumer side pops.  Nothing stops a test from attaching
+    both views in one process — they still share state through the pages,
+    exactly like two guests sharing mapped memory. *)
+
+val attach : desc:Memory.Page.t -> data:Memory.Page.t array -> t
+
+val slots : t -> int
+val max_packet : t -> int
+(** Largest payload a single entry can carry; bigger packets must take the
+    standard netfront path (paper Sect. 3.1). *)
+
+val used_slots : t -> int
+val free_slots : t -> int
+val is_empty : t -> bool
+
+val try_push : t -> Bytes.t -> bool
+(** [false] when the payload does not fit in the free space (caller queues
+    it on the waiting list). *)
+
+val pop : t -> Bytes.t option
+
+val is_active : t -> bool
+val mark_inactive : t -> unit
+(** Channel teardown flag, visible to the other endpoint through shared
+    memory. *)
+
+(** {1 Test hooks} *)
+
+val force_indices : desc:Memory.Page.t -> int -> unit
+(** Set both indices to an arbitrary 32-bit value (e.g. near 2^32) to
+    exercise wrap-around. *)
+
+val front : t -> int
+val back : t -> int

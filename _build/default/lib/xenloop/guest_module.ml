@@ -1,0 +1,694 @@
+module P = Netcore.Packet
+module Ec = Evtchn.Event_channel
+module Gt = Memory.Grant_table
+module Page = Memory.Page
+module Params = Hypervisor.Params
+module Domain = Hypervisor.Domain
+module Machine = Hypervisor.Machine
+module Stack = Netstack.Stack
+
+type stats = {
+  mutable via_channel_tx : int;
+  mutable via_channel_rx : int;
+  mutable queued_to_waiting : int;
+  mutable too_big_fallback : int;
+  mutable channels_established : int;
+  mutable channels_torn_down : int;
+  mutable bootstraps_started : int;
+  mutable corrupt_channels : int;
+}
+
+type role = Listener | Connector
+
+type channel = {
+  peer_domid : int;
+  peer_mac : Netcore.Mac.t;
+  role : role;
+  out_fifo : Fifo.t;
+  in_fifo : Fifo.t;
+  port : Ec.port;  (** this endpoint's event-channel port *)
+  waiting : Bytes.t Queue.t;  (** serialized frames awaiting FIFO space *)
+  mutable connected : bool;
+  mutable busy : bool;
+      (** an event handler is draining this channel (guards against
+          re-entrant handlers interleaving across CPU charges) *)
+  cleanup : unit -> unit;
+}
+
+type awaiting = { ba_channel : channel; mutable retries : int }
+
+type bootstrap = Requested_from_listener | Awaiting_ack of awaiting
+
+type peer_state = Bootstrapping of bootstrap | Active of channel
+
+type t = {
+  domain : Domain.t;
+  stack : Stack.t;
+  current_machine : unit -> Machine.t;
+  k : int;
+  mapping : Mapping_table.t;
+  peers : (int, peer_state) Hashtbl.t;
+  mutable hook : Netstack.Netfilter.hook_handle option;
+  mutable saved_frames : Bytes.t list;
+  mutable app_handler :
+    (src_ip:Netcore.Ip.t -> src_port:int -> dst_port:int -> Bytes.t -> unit) option;
+  trace : Sim.Trace.t option;
+  s : stats;
+  mutable loaded : bool;
+}
+
+let max_create_retries = 3
+let ack_timeout = Sim.Time.ms 500
+
+let stats t = t.s
+let is_loaded t = t.loaded
+let mapping_size t = Mapping_table.size t.mapping
+let fifo_k t = t.k
+let fifo_capacity_bytes t = (1 lsl t.k) * 8
+
+let connected_peer_ids t =
+  Hashtbl.fold
+    (fun domid state acc ->
+      match state with Active ch when ch.connected -> domid :: acc | _ -> acc)
+    t.peers []
+  |> List.sort compare
+
+let has_channel_with t ~domid =
+  match Hashtbl.find_opt t.peers domid with
+  | Some (Active ch) -> ch.connected
+  | Some (Bootstrapping _) | None -> false
+
+let waiting_list_length t ~domid =
+  match Hashtbl.find_opt t.peers domid with
+  | Some (Active ch) -> Queue.length ch.waiting
+  | Some (Bootstrapping _) | None -> 0
+
+let trace t cat fmt =
+  match t.trace with
+  | Some tr ->
+      Sim.Trace.emitf tr cat ~time:(Sim.Engine.now (Stack.engine t.stack)) fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let my_domid t = Domain.domid t.domain
+let cpu t = Stack.cpu t.stack
+let params t = Stack.params t.stack
+let engine t = Stack.engine t.stack
+let meter t = Domain.meter t.domain
+
+(* ------------------------------------------------------------------ *)
+(* XenStore advertisement *)
+
+let advertise t =
+  let machine = t.current_machine () in
+  let domid = my_domid t in
+  match
+    Xenstore.write (Machine.xenstore machine) ~caller:domid
+      ~path:(Discovery.advert_path ~domid) ~value:"1"
+  with
+  | Ok () | Error _ -> ()
+
+let unadvertise t =
+  let machine = t.current_machine () in
+  let domid = my_domid t in
+  match
+    Xenstore.rm (Machine.xenstore machine) ~caller:domid
+      ~path:(Discovery.advert_path ~domid)
+  with
+  | Ok () | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Channel data path *)
+
+let notify_peer t ch =
+  Sim.Resource.use (cpu t) (params t).Params.hypercall;
+  ignore
+    (Ec.notify (Machine.evtchn (t.current_machine ())) ~dom:(my_domid t) ~port:ch.port
+       ~meter:(meter t))
+
+(* Copy a serialized frame into the outgoing FIFO, charging the two-copy
+   data path's sender half (paper Sect. 3.3, "Data transfer"). *)
+let push_frame t ch raw =
+  let p = params t in
+  Sim.Resource.use (cpu t)
+    (Sim.Time.span_add p.Params.xenloop_fifo_op
+       (Params.xenloop_copy_cost p (Bytes.length raw)));
+  Fifo.try_push ch.out_fifo raw
+
+let drain_waiting t ch =
+  let pushed = ref 0 in
+  let continue_draining = ref true in
+  while !continue_draining && not (Queue.is_empty ch.waiting) do
+    let raw = Queue.peek ch.waiting in
+    if Fifo.free_slots ch.out_fifo * 8 > Bytes.length raw + 8 && push_frame t ch raw
+    then begin
+      ignore (Queue.pop ch.waiting);
+      t.s.via_channel_tx <- t.s.via_channel_tx + 1;
+      incr pushed
+    end
+    else continue_draining := false
+  done;
+  !pushed
+
+let send_via_channel t ch raw =
+  (* Packets behind a non-empty waiting list must queue too (ordering);
+     the waiting list itself is serviced only when the receiver signals
+     that it freed space — "sent once enough resources are available"
+     (paper Sect. 3.1).  This is what makes the FIFO size matter (Fig. 5):
+     a small FIFO forces an event-channel round trip per FIFO-full of
+     packets. *)
+  let sent_now =
+    if Queue.is_empty ch.waiting && push_frame t ch raw then true
+    else begin
+      Queue.push raw ch.waiting;
+      t.s.queued_to_waiting <- t.s.queued_to_waiting + 1;
+      false
+    end
+  in
+  if sent_now then t.s.via_channel_tx <- t.s.via_channel_tx + 1;
+  (* Signal the receiver; also when we only queued, so the peer's next
+     consumption round notifies us back to drain the waiting list. *)
+  notify_peer t ch
+
+(* ------------------------------------------------------------------ *)
+(* Teardown *)
+
+let flush_waiting_via_standard_path t ch =
+  (* Transparent fallback: packets that never made it into the FIFO leave
+     through the standard netfront path instead of being dropped. *)
+  match Stack.device t.stack with
+  | None -> Queue.clear ch.waiting
+  | Some dev ->
+      Queue.iter
+        (fun raw ->
+          match Netcore.Codec.parse raw with
+          | Ok packet -> Netstack.Netdevice.transmit dev packet
+          | Error _ -> ())
+        ch.waiting;
+      Queue.clear ch.waiting
+
+exception Corrupt_channel
+
+let drain_incoming t ch =
+  let consumed = ref 0 in
+  let p = params t in
+  let continue_draining = ref true in
+  while !continue_draining do
+    match Fifo.pop ch.in_fifo with
+    | exception Invalid_argument _ ->
+        (* The peer scribbled over the shared FIFO state.  Never trust it,
+           never crash: poison the channel and let the caller disengage. *)
+        raise Corrupt_channel
+    | None -> continue_draining := false
+    | Some raw -> (
+        Sim.Resource.use (cpu t)
+          (Sim.Time.span_add p.Params.xenloop_fifo_op
+             (Params.xenloop_copy_cost p (Bytes.length raw)));
+        incr consumed;
+        match Netcore.Codec.parse raw with
+        | Ok packet ->
+            t.s.via_channel_rx <- t.s.via_channel_rx + 1;
+            Stack.inject_rx t.stack packet
+        | Error _ ->
+            (* An individual frame that fails to parse is dropped; the FIFO
+               framing itself is still sound. *)
+            ())
+  done;
+  !consumed
+
+(* Abandon a channel whose shared state can no longer be trusted. *)
+let quarantine t peer_domid ch =
+  t.s.corrupt_channels <- t.s.corrupt_channels + 1;
+  trace t Sim.Trace.Teardown "dom%d: quarantining corrupt channel to dom%d"
+    (my_domid t) peer_domid;
+  Queue.clear ch.waiting;
+  Fifo.mark_inactive ch.out_fifo;
+  (try Fifo.mark_inactive ch.in_fifo with Invalid_argument _ -> ());
+  (* Tell the peer so it disengages too and falls back to netfront. *)
+  (try notify_peer t ch with Invalid_argument _ -> ());
+  ch.cleanup ();
+  Hashtbl.remove t.peers peer_domid;
+  t.s.channels_torn_down <- t.s.channels_torn_down + 1
+
+let teardown_channel t ~save ch =
+  trace t Sim.Trace.Teardown "dom%d: tearing down channel to dom%d (save=%b)"
+    (my_domid t) ch.peer_domid save;
+  (* Receive anything still pending, save or flush the unsent packets,
+     mark the shared state inactive, tell the peer, disengage. *)
+  if ch.connected then (try ignore (drain_incoming t ch) with Corrupt_channel -> ());
+  if save then begin
+    t.saved_frames <- t.saved_frames @ List.of_seq (Queue.to_seq ch.waiting);
+    Queue.clear ch.waiting
+  end
+  else flush_waiting_via_standard_path t ch;
+  Fifo.mark_inactive ch.out_fifo;
+  Fifo.mark_inactive ch.in_fifo;
+  if ch.connected then notify_peer t ch;
+  ch.cleanup ();
+  t.s.channels_torn_down <- t.s.channels_torn_down + 1
+
+let disengage_peer t peer_domid ~save =
+  match Hashtbl.find_opt t.peers peer_domid with
+  | Some (Active ch) ->
+      teardown_channel t ~save ch;
+      Hashtbl.remove t.peers peer_domid
+  | Some (Bootstrapping (Awaiting_ack ba)) ->
+      ba.ba_channel.cleanup ();
+      Hashtbl.remove t.peers peer_domid
+  | Some (Bootstrapping Requested_from_listener) -> Hashtbl.remove t.peers peer_domid
+  | None -> ()
+
+let teardown_all t ~save =
+  let peer_ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.peers [] in
+  List.iter (fun id -> disengage_peer t id ~save) peer_ids;
+  Mapping_table.clear t.mapping
+
+(* ------------------------------------------------------------------ *)
+(* Event-channel handler: packets arrived, or space was freed *)
+
+let on_event t peer_domid () =
+  if t.loaded then begin
+    match Hashtbl.find_opt t.peers peer_domid with
+    | Some (Active ch) when not ch.busy ->
+        if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo) then begin
+          (* Peer marked the channel inactive: drain what's left, then
+             disengage (paper Sect. 3.3, "Channel teardown"). *)
+          ignore (drain_incoming t ch);
+          flush_waiting_via_standard_path t ch;
+          ch.cleanup ();
+          Hashtbl.remove t.peers peer_domid;
+          t.s.channels_torn_down <- t.s.channels_torn_down + 1
+        end
+        else begin
+          ch.busy <- true;
+          match
+            let total_consumed = ref 0 and total_pushed = ref 0 in
+            let quiescent = ref false in
+            while not !quiescent do
+              let consumed = drain_incoming t ch in
+              let pushed = drain_waiting t ch in
+              total_consumed := !total_consumed + consumed;
+              total_pushed := !total_pushed + pushed;
+              if consumed = 0 && pushed = 0 then quiescent := true
+            done;
+            (!total_consumed, !total_pushed)
+          with
+          | exception Corrupt_channel ->
+              ch.busy <- false;
+              quarantine t peer_domid ch
+          | total_consumed, total_pushed ->
+              ch.busy <- false;
+              (* Consuming freed FIFO space the peer may be waiting for. *)
+              if total_consumed > 0 || total_pushed > 0 then notify_peer t ch
+        end
+    | Some (Active _) | Some (Bootstrapping _) | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap: listener side *)
+
+let grant_fifo_pages ~gt ~peer ~desc ~data =
+  let desc_gref = Gt.grant_access gt ~to_dom:peer ~page:desc ~writable:true in
+  let data_grefs =
+    Array.to_list
+      (Array.map (fun page -> Gt.grant_access gt ~to_dom:peer ~page ~writable:true) data)
+  in
+  Fifo.write_grefs ~desc data_grefs;
+  (desc_gref, data_grefs)
+
+let send_ctrl t ~dst_mac msg = Stack.send_ctrl t.stack ~dst_mac (Proto.encode msg)
+
+let rec send_create_with_retry t ~peer_domid ~peer_mac ~msg ba =
+  send_ctrl t ~dst_mac:peer_mac msg;
+  Sim.Engine.after (engine t) ack_timeout (fun () ->
+      match Hashtbl.find_opt t.peers peer_domid with
+      | Some (Bootstrapping (Awaiting_ack ba')) when ba' == ba ->
+          if ba.retries < max_create_retries then begin
+            ba.retries <- ba.retries + 1;
+            send_create_with_retry t ~peer_domid ~peer_mac ~msg ba
+          end
+          else begin
+            (* Give up (paper: resend 3 times). *)
+            ba.ba_channel.cleanup ();
+            Hashtbl.remove t.peers peer_domid
+          end
+      | _ -> ())
+
+let listener_create t ~peer_domid ~peer_mac =
+  let machine = t.current_machine () in
+  let domid = my_domid t in
+  match Machine.grant_table machine domid with
+  | None -> ()
+  | Some gt -> (
+      let n = Fifo.data_pages_for ~k:t.k in
+      let frames = Machine.frame_allocator machine in
+      (* Channel memory is real machine memory: 2 descriptor pages plus the
+         data pages for both directions, charged to the listener. *)
+      match Memory.Frame_allocator.allocate_many frames ~owner:domid
+              ~count:(2 * (n + 1))
+      with
+      | Error Memory.Frame_allocator.Out_of_frames -> ()
+      | Ok pool ->
+      let next_page =
+        let i = ref 0 in
+        fun () ->
+          let page = pool.(!i) in
+          incr i;
+          page
+      in
+      let make_fifo () =
+        let desc = next_page () in
+        let data = Array.init n (fun _ -> next_page ()) in
+        Fifo.init ~desc ~data ~k:t.k;
+        (desc, data)
+      in
+      let desc_lc, data_lc = make_fifo () in
+      let desc_cl, data_cl = make_fifo () in
+      let lc_gref, lc_data_grefs =
+        grant_fifo_pages ~gt ~peer:peer_domid ~desc:desc_lc ~data:data_lc
+      in
+      let cl_gref, cl_data_grefs =
+        grant_fifo_pages ~gt ~peer:peer_domid ~desc:desc_cl ~data:data_cl
+      in
+      let ec = Machine.evtchn machine in
+      let port = Ec.alloc_unbound ec ~dom:domid ~remote:peer_domid in
+      Ec.set_handler ec ~dom:domid ~port (on_event t peer_domid);
+      let cleanup () =
+        List.iter
+          (fun gref -> ignore (Gt.end_access gt gref))
+          ((lc_gref :: lc_data_grefs) @ (cl_gref :: cl_data_grefs));
+        Array.iter (fun page -> Memory.Frame_allocator.release frames ~owner:domid page) pool;
+        Ec.close ec ~dom:domid ~port
+      in
+      let ch =
+        {
+          peer_domid;
+          peer_mac;
+          role = Listener;
+          out_fifo = Fifo.attach ~desc:desc_lc ~data:data_lc;
+          in_fifo = Fifo.attach ~desc:desc_cl ~data:data_cl;
+          port;
+          waiting = Queue.create ();
+          connected = false;
+          busy = false;
+          cleanup;
+        }
+      in
+      let ba = { ba_channel = ch; retries = 0 } in
+      Hashtbl.replace t.peers peer_domid (Bootstrapping (Awaiting_ack ba));
+      t.s.bootstraps_started <- t.s.bootstraps_started + 1;
+      let msg =
+        Proto.Create_channel
+          {
+            listener_domid = domid;
+            fifo_lc_gref = lc_gref;
+            fifo_cl_gref = cl_gref;
+            evtchn_port = port;
+          }
+      in
+      send_create_with_retry t ~peer_domid ~peer_mac ~msg ba)
+
+let start_bootstrap t ~peer_domid ~peer_mac =
+  trace t Sim.Trace.Bootstrap "dom%d: bootstrap towards dom%d" (my_domid t) peer_domid;
+  if my_domid t < peer_domid then listener_create t ~peer_domid ~peer_mac
+  else begin
+    Hashtbl.replace t.peers peer_domid (Bootstrapping Requested_from_listener);
+    t.s.bootstraps_started <- t.s.bootstraps_started + 1;
+    send_ctrl t ~dst_mac:peer_mac (Proto.Request_channel { requester_domid = my_domid t })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap: connector side *)
+
+let connector_accept t ~listener_domid ~listener_mac ~lc_gref ~cl_gref ~evtchn_port =
+  let machine = t.current_machine () in
+  let domid = my_domid t in
+  let p = params t in
+  match Machine.grant_table machine listener_domid with
+  | None -> ()
+  | Some listener_gt -> (
+      let map_page gref =
+        Sim.Resource.use (cpu t) p.Params.page_map;
+        match Gt.map listener_gt gref ~by:domid ~meter:(meter t) with
+        | Ok page -> Some page
+        | Error _ -> None
+      in
+      let map_fifo desc_gref =
+        match map_page desc_gref with
+        | None -> None
+        | Some desc -> (
+            let data_grefs = Fifo.read_grefs ~desc in
+            let data = List.filter_map map_page data_grefs in
+            if List.length data <> List.length data_grefs then None
+            else
+              match Fifo.attach ~desc ~data:(Array.of_list data) with
+              | fifo -> Some (fifo, desc_gref, data_grefs)
+              | exception Invalid_argument _ -> None)
+      in
+      match (map_fifo lc_gref, map_fifo cl_gref) with
+      | Some (lc_fifo, _, lc_data), Some (cl_fifo, _, cl_data) -> (
+          let ec = Machine.evtchn machine in
+          match Ec.bind_interdomain ec ~dom:domid ~remote:listener_domid
+                  ~remote_port:evtchn_port
+          with
+          | Error _ -> ()
+          | Ok port ->
+              Ec.set_handler ec ~dom:domid ~port (on_event t listener_domid);
+              let cleanup () =
+                let unmap gref =
+                  ignore (Gt.unmap listener_gt gref ~by:domid ~meter:(meter t))
+                in
+                List.iter unmap ((lc_gref :: lc_data) @ (cl_gref :: cl_data));
+                Ec.close ec ~dom:domid ~port
+              in
+              let ch =
+                {
+                  peer_domid = listener_domid;
+                  peer_mac = listener_mac;
+                  role = Connector;
+                  out_fifo = cl_fifo;
+                  in_fifo = lc_fifo;
+                  port;
+                  waiting = Queue.create ();
+                  connected = true;
+                  busy = false;
+                  cleanup;
+                }
+              in
+              Hashtbl.replace t.peers listener_domid (Active ch);
+              t.s.channels_established <- t.s.channels_established + 1;
+              trace t Sim.Trace.Channel "dom%d: channel to dom%d connected (connector)"
+                domid listener_domid;
+              send_ctrl t ~dst_mac:listener_mac
+                (Proto.Channel_ack { connector_domid = domid });
+              (* Anything already in the FIFOs must not wait for another
+                 notification that may never come. *)
+              on_event t listener_domid ())
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Control-plane input *)
+
+let on_announce t entries =
+  let domid = my_domid t in
+  let others = List.filter (fun e -> e.Proto.entry_domid <> domid) entries in
+  Mapping_table.update t.mapping others;
+  (* Soft state: peers absent from the announcement are gone. *)
+  let stale =
+    Hashtbl.fold
+      (fun id _ acc -> if Mapping_table.mem_domid t.mapping id then acc else id :: acc)
+      t.peers []
+  in
+  List.iter (fun id -> disengage_peer t id ~save:false) stale
+
+let on_ctrl_packet t (packet : P.t) =
+  if t.loaded then begin
+    match packet.P.body with
+    | P.Xenloop_body data -> (
+        match Proto.decode data with
+        | Error _ -> ()
+        | Ok (Proto.Announce entries) -> on_announce t entries
+        | Ok (Proto.Request_channel { requester_domid }) -> (
+            match Hashtbl.find_opt t.peers requester_domid with
+            | Some _ -> ()
+            | None ->
+                if my_domid t < requester_domid then
+                  listener_create t ~peer_domid:requester_domid
+                    ~peer_mac:packet.P.src_mac)
+        | Ok (Proto.Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port })
+          -> (
+            match Hashtbl.find_opt t.peers listener_domid with
+            | Some (Active ch) when ch.role = Connector ->
+                (* Duplicate create (our ack was in flight): re-ack. *)
+                send_ctrl t ~dst_mac:packet.P.src_mac
+                  (Proto.Channel_ack { connector_domid = my_domid t })
+            | Some (Active _) -> ()
+            | Some (Bootstrapping Requested_from_listener) | None ->
+                connector_accept t ~listener_domid ~listener_mac:packet.P.src_mac
+                  ~lc_gref:fifo_lc_gref ~cl_gref:fifo_cl_gref ~evtchn_port
+            | Some (Bootstrapping (Awaiting_ack _)) ->
+                (* Simultaneous creates cannot happen: roles are fixed by
+                   domain-id order. *)
+                ())
+        | Ok (Proto.App_payload { src_ip; src_port; dst_port; payload }) -> (
+            match t.app_handler with
+            | Some handler -> handler ~src_ip ~src_port ~dst_port payload
+            | None -> ())
+        | Ok (Proto.Channel_ack { connector_domid }) -> (
+            match Hashtbl.find_opt t.peers connector_domid with
+            | Some (Bootstrapping (Awaiting_ack ba)) ->
+                ba.ba_channel.connected <- true;
+                Hashtbl.replace t.peers connector_domid (Active ba.ba_channel);
+                t.s.channels_established <- t.s.channels_established + 1;
+                trace t Sim.Trace.Channel "dom%d: channel to dom%d connected (listener)"
+                  (my_domid t) connector_domid;
+                (* The connector may have pushed data before its ack reached
+                   us; the matching notification was consumed while we were
+                   still awaiting the ack, so drain now. *)
+                on_event t connector_domid ()
+            | Some _ | None -> ()))
+    | P.Ipv4_body _ | P.Arp_body _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The netfilter hook: the guest-specific software bridge *)
+
+let hook_fn t (packet : P.t) =
+  if not t.loaded then Netstack.Netfilter.Accept
+  else
+    match packet.P.body with
+    | P.Arp_body _ | P.Xenloop_body _ -> Netstack.Netfilter.Accept
+    | P.Ipv4_body _ -> (
+        match Mapping_table.lookup t.mapping packet.P.dst_mac with
+        | None -> Netstack.Netfilter.Accept
+        | Some peer_domid -> (
+            match Hashtbl.find_opt t.peers peer_domid with
+            | Some (Active ch) when ch.connected ->
+                let raw = Netcore.Codec.serialize packet in
+                if Bytes.length raw > Fifo.max_packet ch.out_fifo then begin
+                  t.s.too_big_fallback <- t.s.too_big_fallback + 1;
+                  Netstack.Netfilter.Accept
+                end
+                else begin
+                  send_via_channel t ch raw;
+                  Netstack.Netfilter.Steal
+                end
+            | Some (Active _) | Some (Bootstrapping _) ->
+                (* Bootstrap in progress: standard path (paper Sect. 3.3). *)
+                Netstack.Netfilter.Accept
+            | None ->
+                start_bootstrap t ~peer_domid ~peer_mac:packet.P.dst_mac;
+                Netstack.Netfilter.Accept))
+
+(* ------------------------------------------------------------------ *)
+(* Transport-level shortcut (paper Sect. 6 future work) *)
+
+let set_app_payload_handler t handler = t.app_handler <- Some handler
+
+let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
+  if not t.loaded then false
+  else
+    match Mapping_table.lookup_by_ip t.mapping dst_ip with
+    | None -> false
+    | Some entry -> (
+        let peer_domid = entry.Proto.entry_domid in
+        match Hashtbl.find_opt t.peers peer_domid with
+        | Some (Active ch) when ch.connected ->
+            let msg =
+              Proto.App_payload
+                {
+                  src_ip = Stack.ip_addr t.stack;
+                  src_port;
+                  dst_port;
+                  payload;
+                }
+            in
+            let frame =
+              Netcore.Packet.xenloop_ctrl ~src_mac:(Stack.mac_addr t.stack)
+                ~dst_mac:entry.Proto.entry_mac (Proto.encode msg)
+            in
+            let raw = Netcore.Codec.serialize frame in
+            if Bytes.length raw > Fifo.max_packet ch.out_fifo then begin
+              t.s.too_big_fallback <- t.s.too_big_fallback + 1;
+              false
+            end
+            else begin
+              send_via_channel t ch raw;
+              true
+            end
+        | Some (Active _) | Some (Bootstrapping _) -> false
+        | None ->
+            (* First co-resident traffic: kick off the bootstrap and let the
+               caller use the standard path meanwhile. *)
+            start_bootstrap t ~peer_domid ~peer_mac:entry.Proto.entry_mac;
+            false)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let prepare_migration t =
+  trace t Sim.Trace.Migration "dom%d: pre-migrate (saving %d peers' channels)"
+    (my_domid t) (Hashtbl.length t.peers);
+  unadvertise t;
+  teardown_all t ~save:true
+
+let restore_after_migration t =
+  trace t Sim.Trace.Migration "dom%d: restored; re-advertising, %d saved frame(s)"
+    (my_domid t) (List.length t.saved_frames);
+  advertise t;
+  (* Resend packets saved from the waiting lists (paper Sect. 3.4). *)
+  (match Stack.device t.stack with
+  | None -> ()
+  | Some dev ->
+      List.iter
+        (fun raw ->
+          match Netcore.Codec.parse raw with
+          | Ok packet -> Netstack.Netdevice.transmit dev packet
+          | Error _ -> ())
+        t.saved_frames);
+  t.saved_frames <- []
+
+let unload t =
+  if t.loaded then begin
+    unadvertise t;
+    teardown_all t ~save:false;
+    (match t.hook with
+    | Some handle -> Netstack.Netfilter.unregister (Stack.post_routing t.stack) handle
+    | None -> ());
+    t.hook <- None;
+    t.loaded <- false
+  end
+
+let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?trace () =
+  let t =
+    {
+      domain;
+      stack;
+      current_machine;
+      k = fifo_k;
+      mapping = Mapping_table.create ();
+      peers = Hashtbl.create 8;
+      hook = None;
+      saved_frames = [];
+      app_handler = None;
+      trace;
+      s =
+        {
+          via_channel_tx = 0;
+          via_channel_rx = 0;
+          queued_to_waiting = 0;
+          too_big_fallback = 0;
+          channels_established = 0;
+          channels_torn_down = 0;
+          bootstraps_started = 0;
+          corrupt_channels = 0;
+        };
+      loaded = true;
+    }
+  in
+  t.hook <- Some (Netstack.Netfilter.register (Stack.post_routing stack) (hook_fn t));
+  Stack.set_ctrl_handler stack (on_ctrl_packet t);
+  advertise t;
+  Domain.on_pre_migrate domain (fun () -> if t.loaded then prepare_migration t);
+  Domain.on_post_restore domain (fun () -> if t.loaded then restore_after_migration t);
+  Domain.on_shutdown domain (fun () -> unload t);
+  t

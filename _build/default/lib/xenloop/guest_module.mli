@@ -1,0 +1,84 @@
+(** The XenLoop guest kernel module (paper Sect. 3).
+
+    A self-contained module loaded into a guest: it inserts a netfilter
+    hook between the network and link layers, advertises the guest's
+    willingness in XenStore, maintains the soft-state mapping table from
+    Dom0 announcements, sets up and tears down bidirectional FIFO channels
+    with co-resident guests on demand, and transparently follows the guest
+    through suspend, shutdown, and live migration.
+
+    The data path: an outgoing packet whose next-hop MAC belongs to a
+    co-resident, XenLoop-willing guest is serialized and copied into the
+    outgoing FIFO (or onto the waiting list when the FIFO is full), and the
+    peer is signalled over the event channel; everything else — unknown
+    destinations, packets larger than the FIFO, traffic during bootstrap —
+    takes the standard netfront path untouched.  User applications never
+    see any of this: full transparency. *)
+
+type t
+
+type stats = {
+  mutable via_channel_tx : int;
+  mutable via_channel_rx : int;
+  mutable queued_to_waiting : int;
+  mutable too_big_fallback : int;
+  mutable channels_established : int;
+  mutable channels_torn_down : int;
+  mutable bootstraps_started : int;
+  mutable corrupt_channels : int;
+      (** channels torn down because the peer corrupted the shared FIFO
+          state — a misbehaving or malicious co-resident guest must never
+          crash this one, only lose its fast path *)
+}
+
+val create :
+  domain:Hypervisor.Domain.t ->
+  stack:Netstack.Stack.t ->
+  current_machine:(unit -> Hypervisor.Machine.t) ->
+  ?fifo_k:int ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  t
+(** Load the module into a guest.  [current_machine] is consulted whenever
+    the module needs hypervisor facilities, so it stays correct across
+    migration.  [fifo_k] sets the FIFO size to 2^k 8-byte slots per
+    direction (default {!Fifo.default_k} = 64 KiB, the paper's setting).
+    [trace] receives bootstrap/channel/teardown/migration events when its
+    categories are enabled. *)
+
+val unload : t -> unit
+(** Remove the module: tears down all channels (flushing waiting packets
+    through the standard path), withdraws the XenStore advertisement, and
+    unregisters the netfilter hook.  Traffic continues via netfront. *)
+
+val is_loaded : t -> bool
+
+val stats : t -> stats
+val mapping_size : t -> int
+val connected_peer_ids : t -> int list
+val has_channel_with : t -> domid:int -> bool
+val waiting_list_length : t -> domid:int -> int
+
+val fifo_k : t -> int
+val fifo_capacity_bytes : t -> int
+
+(** {1 Transport-level shortcut}
+
+    The paper's future-work direction (Sect. 6): intercepting between the
+    socket and transport layers eliminates network protocol processing from
+    the inter-VM data path entirely.  These two entry points let a socket
+    layer ship raw application payloads over an established channel; see
+    {!Socket_shortcut} for the glue. *)
+
+val send_app_payload :
+  t -> dst_ip:Netcore.Ip.t -> src_port:int -> dst_port:int -> Bytes.t -> bool
+(** [true] if the payload was shipped (or queued) over a connected channel
+    to the co-resident guest owning [dst_ip].  [false] when there is no
+    such guest, the channel is still bootstrapping (a bootstrap is kicked
+    off as a side effect), or the payload exceeds the FIFO: the caller must
+    then use the standard path. *)
+
+val set_app_payload_handler :
+  t ->
+  (src_ip:Netcore.Ip.t -> src_port:int -> dst_port:int -> Bytes.t -> unit) ->
+  unit

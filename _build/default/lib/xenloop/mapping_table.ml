@@ -1,0 +1,21 @@
+type t = { mutable current : Proto.entry list }
+
+let create () = { current = [] }
+
+let update t entries = t.current <- entries
+
+let lookup t mac =
+  List.find_map
+    (fun e ->
+      if Netcore.Mac.equal e.Proto.entry_mac mac then Some e.Proto.entry_domid
+      else None)
+    t.current
+
+let lookup_by_ip t ip =
+  List.find_opt (fun e -> Netcore.Ip.equal e.Proto.entry_ip ip) t.current
+
+let mem_domid t domid = List.exists (fun e -> e.Proto.entry_domid = domid) t.current
+
+let entries t = t.current
+let size t = List.length t.current
+let clear t = t.current <- []

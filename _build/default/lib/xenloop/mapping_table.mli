@@ -1,0 +1,25 @@
+(** The per-guest soft-state mapping table of co-resident guests
+    ([guest-ID, MAC] pairs, paper Sect. 3.1/3.2).
+
+    Populated exclusively from Dom0 announcements; replaced wholesale on
+    every announcement so entries for departed guests age out — that is the
+    soft-state property. *)
+
+type t
+
+val create : unit -> t
+
+val update : t -> Proto.entry list -> unit
+(** Replace the table contents with a fresh announcement. *)
+
+val lookup : t -> Netcore.Mac.t -> int option
+(** Guest id of the co-resident guest owning this MAC, if any. *)
+
+val lookup_by_ip : t -> Netcore.Ip.t -> Proto.entry option
+(** The co-resident guest owning this IP address, if any (used by the
+    transport-level shortcut, which intercepts before MAC resolution). *)
+
+val mem_domid : t -> int -> bool
+val entries : t -> Proto.entry list
+val size : t -> int
+val clear : t -> unit

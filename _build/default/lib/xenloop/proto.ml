@@ -1,0 +1,156 @@
+type entry = {
+  entry_domid : int;
+  entry_mac : Netcore.Mac.t;
+  entry_ip : Netcore.Ip.t;
+}
+
+type t =
+  | Announce of entry list
+  | Request_channel of { requester_domid : int }
+  | Create_channel of {
+      listener_domid : int;
+      fifo_lc_gref : Memory.Grant_table.gref;
+      fifo_cl_gref : Memory.Grant_table.gref;
+      evtchn_port : Evtchn.Event_channel.port;
+    }
+  | Channel_ack of { connector_domid : int }
+  | App_payload of {
+      src_ip : Netcore.Ip.t;
+      src_port : int;
+      dst_port : int;
+      payload : Bytes.t;
+    }
+
+let tag = function
+  | Announce _ -> 1
+  | Request_channel _ -> 2
+  | Create_channel _ -> 3
+  | Channel_ack _ -> 4
+  | App_payload _ -> 5
+
+let w16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let w32 buf v =
+  w16 buf (v lsr 16);
+  w16 buf v
+
+let wip buf ip =
+  let v = Netcore.Ip.to_int32 ip in
+  w16 buf (Int32.to_int (Int32.shift_right_logical v 16));
+  w16 buf (Int32.to_int (Int32.logand v 0xFFFFl))
+
+let wmac buf mac =
+  let v = Netcore.Mac.to_int64 mac in
+  for i = 5 downto 0 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let encode msg =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf (Char.chr (tag msg));
+  (match msg with
+  | Announce entries ->
+      w16 buf (List.length entries);
+      List.iter
+        (fun e ->
+          w16 buf e.entry_domid;
+          wmac buf e.entry_mac;
+          wip buf e.entry_ip)
+        entries
+  | Request_channel { requester_domid } -> w16 buf requester_domid
+  | Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port } ->
+      w16 buf listener_domid;
+      w32 buf fifo_lc_gref;
+      w32 buf fifo_cl_gref;
+      w16 buf evtchn_port
+  | Channel_ack { connector_domid } -> w16 buf connector_domid
+  | App_payload { src_ip; src_port; dst_port; payload } ->
+      wip buf src_ip;
+      w16 buf src_port;
+      w16 buf dst_port;
+      Buffer.add_bytes buf payload);
+  Buffer.to_bytes buf
+
+exception Short
+
+let decode data =
+  let pos = ref 0 in
+  let r8 () =
+    if !pos >= Bytes.length data then raise Short;
+    let v = Char.code (Bytes.get data !pos) in
+    incr pos;
+    v
+  in
+  let r16 () =
+    let hi = r8 () in
+    (hi lsl 8) lor r8 ()
+  in
+  let r32 () =
+    let hi = r16 () in
+    (hi lsl 16) lor r16 ()
+  in
+  let rip () =
+    let hi = r16 () in
+    let lo = r16 () in
+    Netcore.Ip.of_int32
+      (Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo))
+  in
+  let rmac () =
+    let v = ref 0L in
+    for _ = 1 to 6 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (r8 ()))
+    done;
+    Netcore.Mac.of_int64 !v
+  in
+  try
+    match r8 () with
+    | 1 ->
+        let n = r16 () in
+        let entries =
+          List.init n (fun _ ->
+              let entry_domid = r16 () in
+              let entry_mac = rmac () in
+              let entry_ip = rip () in
+              { entry_domid; entry_mac; entry_ip })
+        in
+        Ok (Announce entries)
+    | 2 -> Ok (Request_channel { requester_domid = r16 () })
+    | 3 ->
+        let listener_domid = r16 () in
+        let fifo_lc_gref = r32 () in
+        let fifo_cl_gref = r32 () in
+        let evtchn_port = r16 () in
+        Ok (Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port })
+    | 4 -> Ok (Channel_ack { connector_domid = r16 () })
+    | 5 ->
+        let src_ip = rip () in
+        let src_port = r16 () in
+        let dst_port = r16 () in
+        let payload = Bytes.sub data !pos (Bytes.length data - !pos) in
+        Ok (App_payload { src_ip; src_port; dst_port; payload })
+    | t -> Error (Printf.sprintf "unknown xenloop message tag %d" t)
+  with Short -> Error "truncated xenloop message"
+
+let equal a b = a = b
+
+let pp fmt = function
+  | Announce entries ->
+      Format.fprintf fmt "announce[%s]"
+        (String.concat "; "
+           (List.map
+              (fun e ->
+                Printf.sprintf "dom%d=%s" e.entry_domid
+                  (Netcore.Mac.to_string e.entry_mac))
+              entries))
+  | Request_channel { requester_domid } ->
+      Format.fprintf fmt "request_channel(dom%d)" requester_domid
+  | Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port } ->
+      Format.fprintf fmt "create_channel(dom%d grefs=%d,%d port=%d)" listener_domid
+        fifo_lc_gref fifo_cl_gref evtchn_port
+  | Channel_ack { connector_domid } ->
+      Format.fprintf fmt "channel_ack(dom%d)" connector_domid
+  | App_payload { src_ip; src_port; dst_port; payload } ->
+      Format.fprintf fmt "app_payload(%a:%d -> :%d len=%d)" Netcore.Ip.pp src_ip
+        src_port dst_port (Bytes.length payload)

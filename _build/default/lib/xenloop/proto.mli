@@ -1,0 +1,44 @@
+(** XenLoop control-plane messages.
+
+    These travel as a distinct layer-3 protocol type (paper Sect. 3.2/3.3):
+    discovery announcements from Dom0, and the out-of-band channel
+    bootstrap handshake between guests, carried over the standard
+    netfront–netback path while the fast channel does not exist yet. *)
+
+type entry = {
+  entry_domid : int;
+  entry_mac : Netcore.Mac.t;
+  entry_ip : Netcore.Ip.t;
+}
+
+type t =
+  | Announce of entry list
+      (** Dom0's collated [guest-ID, MAC] list of willing guests. *)
+  | Request_channel of { requester_domid : int }
+      (** Sent by the higher-ID guest to ask the lower-ID guest (the
+          listener) to create the channel resources. *)
+  | Create_channel of {
+      listener_domid : int;
+      fifo_lc_gref : Memory.Grant_table.gref;
+          (** descriptor page of the listener→connector FIFO *)
+      fifo_cl_gref : Memory.Grant_table.gref;
+          (** descriptor page of the connector→listener FIFO *)
+      evtchn_port : Evtchn.Event_channel.port;
+    }
+  | Channel_ack of { connector_domid : int }
+  | App_payload of {
+      src_ip : Netcore.Ip.t;
+      src_port : int;
+      dst_port : int;
+      payload : Bytes.t;
+    }
+      (** Transport-level shortcut datagram (the paper's future-work
+          direction, Sect. 6): an application payload carried over the
+          channel with socket addressing only — no IP or UDP processing on
+          either side. *)
+
+val encode : t -> Bytes.t
+val decode : Bytes.t -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

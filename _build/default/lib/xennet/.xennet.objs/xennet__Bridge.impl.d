@@ -1,0 +1,1 @@
+lib/xennet/bridge.ml: Hashtbl Hypervisor List Netcore Sim

@@ -1,0 +1,1 @@
+lib/xennet/bridge.mli: Hypervisor Netcore Sim

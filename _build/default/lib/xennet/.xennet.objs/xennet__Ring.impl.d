@@ -1,0 +1,1 @@
+lib/xennet/ring.ml: Queue Sim

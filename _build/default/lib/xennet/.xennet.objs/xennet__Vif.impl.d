@@ -1,0 +1,1 @@
+lib/xennet/vif.ml: Bridge Evtchn Format Hypervisor List Memory Netcore Netstack Printf Ring Sim

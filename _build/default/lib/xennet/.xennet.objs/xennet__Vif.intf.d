@@ -1,0 +1,1 @@
+lib/xennet/vif.mli: Bridge Hypervisor Netstack

@@ -1,0 +1,52 @@
+(** XenStore: the hierarchical key-value store maintained by Dom0.
+
+    Permission model, after the paper (Sect. 3.2): Dom0 (domain id 0) can
+    read and write everything; an unprivileged guest can read and modify
+    only its own subtree [/local/domain/<id>], and in particular cannot read
+    other guests' entries — which is exactly why XenLoop needs a discovery
+    module in Dom0. *)
+
+type t
+
+type domid = int
+
+type error = Noent | Eacces | Einval
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : unit -> t
+
+val dom0 : domid
+
+val domain_path : domid -> string
+(** ["/local/domain/<id>"]. *)
+
+(** {1 Store operations}
+
+    Paths are ['/']-separated, absolute ("/local/domain/3/xenloop").
+    Writing creates intermediate nodes.  [rm] removes a whole subtree. *)
+
+val write : t -> caller:domid -> path:string -> value:string -> (unit, error) result
+val read : t -> caller:domid -> path:string -> (string, error) result
+val rm : t -> caller:domid -> path:string -> (unit, error) result
+val exists : t -> caller:domid -> path:string -> bool
+(** [false] also when the caller lacks read permission. *)
+
+val directory : t -> caller:domid -> path:string -> (string list, error) result
+(** Child node names, sorted. *)
+
+(** {1 Watches} *)
+
+type event = Written of string | Removed
+type watch
+
+val watch :
+  t -> caller:domid -> path:string -> (string -> event -> unit) -> (watch, error) result
+(** Fire the callback for every change at or below [path] (the callback
+    receives the affected path).  The caller must be able to read [path]. *)
+
+val unwatch : t -> watch -> unit
+
+(** {1 Introspection} *)
+
+val node_count : t -> int

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Bytes Char Hypervisor List Netstack Printf Scenarios Sim Xenloop

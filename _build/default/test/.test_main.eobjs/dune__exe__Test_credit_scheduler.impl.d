@@ -1,0 +1,1 @@
+test/test_credit_scheduler.ml: Alcotest Float Hypervisor Printf Sim

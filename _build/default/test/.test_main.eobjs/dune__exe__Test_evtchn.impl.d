@@ -1,0 +1,1 @@
+test/test_evtchn.ml: Alcotest Evtchn Memory Sim

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Hypervisor Int64 List Netcore Sim Xenstore

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Bytes List Memory QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Bytes Char Format Gen Int32 Int64 List Netcore Option QCheck QCheck_alcotest Result String

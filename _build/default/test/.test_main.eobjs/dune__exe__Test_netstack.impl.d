@@ -1,0 +1,1 @@
+test/test_netstack.ml: Alcotest Bytes Char Format Gen Hypervisor Int32 List Netcore Netstack Printf QCheck QCheck_alcotest Sim String

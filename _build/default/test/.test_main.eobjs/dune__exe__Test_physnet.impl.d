@@ -1,0 +1,1 @@
+test/test_physnet.ml: Alcotest Bytes Char Hypervisor List Netcore Physnet Printf Sim String

@@ -1,0 +1,1 @@
+test/test_related.ml: Alcotest Array Buffer Bytes Char Hypervisor List Memory Netcore Netstack Printf QCheck QCheck_alcotest Related Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Format Gen List QCheck QCheck_alcotest Sim Testutil

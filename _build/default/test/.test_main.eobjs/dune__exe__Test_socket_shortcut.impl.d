@@ -1,0 +1,1 @@
+test/test_socket_shortcut.ml: Alcotest Bytes Hypervisor Netcore Netstack Printf Scenarios Sim Workloads Xenloop

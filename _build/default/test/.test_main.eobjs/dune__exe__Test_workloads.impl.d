@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Float Hypervisor Printf Scenarios Sim Workloads

@@ -1,0 +1,1 @@
+test/test_xenloop_integration.ml: Alcotest Array Bytes Char Gen Hypervisor List Memory Netstack Option Printf QCheck QCheck_alcotest Scenarios Sim Testutil Workloads Xenloop

@@ -1,0 +1,1 @@
+test/test_xennet.ml: Alcotest Bytes Char Hypervisor List Memory Netcore Netstack Printf Sim Xennet

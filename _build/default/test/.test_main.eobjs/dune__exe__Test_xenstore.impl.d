@@ -1,0 +1,1 @@
+test/test_xenstore.ml: Alcotest List Printf QCheck QCheck_alcotest Xenstore

@@ -1,0 +1,135 @@
+(* Tests for N-guest clusters: discovery, pairwise channels, isolation, and
+   selective teardown among many co-resident guests. *)
+
+module Setup = Scenarios.Setup
+module Experiment = Scenarios.Experiment
+module Gm = Xenloop.Guest_module
+module Domain = Hypervisor.Domain
+module Udp = Netstack.Udp
+
+let module_of (_, _, m) = m
+let ep_of (_, ep, _) = ep
+let domain_of (d, _, _) = d
+
+let with_cluster ~guests f =
+  let c = Setup.build_cluster ~guests () in
+  Experiment.run_process c.Setup.c_engine (fun () ->
+      c.Setup.c_warmup ();
+      f c)
+
+let test_discovery_sees_all () =
+  with_cluster ~guests:4 (fun c ->
+      List.iter
+        (fun g ->
+          Alcotest.(check int) "each guest maps the other three" 3
+            (Gm.mapping_size (module_of g)))
+        c.Setup.guests;
+      Alcotest.(check int) "discovery scanned four"
+        4
+        (List.length (Xenloop.Discovery.willing_guests c.Setup.c_discovery)))
+
+let test_all_pairs_channels () =
+  with_cluster ~guests:4 (fun c ->
+      List.iter
+        (fun g ->
+          let my_id = Domain.domid (domain_of g) in
+          let expected =
+            List.filter_map
+              (fun g' ->
+                let id = Domain.domid (domain_of g') in
+                if id = my_id then None else Some id)
+              c.Setup.guests
+            |> List.sort compare
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "dom%d connected to all peers" my_id)
+            expected
+            (Gm.connected_peer_ids (module_of g)))
+        c.Setup.guests)
+
+let test_channels_are_independent () =
+  (* Saturating one pair's channel must not corrupt another pair's data. *)
+  with_cluster ~guests:3 (fun c ->
+      let g1 = List.nth c.Setup.guests 0 in
+      let g2 = List.nth c.Setup.guests 1 in
+      let g3 = List.nth c.Setup.guests 2 in
+      let bind ep port =
+        match Udp.bind (ep_of ep).Scenarios.Endpoint.udp ~port () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let sock2 = bind g2 3000 and sock3 = bind g3 3000 in
+      let client =
+        match Udp.bind (ep_of g1).Scenarios.Endpoint.udp () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      (* Blast g2 while sending a precise payload to g3. *)
+      for _ = 1 to 100 do
+        Udp.sendto client
+          ~dst:(Domain.ip (domain_of g2))
+          ~dst_port:3000 (Bytes.make 1400 'B')
+      done;
+      let precise = Bytes.init 5000 (fun i -> Char.chr (i * 17 land 0xff)) in
+      Udp.sendto client ~dst:(Domain.ip (domain_of g3)) ~dst_port:3000 precise;
+      let _, _, got = Udp.recvfrom sock3 in
+      Alcotest.(check bool) "g3 payload intact under g2 load" true
+        (Bytes.equal precise got);
+      let received2 = ref 0 in
+      for _ = 1 to 100 do
+        ignore (Udp.recvfrom sock2);
+        incr received2
+      done;
+      Alcotest.(check int) "g2 got its burst" 100 !received2)
+
+let test_one_guest_unloads_others_survive () =
+  with_cluster ~guests:3 (fun c ->
+      let g1 = List.nth c.Setup.guests 0 in
+      let g2 = List.nth c.Setup.guests 1 in
+      let g3 = List.nth c.Setup.guests 2 in
+      Gm.unload (module_of g2);
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      (* g1<->g3 channel is untouched. *)
+      Alcotest.(check bool) "g1 still connected to g3" true
+        (Gm.has_channel_with (module_of g1) ~domid:(Domain.domid (domain_of g3)));
+      Alcotest.(check bool) "g1 disengaged from g2" false
+        (Gm.has_channel_with (module_of g1) ~domid:(Domain.domid (domain_of g2)));
+      (* Traffic to the unloaded guest still flows (netfront). *)
+      match
+        Netstack.Stack.ping (ep_of g1).Scenarios.Endpoint.stack
+          ~dst:(Domain.ip (domain_of g2))
+          ()
+      with
+      | Some _ -> ()
+      | None -> Alcotest.fail "standard path to unloaded guest broken")
+
+let test_shutdown_removes_from_announcements () =
+  with_cluster ~guests:3 (fun c ->
+      let g3 = List.nth c.Setup.guests 2 in
+      (* Simulate guest death: hypervisor shutdown runs the module's
+         shutdown hook, which withdraws the advertisement. *)
+      Hypervisor.Machine.shutdown_domain c.Setup.c_machine (domain_of g3);
+      Xenloop.Discovery.scan_now c.Setup.c_discovery;
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      Alcotest.(check int) "announcement shrank" 2
+        (List.length (Xenloop.Discovery.willing_guests c.Setup.c_discovery));
+      let g1 = List.nth c.Setup.guests 0 in
+      Alcotest.(check int) "g1's soft state aged out" 1
+        (Gm.mapping_size (module_of g1));
+      Alcotest.(check bool) "g1's channel to g3 torn down" false
+        (Gm.has_channel_with (module_of g1) ~domid:(Domain.domid (domain_of g3))))
+
+let suites =
+  [
+    ( "xenloop.cluster",
+      [
+        Alcotest.test_case "discovery sees all guests" `Quick test_discovery_sees_all;
+        Alcotest.test_case "all-pairs channels" `Quick test_all_pairs_channels;
+        Alcotest.test_case "channels independent under load" `Quick
+          test_channels_are_independent;
+        Alcotest.test_case "one unload leaves others" `Quick
+          test_one_guest_unloads_others_survive;
+        Alcotest.test_case "shutdown ages out of soft state" `Quick
+          test_shutdown_removes_from_announcements;
+      ] );
+  ]

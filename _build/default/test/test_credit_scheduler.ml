@@ -1,0 +1,175 @@
+(* Tests for the Xen credit scheduler model. *)
+
+module Cs = Hypervisor.Credit_scheduler
+
+let run_sim ?(horizon = Sim.Time.sec 120) f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero horizon) engine;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation deadlocked"
+
+let seconds span = Sim.Time.to_sec_f span
+
+let test_single_vcpu_runs_to_completion () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:1 () in
+      let v = Cs.add_vcpu s ~name:"v" ~weight:256 () in
+      let t0 = Sim.Engine.now engine in
+      Cs.run v (Sim.Time.ms 100);
+      let elapsed = Sim.Time.diff (Sim.Engine.now engine) t0 in
+      (* Alone on the machine: wall time = CPU time. *)
+      Alcotest.(check (float 0.001)) "no contention" 0.1 (seconds elapsed);
+      Alcotest.(check (float 0.001)) "cpu time accounted" 0.1 (seconds (Cs.cpu_time v)))
+
+let test_two_equal_vcpus_share_fairly () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:1 () in
+      let a = Cs.add_vcpu s ~name:"a" ~weight:256 () in
+      let b = Cs.add_vcpu s ~name:"b" ~weight:256 () in
+      let finished = ref 0 in
+      Sim.Engine.spawn engine (fun () -> Cs.run a (Sim.Time.ms 300); incr finished);
+      Sim.Engine.spawn engine (fun () -> Cs.run b (Sim.Time.ms 300); incr finished);
+      Sim.Engine.sleep (Sim.Time.ms 450);
+      (* Mid-flight: both should have roughly half the elapsed CPU. *)
+      let ta = seconds (Cs.cpu_time a) and tb = seconds (Cs.cpu_time b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fair share mid-flight (a=%.3f b=%.3f)" ta tb)
+        true
+        (Float.abs (ta -. tb) < 0.05);
+      Sim.Engine.sleep (Sim.Time.ms 400);
+      Alcotest.(check int) "both completed" 2 !finished)
+
+let test_weights_bias_allocation () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:1 () in
+      let heavy = Cs.add_vcpu s ~name:"heavy" ~weight:512 () in
+      let light = Cs.add_vcpu s ~name:"light" ~weight:256 () in
+      (* Both perpetually busy for 1.2 s of demand. *)
+      Sim.Engine.spawn engine (fun () -> Cs.run heavy (Sim.Time.ms 1200));
+      Sim.Engine.spawn engine (fun () -> Cs.run light (Sim.Time.ms 1200));
+      Sim.Engine.sleep (Sim.Time.ms 900);
+      let th = seconds (Cs.cpu_time heavy) and tl = seconds (Cs.cpu_time light) in
+      let ratio = th /. tl in
+      Alcotest.(check bool)
+        (Printf.sprintf "2:1 weights give ~2:1 time (ratio %.2f)" ratio)
+        true
+        (ratio > 1.5 && ratio < 2.6))
+
+let test_two_cpus_run_in_parallel () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:2 () in
+      let a = Cs.add_vcpu s ~name:"a" ~weight:256 () in
+      let b = Cs.add_vcpu s ~name:"b" ~weight:256 () in
+      let t0 = Sim.Engine.now engine in
+      let done_a = ref Sim.Time.zero and done_b = ref Sim.Time.zero in
+      Sim.Engine.spawn engine (fun () ->
+          Cs.run a (Sim.Time.ms 200);
+          done_a := Sim.Engine.now engine);
+      Sim.Engine.spawn engine (fun () ->
+          Cs.run b (Sim.Time.ms 200);
+          done_b := Sim.Engine.now engine);
+      Sim.Engine.sleep (Sim.Time.ms 300);
+      (* With two physical CPUs there is no interleaving delay. *)
+      Alcotest.(check (float 0.001)) "a parallel" 0.2 (seconds (Sim.Time.diff !done_a t0));
+      Alcotest.(check (float 0.001)) "b parallel" 0.2 (seconds (Sim.Time.diff !done_b t0)))
+
+let test_boost_preempts_queue () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:1 ~timeslice:(Sim.Time.ms 10) () in
+      let hog1 = Cs.add_vcpu s ~name:"hog1" ~weight:256 () in
+      let hog2 = Cs.add_vcpu s ~name:"hog2" ~weight:256 () in
+      let io = Cs.add_vcpu s ~name:"io" ~weight:256 () in
+      Sim.Engine.spawn engine (fun () -> Cs.run hog1 (Sim.Time.ms 500));
+      Sim.Engine.spawn engine (fun () -> Cs.run hog2 (Sim.Time.ms 500));
+      (* Let the hogs burn credit first. *)
+      Sim.Engine.sleep (Sim.Time.ms 100);
+      let t0 = Sim.Engine.now engine in
+      Cs.run io (Sim.Time.ms 1);
+      let latency = Sim.Time.to_ms_f (Sim.Time.diff (Sim.Engine.now engine) t0) in
+      (* The waking vCPU is BOOSTed: it runs after at most one timeslice of
+         an in-flight hog, never behind the whole backlog. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "io-latency bounded by one timeslice (%.1f ms)" latency)
+        true (latency <= 11.5))
+
+let wake_latency_ms ~boost =
+  run_sim (fun engine ->
+      let s =
+        Cs.create ~engine ~physical_cpus:1 ~timeslice:(Sim.Time.ms 30) ~boost ()
+      in
+      let hog1 = Cs.add_vcpu s ~name:"hog1" ~weight:256 () in
+      let hog2 = Cs.add_vcpu s ~name:"hog2" ~weight:256 () in
+      let io = Cs.add_vcpu s ~name:"io" ~weight:256 () in
+      Sim.Engine.spawn engine (fun () -> Cs.run hog1 (Sim.Time.sec 2));
+      Sim.Engine.spawn engine (fun () -> Cs.run hog2 (Sim.Time.sec 2));
+      Sim.Engine.sleep (Sim.Time.ms 47);
+      let t0 = Sim.Engine.now engine in
+      Cs.run io (Sim.Time.us 50);
+      Sim.Time.to_ms_f (Sim.Time.diff (Sim.Engine.now engine) t0))
+
+let test_boost_preemption_vs_no_boost () =
+  let with_boost = wake_latency_ms ~boost:true in
+  let without = wake_latency_ms ~boost:false in
+  Alcotest.(check bool)
+    (Printf.sprintf "boost (%.2f ms) preempts; no-boost (%.2f ms) waits" with_boost
+       without)
+    true
+    (with_boost < 1.0 && without > 5.0)
+
+let test_cap_limits_consumption () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:1 () in
+      let capped = Cs.add_vcpu s ~name:"capped" ~weight:256 ~cap_percent:25 () in
+      Sim.Engine.spawn engine (fun () -> Cs.run capped (Sim.Time.ms 500));
+      Sim.Engine.sleep (Sim.Time.ms 600);
+      let consumed = seconds (Cs.cpu_time capped) in
+      (* Despite an idle machine, the cap holds it near 25%. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "caped at ~25%% (consumed %.3f of 0.6)" consumed)
+        true
+        (consumed < 0.25 && consumed > 0.10))
+
+let test_sequential_bursts_accumulate () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:1 () in
+      let v = Cs.add_vcpu s ~name:"v" ~weight:256 () in
+      for _ = 1 to 10 do
+        Cs.run v (Sim.Time.ms 5)
+      done;
+      Alcotest.(check (float 0.0001)) "50ms total" 0.05 (seconds (Cs.cpu_time v)))
+
+let test_invalid_arguments () =
+  run_sim (fun engine ->
+      let s = Cs.create ~engine ~physical_cpus:1 () in
+      Alcotest.(check bool) "weight 0 rejected" true
+        (try
+           ignore (Cs.add_vcpu s ~name:"w" ~weight:0 ());
+           false
+         with Invalid_argument _ -> true);
+      Alcotest.(check bool) "cap 0 rejected" true
+        (try
+           ignore (Cs.add_vcpu s ~name:"c" ~weight:256 ~cap_percent:0 ());
+           false
+         with Invalid_argument _ -> true))
+
+let suites =
+  [
+    ( "hypervisor.credit_scheduler",
+      [
+        Alcotest.test_case "single vcpu" `Quick test_single_vcpu_runs_to_completion;
+        Alcotest.test_case "equal weights share fairly" `Quick
+          test_two_equal_vcpus_share_fairly;
+        Alcotest.test_case "weights bias allocation" `Quick test_weights_bias_allocation;
+        Alcotest.test_case "two pCPUs run in parallel" `Quick test_two_cpus_run_in_parallel;
+        Alcotest.test_case "boost bounds io latency" `Quick test_boost_preempts_queue;
+        Alcotest.test_case "boost preemption vs no-boost" `Quick
+          test_boost_preemption_vs_no_boost;
+        Alcotest.test_case "cap limits consumption" `Quick test_cap_limits_consumption;
+        Alcotest.test_case "sequential bursts accumulate" `Quick
+          test_sequential_bursts_accumulate;
+        Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+      ] );
+  ]

@@ -1,0 +1,201 @@
+(* Tests for domains, machines, the cost model, and bare live migration. *)
+
+module Params = Hypervisor.Params
+module Domain = Hypervisor.Domain
+module Machine = Hypervisor.Machine
+module Migration = Hypervisor.Migration
+module Mac = Netcore.Mac
+module Ip = Netcore.Ip
+
+let run_sim f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.sec 30)) engine;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation deadlocked"
+
+let make_machine engine ~id =
+  Machine.create ~engine ~params:Params.default ~id ()
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_params_copy_cost () =
+  let p = Params.default in
+  Alcotest.(check int64) "zero bytes" 0L (Sim.Time.to_ns (Params.copy_cost p 0));
+  let c1 = Sim.Time.to_ns (Params.copy_cost p 1000) in
+  let c2 = Sim.Time.to_ns (Params.copy_cost p 2000) in
+  Alcotest.(check bool) "linear" true (Int64.to_int c2 = 2 * Int64.to_int c1);
+  Alcotest.(check bool) "fifo copies cost more than cached copies" true
+    (Sim.Time.span_compare
+       (Params.xenloop_copy_cost p 4096)
+       (Params.copy_cost p 4096)
+    > 0)
+
+let test_params_wire_time () =
+  let p = Params.default in
+  (* 1500 bytes + 24 framing at 1 Gbps = 12.192 us. *)
+  Alcotest.(check int64) "wire time" 12_192L
+    (Sim.Time.to_ns (Params.wire_time p 1500))
+
+let test_params_pages_of_bytes () =
+  Alcotest.(check int) "0 bytes still one page" 1 (Params.pages_of_bytes 0);
+  Alcotest.(check int) "1 byte" 1 (Params.pages_of_bytes 1);
+  Alcotest.(check int) "4096" 1 (Params.pages_of_bytes 4096);
+  Alcotest.(check int) "4097" 2 (Params.pages_of_bytes 4097);
+  Alcotest.(check int) "64k" 16 (Params.pages_of_bytes 65536)
+
+(* ------------------------------------------------------------------ *)
+(* Machine / Domain *)
+
+let test_machine_creates_domains () =
+  run_sim (fun engine ->
+      let m = make_machine engine ~id:0 in
+      let d1 = Machine.create_domain m ~name:"a" ~ip:(Ip.make ~subnet:1 ~host:1) in
+      let d2 = Machine.create_domain m ~name:"b" ~ip:(Ip.make ~subnet:1 ~host:2) in
+      Alcotest.(check int) "first guest is dom1" 1 (Domain.domid d1);
+      Alcotest.(check int) "second guest is dom2" 2 (Domain.domid d2);
+      Alcotest.(check bool) "distinct macs" false
+        (Mac.equal (Domain.mac d1) (Domain.mac d2));
+      Alcotest.(check int) "guest count" 2 (Machine.guest_count m);
+      Alcotest.(check bool) "grant table exists" true
+        (Machine.grant_table m 1 <> None);
+      match Machine.domain m 2 with
+      | Some d -> Alcotest.(check string) "lookup by id" "b" (Domain.name d)
+      | None -> Alcotest.fail "domain 2 missing")
+
+let test_machine_xenstore_entries () =
+  run_sim (fun engine ->
+      let m = make_machine engine ~id:0 in
+      let d = Machine.create_domain m ~name:"guest" ~ip:(Ip.make ~subnet:1 ~host:1) in
+      let xs = Machine.xenstore m in
+      (match
+         Xenstore.read xs ~caller:Xenstore.dom0
+           ~path:(Xenstore.domain_path (Domain.domid d) ^ "/name")
+       with
+      | Ok name -> Alcotest.(check string) "name entry" "guest" name
+      | Error _ -> Alcotest.fail "no name entry");
+      match
+        Xenstore.read xs ~caller:Xenstore.dom0
+          ~path:(Xenstore.domain_path (Domain.domid d) ^ "/mac")
+      with
+      | Ok mac -> Alcotest.(check string) "mac entry" (Mac.to_string (Domain.mac d)) mac
+      | Error _ -> Alcotest.fail "no mac entry")
+
+let test_shutdown_runs_hooks_and_cleans () =
+  run_sim (fun engine ->
+      let m = make_machine engine ~id:0 in
+      let d = Machine.create_domain m ~name:"g" ~ip:(Ip.make ~subnet:1 ~host:1) in
+      let hook_ran = ref false in
+      Domain.on_shutdown d (fun () -> hook_ran := true);
+      Machine.shutdown_domain m d;
+      Alcotest.(check bool) "hook ran" true !hook_ran;
+      Alcotest.(check bool) "dead" true (Domain.state d = Domain.Dead);
+      Alcotest.(check int) "removed" 0 (Machine.guest_count m);
+      Alcotest.(check bool) "xenstore cleaned" false
+        (Xenstore.exists (Machine.xenstore m) ~caller:Xenstore.dom0
+           ~path:(Xenstore.domain_path 1)))
+
+let test_hook_ordering () =
+  run_sim (fun engine ->
+      let m = make_machine engine ~id:1 in
+      let m2 = make_machine engine ~id:2 in
+      let d = Machine.create_domain m ~name:"g" ~ip:(Ip.make ~subnet:1 ~host:1) in
+      let order = ref [] in
+      Domain.on_pre_migrate d (fun () -> order := "pre-first" :: !order);
+      Domain.on_post_restore d (fun () -> order := "post-first" :: !order);
+      Domain.on_pre_migrate d (fun () -> order := "pre-second" :: !order);
+      Domain.on_post_restore d (fun () -> order := "post-second" :: !order);
+      Migration.migrate ~src:m ~dst:m2 d;
+      (* Pre-migrate: newest first.  Post-restore: registration order. *)
+      Alcotest.(check (list string)) "choreography"
+        [ "pre-second"; "pre-first"; "post-first"; "post-second" ]
+        (List.rev !order))
+
+(* ------------------------------------------------------------------ *)
+(* Migration mechanics *)
+
+let test_migration_moves_domain () =
+  run_sim (fun engine ->
+      let m1 = make_machine engine ~id:1 in
+      let m2 = make_machine engine ~id:2 in
+      let d = Machine.create_domain m1 ~name:"wanderer" ~ip:(Ip.make ~subnet:1 ~host:9) in
+      let old_mac = Domain.mac d in
+      (* Occupy domid 1 on the target so the migrated guest gets a fresh id. *)
+      let _resident =
+        Machine.create_domain m2 ~name:"resident" ~ip:(Ip.make ~subnet:1 ~host:8)
+      in
+      let t0 = Sim.Engine.now engine in
+      Migration.migrate ~src:m1 ~dst:m2 d;
+      Alcotest.(check int) "gone from source" 0 (Machine.guest_count m1);
+      Alcotest.(check int) "present at target" 2 (Machine.guest_count m2);
+      Alcotest.(check int) "fresh domid" 2 (Domain.domid d);
+      Alcotest.(check bool) "identity (mac) preserved" true
+        (Mac.equal old_mac (Domain.mac d));
+      Alcotest.(check bool) "running again" true (Domain.is_running d);
+      (* The stop-and-copy blackout advanced the clock. *)
+      let elapsed = Sim.Time.diff (Sim.Engine.now engine) t0 in
+      Alcotest.(check bool) "downtime charged" true
+        (Sim.Time.span_compare elapsed Params.default.Params.migration_downtime >= 0))
+
+let test_migration_rejects_foreign_domain () =
+  run_sim (fun engine ->
+      let m1 = make_machine engine ~id:1 in
+      let m2 = make_machine engine ~id:2 in
+      let d = Machine.create_domain m2 ~name:"elsewhere" ~ip:(Ip.make ~subnet:1 ~host:1) in
+      Alcotest.(check bool) "refused" true
+        (try
+           Migration.migrate ~src:m1 ~dst:m2 d;
+           false
+         with Invalid_argument _ -> true))
+
+let test_migration_grant_tables_follow () =
+  run_sim (fun engine ->
+      let m1 = make_machine engine ~id:1 in
+      let m2 = make_machine engine ~id:2 in
+      let d = Machine.create_domain m1 ~name:"g" ~ip:(Ip.make ~subnet:1 ~host:1) in
+      let old_id = Domain.domid d in
+      Migration.migrate ~src:m1 ~dst:m2 d;
+      Alcotest.(check bool) "source table dropped" true
+        (Machine.grant_table m1 old_id = None);
+      Alcotest.(check bool) "fresh table at target" true
+        (Machine.grant_table m2 (Domain.domid d) <> None))
+
+(* ------------------------------------------------------------------ *)
+(* Dom0 identity *)
+
+let test_dom0_identity () =
+  run_sim (fun engine ->
+      let m = make_machine engine ~id:3 in
+      Alcotest.(check int) "dom0 id" 0 (Domain.domid (Machine.dom0 m));
+      Alcotest.(check int) "machine id" 3 (Machine.id m);
+      Alcotest.(check bool) "dom0 running" true (Domain.is_running (Machine.dom0 m)))
+
+let suites =
+  [
+    ( "hypervisor.params",
+      [
+        Alcotest.test_case "copy cost" `Quick test_params_copy_cost;
+        Alcotest.test_case "wire time" `Quick test_params_wire_time;
+        Alcotest.test_case "pages of bytes" `Quick test_params_pages_of_bytes;
+      ] );
+    ( "hypervisor.machine",
+      [
+        Alcotest.test_case "creates domains" `Quick test_machine_creates_domains;
+        Alcotest.test_case "xenstore entries" `Quick test_machine_xenstore_entries;
+        Alcotest.test_case "shutdown hooks and cleanup" `Quick
+          test_shutdown_runs_hooks_and_cleans;
+        Alcotest.test_case "lifecycle hook ordering" `Quick test_hook_ordering;
+        Alcotest.test_case "dom0 identity" `Quick test_dom0_identity;
+      ] );
+    ( "hypervisor.migration",
+      [
+        Alcotest.test_case "moves domain" `Quick test_migration_moves_domain;
+        Alcotest.test_case "rejects foreign domain" `Quick
+          test_migration_rejects_foreign_domain;
+        Alcotest.test_case "grant tables follow" `Quick
+          test_migration_grant_tables_follow;
+      ] );
+  ]

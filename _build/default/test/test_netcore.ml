@@ -1,0 +1,463 @@
+(* Tests for addresses, checksums, packet codec, and IP fragmentation. *)
+
+module Mac = Netcore.Mac
+module Ip = Netcore.Ip
+module Checksum = Netcore.Checksum
+module Ipv4 = Netcore.Ipv4
+module Transport = Netcore.Transport
+module Arp = Netcore.Arp
+module Packet = Netcore.Packet
+module Codec = Netcore.Codec
+module Fragment = Netcore.Fragment
+
+let mac_a = Mac.of_domid ~machine:0 ~domid:1
+let mac_b = Mac.of_domid ~machine:0 ~domid:2
+let ip_a = Ip.make ~subnet:1 ~host:1
+let ip_b = Ip.make ~subnet:1 ~host:2
+
+(* ------------------------------------------------------------------ *)
+(* Addresses *)
+
+let test_mac_string_roundtrip () =
+  let m = Mac.of_int64 0x0123456789ABL in
+  Alcotest.(check string) "to_string" "01:23:45:67:89:ab" (Mac.to_string m);
+  (match Mac.of_string "01:23:45:67:89:ab" with
+  | Some m' -> Alcotest.(check bool) "roundtrip" true (Mac.equal m m')
+  | None -> Alcotest.fail "parse failed");
+  Alcotest.(check (option reject)) "garbage" None
+    (Option.map ignore (Mac.of_string "zz:aa"));
+  Alcotest.(check (option reject)) "wrong groups" None
+    (Option.map ignore (Mac.of_string "01:23:45:67:89"))
+
+let test_mac_broadcast () =
+  Alcotest.(check string) "broadcast" "ff:ff:ff:ff:ff:ff" (Mac.to_string Mac.broadcast);
+  Alcotest.(check bool) "is_broadcast" true (Mac.is_broadcast Mac.broadcast);
+  Alcotest.(check bool) "unicast not broadcast" false (Mac.is_broadcast mac_a)
+
+let test_mac_of_domid () =
+  Alcotest.(check bool) "distinct per domain" false (Mac.equal mac_a mac_b);
+  Alcotest.(check bool) "distinct per machine" false
+    (Mac.equal mac_a (Mac.of_domid ~machine:1 ~domid:1));
+  (* Xen OUI prefix. *)
+  Alcotest.(check string) "oui" "00:16:3e"
+    (String.sub (Mac.to_string mac_a) 0 8)
+
+let test_ip_string_roundtrip () =
+  let ip = Ip.of_octets 192 168 1 42 in
+  Alcotest.(check string) "to_string" "192.168.1.42" (Ip.to_string ip);
+  (match Ip.of_string "192.168.1.42" with
+  | Some ip' -> Alcotest.(check bool) "roundtrip" true (Ip.equal ip ip')
+  | None -> Alcotest.fail "parse failed");
+  Alcotest.(check (option reject)) "out of range" None
+    (Option.map ignore (Ip.of_string "1.2.3.256"));
+  Alcotest.(check (option reject)) "not dotted quad" None
+    (Option.map ignore (Ip.of_string "1.2.3"))
+
+let test_ip_make () =
+  Alcotest.(check string) "cluster scheme" "10.3.0.7"
+    (Ip.to_string (Ip.make ~subnet:3 ~host:7))
+
+(* ------------------------------------------------------------------ *)
+(* Checksum *)
+
+let test_checksum_known_vector () =
+  (* Classic RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 220d. *)
+  let data = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "rfc1071" 0x220d (Checksum.compute data ~off:0 ~len:8)
+
+let test_checksum_verify () =
+  (* Checksum field (offset 2) starts zeroed; after embedding the computed
+     checksum the whole range must verify. *)
+  let data = Bytes.of_string "\x45\x00\x00\x00xyzabcdefhij" in
+  let len = Bytes.length data in
+  let ck = Checksum.compute data ~off:0 ~len in
+  Bytes.set_uint8 data 2 (ck lsr 8);
+  Bytes.set_uint8 data 3 (ck land 0xff);
+  Alcotest.(check bool) "verifies" true (Checksum.verify data ~off:0 ~len);
+  (* And corruption breaks verification. *)
+  Bytes.set_uint8 data 5 (Bytes.get_uint8 data 5 lxor 1);
+  Alcotest.(check bool) "corruption detected" false (Checksum.verify data ~off:0 ~len)
+
+let test_checksum_odd_length () =
+  let data = Bytes.of_string "abc" in
+  let ck = Checksum.compute data ~off:0 ~len:3 in
+  Alcotest.(check bool) "in range" true (ck >= 0 && ck <= 0xffff)
+
+let prop_checksum_detects_single_bit_flips =
+  QCheck.Test.make ~name:"checksum detects single corrupted byte" ~count:200
+    QCheck.(pair (string_of_size Gen.(2 -- 64)) small_int)
+    (fun (s, idx) ->
+      QCheck.assume (String.length s >= 2);
+      let data = Bytes.of_string s in
+      let len = Bytes.length data in
+      let ck = Checksum.compute data ~off:0 ~len in
+      let idx = idx mod len in
+      let original = Bytes.get_uint8 data idx in
+      let corrupted = (original + 1) land 0xff in
+      QCheck.assume (corrupted <> original);
+      Bytes.set_uint8 data idx corrupted;
+      Checksum.compute data ~off:0 ~len <> ck)
+
+let prop_checksum_incremental_matches_full =
+  QCheck.Test.make ~name:"incremental update matches recomputation" ~count:200
+    QCheck.(triple (string_of_size (QCheck.Gen.return 8)) (int_bound 3) (int_bound 0xffff))
+    (fun (s, word_idx, new_word) ->
+      let data = Bytes.of_string s in
+      let old = Checksum.compute data ~off:0 ~len:8 in
+      let old_word =
+        (Bytes.get_uint8 data (2 * word_idx) lsl 8)
+        lor Bytes.get_uint8 data ((2 * word_idx) + 1)
+      in
+      Bytes.set_uint8 data (2 * word_idx) (new_word lsr 8);
+      Bytes.set_uint8 data ((2 * word_idx) + 1) (new_word land 0xff);
+      let fresh = Checksum.compute data ~off:0 ~len:8 in
+      let incremental = Checksum.incremental_update ~old_checksum:old ~old_word ~new_word in
+      fresh = incremental)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let codec_error = Alcotest.testable Codec.pp_error ( = )
+
+let roundtrip packet =
+  match Codec.parse (Codec.serialize packet) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %a" Codec.pp_error e
+
+let test_codec_udp_roundtrip () =
+  let p =
+    Packet.udp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~src_port:5000
+      ~dst_port:53 ~ident:7 (Bytes.of_string "dns query")
+  in
+  Alcotest.(check bool) "roundtrip equal" true (Packet.equal p (roundtrip p))
+
+let test_codec_tcp_roundtrip () =
+  let header =
+    {
+      Transport.tcp_src_port = 43210;
+      tcp_dst_port = 80;
+      seq = 123456789l;
+      ack_seq = 42l;
+      flags = { Transport.no_flags with syn = true; ack = true };
+      window = 65535;
+    }
+  in
+  let p =
+    Packet.tcp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~header ~ident:3
+      (Bytes.of_string "GET / HTTP/1.0\r\n")
+  in
+  Alcotest.(check bool) "roundtrip equal" true (Packet.equal p (roundtrip p))
+
+let test_codec_icmp_roundtrip () =
+  let p =
+    Packet.icmp_echo ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b
+      ~kind:`Request ~icmp_ident:99 ~icmp_seq:5 ~ident:11 (Bytes.of_string "ping")
+  in
+  Alcotest.(check bool) "roundtrip equal" true (Packet.equal p (roundtrip p))
+
+let test_codec_arp_roundtrip () =
+  let msg = Arp.request ~sender_mac:mac_a ~sender_ip:ip_a ~target_ip:ip_b in
+  let p = Packet.arp ~src_mac:mac_a ~dst_mac:Mac.broadcast msg in
+  Alcotest.(check bool) "roundtrip equal" true (Packet.equal p (roundtrip p))
+
+let test_codec_xenloop_roundtrip () =
+  let p =
+    Packet.xenloop_ctrl ~src_mac:mac_a ~dst_mac:mac_b (Bytes.of_string "ANNOUNCE 1 2 3")
+  in
+  Alcotest.(check bool) "roundtrip equal" true (Packet.equal p (roundtrip p))
+
+let test_codec_wire_length_matches () =
+  let p =
+    Packet.udp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1
+      ~dst_port:2 (Bytes.of_string "0123456789")
+  in
+  Alcotest.(check int) "wire length" (Bytes.length (Codec.serialize p))
+    (Packet.wire_length p)
+
+let test_codec_rejects_corruption () =
+  let p =
+    Packet.udp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1
+      ~dst_port:2 (Bytes.of_string "payload")
+  in
+  let raw = Codec.serialize p in
+  (* Corrupt a payload byte: transport checksum must catch it. *)
+  let last = Bytes.length raw - 1 in
+  Bytes.set_uint8 raw last (Bytes.get_uint8 raw last lxor 0xFF);
+  (match Codec.parse raw with
+  | Error (Codec.Bad_checksum "transport") -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "accepted corrupted payload");
+  (* Corrupt the IP header. *)
+  let raw2 = Codec.serialize p in
+  Bytes.set_uint8 raw2 20 (Bytes.get_uint8 raw2 20 lxor 0xFF);
+  match Codec.parse raw2 with
+  | Error (Codec.Bad_checksum "IPv4") -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "accepted corrupted header"
+
+let test_codec_truncated () =
+  let p = Packet.arp ~src_mac:mac_a ~dst_mac:Mac.broadcast
+      (Arp.request ~sender_mac:mac_a ~sender_ip:ip_a ~target_ip:ip_b) in
+  let raw = Codec.serialize p in
+  Alcotest.(check (result reject codec_error)) "truncated" (Error Codec.Truncated)
+    (Result.map ignore (Codec.parse (Bytes.sub raw 0 (Bytes.length raw - 3))))
+
+let test_codec_bad_ethertype () =
+  let raw = Bytes.make 20 '\000' in
+  Bytes.set_uint8 raw 12 0xAB;
+  Bytes.set_uint8 raw 13 0xCD;
+  match Codec.parse raw with
+  | Error (Codec.Bad_ethertype 0xABCD) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "accepted unknown ethertype"
+
+let payload_gen = QCheck.Gen.(map Bytes.of_string (string_size (0 -- 2000)))
+
+let arbitrary_udp_packet =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Packet.pp p)
+    QCheck.Gen.(
+      let* sp = 0 -- 0xffff and* dp = 0 -- 0xffff and* ident = 0 -- 0xffff in
+      let* payload = payload_gen in
+      return
+        (Packet.udp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b
+           ~src_port:sp ~dst_port:dp ~ident payload))
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse roundtrip" ~count:200 arbitrary_udp_packet
+    (fun p ->
+      match Codec.parse (Codec.serialize p) with
+      | Ok p' -> Packet.equal p p'
+      | Error _ -> false)
+
+let arbitrary_tcp_packet =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Packet.pp p)
+    QCheck.Gen.(
+      let* sp = 0 -- 0xffff and* dp = 0 -- 0xffff in
+      let* seq = map Int32.of_int (0 -- 0x3FFFFFFF) in
+      let* ack_seq = map Int32.of_int (0 -- 0x3FFFFFFF) in
+      let* window = 0 -- 0xffff in
+      let* syn = bool and* ack = bool and* fin = bool and* psh = bool and* rst = bool in
+      let* payload = payload_gen in
+      let header =
+        {
+          Transport.tcp_src_port = sp;
+          tcp_dst_port = dp;
+          seq;
+          ack_seq;
+          flags = { Transport.syn; ack; fin; psh; rst };
+          window;
+        }
+      in
+      return
+        (Packet.tcp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~header
+           payload))
+
+let prop_codec_tcp_roundtrip =
+  QCheck.Test.make ~name:"tcp serialize/parse roundtrip (all flag combos)" ~count:300
+    arbitrary_tcp_packet (fun p ->
+      match Codec.parse (Codec.serialize p) with
+      | Ok p' -> Packet.equal p p'
+      | Error _ -> false)
+
+let prop_mac_string_roundtrip =
+  QCheck.Test.make ~name:"mac to_string/of_string roundtrip" ~count:200
+    QCheck.(map Int64.of_int int)
+    (fun v ->
+      let m = Mac.of_int64 v in
+      match Mac.of_string (Mac.to_string m) with
+      | Some m' -> Mac.equal m m'
+      | None -> false)
+
+let prop_ip_string_roundtrip =
+  QCheck.Test.make ~name:"ip to_string/of_string roundtrip" ~count:200
+    QCheck.(quad (int_bound 255) (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c, d) ->
+      let ip = Ip.of_octets a b c d in
+      match Ip.of_string (Ip.to_string ip) with
+      | Some ip' -> Ip.equal ip ip'
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fragmentation *)
+
+let big_udp len =
+  Packet.udp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~src_port:9
+    ~dst_port:10 ~ident:77
+    (Bytes.init len (fun i -> Char.chr (i land 0xff)))
+
+let test_fragment_small_packet_untouched () =
+  let p = big_udp 100 in
+  Alcotest.(check int) "singleton" 1 (List.length (Fragment.fragment ~mtu:1500 p))
+
+let test_fragment_splits_and_offsets () =
+  let p = big_udp 4000 in
+  let frags = Fragment.fragment ~mtu:1500 p in
+  Alcotest.(check bool) "several fragments" true (List.length frags >= 3);
+  let offsets =
+    List.filter_map
+      (fun f -> Option.map (fun h -> h.Ipv4.frag_offset) (Packet.ip_header f))
+      frags
+  in
+  Alcotest.(check int) "first at 0" 0 (List.hd offsets);
+  List.iter
+    (fun off -> Alcotest.(check int) "8-byte aligned" 0 (off mod 8))
+    offsets;
+  (* All but the last must have more_fragments set. *)
+  let more_flags =
+    List.filter_map
+      (fun f -> Option.map (fun h -> h.Ipv4.more_fragments) (Packet.ip_header f))
+      frags
+  in
+  Alcotest.(check bool) "last has no MF" false (List.nth more_flags (List.length more_flags - 1));
+  List.iteri
+    (fun i mf ->
+      if i < List.length more_flags - 1 then
+        Alcotest.(check bool) "MF set" true mf)
+    more_flags;
+  (* Every fragment respects the MTU. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "fits mtu" true
+        (Packet.wire_length f - Packet.ethernet_header_length <= 1500))
+    frags
+
+let test_fragment_reassembles_in_order () =
+  let p = big_udp 5000 in
+  let frags = Fragment.fragment ~mtu:1500 p in
+  let reasm = Fragment.create_reassembler () in
+  let result =
+    List.fold_left
+      (fun acc f ->
+        match Fragment.push reasm f with
+        | Ok (Some whole) -> Some whole
+        | Ok None -> acc
+        | Error e -> Alcotest.failf "reassembly error: %a" Codec.pp_error e)
+      None frags
+  in
+  match result with
+  | None -> Alcotest.fail "never completed"
+  | Some whole ->
+      Alcotest.(check bool) "identical to original" true (Packet.equal p whole);
+      Alcotest.(check int) "no pending state" 0 (Fragment.pending_datagrams reasm)
+
+let test_fragment_reassembles_out_of_order () =
+  let p = big_udp 6000 in
+  let frags = Fragment.fragment ~mtu:1500 p in
+  let shuffled = List.rev frags in
+  let reasm = Fragment.create_reassembler () in
+  let result =
+    List.fold_left
+      (fun acc f ->
+        match Fragment.push reasm f with
+        | Ok (Some whole) -> Some whole
+        | Ok None -> acc
+        | Error e -> Alcotest.failf "reassembly error: %a" Codec.pp_error e)
+      None shuffled
+  in
+  match result with
+  | None -> Alcotest.fail "never completed"
+  | Some whole -> Alcotest.(check bool) "identical" true (Packet.equal p whole)
+
+let test_fragment_incomplete_stays_pending () =
+  let p = big_udp 4000 in
+  let frags = Fragment.fragment ~mtu:1500 p in
+  let reasm = Fragment.create_reassembler () in
+  (match frags with
+  | first :: _ -> (
+      match Fragment.push reasm first with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "single fragment completed a datagram")
+  | [] -> Alcotest.fail "no fragments");
+  Alcotest.(check int) "pending" 1 (Fragment.pending_datagrams reasm)
+
+let test_fragment_interleaved_datagrams () =
+  let p1 = big_udp 3000 in
+  let p2 =
+    Packet.udp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~src_port:9
+      ~dst_port:10 ~ident:78 (Bytes.make 3000 'z')
+  in
+  let frags = Fragment.fragment ~mtu:1500 p1 @ Fragment.fragment ~mtu:1500 p2 in
+  (* Interleave the two datagrams' fragments. *)
+  let reasm = Fragment.create_reassembler () in
+  let completed = ref [] in
+  List.iter
+    (fun f ->
+      match Fragment.push reasm f with
+      | Ok (Some whole) -> completed := whole :: !completed
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "reassembly error: %a" Codec.pp_error e)
+    frags;
+  Alcotest.(check int) "both completed" 2 (List.length !completed)
+
+let prop_fragment_roundtrip =
+  QCheck.Test.make ~name:"fragment/reassemble roundtrip at random sizes" ~count:100
+    QCheck.(pair (int_range 0 20000) (int_range 600 1500))
+    (fun (len, mtu) ->
+      let p = big_udp len in
+      let frags = Fragment.fragment ~mtu p in
+      let reasm = Fragment.create_reassembler () in
+      let result =
+        List.fold_left
+          (fun acc f ->
+            match Fragment.push reasm f with
+            | Ok (Some whole) -> Some whole
+            | Ok None -> acc
+            | Error _ -> acc)
+          None frags
+      in
+      match result with Some whole -> Packet.equal p whole | None -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "netcore.addresses",
+      [
+        Alcotest.test_case "mac string roundtrip" `Quick test_mac_string_roundtrip;
+        Alcotest.test_case "broadcast" `Quick test_mac_broadcast;
+        Alcotest.test_case "mac of domid" `Quick test_mac_of_domid;
+        Alcotest.test_case "ip string roundtrip" `Quick test_ip_string_roundtrip;
+        Alcotest.test_case "cluster addressing" `Quick test_ip_make;
+      ]
+      @ qsuite [ prop_mac_string_roundtrip; prop_ip_string_roundtrip ] );
+    ( "netcore.checksum",
+      [
+        Alcotest.test_case "known vector" `Quick test_checksum_known_vector;
+        Alcotest.test_case "verify embedded" `Quick test_checksum_verify;
+        Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+      ]
+      @ qsuite
+          [ prop_checksum_detects_single_bit_flips; prop_checksum_incremental_matches_full ]
+    );
+    ( "netcore.codec",
+      [
+        Alcotest.test_case "udp roundtrip" `Quick test_codec_udp_roundtrip;
+        Alcotest.test_case "tcp roundtrip" `Quick test_codec_tcp_roundtrip;
+        Alcotest.test_case "icmp roundtrip" `Quick test_codec_icmp_roundtrip;
+        Alcotest.test_case "arp roundtrip" `Quick test_codec_arp_roundtrip;
+        Alcotest.test_case "xenloop ctrl roundtrip" `Quick test_codec_xenloop_roundtrip;
+        Alcotest.test_case "wire length matches bytes" `Quick test_codec_wire_length_matches;
+        Alcotest.test_case "rejects corruption" `Quick test_codec_rejects_corruption;
+        Alcotest.test_case "rejects truncation" `Quick test_codec_truncated;
+        Alcotest.test_case "rejects unknown ethertype" `Quick test_codec_bad_ethertype;
+      ]
+      @ qsuite [ prop_codec_roundtrip; prop_codec_tcp_roundtrip ] );
+    ( "netcore.fragment",
+      [
+        Alcotest.test_case "small packet untouched" `Quick
+          test_fragment_small_packet_untouched;
+        Alcotest.test_case "splits with correct offsets" `Quick
+          test_fragment_splits_and_offsets;
+        Alcotest.test_case "reassembles in order" `Quick test_fragment_reassembles_in_order;
+        Alcotest.test_case "reassembles out of order" `Quick
+          test_fragment_reassembles_out_of_order;
+        Alcotest.test_case "incomplete stays pending" `Quick
+          test_fragment_incomplete_stays_pending;
+        Alcotest.test_case "interleaved datagrams" `Quick test_fragment_interleaved_datagrams;
+      ]
+      @ qsuite [ prop_fragment_roundtrip ] );
+  ]

@@ -1,0 +1,122 @@
+(* Tests for the physical NIC / switch substrate. *)
+
+module Switch = Physnet.Switch
+module Nic = Physnet.Nic
+module Mac = Netcore.Mac
+module Ip = Netcore.Ip
+module Packet = Netcore.Packet
+
+let params = Hypervisor.Params.default
+
+let run_sim f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.sec 60)) engine;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation deadlocked"
+
+let mk_packet ~src ~dst ~len =
+  Packet.udp ~src_mac:src ~dst_mac:dst ~src_ip:(Ip.make ~subnet:1 ~host:1)
+    ~dst_ip:(Ip.make ~subnet:1 ~host:2) ~src_port:1 ~dst_port:2 (Bytes.make len 'w')
+
+let make_two_nics engine =
+  let switch = Switch.create ~engine ~params in
+  let mk i =
+    let cpu = Sim.Resource.create ~name:(Printf.sprintf "h%d.cpu" i) in
+    let mac = Mac.of_domid ~machine:i ~domid:0 in
+    (Nic.create ~engine ~params ~cpu ~switch ~mac ~name:(Printf.sprintf "nic%d" i), mac)
+  in
+  let nic1, mac1 = mk 1 and nic2, mac2 = mk 2 in
+  (switch, nic1, mac1, nic2, mac2)
+
+let test_delivery_between_nics () =
+  run_sim (fun engine ->
+      let _, nic1, mac1, nic2, mac2 = make_two_nics engine in
+      let got = ref 0 in
+      Nic.set_receiver nic2 (fun _ -> incr got);
+      Nic.send nic1 (mk_packet ~src:mac1 ~dst:mac2 ~len:100);
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      Alcotest.(check int) "delivered" 1 !got;
+      Alcotest.(check int) "tx counted" 1 (Nic.frames_sent nic1);
+      Alcotest.(check int) "rx counted" 1 (Nic.frames_received nic2))
+
+let test_wire_serialization_limits_bandwidth () =
+  run_sim (fun engine ->
+      let _, nic1, mac1, nic2, mac2 = make_two_nics engine in
+      let last_arrival = ref Sim.Time.zero in
+      let count = ref 0 in
+      Nic.set_receiver nic2 (fun _ ->
+          incr count;
+          last_arrival := Sim.Engine.now engine);
+      let n = 200 and len = 1500 in
+      let t0 = Sim.Engine.now engine in
+      for _ = 1 to n do
+        Nic.send nic1 (mk_packet ~src:mac1 ~dst:mac2 ~len)
+      done;
+      Sim.Engine.sleep (Sim.Time.ms 50);
+      Alcotest.(check int) "all arrived" n !count;
+      let dt = Sim.Time.to_sec_f (Sim.Time.diff !last_arrival t0) in
+      let gbps = float_of_int (n * (len + 58) * 8) /. dt /. 1e9 in
+      (* Wire-limited: close to but never above line rate. *)
+      Alcotest.(check bool) "below 1 Gbps" true (gbps <= 1.05);
+      Alcotest.(check bool) "above 0.8 Gbps" true (gbps >= 0.8))
+
+let test_switch_learning () =
+  run_sim (fun engine ->
+      let switch, nic1, mac1, nic2, mac2 = make_two_nics engine in
+      ignore switch;
+      let got1 = ref 0 and got2 = ref 0 in
+      Nic.set_receiver nic1 (fun _ -> incr got1);
+      Nic.set_receiver nic2 (fun _ -> incr got2);
+      (* First frame floods; reply is then unicast. *)
+      Nic.send nic1 (mk_packet ~src:mac1 ~dst:mac2 ~len:64);
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      Nic.send nic2 (mk_packet ~src:mac2 ~dst:mac1 ~len:64);
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      Alcotest.(check int) "nic1 got reply" 1 !got1;
+      Alcotest.(check int) "nic2 got first" 1 !got2)
+
+let test_nic_detach () =
+  run_sim (fun engine ->
+      let _, nic1, mac1, nic2, mac2 = make_two_nics engine in
+      let got = ref 0 in
+      Nic.set_receiver nic2 (fun _ -> incr got);
+      Nic.detach nic2;
+      Nic.send nic1 (mk_packet ~src:mac1 ~dst:mac2 ~len:64);
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      Alcotest.(check int) "nothing delivered" 0 !got)
+
+let test_frame_ordering_preserved () =
+  run_sim (fun engine ->
+      let _, nic1, mac1, nic2, mac2 = make_two_nics engine in
+      let seen = ref [] in
+      Nic.set_receiver nic2 (fun p ->
+          match Netcore.Packet.payload p with
+          | Some b -> seen := Bytes.get b 0 :: !seen
+          | None -> ());
+      for i = 0 to 9 do
+        let p =
+          Packet.udp ~src_mac:mac1 ~dst_mac:mac2 ~src_ip:(Ip.make ~subnet:1 ~host:1)
+            ~dst_ip:(Ip.make ~subnet:1 ~host:2) ~src_port:1 ~dst_port:2
+            (Bytes.make 1 (Char.chr (Char.code '0' + i)))
+        in
+        Nic.send nic1 p
+      done;
+      Sim.Engine.sleep (Sim.Time.ms 5);
+      Alcotest.(check string) "in order" "0123456789"
+        (String.init 10 (fun i -> List.nth (List.rev !seen) i)))
+
+let suites =
+  [
+    ( "physnet",
+      [
+        Alcotest.test_case "delivery between nics" `Quick test_delivery_between_nics;
+        Alcotest.test_case "wire limits bandwidth" `Quick
+          test_wire_serialization_limits_bandwidth;
+        Alcotest.test_case "switch learning" `Quick test_switch_learning;
+        Alcotest.test_case "nic detach" `Quick test_nic_detach;
+        Alcotest.test_case "frame ordering preserved" `Quick test_frame_ordering_preserved;
+      ] );
+  ]

@@ -1,0 +1,658 @@
+(* Tests for the simulation engine library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_arithmetic () =
+  let t = Sim.Time.add Sim.Time.zero (Sim.Time.us 5) in
+  Alcotest.(check int64) "5us in ns" 5_000L (Sim.Time.instant_to_ns t);
+  let t2 = Sim.Time.add t (Sim.Time.ms 1) in
+  Alcotest.(check int64) "diff" 1_000_000L Sim.Time.(to_ns (diff t2 t))
+
+let test_time_ordering () =
+  let a = Sim.Time.add Sim.Time.zero (Sim.Time.ns 10) in
+  let b = Sim.Time.add Sim.Time.zero (Sim.Time.ns 20) in
+  Alcotest.(check bool) "a < b" true Sim.Time.(a < b);
+  Alcotest.(check bool) "b > a" true Sim.Time.(b > a);
+  Alcotest.(check bool) "a <= a" true Sim.Time.(a <= a);
+  Alcotest.(check bool) "not b <= a" false Sim.Time.(b <= a)
+
+let test_time_span_units () =
+  Alcotest.(check int64) "1s" 1_000_000_000L (Sim.Time.to_ns (Sim.Time.sec 1));
+  Alcotest.(check int64) "1ms" 1_000_000L (Sim.Time.to_ns (Sim.Time.ms 1));
+  Alcotest.(check int64) "1us" 1_000L (Sim.Time.to_ns (Sim.Time.us 1));
+  check_float "to_us_f" 2.5 (Sim.Time.to_us_f (Sim.Time.ns 2500));
+  check_float "of_sec_f roundtrip" 1.5 (Sim.Time.to_sec_f (Sim.Time.of_sec_f 1.5))
+
+let test_time_span_ops () =
+  let a = Sim.Time.us 3 and b = Sim.Time.us 7 in
+  Alcotest.(check int64) "add" 10_000L Sim.Time.(to_ns (span_add a b));
+  Alcotest.(check int64) "sub" 4_000L Sim.Time.(to_ns (span_sub b a));
+  Alcotest.(check int64) "scale" 21_000L Sim.Time.(to_ns (span_scale 3 b));
+  Alcotest.(check int64) "max" 7_000L Sim.Time.(to_ns (span_max a b));
+  Alcotest.(check bool) "positive" true (Sim.Time.span_is_positive a);
+  Alcotest.(check bool) "zero not positive" false
+    (Sim.Time.span_is_positive Sim.Time.span_zero);
+  Alcotest.(check bool) "negative not positive" false
+    (Sim.Time.span_is_positive (Sim.Time.span_sub a b))
+
+let test_time_pp () =
+  let str v = Format.asprintf "%a" Sim.Time.pp_span v in
+  Alcotest.(check string) "ns" "500ns" (str (Sim.Time.ns 500));
+  Alcotest.(check string) "us" "12.50us" (str (Sim.Time.of_us_f 12.5));
+  Alcotest.(check string) "ms" "3.00ms" (str (Sim.Time.ms 3));
+  Alcotest.(check string) "s" "2.000s" (str (Sim.Time.sec 2))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Sim.Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Sim.Heap.push h 5;
+  Sim.Heap.push h 1;
+  Sim.Heap.push h 3;
+  Alcotest.(check int) "length" 3 (Sim.Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Heap.peek h);
+  Alcotest.(check (option int)) "pop1" (Some 1) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "pop2" (Some 3) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "pop3" (Some 5) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Sim.Heap.pop h)
+
+let test_heap_pop_exn_empty () =
+  let h = Sim.Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn"
+    (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Sim.Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Sim.Heap.create ~cmp:compare in
+  List.iter (Sim.Heap.push h) [ 4; 2; 9 ];
+  Sim.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Sim.Heap.length h);
+  Sim.Heap.push h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Sim.Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap handles interleaved push/pop" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Sim.Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, v) ->
+          if is_push then begin
+            Sim.Heap.push h v;
+            model := List.sort compare (v :: !model)
+          end
+          else begin
+            match (Sim.Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some x, m :: rest when x = m -> model := rest
+            | _ -> failwith "mismatch"
+          end)
+        ops;
+      Sim.Heap.length h = List.length !model)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:7 and b = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Sim.Rng.int64 a <> Sim.Rng.int64 b then same := false
+  done;
+  Alcotest.(check bool) "different seeds differ" false !same
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_invalid_bound () =
+  let r = Sim.Rng.create ~seed:3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_rng_split_independent () =
+  let parent = Sim.Rng.create ~seed:11 in
+  let child = Sim.Rng.split parent in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int64 parent) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int64 child) in
+  Alcotest.(check bool) "streams differ" false (xs = ys)
+
+let test_rng_exponential_mean () =
+  let r = Sim.Rng.create ~seed:5 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Sim.Rng.exponential r ~mean:10.0 in
+    Alcotest.(check bool) "positive" true (v > 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 10"
+    true
+    (mean > 9.0 && mean < 11.0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_empty () =
+  let s = Sim.Stats.create () in
+  Alcotest.(check int) "count" 0 (Sim.Stats.count s);
+  check_float "mean" 0.0 (Sim.Stats.mean s);
+  Alcotest.check_raises "min empty" (Invalid_argument "Stats.min: empty")
+    (fun () -> ignore (Sim.Stats.min s))
+
+let test_stats_moments () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "mean" 5.0 (Sim.Stats.mean s);
+  check_float "stddev" 2.0 (Sim.Stats.stddev s);
+  check_float "min" 2.0 (Sim.Stats.min s);
+  check_float "max" 9.0 (Sim.Stats.max s);
+  check_float "total" 40.0 (Sim.Stats.total s)
+
+let test_stats_percentile () =
+  let s = Sim.Stats.create () in
+  for i = 1 to 100 do
+    Sim.Stats.add s (float_of_int i)
+  done;
+  check_float "p0" 1.0 (Sim.Stats.percentile s 0.0);
+  check_float "p100" 100.0 (Sim.Stats.percentile s 100.0);
+  check_float "median" 50.5 (Sim.Stats.median s);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Sim.Stats.percentile s 101.0))
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~name:"streaming mean matches naive mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Sim.Stats.create () in
+      List.iter (Sim.Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Sim.Stats.mean s -. naive) < 1e-6)
+
+let prop_stats_minmax =
+  QCheck.Test.make ~name:"stats min/max match folds" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Sim.Stats.create () in
+      List.iter (Sim.Stats.add s) xs;
+      Sim.Stats.min s = List.fold_left Float.min infinity xs
+      && Sim.Stats.max s = List.fold_left Float.max neg_infinity xs)
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let test_series_order () =
+  let s = Sim.Series.create ~name:"t" in
+  Sim.Series.record s ~x:1.0 ~y:10.0;
+  Sim.Series.record s ~x:2.0 ~y:20.0;
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "insertion order"
+    [ (1.0, 10.0); (2.0, 20.0) ]
+    (Sim.Series.points s)
+
+let test_series_bucketize () =
+  let pts = [ (0.1, 1.0); (0.2, 1.0); (1.5, 1.0); (2.9, 4.0) ] in
+  let buckets = Sim.Series.bucketize ~width:1.0 pts in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "buckets"
+    [ (0.5, 2.0); (1.5, 1.0); (2.5, 4.0) ]
+    buckets
+
+let test_series_bucketize_invalid () =
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Series.bucketize: width must be positive")
+    (fun () -> ignore (Sim.Series.bucketize ~width:0.0 []))
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Sim.Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Sim.Table.add_row t [ "1"; "2" ];
+  let out = Format.asprintf "%a" Sim.Table.pp t in
+  Alcotest.(check bool) "has title" true (Testutil.contains out "=== demo ===");
+  Alcotest.(check bool) "has row" true (Testutil.contains out "1")
+
+let test_table_row_mismatch () =
+  let t = Sim.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Sim.Table.add_row t [ "only-one" ])
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_clock_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.sleep (Sim.Time.us 10);
+      seen := Sim.Time.instant_to_ns (Sim.Engine.now e) :: !seen;
+      Sim.Engine.sleep (Sim.Time.us 5);
+      seen := Sim.Time.instant_to_ns (Sim.Engine.now e) :: !seen);
+  Sim.Engine.run e;
+  Alcotest.(check (list int64)) "timestamps" [ 15_000L; 10_000L ] !seen
+
+let test_engine_event_order () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  Sim.Engine.after e (Sim.Time.us 20) (fun () -> order := 2 :: !order);
+  Sim.Engine.after e (Sim.Time.us 10) (fun () -> order := 1 :: !order);
+  Sim.Engine.after e (Sim.Time.us 30) (fun () -> order := 3 :: !order);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "order" [ 3; 2; 1 ] !order
+
+let test_engine_fifo_ties () =
+  (* Events at the same instant run in scheduling order. *)
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.spawn e (fun () -> order := i :: !order)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 5; 4; 3; 2; 1 ] !order
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () -> incr fired);
+  Sim.Engine.after e (Sim.Time.ms 3) (fun () -> incr fired);
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.ms 2)) e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int64) "clock at limit" 2_000_000L
+    (Sim.Time.instant_to_ns (Sim.Engine.now e));
+  (* Bounded runs compose: continue to 4ms. *)
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.ms 4)) e;
+  Alcotest.(check int) "second fired" 2 !fired
+
+let test_engine_at_past_rejected () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.at: instant in the past")
+        (fun () -> Sim.Engine.at e Sim.Time.zero (fun () -> ())));
+  Sim.Engine.run e
+
+let test_engine_every () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let timer = Sim.Engine.every e (Sim.Time.ms 1) (fun () -> incr count) in
+  Sim.Engine.after e (Sim.Time.of_us_f 3500.0) (fun () -> Sim.Engine.cancel timer);
+  Sim.Engine.run e;
+  Alcotest.(check int) "fired 3 times" 3 !count
+
+let test_engine_every_start () =
+  let e = Sim.Engine.create () in
+  let stamps = ref [] in
+  let timer =
+    Sim.Engine.every e ~start:Sim.Time.span_zero (Sim.Time.ms 1) (fun () ->
+        stamps := Sim.Time.instant_to_ns (Sim.Engine.now e) :: !stamps)
+  in
+  Sim.Engine.after e (Sim.Time.of_us_f 2500.0) (fun () -> Sim.Engine.cancel timer);
+  Sim.Engine.run e;
+  Alcotest.(check (list int64)) "stamps" [ 2_000_000L; 1_000_000L; 0L ] !stamps
+
+let test_engine_suspend_resume () =
+  let e = Sim.Engine.create () in
+  let resumer = ref (fun () -> ()) in
+  let log = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      log := "before" :: !log;
+      Sim.Engine.suspend ~register:(fun resume -> resumer := resume);
+      log := "after" :: !log);
+  Sim.Engine.after e (Sim.Time.ms 2) (fun () -> !resumer ());
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "resumed" [ "after"; "before" ] !log;
+  Alcotest.(check int64) "resumed at 2ms" 2_000_000L
+    (Sim.Time.instant_to_ns (Sim.Engine.now e))
+
+let test_engine_double_resume_rejected () =
+  let e = Sim.Engine.create () in
+  let resumer = ref (fun () -> ()) in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.suspend ~register:(fun resume -> resumer := resume));
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () ->
+      !resumer ();
+      Alcotest.check_raises "double resume"
+        (Invalid_argument "Engine: suspended process resumed twice")
+        (fun () -> !resumer ()));
+  Sim.Engine.run e
+
+let test_engine_negative_sleep_clamped () =
+  let e = Sim.Engine.create () in
+  let ok = ref false in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.sleep (Sim.Time.span_sub Sim.Time.span_zero (Sim.Time.us 5));
+      ok := Sim.Time.equal (Sim.Engine.now e) Sim.Time.zero);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "clock unchanged" true !ok
+
+let test_engine_determinism () =
+  let run_once () =
+    let e = Sim.Engine.create ~seed:9 () in
+    let log = ref [] in
+    for i = 0 to 9 do
+      Sim.Engine.after e
+        (Sim.Time.us (Sim.Rng.int (Sim.Engine.rng e) 100))
+        (fun () -> log := i :: !log)
+    done;
+    Sim.Engine.run e;
+    !log
+  in
+  Alcotest.(check (list int)) "identical runs" (run_once ()) (run_once ())
+
+let test_engine_pending_events () =
+  let e = Sim.Engine.create () in
+  Alcotest.(check int) "empty" 0 (Sim.Engine.pending_events e);
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () -> ());
+  Sim.Engine.after e (Sim.Time.ms 2) (fun () -> ());
+  Alcotest.(check int) "two pending" 2 (Sim.Engine.pending_events e);
+  Alcotest.(check bool) "step" true (Sim.Engine.step e);
+  Alcotest.(check int) "one left" 1 (Sim.Engine.pending_events e);
+  Alcotest.(check bool) "step" true (Sim.Engine.step e);
+  Alcotest.(check bool) "drained" false (Sim.Engine.step e)
+
+let test_engine_spawn_inside_process () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      order := "outer-start" :: !order;
+      Sim.Engine.spawn e (fun () ->
+          Sim.Engine.sleep (Sim.Time.us 5);
+          order := "inner" :: !order);
+      Sim.Engine.sleep (Sim.Time.us 10);
+      order := "outer-end" :: !order);
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "interleaving" [ "outer-start"; "inner"; "outer-end" ]
+    (List.rev !order)
+
+let test_engine_nested_timers () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () ->
+      fired := "outer" :: !fired;
+      Sim.Engine.after e (Sim.Time.ms 1) (fun () -> fired := "nested" :: !fired));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested timer fired" [ "nested"; "outer" ] !fired;
+  Alcotest.(check int64) "at 2ms" 2_000_000L (Sim.Time.instant_to_ns (Sim.Engine.now e))
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let t0 = Sim.Time.zero
+let t_us n = Sim.Time.add Sim.Time.zero (Sim.Time.us n)
+
+let test_trace_enable_disable () =
+  let tr = Sim.Trace.create () in
+  Sim.Trace.emit tr Sim.Trace.Channel ~time:t0 "dropped";
+  Alcotest.(check int) "disabled drops" 0 (Sim.Trace.count tr);
+  Sim.Trace.enable tr Sim.Trace.Channel;
+  Sim.Trace.emit tr Sim.Trace.Channel ~time:t0 "kept";
+  Sim.Trace.emit tr Sim.Trace.Bootstrap ~time:t0 "still dropped";
+  Alcotest.(check int) "only enabled kept" 1 (Sim.Trace.count tr);
+  Sim.Trace.disable tr Sim.Trace.Channel;
+  Sim.Trace.emit tr Sim.Trace.Channel ~time:t0 "dropped again";
+  Alcotest.(check int) "disable works" 1 (Sim.Trace.count tr)
+
+let test_trace_ring_overwrites () =
+  let tr = Sim.Trace.create ~capacity:3 () in
+  Sim.Trace.enable_all tr;
+  for i = 1 to 5 do
+    Sim.Trace.emit tr Sim.Trace.Channel ~time:(t_us i) (string_of_int i)
+  done;
+  Alcotest.(check int) "retains capacity" 3 (Sim.Trace.count tr);
+  Alcotest.(check int) "counts all" 5 (Sim.Trace.total_emitted tr);
+  Alcotest.(check (list string)) "oldest evicted" [ "3"; "4"; "5" ]
+    (List.map (fun r -> r.Sim.Trace.message) (Sim.Trace.records tr))
+
+let test_trace_emitf_lazy () =
+  let tr = Sim.Trace.create () in
+  (* Disabled category: format args must not be evaluated into a record. *)
+  Sim.Trace.emitf tr Sim.Trace.Discovery ~time:t0 "guest %d" 7;
+  Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.count tr);
+  Sim.Trace.enable tr Sim.Trace.Discovery;
+  Sim.Trace.emitf tr Sim.Trace.Discovery ~time:t0 "guest %d" 7;
+  Alcotest.(check (list string)) "formatted" [ "guest 7" ]
+    (List.map (fun r -> r.Sim.Trace.message) (Sim.Trace.records tr));
+  Sim.Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Sim.Trace.count tr)
+
+(* ------------------------------------------------------------------ *)
+(* Resource *)
+
+let test_resource_serializes () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create ~name:"cpu" in
+  let finish_times = ref [] in
+  for _ = 1 to 3 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Resource.use r (Sim.Time.us 10);
+        finish_times := Sim.Time.instant_to_ns (Sim.Engine.now e) :: !finish_times)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int64)) "serialized 10us apart" [ 30_000L; 20_000L; 10_000L ]
+    !finish_times;
+  Alcotest.(check int64) "busy time accumulated" 30_000L
+    (Sim.Time.to_ns (Sim.Resource.busy_time r))
+
+let test_resource_fifo_no_barging () =
+  (* Strict handoff: a later acquirer can never overtake an earlier one,
+     even when the release and the new acquire land at the same instant. *)
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create ~name:"cpu" in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.after e (Sim.Time.ns i) (fun () ->
+        Sim.Resource.use r (Sim.Time.us 5);
+        order := i :: !order)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "completion order = arrival order" [ 5; 4; 3; 2; 1 ]
+    !order
+
+let test_resource_release_unheld () =
+  let r = Sim.Resource.create ~name:"cpu" in
+  Alcotest.check_raises "release unheld" (Invalid_argument "Resource.release: not held")
+    (fun () -> Sim.Resource.release r)
+
+let test_resource_queue_length () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create ~name:"cpu" in
+  Sim.Engine.spawn e (fun () -> Sim.Resource.use r (Sim.Time.us 100));
+  Sim.Engine.spawn e (fun () -> Sim.Resource.use r (Sim.Time.us 1));
+  Sim.Engine.spawn e (fun () -> Sim.Resource.use r (Sim.Time.us 1));
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.us 50)) e;
+  Alcotest.(check bool) "busy" true (Sim.Resource.is_busy r);
+  Alcotest.(check int) "two waiting" 2 (Sim.Resource.queue_length r);
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.ms 1)) e;
+  Alcotest.(check bool) "idle at the end" false (Sim.Resource.is_busy r)
+
+(* ------------------------------------------------------------------ *)
+(* Condition / Mailbox *)
+
+let test_condition_signal_wakes_one () =
+  let e = Sim.Engine.create () in
+  let cond = Sim.Condition.create () in
+  let woke = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Condition.await cond;
+        woke := i :: !woke)
+  done;
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () -> Sim.Condition.signal cond);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "only first woke" [ 1 ] !woke;
+  Alcotest.(check int) "two still waiting" 2 (Sim.Condition.waiters cond)
+
+let test_condition_broadcast_wakes_all () =
+  let e = Sim.Engine.create () in
+  let cond = Sim.Condition.create () in
+  let woke = ref 0 in
+  for _ = 1 to 4 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Condition.await cond;
+        incr woke)
+  done;
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () -> Sim.Condition.broadcast cond);
+  Sim.Engine.run e;
+  Alcotest.(check int) "all woke" 4 !woke;
+  Alcotest.(check int) "queue empty" 0 (Sim.Condition.waiters cond)
+
+let test_condition_signal_empty_noop () =
+  let cond = Sim.Condition.create () in
+  Sim.Condition.signal cond;
+  Sim.Condition.broadcast cond;
+  Alcotest.(check int) "no waiters" 0 (Sim.Condition.waiters cond)
+
+let test_mailbox_fifo () =
+  let e = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create () in
+  let got = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      for _ = 1 to 3 do
+        got := Sim.Mailbox.recv mb :: !got
+      done);
+  Sim.Engine.after e (Sim.Time.ms 1) (fun () ->
+      Sim.Mailbox.send mb "a";
+      Sim.Mailbox.send mb "b";
+      Sim.Mailbox.send mb "c");
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "fifo order" [ "c"; "b"; "a" ] !got
+
+let test_mailbox_nonblocking () =
+  let mb = Sim.Mailbox.create () in
+  Alcotest.(check (option int)) "empty" None (Sim.Mailbox.recv_opt mb);
+  Sim.Mailbox.send mb 42;
+  Alcotest.(check int) "length" 1 (Sim.Mailbox.length mb);
+  Alcotest.(check (option int)) "recv_opt" (Some 42) (Sim.Mailbox.recv_opt mb);
+  Alcotest.(check bool) "empty again" true (Sim.Mailbox.is_empty mb)
+
+let test_mailbox_blocks_until_send () =
+  let e = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create () in
+  let stamp = ref Sim.Time.zero in
+  Sim.Engine.spawn e (fun () ->
+      ignore (Sim.Mailbox.recv mb);
+      stamp := Sim.Engine.now e);
+  Sim.Engine.after e (Sim.Time.ms 5) (fun () -> Sim.Mailbox.send mb ());
+  Sim.Engine.run e;
+  Alcotest.(check int64) "received at 5ms" 5_000_000L (Sim.Time.instant_to_ns !stamp)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+        Alcotest.test_case "ordering" `Quick test_time_ordering;
+        Alcotest.test_case "span units" `Quick test_time_span_units;
+        Alcotest.test_case "span ops" `Quick test_time_span_ops;
+        Alcotest.test_case "pretty printing" `Quick test_time_pp;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "basic operations" `Quick test_heap_basic;
+        Alcotest.test_case "pop_exn on empty" `Quick test_heap_pop_exn_empty;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+      ]
+      @ qsuite [ prop_heap_sorts; prop_heap_interleaved ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed matters" `Quick test_rng_seed_matters;
+        Alcotest.test_case "bounds respected" `Quick test_rng_bounds;
+        Alcotest.test_case "invalid bound" `Quick test_rng_invalid_bound;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "moments" `Quick test_stats_moments;
+        Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+      ]
+      @ qsuite [ prop_stats_mean_matches_naive; prop_stats_minmax ] );
+    ( "sim.series",
+      [
+        Alcotest.test_case "insertion order" `Quick test_series_order;
+        Alcotest.test_case "bucketize" `Quick test_series_bucketize;
+        Alcotest.test_case "bucketize invalid width" `Quick test_series_bucketize_invalid;
+      ] );
+    ( "sim.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "row width mismatch" `Quick test_table_row_mismatch;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "clock advances with sleep" `Quick test_engine_clock_advances;
+        Alcotest.test_case "events run in time order" `Quick test_engine_event_order;
+        Alcotest.test_case "same-instant ties are FIFO" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "run ~until composes" `Quick test_engine_run_until;
+        Alcotest.test_case "at rejects the past" `Quick test_engine_at_past_rejected;
+        Alcotest.test_case "periodic timer" `Quick test_engine_every;
+        Alcotest.test_case "periodic timer with start" `Quick test_engine_every_start;
+        Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
+        Alcotest.test_case "double resume rejected" `Quick test_engine_double_resume_rejected;
+        Alcotest.test_case "negative sleep clamped" `Quick test_engine_negative_sleep_clamped;
+        Alcotest.test_case "determinism across runs" `Quick test_engine_determinism;
+        Alcotest.test_case "pending events / step" `Quick test_engine_pending_events;
+        Alcotest.test_case "spawn inside process" `Quick test_engine_spawn_inside_process;
+        Alcotest.test_case "nested timers" `Quick test_engine_nested_timers;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "enable/disable" `Quick test_trace_enable_disable;
+        Alcotest.test_case "bounded ring" `Quick test_trace_ring_overwrites;
+        Alcotest.test_case "lazy formatting" `Quick test_trace_emitf_lazy;
+      ] );
+    ( "sim.resource",
+      [
+        Alcotest.test_case "serializes users" `Quick test_resource_serializes;
+        Alcotest.test_case "strict FIFO, no barging" `Quick test_resource_fifo_no_barging;
+        Alcotest.test_case "release unheld rejected" `Quick test_resource_release_unheld;
+        Alcotest.test_case "queue length" `Quick test_resource_queue_length;
+      ] );
+    ( "sim.sync",
+      [
+        Alcotest.test_case "signal wakes one" `Quick test_condition_signal_wakes_one;
+        Alcotest.test_case "broadcast wakes all" `Quick test_condition_broadcast_wakes_all;
+        Alcotest.test_case "signal on empty is noop" `Quick test_condition_signal_empty_noop;
+        Alcotest.test_case "mailbox fifo order" `Quick test_mailbox_fifo;
+        Alcotest.test_case "mailbox non-blocking ops" `Quick test_mailbox_nonblocking;
+        Alcotest.test_case "mailbox blocks until send" `Quick test_mailbox_blocks_until_send;
+      ] );
+  ]

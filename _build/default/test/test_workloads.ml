@@ -1,0 +1,237 @@
+(* Tests for the workload generators and their measurement semantics,
+   plus resource/scheduling sanity the workloads depend on. *)
+
+module Setup = Scenarios.Setup
+module Experiment = Scenarios.Experiment
+module Netperf = Workloads.Netperf
+
+let host_of (ep : Scenarios.Endpoint.t) =
+  { Workloads.Host.stack = ep.Scenarios.Endpoint.stack; udp = ep.udp; tcp = ep.tcp }
+
+let with_native f =
+  let duo = Setup.build Setup.Native_loopback in
+  Experiment.execute duo (fun () ->
+      f ~client:(host_of duo.Setup.client) ~server:(host_of duo.Setup.server)
+        ~dst:duo.Setup.server_ip)
+
+(* ------------------------------------------------------------------ *)
+
+let test_pingflood_counts () =
+  with_native (fun ~client ~server:_ ~dst ->
+      let r = Workloads.Pingflood.run client ~dst ~count:50 () in
+      Alcotest.(check int) "sent" 50 r.Workloads.Pingflood.sent;
+      Alcotest.(check int) "received all" 50 r.Workloads.Pingflood.received;
+      Alcotest.(check bool) "avg positive" true (r.Workloads.Pingflood.avg_rtt_us > 0.0);
+      Alcotest.(check bool) "min <= avg <= max" true
+        (r.Workloads.Pingflood.min_rtt_us <= r.Workloads.Pingflood.avg_rtt_us
+        && r.Workloads.Pingflood.avg_rtt_us <= r.Workloads.Pingflood.max_rtt_us))
+
+let test_tcp_rr_consistency () =
+  with_native (fun ~client ~server ~dst ->
+      let r = Netperf.tcp_rr ~client ~server ~dst ~transactions:200 () in
+      Alcotest.(check int) "transactions" 200 r.Netperf.transactions;
+      (* rate and latency must be mutually consistent: rate = 1e6/latency. *)
+      let implied = 1e6 /. r.Netperf.avg_latency_us in
+      Alcotest.(check bool) "rate ~ 1/latency" true
+        (Float.abs (implied -. r.Netperf.transactions_per_sec)
+         /. r.Netperf.transactions_per_sec
+        < 0.01))
+
+let test_udp_rr_runs () =
+  with_native (fun ~client ~server ~dst ->
+      let r = Netperf.udp_rr ~client ~server ~dst ~transactions:200 () in
+      Alcotest.(check bool) "positive rate" true (r.Netperf.transactions_per_sec > 0.0))
+
+let test_tcp_stream_accounts_all_bytes () =
+  with_native (fun ~client ~server ~dst ->
+      let total = 1_000_000 in
+      let r = Netperf.tcp_stream ~client ~server ~dst ~total_bytes:total () in
+      Alcotest.(check bool) "all bytes" true (r.Netperf.bytes_received >= total);
+      Alcotest.(check bool) "throughput positive" true (r.Netperf.mbps > 0.0))
+
+let test_cpu_utilization_reported () =
+  with_native (fun ~client ~server ~dst ->
+      let r = Netperf.tcp_stream ~client ~server ~dst ~total_bytes:1_000_000 () in
+      (* Native loopback: client and server share one CPU, which a bulk
+         stream keeps busy. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "utilization sane (%.0f%%)" r.Netperf.st_client_cpu)
+        true
+        (r.Netperf.st_client_cpu > 50.0 && r.Netperf.st_client_cpu <= 100.5);
+      Alcotest.(check (float 0.001)) "same cpu both sides" r.Netperf.st_client_cpu
+        r.Netperf.st_server_cpu);
+  (* On the xenloop path the two guests have distinct vCPUs. *)
+  let duo = Setup.build Setup.Xenloop_path in
+  Experiment.execute duo (fun () ->
+      let r =
+        Netperf.udp_rr
+          ~client:(host_of duo.Setup.client)
+          ~server:(host_of duo.Setup.server)
+          ~dst:duo.Setup.server_ip ~transactions:300 ()
+      in
+      (* Request-response is latency-bound: both CPUs are mostly idle. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "rr leaves cpus idle (%.0f%%)" r.Netperf.rr_client_cpu)
+        true
+        (r.Netperf.rr_client_cpu > 1.0 && r.Netperf.rr_client_cpu < 60.0))
+
+let test_udp_stream_counts_drops () =
+  with_native (fun ~client ~server ~dst ->
+      let r = Netperf.udp_stream ~client ~server ~dst ~total_bytes:1_000_000 () in
+      Alcotest.(check bool) "received + dropped covers sent" true
+        (r.Netperf.bytes_received > 0);
+      Alcotest.(check bool) "drop counter non-negative" true
+        (r.Netperf.datagrams_dropped >= 0))
+
+let test_netpipe_monotonic_bandwidth () =
+  with_native (fun ~client ~server ~dst ->
+      let points =
+        Workloads.Netpipe.sweep ~client ~server ~dst ~sizes:[ 64; 4096; 65536 ] ()
+      in
+      match points with
+      | [ small; medium; large ] ->
+          Alcotest.(check bool) "bandwidth grows with size" true
+            (small.Workloads.Netpipe.mbps < medium.Workloads.Netpipe.mbps
+            && medium.Workloads.Netpipe.mbps < large.Workloads.Netpipe.mbps);
+          Alcotest.(check bool) "latency grows with size" true
+            (small.Workloads.Netpipe.latency_us <= large.Workloads.Netpipe.latency_us)
+      | _ -> Alcotest.fail "expected three points")
+
+let test_osu_uni_and_latency () =
+  with_native (fun ~client ~server ~dst ->
+      let bw = Workloads.Osu.uni_bandwidth ~client ~server ~dst ~sizes:[ 1024 ] () in
+      let lat = Workloads.Osu.latency ~client ~server ~dst ~sizes:[ 1024 ] () in
+      (match bw with
+      | [ p ] -> Alcotest.(check bool) "bw positive" true (p.Workloads.Osu.mbps > 0.0)
+      | _ -> Alcotest.fail "one point expected");
+      match lat with
+      | [ p ] ->
+          Alcotest.(check bool) "latency positive" true
+            (p.Workloads.Osu.latency_us > 0.0)
+      | _ -> Alcotest.fail "one point expected")
+
+let test_osu_bibw_exceeds_unibw () =
+  (* Bi-directional moves twice the data; aggregate bandwidth should be
+     higher than uni-directional (though less than 2x on a shared CPU). *)
+  with_native (fun ~client ~server ~dst ->
+      let uni =
+        match Workloads.Osu.uni_bandwidth ~client ~server ~dst ~sizes:[ 16384 ] () with
+        | [ p ] -> p.Workloads.Osu.mbps
+        | _ -> Alcotest.fail "one point"
+      in
+      let bi =
+        match Workloads.Osu.bi_bandwidth ~client ~server ~dst ~sizes:[ 16384 ] () with
+        | [ p ] -> p.Workloads.Osu.mbps
+        | _ -> Alcotest.fail "one point"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bi (%.0f) >= uni (%.0f)" bi uni)
+        true (bi >= uni *. 0.9))
+
+let test_mpi_message_framing () =
+  with_native (fun ~client ~server ~dst ->
+      let c, s = Workloads.Mpi.establish ~client ~server ~dst () in
+      let engine = Workloads.Host.engine client in
+      Sim.Engine.spawn engine (fun () ->
+          let m1 = Workloads.Mpi.recv s in
+          let m2 = Workloads.Mpi.recv s in
+          Workloads.Mpi.send s m2;
+          Workloads.Mpi.send s m1);
+      Workloads.Mpi.send c (Bytes.of_string "first");
+      Workloads.Mpi.send c (Bytes.of_string "second, longer");
+      let r1 = Workloads.Mpi.recv c in
+      let r2 = Workloads.Mpi.recv c in
+      Alcotest.(check string) "swapped 1" "second, longer" (Bytes.to_string r1);
+      Alcotest.(check string) "swapped 2" "first" (Bytes.to_string r2);
+      (* Empty messages frame correctly too. *)
+      Workloads.Mpi.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario sanity: the paper's headline relations, as a regression net. *)
+
+let measured_udp_rr kind =
+  let duo = Setup.build kind in
+  Experiment.execute duo (fun () ->
+      let r =
+        Netperf.udp_rr
+          ~client:(host_of duo.Setup.client)
+          ~server:(host_of duo.Setup.server)
+          ~dst:duo.Setup.server_ip ~transactions:300 ()
+      in
+      r.Netperf.avg_latency_us)
+
+let test_latency_ordering_across_scenarios () =
+  let native = measured_udp_rr Setup.Native_loopback in
+  let xenloop = measured_udp_rr Setup.Xenloop_path in
+  let netfront = measured_udp_rr Setup.Netfront_netback in
+  let inter = measured_udp_rr Setup.Inter_machine in
+  Alcotest.(check bool)
+    (Printf.sprintf "native (%.0f) < xenloop (%.0f)" native xenloop)
+    true (native < xenloop);
+  Alcotest.(check bool)
+    (Printf.sprintf "xenloop (%.0f) < netfront (%.0f)" xenloop netfront)
+    true (xenloop < netfront);
+  Alcotest.(check bool)
+    (Printf.sprintf "xenloop (%.0f) < inter-machine (%.0f)" xenloop inter)
+    true (xenloop < inter)
+
+let test_credit_mode_matches_dedicated_when_idle () =
+  (* The calibrated dedicated-vCPU default must agree exactly with the
+     full credit scheduler when nothing contends: the simplification is
+     sound, not a fudge. *)
+  let measure cpu_model =
+    let duo = Setup.build ?cpu_model Setup.Xenloop_path in
+    Experiment.execute duo (fun () ->
+        let r =
+          Netperf.udp_rr
+            ~client:(host_of duo.Setup.client)
+            ~server:(host_of duo.Setup.server)
+            ~dst:duo.Setup.server_ip ~transactions:200 ()
+        in
+        r.Netperf.avg_latency_us)
+  in
+  let dedicated = measure None in
+  let credit =
+    measure
+      (Some (Hypervisor.Machine.Credit_scheduled { physical_cpus = 2; boost = true }))
+  in
+  Alcotest.(check (float 0.001))
+    (Printf.sprintf "identical latency (%.2f vs %.2f us)" dedicated credit)
+    dedicated credit
+
+let test_scenarios_are_isolated () =
+  (* Two scenarios built back-to-back must not share any state: rerunning
+     the same measurement yields the identical deterministic result. *)
+  let a = measured_udp_rr Setup.Xenloop_path in
+  let b = measured_udp_rr Setup.Xenloop_path in
+  Alcotest.(check (float 1e-9)) "deterministic" a b
+
+let suites =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "pingflood counts" `Quick test_pingflood_counts;
+        Alcotest.test_case "tcp_rr rate/latency consistency" `Quick
+          test_tcp_rr_consistency;
+        Alcotest.test_case "udp_rr runs" `Quick test_udp_rr_runs;
+        Alcotest.test_case "tcp_stream accounts bytes" `Quick
+          test_tcp_stream_accounts_all_bytes;
+        Alcotest.test_case "udp_stream drop accounting" `Quick
+          test_udp_stream_counts_drops;
+        Alcotest.test_case "cpu utilization reported" `Quick
+          test_cpu_utilization_reported;
+        Alcotest.test_case "netpipe monotonic" `Quick test_netpipe_monotonic_bandwidth;
+        Alcotest.test_case "osu uni + latency" `Quick test_osu_uni_and_latency;
+        Alcotest.test_case "osu bibw >= unibw" `Slow test_osu_bibw_exceeds_unibw;
+        Alcotest.test_case "mpi framing" `Quick test_mpi_message_framing;
+      ] );
+    ( "scenarios",
+      [
+        Alcotest.test_case "latency ordering (paper shape)" `Slow
+          test_latency_ordering_across_scenarios;
+        Alcotest.test_case "scenario isolation / determinism" `Slow
+          test_scenarios_are_isolated;
+        Alcotest.test_case "credit mode matches dedicated when idle" `Slow
+          test_credit_mode_matches_dedicated_when_idle;
+      ] );
+  ]

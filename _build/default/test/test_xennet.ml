@@ -1,0 +1,274 @@
+(* Tests for rings, the software bridge, and the netfront/netback vif. *)
+
+module Ring = Xennet.Ring
+module Bridge = Xennet.Bridge
+module Vif = Xennet.Vif
+module Machine = Hypervisor.Machine
+module Domain = Hypervisor.Domain
+module Packet = Netcore.Packet
+module Mac = Netcore.Mac
+module Ip = Netcore.Ip
+
+let run_sim f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.sec 120)) engine;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation deadlocked"
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_fifo_order () =
+  run_sim (fun _ ->
+      let r = Ring.create ~capacity:4 in
+      Alcotest.(check bool) "empty" true (Ring.is_empty r);
+      List.iter (Ring.push r) [ 1; 2; 3 ];
+      Alcotest.(check int) "length" 3 (Ring.length r);
+      Alcotest.(check (option int)) "peek" (Some 1) (Ring.peek r);
+      Alcotest.(check int) "pop order" 1 (Ring.pop r);
+      Alcotest.(check int) "pop order" 2 (Ring.pop r);
+      Alcotest.(check int) "pop order" 3 (Ring.pop r))
+
+let test_ring_blocking_push () =
+  run_sim (fun engine ->
+      let r = Ring.create ~capacity:2 in
+      Ring.push r 1;
+      Ring.push r 2;
+      Alcotest.(check bool) "full" true (Ring.is_full r);
+      Alcotest.(check bool) "try_push fails" false (Ring.try_push r 3);
+      let pushed_at = ref Sim.Time.zero in
+      Sim.Engine.spawn engine (fun () ->
+          Ring.push r 3;
+          pushed_at := Sim.Engine.now engine);
+      Sim.Engine.after engine (Sim.Time.ms 3) (fun () -> ignore (Ring.try_pop r));
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      Alcotest.(check int64) "unblocked when space freed" 3_000_000L
+        (Sim.Time.instant_to_ns !pushed_at))
+
+let test_ring_blocking_pop () =
+  run_sim (fun engine ->
+      let r = Ring.create ~capacity:2 in
+      let got = ref 0 in
+      Sim.Engine.spawn engine (fun () -> got := Ring.pop r);
+      Sim.Engine.after engine (Sim.Time.ms 2) (fun () -> Ring.push r 42);
+      Sim.Engine.sleep (Sim.Time.ms 5);
+      Alcotest.(check int) "popped after push" 42 !got)
+
+let test_ring_invalid_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Ring.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Bridge *)
+
+let mk_packet ~src ~dst =
+  Packet.udp ~src_mac:src ~dst_mac:dst ~src_ip:(Ip.make ~subnet:1 ~host:1)
+    ~dst_ip:(Ip.make ~subnet:1 ~host:2) ~src_port:1 ~dst_port:2
+    (Bytes.of_string "x")
+
+let make_bridge engine =
+  let params = Hypervisor.Params.default in
+  let cpu = Sim.Resource.create ~name:"dom0.cpu" in
+  Bridge.create ~engine ~params ~cpu ~name:"br0"
+
+let test_bridge_learning_and_forwarding () =
+  run_sim (fun engine ->
+      let bridge = make_bridge engine in
+      let mac_a = Mac.of_domid ~machine:0 ~domid:1 in
+      let mac_b = Mac.of_domid ~machine:0 ~domid:2 in
+      let got_a = ref 0 and got_b = ref 0 in
+      let port_a = Bridge.attach bridge ~name:"a" ~deliver:(fun b -> got_a := !got_a + List.length b) in
+      let port_b = Bridge.attach bridge ~name:"b" ~deliver:(fun b -> got_b := !got_b + List.length b) in
+      ignore port_b;
+      (* Unknown destination: flood (B receives). *)
+      Bridge.inject bridge ~from:port_a [ mk_packet ~src:mac_a ~dst:mac_b ];
+      Alcotest.(check int) "flooded to b" 1 !got_b;
+      Alcotest.(check int) "not reflected to a" 0 !got_a;
+      (* The bridge learned A's MAC from the source address. *)
+      (match Bridge.lookup bridge mac_a with
+      | Some p -> Alcotest.(check string) "learned on port a" "a" (Bridge.port_name p)
+      | None -> Alcotest.fail "mac_a not learned");
+      (* Reply from B is now unicast to A only. *)
+      Bridge.inject bridge ~from:port_b [ mk_packet ~src:mac_b ~dst:mac_a ];
+      Alcotest.(check int) "unicast to a" 1 !got_a;
+      Alcotest.(check int) "b unchanged" 1 !got_b)
+
+let test_bridge_broadcast () =
+  run_sim (fun engine ->
+      let bridge = make_bridge engine in
+      let mac_a = Mac.of_domid ~machine:0 ~domid:1 in
+      let seen = ref [] in
+      let port_a = Bridge.attach bridge ~name:"a" ~deliver:(fun _ -> seen := "a" :: !seen) in
+      let _pb = Bridge.attach bridge ~name:"b" ~deliver:(fun _ -> seen := "b" :: !seen) in
+      let _pc = Bridge.attach bridge ~name:"c" ~deliver:(fun _ -> seen := "c" :: !seen) in
+      Bridge.inject bridge ~from:port_a [ mk_packet ~src:mac_a ~dst:Mac.broadcast ];
+      Alcotest.(check (list string)) "flooded except source" [ "c"; "b" ] !seen)
+
+let test_bridge_detach_flushes () =
+  run_sim (fun engine ->
+      let bridge = make_bridge engine in
+      let mac_a = Mac.of_domid ~machine:0 ~domid:1 in
+      let port_a = Bridge.attach bridge ~name:"a" ~deliver:(fun _ -> ()) in
+      Bridge.inject bridge ~from:port_a [ mk_packet ~src:mac_a ~dst:Mac.broadcast ];
+      Alcotest.(check bool) "learned" true (Bridge.lookup bridge mac_a <> None);
+      Bridge.detach bridge port_a;
+      Alcotest.(check bool) "flushed" true (Bridge.lookup bridge mac_a = None);
+      Alcotest.(check int) "port gone" 0 (Bridge.ports bridge))
+
+(* ------------------------------------------------------------------ *)
+(* Vif: guest-to-guest through netback and the bridge *)
+
+type guest = {
+  domain : Domain.t;
+  stack : Netstack.Stack.t;
+  udp : Netstack.Udp.t;
+  vif : Vif.t;
+}
+
+let make_xen_world engine =
+  let params = Hypervisor.Params.default in
+  let machine = Machine.create ~engine ~params ~id:0 () in
+  let dom0 = Machine.dom0 machine in
+  let bridge = Bridge.create ~engine ~params ~cpu:(Domain.cpu dom0) ~name:"br0" in
+  let mk i =
+    let domain =
+      Machine.create_domain machine ~name:(Printf.sprintf "g%d" i)
+        ~ip:(Ip.make ~subnet:4 ~host:i)
+    in
+    let stack =
+      Netstack.Stack.create ~engine ~params ~cpu:(Domain.cpu domain)
+        ~ip:(Domain.ip domain) ~mac:(Domain.mac domain) ()
+    in
+    let udp = Netstack.Udp.attach stack in
+    let vif = Vif.create ~machine ~guest:domain ~bridge ~stack () in
+    { domain; stack; udp; vif }
+  in
+  (machine, bridge, mk 1, mk 2)
+
+let test_vif_ping_through_bridge () =
+  run_sim (fun engine ->
+      let _, _, g1, g2 = make_xen_world engine in
+      match Netstack.Stack.ping g1.stack ~dst:(Domain.ip g2.domain) () with
+      | Some rtt ->
+          (* The path crosses Dom0 twice per direction; it must be far
+             slower than a raw wire. *)
+          Alcotest.(check bool) "rtt > 40us" true
+            (Sim.Time.to_us_f rtt > 40.0)
+      | None -> Alcotest.fail "ping through bridge failed")
+
+let test_vif_udp_data_integrity () =
+  run_sim (fun engine ->
+      let _, _, g1, g2 = make_xen_world engine in
+      let server =
+        match Netstack.Udp.bind g2.udp ~port:9 () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let client =
+        match Netstack.Udp.bind g1.udp () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let data = Bytes.init 20_000 (fun i -> Char.chr ((i * 3) land 0xff)) in
+      Netstack.Udp.sendto client ~dst:(Domain.ip g2.domain) ~dst_port:9 data;
+      let _, _, got = Netstack.Udp.recvfrom server in
+      Alcotest.(check bool) "payload intact through netback" true (Bytes.equal data got))
+
+let test_vif_batching_counts () =
+  run_sim (fun engine ->
+      let _, _, g1, g2 = make_xen_world engine in
+      let tcp1 = Netstack.Tcp.attach g1.stack in
+      let tcp2 = Netstack.Tcp.attach g2.stack in
+      let listener =
+        match Netstack.Tcp.listen tcp2 ~port:80 with
+        | Ok l -> l
+        | Error _ -> Alcotest.fail "listen"
+      in
+      let n = 1_000_000 in
+      Sim.Engine.spawn engine (fun () ->
+          let conn = Netstack.Tcp.accept listener in
+          ignore (Netstack.Tcp.recv_exact conn n));
+      (match Netstack.Tcp.connect tcp1 ~dst:(Domain.ip g2.domain) ~dst_port:80 with
+      | Ok conn -> Netstack.Tcp.send conn (Bytes.make n 'z')
+      | Error _ -> Alcotest.fail "connect");
+      Sim.Engine.sleep (Sim.Time.ms 100);
+      (* TSO batching: the netback moved fewer batches than packets. *)
+      Alcotest.(check bool) "batches formed" true
+        (Vif.tx_batches g1.vif < Vif.tx_packets_through_netback g1.vif))
+
+let test_vif_detach_stops_traffic () =
+  run_sim (fun engine ->
+      let _, _, g1, g2 = make_xen_world engine in
+      (* Warm the path first. *)
+      (match Netstack.Stack.ping g1.stack ~dst:(Domain.ip g2.domain) () with
+      | Some _ -> ()
+      | None -> Alcotest.fail "warmup ping failed");
+      Vif.detach g2.vif;
+      Alcotest.(check bool) "detached" false (Vif.is_attached g2.vif);
+      match
+        Netstack.Stack.ping g1.stack ~dst:(Domain.ip g2.domain)
+          ~timeout:(Sim.Time.ms 20) ()
+      with
+      | Some _ -> Alcotest.fail "ping survived vif detach"
+      | None -> ())
+
+let test_vif_event_channel_coalescing () =
+  run_sim (fun engine ->
+      let machine, _, g1, g2 = make_xen_world engine in
+      ignore machine;
+      let server =
+        match Netstack.Udp.bind g2.udp ~port:9 () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let client =
+        match Netstack.Udp.bind g1.udp () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let meter_before =
+        Memory.Cost_meter.event_notifies (Domain.meter g1.domain)
+      in
+      for _ = 1 to 50 do
+        Netstack.Udp.sendto client ~dst:(Domain.ip g2.domain) ~dst_port:9
+          (Bytes.make 100 'a')
+      done;
+      for _ = 1 to 50 do
+        ignore (Netstack.Udp.recvfrom server)
+      done;
+      let notifies =
+        Memory.Cost_meter.event_notifies (Domain.meter g1.domain) - meter_before
+      in
+      (* One notify hypercall per packet on the guest side. *)
+      Alcotest.(check bool) "guest notifies on pushes" true (notifies >= 50))
+
+let suites =
+  [
+    ( "xennet.ring",
+      [
+        Alcotest.test_case "fifo order" `Quick test_ring_fifo_order;
+        Alcotest.test_case "blocking push (backpressure)" `Quick test_ring_blocking_push;
+        Alcotest.test_case "blocking pop" `Quick test_ring_blocking_pop;
+        Alcotest.test_case "invalid capacity" `Quick test_ring_invalid_capacity;
+      ] );
+    ( "xennet.bridge",
+      [
+        Alcotest.test_case "learning and forwarding" `Quick
+          test_bridge_learning_and_forwarding;
+        Alcotest.test_case "broadcast floods" `Quick test_bridge_broadcast;
+        Alcotest.test_case "detach flushes fdb" `Quick test_bridge_detach_flushes;
+      ] );
+    ( "xennet.vif",
+      [
+        Alcotest.test_case "ping through bridge" `Quick test_vif_ping_through_bridge;
+        Alcotest.test_case "udp data integrity" `Quick test_vif_udp_data_integrity;
+        Alcotest.test_case "tso batching" `Quick test_vif_batching_counts;
+        Alcotest.test_case "detach stops traffic" `Quick test_vif_detach_stops_traffic;
+        Alcotest.test_case "event notifications metered" `Quick
+          test_vif_event_channel_coalescing;
+      ] );
+  ]

@@ -1,0 +1,147 @@
+(* Tests for the XenStore model. *)
+
+module Xs = Xenstore
+
+let xs_error = Alcotest.testable Xs.pp_error ( = )
+let check_unit msg expected actual =
+  Alcotest.(check (result unit xs_error)) msg expected actual
+let check_str msg expected actual =
+  Alcotest.(check (result string xs_error)) msg expected actual
+
+let test_write_read () =
+  let xs = Xs.create () in
+  check_unit "dom0 writes anywhere" (Ok ())
+    (Xs.write xs ~caller:0 ~path:"/local/domain/3/name" ~value:"guest3");
+  check_str "read back" (Ok "guest3")
+    (Xs.read xs ~caller:0 ~path:"/local/domain/3/name");
+  check_str "missing node" (Error Xs.Noent)
+    (Xs.read xs ~caller:0 ~path:"/local/domain/3/nope")
+
+let test_guest_own_subtree () =
+  let xs = Xs.create () in
+  check_unit "guest writes own subtree" (Ok ())
+    (Xs.write xs ~caller:3 ~path:"/local/domain/3/xenloop" ~value:"1");
+  check_str "guest reads own subtree" (Ok "1")
+    (Xs.read xs ~caller:3 ~path:"/local/domain/3/xenloop")
+
+let test_guest_cannot_touch_others () =
+  let xs = Xs.create () in
+  check_unit "seed" (Ok ())
+    (Xs.write xs ~caller:0 ~path:"/local/domain/4/xenloop" ~value:"1");
+  check_unit "guest 3 cannot write dom 4" (Error Xs.Eacces)
+    (Xs.write xs ~caller:3 ~path:"/local/domain/4/attack" ~value:"x");
+  check_str "guest 3 cannot read dom 4" (Error Xs.Eacces)
+    (Xs.read xs ~caller:3 ~path:"/local/domain/4/xenloop");
+  check_unit "guest cannot write outside /local/domain" (Error Xs.Eacces)
+    (Xs.write xs ~caller:3 ~path:"/vm/global" ~value:"x")
+
+let test_invalid_paths () =
+  let xs = Xs.create () in
+  check_unit "relative path" (Error Xs.Einval)
+    (Xs.write xs ~caller:0 ~path:"local/domain/1" ~value:"x");
+  check_unit "empty path" (Error Xs.Einval) (Xs.write xs ~caller:0 ~path:"" ~value:"x")
+
+let test_rm_recursive () =
+  let xs = Xs.create () in
+  ignore (Xs.write xs ~caller:0 ~path:"/local/domain/5/a/b" ~value:"1");
+  ignore (Xs.write xs ~caller:0 ~path:"/local/domain/5/a/c" ~value:"2");
+  check_unit "rm subtree" (Ok ()) (Xs.rm xs ~caller:0 ~path:"/local/domain/5/a");
+  Alcotest.(check bool) "b gone" false
+    (Xs.exists xs ~caller:0 ~path:"/local/domain/5/a/b");
+  check_unit "rm again fails" (Error Xs.Noent)
+    (Xs.rm xs ~caller:0 ~path:"/local/domain/5/a")
+
+let test_directory () =
+  let xs = Xs.create () in
+  ignore (Xs.write xs ~caller:0 ~path:"/local/domain/1/x" ~value:"1");
+  ignore (Xs.write xs ~caller:0 ~path:"/local/domain/2/x" ~value:"1");
+  ignore (Xs.write xs ~caller:0 ~path:"/local/domain/7/x" ~value:"1");
+  match Xs.directory xs ~caller:0 ~path:"/local/domain" with
+  | Error e -> Alcotest.failf "directory failed: %a" Xs.pp_error e
+  | Ok entries -> Alcotest.(check (list string)) "children" [ "1"; "2"; "7" ] entries
+
+let test_exists_node_without_value () =
+  let xs = Xs.create () in
+  ignore (Xs.write xs ~caller:0 ~path:"/local/domain/1/a/b" ~value:"v");
+  Alcotest.(check bool) "intermediate node exists" true
+    (Xs.exists xs ~caller:0 ~path:"/local/domain/1/a");
+  check_str "but it has no value" (Error Xs.Noent)
+    (Xs.read xs ~caller:0 ~path:"/local/domain/1/a")
+
+let test_watch_fires () =
+  let xs = Xs.create () in
+  let events = ref [] in
+  (match
+     Xs.watch xs ~caller:0 ~path:"/local/domain" (fun path ev ->
+         events := (path, ev) :: !events)
+   with
+  | Error e -> Alcotest.failf "watch failed: %a" Xs.pp_error e
+  | Ok _ -> ());
+  ignore (Xs.write xs ~caller:0 ~path:"/local/domain/9/xenloop" ~value:"1");
+  ignore (Xs.rm xs ~caller:0 ~path:"/local/domain/9/xenloop");
+  ignore (Xs.write xs ~caller:0 ~path:"/vm/other" ~value:"1");
+  Alcotest.(check int) "two events under prefix" 2 (List.length !events);
+  (match !events with
+  | [ (p2, Xs.Removed); (p1, Xs.Written v) ] ->
+      Alcotest.(check string) "written path" "/local/domain/9/xenloop" p1;
+      Alcotest.(check string) "written value" "1" v;
+      Alcotest.(check string) "removed path" "/local/domain/9/xenloop" p2
+  | _ -> Alcotest.fail "unexpected event sequence")
+
+let test_watch_permissions () =
+  let xs = Xs.create () in
+  match Xs.watch xs ~caller:3 ~path:"/local/domain/4" (fun _ _ -> ()) with
+  | Error Xs.Eacces -> ()
+  | _ -> Alcotest.fail "guest watched another guest's subtree"
+
+let test_unwatch () =
+  let xs = Xs.create () in
+  let fired = ref 0 in
+  let w =
+    match Xs.watch xs ~caller:0 ~path:"/local" (fun _ _ -> incr fired) with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "watch failed: %a" Xs.pp_error e
+  in
+  ignore (Xs.write xs ~caller:0 ~path:"/local/a" ~value:"1");
+  Xs.unwatch xs w;
+  ignore (Xs.write xs ~caller:0 ~path:"/local/b" ~value:"2");
+  Alcotest.(check int) "only first write seen" 1 !fired
+
+let test_node_count () =
+  let xs = Xs.create () in
+  Alcotest.(check int) "empty" 0 (Xs.node_count xs);
+  ignore (Xs.write xs ~caller:0 ~path:"/a/b/c" ~value:"1");
+  Alcotest.(check int) "three nodes" 3 (Xs.node_count xs)
+
+let test_domain_path () =
+  Alcotest.(check string) "path" "/local/domain/12" (Xs.domain_path 12)
+
+let prop_write_read_roundtrip =
+  QCheck.Test.make ~name:"write/read roundtrip for arbitrary values" ~count:100
+    QCheck.(pair (int_range 1 20) printable_string)
+    (fun (dom, value) ->
+      let xs = Xs.create () in
+      let path = Printf.sprintf "/local/domain/%d/key" dom in
+      match Xs.write xs ~caller:dom ~path ~value with
+      | Error _ -> false
+      | Ok () -> Xs.read xs ~caller:dom ~path = Ok value)
+
+let suites =
+  [
+    ( "xenstore",
+      [
+        Alcotest.test_case "write/read" `Quick test_write_read;
+        Alcotest.test_case "guest own subtree" `Quick test_guest_own_subtree;
+        Alcotest.test_case "isolation between guests" `Quick test_guest_cannot_touch_others;
+        Alcotest.test_case "invalid paths" `Quick test_invalid_paths;
+        Alcotest.test_case "recursive rm" `Quick test_rm_recursive;
+        Alcotest.test_case "directory listing" `Quick test_directory;
+        Alcotest.test_case "valueless nodes" `Quick test_exists_node_without_value;
+        Alcotest.test_case "watch fires on prefix" `Quick test_watch_fires;
+        Alcotest.test_case "watch permissions" `Quick test_watch_permissions;
+        Alcotest.test_case "unwatch" `Quick test_unwatch;
+        Alcotest.test_case "node count" `Quick test_node_count;
+        Alcotest.test_case "domain path" `Quick test_domain_path;
+      ]
+      @ [ QCheck_alcotest.to_alcotest prop_write_read_roundtrip ] );
+  ]

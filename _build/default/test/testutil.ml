@@ -1,0 +1,13 @@
+(* Shared helpers for test suites. *)
+
+let contains haystack needle =
+  let nlen = String.length needle and hlen = String.length haystack in
+  if nlen = 0 then true
+  else begin
+    let rec scan i =
+      if i + nlen > hlen then false
+      else if String.sub haystack i nlen = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end
