@@ -19,6 +19,10 @@ type t = {
   copy_ns_per_byte : float;
   xenloop_copy_ns_per_byte : float;
   xenloop_fifo_op : Sim.Time.span;
+  xenloop_notify_suppression : bool;
+  xenloop_batch_tx : bool;
+  xenloop_poll_window : Sim.Time.span;
+  xenloop_poll_interval : Sim.Time.span;
   discovery_period : Sim.Time.span;
   netfront_tx : Sim.Time.span;
   netfront_rx : Sim.Time.span;
@@ -58,6 +62,10 @@ let default =
     copy_ns_per_byte = 0.55;
     xenloop_copy_ns_per_byte = 0.75;
     xenloop_fifo_op = Sim.Time.ns 200;
+    xenloop_notify_suppression = true;
+    xenloop_batch_tx = true;
+    xenloop_poll_window = Sim.Time.of_us_f 100.0;
+    xenloop_poll_interval = Sim.Time.of_us_f 2.0;
     discovery_period = Sim.Time.sec 5;
     netfront_tx = Sim.Time.of_us_f 1.0;
     netfront_rx = Sim.Time.of_us_f 1.0;

@@ -37,7 +37,22 @@ type t = {
   xenloop_copy_ns_per_byte : float;
       (** copies into/out of the shared FIFO pages: cross-VM, cold-cache *)
   xenloop_fifo_op : Sim.Time.span;
-      (** XenLoop FIFO bookkeeping per packet (metadata write, index update) *)
+      (** XenLoop FIFO bookkeeping per packet (metadata write, index update);
+          with [xenloop_batch_tx] it is charged once per submitted burst *)
+  xenloop_notify_suppression : bool;
+      (** skip the event-channel hypercall when the shared consumer-active
+          flag shows the receiver already draining (doorbell suppression);
+          [false] restores the per-packet-notify baseline *)
+  xenloop_batch_tx : bool;
+      (** coalesce a burst of outgoing frames (e.g. the fragments of one
+          datagram) into one FIFO submission with a single trailing notify *)
+  xenloop_poll_window : Sim.Time.span;
+      (** NAPI-style receiver polling: after its event handler drains the
+          FIFO, the receiver keeps polling this long before clearing its
+          consumer-active flag and re-arming notifications; [span_zero]
+          disables polling *)
+  xenloop_poll_interval : Sim.Time.span;
+      (** how often the receiver re-checks the FIFO within the poll window *)
   discovery_period : Sim.Time.span;
       (** Dom0 domain-discovery scan interval (paper: 5 s) *)
   (* --- Netfront / netback split driver --- *)

@@ -1,1 +1,1 @@
-lib/netstack/netfilter.ml: List Netcore
+lib/netstack/netfilter.ml: Array List Netcore

@@ -2,26 +2,80 @@ type verdict = Accept | Steal
 
 type hook_handle = int
 
+type hook =
+  | Single of (Netcore.Packet.t -> verdict)
+  | Batch of (Netcore.Packet.t list -> verdict list)
+
 type t = {
-  mutable hooks : (hook_handle * (Netcore.Packet.t -> verdict)) list;
+  mutable hooks : (hook_handle * hook) list;
   mutable next_handle : int;
 }
 
 let create () = { hooks = []; next_handle = 0 }
 
-let register t f =
+let add t hook =
   let h = t.next_handle in
   t.next_handle <- h + 1;
-  t.hooks <- t.hooks @ [ (h, f) ];
+  t.hooks <- t.hooks @ [ (h, hook) ];
   h
 
+let register t f = add t (Single f)
+let register_batch t f = add t (Batch f)
+
 let unregister t handle = t.hooks <- List.filter (fun (h, _) -> h <> handle) t.hooks
+
+let apply_one hook packet =
+  match hook with
+  | Single f -> f packet
+  | Batch f -> ( match f [ packet ] with [ v ] -> v | _ -> Accept)
 
 let run t packet =
   let rec go = function
     | [] -> Accept
-    | (_, f) :: rest -> ( match f packet with Steal -> Steal | Accept -> go rest)
+    | (_, hook) :: rest -> (
+        match apply_one hook packet with Steal -> Steal | Accept -> go rest)
   in
   go t.hooks
+
+let run_batch t packets =
+  (* Hooks run in registration order over the whole burst; a packet stolen
+     by an earlier hook is not shown to later ones.  Relative order within
+     the burst is preserved for every hook. *)
+  let n = List.length packets in
+  let verdicts = Array.make n Accept in
+  let indexed = List.mapi (fun i p -> (i, p)) packets in
+  let (_ : (int * Netcore.Packet.t) list) =
+    List.fold_left
+      (fun remaining (_, hook) ->
+        match remaining with
+        | [] -> []
+        | _ -> (
+            match hook with
+            | Single f ->
+                List.filter
+                  (fun (i, p) ->
+                    match f p with
+                    | Steal ->
+                        verdicts.(i) <- Steal;
+                        false
+                    | Accept -> true)
+                  remaining
+            | Batch f ->
+                let vs = f (List.map snd remaining) in
+                let rec keep rem vs acc =
+                  match (rem, vs) with
+                  | [], _ -> List.rev acc
+                  | rem, [] -> List.rev_append acc rem
+                  | (i, p) :: rem', v :: vs' -> (
+                      match v with
+                      | Steal ->
+                          verdicts.(i) <- Steal;
+                          keep rem' vs' acc
+                      | Accept -> keep rem' vs' ((i, p) :: acc))
+                in
+                keep remaining vs []))
+      indexed t.hooks
+  in
+  Array.to_list verdicts
 
 let hook_count t = List.length t.hooks

@@ -82,13 +82,18 @@ let transmit_fragments t dev frags =
       (max 1 (Netfilter.hook_count t.s_post_routing))
       p.Hypervisor.Params.netfilter_hook
   in
-  List.iter
-    (fun frag ->
-      use_cpu t hook_cost;
-      match Netfilter.run t.s_post_routing frag with
+  (* The whole burst (all fragments of one datagram, or one TSO frame)
+     traverses the hooks together so batch-aware hooks — XenLoop's FIFO
+     path — can coalesce their work and notifications; the per-fragment
+     hook cost is unchanged. *)
+  use_cpu t (Sim.Time.span_scale (List.length frags) hook_cost);
+  let verdicts = Netfilter.run_batch t.s_post_routing frags in
+  List.iter2
+    (fun frag verdict ->
+      match verdict with
       | Netfilter.Steal -> t.s_stats.stolen_by_hook <- t.s_stats.stolen_by_hook + 1
       | Netfilter.Accept -> Netdevice.transmit dev frag)
-    frags
+    frags verdicts
 
 let send_ip_packet t ~dst ~dst_mac ~dev ~transport ~payload =
   let p = t.s_params in

@@ -1,1 +1,1 @@
-lib/xenloop/fifo.ml: Array Bytes Int32 List Memory
+lib/xenloop/fifo.ml: Array Bool Bytes Int32 List Memory

@@ -1,1 +1,1 @@
-lib/xenloop/mapping_table.ml: List Netcore Proto
+lib/xenloop/mapping_table.ml: Hashtbl List Netcore Option Proto

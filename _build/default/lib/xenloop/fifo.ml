@@ -10,7 +10,9 @@ let off_back = 4
 let off_state = 8
 let off_k = 12
 let off_npages = 16
-let off_grefs = 20
+let off_consumer_active = 20
+let off_producer_waiting = 24
+let off_grefs = 28
 
 let max_k =
   (* The gref table must fit in the descriptor page after the header. *)
@@ -48,14 +50,21 @@ let read_grefs ~desc =
   let n = get_u32_int desc off_npages in
   List.init n (fun i -> get_u32_int desc (off_grefs + (4 * i)))
 
-type t = { desc : Page.t; data : Page.t array; fifo_slots : int }
+type t = {
+  desc : Page.t;
+  data : Page.t array;
+  fifo_slots : int;
+  scratch : Bytes.t;
+      (* per-view scratch for entry metadata words: the push/pop hot paths
+         run once per packet and must not allocate for bookkeeping *)
+}
 
 let attach ~desc ~data =
   let k = get_u32_int desc off_k in
   if k < 1 || k > max_k then invalid_arg "Fifo.attach: descriptor not initialized";
   if Array.length data <> data_pages_for ~k then
     invalid_arg "Fifo.attach: wrong number of data pages";
-  { desc; data; fifo_slots = 1 lsl k }
+  { desc; data; fifo_slots = 1 lsl k; scratch = Bytes.create slot_bytes }
 
 let slots t = t.fifo_slots
 let max_packet t = (t.fifo_slots - 1) * slot_bytes
@@ -69,6 +78,17 @@ let is_empty t = used_slots t = 0
 
 let is_active t = get_u32_int t.desc off_state = 1
 let mark_inactive t = set_u32_int t.desc off_state 0
+
+(* Notification-suppression flags (engineering extension over the paper's
+   Sect. 3.3 layout, in the spirit of Xen's RING_PUSH_REQUESTS_AND_CHECK_NOTIFY).
+   Both live in the shared descriptor page so either endpoint can read the
+   other's published state without a hypercall. *)
+
+let consumer_active t = get_u32_int t.desc off_consumer_active = 1
+let set_consumer_active t v = set_u32_int t.desc off_consumer_active (Bool.to_int v)
+
+let producer_waiting t = get_u32_int t.desc off_producer_waiting = 1
+let set_producer_waiting t v = set_u32_int t.desc off_producer_waiting (Bool.to_int v)
 
 let force_indices ~desc v =
   set_u32_int desc off_front v;
@@ -108,9 +128,17 @@ let read_ring t ~at ~dst ~dst_off ~len =
 
 let slots_for_payload len = 1 + ((len + slot_bytes - 1) / slot_bytes)
 
+let can_accept t len =
+  len > 0 && len <= max_packet t
+  && slots_for_payload len <= free_slots t
+  && is_active t
+
 let try_push t payload =
   let len = Bytes.length payload in
-  if len = 0 || len > max_packet t then false
+  (* Refusing an inactive FIFO closes a teardown race: a sender that was
+     mid-push when the channel died must fail, not strand the frame in
+     pages about to be reclaimed. *)
+  if len = 0 || len > max_packet t || not (is_active t) then false
   else begin
     let needed = slots_for_payload len in
     if needed > free_slots t then false
@@ -119,7 +147,7 @@ let try_push t payload =
       let slot_index = b land (t.fifo_slots - 1) in
       let byte_at = slot_index * slot_bytes in
       (* Metadata word: u32 length, u16 magic, u16 reserved. *)
-      let meta = Bytes.create slot_bytes in
+      let meta = t.scratch in
       Bytes.set_int32_le meta 0 (Int32.of_int len);
       Bytes.set_uint16_le meta 4 entry_magic;
       Bytes.set_uint16_le meta 6 0;
@@ -133,13 +161,20 @@ let try_push t payload =
     end
   end
 
+let push_many t payloads =
+  let rec go n = function
+    | [] -> n
+    | payload :: rest -> if try_push t payload then go (n + 1) rest else n
+  in
+  go 0 payloads
+
 let pop t =
   if is_empty t then None
   else begin
     let f = front t in
     let slot_index = f land (t.fifo_slots - 1) in
     let byte_at = slot_index * slot_bytes in
-    let meta = Bytes.create slot_bytes in
+    let meta = t.scratch in
     read_ring t ~at:byte_at ~dst:meta ~dst_off:0 ~len:slot_bytes;
     let len = Int32.to_int (Bytes.get_int32_le meta 0) in
     let magic = Bytes.get_uint16_le meta 4 in

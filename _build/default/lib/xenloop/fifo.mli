@@ -50,9 +50,25 @@ val used_slots : t -> int
 val free_slots : t -> int
 val is_empty : t -> bool
 
+val slots_for_payload : int -> int
+(** Slots one entry occupies: the 8-byte metadata word plus the payload
+    rounded up to whole slots. *)
+
+val can_accept : t -> int -> bool
+(** Whether a payload of this many bytes would fit right now: non-empty, at
+    most {!max_packet}, and {!slots_for_payload} ≤ {!free_slots}.  This is
+    the one authoritative admission check — callers must not re-derive it
+    from slot arithmetic. *)
+
 val try_push : t -> Bytes.t -> bool
 (** [false] when the payload does not fit in the free space (caller queues
     it on the waiting list). *)
+
+val push_many : t -> Bytes.t list -> int
+(** Push a burst of payloads in order, stopping at the first that does not
+    fit; returns the number pushed.  One batched producer publish — the
+    caller charges the amortized CPU cost and issues the single trailing
+    notification. *)
 
 val pop : t -> Bytes.t option
 
@@ -60,6 +76,27 @@ val is_active : t -> bool
 val mark_inactive : t -> unit
 (** Channel teardown flag, visible to the other endpoint through shared
     memory. *)
+
+(** {1 Notification-suppression flags}
+
+    Two header words in the shared descriptor page (an engineering
+    extension over the paper's layout, mirroring Xen's
+    [RING_PUSH_REQUESTS_AND_CHECK_NOTIFY] consumer-state convention).
+    The consumer publishes "I am actively draining" so the producer can
+    skip the event-channel hypercall; the producer publishes "my waiting
+    list is non-empty" so the consumer knows freed space is worth a
+    notification.  Each flag is written by exactly one endpoint and read
+    by the other. *)
+
+val consumer_active : t -> bool
+val set_consumer_active : t -> bool -> unit
+(** Set by the consumer while it drains/polls this FIFO; a producer that
+    sees it set may skip {e data-available} notifications. *)
+
+val producer_waiting : t -> bool
+val set_producer_waiting : t -> bool -> unit
+(** Set by the producer while packets sit on its waiting list; a consumer
+    that frees space only notifies back when it is set. *)
 
 (** {1 Test hooks} *)
 

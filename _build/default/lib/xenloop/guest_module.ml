@@ -16,6 +16,10 @@ type stats = {
   mutable channels_torn_down : int;
   mutable bootstraps_started : int;
   mutable corrupt_channels : int;
+  mutable notifies_sent : int;
+  mutable notifies_suppressed : int;
+  mutable batches : int;
+  mutable poll_rounds : int;
 }
 
 type role = Listener | Connector
@@ -32,6 +36,9 @@ type channel = {
   mutable busy : bool;
       (** an event handler is draining this channel (guards against
           re-entrant handlers interleaving across CPU charges) *)
+  mutable tx_draining : bool;
+      (** some process is inside [drain_waiting]; CPU charges yield, so the
+          handler and a sender batch-flush could otherwise double-pop *)
   cleanup : unit -> unit;
 }
 
@@ -119,11 +126,24 @@ let unadvertise t =
 (* ------------------------------------------------------------------ *)
 (* Channel data path *)
 
-let notify_peer t ch =
-  Sim.Resource.use (cpu t) (params t).Params.hypercall;
-  ignore
-    (Ec.notify (Machine.evtchn (t.current_machine ())) ~dom:(my_domid t) ~port:ch.port
-       ~meter:(meter t))
+let notify_peer ?(force = false) t ch =
+  (* Doorbell suppression: a consumer that has published "actively
+     draining" in the shared descriptor will see our data on its next poll
+     round, so the hypercall is pure overhead.  Teardown and quarantine
+     pass [~force:true] — liveness signals must never be elided. *)
+  let p = params t in
+  if
+    (not force)
+    && p.Params.xenloop_notify_suppression
+    && Fifo.consumer_active ch.out_fifo
+  then t.s.notifies_suppressed <- t.s.notifies_suppressed + 1
+  else begin
+    t.s.notifies_sent <- t.s.notifies_sent + 1;
+    Sim.Resource.use (cpu t) p.Params.hypercall;
+    ignore
+      (Ec.notify (Machine.evtchn (t.current_machine ())) ~dom:(my_domid t) ~port:ch.port
+         ~meter:(meter t))
+  end
 
 (* Copy a serialized frame into the outgoing FIFO, charging the two-copy
    data path's sender half (paper Sect. 3.3, "Data transfer"). *)
@@ -134,20 +154,33 @@ let push_frame t ch raw =
        (Params.xenloop_copy_cost p (Bytes.length raw)));
   Fifo.try_push ch.out_fifo raw
 
+let enqueue_waiting t ch raw =
+  Queue.push raw ch.waiting;
+  t.s.queued_to_waiting <- t.s.queued_to_waiting + 1;
+  (* Published through the shared descriptor so the peer knows freed space
+     is worth a notification back to us. *)
+  Fifo.set_producer_waiting ch.out_fifo true
+
 let drain_waiting t ch =
-  let pushed = ref 0 in
-  let continue_draining = ref true in
-  while !continue_draining && not (Queue.is_empty ch.waiting) do
-    let raw = Queue.peek ch.waiting in
-    if Fifo.free_slots ch.out_fifo * 8 > Bytes.length raw + 8 && push_frame t ch raw
-    then begin
-      ignore (Queue.pop ch.waiting);
-      t.s.via_channel_tx <- t.s.via_channel_tx + 1;
-      incr pushed
-    end
-    else continue_draining := false
-  done;
-  !pushed
+  if ch.tx_draining then 0
+  else begin
+    ch.tx_draining <- true;
+    let pushed = ref 0 in
+    let continue_draining = ref true in
+    while !continue_draining && not (Queue.is_empty ch.waiting) do
+      let raw = Queue.peek ch.waiting in
+      if Fifo.can_accept ch.out_fifo (Bytes.length raw) && push_frame t ch raw
+      then begin
+        ignore (Queue.pop ch.waiting);
+        t.s.via_channel_tx <- t.s.via_channel_tx + 1;
+        incr pushed
+      end
+      else continue_draining := false
+    done;
+    if Queue.is_empty ch.waiting then Fifo.set_producer_waiting ch.out_fifo false;
+    ch.tx_draining <- false;
+    !pushed
+  end
 
 let send_via_channel t ch raw =
   (* Packets behind a non-empty waiting list must queue too (ordering);
@@ -159,8 +192,7 @@ let send_via_channel t ch raw =
   let sent_now =
     if Queue.is_empty ch.waiting && push_frame t ch raw then true
     else begin
-      Queue.push raw ch.waiting;
-      t.s.queued_to_waiting <- t.s.queued_to_waiting + 1;
+      enqueue_waiting t ch raw;
       false
     end
   in
@@ -169,22 +201,67 @@ let send_via_channel t ch raw =
      consumption round notifies us back to drain the waiting list. *)
   notify_peer t ch
 
+let send_batch t ch raws =
+  (* One burst — all fragments of one datagram, or several back-to-back
+     steals to the same peer — enters the FIFO under a single amortized
+     bookkeeping charge and a single trailing notification. *)
+  let p = params t in
+  match raws with
+  | [] -> ()
+  | [ raw ] -> send_via_channel t ch raw
+  | raws when not p.Params.xenloop_batch_tx -> List.iter (send_via_channel t ch) raws
+  | raws ->
+      t.s.batches <- t.s.batches + 1;
+      (* Service the waiting list from the sending context first: leaving
+         it to the event handler alone starves it behind this process's
+         own CPU charges, and ordering only needs queued frames to leave
+         before the new burst. *)
+      if not (Queue.is_empty ch.waiting) then ignore (drain_waiting t ch);
+      if not (Queue.is_empty ch.waiting) then
+        (* Ordering: everything behind a non-empty waiting list queues. *)
+        List.iter (enqueue_waiting t ch) raws
+      else begin
+        (* The burst pays [xenloop_fifo_op] once; each frame still pays its
+           copy before becoming visible to the consumer. *)
+        Sim.Resource.use (cpu t) p.Params.xenloop_fifo_op;
+        let overflowed = ref false in
+        List.iter
+          (fun raw ->
+            if !overflowed then enqueue_waiting t ch raw
+            else begin
+              Sim.Resource.use (cpu t)
+                (Params.xenloop_copy_cost p (Bytes.length raw));
+              if Fifo.try_push ch.out_fifo raw then
+                t.s.via_channel_tx <- t.s.via_channel_tx + 1
+              else begin
+                overflowed := true;
+                enqueue_waiting t ch raw
+              end
+            end)
+          raws
+      end;
+      notify_peer t ch
+
 (* ------------------------------------------------------------------ *)
 (* Teardown *)
 
 let flush_waiting_via_standard_path t ch =
   (* Transparent fallback: packets that never made it into the FIFO leave
-     through the standard netfront path instead of being dropped. *)
+     through the standard netfront path instead of being dropped.
+     Snapshot the queue before transmitting: each transmit yields the CPU,
+     and a handler waking mid-flush must find the queue already empty
+     rather than race the iteration. *)
+  let frames = List.of_seq (Queue.to_seq ch.waiting) in
+  Queue.clear ch.waiting;
   match Stack.device t.stack with
-  | None -> Queue.clear ch.waiting
+  | None -> ()
   | Some dev ->
-      Queue.iter
+      List.iter
         (fun raw ->
           match Netcore.Codec.parse raw with
           | Ok packet -> Netstack.Netdevice.transmit dev packet
           | Error _ -> ())
-        ch.waiting;
-      Queue.clear ch.waiting
+        frames
 
 exception Corrupt_channel
 
@@ -200,8 +277,14 @@ let drain_incoming t ch =
         raise Corrupt_channel
     | None -> continue_draining := false
     | Some raw -> (
+        (* Receiver half of the batch amortization: the first frame of a
+           drain pays the FIFO bookkeeping, the rest only their copies. *)
+        let bookkeeping =
+          if p.Params.xenloop_batch_tx && !consumed > 0 then Sim.Time.span_zero
+          else p.Params.xenloop_fifo_op
+        in
         Sim.Resource.use (cpu t)
-          (Sim.Time.span_add p.Params.xenloop_fifo_op
+          (Sim.Time.span_add bookkeeping
              (Params.xenloop_copy_cost p (Bytes.length raw)));
         incr consumed;
         match Netcore.Codec.parse raw with
@@ -224,7 +307,7 @@ let quarantine t peer_domid ch =
   Fifo.mark_inactive ch.out_fifo;
   (try Fifo.mark_inactive ch.in_fifo with Invalid_argument _ -> ());
   (* Tell the peer so it disengages too and falls back to netfront. *)
-  (try notify_peer t ch with Invalid_argument _ -> ());
+  (try notify_peer ~force:true t ch with Invalid_argument _ -> ());
   ch.cleanup ();
   Hashtbl.remove t.peers peer_domid;
   t.s.channels_torn_down <- t.s.channels_torn_down + 1
@@ -232,25 +315,49 @@ let quarantine t peer_domid ch =
 let teardown_channel t ~save ch =
   trace t Sim.Trace.Teardown "dom%d: tearing down channel to dom%d (save=%b)"
     (my_domid t) ch.peer_domid save;
-  (* Receive anything still pending, save or flush the unsent packets,
-     mark the shared state inactive, tell the peer, disengage. *)
+  (* Receive anything still pending, kill the shared state so concurrent
+     senders bounce off, save or flush the unsent packets, tell the peer,
+     disengage. *)
   if ch.connected then (try ignore (drain_incoming t ch) with Corrupt_channel -> ());
+  (* Inactive before the flush below yields the CPU: a handler that was
+     mid-push when we got here must see try_push fail, not feed frames
+     into pages this function is about to reclaim and release. *)
+  Fifo.mark_inactive ch.out_fifo;
+  Fifo.mark_inactive ch.in_fifo;
+  if ch.connected then begin
+    (* Frames the peer has not yet popped would be stranded once the FIFO
+       pages go back to the frame pool (the peer reads them only after its
+       event latency, by which time the pages may be reused).  Reclaim
+       them and let the save/flush below carry them, in order, ahead of
+       the waiting list. *)
+    let stranded = Queue.create () in
+    (try
+       let reclaiming = ref true in
+       while !reclaiming do
+         match Fifo.pop ch.out_fifo with
+         | Some raw -> Queue.push raw stranded
+         | None -> reclaiming := false
+       done
+     with Invalid_argument _ -> ());
+    Queue.transfer ch.waiting stranded;
+    Queue.transfer stranded ch.waiting
+  end;
   if save then begin
     t.saved_frames <- t.saved_frames @ List.of_seq (Queue.to_seq ch.waiting);
     Queue.clear ch.waiting
   end
   else flush_waiting_via_standard_path t ch;
-  Fifo.mark_inactive ch.out_fifo;
-  Fifo.mark_inactive ch.in_fifo;
-  if ch.connected then notify_peer t ch;
+  if ch.connected then notify_peer ~force:true t ch;
   ch.cleanup ();
   t.s.channels_torn_down <- t.s.channels_torn_down + 1
 
 let disengage_peer t peer_domid ~save =
   match Hashtbl.find_opt t.peers peer_domid with
   | Some (Active ch) ->
-      teardown_channel t ~save ch;
-      Hashtbl.remove t.peers peer_domid
+      (* Unregister before the teardown yields the CPU, so a concurrently
+         waking handler cannot find the channel and tear it down twice. *)
+      Hashtbl.remove t.peers peer_domid;
+      teardown_channel t ~save ch
   | Some (Bootstrapping (Awaiting_ack ba)) ->
       ba.ba_channel.cleanup ();
       Hashtbl.remove t.peers peer_domid
@@ -265,40 +372,136 @@ let teardown_all t ~save =
 (* ------------------------------------------------------------------ *)
 (* Event-channel handler: packets arrived, or space was freed *)
 
+(* Peer marked the channel inactive: drain what's left, then disengage
+   (paper Sect. 3.3, "Channel teardown"). *)
+let handle_peer_teardown t peer_domid ch =
+  (* A handler parked in its poll window can wake after [unload] already
+     disengaged this very channel; only the first teardown may clean up. *)
+  match Hashtbl.find_opt t.peers peer_domid with
+  | Some (Active ch') when ch' == ch ->
+      (* Unregister first: the drain below yields, and only the first
+         teardown may run the cleanup. *)
+      Hashtbl.remove t.peers peer_domid;
+      (try ignore (drain_incoming t ch) with Corrupt_channel -> ());
+      flush_waiting_via_standard_path t ch;
+      ch.cleanup ();
+      t.s.channels_torn_down <- t.s.channels_torn_down + 1
+  | _ -> ()
+
+(* One quiescence round: receive everything pending, then service our own
+   waiting list into the space that popping just freed. *)
+let drain_round t ch =
+  let total_consumed = ref 0 and total_pushed = ref 0 in
+  let quiescent = ref false in
+  while not !quiescent do
+    let consumed = drain_incoming t ch in
+    let pushed = drain_waiting t ch in
+    total_consumed := !total_consumed + consumed;
+    total_pushed := !total_pushed + pushed;
+    if consumed = 0 && pushed = 0 then quiescent := true
+  done;
+  (!total_consumed, !total_pushed)
+
+(* NAPI-style adaptive polling: after draining to quiescence, stay in the
+   handler for a short window re-checking the FIFO, so a streaming sender
+   keeps seeing our consumer-active flag and never rings the doorbell.
+   Returns [true] when new work appeared before the window expired. *)
+let poll_for_more t ch =
+  let p = params t in
+  let window = p.Params.xenloop_poll_window in
+  let interval = p.Params.xenloop_poll_interval in
+  if not (Sim.Time.span_is_positive window && Sim.Time.span_is_positive interval)
+  then false
+  else begin
+    let deadline = Sim.Time.add (Sim.Engine.now (engine t)) window in
+    let got_work = ref false in
+    let stop = ref false in
+    while not (!got_work || !stop) do
+      Sim.Engine.sleep interval;
+      t.s.poll_rounds <- t.s.poll_rounds + 1;
+      if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo) then
+        (* Never poll across a teardown: the disengage path must run. *)
+        stop := true
+      else if
+        (not (Fifo.is_empty ch.in_fifo))
+        || ((not (Queue.is_empty ch.waiting))
+           && Fifo.can_accept ch.out_fifo (Bytes.length (Queue.peek ch.waiting)))
+      then got_work := true
+      else if Sim.Time.(Sim.Engine.now (engine t) >= deadline) then stop := true
+    done;
+    !got_work
+  end
+
 let on_event t peer_domid () =
   if t.loaded then begin
     match Hashtbl.find_opt t.peers peer_domid with
     | Some (Active ch) when not ch.busy ->
-        if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo) then begin
-          (* Peer marked the channel inactive: drain what's left, then
-             disengage (paper Sect. 3.3, "Channel teardown"). *)
-          ignore (drain_incoming t ch);
-          flush_waiting_via_standard_path t ch;
-          ch.cleanup ();
-          Hashtbl.remove t.peers peer_domid;
-          t.s.channels_torn_down <- t.s.channels_torn_down + 1
-        end
+        if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo) then
+          handle_peer_teardown t peer_domid ch
         else begin
           ch.busy <- true;
+          let suppressing = (params t).Params.xenloop_notify_suppression in
           match
             let total_consumed = ref 0 and total_pushed = ref 0 in
-            let quiescent = ref false in
-            while not !quiescent do
+            if suppressing then Fifo.set_consumer_active ch.in_fifo true;
+            let serving = ref true in
+            while !serving do
               let consumed = drain_incoming t ch in
               let pushed = drain_waiting t ch in
               total_consumed := !total_consumed + consumed;
               total_pushed := !total_pushed + pushed;
-              if consumed = 0 && pushed = 0 then quiescent := true
+              if suppressing then begin
+                (* Signal per round, not once at handler exit: the peer must
+                   refill (or drain) {e while} we are still serving, or the
+                   two endpoints alternate in lockstep, one FIFO-full at a
+                   time.  Once the peer is inside its own handler its
+                   consumer-active flag makes these notifies free. *)
+                if
+                  pushed > 0
+                  || (consumed > 0 && Fifo.producer_waiting ch.in_fifo)
+                then notify_peer t ch;
+                if consumed = 0 && pushed = 0 then
+                  serving := poll_for_more t ch
+              end
+              else if consumed = 0 && pushed = 0 then serving := false
             done;
-            (!total_consumed, !total_pushed)
+            let final_consumed = ref 0 and final_pushed = ref 0 in
+            if suppressing then begin
+              Fifo.set_consumer_active ch.in_fifo false;
+              (* Close the suppression race: a push that saw the flag still
+                 set stayed silent, so look one last time after clearing. *)
+              let consumed, pushed = drain_round t ch in
+              final_consumed := consumed;
+              final_pushed := pushed;
+              total_consumed := !total_consumed + consumed;
+              total_pushed := !total_pushed + pushed
+            end;
+            (!total_consumed, !total_pushed, !final_consumed, !final_pushed)
           with
           | exception Corrupt_channel ->
+              (try Fifo.set_consumer_active ch.in_fifo false
+               with Invalid_argument _ -> ());
               ch.busy <- false;
               quarantine t peer_domid ch
-          | total_consumed, total_pushed ->
+          | total_consumed, total_pushed, final_consumed, final_pushed ->
               ch.busy <- false;
-              (* Consuming freed FIFO space the peer may be waiting for. *)
-              if total_consumed > 0 || total_pushed > 0 then notify_peer t ch
+              if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo)
+              then
+                (* The peer tore the channel down while we were busy; its
+                   notify was swallowed by the busy guard, so disengage now. *)
+                handle_peer_teardown t peer_domid ch
+              else if suppressing then begin
+                (* In-loop rounds already signalled; only the race-closing
+                   final drain still needs its notification. *)
+                if
+                  final_pushed > 0
+                  || (final_consumed > 0 && Fifo.producer_waiting ch.in_fifo)
+                then notify_peer t ch
+              end
+              else if total_consumed > 0 || total_pushed > 0 then
+                (* Per-packet-notification baseline: exactly the seed
+                   behaviour, one coalesced doorbell at handler exit. *)
+                notify_peer t ch
         end
     | Some (Active _) | Some (Bootstrapping _) | None -> ()
   end
@@ -390,6 +593,7 @@ let listener_create t ~peer_domid ~peer_mac =
           waiting = Queue.create ();
           connected = false;
           busy = false;
+          tx_draining = false;
           cleanup;
         }
       in
@@ -471,6 +675,7 @@ let connector_accept t ~listener_domid ~listener_mac ~lc_gref ~cl_gref ~evtchn_p
                   waiting = Queue.create ();
                   connected = true;
                   busy = false;
+                  tx_draining = false;
                   cleanup;
                 }
               in
@@ -552,32 +757,63 @@ let on_ctrl_packet t (packet : P.t) =
 (* ------------------------------------------------------------------ *)
 (* The netfilter hook: the guest-specific software bridge *)
 
-let hook_fn t (packet : P.t) =
-  if not t.loaded then Netstack.Netfilter.Accept
-  else
-    match packet.P.body with
-    | P.Arp_body _ | P.Xenloop_body _ -> Netstack.Netfilter.Accept
-    | P.Ipv4_body _ -> (
-        match Mapping_table.lookup t.mapping packet.P.dst_mac with
-        | None -> Netstack.Netfilter.Accept
-        | Some peer_domid -> (
-            match Hashtbl.find_opt t.peers peer_domid with
-            | Some (Active ch) when ch.connected ->
-                let raw = Netcore.Codec.serialize packet in
-                if Bytes.length raw > Fifo.max_packet ch.out_fifo then begin
-                  t.s.too_big_fallback <- t.s.too_big_fallback + 1;
-                  Netstack.Netfilter.Accept
-                end
-                else begin
-                  send_via_channel t ch raw;
-                  Netstack.Netfilter.Steal
-                end
-            | Some (Active _) | Some (Bootstrapping _) ->
-                (* Bootstrap in progress: standard path (paper Sect. 3.3). *)
-                Netstack.Netfilter.Accept
-            | None ->
-                start_bootstrap t ~peer_domid ~peer_mac:packet.P.dst_mac;
-                Netstack.Netfilter.Accept))
+(* Per-packet routing decision: steal onto a connected channel, or let the
+   packet take the standard netfront path (kicking off a bootstrap on
+   first co-resident traffic). *)
+let classify t (packet : P.t) =
+  match packet.P.body with
+  | P.Arp_body _ | P.Xenloop_body _ -> `Standard_path
+  | P.Ipv4_body _ -> (
+      match Mapping_table.lookup t.mapping packet.P.dst_mac with
+      | None -> `Standard_path
+      | Some peer_domid -> (
+          match Hashtbl.find_opt t.peers peer_domid with
+          | Some (Active ch) when ch.connected ->
+              let raw = Netcore.Codec.serialize packet in
+              if Bytes.length raw > Fifo.max_packet ch.out_fifo then begin
+                t.s.too_big_fallback <- t.s.too_big_fallback + 1;
+                `Standard_path
+              end
+              else `Channel (ch, raw)
+          | Some (Active _) | Some (Bootstrapping _) ->
+              (* Bootstrap in progress: standard path (paper Sect. 3.3). *)
+              `Standard_path
+          | None ->
+              start_bootstrap t ~peer_domid ~peer_mac:packet.P.dst_mac;
+              `Standard_path))
+
+(* The transmit hook sees whole bursts (all fragments of one datagram);
+   consecutive steals to the same channel flush as one batch. *)
+let hook_fn t (packets : P.t list) =
+  if not t.loaded then List.map (fun _ -> Netstack.Netfilter.Accept) packets
+  else begin
+    let decisions = List.map (classify t) packets in
+    let flush group =
+      match List.rev group with
+      | [] -> ()
+      | (ch, _) :: _ as frames -> send_batch t ch (List.map snd frames)
+    in
+    let pending =
+      List.fold_left
+        (fun pending decision ->
+          match (decision, pending) with
+          | `Standard_path, pending ->
+              flush pending;
+              []
+          | `Channel (ch, raw), ((ch', _) :: _ as pending) when ch == ch' ->
+              (ch, raw) :: pending
+          | `Channel (ch, raw), pending ->
+              flush pending;
+              [ (ch, raw) ])
+        [] decisions
+    in
+    flush pending;
+    List.map
+      (function
+        | `Channel _ -> Netstack.Netfilter.Steal
+        | `Standard_path -> Netstack.Netfilter.Accept)
+      decisions
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Transport-level shortcut (paper Sect. 6 future work) *)
@@ -681,11 +917,16 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?trace () 
           channels_torn_down = 0;
           bootstraps_started = 0;
           corrupt_channels = 0;
+          notifies_sent = 0;
+          notifies_suppressed = 0;
+          batches = 0;
+          poll_rounds = 0;
         };
       loaded = true;
     }
   in
-  t.hook <- Some (Netstack.Netfilter.register (Stack.post_routing stack) (hook_fn t));
+  t.hook <-
+    Some (Netstack.Netfilter.register_batch (Stack.post_routing stack) (hook_fn t));
   Stack.set_ctrl_handler stack (on_ctrl_packet t);
   advertise t;
   Domain.on_pre_migrate domain (fun () -> if t.loaded then prepare_migration t);

@@ -29,6 +29,17 @@ type stats = {
       (** channels torn down because the peer corrupted the shared FIFO
           state — a misbehaving or malicious co-resident guest must never
           crash this one, only lose its fast path *)
+  mutable notifies_sent : int;
+      (** event-channel doorbells actually rung (one hypercall each) *)
+  mutable notifies_suppressed : int;
+      (** doorbells elided because the peer's consumer-active flag showed it
+          already draining ({!Hypervisor.Params.xenloop_notify_suppression}) *)
+  mutable batches : int;
+      (** multi-frame bursts pushed under one amortized charge and a single
+          trailing notification ({!Hypervisor.Params.xenloop_batch_tx}) *)
+  mutable poll_rounds : int;
+      (** NAPI-style receiver poll iterations inside the event handler
+          ({!Hypervisor.Params.xenloop_poll_window}) *)
 }
 
 val create :

@@ -1,21 +1,53 @@
-type t = { mutable current : Proto.entry list }
+(* The announcement list is kept verbatim (for [entries]/[size] and the
+   soft-state wholesale replacement), with MAC-, IP- and domid-keyed
+   hashtable indices alongside: [lookup]/[lookup_by_ip]/[mem_domid] run
+   once per outgoing packet, so they must not scan the list.  On duplicate
+   keys within one announcement the first entry wins, matching the old
+   [List.find]-based scans. *)
 
-let create () = { current = [] }
+type t = {
+  mutable current : Proto.entry list;
+  by_mac : (Netcore.Mac.t, Proto.entry) Hashtbl.t;
+  by_ip : (Netcore.Ip.t, Proto.entry) Hashtbl.t;
+  by_domid : (int, Proto.entry) Hashtbl.t;
+}
 
-let update t entries = t.current <- entries
+let create () =
+  {
+    current = [];
+    by_mac = Hashtbl.create 16;
+    by_ip = Hashtbl.create 16;
+    by_domid = Hashtbl.create 16;
+  }
 
-let lookup t mac =
-  List.find_map
+let add_if_absent tbl key entry =
+  if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key entry
+
+let reindex t =
+  Hashtbl.reset t.by_mac;
+  Hashtbl.reset t.by_ip;
+  Hashtbl.reset t.by_domid;
+  List.iter
     (fun e ->
-      if Netcore.Mac.equal e.Proto.entry_mac mac then Some e.Proto.entry_domid
-      else None)
+      add_if_absent t.by_mac e.Proto.entry_mac e;
+      add_if_absent t.by_ip e.Proto.entry_ip e;
+      add_if_absent t.by_domid e.Proto.entry_domid e)
     t.current
 
-let lookup_by_ip t ip =
-  List.find_opt (fun e -> Netcore.Ip.equal e.Proto.entry_ip ip) t.current
+let update t entries =
+  t.current <- entries;
+  reindex t
 
-let mem_domid t domid = List.exists (fun e -> e.Proto.entry_domid = domid) t.current
+let lookup t mac =
+  Option.map (fun e -> e.Proto.entry_domid) (Hashtbl.find_opt t.by_mac mac)
+
+let lookup_by_ip t ip = Hashtbl.find_opt t.by_ip ip
+
+let mem_domid t domid = Hashtbl.mem t.by_domid domid
 
 let entries t = t.current
 let size t = List.length t.current
-let clear t = t.current <- []
+
+let clear t =
+  t.current <- [];
+  reindex t

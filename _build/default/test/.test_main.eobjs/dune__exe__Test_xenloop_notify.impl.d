@@ -1,0 +1,1 @@
+test/test_xenloop_notify.ml: Alcotest Array Bytes Char Hypervisor List Memory Netstack Printf Scenarios Sim Workloads Xenloop

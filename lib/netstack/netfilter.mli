@@ -14,9 +14,21 @@ val create : unit -> t
 val register : t -> (Netcore.Packet.t -> verdict) -> hook_handle
 (** Hooks run in registration order. *)
 
+val register_batch : t -> (Netcore.Packet.t list -> verdict list) -> hook_handle
+(** A hook that sees a whole transmit burst at once (e.g. all fragments of
+    one datagram) and returns one verdict per packet, in order.  Under
+    {!run} (single-packet traversal) it receives one-element lists.  A
+    short verdict list leaves the remaining packets [Accept]ed. *)
+
 val unregister : t -> hook_handle -> unit
 
 val run : t -> Netcore.Packet.t -> verdict
 (** [Steal] as soon as any hook steals; [Accept] if all accept. *)
+
+val run_batch : t -> Netcore.Packet.t list -> verdict list
+(** Traverse all hooks with a burst of packets, preserving per-hook
+    registration order and per-packet burst order; packets stolen by an
+    earlier hook are not shown to later hooks.  Returns the per-packet
+    verdicts in input order. *)
 
 val hook_count : t -> int
