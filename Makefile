@@ -1,0 +1,26 @@
+# Convenience wrappers around dune.  `make ci` is the gate a PR must pass:
+# build, full test suite, and a smoke benchmark run whose JSON writer
+# exits nonzero if the optimized data path loses or duplicates a single
+# application byte relative to the baseline (see bench/main.ml).
+
+.PHONY: all build test bench-smoke bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest --force
+
+bench-smoke: build
+	dune exec bench/main.exe -- --json-smoke /tmp/bench_smoke.json
+
+bench: build
+	dune exec bench/main.exe -- --json
+
+ci: build test bench-smoke
+	@echo "ci: build + tests + bench smoke (delivery check) all green"
+
+clean:
+	dune clean

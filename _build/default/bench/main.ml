@@ -11,6 +11,7 @@ module Setup = Scenarios.Setup
 module Experiment = Scenarios.Experiment
 module Mw = Scenarios.Migration_world
 module Gm = Xenloop.Guest_module
+module Steering = Xenloop.Steering
 module Host = Workloads.Host
 module Netperf = Workloads.Netperf
 
@@ -304,7 +305,7 @@ let fig11 () =
         (Sim.Time.add Sim.Time.zero (Sim.Time.sec 30))
         (fun () -> Mw.migrate w g1 ~dst:w.Mw.m1);
       let conn =
-        match Netstack.Tcp.connect client_tcp ~dst ~dst_port:5999 with
+        match Netstack.Tcp.connect client_tcp ~dst ~dst_port:5999 () with
         | Ok c -> c
         | Error _ -> failwith "connect"
       in
@@ -746,6 +747,7 @@ let baseline_params =
     Hypervisor.Params.xenloop_notify_suppression = false;
     xenloop_batch_tx = false;
     xenloop_poll_window = Sim.Time.span_zero;
+    xenloop_queues = 1;
   }
 
 type counters = {
@@ -754,6 +756,8 @@ type counters = {
   c_notifies_suppressed : int;
   c_batches : int;
   c_poll_rounds : int;
+  c_steered : int;
+  c_waiting_overflows : int;
 }
 
 let counters_of_modules modules =
@@ -766,6 +770,8 @@ let counters_of_modules modules =
         c_notifies_suppressed = acc.c_notifies_suppressed + s.Gm.notifies_suppressed;
         c_batches = acc.c_batches + s.Gm.batches;
         c_poll_rounds = acc.c_poll_rounds + s.Gm.poll_rounds;
+        c_steered = acc.c_steered + s.Gm.steered_packets;
+        c_waiting_overflows = acc.c_waiting_overflows + s.Gm.waiting_overflows;
       })
     {
       c_delivered = 0;
@@ -773,6 +779,8 @@ let counters_of_modules modules =
       c_notifies_suppressed = 0;
       c_batches = 0;
       c_poll_rounds = 0;
+      c_steered = 0;
+      c_waiting_overflows = 0;
     }
     modules
 
@@ -783,11 +791,18 @@ let sub_counters a b =
     c_notifies_suppressed = a.c_notifies_suppressed - b.c_notifies_suppressed;
     c_batches = a.c_batches - b.c_batches;
     c_poll_rounds = a.c_poll_rounds - b.c_poll_rounds;
+    c_steered = a.c_steered - b.c_steered;
+    c_waiting_overflows = a.c_waiting_overflows - b.c_waiting_overflows;
   }
 
 type wl_result = {
   w_mbps : float option;
   w_latency_us : float option;
+  w_delivered_app : int;
+      (* Application-level delivery: bytes received for streams,
+         completed transactions for request/response.  Must be invariant
+         across parameter settings — the fast path may change timing,
+         never delivery. *)
   w_counters : counters;
 }
 
@@ -795,28 +810,131 @@ let run_json_workload ~params ~smoke name =
   let ctx = make_ctx ~params Setup.Xenloop_path in
   in_ctx ctx (fun { duo; client; server; dst } ->
       let before = counters_of_modules duo.Setup.modules in
-      let w_mbps, w_latency_us =
+      let w_mbps, w_latency_us, w_delivered_app =
         match name with
         | "udp_stream" ->
             let total = if smoke then 512 * 1024 else 8 * 1024 * 1024 in
             let r = Netperf.udp_stream ~client ~server ~dst ~total_bytes:total () in
-            (Some r.Netperf.mbps, None)
+            (Some r.Netperf.mbps, None, r.Netperf.bytes_received)
         | "tcp_stream" ->
             let total = if smoke then 512 * 1024 else 8 * 1024 * 1024 in
             let r = Netperf.tcp_stream ~client ~server ~dst ~total_bytes:total () in
-            (Some r.Netperf.mbps, None)
+            (Some r.Netperf.mbps, None, r.Netperf.bytes_received)
         | "udp_rr" ->
             let n = if smoke then 100 else 1500 in
             let r = Netperf.udp_rr ~client ~server ~dst ~transactions:n () in
-            (None, Some r.Netperf.avg_latency_us)
+            (None, Some r.Netperf.avg_latency_us, r.Netperf.transactions)
         | "tcp_rr" ->
             let n = if smoke then 100 else 1500 in
             let r = Netperf.tcp_rr ~client ~server ~dst ~transactions:n () in
-            (None, Some r.Netperf.avg_latency_us)
+            (None, Some r.Netperf.avg_latency_us, r.Netperf.transactions)
         | _ -> invalid_arg "run_json_workload"
       in
       let after = counters_of_modules duo.Setup.modules in
-      { w_mbps; w_latency_us; w_counters = sub_counters after before })
+      { w_mbps; w_latency_us; w_delivered_app; w_counters = sub_counters after before })
+
+(* ------------------------------------------------------------------ *)
+(* Mixed workload: a bulk UDP stream and a latency-sensitive TCP_RR
+   running concurrently between the same guest pair.  With one queue the
+   rr packets sit behind the stream's batches (head-of-line blocking);
+   with several queues the steering hash keeps the two flows on separate
+   queue pairs and rr tail latency collapses back toward the idle case. *)
+
+type mixed_result = {
+  mx_queues : int;
+  mx_stream_mbps : float;
+  mx_stream_bytes : int;
+  mx_rr_transactions : int;
+  mx_rr_avg_us : float;
+  mx_rr_p99_us : float;
+  mx_counters : counters;
+  mx_queue_stats : Gm.queue_stat array;  (* client module, tx side *)
+}
+
+let run_mixed ~params ~smoke () =
+  (* Hold notification behavior constant across queue counts: with the
+     default 100us poll window, only the single-queue run gets its poller
+     kept warm through the burst gaps (by the rr flow sharing the queue),
+     so queue-count comparisons would conflate flow separation with
+     doorbell wake-ups at burst boundaries.  A window covering the pacing
+     gap keeps every configuration in polling mode throughout. *)
+  let params =
+    { params with Hypervisor.Params.xenloop_poll_window = Sim.Time.us 2000 }
+  in
+  let ctx = make_ctx ~params Setup.Xenloop_path in
+  in_ctx ctx (fun { duo; client; server; dst } ->
+      let engine = duo.Setup.engine in
+      let before = counters_of_modules duo.Setup.modules in
+      let nq = params.Hypervisor.Params.xenloop_queues in
+      let src = Netstack.Stack.ip_addr client.Host.stack in
+      (* UDP steers on the 3-tuple, so the stream's queue is fixed by the
+         IP pair; pick a TCP_RR client port whose 5-tuple hashes to a
+         different queue so the flows are actually separated. *)
+      let stream_q =
+        Steering.queue_index
+          (Steering.ip_flow ~proto:17 ~src ~dst ~sport:0 ~dport:0)
+          ~queues:nq
+      in
+      let rr_port = 9200 in
+      let rec pick p =
+        if nq <= 1 then p
+        else
+          let q =
+            Steering.queue_index
+              (Steering.ip_flow ~proto:6 ~src ~dst ~sport:p ~dport:rr_port)
+              ~queues:nq
+          in
+          if q <> stream_q then p else pick (p + 1)
+      in
+      let rr_client_port = pick 40001 in
+      let total = if smoke then 2 * 1024 * 1024 else 8 * 1024 * 1024 in
+      let n = if smoke then 6 else 23 in
+      let stream_res = ref None in
+      let done_cond = Sim.Condition.create () in
+      Sim.Engine.spawn engine (fun () ->
+          (* Paced bulk load (netperf -b/-w): each burst refills the FIFO,
+             each gap lets the receiver drain it, so the channel stays
+             under steady pressure for the whole rr run instead of
+             overrunning the waiting list in one blast. *)
+          let r =
+            Netperf.udp_stream ~client ~server ~dst ~port:9100
+              ~message_size:16384 ~burst:64 ~interval:(Sim.Time.us 1200)
+              ~total_bytes:total ()
+          in
+          stream_res := Some r;
+          Sim.Condition.broadcast done_cond);
+      (* Let the bulk stream queue up before the first transaction. *)
+      Sim.Engine.sleep (Sim.Time.us 200);
+      let rr =
+        (* Think time (netperf -w) keeps the rr offered load fixed across
+           queue counts; without it a faster data path completes more
+           transactions during the stream and the extra CPU shows up as a
+           phantom stream regression. *)
+        Netperf.tcp_rr ~client ~server ~dst ~port:rr_port
+          ~client_port:rr_client_port ~interval:(Sim.Time.us 1000)
+          ~transactions:n ()
+      in
+      while !stream_res = None do
+        Sim.Condition.await done_cond
+      done;
+      let stream = Option.get !stream_res in
+      let after = counters_of_modules duo.Setup.modules in
+      let client_module = List.hd duo.Setup.modules in
+      let mx_queue_stats =
+        match Gm.connected_peer_ids client_module with
+        | peer :: _ -> Gm.queue_stats client_module ~domid:peer
+        | [] -> [||]
+      in
+      {
+        mx_queues = nq;
+        mx_stream_mbps = stream.Netperf.mbps;
+        mx_stream_bytes = stream.Netperf.bytes_received;
+        mx_rr_transactions = rr.Netperf.transactions;
+        mx_rr_avg_us = rr.Netperf.avg_latency_us;
+        mx_rr_p99_us = rr.Netperf.p99_latency_us;
+        mx_counters = sub_counters after before;
+        mx_queue_stats;
+      })
 
 let notifies_per_packet c =
   if c.c_delivered = 0 then 0.0
@@ -827,11 +945,37 @@ let json_of_side buf r =
   let c = r.w_counters in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"mbps\": %s, \"latency_us\": %s, \"packets_delivered\": %d, \
+       "{\"mbps\": %s, \"latency_us\": %s, \"delivered_app\": %d, \
+        \"packets_delivered\": %d, \
         \"notifies_sent\": %d, \"notifies_suppressed\": %d, \"batches\": %d, \
-        \"poll_rounds\": %d, \"notifies_per_packet\": %.4f}"
-       (jopt r.w_mbps) (jopt r.w_latency_us) c.c_delivered c.c_notifies_sent
-       c.c_notifies_suppressed c.c_batches c.c_poll_rounds (notifies_per_packet c))
+        \"poll_rounds\": %d, \"steered_packets\": %d, \
+        \"waiting_overflows\": %d, \"notifies_per_packet\": %.4f}"
+       (jopt r.w_mbps) (jopt r.w_latency_us) r.w_delivered_app c.c_delivered
+       c.c_notifies_sent c.c_notifies_suppressed c.c_batches c.c_poll_rounds
+       c.c_steered c.c_waiting_overflows (notifies_per_packet c))
+
+let json_of_mixed buf m =
+  let c = m.mx_counters in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"queues\": %d, \"stream_mbps\": %.3f, \"stream_bytes\": %d, \
+        \"rr_transactions\": %d, \"rr_avg_latency_us\": %.3f, \
+        \"rr_p99_latency_us\": %.3f, \"steered_packets\": %d, \
+        \"waiting_overflows\": %d, \"notifies_sent\": %d, \
+        \"notifies_suppressed\": %d,\n      \"per_queue\": ["
+       m.mx_queues m.mx_stream_mbps m.mx_stream_bytes m.mx_rr_transactions
+       m.mx_rr_avg_us m.mx_rr_p99_us c.c_steered c.c_waiting_overflows
+       c.c_notifies_sent c.c_notifies_suppressed);
+  Array.iteri
+    (fun i (q : Gm.queue_stat) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"queue\": %d, \"notifies_sent\": %d, \"notifies_suppressed\": %d, \
+            \"steered\": %d}"
+           i q.Gm.qs_notifies_sent q.Gm.qs_notifies_suppressed q.Gm.qs_steered))
+    m.mx_queue_stats;
+  Buffer.add_string buf "]}"
 
 let json_mode ~smoke path =
   let names = [ "udp_stream"; "tcp_stream"; "udp_rr"; "tcp_rr" ] in
@@ -842,6 +986,17 @@ let json_mode ~smoke path =
         let opt = run_json_workload ~params:Hypervisor.Params.default ~smoke name in
         (name, base, opt))
       names
+  in
+  let queue_sweep =
+    (* Mixed stream+rr under queues = 1, 2, 4, 8: the multi-queue
+       head-of-line-blocking experiment. *)
+    let qs = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+    List.map
+      (fun q ->
+        run_mixed
+          ~params:{ Hypervisor.Params.default with Hypervisor.Params.xenloop_queues = q }
+          ~smoke ())
+      qs
   in
   let sweep =
     (* Fig. 5 sensitivity under the optimized path. *)
@@ -881,6 +1036,13 @@ let json_mode ~smoke path =
            (if Float.is_finite reduction then Printf.sprintf "%.2f" reduction
             else "null")))
     results;
+  Buffer.add_string buf "\n  ],\n  \"mixed_queue_sweep\": [\n";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "    ";
+      json_of_mixed buf m)
+    queue_sweep;
   Buffer.add_string buf "\n  ],\n  \"fifo_sweep_udp_stream\": [\n";
   List.iteri
     (fun i (k, mbps) ->
@@ -899,7 +1061,46 @@ let json_mode ~smoke path =
         (notifies_per_packet base.w_counters)
         (notifies_per_packet opt.w_counters))
     results;
-  Printf.printf "wrote %s\n" path
+  List.iter
+    (fun m ->
+      Printf.printf "mixed q=%d    stream %8.1f Mbps  rr p99 %8.1f us\n"
+        m.mx_queues m.mx_stream_mbps m.mx_rr_p99_us)
+    queue_sweep;
+  Printf.printf "wrote %s\n" path;
+  (* Delivery invariance: the fast path may change timing, never what the
+     application receives.  A mismatch is a data-path bug — fail loudly so
+     CI goes red instead of silently publishing wrong numbers. *)
+  let failures = ref [] in
+  List.iter
+    (fun (name, base, opt) ->
+      if base.w_delivered_app <> opt.w_delivered_app then
+        failures :=
+          Printf.sprintf "%s: baseline delivered %d, optimized delivered %d" name
+            base.w_delivered_app opt.w_delivered_app
+          :: !failures)
+    results;
+  (match queue_sweep with
+  | first :: rest ->
+      List.iter
+        (fun m ->
+          if
+            m.mx_stream_bytes <> first.mx_stream_bytes
+            || m.mx_rr_transactions <> first.mx_rr_transactions
+          then
+            failures :=
+              Printf.sprintf
+                "mixed: queues=%d delivered (%d bytes, %d transactions) but \
+                 queues=%d delivered (%d bytes, %d transactions)"
+                m.mx_queues m.mx_stream_bytes m.mx_rr_transactions
+                first.mx_queues first.mx_stream_bytes first.mx_rr_transactions
+              :: !failures)
+        rest
+  | [] -> ());
+  if !failures <> [] then begin
+    prerr_endline "DELIVERY MISMATCH: application-level delivery changed across data-path settings:";
+    List.iter (fun f -> Printf.eprintf "  %s\n" f) (List.rev !failures);
+    exit 1
+  end
 
 let ablation_notify () =
   (* Factor analysis of the notification fast path: suppression, batching,
@@ -939,6 +1140,36 @@ let ablation_notify () =
     combos;
   Format.fprintf fmt "@."
 
+let queue_sweep_experiment () =
+  Format.fprintf fmt
+    "=== Queue sweep: concurrent UDP_STREAM + TCP_RR vs queue count ===@.";
+  Format.fprintf fmt
+    "# bulk stream and rr flow steered to distinct queues when queues > 1@.";
+  List.iter
+    (fun q ->
+      let m =
+        run_mixed
+          ~params:{ Hypervisor.Params.default with Hypervisor.Params.xenloop_queues = q }
+          ~smoke:false ()
+      in
+      Format.fprintf fmt
+        "queues=%d  stream %8.1f Mbps  rr avg %7.1f us  p99 %7.1f us  overflows %d@."
+        m.mx_queues m.mx_stream_mbps m.mx_rr_avg_us m.mx_rr_p99_us
+        m.mx_counters.c_waiting_overflows;
+      Format.fprintf fmt
+        "    notifies %d  suppressed %d  batches %d  polls %d  delivered %d@."
+        m.mx_counters.c_notifies_sent m.mx_counters.c_notifies_suppressed
+        m.mx_counters.c_batches m.mx_counters.c_poll_rounds
+        m.mx_counters.c_delivered;
+      Array.iteri
+        (fun i (qs : Gm.queue_stat) ->
+          Format.fprintf fmt
+            "    q%d: steered %6d  notifies %5d  suppressed %6d@." i
+            qs.Gm.qs_steered qs.Gm.qs_notifies_sent qs.Gm.qs_notifies_suppressed)
+        m.mx_queue_stats)
+    [ 1; 2; 4; 8 ];
+  Format.fprintf fmt "@."
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -971,6 +1202,9 @@ let experiments =
     ( "ablation-notify",
       "Ablation: notification suppression / batching / polling",
       ablation_notify );
+    ( "queue-sweep",
+      "Multi-queue: mixed stream+rr vs queue count",
+      queue_sweep_experiment );
   ]
 
 let () =

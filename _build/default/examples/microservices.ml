@@ -61,7 +61,7 @@ let () =
           Bytes.make 512 'r');
 
       let connect dst port =
-        match Tcp.connect frontend.Scenarios.Endpoint.tcp ~dst ~dst_port:port with
+        match Tcp.connect frontend.Scenarios.Endpoint.tcp ~dst ~dst_port:port () with
         | Ok c -> c
         | Error e -> failwith (Format.asprintf "connect: %a" Tcp.pp_error e)
       in

@@ -39,7 +39,7 @@ let run_workload kind =
       let db_conn =
         match
           Tcp.connect duo.Setup.client.Scenarios.Endpoint.tcp ~dst:duo.Setup.server_ip
-            ~dst_port:db_port
+            ~dst_port:db_port ()
         with
         | Ok c -> c
         | Error e -> failwith (Format.asprintf "db connect: %a" Tcp.pp_error e)

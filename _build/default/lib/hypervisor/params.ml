@@ -23,6 +23,8 @@ type t = {
   xenloop_batch_tx : bool;
   xenloop_poll_window : Sim.Time.span;
   xenloop_poll_interval : Sim.Time.span;
+  xenloop_queues : int;
+  xenloop_waiting_list_max : int;
   discovery_period : Sim.Time.span;
   netfront_tx : Sim.Time.span;
   netfront_rx : Sim.Time.span;
@@ -66,6 +68,8 @@ let default =
     xenloop_batch_tx = true;
     xenloop_poll_window = Sim.Time.of_us_f 100.0;
     xenloop_poll_interval = Sim.Time.of_us_f 2.0;
+    xenloop_queues = 4;
+    xenloop_waiting_list_max = 1024;
     discovery_period = Sim.Time.sec 5;
     netfront_tx = Sim.Time.of_us_f 1.0;
     netfront_rx = Sim.Time.of_us_f 1.0;

@@ -53,6 +53,14 @@ type t = {
           disables polling *)
   xenloop_poll_interval : Sim.Time.span;
       (** how often the receiver re-checks the FIFO within the poll window *)
+  xenloop_queues : int;
+      (** queue pairs a guest advertises per peer channel (multi-queue flow
+          steering, an engineering extension over the paper's single FIFO
+          pair); each side uses min(own, peer's advertised), so 1 restores
+          the paper-faithful single channel *)
+  xenloop_waiting_list_max : int;
+      (** per-queue waiting-list bound; overflow frames take the standard
+          netfront path instead of growing the queue without limit *)
   discovery_period : Sim.Time.span;
       (** Dom0 domain-discovery scan interval (paper: 5 s) *)
   (* --- Netfront / netback split driver --- *)

@@ -427,10 +427,13 @@ let alloc_ephemeral t =
   t.next_ephemeral <- port + 1;
   port
 
-let connect t ~dst ~dst_port =
+let connect t ?src_port ~dst ~dst_port () =
   let stack = t.stack in
   Sim.Resource.use (Stack.cpu stack) (Stack.params stack).Hypervisor.Params.syscall;
-  let key = { local_port = alloc_ephemeral t; peer_ip = dst; peer_port = dst_port } in
+  let local_port =
+    match src_port with Some p -> p | None -> alloc_ephemeral t
+  in
+  let key = { local_port; peer_ip = dst; peer_port = dst_port } in
   let mss = Stack.tcp_mss stack dst in
   let isn = fresh_isn t in
   let c = make_conn t ~key ~mss ~state:Syn_sent ~isn in

@@ -30,8 +30,12 @@ val accept : listener -> conn
 
 val accept_opt : listener -> conn option
 
-val connect : t -> dst:Netcore.Ip.t -> dst_port:int -> (conn, error) result
-(** Blocking three-way handshake. *)
+val connect :
+  t -> ?src_port:int -> dst:Netcore.Ip.t -> dst_port:int -> unit ->
+  (conn, error) result
+(** Blocking three-way handshake.  [src_port] pins the local port instead
+    of taking an ephemeral one (benchmarks use it to control the
+    connection's flow-steering 5-tuple). *)
 
 val send : conn -> Bytes.t -> unit
 (** Blocking stream send: segments at the connection MSS and respects the

@@ -92,7 +92,7 @@ let connect t ~dst ~dst_port =
   | Some conn -> Ok conn
   | None -> (
       (* Not co-resident (or not configured): ordinary TCP. *)
-      match Tcp.connect t.tcp ~dst ~dst_port with
+      match Tcp.connect t.tcp ~dst ~dst_port () with
       | Ok c -> Ok (Plain c)
       | Error e -> Error e)
 

@@ -83,7 +83,8 @@ let build_inter_machine ~params =
 
 (* --- Scenarios 2 and 3: two guests on one Xen machine --- *)
 
-let build_xen_machine ~params ~with_xenloop ~fifo_k ~trace ~cpu_model =
+let build_xen_machine ~params ~with_xenloop ~fifo_k ~client_queues ~server_queues
+    ~trace ~cpu_model =
   let engine = Sim.Engine.create () in
   let machine = Machine.create ~engine ~params ~id:0 ?cpu_model () in
   let dom0 = Machine.dom0 machine in
@@ -114,12 +115,12 @@ let build_xen_machine ~params ~with_xenloop ~fifo_k ~trace ~cpu_model =
       let m1 =
         Xenloop.Guest_module.create ~domain:_d1 ~stack:client.Endpoint.stack
           ~current_machine:(fun () -> machine)
-          ?fifo_k ?trace ()
+          ?fifo_k ?max_queues:client_queues ?trace ()
       in
       let m2 =
         Xenloop.Guest_module.create ~domain:_d2 ~stack:server.Endpoint.stack
           ~current_machine:(fun () -> machine)
-          ?fifo_k ?trace ()
+          ?fifo_k ?max_queues:server_queues ?trace ()
       in
       let discovery =
         Xenloop.Discovery.start ~machine ~dom0_stack:dom0_ep.Endpoint.stack ()
@@ -184,7 +185,7 @@ type cluster = {
   c_warmup : unit -> unit;
 }
 
-let build_cluster ?(params = Params.default) ?fifo_k ?cpu_model ~guests:n () =
+let build_cluster ?(params = Params.default) ?fifo_k ?queues ?cpu_model ~guests:n () =
   if n < 2 then invalid_arg "Setup.build_cluster: need at least two guests";
   let engine = Sim.Engine.create () in
   let machine = Machine.create ~engine ~params ~id:0 ?cpu_model () in
@@ -214,7 +215,7 @@ let build_cluster ?(params = Params.default) ?fifo_k ?cpu_model ~guests:n () =
         let xl =
           Xenloop.Guest_module.create ~domain ~stack:ep.Endpoint.stack
             ~current_machine:(fun () -> machine)
-            ?fifo_k ()
+            ?fifo_k ?max_queues:queues ()
         in
         (domain, ep, xl))
   in
@@ -241,11 +242,14 @@ let build_cluster ?(params = Params.default) ?fifo_k ?cpu_model ~guests:n () =
   { c_engine = engine; c_params = params; c_machine = machine; guests;
     c_discovery = discovery; c_warmup }
 
-let build ?(params = Params.default) ?fifo_k ?trace ?cpu_model kind =
+let build ?(params = Params.default) ?fifo_k ?client_queues ?server_queues ?trace
+    ?cpu_model kind =
   match kind with
   | Inter_machine -> build_inter_machine ~params
   | Netfront_netback ->
-      build_xen_machine ~params ~with_xenloop:false ~fifo_k:None ~trace ~cpu_model
+      build_xen_machine ~params ~with_xenloop:false ~fifo_k:None ~client_queues:None
+        ~server_queues:None ~trace ~cpu_model
   | Xenloop_path ->
-      build_xen_machine ~params ~with_xenloop:true ~fifo_k ~trace ~cpu_model
+      build_xen_machine ~params ~with_xenloop:true ~fifo_k ~client_queues
+        ~server_queues ~trace ~cpu_model
   | Native_loopback -> build_native_loopback ~params

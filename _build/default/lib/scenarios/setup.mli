@@ -34,14 +34,19 @@ type duo = {
 val build :
   ?params:Hypervisor.Params.t ->
   ?fifo_k:int ->
+  ?client_queues:int ->
+  ?server_queues:int ->
   ?trace:Sim.Trace.t ->
   ?cpu_model:Hypervisor.Machine.cpu_model ->
   kind ->
   duo
 (** Fresh engine and world for the given scenario.  [fifo_k] only affects
-    the XenLoop scenario (paper Fig. 5); [trace] is handed to the XenLoop
-    modules; [cpu_model] selects dedicated vCPUs (default) or the credit
-    scheduler for the Xen scenarios. *)
+    the XenLoop scenario (paper Fig. 5); [client_queues]/[server_queues]
+    override each module's advertised queue count (default
+    {!Hypervisor.Params.xenloop_queues}), letting tests exercise asymmetric
+    negotiation; [trace] is handed to the XenLoop modules; [cpu_model]
+    selects dedicated vCPUs (default) or the credit scheduler for the Xen
+    scenarios. *)
 
 (** {1 N-guest clusters}
 
@@ -63,6 +68,7 @@ type cluster = {
 val build_cluster :
   ?params:Hypervisor.Params.t ->
   ?fifo_k:int ->
+  ?queues:int ->
   ?cpu_model:Hypervisor.Machine.cpu_model ->
   guests:int ->
   unit ->

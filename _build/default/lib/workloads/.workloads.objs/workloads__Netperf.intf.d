@@ -1,1 +1,1 @@
-lib/workloads/netperf.mli: Host Netcore
+lib/workloads/netperf.mli: Host Netcore Sim

@@ -22,7 +22,7 @@ let establish ~client ~server ~dst ?port () =
   Sim.Engine.spawn (Host.engine server) (fun () ->
       server_conn := Some (Tcp.accept listener));
   let client_conn =
-    match Tcp.connect client.Host.tcp ~dst ~dst_port:port with
+    match Tcp.connect client.Host.tcp ~dst ~dst_port:port () with
     | Ok c -> c
     | Error e -> failwith (Format.asprintf "Mpi.establish: connect: %a" Tcp.pp_error e)
   in

@@ -5,6 +5,7 @@ type rr_result = {
   transactions : int;
   transactions_per_sec : float;
   avg_latency_us : float;
+  p99_latency_us : float;
   rr_client_cpu : float;
   rr_server_cpu : float;
 }
@@ -44,8 +45,8 @@ let listen_exn tcp ~port =
   | Ok l -> l
   | Error e -> failwith (Format.asprintf "netperf: listen: %a" Tcp.pp_error e)
 
-let connect_exn tcp ~dst ~dst_port =
-  match Tcp.connect tcp ~dst ~dst_port with
+let connect_exn tcp ?src_port ~dst ~dst_port () =
+  match Tcp.connect tcp ?src_port ~dst ~dst_port () with
   | Ok c -> c
   | Error e -> failwith (Format.asprintf "netperf: connect: %a" Tcp.pp_error e)
 
@@ -59,8 +60,8 @@ let elapsed_s engine t0 =
 
 (* ------------------------------------------------------------------ *)
 
-let tcp_rr ~client ~server ~dst ?port ?(transactions = 2000) ?(request_size = 1)
-    ?(response_size = 1) () =
+let tcp_rr ~client ~server ~dst ?port ?client_port ?interval
+    ?(transactions = 2000) ?(request_size = 1) ?(response_size = 1) () =
   let port = match port with Some p -> p | None -> fresh_port () in
   let listener = listen_exn server.Host.tcp ~port in
   Sim.Engine.spawn (Host.engine server) (fun () ->
@@ -72,22 +73,37 @@ let tcp_rr ~client ~server ~dst ?port ?(transactions = 2000) ?(request_size = 1)
           Tcp.send conn response
         done
       with Tcp.Tcp_error _ -> ());
-  let conn = connect_exn client.Host.tcp ~dst ~dst_port:port in
+  let conn = connect_exn client.Host.tcp ?src_port:client_port ~dst ~dst_port:port () in
   let engine = Host.engine client in
   let request = Bytes.make request_size 'q' in
   let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
+  let lat = Sim.Stats.create () in
   let t0 = Sim.Engine.now engine in
-  for _ = 1 to transactions do
+  (* With [interval], transactions fire on an absolute cadence from [t0]
+     (netperf -w): the offered load is a property of the schedule, not of
+     whatever latency the data path delivers.  A transaction overrunning
+     its slot makes the next one fire immediately. *)
+  let next_at = ref t0 in
+  for i = 1 to transactions do
+    let before = Sim.Engine.now engine in
     Tcp.send conn request;
     let (_ : Bytes.t) = Tcp.recv_exact conn response_size in
-    ()
+    Sim.Stats.add lat
+      (Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now engine) before) *. 1e6);
+    match interval with
+    | Some gap when i < transactions ->
+        next_at := Sim.Time.add !next_at gap;
+        let wait = Sim.Time.diff !next_at (Sim.Engine.now engine) in
+        if Sim.Time.span_is_positive wait then Sim.Engine.sleep wait
+    | _ -> ()
   done;
   let dt = elapsed_s engine t0 in
   Tcp.close conn;
   {
     transactions;
     transactions_per_sec = float_of_int transactions /. dt;
-    avg_latency_us = dt *. 1e6 /. float_of_int transactions;
+    avg_latency_us = Sim.Stats.mean lat;
+    p99_latency_us = Sim.Stats.percentile lat 99.0;
     rr_client_cpu = client_cpu ~wall_s:dt;
     rr_server_cpu = server_cpu ~wall_s:dt;
   }
@@ -106,17 +122,21 @@ let udp_rr ~client ~server ~dst ?port ?(transactions = 2000) ?(request_size = 1)
   let engine = Host.engine client in
   let request = Bytes.make request_size 'q' in
   let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
+  let lat = Sim.Stats.create () in
   let t0 = Sim.Engine.now engine in
   for _ = 1 to transactions do
+    let before = Sim.Engine.now engine in
     Udp.sendto client_sock ~dst ~dst_port:port request;
     let (_ : Netcore.Ip.t * int * Bytes.t) = Udp.recvfrom client_sock in
-    ()
+    Sim.Stats.add lat
+      (Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now engine) before) *. 1e6)
   done;
   let dt = elapsed_s engine t0 in
   {
     transactions;
     transactions_per_sec = float_of_int transactions /. dt;
-    avg_latency_us = dt *. 1e6 /. float_of_int transactions;
+    avg_latency_us = Sim.Stats.mean lat;
+    p99_latency_us = Sim.Stats.percentile lat 99.0;
     rr_client_cpu = client_cpu ~wall_s:dt;
     rr_server_cpu = server_cpu ~wall_s:dt;
   }
@@ -142,7 +162,7 @@ let tcp_stream ~client ~server ~dst ?port ?(message_size = 16384)
        with Exit | Tcp.Tcp_error _ -> ());
       finished_at := Sim.Engine.now (Host.engine server);
       Sim.Condition.broadcast done_cond);
-  let conn = connect_exn client.Host.tcp ~dst ~dst_port:port in
+  let conn = connect_exn client.Host.tcp ~dst ~dst_port:port () in
   let message = Bytes.make message_size 's' in
   let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
   let t0 = Sim.Engine.now engine in
@@ -164,8 +184,8 @@ let tcp_stream ~client ~server ~dst ?port ?(message_size = 16384)
     st_server_cpu = server_cpu ~wall_s:dt;
   }
 
-let udp_stream ~client ~server ~dst ?port ?(message_size = 61440)
-    ?(total_bytes = 8 * 1024 * 1024) () =
+let udp_stream ~client ~server ~dst ?port ?(message_size = 61440) ?(burst = 0)
+    ?interval ?(total_bytes = 8 * 1024 * 1024) () =
   let port = match port with Some p -> p | None -> fresh_port () in
   let server_sock = bind_exn server.Host.udp ~port () in
   let engine = Host.engine client in
@@ -185,8 +205,19 @@ let udp_stream ~client ~server ~dst ?port ?(message_size = 61440)
   let messages = (total_bytes + message_size - 1) / message_size in
   let client_cpu = cpu_meter client and server_cpu = cpu_meter server in
   let t0 = Sim.Engine.now engine in
-  for _ = 1 to messages do
-    Udp.sendto client_sock ~dst ~dst_port:port message
+  (* netperf-style paced send (-b burst, -w interval): [burst] messages
+     back to back, then sleep [interval].  burst = 0 (the default) blasts
+     everything with no pacing. *)
+  let sent = ref 0 in
+  while !sent < messages do
+    let n = if burst <= 0 then messages else min burst (messages - !sent) in
+    for _ = 1 to n do
+      Udp.sendto client_sock ~dst ~dst_port:port message
+    done;
+    sent := !sent + n;
+    match interval with
+    | Some gap when !sent < messages -> Sim.Engine.sleep gap
+    | _ -> ()
   done;
   (* Wait until the receiver has gone quiet. *)
   let stable = ref false in

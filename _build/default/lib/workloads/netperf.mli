@@ -6,6 +6,10 @@ type rr_result = {
   transactions : int;
   transactions_per_sec : float;
   avg_latency_us : float;
+  p99_latency_us : float;
+      (** 99th-percentile transaction latency — the head-of-line-blocking
+          signal: a concurrent bulk stream sharing the rr flow's channel
+          queue inflates the tail far more than the mean *)
   rr_client_cpu : float;  (** client vCPU utilization, percent *)
   rr_server_cpu : float;
 }
@@ -24,13 +28,22 @@ val tcp_rr :
   server:Host.t ->
   dst:Netcore.Ip.t ->
   ?port:int ->
+  ?client_port:int ->
+  ?interval:Sim.Time.span ->
   ?transactions:int ->
   ?request_size:int ->
   ?response_size:int ->
   unit ->
   rr_result
 (** Default 2000 transactions of 1 byte each way.  Blocking; process
-    context. *)
+    context.  [client_port] pins the connection's source port so callers
+    can control its flow-steering 5-tuple (multi-queue benchmarks pick a
+    port whose queue differs from a concurrent stream's).  [interval]
+    mirrors netperf's [-w] pacing: transactions fire on an absolute
+    cadence, so the offered load — and hence the rr flow's CPU footprint —
+    is fixed by the schedule instead of scaling with whatever latency the
+    data path delivers.  [avg_latency_us] averages per-transaction
+    latencies, so pacing gaps never count against the data path. *)
 
 val udp_rr :
   client:Host.t ->
@@ -61,8 +74,14 @@ val udp_stream :
   dst:Netcore.Ip.t ->
   ?port:int ->
   ?message_size:int ->
+  ?burst:int ->
+  ?interval:Sim.Time.span ->
   ?total_bytes:int ->
   unit ->
   stream_result
 (** Default 60 KiB datagrams (netperf-style large sends that fragment at
-    the MTU), 8 MiB total. *)
+    the MTU), 8 MiB total.  [burst]/[interval] mirror netperf's [-b]/[-w]
+    paced sends: [burst] messages back to back, then sleep [interval];
+    [burst = 0] (default) sends everything in one unpaced blast.  Paced
+    sends hold steady queue pressure without overrunning the channel —
+    what the mixed head-of-line-blocking benchmark needs. *)

@@ -1,1 +1,1 @@
-lib/xenloop/discovery.ml: Hypervisor Lazy List Netcore Netstack Proto Sim Xenstore
+lib/xenloop/discovery.ml: Hypervisor Lazy List Netcore Netstack Proto Sim String Xenstore

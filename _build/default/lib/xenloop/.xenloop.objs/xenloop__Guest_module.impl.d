@@ -1,1 +1,1 @@
-lib/xenloop/guest_module.ml: Array Bytes Discovery Evtchn Fifo Format Hashtbl Hypervisor List Mapping_table Memory Netcore Netstack Proto Queue Sim Xenstore
+lib/xenloop/guest_module.ml: Array Bytes Discovery Evtchn Fifo Format Hashtbl Hypervisor List Mapping_table Memory Netcore Netstack Proto Queue Sim Steering Xenstore

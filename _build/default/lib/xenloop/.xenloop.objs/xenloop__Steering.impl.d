@@ -1,0 +1,1 @@
+lib/xenloop/steering.ml: Int32 Int64 Netcore

@@ -1,0 +1,1 @@
+lib/xenloop/steering.mli: Netcore

@@ -20,21 +20,36 @@ let scan t =
   List.filter_map
     (fun domid ->
       if domid = 0 then None
-      else if not (Xenstore.exists xs ~caller:Xenstore.dom0 ~path:(advert_path ~domid))
-      then None
       else
-        match
-          ( Xenstore.read xs ~caller:Xenstore.dom0
-              ~path:(Xenstore.domain_path domid ^ "/mac"),
-            Xenstore.read xs ~caller:Xenstore.dom0
-              ~path:(Xenstore.domain_path domid ^ "/ip") )
-        with
-        | Ok mac_str, Ok ip_str -> (
-            match (Netcore.Mac.of_string mac_str, Netcore.Ip.of_string ip_str) with
-            | Some mac, Some ip ->
-                Some { Proto.entry_domid = domid; entry_mac = mac; entry_ip = ip }
-            | _ -> None)
-        | _ -> None)
+        match Xenstore.read xs ~caller:Xenstore.dom0 ~path:(advert_path ~domid) with
+        | Error _ -> None
+        | Ok advert -> (
+            (* The advert value is the guest's queue count; the original
+               single-queue module wrote "1", and anything unparsable is
+               treated the same way (version gating). *)
+            let queues =
+              match int_of_string_opt (String.trim advert) with
+              | Some q when q >= 1 -> q
+              | Some _ | None -> 1
+            in
+            match
+              ( Xenstore.read xs ~caller:Xenstore.dom0
+                  ~path:(Xenstore.domain_path domid ^ "/mac"),
+                Xenstore.read xs ~caller:Xenstore.dom0
+                  ~path:(Xenstore.domain_path domid ^ "/ip") )
+            with
+            | Ok mac_str, Ok ip_str -> (
+                match (Netcore.Mac.of_string mac_str, Netcore.Ip.of_string ip_str) with
+                | Some mac, Some ip ->
+                    Some
+                      {
+                        Proto.entry_domid = domid;
+                        entry_mac = mac;
+                        entry_ip = ip;
+                        entry_queues = queues;
+                      }
+                | _ -> None)
+            | _ -> None))
     (List.sort compare ids)
 
 let announce t entries =

@@ -27,6 +27,33 @@ let data_pages_for ~k =
   let bytes = (1 lsl k) * slot_bytes in
   (bytes + Page.size - 1) / Page.size
 
+(* Queue-indexed layout over one flat page pool: a multi-queue channel
+   allocates all its pages in a single atomic grab and carves them into
+   per-queue [desc_lc | data_lc | desc_cl | data_cl] stripes, so setup and
+   teardown see every queue or none. *)
+
+let pages_per_queue ~k = 2 * (data_pages_for ~k + 1)
+let pages_for_queues ~k ~queues = queues * pages_per_queue ~k
+
+type queue_pages = {
+  qp_desc_lc : Page.t;
+  qp_data_lc : Page.t array;
+  qp_desc_cl : Page.t;
+  qp_data_cl : Page.t array;
+}
+
+let carve_queue ~pool ~k ~index =
+  let n = data_pages_for ~k in
+  let base = index * pages_per_queue ~k in
+  if base + pages_per_queue ~k > Array.length pool then
+    invalid_arg "Fifo.carve_queue: pool too small";
+  {
+    qp_desc_lc = pool.(base);
+    qp_data_lc = Array.sub pool (base + 1) n;
+    qp_desc_cl = pool.(base + n + 1);
+    qp_data_cl = Array.sub pool (base + n + 2) n;
+  }
+
 let entry_magic = 0x584C (* "XL" *)
 
 let get_u32_int page off = Int32.to_int (Page.get_u32 page off) land mask32

@@ -19,6 +19,29 @@ val default_k : int
 val data_pages_for : k:int -> int
 (** Number of 4 KiB data pages backing 2^k slots. *)
 
+(** {1 Queue-indexed layout}
+
+    A multi-queue channel backs all its queues with one flat page pool
+    (allocated in a single atomic grab) carved into per-queue
+    [desc_lc | data_lc | desc_cl | data_cl] stripes. *)
+
+val pages_per_queue : k:int -> int
+(** Pages one bidirectional queue pair needs: two descriptor pages plus
+    the data pages of both directions. *)
+
+val pages_for_queues : k:int -> queues:int -> int
+
+type queue_pages = {
+  qp_desc_lc : Memory.Page.t;
+  qp_data_lc : Memory.Page.t array;
+  qp_desc_cl : Memory.Page.t;
+  qp_data_cl : Memory.Page.t array;
+}
+
+val carve_queue : pool:Memory.Page.t array -> k:int -> index:int -> queue_pages
+(** The pages of queue [index] within [pool].
+    @raise Invalid_argument when the pool cannot hold that queue. *)
+
 val max_k : int
 (** Largest supported k (descriptor-page gref table is the limit). *)
 

@@ -11,6 +11,7 @@ type stats = {
   mutable via_channel_tx : int;
   mutable via_channel_rx : int;
   mutable queued_to_waiting : int;
+  mutable waiting_overflows : int;
   mutable too_big_fallback : int;
   mutable channels_established : int;
   mutable channels_torn_down : int;
@@ -20,26 +21,41 @@ type stats = {
   mutable notifies_suppressed : int;
   mutable batches : int;
   mutable poll_rounds : int;
+  mutable steered_packets : int;
+  mutable flow_cache_hits : int;
+  mutable flow_cache_misses : int;
 }
 
 type role = Listener | Connector
+
+(* One of a channel's N independent queue pairs: its own FIFO pair, its own
+   event-channel port, its own waiting list, and its own suppression/poll
+   state, so a bulk stream saturating one queue never head-of-line-blocks
+   flows steered to another. *)
+type queue = {
+  q_index : int;
+  out_fifo : Fifo.t;
+  in_fifo : Fifo.t;
+  q_port : Ec.port;  (** this endpoint's event-channel port for this queue *)
+  waiting : Bytes.t Queue.t;  (** serialized frames awaiting FIFO space *)
+  mutable q_busy : bool;
+      (** an event handler is draining this queue (guards against
+          re-entrant handlers interleaving across CPU charges) *)
+  mutable q_tx_draining : bool;
+      (** some process is inside [drain_waiting]; CPU charges yield, so the
+          handler and a sender batch-flush could otherwise double-pop *)
+  mutable q_notifies_sent : int;
+  mutable q_notifies_suppressed : int;
+  mutable q_steered : int;
+}
 
 type channel = {
   peer_domid : int;
   peer_mac : Netcore.Mac.t;
   role : role;
-  out_fifo : Fifo.t;
-  in_fifo : Fifo.t;
-  port : Ec.port;  (** this endpoint's event-channel port *)
-  waiting : Bytes.t Queue.t;  (** serialized frames awaiting FIFO space *)
+  queues : queue array;  (** negotiated min of both sides' advertised counts *)
   mutable connected : bool;
-  mutable busy : bool;
-      (** an event handler is draining this channel (guards against
-          re-entrant handlers interleaving across CPU charges) *)
-  mutable tx_draining : bool;
-      (** some process is inside [drain_waiting]; CPU charges yield, so the
-          handler and a sender batch-flush could otherwise double-pop *)
-  cleanup : unit -> unit;
+  cleanup : unit -> unit;  (** releases every queue's pages, grants, ports *)
 }
 
 type awaiting = { ba_channel : channel; mutable retries : int }
@@ -48,13 +64,22 @@ type bootstrap = Requested_from_listener | Awaiting_ack of awaiting
 
 type peer_state = Bootstrapping of bootstrap | Active of channel
 
+(* Memoized per-flow routing decision (mapping-table lookup + steering
+   hash), invalidated wholesale by bumping [epoch]. *)
+type cached_decision = Cache_standard | Cache_queue of channel * queue
+
+type cache_entry = { ce_epoch : int; ce_decision : cached_decision }
+
 type t = {
   domain : Domain.t;
   stack : Stack.t;
   current_machine : unit -> Machine.t;
   k : int;
+  max_queues : int;  (** what we advertise; channels carry the negotiated min *)
   mapping : Mapping_table.t;
   peers : (int, peer_state) Hashtbl.t;
+  flow_cache : (Steering.flow_key, cache_entry) Hashtbl.t;
+  mutable epoch : int;
   mutable hook : Netstack.Netfilter.hook_handle option;
   mutable saved_frames : Bytes.t list;
   mutable app_handler :
@@ -66,12 +91,22 @@ type t = {
 
 let max_create_retries = 3
 let ack_timeout = Sim.Time.ms 500
+let flow_cache_max = 4096
 
 let stats t = t.s
 let is_loaded t = t.loaded
 let mapping_size t = Mapping_table.size t.mapping
 let fifo_k t = t.k
 let fifo_capacity_bytes t = (1 lsl t.k) * 8
+let max_queues t = t.max_queues
+
+(* Soft-state replacement and channel set changes invalidate every memoized
+   flow decision at once; entries are lazily overwritten on the next miss.
+   The table is bounded so a scan of short-lived flows cannot grow it
+   without limit. *)
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  if Hashtbl.length t.flow_cache > flow_cache_max then Hashtbl.reset t.flow_cache
 
 let connected_peer_ids t =
   Hashtbl.fold
@@ -87,8 +122,35 @@ let has_channel_with t ~domid =
 
 let waiting_list_length t ~domid =
   match Hashtbl.find_opt t.peers domid with
-  | Some (Active ch) -> Queue.length ch.waiting
+  | Some (Active ch) ->
+      Array.fold_left (fun acc q -> acc + Queue.length q.waiting) 0 ch.queues
   | Some (Bootstrapping _) | None -> 0
+
+let queue_count t ~domid =
+  match Hashtbl.find_opt t.peers domid with
+  | Some (Active ch) -> Array.length ch.queues
+  | Some (Bootstrapping _) | None -> 0
+
+type queue_stat = {
+  qs_notifies_sent : int;
+  qs_notifies_suppressed : int;
+  qs_steered : int;
+  qs_waiting : int;
+}
+
+let queue_stats t ~domid =
+  match Hashtbl.find_opt t.peers domid with
+  | Some (Active ch) ->
+      Array.map
+        (fun q ->
+          {
+            qs_notifies_sent = q.q_notifies_sent;
+            qs_notifies_suppressed = q.q_notifies_suppressed;
+            qs_steered = q.q_steered;
+            qs_waiting = Queue.length q.waiting;
+          })
+        ch.queues
+  | Some (Bootstrapping _) | None -> [||]
 
 let trace t cat fmt =
   match t.trace with
@@ -108,9 +170,13 @@ let meter t = Domain.meter t.domain
 let advertise t =
   let machine = t.current_machine () in
   let domid = my_domid t in
+  (* The advert value is the advertised queue count; the original module
+     wrote "1", which is exactly what a single-queue configuration still
+     produces (version gating). *)
   match
     Xenstore.write (Machine.xenstore machine) ~caller:domid
-      ~path:(Discovery.advert_path ~domid) ~value:"1"
+      ~path:(Discovery.advert_path ~domid)
+      ~value:(string_of_int t.max_queues)
   with
   | Ok () | Error _ -> ()
 
@@ -124,102 +190,125 @@ let unadvertise t =
   | Ok () | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Channel data path *)
+(* Channel data path (all per queue) *)
 
-let notify_peer ?(force = false) t ch =
+let notify_peer ?(force = false) t q =
   (* Doorbell suppression: a consumer that has published "actively
-     draining" in the shared descriptor will see our data on its next poll
-     round, so the hypercall is pure overhead.  Teardown and quarantine
-     pass [~force:true] — liveness signals must never be elided. *)
+     draining" in this queue's shared descriptor will see our data on its
+     next poll round, so the hypercall is pure overhead.  Teardown and
+     quarantine pass [~force:true] — liveness signals must never be
+     elided.  Suppression state is per queue: a peer busily draining the
+     bulk queue says nothing about its attention to the rr queue. *)
   let p = params t in
   if
     (not force)
     && p.Params.xenloop_notify_suppression
-    && Fifo.consumer_active ch.out_fifo
-  then t.s.notifies_suppressed <- t.s.notifies_suppressed + 1
+    && Fifo.consumer_active q.out_fifo
+  then begin
+    t.s.notifies_suppressed <- t.s.notifies_suppressed + 1;
+    q.q_notifies_suppressed <- q.q_notifies_suppressed + 1
+  end
   else begin
     t.s.notifies_sent <- t.s.notifies_sent + 1;
+    q.q_notifies_sent <- q.q_notifies_sent + 1;
     Sim.Resource.use (cpu t) p.Params.hypercall;
     ignore
-      (Ec.notify (Machine.evtchn (t.current_machine ())) ~dom:(my_domid t) ~port:ch.port
-         ~meter:(meter t))
+      (Ec.notify (Machine.evtchn (t.current_machine ())) ~dom:(my_domid t)
+         ~port:q.q_port ~meter:(meter t))
   end
 
 (* Copy a serialized frame into the outgoing FIFO, charging the two-copy
    data path's sender half (paper Sect. 3.3, "Data transfer"). *)
-let push_frame t ch raw =
+let push_frame t q raw =
   let p = params t in
   Sim.Resource.use (cpu t)
     (Sim.Time.span_add p.Params.xenloop_fifo_op
        (Params.xenloop_copy_cost p (Bytes.length raw)));
-  Fifo.try_push ch.out_fifo raw
+  Fifo.try_push q.out_fifo raw
 
-let enqueue_waiting t ch raw =
-  Queue.push raw ch.waiting;
-  t.s.queued_to_waiting <- t.s.queued_to_waiting + 1;
-  (* Published through the shared descriptor so the peer knows freed space
-     is worth a notification back to us. *)
-  Fifo.set_producer_waiting ch.out_fifo true
+(* A frame the bounded waiting list cannot hold leaves through the standard
+   netfront path instead: the fast path degrades to the baseline, it never
+   drops or queues without bound. *)
+let route_overflow_standard t raw =
+  t.s.waiting_overflows <- t.s.waiting_overflows + 1;
+  match Stack.device t.stack with
+  | None -> ()
+  | Some dev -> (
+      match Netcore.Codec.parse raw with
+      | Ok packet -> Netstack.Netdevice.transmit dev packet
+      | Error _ -> ())
 
-let drain_waiting t ch =
-  if ch.tx_draining then 0
+let enqueue_waiting t q raw =
+  let p = params t in
+  if Queue.length q.waiting >= p.Params.xenloop_waiting_list_max then
+    route_overflow_standard t raw
   else begin
-    ch.tx_draining <- true;
+    Queue.push raw q.waiting;
+    t.s.queued_to_waiting <- t.s.queued_to_waiting + 1;
+    (* Published through the shared descriptor so the peer knows freed
+       space on this queue is worth a notification back to us. *)
+    Fifo.set_producer_waiting q.out_fifo true
+  end
+
+let drain_waiting t q =
+  if q.q_tx_draining then 0
+  else begin
+    q.q_tx_draining <- true;
     let pushed = ref 0 in
     let continue_draining = ref true in
-    while !continue_draining && not (Queue.is_empty ch.waiting) do
-      let raw = Queue.peek ch.waiting in
-      if Fifo.can_accept ch.out_fifo (Bytes.length raw) && push_frame t ch raw
+    while !continue_draining && not (Queue.is_empty q.waiting) do
+      let raw = Queue.peek q.waiting in
+      if Fifo.can_accept q.out_fifo (Bytes.length raw) && push_frame t q raw
       then begin
-        ignore (Queue.pop ch.waiting);
+        ignore (Queue.pop q.waiting);
         t.s.via_channel_tx <- t.s.via_channel_tx + 1;
         incr pushed
       end
       else continue_draining := false
     done;
-    if Queue.is_empty ch.waiting then Fifo.set_producer_waiting ch.out_fifo false;
-    ch.tx_draining <- false;
+    if Queue.is_empty q.waiting then Fifo.set_producer_waiting q.out_fifo false;
+    q.q_tx_draining <- false;
     !pushed
   end
 
-let send_via_channel t ch raw =
-  (* Packets behind a non-empty waiting list must queue too (ordering);
-     the waiting list itself is serviced only when the receiver signals
-     that it freed space — "sent once enough resources are available"
-     (paper Sect. 3.1).  This is what makes the FIFO size matter (Fig. 5):
-     a small FIFO forces an event-channel round trip per FIFO-full of
-     packets. *)
+let send_via_channel t q raw =
+  (* Packets behind a non-empty waiting list must queue too (per-queue
+     ordering); the waiting list itself is serviced only when the receiver
+     signals that it freed space — "sent once enough resources are
+     available" (paper Sect. 3.1).  This is what makes the FIFO size
+     matter (Fig. 5): a small FIFO forces an event-channel round trip per
+     FIFO-full of packets. *)
   let sent_now =
-    if Queue.is_empty ch.waiting && push_frame t ch raw then true
+    if Queue.is_empty q.waiting && push_frame t q raw then true
     else begin
-      enqueue_waiting t ch raw;
+      enqueue_waiting t q raw;
       false
     end
   in
   if sent_now then t.s.via_channel_tx <- t.s.via_channel_tx + 1;
   (* Signal the receiver; also when we only queued, so the peer's next
      consumption round notifies us back to drain the waiting list. *)
-  notify_peer t ch
+  notify_peer t q
 
-let send_batch t ch raws =
+let send_batch t q raws =
   (* One burst — all fragments of one datagram, or several back-to-back
-     steals to the same peer — enters the FIFO under a single amortized
-     bookkeeping charge and a single trailing notification. *)
+     steals steered to the same queue — enters the FIFO under a single
+     amortized bookkeeping charge and a single trailing notification. *)
   let p = params t in
   match raws with
   | [] -> ()
-  | [ raw ] -> send_via_channel t ch raw
-  | raws when not p.Params.xenloop_batch_tx -> List.iter (send_via_channel t ch) raws
+  | [ raw ] -> send_via_channel t q raw
+  | raws when not p.Params.xenloop_batch_tx -> List.iter (send_via_channel t q) raws
   | raws ->
       t.s.batches <- t.s.batches + 1;
       (* Service the waiting list from the sending context first: leaving
          it to the event handler alone starves it behind this process's
          own CPU charges, and ordering only needs queued frames to leave
          before the new burst. *)
-      if not (Queue.is_empty ch.waiting) then ignore (drain_waiting t ch);
-      if not (Queue.is_empty ch.waiting) then
+      if not (Queue.is_empty q.waiting) then ignore (drain_waiting t q);
+      if not (Queue.is_empty q.waiting) then
         (* Ordering: everything behind a non-empty waiting list queues. *)
-        List.iter (enqueue_waiting t ch) raws
+        List.iter (enqueue_waiting t q) raws
       else begin
         (* The burst pays [xenloop_fifo_op] once; each frame still pays its
            copy before becoming visible to the consumer. *)
@@ -227,32 +316,38 @@ let send_batch t ch raws =
         let overflowed = ref false in
         List.iter
           (fun raw ->
-            if !overflowed then enqueue_waiting t ch raw
+            if !overflowed then enqueue_waiting t q raw
             else begin
               Sim.Resource.use (cpu t)
                 (Params.xenloop_copy_cost p (Bytes.length raw));
-              if Fifo.try_push ch.out_fifo raw then
+              if Fifo.try_push q.out_fifo raw then
                 t.s.via_channel_tx <- t.s.via_channel_tx + 1
               else begin
                 overflowed := true;
-                enqueue_waiting t ch raw
+                enqueue_waiting t q raw
               end
             end)
           raws
       end;
-      notify_peer t ch
+      notify_peer t q
 
 (* ------------------------------------------------------------------ *)
 (* Teardown *)
 
 let flush_waiting_via_standard_path t ch =
-  (* Transparent fallback: packets that never made it into the FIFO leave
-     through the standard netfront path instead of being dropped.
-     Snapshot the queue before transmitting: each transmit yields the CPU,
-     and a handler waking mid-flush must find the queue already empty
-     rather than race the iteration. *)
-  let frames = List.of_seq (Queue.to_seq ch.waiting) in
-  Queue.clear ch.waiting;
+  (* Transparent fallback: packets that never made it into any queue's
+     FIFO leave through the standard netfront path instead of being
+     dropped.  Snapshot every queue before transmitting: each transmit
+     yields the CPU, and a handler waking mid-flush must find the queues
+     already empty rather than race the iteration. *)
+  let frames =
+    Array.fold_left
+      (fun acc q ->
+        let fs = List.of_seq (Queue.to_seq q.waiting) in
+        Queue.clear q.waiting;
+        acc @ fs)
+      [] ch.queues
+  in
   match Stack.device t.stack with
   | None -> ()
   | Some dev ->
@@ -265,12 +360,12 @@ let flush_waiting_via_standard_path t ch =
 
 exception Corrupt_channel
 
-let drain_incoming t ch =
+let drain_incoming t q =
   let consumed = ref 0 in
   let p = params t in
   let continue_draining = ref true in
   while !continue_draining do
-    match Fifo.pop ch.in_fifo with
+    match Fifo.pop q.in_fifo with
     | exception Invalid_argument _ ->
         (* The peer scribbled over the shared FIFO state.  Never trust it,
            never crash: poison the channel and let the caller disengage. *)
@@ -298,56 +393,78 @@ let drain_incoming t ch =
   done;
   !consumed
 
-(* Abandon a channel whose shared state can no longer be trusted. *)
+let drain_all_incoming t ch =
+  Array.iter
+    (fun q -> try ignore (drain_incoming t q) with Corrupt_channel -> ())
+    ch.queues
+
+(* Abandon a channel whose shared state can no longer be trusted.  One
+   corrupt queue poisons the whole channel: the queues share their page
+   pool and their cleanup, so they go together or not at all. *)
 let quarantine t peer_domid ch =
   t.s.corrupt_channels <- t.s.corrupt_channels + 1;
   trace t Sim.Trace.Teardown "dom%d: quarantining corrupt channel to dom%d"
     (my_domid t) peer_domid;
-  Queue.clear ch.waiting;
-  Fifo.mark_inactive ch.out_fifo;
-  (try Fifo.mark_inactive ch.in_fifo with Invalid_argument _ -> ());
-  (* Tell the peer so it disengages too and falls back to netfront. *)
-  (try notify_peer ~force:true t ch with Invalid_argument _ -> ());
+  Array.iter
+    (fun q ->
+      Queue.clear q.waiting;
+      (try Fifo.mark_inactive q.out_fifo with Invalid_argument _ -> ());
+      try Fifo.mark_inactive q.in_fifo with Invalid_argument _ -> ())
+    ch.queues;
+  (* Tell the peer on every queue so it disengages too. *)
+  Array.iter
+    (fun q -> try notify_peer ~force:true t q with Invalid_argument _ -> ())
+    ch.queues;
   ch.cleanup ();
   Hashtbl.remove t.peers peer_domid;
+  bump_epoch t;
   t.s.channels_torn_down <- t.s.channels_torn_down + 1
 
 let teardown_channel t ~save ch =
-  trace t Sim.Trace.Teardown "dom%d: tearing down channel to dom%d (save=%b)"
-    (my_domid t) ch.peer_domid save;
-  (* Receive anything still pending, kill the shared state so concurrent
-     senders bounce off, save or flush the unsent packets, tell the peer,
-     disengage. *)
-  if ch.connected then (try ignore (drain_incoming t ch) with Corrupt_channel -> ());
-  (* Inactive before the flush below yields the CPU: a handler that was
-     mid-push when we got here must see try_push fail, not feed frames
-     into pages this function is about to reclaim and release. *)
-  Fifo.mark_inactive ch.out_fifo;
-  Fifo.mark_inactive ch.in_fifo;
-  if ch.connected then begin
-    (* Frames the peer has not yet popped would be stranded once the FIFO
-       pages go back to the frame pool (the peer reads them only after its
-       event latency, by which time the pages may be reused).  Reclaim
-       them and let the save/flush below carry them, in order, ahead of
-       the waiting list. *)
-    let stranded = Queue.create () in
-    (try
-       let reclaiming = ref true in
-       while !reclaiming do
-         match Fifo.pop ch.out_fifo with
-         | Some raw -> Queue.push raw stranded
-         | None -> reclaiming := false
-       done
-     with Invalid_argument _ -> ());
-    Queue.transfer ch.waiting stranded;
-    Queue.transfer stranded ch.waiting
-  end;
-  if save then begin
-    t.saved_frames <- t.saved_frames @ List.of_seq (Queue.to_seq ch.waiting);
-    Queue.clear ch.waiting
-  end
+  trace t Sim.Trace.Teardown "dom%d: tearing down channel to dom%d (save=%b, queues=%d)"
+    (my_domid t) ch.peer_domid save (Array.length ch.queues);
+  (* Receive anything still pending on every queue, kill the shared state
+     so concurrent senders bounce off, save or flush the unsent packets,
+     tell the peer, disengage. *)
+  if ch.connected then drain_all_incoming t ch;
+  (* Every queue goes inactive before any queue's frames are reclaimed: a
+     handler that was mid-push on {e any} queue when we got here must see
+     try_push fail, not feed frames into pages this function is about to
+     reclaim and release.  This is what makes multi-queue teardown
+     atomic. *)
+  Array.iter
+    (fun q ->
+      Fifo.mark_inactive q.out_fifo;
+      Fifo.mark_inactive q.in_fifo)
+    ch.queues;
+  if ch.connected then
+    Array.iter
+      (fun q ->
+        (* Frames the peer has not yet popped would be stranded once the
+           FIFO pages go back to the frame pool (the peer reads them only
+           after its event latency, by which time the pages may be
+           reused).  Reclaim them per queue and let the save/flush below
+           carry them, in order, ahead of that queue's waiting list. *)
+        let stranded = Queue.create () in
+        (try
+           let reclaiming = ref true in
+           while !reclaiming do
+             match Fifo.pop q.out_fifo with
+             | Some raw -> Queue.push raw stranded
+             | None -> reclaiming := false
+           done
+         with Invalid_argument _ -> ());
+        Queue.transfer q.waiting stranded;
+        Queue.transfer stranded q.waiting)
+      ch.queues;
+  if save then
+    Array.iter
+      (fun q ->
+        t.saved_frames <- t.saved_frames @ List.of_seq (Queue.to_seq q.waiting);
+        Queue.clear q.waiting)
+      ch.queues
   else flush_waiting_via_standard_path t ch;
-  if ch.connected then notify_peer ~force:true t ch;
+  if ch.connected then Array.iter (fun q -> notify_peer ~force:true t q) ch.queues;
   ch.cleanup ();
   t.s.channels_torn_down <- t.s.channels_torn_down + 1
 
@@ -357,6 +474,7 @@ let disengage_peer t peer_domid ~save =
       (* Unregister before the teardown yields the CPU, so a concurrently
          waking handler cannot find the channel and tear it down twice. *)
       Hashtbl.remove t.peers peer_domid;
+      bump_epoch t;
       teardown_channel t ~save ch
   | Some (Bootstrapping (Awaiting_ack ba)) ->
       ba.ba_channel.cleanup ();
@@ -367,13 +485,16 @@ let disengage_peer t peer_domid ~save =
 let teardown_all t ~save =
   let peer_ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.peers [] in
   List.iter (fun id -> disengage_peer t id ~save) peer_ids;
-  Mapping_table.clear t.mapping
+  Mapping_table.clear t.mapping;
+  bump_epoch t
 
 (* ------------------------------------------------------------------ *)
 (* Event-channel handler: packets arrived, or space was freed *)
 
-(* Peer marked the channel inactive: drain what's left, then disengage
-   (paper Sect. 3.3, "Channel teardown"). *)
+(* Peer marked the channel inactive: drain what's left on every queue,
+   then disengage (paper Sect. 3.3, "Channel teardown").  Seeing any one
+   queue inactive means the whole channel is going — the peer marks them
+   all before notifying. *)
 let handle_peer_teardown t peer_domid ch =
   (* A handler parked in its poll window can wake after [unload] already
      disengaged this very channel; only the first teardown may clean up. *)
@@ -382,31 +503,34 @@ let handle_peer_teardown t peer_domid ch =
       (* Unregister first: the drain below yields, and only the first
          teardown may run the cleanup. *)
       Hashtbl.remove t.peers peer_domid;
-      (try ignore (drain_incoming t ch) with Corrupt_channel -> ());
+      bump_epoch t;
+      drain_all_incoming t ch;
       flush_waiting_via_standard_path t ch;
       ch.cleanup ();
       t.s.channels_torn_down <- t.s.channels_torn_down + 1
   | _ -> ()
 
-(* One quiescence round: receive everything pending, then service our own
-   waiting list into the space that popping just freed. *)
-let drain_round t ch =
+(* One quiescence round on one queue: receive everything pending, then
+   service our own waiting list into the space that popping just freed. *)
+let drain_round t q =
   let total_consumed = ref 0 and total_pushed = ref 0 in
   let quiescent = ref false in
   while not !quiescent do
-    let consumed = drain_incoming t ch in
-    let pushed = drain_waiting t ch in
+    let consumed = drain_incoming t q in
+    let pushed = drain_waiting t q in
     total_consumed := !total_consumed + consumed;
     total_pushed := !total_pushed + pushed;
     if consumed = 0 && pushed = 0 then quiescent := true
   done;
   (!total_consumed, !total_pushed)
 
-(* NAPI-style adaptive polling: after draining to quiescence, stay in the
-   handler for a short window re-checking the FIFO, so a streaming sender
-   keeps seeing our consumer-active flag and never rings the doorbell.
-   Returns [true] when new work appeared before the window expired. *)
-let poll_for_more t ch =
+(* NAPI-style adaptive polling: after draining a queue to quiescence, stay
+   in the handler for a short window re-checking that queue's FIFO, so a
+   streaming sender keeps seeing our consumer-active flag and never rings
+   the doorbell.  Per queue: polling the bulk queue does not keep the rr
+   queue's flag set.  Returns [true] when new work appeared before the
+   window expired. *)
+let poll_for_more t q =
   let p = params t in
   let window = p.Params.xenloop_poll_window in
   let interval = p.Params.xenloop_poll_interval in
@@ -419,90 +543,96 @@ let poll_for_more t ch =
     while not (!got_work || !stop) do
       Sim.Engine.sleep interval;
       t.s.poll_rounds <- t.s.poll_rounds + 1;
-      if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo) then
+      if not (Fifo.is_active q.in_fifo && Fifo.is_active q.out_fifo) then
         (* Never poll across a teardown: the disengage path must run. *)
         stop := true
       else if
-        (not (Fifo.is_empty ch.in_fifo))
-        || ((not (Queue.is_empty ch.waiting))
-           && Fifo.can_accept ch.out_fifo (Bytes.length (Queue.peek ch.waiting)))
+        (not (Fifo.is_empty q.in_fifo))
+        || ((not (Queue.is_empty q.waiting))
+           && Fifo.can_accept q.out_fifo (Bytes.length (Queue.peek q.waiting)))
       then got_work := true
       else if Sim.Time.(Sim.Engine.now (engine t) >= deadline) then stop := true
     done;
     !got_work
   end
 
-let on_event t peer_domid () =
+let on_event t peer_domid qi () =
   if t.loaded then begin
     match Hashtbl.find_opt t.peers peer_domid with
-    | Some (Active ch) when not ch.busy ->
-        if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo) then
-          handle_peer_teardown t peer_domid ch
-        else begin
-          ch.busy <- true;
-          let suppressing = (params t).Params.xenloop_notify_suppression in
-          match
-            let total_consumed = ref 0 and total_pushed = ref 0 in
-            if suppressing then Fifo.set_consumer_active ch.in_fifo true;
-            let serving = ref true in
-            while !serving do
-              let consumed = drain_incoming t ch in
-              let pushed = drain_waiting t ch in
-              total_consumed := !total_consumed + consumed;
-              total_pushed := !total_pushed + pushed;
+    | Some (Active ch) when qi < Array.length ch.queues -> (
+        let q = ch.queues.(qi) in
+        if not q.q_busy then begin
+          if not (Fifo.is_active q.in_fifo && Fifo.is_active q.out_fifo) then
+            handle_peer_teardown t peer_domid ch
+          else begin
+            q.q_busy <- true;
+            let suppressing = (params t).Params.xenloop_notify_suppression in
+            match
+              let total_consumed = ref 0 and total_pushed = ref 0 in
+              if suppressing then Fifo.set_consumer_active q.in_fifo true;
+              let serving = ref true in
+              while !serving do
+                let consumed = drain_incoming t q in
+                let pushed = drain_waiting t q in
+                total_consumed := !total_consumed + consumed;
+                total_pushed := !total_pushed + pushed;
+                if suppressing then begin
+                  (* Signal per round, not once at handler exit: the peer
+                     must refill (or drain) {e while} we are still serving,
+                     or the two endpoints alternate in lockstep, one
+                     FIFO-full at a time.  Once the peer is inside its own
+                     handler its consumer-active flag makes these notifies
+                     free. *)
+                  if
+                    pushed > 0
+                    || (consumed > 0 && Fifo.producer_waiting q.in_fifo)
+                  then notify_peer t q;
+                  if consumed = 0 && pushed = 0 then
+                    serving := poll_for_more t q
+                end
+                else if consumed = 0 && pushed = 0 then serving := false
+              done;
+              let final_consumed = ref 0 and final_pushed = ref 0 in
               if suppressing then begin
-                (* Signal per round, not once at handler exit: the peer must
-                   refill (or drain) {e while} we are still serving, or the
-                   two endpoints alternate in lockstep, one FIFO-full at a
-                   time.  Once the peer is inside its own handler its
-                   consumer-active flag makes these notifies free. *)
-                if
-                  pushed > 0
-                  || (consumed > 0 && Fifo.producer_waiting ch.in_fifo)
-                then notify_peer t ch;
-                if consumed = 0 && pushed = 0 then
-                  serving := poll_for_more t ch
-              end
-              else if consumed = 0 && pushed = 0 then serving := false
-            done;
-            let final_consumed = ref 0 and final_pushed = ref 0 in
-            if suppressing then begin
-              Fifo.set_consumer_active ch.in_fifo false;
-              (* Close the suppression race: a push that saw the flag still
-                 set stayed silent, so look one last time after clearing. *)
-              let consumed, pushed = drain_round t ch in
-              final_consumed := consumed;
-              final_pushed := pushed;
-              total_consumed := !total_consumed + consumed;
-              total_pushed := !total_pushed + pushed
-            end;
-            (!total_consumed, !total_pushed, !final_consumed, !final_pushed)
-          with
-          | exception Corrupt_channel ->
-              (try Fifo.set_consumer_active ch.in_fifo false
-               with Invalid_argument _ -> ());
-              ch.busy <- false;
-              quarantine t peer_domid ch
-          | total_consumed, total_pushed, final_consumed, final_pushed ->
-              ch.busy <- false;
-              if not (Fifo.is_active ch.in_fifo && Fifo.is_active ch.out_fifo)
-              then
-                (* The peer tore the channel down while we were busy; its
-                   notify was swallowed by the busy guard, so disengage now. *)
-                handle_peer_teardown t peer_domid ch
-              else if suppressing then begin
-                (* In-loop rounds already signalled; only the race-closing
-                   final drain still needs its notification. *)
-                if
-                  final_pushed > 0
-                  || (final_consumed > 0 && Fifo.producer_waiting ch.in_fifo)
-                then notify_peer t ch
-              end
-              else if total_consumed > 0 || total_pushed > 0 then
-                (* Per-packet-notification baseline: exactly the seed
-                   behaviour, one coalesced doorbell at handler exit. *)
-                notify_peer t ch
-        end
+                Fifo.set_consumer_active q.in_fifo false;
+                (* Close the suppression race: a push that saw the flag
+                   still set stayed silent, so look one last time after
+                   clearing. *)
+                let consumed, pushed = drain_round t q in
+                final_consumed := consumed;
+                final_pushed := pushed;
+                total_consumed := !total_consumed + consumed;
+                total_pushed := !total_pushed + pushed
+              end;
+              (!total_consumed, !total_pushed, !final_consumed, !final_pushed)
+            with
+            | exception Corrupt_channel ->
+                (try Fifo.set_consumer_active q.in_fifo false
+                 with Invalid_argument _ -> ());
+                q.q_busy <- false;
+                quarantine t peer_domid ch
+            | total_consumed, total_pushed, final_consumed, final_pushed ->
+                q.q_busy <- false;
+                if not (Fifo.is_active q.in_fifo && Fifo.is_active q.out_fifo)
+                then
+                  (* The peer tore the channel down while we were busy; its
+                     notify was swallowed by the busy guard, so disengage
+                     now. *)
+                  handle_peer_teardown t peer_domid ch
+                else if suppressing then begin
+                  (* In-loop rounds already signalled; only the race-closing
+                     final drain still needs its notification. *)
+                  if
+                    final_pushed > 0
+                    || (final_consumed > 0 && Fifo.producer_waiting q.in_fifo)
+                  then notify_peer t q
+                end
+                else if total_consumed > 0 || total_pushed > 0 then
+                  (* Per-packet-notification baseline: exactly the seed
+                     behaviour, one coalesced doorbell at handler exit. *)
+                  notify_peer t q
+          end
+        end)
     | Some (Active _) | Some (Bootstrapping _) | None -> ()
   end
 
@@ -536,104 +666,130 @@ let rec send_create_with_retry t ~peer_domid ~peer_mac ~msg ba =
           end
       | _ -> ())
 
-let listener_create t ~peer_domid ~peer_mac =
+let listener_create t ~peer_domid ~peer_mac ~peer_queues =
   let machine = t.current_machine () in
   let domid = my_domid t in
   match Machine.grant_table machine domid with
   | None -> ()
   | Some gt -> (
-      let n = Fifo.data_pages_for ~k:t.k in
+      (* The negotiated count: the min of what both sides advertise, so a
+         single-queue peer gets exactly the paper's one FIFO pair. *)
+      let nq = max 1 (min t.max_queues peer_queues) in
       let frames = Machine.frame_allocator machine in
-      (* Channel memory is real machine memory: 2 descriptor pages plus the
-         data pages for both directions, charged to the listener. *)
-      match Memory.Frame_allocator.allocate_many frames ~owner:domid
-              ~count:(2 * (n + 1))
+      (* Channel memory is real machine memory, charged to the listener;
+         one atomic grab covers every queue's descriptor and data pages,
+         so a channel never comes up with some queues memory-less. *)
+      match
+        Memory.Frame_allocator.allocate_many frames ~owner:domid
+          ~count:(Fifo.pages_for_queues ~k:t.k ~queues:nq)
       with
       | Error Memory.Frame_allocator.Out_of_frames -> ()
       | Ok pool ->
-      let next_page =
-        let i = ref 0 in
-        fun () ->
-          let page = pool.(!i) in
-          incr i;
-          page
-      in
-      let make_fifo () =
-        let desc = next_page () in
-        let data = Array.init n (fun _ -> next_page ()) in
-        Fifo.init ~desc ~data ~k:t.k;
-        (desc, data)
-      in
-      let desc_lc, data_lc = make_fifo () in
-      let desc_cl, data_cl = make_fifo () in
-      let lc_gref, lc_data_grefs =
-        grant_fifo_pages ~gt ~peer:peer_domid ~desc:desc_lc ~data:data_lc
-      in
-      let cl_gref, cl_data_grefs =
-        grant_fifo_pages ~gt ~peer:peer_domid ~desc:desc_cl ~data:data_cl
-      in
-      let ec = Machine.evtchn machine in
-      let port = Ec.alloc_unbound ec ~dom:domid ~remote:peer_domid in
-      Ec.set_handler ec ~dom:domid ~port (on_event t peer_domid);
-      let cleanup () =
-        List.iter
-          (fun gref -> ignore (Gt.end_access gt gref))
-          ((lc_gref :: lc_data_grefs) @ (cl_gref :: cl_data_grefs));
-        Array.iter (fun page -> Memory.Frame_allocator.release frames ~owner:domid page) pool;
-        Ec.close ec ~dom:domid ~port
-      in
-      let ch =
-        {
-          peer_domid;
-          peer_mac;
-          role = Listener;
-          out_fifo = Fifo.attach ~desc:desc_lc ~data:data_lc;
-          in_fifo = Fifo.attach ~desc:desc_cl ~data:data_cl;
-          port;
-          waiting = Queue.create ();
-          connected = false;
-          busy = false;
-          tx_draining = false;
-          cleanup;
-        }
-      in
-      let ba = { ba_channel = ch; retries = 0 } in
-      Hashtbl.replace t.peers peer_domid (Bootstrapping (Awaiting_ack ba));
-      t.s.bootstraps_started <- t.s.bootstraps_started + 1;
-      let msg =
-        Proto.Create_channel
-          {
-            listener_domid = domid;
-            fifo_lc_gref = lc_gref;
-            fifo_cl_gref = cl_gref;
-            evtchn_port = port;
-          }
-      in
-      send_create_with_retry t ~peer_domid ~peer_mac ~msg ba)
+          let ec = Machine.evtchn machine in
+          let all_grefs = ref [] in
+          let all_ports = ref [] in
+          let make_queue qi =
+            let qp = Fifo.carve_queue ~pool ~k:t.k ~index:qi in
+            Fifo.init ~desc:qp.Fifo.qp_desc_lc ~data:qp.Fifo.qp_data_lc ~k:t.k;
+            Fifo.init ~desc:qp.Fifo.qp_desc_cl ~data:qp.Fifo.qp_data_cl ~k:t.k;
+            let lc_gref, lc_data =
+              grant_fifo_pages ~gt ~peer:peer_domid ~desc:qp.Fifo.qp_desc_lc
+                ~data:qp.Fifo.qp_data_lc
+            in
+            let cl_gref, cl_data =
+              grant_fifo_pages ~gt ~peer:peer_domid ~desc:qp.Fifo.qp_desc_cl
+                ~data:qp.Fifo.qp_data_cl
+            in
+            all_grefs := ((lc_gref :: lc_data) @ (cl_gref :: cl_data)) @ !all_grefs;
+            let port = Ec.alloc_unbound ec ~dom:domid ~remote:peer_domid in
+            Ec.set_handler ec ~dom:domid ~port (on_event t peer_domid qi);
+            all_ports := port :: !all_ports;
+            let q =
+              {
+                q_index = qi;
+                out_fifo = Fifo.attach ~desc:qp.Fifo.qp_desc_lc ~data:qp.Fifo.qp_data_lc;
+                in_fifo = Fifo.attach ~desc:qp.Fifo.qp_desc_cl ~data:qp.Fifo.qp_data_cl;
+                q_port = port;
+                waiting = Queue.create ();
+                q_busy = false;
+                q_tx_draining = false;
+                q_notifies_sent = 0;
+                q_notifies_suppressed = 0;
+                q_steered = 0;
+              }
+            in
+            (q, { Proto.qg_lc_gref = lc_gref; qg_cl_gref = cl_gref; qg_port = port })
+          in
+          let built = Array.init nq make_queue in
+          let queues = Array.map fst built in
+          let grants = Array.to_list (Array.map snd built) in
+          let grefs = !all_grefs and ports = !all_ports in
+          let cleanup () =
+            List.iter (fun gref -> ignore (Gt.end_access gt gref)) grefs;
+            Array.iter
+              (fun page -> Memory.Frame_allocator.release frames ~owner:domid page)
+              pool;
+            List.iter (fun port -> Ec.close ec ~dom:domid ~port) ports
+          in
+          let ch =
+            { peer_domid; peer_mac; role = Listener; queues; connected = false; cleanup }
+          in
+          let ba = { ba_channel = ch; retries = 0 } in
+          Hashtbl.replace t.peers peer_domid (Bootstrapping (Awaiting_ack ba));
+          t.s.bootstraps_started <- t.s.bootstraps_started + 1;
+          trace t Sim.Trace.Bootstrap "dom%d: offering %d queue(s) to dom%d"
+            domid nq peer_domid;
+          let msg = Proto.Create_channel { listener_domid = domid; queues = grants } in
+          send_create_with_retry t ~peer_domid ~peer_mac ~msg ba)
 
 let start_bootstrap t ~peer_domid ~peer_mac =
   trace t Sim.Trace.Bootstrap "dom%d: bootstrap towards dom%d" (my_domid t) peer_domid;
-  if my_domid t < peer_domid then listener_create t ~peer_domid ~peer_mac
+  if my_domid t < peer_domid then begin
+    (* The listener learns the peer's advertised queue count from the
+       announcement entry that put the peer in the mapping table; an entry
+       without one (or a pre-multi-queue peer) advertises 1. *)
+    let peer_queues =
+      match Mapping_table.find_domid t.mapping peer_domid with
+      | Some e -> e.Proto.entry_queues
+      | None -> 1
+    in
+    listener_create t ~peer_domid ~peer_mac ~peer_queues
+  end
   else begin
     Hashtbl.replace t.peers peer_domid (Bootstrapping Requested_from_listener);
     t.s.bootstraps_started <- t.s.bootstraps_started + 1;
-    send_ctrl t ~dst_mac:peer_mac (Proto.Request_channel { requester_domid = my_domid t })
+    send_ctrl t ~dst_mac:peer_mac
+      (Proto.Request_channel
+         { requester_domid = my_domid t; max_queues = t.max_queues })
   end
 
 (* ------------------------------------------------------------------ *)
 (* Bootstrap: connector side *)
 
-let connector_accept t ~listener_domid ~listener_mac ~lc_gref ~cl_gref ~evtchn_port =
+let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
   let machine = t.current_machine () in
   let domid = my_domid t in
   let p = params t in
   match Machine.grant_table machine listener_domid with
   | None -> ()
   | Some listener_gt -> (
+      let ec = Machine.evtchn machine in
+      (* All queues map, or none do: on any failure every page mapped and
+         every port bound so far is rolled back, leaving no half-attached
+         channel behind. *)
+      let mapped = ref [] in
+      let bound = ref [] in
+      let unmap_all grefs =
+        List.iter
+          (fun gref -> ignore (Gt.unmap listener_gt gref ~by:domid ~meter:(meter t)))
+          grefs
+      in
       let map_page gref =
         Sim.Resource.use (cpu t) p.Params.page_map;
         match Gt.map listener_gt gref ~by:domid ~meter:(meter t) with
-        | Ok page -> Some page
+        | Ok page ->
+            mapped := gref :: !mapped;
+            Some page
         | Error _ -> None
       in
       let map_fifo desc_gref =
@@ -645,50 +801,71 @@ let connector_accept t ~listener_domid ~listener_mac ~lc_gref ~cl_gref ~evtchn_p
             if List.length data <> List.length data_grefs then None
             else
               match Fifo.attach ~desc ~data:(Array.of_list data) with
-              | fifo -> Some (fifo, desc_gref, data_grefs)
+              | fifo -> Some fifo
               | exception Invalid_argument _ -> None)
       in
-      match (map_fifo lc_gref, map_fifo cl_gref) with
-      | Some (lc_fifo, _, lc_data), Some (cl_fifo, _, cl_data) -> (
-          let ec = Machine.evtchn machine in
-          match Ec.bind_interdomain ec ~dom:domid ~remote:listener_domid
-                  ~remote_port:evtchn_port
-          with
-          | Error _ -> ()
-          | Ok port ->
-              Ec.set_handler ec ~dom:domid ~port (on_event t listener_domid);
-              let cleanup () =
-                let unmap gref =
-                  ignore (Gt.unmap listener_gt gref ~by:domid ~meter:(meter t))
-                in
-                List.iter unmap ((lc_gref :: lc_data) @ (cl_gref :: cl_data));
-                Ec.close ec ~dom:domid ~port
-              in
-              let ch =
-                {
-                  peer_domid = listener_domid;
-                  peer_mac = listener_mac;
-                  role = Connector;
-                  out_fifo = cl_fifo;
-                  in_fifo = lc_fifo;
-                  port;
-                  waiting = Queue.create ();
-                  connected = true;
-                  busy = false;
-                  tx_draining = false;
-                  cleanup;
-                }
-              in
-              Hashtbl.replace t.peers listener_domid (Active ch);
-              t.s.channels_established <- t.s.channels_established + 1;
-              trace t Sim.Trace.Channel "dom%d: channel to dom%d connected (connector)"
-                domid listener_domid;
-              send_ctrl t ~dst_mac:listener_mac
-                (Proto.Channel_ack { connector_domid = domid });
-              (* Anything already in the FIFOs must not wait for another
-                 notification that may never come. *)
-              on_event t listener_domid ())
-      | _ -> ())
+      let rec build qi acc = function
+        | [] -> Some (List.rev acc)
+        | qg :: rest -> (
+            match (map_fifo qg.Proto.qg_lc_gref, map_fifo qg.Proto.qg_cl_gref) with
+            | Some lc_fifo, Some cl_fifo -> (
+                match
+                  Ec.bind_interdomain ec ~dom:domid ~remote:listener_domid
+                    ~remote_port:qg.Proto.qg_port
+                with
+                | Error _ -> None
+                | Ok port ->
+                    bound := port :: !bound;
+                    Ec.set_handler ec ~dom:domid ~port (on_event t listener_domid qi);
+                    let q =
+                      {
+                        q_index = qi;
+                        out_fifo = cl_fifo;
+                        in_fifo = lc_fifo;
+                        q_port = port;
+                        waiting = Queue.create ();
+                        q_busy = false;
+                        q_tx_draining = false;
+                        q_notifies_sent = 0;
+                        q_notifies_suppressed = 0;
+                        q_steered = 0;
+                      }
+                    in
+                    build (qi + 1) (q :: acc) rest)
+            | _ -> None)
+      in
+      match build 0 [] queue_grants with
+      | None ->
+          unmap_all !mapped;
+          List.iter (fun port -> Ec.close ec ~dom:domid ~port) !bound
+      | Some queues ->
+          let queues = Array.of_list queues in
+          let mapped_grefs = !mapped and bound_ports = !bound in
+          let cleanup () =
+            unmap_all mapped_grefs;
+            List.iter (fun port -> Ec.close ec ~dom:domid ~port) bound_ports
+          in
+          let ch =
+            {
+              peer_domid = listener_domid;
+              peer_mac = listener_mac;
+              role = Connector;
+              queues;
+              connected = true;
+              cleanup;
+            }
+          in
+          Hashtbl.replace t.peers listener_domid (Active ch);
+          bump_epoch t;
+          t.s.channels_established <- t.s.channels_established + 1;
+          trace t Sim.Trace.Channel
+            "dom%d: channel to dom%d connected (connector, %d queue(s))" domid
+            listener_domid (Array.length queues);
+          send_ctrl t ~dst_mac:listener_mac
+            (Proto.Channel_ack { connector_domid = domid });
+          (* Anything already in the FIFOs must not wait for another
+             notification that may never come. *)
+          Array.iteri (fun qi _ -> on_event t listener_domid qi ()) queues)
 
 (* ------------------------------------------------------------------ *)
 (* Control-plane input *)
@@ -697,6 +874,8 @@ let on_announce t entries =
   let domid = my_domid t in
   let others = List.filter (fun e -> e.Proto.entry_domid <> domid) entries in
   Mapping_table.update t.mapping others;
+  (* Soft-state replacement invalidates every memoized flow decision. *)
+  bump_epoch t;
   (* Soft state: peers absent from the announcement are gone. *)
   let stale =
     Hashtbl.fold
@@ -712,15 +891,14 @@ let on_ctrl_packet t (packet : P.t) =
         match Proto.decode data with
         | Error _ -> ()
         | Ok (Proto.Announce entries) -> on_announce t entries
-        | Ok (Proto.Request_channel { requester_domid }) -> (
+        | Ok (Proto.Request_channel { requester_domid; max_queues }) -> (
             match Hashtbl.find_opt t.peers requester_domid with
             | Some _ -> ()
             | None ->
                 if my_domid t < requester_domid then
                   listener_create t ~peer_domid:requester_domid
-                    ~peer_mac:packet.P.src_mac)
-        | Ok (Proto.Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port })
-          -> (
+                    ~peer_mac:packet.P.src_mac ~peer_queues:max_queues)
+        | Ok (Proto.Create_channel { listener_domid; queues }) -> (
             match Hashtbl.find_opt t.peers listener_domid with
             | Some (Active ch) when ch.role = Connector ->
                 (* Duplicate create (our ack was in flight): re-ack. *)
@@ -729,7 +907,7 @@ let on_ctrl_packet t (packet : P.t) =
             | Some (Active _) -> ()
             | Some (Bootstrapping Requested_from_listener) | None ->
                 connector_accept t ~listener_domid ~listener_mac:packet.P.src_mac
-                  ~lc_gref:fifo_lc_gref ~cl_gref:fifo_cl_gref ~evtchn_port
+                  ~queue_grants:queues
             | Some (Bootstrapping (Awaiting_ack _)) ->
                 (* Simultaneous creates cannot happen: roles are fixed by
                    domain-id order. *)
@@ -743,13 +921,18 @@ let on_ctrl_packet t (packet : P.t) =
             | Some (Bootstrapping (Awaiting_ack ba)) ->
                 ba.ba_channel.connected <- true;
                 Hashtbl.replace t.peers connector_domid (Active ba.ba_channel);
+                bump_epoch t;
                 t.s.channels_established <- t.s.channels_established + 1;
-                trace t Sim.Trace.Channel "dom%d: channel to dom%d connected (listener)"
-                  (my_domid t) connector_domid;
+                trace t Sim.Trace.Channel
+                  "dom%d: channel to dom%d connected (listener, %d queue(s))"
+                  (my_domid t) connector_domid
+                  (Array.length ba.ba_channel.queues);
                 (* The connector may have pushed data before its ack reached
                    us; the matching notification was consumed while we were
-                   still awaiting the ack, so drain now. *)
-                on_event t connector_domid ()
+                   still awaiting the ack, so drain every queue now. *)
+                Array.iteri
+                  (fun qi _ -> on_event t connector_domid qi ())
+                  ba.ba_channel.queues
             | Some _ | None -> ()))
     | P.Ipv4_body _ | P.Arp_body _ -> ()
   end
@@ -757,33 +940,80 @@ let on_ctrl_packet t (packet : P.t) =
 (* ------------------------------------------------------------------ *)
 (* The netfilter hook: the guest-specific software bridge *)
 
-(* Per-packet routing decision: steal onto a connected channel, or let the
-   packet take the standard netfront path (kicking off a bootstrap on
-   first co-resident traffic). *)
+let frame_for_queue t q (packet : P.t) =
+  let raw = Netcore.Codec.serialize packet in
+  if Bytes.length raw > Fifo.max_packet q.out_fifo then begin
+    t.s.too_big_fallback <- t.s.too_big_fallback + 1;
+    `Standard_path
+  end
+  else begin
+    q.q_steered <- q.q_steered + 1;
+    t.s.steered_packets <- t.s.steered_packets + 1;
+    `Channel (q, raw)
+  end
+
+(* Slow path of the routing decision: mapping-table lookup plus steering
+   hash, memoized in the flow cache under the current epoch. *)
+let classify_slow t (packet : P.t) key =
+  match Mapping_table.lookup t.mapping packet.P.dst_mac with
+  | None ->
+      (* Not co-resident (as of this epoch's announcements): remember the
+         negative result too, so external flows skip the table lookup. *)
+      Hashtbl.replace t.flow_cache key
+        { ce_epoch = t.epoch; ce_decision = Cache_standard };
+      `Standard_path
+  | Some peer_domid -> (
+      match Hashtbl.find_opt t.peers peer_domid with
+      | Some (Active ch) when ch.connected ->
+          let qi = Steering.queue_index key ~queues:(Array.length ch.queues) in
+          let q = ch.queues.(qi) in
+          Hashtbl.replace t.flow_cache key
+            { ce_epoch = t.epoch; ce_decision = Cache_queue (ch, q) };
+          frame_for_queue t q packet
+      | Some (Active _) | Some (Bootstrapping _) ->
+          (* Bootstrap in progress: standard path (paper Sect. 3.3).  Not
+             cached — the decision flips without an epoch bump the moment
+             the channel connects. *)
+          `Standard_path
+      | None ->
+          start_bootstrap t ~peer_domid ~peer_mac:packet.P.dst_mac;
+          `Standard_path)
+
+(* Per-packet routing decision: steal onto one queue of a connected
+   channel, or let the packet take the standard netfront path (kicking off
+   a bootstrap on first co-resident traffic).  The flow cache memoizes the
+   (mapping lookup, steering hash) pair per flow; any event that could
+   change a decision bumps the epoch and thereby invalidates the cache
+   wholesale. *)
 let classify t (packet : P.t) =
   match packet.P.body with
   | P.Arp_body _ | P.Xenloop_body _ -> `Standard_path
   | P.Ipv4_body _ -> (
-      match Mapping_table.lookup t.mapping packet.P.dst_mac with
-      | None -> `Standard_path
-      | Some peer_domid -> (
-          match Hashtbl.find_opt t.peers peer_domid with
-          | Some (Active ch) when ch.connected ->
-              let raw = Netcore.Codec.serialize packet in
-              if Bytes.length raw > Fifo.max_packet ch.out_fifo then begin
-                t.s.too_big_fallback <- t.s.too_big_fallback + 1;
-                `Standard_path
-              end
-              else `Channel (ch, raw)
-          | Some (Active _) | Some (Bootstrapping _) ->
-              (* Bootstrap in progress: standard path (paper Sect. 3.3). *)
+      let key = Steering.flow_key packet in
+      match Hashtbl.find_opt t.flow_cache key with
+      | Some { ce_epoch; ce_decision } when ce_epoch = t.epoch -> (
+          match ce_decision with
+          | Cache_standard ->
+              t.s.flow_cache_hits <- t.s.flow_cache_hits + 1;
               `Standard_path
-          | None ->
-              start_bootstrap t ~peer_domid ~peer_mac:packet.P.dst_mac;
-              `Standard_path))
+          | Cache_queue (ch, q)
+            when ch.connected && Fifo.is_active q.out_fifo ->
+              t.s.flow_cache_hits <- t.s.flow_cache_hits + 1;
+              frame_for_queue t q packet
+          | Cache_queue _ ->
+              (* The channel died since this was cached (the epoch bump and
+                 this packet raced); recompute. *)
+              t.s.flow_cache_misses <- t.s.flow_cache_misses + 1;
+              Hashtbl.remove t.flow_cache key;
+              classify_slow t packet key)
+      | Some _ | None ->
+          t.s.flow_cache_misses <- t.s.flow_cache_misses + 1;
+          classify_slow t packet key)
 
 (* The transmit hook sees whole bursts (all fragments of one datagram);
-   consecutive steals to the same channel flush as one batch. *)
+   consecutive steals steered to the same queue flush as one batch.
+   Fragments of one datagram share a 3-tuple flow key, so a fragmented
+   datagram is always one batch on one queue. *)
 let hook_fn t (packets : P.t list) =
   if not t.loaded then List.map (fun _ -> Netstack.Netfilter.Accept) packets
   else begin
@@ -791,7 +1021,7 @@ let hook_fn t (packets : P.t list) =
     let flush group =
       match List.rev group with
       | [] -> ()
-      | (ch, _) :: _ as frames -> send_batch t ch (List.map snd frames)
+      | (q, _) :: _ as frames -> send_batch t q (List.map snd frames)
     in
     let pending =
       List.fold_left
@@ -800,11 +1030,11 @@ let hook_fn t (packets : P.t list) =
           | `Standard_path, pending ->
               flush pending;
               []
-          | `Channel (ch, raw), ((ch', _) :: _ as pending) when ch == ch' ->
-              (ch, raw) :: pending
-          | `Channel (ch, raw), pending ->
+          | `Channel (q, raw), ((q', _) :: _ as pending) when q == q' ->
+              (q, raw) :: pending
+          | `Channel (q, raw), pending ->
               flush pending;
-              [ (ch, raw) ])
+              [ (q, raw) ])
         [] decisions
     in
     flush pending;
@@ -843,12 +1073,22 @@ let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
                 ~dst_mac:entry.Proto.entry_mac (Proto.encode msg)
             in
             let raw = Netcore.Codec.serialize frame in
-            if Bytes.length raw > Fifo.max_packet ch.out_fifo then begin
+            (* Shortcut payloads steer like hook traffic: UDP-flavoured
+               5-tuple, so distinct port pairs spread across queues. *)
+            let key =
+              Steering.ip_flow ~proto:17 ~src:(Stack.ip_addr t.stack) ~dst:dst_ip
+                ~sport:src_port ~dport:dst_port
+            in
+            let qi = Steering.queue_index key ~queues:(Array.length ch.queues) in
+            let q = ch.queues.(qi) in
+            if Bytes.length raw > Fifo.max_packet q.out_fifo then begin
               t.s.too_big_fallback <- t.s.too_big_fallback + 1;
               false
             end
             else begin
-              send_via_channel t ch raw;
+              q.q_steered <- q.q_steered + 1;
+              t.s.steered_packets <- t.s.steered_packets + 1;
+              send_via_channel t q raw;
               true
             end
         | Some (Active _) | Some (Bootstrapping _) -> false
@@ -894,15 +1134,25 @@ let unload t =
     t.loaded <- false
   end
 
-let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?trace () =
+let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queues
+    ?trace () =
+  let p = Stack.params stack in
+  let mq =
+    match max_queues with
+    | Some q -> max 1 q
+    | None -> max 1 p.Params.xenloop_queues
+  in
   let t =
     {
       domain;
       stack;
       current_machine;
       k = fifo_k;
+      max_queues = mq;
       mapping = Mapping_table.create ();
       peers = Hashtbl.create 8;
+      flow_cache = Hashtbl.create 64;
+      epoch = 0;
       hook = None;
       saved_frames = [];
       app_handler = None;
@@ -912,6 +1162,7 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?trace () 
           via_channel_tx = 0;
           via_channel_rx = 0;
           queued_to_waiting = 0;
+          waiting_overflows = 0;
           too_big_fallback = 0;
           channels_established = 0;
           channels_torn_down = 0;
@@ -921,6 +1172,9 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?trace () 
           notifies_suppressed = 0;
           batches = 0;
           poll_rounds = 0;
+          steered_packets = 0;
+          flow_cache_hits = 0;
+          flow_cache_misses = 0;
         };
       loaded = true;
     }

@@ -13,7 +13,17 @@
     peer is signalled over the event channel; everything else — unknown
     destinations, packets larger than the FIFO, traffic during bootstrap —
     takes the standard netfront path untouched.  User applications never
-    see any of this: full transparency. *)
+    see any of this: full transparency.
+
+    {b Multi-queue} (engineering extension): a channel carries N
+    independent queue pairs instead of one, each with its own FIFO pair,
+    event channel, waiting list, and suppression/poll state.  The transmit
+    hook steers each packet by a deterministic flow hash ({!Steering}), so
+    a bulk stream saturating one queue cannot head-of-line-block a
+    latency-sensitive flow steered to another.  The queue count is
+    negotiated during bootstrap as the min of both sides' advertised
+    values; a count of 1 reproduces the paper-faithful single channel
+    bit-for-bit on the wire. *)
 
 type t
 
@@ -21,6 +31,10 @@ type stats = {
   mutable via_channel_tx : int;
   mutable via_channel_rx : int;
   mutable queued_to_waiting : int;
+  mutable waiting_overflows : int;
+      (** frames rerouted through the standard netfront path because their
+          queue's waiting list was already at
+          {!Hypervisor.Params.xenloop_waiting_list_max} *)
   mutable too_big_fallback : int;
   mutable channels_established : int;
   mutable channels_torn_down : int;
@@ -40,6 +54,14 @@ type stats = {
   mutable poll_rounds : int;
       (** NAPI-style receiver poll iterations inside the event handler
           ({!Hypervisor.Params.xenloop_poll_window}) *)
+  mutable steered_packets : int;
+      (** packets placed on a specific queue by the flow hash (hook steals
+          plus transport-shortcut payloads) *)
+  mutable flow_cache_hits : int;
+  mutable flow_cache_misses : int;
+      (** per-flow routing-decision cache in the transmit hook; every
+          soft-state replacement or channel set change invalidates it
+          wholesale via an epoch counter *)
 }
 
 val create :
@@ -47,15 +69,20 @@ val create :
   stack:Netstack.Stack.t ->
   current_machine:(unit -> Hypervisor.Machine.t) ->
   ?fifo_k:int ->
+  ?max_queues:int ->
   ?trace:Sim.Trace.t ->
   unit ->
   t
 (** Load the module into a guest.  [current_machine] is consulted whenever
     the module needs hypervisor facilities, so it stays correct across
     migration.  [fifo_k] sets the FIFO size to 2^k 8-byte slots per
-    direction (default {!Fifo.default_k} = 64 KiB, the paper's setting).
-    [trace] receives bootstrap/channel/teardown/migration events when its
-    categories are enabled. *)
+    direction {e per queue} (default {!Fifo.default_k} = 64 KiB, the
+    paper's setting).  [max_queues] is the queue count this guest
+    advertises (default {!Hypervisor.Params.xenloop_queues}); each channel
+    uses the min of both endpoints' advertised values, so 1 yields exactly
+    the paper's single FIFO pair.  [trace] receives
+    bootstrap/channel/teardown/migration events when its categories are
+    enabled. *)
 
 val unload : t -> unit
 (** Remove the module: tears down all channels (flushing waiting packets
@@ -68,10 +95,33 @@ val stats : t -> stats
 val mapping_size : t -> int
 val connected_peer_ids : t -> int list
 val has_channel_with : t -> domid:int -> bool
+
 val waiting_list_length : t -> domid:int -> int
+(** Total frames parked on the waiting lists of all of this peer's
+    queues. *)
 
 val fifo_k : t -> int
 val fifo_capacity_bytes : t -> int
+
+(** {1 Multi-queue observability} *)
+
+val max_queues : t -> int
+(** The advertised (not negotiated) queue count. *)
+
+val queue_count : t -> domid:int -> int
+(** Negotiated queue count of the active channel to this peer; 0 when no
+    channel is established. *)
+
+type queue_stat = {
+  qs_notifies_sent : int;
+  qs_notifies_suppressed : int;
+  qs_steered : int;
+  qs_waiting : int;
+}
+
+val queue_stats : t -> domid:int -> queue_stat array
+(** Per-queue counters of the active channel to this peer (index = queue
+    index); [[||]] when no channel is established. *)
 
 (** {1 Transport-level shortcut}
 

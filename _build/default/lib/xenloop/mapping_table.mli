@@ -20,6 +20,11 @@ val lookup_by_ip : t -> Netcore.Ip.t -> Proto.entry option
     transport-level shortcut, which intercepts before MAC resolution). *)
 
 val mem_domid : t -> int -> bool
+
+val find_domid : t -> int -> Proto.entry option
+(** The full announcement entry for this guest id (the listener reads the
+    peer's advertised queue count from it before allocating a channel). *)
+
 val entries : t -> Proto.entry list
 val size : t -> int
 val clear : t -> unit

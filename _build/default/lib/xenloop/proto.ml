@@ -2,17 +2,19 @@ type entry = {
   entry_domid : int;
   entry_mac : Netcore.Mac.t;
   entry_ip : Netcore.Ip.t;
+  entry_queues : int;
+}
+
+type queue_grant = {
+  qg_lc_gref : Memory.Grant_table.gref;
+  qg_cl_gref : Memory.Grant_table.gref;
+  qg_port : Evtchn.Event_channel.port;
 }
 
 type t =
   | Announce of entry list
-  | Request_channel of { requester_domid : int }
-  | Create_channel of {
-      listener_domid : int;
-      fifo_lc_gref : Memory.Grant_table.gref;
-      fifo_cl_gref : Memory.Grant_table.gref;
-      evtchn_port : Evtchn.Event_channel.port;
-    }
+  | Request_channel of { requester_domid : int; max_queues : int }
+  | Create_channel of { listener_domid : int; queues : queue_grant list }
   | Channel_ack of { connector_domid : int }
   | App_payload of {
       src_ip : Netcore.Ip.t;
@@ -21,10 +23,18 @@ type t =
       payload : Bytes.t;
     }
 
+(* Version gating: tags 1-5 are the original single-queue wire format, kept
+   bit-for-bit so a queues=1 peer (or an old binary) interoperates
+   unchanged.  The multi-queue variants (6-8) are only emitted when a
+   queue count above 1 actually needs expressing; a negotiated-to-1
+   handshake therefore reproduces the paper-faithful byte stream. *)
+
 let tag = function
-  | Announce _ -> 1
-  | Request_channel _ -> 2
-  | Create_channel _ -> 3
+  | Announce entries ->
+      if List.for_all (fun e -> e.entry_queues <= 1) entries then 1 else 6
+  | Request_channel { max_queues; _ } -> if max_queues <= 1 then 2 else 7
+  | Create_channel { queues; _ } -> (
+      match queues with [ _ ] -> 3 | _ -> 8)
   | Channel_ack _ -> 4
   | App_payload _ -> 5
 
@@ -49,7 +59,8 @@ let wmac buf mac =
 
 let encode msg =
   let buf = Buffer.create 32 in
-  Buffer.add_char buf (Char.chr (tag msg));
+  let t = tag msg in
+  Buffer.add_char buf (Char.chr t);
   (match msg with
   | Announce entries ->
       w16 buf (List.length entries);
@@ -57,14 +68,21 @@ let encode msg =
         (fun e ->
           w16 buf e.entry_domid;
           wmac buf e.entry_mac;
-          wip buf e.entry_ip)
+          wip buf e.entry_ip;
+          if t = 6 then w16 buf e.entry_queues)
         entries
-  | Request_channel { requester_domid } -> w16 buf requester_domid
-  | Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port } ->
+  | Request_channel { requester_domid; max_queues } ->
+      w16 buf requester_domid;
+      if t = 7 then w16 buf max_queues
+  | Create_channel { listener_domid; queues } ->
       w16 buf listener_domid;
-      w32 buf fifo_lc_gref;
-      w32 buf fifo_cl_gref;
-      w16 buf evtchn_port
+      if t = 8 then w16 buf (List.length queues);
+      List.iter
+        (fun q ->
+          w32 buf q.qg_lc_gref;
+          w32 buf q.qg_cl_gref;
+          w16 buf q.qg_port)
+        queues
   | Channel_ack { connector_domid } -> w16 buf connector_domid
   | App_payload { src_ip; src_port; dst_port; payload } ->
       wip buf src_ip;
@@ -104,25 +122,40 @@ let decode data =
     done;
     Netcore.Mac.of_int64 !v
   in
+  let rentry ~queues () =
+    let entry_domid = r16 () in
+    let entry_mac = rmac () in
+    let entry_ip = rip () in
+    let entry_queues = if queues then max 1 (r16 ()) else 1 in
+    { entry_domid; entry_mac; entry_ip; entry_queues }
+  in
+  let rqueue () =
+    let qg_lc_gref = r32 () in
+    let qg_cl_gref = r32 () in
+    let qg_port = r16 () in
+    { qg_lc_gref; qg_cl_gref; qg_port }
+  in
   try
     match r8 () with
     | 1 ->
         let n = r16 () in
-        let entries =
-          List.init n (fun _ ->
-              let entry_domid = r16 () in
-              let entry_mac = rmac () in
-              let entry_ip = rip () in
-              { entry_domid; entry_mac; entry_ip })
-        in
-        Ok (Announce entries)
-    | 2 -> Ok (Request_channel { requester_domid = r16 () })
+        Ok (Announce (List.init n (fun _ -> rentry ~queues:false ())))
+    | 6 ->
+        let n = r16 () in
+        Ok (Announce (List.init n (fun _ -> rentry ~queues:true ())))
+    | 2 -> Ok (Request_channel { requester_domid = r16 (); max_queues = 1 })
+    | 7 ->
+        let requester_domid = r16 () in
+        let max_queues = max 1 (r16 ()) in
+        Ok (Request_channel { requester_domid; max_queues })
     | 3 ->
         let listener_domid = r16 () in
-        let fifo_lc_gref = r32 () in
-        let fifo_cl_gref = r32 () in
-        let evtchn_port = r16 () in
-        Ok (Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port })
+        Ok (Create_channel { listener_domid; queues = [ rqueue () ] })
+    | 8 ->
+        let listener_domid = r16 () in
+        let n = r16 () in
+        if n < 1 then Error "create_channel with no queues"
+        else Ok (Create_channel { listener_domid; queues = List.init n (fun _ -> rqueue ()) })
     | 4 -> Ok (Channel_ack { connector_domid = r16 () })
     | 5 ->
         let src_ip = rip () in
@@ -141,14 +174,20 @@ let pp fmt = function
         (String.concat "; "
            (List.map
               (fun e ->
-                Printf.sprintf "dom%d=%s" e.entry_domid
-                  (Netcore.Mac.to_string e.entry_mac))
+                Printf.sprintf "dom%d=%s q%d" e.entry_domid
+                  (Netcore.Mac.to_string e.entry_mac)
+                  e.entry_queues)
               entries))
-  | Request_channel { requester_domid } ->
-      Format.fprintf fmt "request_channel(dom%d)" requester_domid
-  | Create_channel { listener_domid; fifo_lc_gref; fifo_cl_gref; evtchn_port } ->
-      Format.fprintf fmt "create_channel(dom%d grefs=%d,%d port=%d)" listener_domid
-        fifo_lc_gref fifo_cl_gref evtchn_port
+  | Request_channel { requester_domid; max_queues } ->
+      Format.fprintf fmt "request_channel(dom%d maxq=%d)" requester_domid max_queues
+  | Create_channel { listener_domid; queues } ->
+      Format.fprintf fmt "create_channel(dom%d %s)" listener_domid
+        (String.concat ","
+           (List.map
+              (fun q ->
+                Printf.sprintf "grefs=%d/%d port=%d" q.qg_lc_gref q.qg_cl_gref
+                  q.qg_port)
+              queues))
   | Channel_ack { connector_domid } ->
       Format.fprintf fmt "channel_ack(dom%d)" connector_domid
   | App_payload { src_ip; src_port; dst_port; payload } ->

@@ -3,28 +3,46 @@
     These travel as a distinct layer-3 protocol type (paper Sect. 3.2/3.3):
     discovery announcements from Dom0, and the out-of-band channel
     bootstrap handshake between guests, carried over the standard
-    netfront–netback path while the fast channel does not exist yet. *)
+    netfront–netback path while the fast channel does not exist yet.
+
+    {b Queue-count negotiation.}  Multi-queue channels (an engineering
+    extension over the paper's single FIFO pair) negotiate their queue
+    count through this protocol: each guest advertises its
+    {!Hypervisor.Params.t.xenloop_queues} in its XenStore advert, Dom0
+    relays it in the {!Announce} entries, and the listener allocates
+    [min(own, peer's advertised)] queue pairs.  The wire format is
+    version-gated: the original single-queue tags are emitted bit-for-bit
+    whenever a count of 1 is being expressed, so a queues=1 peer
+    interoperates unchanged and a negotiated-to-1 handshake is exactly the
+    paper-faithful byte stream. *)
 
 type entry = {
   entry_domid : int;
   entry_mac : Netcore.Mac.t;
   entry_ip : Netcore.Ip.t;
+  entry_queues : int;
+      (** queue pairs this guest advertises per channel (1 for a
+          single-queue peer, and when decoded from the legacy format) *)
+}
+
+type queue_grant = {
+  qg_lc_gref : Memory.Grant_table.gref;
+      (** descriptor page of this queue's listener→connector FIFO *)
+  qg_cl_gref : Memory.Grant_table.gref;
+      (** descriptor page of this queue's connector→listener FIFO *)
+  qg_port : Evtchn.Event_channel.port;
+      (** this queue's dedicated event channel *)
 }
 
 type t =
   | Announce of entry list
-      (** Dom0's collated [guest-ID, MAC] list of willing guests. *)
-  | Request_channel of { requester_domid : int }
+      (** Dom0's collated [guest-ID, MAC, queues] list of willing guests. *)
+  | Request_channel of { requester_domid : int; max_queues : int }
       (** Sent by the higher-ID guest to ask the lower-ID guest (the
-          listener) to create the channel resources. *)
-  | Create_channel of {
-      listener_domid : int;
-      fifo_lc_gref : Memory.Grant_table.gref;
-          (** descriptor page of the listener→connector FIFO *)
-      fifo_cl_gref : Memory.Grant_table.gref;
-          (** descriptor page of the connector→listener FIFO *)
-      evtchn_port : Evtchn.Event_channel.port;
-    }
+          listener) to create the channel resources; carries the
+          requester's advertised queue count. *)
+  | Create_channel of { listener_domid : int; queues : queue_grant list }
+      (** One grant/port triple per negotiated queue (never empty). *)
   | Channel_ack of { connector_domid : int }
   | App_payload of {
       src_ip : Netcore.Ip.t;

@@ -1,0 +1,32 @@
+(** Deterministic flow-hash steering across a channel's queue pairs.
+
+    An RSS-style generalization of the paper's single FIFO pair: the
+    transmit hook hashes the flow identity and picks one of the channel's
+    N queues.  TCP hashes on the 5-tuple (proto, src/dst IP, src/dst
+    port); UDP and all fragments hash on the 3-tuple (proto, src/dst IP)
+    so a datagram's fragments — which carry no ports — can never be split
+    from their unfragmented siblings (the Linux RSS default, for the same
+    reason); everything else falls back to the destination MAC.  Purely
+    functional: a given flow always lands on the same queue for a given
+    queue count. *)
+
+type flow_key =
+  | Ip_flow of { proto : int; src : int32; dst : int32; sport : int; dport : int }
+  | Mac_flow of int64
+
+val ip_flow :
+  proto:int -> src:Netcore.Ip.t -> dst:Netcore.Ip.t -> sport:int -> dport:int ->
+  flow_key
+(** Build an IP flow key directly (benches use this to predict queue
+    placement for chosen ports). *)
+
+val flow_key : Netcore.Packet.t -> flow_key
+(** Extract the steering key: 5-tuple for unfragmented TCP, 3-tuple
+    (ports zeroed) for UDP and for any fragment, destination MAC
+    otherwise. *)
+
+val hash : flow_key -> int
+(** Non-negative FNV-1a hash of the key. *)
+
+val queue_index : flow_key -> queues:int -> int
+(** [hash key mod queues]; always 0 when [queues <= 1]. *)

@@ -1,1 +1,1 @@
-test/test_xenloop_fifo.ml: Alcotest Array Bytes Format Gen List Memory Netcore Option Printf QCheck QCheck_alcotest Queue Xenloop
+test/test_xenloop_fifo.ml: Alcotest Array Bytes Char Format Gen List Memory Netcore Option Printf QCheck QCheck_alcotest Queue Xenloop

@@ -1,0 +1,1 @@
+test/test_xenloop_multiqueue.ml: Alcotest Array Bytes Fun Hashtbl Hypervisor List Memory Netcore Netstack Option Printf Scenarios Sim String Workloads Xenloop

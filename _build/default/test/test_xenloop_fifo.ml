@@ -166,16 +166,31 @@ let sample_messages =
           Proto.entry_domid = 1;
           entry_mac = Mac.of_domid ~machine:0 ~domid:1;
           entry_ip = Netcore.Ip.make ~subnet:2 ~host:1;
+          entry_queues = 1;
         };
         {
           Proto.entry_domid = 2;
           entry_mac = Mac.of_domid ~machine:0 ~domid:2;
           entry_ip = Netcore.Ip.make ~subnet:2 ~host:2;
+          entry_queues = 4;
         };
       ];
-    Proto.Request_channel { requester_domid = 7 };
+    Proto.Request_channel { requester_domid = 7; max_queues = 1 };
+    Proto.Request_channel { requester_domid = 7; max_queues = 8 };
     Proto.Create_channel
-      { listener_domid = 1; fifo_lc_gref = 123; fifo_cl_gref = 456; evtchn_port = 3 };
+      {
+        listener_domid = 1;
+        queues = [ { Proto.qg_lc_gref = 123; qg_cl_gref = 456; qg_port = 3 } ];
+      };
+    Proto.Create_channel
+      {
+        listener_domid = 1;
+        queues =
+          [
+            { Proto.qg_lc_gref = 123; qg_cl_gref = 456; qg_port = 3 };
+            { Proto.qg_lc_gref = 789; qg_cl_gref = 1011; qg_port = 4 };
+          ];
+      };
     Proto.Channel_ack { connector_domid = 9 };
     Proto.App_payload
       {
@@ -212,17 +227,65 @@ let test_proto_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "decoded truncated message"
 
+(* Version gating: every message a single-queue endpoint can produce must
+   encode to exactly the original wire format — same tags, same bytes — so
+   a negotiated-to-1 handshake is indistinguishable from the paper-faithful
+   module on the wire. *)
+let test_proto_legacy_wire_format () =
+  let check_bytes name expect msg =
+    Alcotest.(check string) name expect (Bytes.to_string (Proto.encode msg))
+  in
+  check_bytes "request_channel q=1 is legacy tag 2" "\x02\x00\x07"
+    (Proto.Request_channel { requester_domid = 7; max_queues = 1 });
+  check_bytes "create_channel single queue is legacy tag 3"
+    "\x03\x00\x01\x00\x00\x00\x7b\x00\x00\x01\xc8\x00\x03"
+    (Proto.Create_channel
+       {
+         listener_domid = 1;
+         queues = [ { Proto.qg_lc_gref = 123; qg_cl_gref = 456; qg_port = 3 } ];
+       });
+  let entry =
+    {
+      Proto.entry_domid = 1;
+      entry_mac = Mac.of_domid ~machine:0 ~domid:1;
+      entry_ip = Netcore.Ip.make ~subnet:2 ~host:1;
+      entry_queues = 1;
+    }
+  in
+  let tag_of msg = Char.code (Bytes.get (Proto.encode msg) 0) in
+  Alcotest.(check int) "announce all-q1 is legacy tag 1" 1
+    (tag_of (Proto.Announce [ entry ]));
+  Alcotest.(check int) "announce with q>1 uses tag 6" 6
+    (tag_of (Proto.Announce [ { entry with Proto.entry_queues = 4 } ]));
+  Alcotest.(check int) "request q>1 uses tag 7" 7
+    (tag_of (Proto.Request_channel { requester_domid = 7; max_queues = 4 }));
+  Alcotest.(check int) "multi-queue create uses tag 8" 8
+    (tag_of
+       (Proto.Create_channel
+          {
+            listener_domid = 1;
+            queues =
+              [
+                { Proto.qg_lc_gref = 1; qg_cl_gref = 2; qg_port = 3 };
+                { Proto.qg_lc_gref = 4; qg_cl_gref = 5; qg_port = 6 };
+              ];
+          }))
+
 let prop_proto_announce_roundtrip =
   QCheck.Test.make ~name:"announce roundtrips for arbitrary entry lists" ~count:100
-    QCheck.(list_of_size Gen.(0 -- 20) (pair (int_bound 0xFFFF) (int_bound 1000)))
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 20)
+        (triple (int_bound 0xFFFF) (int_bound 1000) (int_range 1 16)))
     (fun raw_entries ->
       let entries =
         List.map
-          (fun (domid, m) ->
+          (fun (domid, m, queues) ->
             {
               Proto.entry_domid = domid;
               entry_mac = Mac.of_domid ~machine:m ~domid;
               entry_ip = Netcore.Ip.make ~subnet:(m land 0xff) ~host:(domid land 0xff);
+              entry_queues = queues;
             })
           raw_entries
       in
@@ -241,8 +304,8 @@ let test_mapping_soft_state () =
   let ip2 = Netcore.Ip.make ~subnet:2 ~host:2 in
   Mapping.update t
     [
-      { Proto.entry_domid = 1; entry_mac = mac1; entry_ip = ip1 };
-      { Proto.entry_domid = 2; entry_mac = mac2; entry_ip = ip2 };
+      { Proto.entry_domid = 1; entry_mac = mac1; entry_ip = ip1; entry_queues = 1 };
+      { Proto.entry_domid = 2; entry_mac = mac2; entry_ip = ip2; entry_queues = 4 };
     ];
   Alcotest.(check (option int)) "lookup 1" (Some 1) (Mapping.lookup t mac1);
   Alcotest.(check (option int)) "lookup 2" (Some 2) (Mapping.lookup t mac2);
@@ -252,7 +315,8 @@ let test_mapping_soft_state () =
   Alcotest.(check bool) "mem" true (Mapping.mem_domid t 1);
   Alcotest.(check int) "size" 2 (Mapping.size t);
   (* Next announcement drops guest 1: soft state forgets it. *)
-  Mapping.update t [ { Proto.entry_domid = 2; entry_mac = mac2; entry_ip = ip2 } ];
+  Mapping.update t
+    [ { Proto.entry_domid = 2; entry_mac = mac2; entry_ip = ip2; entry_queues = 4 } ];
   Alcotest.(check (option int)) "1 gone" None (Mapping.lookup t mac1);
   Alcotest.(check bool) "1 not member" false (Mapping.mem_domid t 1);
   Mapping.clear t;
@@ -281,6 +345,8 @@ let suites =
       [
         Alcotest.test_case "roundtrip" `Quick test_proto_roundtrip;
         Alcotest.test_case "rejects garbage" `Quick test_proto_rejects_garbage;
+        Alcotest.test_case "legacy wire format at queues=1" `Quick
+          test_proto_legacy_wire_format;
       ]
       @ qsuite [ prop_proto_announce_roundtrip ] );
     ( "xenloop.mapping",

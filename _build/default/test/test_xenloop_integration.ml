@@ -93,7 +93,7 @@ let test_tcp_stream_integrity_through_fifo () =
           got := Netstack.Tcp.recv_exact conn n);
       (match
          Netstack.Tcp.connect client.Workloads.Host.tcp ~dst:duo.Setup.server_ip
-           ~dst_port:902
+           ~dst_port:902 ()
        with
       | Ok conn -> Netstack.Tcp.send conn data
       | Error _ -> Alcotest.fail "connect");
@@ -275,8 +275,10 @@ let prop_channel_random_bidirectional_traffic =
 let test_corrupt_peer_is_quarantined () =
   (* A malicious or buggy peer scribbles over the shared FIFO: this guest
      must tear the channel down and keep communicating via netfront — never
-     crash (paper's isolation/security premise). *)
-  let duo = Setup.build Setup.Xenloop_path in
+     crash (paper's isolation/security premise).  Single-queue channel so
+     the descriptor page behind gref 0 below is the one the victim's next
+     drain reads. *)
+  let duo = Setup.build ~client_queues:1 ~server_queues:1 Setup.Xenloop_path in
   let m1, m2 = modules_of duo in
   let client = host_of duo.Setup.client in
   Experiment.execute duo (fun () ->
@@ -557,7 +559,7 @@ let test_migration_no_stream_loss () =
       Sim.Engine.spawn w.Mw.engine (fun () ->
           match
             Netstack.Tcp.connect g1.Workloads.Host.tcp
-              ~dst:(Domain.ip w.Mw.guest2.Mw.domain) ~dst_port:905
+              ~dst:(Domain.ip w.Mw.guest2.Mw.domain) ~dst_port:905 ()
           with
           | Ok conn -> Netstack.Tcp.send conn data
           | Error _ -> Alcotest.fail "connect");

@@ -186,7 +186,7 @@ let with_tcp_pair engine f =
   let server_conn = ref None in
   Sim.Engine.spawn engine (fun () -> server_conn := Some (Tcp.accept listener));
   let client_conn =
-    match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 with
+    match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 () with
     | Ok c -> c
     | Error e -> Alcotest.failf "connect failed: %a" Tcp.pp_error e
   in
@@ -237,7 +237,7 @@ let test_tcp_connect_refused () =
   run_sim (fun engine ->
       let a, b = make_pair engine in
       ignore b;
-      match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:9 with
+      match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:9 () with
       | Error Tcp.Refused -> ()
       | Ok _ -> Alcotest.fail "connected to a closed port"
       | Error e -> Alcotest.failf "unexpected error: %a" Tcp.pp_error e)
@@ -312,7 +312,7 @@ let prop_tcp_stream_integrity =
               let conn = Tcp.accept listener in
               received :=
                 Bytes.to_string (Tcp.recv_exact conn (String.length expected)));
-          (match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:81 with
+          (match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:81 () with
           | Ok conn ->
               List.iter (fun chunk -> Tcp.send conn (Bytes.of_string chunk)) chunks
           | Error _ -> failwith "connect");
@@ -334,7 +334,7 @@ let test_tcp_accept_opt_nonblocking () =
         match Tcp.listen b.tcp ~port:80 with Ok l -> l | Error _ -> Alcotest.fail "listen"
       in
       Alcotest.(check bool) "empty accept queue" true (Tcp.accept_opt listener = None);
-      (match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 with
+      (match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 () with
       | Ok _ -> ()
       | Error e -> Alcotest.failf "connect: %a" Tcp.pp_error e);
       Sim.Engine.sleep (Sim.Time.ms 1);
@@ -434,7 +434,7 @@ let test_tcp_retransmits_through_loss () =
       Sim.Engine.spawn engine (fun () ->
           let conn = Tcp.accept listener in
           got := Tcp.recv_exact conn n);
-      (match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 with
+      (match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 () with
       | Ok conn -> Tcp.send conn data
       | Error e -> Alcotest.failf "connect through loss failed: %a" Tcp.pp_error e);
       Sim.Engine.sleep (Sim.Time.sec 30);
@@ -455,7 +455,7 @@ let test_tcp_survives_total_blackout () =
           let conn = Tcp.accept listener in
           got := Tcp.recv_exact conn n);
       Sim.Engine.spawn engine (fun () ->
-          match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 with
+          match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 () with
           | Ok conn -> Tcp.send conn data
           | Error _ -> Alcotest.fail "connect");
       (* Cut the cable for 300 ms in the middle of the stream. *)
@@ -508,7 +508,7 @@ let prop_tcp_random_loss =
               let conn = Tcp.accept listener in
               got := Tcp.recv_exact conn n);
           Sim.Engine.spawn engine (fun () ->
-              match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 with
+              match Tcp.connect a.tcp ~dst:(Stack.ip_addr b.stack) ~dst_port:80 () with
               | Ok conn -> Tcp.send conn data
               | Error _ -> () (* repeated SYN loss can exhaust the handshake *));
           Sim.Engine.sleep (Sim.Time.sec 50);

@@ -192,7 +192,7 @@ let test_vif_batching_counts () =
       Sim.Engine.spawn engine (fun () ->
           let conn = Netstack.Tcp.accept listener in
           ignore (Netstack.Tcp.recv_exact conn n));
-      (match Netstack.Tcp.connect tcp1 ~dst:(Domain.ip g2.domain) ~dst_port:80 with
+      (match Netstack.Tcp.connect tcp1 ~dst:(Domain.ip g2.domain) ~dst_port:80 () with
       | Ok conn -> Netstack.Tcp.send conn (Bytes.make n 'z')
       | Error _ -> Alcotest.fail "connect");
       Sim.Engine.sleep (Sim.Time.ms 100);
