@@ -1,11 +1,20 @@
 # Convenience wrappers around dune.  `make ci` is the gate a PR must pass:
-# build, full test suite, and a smoke benchmark run whose JSON writer
-# exits nonzero if the optimized data path loses or duplicates a single
-# application byte relative to the baseline (see bench/main.ml).
+# no build artifacts snuck into the index, build, full test suite, and a
+# smoke benchmark run whose JSON writer exits nonzero if the optimized
+# data path loses or duplicates a single application byte relative to the
+# baseline (see bench/main.ml).
 
-.PHONY: all build test bench-smoke bench ci clean
+.PHONY: all build test bench-smoke bench ci check-tracked-artifacts clean
 
 all: build
+
+check-tracked-artifacts:
+	@bad=$$(git ls-files | grep -E '^_build/|\.install$$' || true); \
+	if [ -n "$$bad" ]; then \
+	  echo "error: build artifacts are tracked by git (use .gitignore):"; \
+	  echo "$$bad" | head -20; \
+	  exit 1; \
+	fi
 
 build:
 	dune build
@@ -19,8 +28,8 @@ bench-smoke: build
 bench: build
 	dune exec bench/main.exe -- --json
 
-ci: build test bench-smoke
-	@echo "ci: build + tests + bench smoke (delivery check) all green"
+ci: check-tracked-artifacts build test bench-smoke
+	@echo "ci: artifact check + build + tests + bench smoke (delivery check) all green"
 
 clean:
 	dune clean

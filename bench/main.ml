@@ -748,6 +748,7 @@ let baseline_params =
     xenloop_batch_tx = false;
     xenloop_poll_window = Sim.Time.span_zero;
     xenloop_queues = 1;
+    xenloop_zerocopy = false;
   }
 
 type counters = {
@@ -758,6 +759,9 @@ type counters = {
   c_poll_rounds : int;
   c_steered : int;
   c_waiting_overflows : int;
+  c_desc_tx : int;
+  c_inline_tx : int;
+  c_pool_fallbacks : int;
 }
 
 let counters_of_modules modules =
@@ -772,6 +776,9 @@ let counters_of_modules modules =
         c_poll_rounds = acc.c_poll_rounds + s.Gm.poll_rounds;
         c_steered = acc.c_steered + s.Gm.steered_packets;
         c_waiting_overflows = acc.c_waiting_overflows + s.Gm.waiting_overflows;
+        c_desc_tx = acc.c_desc_tx + s.Gm.desc_tx;
+        c_inline_tx = acc.c_inline_tx + s.Gm.inline_tx;
+        c_pool_fallbacks = acc.c_pool_fallbacks + s.Gm.pool_fallbacks;
       })
     {
       c_delivered = 0;
@@ -781,6 +788,9 @@ let counters_of_modules modules =
       c_poll_rounds = 0;
       c_steered = 0;
       c_waiting_overflows = 0;
+      c_desc_tx = 0;
+      c_inline_tx = 0;
+      c_pool_fallbacks = 0;
     }
     modules
 
@@ -793,6 +803,9 @@ let sub_counters a b =
     c_poll_rounds = a.c_poll_rounds - b.c_poll_rounds;
     c_steered = a.c_steered - b.c_steered;
     c_waiting_overflows = a.c_waiting_overflows - b.c_waiting_overflows;
+    c_desc_tx = a.c_desc_tx - b.c_desc_tx;
+    c_inline_tx = a.c_inline_tx - b.c_inline_tx;
+    c_pool_fallbacks = a.c_pool_fallbacks - b.c_pool_fallbacks;
   }
 
 type wl_result = {
@@ -832,6 +845,93 @@ let run_json_workload ~params ~smoke name =
       in
       let after = counters_of_modules duo.Setup.modules in
       { w_mbps; w_latency_us; w_delivered_app; w_counters = sub_counters after before })
+
+(* ------------------------------------------------------------------ *)
+(* Zero-copy message-size sweep (NetPIPE-style, 64 B to 64 KiB): the
+   descriptor channel against the inline two-copy path on the same
+   workloads, with honest copy accounting — bytes actually memcpy'd per
+   application byte delivered.  The grant map hypercalls that set up the
+   payload pools are one-time per-connect costs (Cost_meter tracks them
+   separately from Page_copy), reported in their own field rather than
+   amortized into the per-byte number. *)
+
+type zc_point = {
+  zp_size : int;
+  zp_mbps : float;
+  zp_delivered_app : int;
+  zp_copied_bytes : int;
+  zp_copies_per_byte : float;
+  zp_desc_tx : int;
+  zp_inline_tx : int;
+  zp_pool_fallbacks : int;
+  zp_grant_maps : int;  (* connect-time total, not per-packet *)
+}
+
+let machine_meters duo =
+  match duo.Setup.machine with
+  | None -> []
+  | Some m ->
+      List.map Hypervisor.Domain.meter
+        (Hypervisor.Machine.dom0 m :: Hypervisor.Machine.guests m)
+
+let run_zc_point ~params ~smoke ~workload size =
+  let ctx = make_ctx ~params Setup.Xenloop_path in
+  in_ctx ctx (fun { duo; client; server; dst } ->
+      let meters = machine_meters duo in
+      let sum f = List.fold_left (fun acc m -> acc + f m) 0 meters in
+      (* Snapshots around the measured run: warmup (ARP, handshake, pool
+         grant/map) happened before this point, so the copy delta is the
+         data path's alone. *)
+      let before = counters_of_modules duo.Setup.modules in
+      let copied0 = sum Memory.Cost_meter.bytes_copied in
+      let total =
+        if smoke then max (128 * 1024) (size * 4)
+        else max (512 * 1024) (size * 64)
+      in
+      let r =
+        match workload with
+        | `Udp_stream ->
+            Netperf.udp_stream ~client ~server ~dst ~message_size:size
+              ~total_bytes:total ()
+        | `Tcp_stream ->
+            Netperf.tcp_stream ~client ~server ~dst ~message_size:size
+              ~total_bytes:total ()
+      in
+      let after = counters_of_modules duo.Setup.modules in
+      let c = sub_counters after before in
+      let copied = sum Memory.Cost_meter.bytes_copied - copied0 in
+      {
+        zp_size = size;
+        zp_mbps = r.Netperf.mbps;
+        zp_delivered_app = r.Netperf.bytes_received;
+        zp_copied_bytes = copied;
+        zp_copies_per_byte =
+          (if r.Netperf.bytes_received = 0 then 0.0
+           else float_of_int copied /. float_of_int r.Netperf.bytes_received);
+        zp_desc_tx = c.c_desc_tx;
+        zp_inline_tx = c.c_inline_tx;
+        zp_pool_fallbacks = c.c_pool_fallbacks;
+        zp_grant_maps = sum Memory.Cost_meter.grant_maps;
+      })
+
+let zc_sweep ~smoke =
+  (* UDP datagrams cap below 64 KiB; netperf's traditional large send is
+     60 KiB.  TCP has no such limit, so it sweeps to the full 64 KiB. *)
+  let sizes udp =
+    let top = if udp then 61440 else 65536 in
+    if smoke then [ 64; 4096; top ] else [ 64; 256; 1024; 4096; 16384; top ]
+  in
+  let zc_off = { Hypervisor.Params.default with Hypervisor.Params.xenloop_zerocopy = false } in
+  List.map
+    (fun (name, workload, udp) ->
+      ( name,
+        List.map
+          (fun size ->
+            let on = run_zc_point ~params:Hypervisor.Params.default ~smoke ~workload size in
+            let off = run_zc_point ~params:zc_off ~smoke ~workload size in
+            (size, on, off))
+          (sizes udp) ))
+    [ ("udp_stream", `Udp_stream, true); ("tcp_stream", `Tcp_stream, false) ]
 
 (* ------------------------------------------------------------------ *)
 (* Mixed workload: a bulk UDP stream and a latency-sensitive TCP_RR
@@ -949,10 +1049,12 @@ let json_of_side buf r =
         \"packets_delivered\": %d, \
         \"notifies_sent\": %d, \"notifies_suppressed\": %d, \"batches\": %d, \
         \"poll_rounds\": %d, \"steered_packets\": %d, \
-        \"waiting_overflows\": %d, \"notifies_per_packet\": %.4f}"
+        \"waiting_overflows\": %d, \"desc_tx\": %d, \"inline_tx\": %d, \
+        \"pool_fallbacks\": %d, \"notifies_per_packet\": %.4f}"
        (jopt r.w_mbps) (jopt r.w_latency_us) r.w_delivered_app c.c_delivered
        c.c_notifies_sent c.c_notifies_suppressed c.c_batches c.c_poll_rounds
-       c.c_steered c.c_waiting_overflows (notifies_per_packet c))
+       c.c_steered c.c_waiting_overflows c.c_desc_tx c.c_inline_tx
+       c.c_pool_fallbacks (notifies_per_packet c))
 
 let json_of_mixed buf m =
   let c = m.mx_counters in
@@ -976,6 +1078,15 @@ let json_of_mixed buf m =
            i q.Gm.qs_notifies_sent q.Gm.qs_notifies_suppressed q.Gm.qs_steered))
     m.mx_queue_stats;
   Buffer.add_string buf "]}"
+
+let json_of_zc_point buf p =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"mbps\": %.3f, \"delivered_app\": %d, \"copied_bytes\": %d, \
+        \"copies_per_byte\": %.4f, \"desc_tx\": %d, \"inline_tx\": %d, \
+        \"pool_fallbacks\": %d, \"grant_maps_connect\": %d}"
+       p.zp_mbps p.zp_delivered_app p.zp_copied_bytes p.zp_copies_per_byte
+       p.zp_desc_tx p.zp_inline_tx p.zp_pool_fallbacks p.zp_grant_maps)
 
 let json_mode ~smoke path =
   let names = [ "udp_stream"; "tcp_stream"; "udp_rr"; "tcp_rr" ] in
@@ -1013,6 +1124,7 @@ let json_mode ~smoke path =
         (k, mbps))
       ks
   in
+  let zerocopy_sweep = zc_sweep ~smoke in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "{\n  \"smoke\": %b,\n  \"scenario\": \"xenloop_path\",\n"
@@ -1051,6 +1163,22 @@ let json_mode ~smoke path =
         (Printf.sprintf "    {\"fifo_k\": %d, \"fifo_kib\": %d, \"mbps\": %.2f}" k
            (1 lsl k * 8 / 1024) mbps))
     sweep;
+  Buffer.add_string buf "\n  ],\n  \"zerocopy_sweep\": [\n";
+  List.iteri
+    (fun i (name, points) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "    {\"name\": \"%s\", \"points\": [\n" name);
+      List.iteri
+        (fun j (size, on, off) ->
+          if j > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (Printf.sprintf "      {\"size\": %d,\n       \"zerocopy\": " size);
+          json_of_zc_point buf on;
+          Buffer.add_string buf ",\n       \"inline\": ";
+          json_of_zc_point buf off;
+          Buffer.add_string buf "}")
+        points;
+      Buffer.add_string buf "\n    ]}")
+    zerocopy_sweep;
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1066,6 +1194,17 @@ let json_mode ~smoke path =
       Printf.printf "mixed q=%d    stream %8.1f Mbps  rr p99 %8.1f us\n"
         m.mx_queues m.mx_stream_mbps m.mx_rr_p99_us)
     queue_sweep;
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (size, on, off) ->
+          Printf.printf
+            "zc %-10s %6dB  %8.1f -> %8.1f Mbps  copies/byte %5.2f -> %5.2f  \
+             fallbacks %d\n"
+            name size off.zp_mbps on.zp_mbps off.zp_copies_per_byte
+            on.zp_copies_per_byte on.zp_pool_fallbacks)
+        points)
+    zerocopy_sweep;
   Printf.printf "wrote %s\n" path;
   (* Delivery invariance: the fast path may change timing, never what the
      application receives.  A mismatch is a data-path bug — fail loudly so
@@ -1079,6 +1218,18 @@ let json_mode ~smoke path =
             base.w_delivered_app opt.w_delivered_app
           :: !failures)
     results;
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (size, on, off) ->
+          if on.zp_delivered_app <> off.zp_delivered_app then
+            failures :=
+              Printf.sprintf
+                "%s size=%d: zerocopy delivered %d bytes, inline delivered %d"
+                name size on.zp_delivered_app off.zp_delivered_app
+              :: !failures)
+        points)
+    zerocopy_sweep;
   (match queue_sweep with
   | first :: rest ->
       List.iter
@@ -1170,6 +1321,25 @@ let queue_sweep_experiment () =
     [ 1; 2; 4; 8 ];
   Format.fprintf fmt "@."
 
+let zerocopy_sweep_experiment () =
+  Format.fprintf fmt
+    "=== Zero-copy: descriptor channel vs inline two-copy path ===@.";
+  Format.fprintf fmt
+    "# message-size sweep, copies/byte counts actual memcpy traffic@.";
+  List.iter
+    (fun (name, points) ->
+      Format.fprintf fmt "# workload: %s@." name;
+      List.iter
+        (fun (size, on, off) ->
+          Format.fprintf fmt
+            "%6d B  inline %8.1f Mbps (%4.2f cp/B)  zerocopy %8.1f Mbps \
+             (%4.2f cp/B)  desc %6d  fallbacks %d@."
+            size off.zp_mbps off.zp_copies_per_byte on.zp_mbps
+            on.zp_copies_per_byte on.zp_desc_tx on.zp_pool_fallbacks)
+        points;
+      Format.fprintf fmt "@.")
+    (zc_sweep ~smoke:false)
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -1205,6 +1375,9 @@ let experiments =
     ( "queue-sweep",
       "Multi-queue: mixed stream+rr vs queue count",
       queue_sweep_experiment );
+    ( "zerocopy-sweep",
+      "Zero-copy: descriptor channel vs inline path by message size",
+      zerocopy_sweep_experiment );
   ]
 
 let () =

@@ -25,6 +25,10 @@ type t = {
   xenloop_poll_interval : Sim.Time.span;
   xenloop_queues : int;
   xenloop_waiting_list_max : int;
+  xenloop_zerocopy : bool;
+  xenloop_inline_max : int;
+  xenloop_pool_slots : int;
+  xenloop_pool_slot_pages : int;
   discovery_period : Sim.Time.span;
   netfront_tx : Sim.Time.span;
   netfront_rx : Sim.Time.span;
@@ -70,6 +74,10 @@ let default =
     xenloop_poll_interval = Sim.Time.of_us_f 2.0;
     xenloop_queues = 4;
     xenloop_waiting_list_max = 1024;
+    xenloop_zerocopy = true;
+    xenloop_inline_max = 256;
+    xenloop_pool_slots = 64;
+    xenloop_pool_slot_pages = 5;
     discovery_period = Sim.Time.sec 5;
     netfront_tx = Sim.Time.of_us_f 1.0;
     netfront_rx = Sim.Time.of_us_f 1.0;

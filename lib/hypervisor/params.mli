@@ -61,6 +61,24 @@ type t = {
   xenloop_waiting_list_max : int;
       (** per-queue waiting-list bound; overflow frames take the standard
           netfront path instead of growing the queue without limit *)
+  xenloop_zerocopy : bool;
+      (** advertise and use the zero-copy descriptor channel: payloads above
+          [xenloop_inline_max] are written once into a grant-mapped payload
+          pool and the FIFO entry carries only a descriptor; [false] (or a
+          peer that doesn't speak it) restores the two-copy inline path
+          bit-for-bit *)
+  xenloop_inline_max : int;
+      (** largest payload still copied inline through the FIFO when
+          zero-copy is on; each side applies max(own, peer's stamp) so both
+          ends agree conservatively (paper-faithful copy path below it) *)
+  xenloop_pool_slots : int;
+      (** payload-pool slots per queue per direction (power of two); the
+          pool is granted and mapped once at connect, amortizing map
+          hypercalls over the channel lifetime *)
+  xenloop_pool_slot_pages : int;
+      (** pages per pool slot; must fit the largest TSO frame that reaches
+          the hook (gso_size + link/IP/TCP headers) or large TCP frames
+          degrade to the inline path *)
   discovery_period : Sim.Time.span;
       (** Dom0 domain-discovery scan interval (paper: 5 s) *)
   (* --- Netfront / netback split driver --- *)

@@ -4,6 +4,8 @@ type op =
   | Page_zero
   | Event_notify
   | Domain_switch
+  | Grant_map
+  | Grant_unmap
 
 type t = {
   by_hypercall : (string, int) Hashtbl.t;
@@ -12,6 +14,8 @@ type t = {
   mutable zeroes : int;
   mutable notifies : int;
   mutable switches : int;
+  mutable maps : int;
+  mutable unmaps : int;
 }
 
 let create () =
@@ -22,6 +26,8 @@ let create () =
     zeroes = 0;
     notifies = 0;
     switches = 0;
+    maps = 0;
+    unmaps = 0;
   }
 
 let record t = function
@@ -33,6 +39,8 @@ let record t = function
   | Page_zero -> t.zeroes <- t.zeroes + 1
   | Event_notify -> t.notifies <- t.notifies + 1
   | Domain_switch -> t.switches <- t.switches + 1
+  | Grant_map -> t.maps <- t.maps + 1
+  | Grant_unmap -> t.unmaps <- t.unmaps + 1
 
 let hypercalls t = t.total_hypercalls
 
@@ -43,6 +51,8 @@ let bytes_copied t = t.copied
 let page_zeroes t = t.zeroes
 let event_notifies t = t.notifies
 let domain_switches t = t.switches
+let grant_maps t = t.maps
+let grant_unmaps t = t.unmaps
 
 let reset t =
   Hashtbl.reset t.by_hypercall;
@@ -50,7 +60,9 @@ let reset t =
   t.copied <- 0;
   t.zeroes <- 0;
   t.notifies <- 0;
-  t.switches <- 0
+  t.switches <- 0;
+  t.maps <- 0;
+  t.unmaps <- 0
 
 let merge_into ~src ~dst =
   Hashtbl.iter
@@ -62,9 +74,11 @@ let merge_into ~src ~dst =
   dst.copied <- dst.copied + src.copied;
   dst.zeroes <- dst.zeroes + src.zeroes;
   dst.notifies <- dst.notifies + src.notifies;
-  dst.switches <- dst.switches + src.switches
+  dst.switches <- dst.switches + src.switches;
+  dst.maps <- dst.maps + src.maps;
+  dst.unmaps <- dst.unmaps + src.unmaps
 
 let pp fmt t =
   Format.fprintf fmt
-    "hypercalls=%d copied=%dB zeroes=%d notifies=%d switches=%d"
-    t.total_hypercalls t.copied t.zeroes t.notifies t.switches
+    "hypercalls=%d copied=%dB zeroes=%d notifies=%d switches=%d maps=%d unmaps=%d"
+    t.total_hypercalls t.copied t.zeroes t.notifies t.switches t.maps t.unmaps

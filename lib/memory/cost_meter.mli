@@ -14,6 +14,8 @@ type op =
   | Page_zero
   | Event_notify
   | Domain_switch
+  | Grant_map  (** one granted page mapped — a per-connect setup cost *)
+  | Grant_unmap
 
 val create : unit -> t
 
@@ -22,9 +24,19 @@ val record : t -> op -> unit
 val hypercalls : t -> int
 val hypercall_count : t -> string -> int
 val bytes_copied : t -> int
+(** Per-packet data-path copies.  Kept distinct from {!grant_maps} so a
+    copies-per-byte figure never smears one-time connect costs over the
+    packets that follow. *)
+
 val page_zeroes : t -> int
 val event_notifies : t -> int
 val domain_switches : t -> int
+
+val grant_maps : t -> int
+(** Granted pages mapped (one-time per-connect costs, amortized over the
+    channel lifetime — not per-packet work). *)
+
+val grant_unmaps : t -> int
 
 val reset : t -> unit
 

@@ -91,6 +91,7 @@ let map t gref ~by ~meter =
   | Ok { kind = Transfer _; _ } -> Error Wrong_kind
   | Ok { kind = Access a; _ } ->
       a.mapped <- true;
+      Cost_meter.record meter Cost_meter.Grant_map;
       Ok a.page
 
 let unmap t gref ~by ~meter =
@@ -102,6 +103,7 @@ let unmap t gref ~by ~meter =
       if not a.mapped then Error Not_mapped
       else begin
         a.mapped <- false;
+        Cost_meter.record meter Cost_meter.Grant_unmap;
         Ok ()
       end
 

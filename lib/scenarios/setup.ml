@@ -84,7 +84,7 @@ let build_inter_machine ~params =
 (* --- Scenarios 2 and 3: two guests on one Xen machine --- *)
 
 let build_xen_machine ~params ~with_xenloop ~fifo_k ~client_queues ~server_queues
-    ~trace ~cpu_model =
+    ~client_zerocopy ~server_zerocopy ~trace ~cpu_model =
   let engine = Sim.Engine.create () in
   let machine = Machine.create ~engine ~params ~id:0 ?cpu_model () in
   let dom0 = Machine.dom0 machine in
@@ -115,12 +115,12 @@ let build_xen_machine ~params ~with_xenloop ~fifo_k ~client_queues ~server_queue
       let m1 =
         Xenloop.Guest_module.create ~domain:_d1 ~stack:client.Endpoint.stack
           ~current_machine:(fun () -> machine)
-          ?fifo_k ?max_queues:client_queues ?trace ()
+          ?fifo_k ?max_queues:client_queues ?zerocopy:client_zerocopy ?trace ()
       in
       let m2 =
         Xenloop.Guest_module.create ~domain:_d2 ~stack:server.Endpoint.stack
           ~current_machine:(fun () -> machine)
-          ?fifo_k ?max_queues:server_queues ?trace ()
+          ?fifo_k ?max_queues:server_queues ?zerocopy:server_zerocopy ?trace ()
       in
       let discovery =
         Xenloop.Discovery.start ~machine ~dom0_stack:dom0_ep.Endpoint.stack ()
@@ -242,14 +242,15 @@ let build_cluster ?(params = Params.default) ?fifo_k ?queues ?cpu_model ~guests:
   { c_engine = engine; c_params = params; c_machine = machine; guests;
     c_discovery = discovery; c_warmup }
 
-let build ?(params = Params.default) ?fifo_k ?client_queues ?server_queues ?trace
-    ?cpu_model kind =
+let build ?(params = Params.default) ?fifo_k ?client_queues ?server_queues
+    ?client_zerocopy ?server_zerocopy ?trace ?cpu_model kind =
   match kind with
   | Inter_machine -> build_inter_machine ~params
   | Netfront_netback ->
       build_xen_machine ~params ~with_xenloop:false ~fifo_k:None ~client_queues:None
-        ~server_queues:None ~trace ~cpu_model
+        ~server_queues:None ~client_zerocopy:None ~server_zerocopy:None ~trace
+        ~cpu_model
   | Xenloop_path ->
       build_xen_machine ~params ~with_xenloop:true ~fifo_k ~client_queues
-        ~server_queues ~trace ~cpu_model
+        ~server_queues ~client_zerocopy ~server_zerocopy ~trace ~cpu_model
   | Native_loopback -> build_native_loopback ~params

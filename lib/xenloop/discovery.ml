@@ -24,13 +24,20 @@ let scan t =
         match Xenstore.read xs ~caller:Xenstore.dom0 ~path:(advert_path ~domid) with
         | Error _ -> None
         | Ok advert -> (
-            (* The advert value is the guest's queue count; the original
-               single-queue module wrote "1", and anything unparsable is
-               treated the same way (version gating). *)
-            let queues =
-              match int_of_string_opt (String.trim advert) with
-              | Some q when q >= 1 -> q
-              | Some _ | None -> 1
+            (* The advert value is the guest's queue count, optionally
+               followed by capability tokens ("4 zc" for a zero-copy
+               guest).  The original single-queue module wrote "1", and
+               anything unparsable is treated the same way (version
+               gating); an old Dom0 reading "4 zc" likewise fails its
+               int parse and falls back to one queue, no pools. *)
+            let queues, zc =
+              match String.split_on_char ' ' (String.trim advert) with
+              | count :: caps ->
+                  ( (match int_of_string_opt count with
+                    | Some q when q >= 1 -> q
+                    | Some _ | None -> 1),
+                    List.mem "zc" caps )
+              | [] -> (1, false)
             in
             match
               ( Xenstore.read xs ~caller:Xenstore.dom0
@@ -47,6 +54,7 @@ let scan t =
                         entry_mac = mac;
                         entry_ip = ip;
                         entry_queues = queues;
+                        entry_zc = zc;
                       }
                 | _ -> None)
             | _ -> None))

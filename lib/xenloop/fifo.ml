@@ -55,6 +55,7 @@ let carve_queue ~pool ~k ~index =
   }
 
 let entry_magic = 0x584C (* "XL" *)
+let flag_desc = 1
 
 let get_u32_int page off = Int32.to_int (Page.get_u32 page off) land mask32
 let set_u32_int page off v = Page.set_u32 page off (Int32.of_int (v land mask32))
@@ -173,7 +174,7 @@ let try_push t payload =
       let b = back t in
       let slot_index = b land (t.fifo_slots - 1) in
       let byte_at = slot_index * slot_bytes in
-      (* Metadata word: u32 length, u16 magic, u16 reserved. *)
+      (* Metadata word: u32 length, u16 magic, u16 flags (none set). *)
       let meta = t.scratch in
       Bytes.set_int32_le meta 0 (Int32.of_int len);
       Bytes.set_uint16_le meta 4 entry_magic;
@@ -188,14 +189,108 @@ let try_push t payload =
     end
   end
 
-let push_many t payloads =
-  let rec go n = function
-    | [] -> n
-    | payload :: rest -> if try_push t payload then go (n + 1) rest else n
-  in
-  go 0 payloads
+(* A descriptor entry occupies exactly two slots: the metadata word with
+   the descriptor flag set, then one payload word carrying
+   {slot, proto_hint, offset} into the channel's payload pool. *)
 
-let pop t =
+let try_push_desc t ~slot ~offset ~len ~proto_hint =
+  if len <= 0 || not (is_active t) then false
+  else if free_slots t < 2 then false
+  else begin
+    let b = back t in
+    let slot_index = b land (t.fifo_slots - 1) in
+    let byte_at = slot_index * slot_bytes in
+    let meta = t.scratch in
+    Bytes.set_int32_le meta 0 (Int32.of_int len);
+    Bytes.set_uint16_le meta 4 entry_magic;
+    Bytes.set_uint16_le meta 6 flag_desc;
+    write_ring t ~at:byte_at ~src:meta ~src_off:0 ~len:slot_bytes;
+    Bytes.set_uint16_le meta 0 slot;
+    Bytes.set_uint16_le meta 2 proto_hint;
+    Bytes.set_int32_le meta 4 (Int32.of_int offset);
+    write_ring t
+      ~at:((byte_at + slot_bytes) mod ring_bytes t)
+      ~src:meta ~src_off:0 ~len:slot_bytes;
+    set_u32_int t.desc off_back (b + 2);
+    true
+  end
+
+(* A payload goes through the pool when it is above the negotiated inline
+   threshold but still small enough for both a pool slot and an inline
+   fallback — keeping every descriptor-eligible packet degradable to the
+   copy path when the pool runs dry. *)
+let desc_eligible t ~pool ~inline_max len =
+  len > inline_max && len <= Payload_pool.slot_bytes pool && len <= max_packet t
+
+type push_outcome = Pushed of { desc : bool; pool_fallback : bool } | Push_failed
+
+let push t ?pool ?(inline_max = max_int) ?(proto_hint = 0) payload =
+  let len = Bytes.length payload in
+  match pool with
+  | Some pool when desc_eligible t ~pool ~inline_max len -> (
+      match Payload_pool.alloc pool with
+      | Some slot ->
+          if not (is_active t) || free_slots t < 2 then begin
+            (* Don't burn a pool slot on a push the FIFO refuses; the
+               caller queues the frame and retries. *)
+            Payload_pool.unalloc pool slot;
+            Push_failed
+          end
+          else begin
+            Payload_pool.write pool ~slot ~src:payload ~len;
+            if try_push_desc t ~slot ~offset:0 ~len ~proto_hint then
+              Pushed { desc = true; pool_fallback = false }
+            else begin
+              Payload_pool.unalloc pool slot;
+              Push_failed
+            end
+          end
+      | None ->
+          (* Pool exhausted: transparently degrade this packet to the
+             inline copy path rather than blocking behind the receiver's
+             slot returns. *)
+          if try_push t payload then Pushed { desc = false; pool_fallback = true }
+          else Push_failed)
+  | _ ->
+      if try_push t payload then Pushed { desc = false; pool_fallback = false }
+      else Push_failed
+
+let can_accept_entry t ?pool ?(inline_max = max_int) len =
+  match pool with
+  | Some pool when desc_eligible t ~pool ~inline_max len ->
+      if Payload_pool.free_slots pool > 0 then
+        len > 0 && free_slots t >= 2 && is_active t
+      else can_accept t len
+  | _ -> can_accept t len
+
+type push_report = {
+  pr_pushed : int;
+  pr_desc : int;
+  pr_inline : int;
+  pr_fallbacks : int;
+}
+
+let push_many t ?pool ?inline_max ?proto_hint payloads =
+  let pushed = ref 0 and descs = ref 0 and inlines = ref 0 and fallbacks = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | payload :: rest -> (
+        match push t ?pool ?inline_max ?proto_hint payload with
+        | Push_failed -> ()
+        | Pushed { desc; pool_fallback } ->
+            incr pushed;
+            if desc then incr descs else incr inlines;
+            if pool_fallback then incr fallbacks;
+            go rest)
+  in
+  go payloads;
+  { pr_pushed = !pushed; pr_desc = !descs; pr_inline = !inlines; pr_fallbacks = !fallbacks }
+
+type entry =
+  | Inline of Bytes.t
+  | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int }
+
+let pop_entry t =
   if is_empty t then None
   else begin
     let f = front t in
@@ -205,14 +300,36 @@ let pop t =
     read_ring t ~at:byte_at ~dst:meta ~dst_off:0 ~len:slot_bytes;
     let len = Int32.to_int (Bytes.get_int32_le meta 0) in
     let magic = Bytes.get_uint16_le meta 4 in
-    if magic <> entry_magic || len <= 0 || len > max_packet t then
+    let flags = Bytes.get_uint16_le meta 6 in
+    if magic <> entry_magic || len <= 0 then
       invalid_arg "Fifo.pop: corrupt entry metadata"
+    else if flags land flag_desc <> 0 then begin
+      read_ring t
+        ~at:((byte_at + slot_bytes) mod ring_bytes t)
+        ~dst:meta ~dst_off:0 ~len:slot_bytes;
+      let d_slot = Bytes.get_uint16_le meta 0 in
+      let d_proto = Bytes.get_uint16_le meta 2 in
+      let d_off = Int32.to_int (Bytes.get_int32_le meta 4) in
+      set_u32_int t.desc off_front (f + 2);
+      Some (Desc { d_slot; d_off; d_len = len; d_proto })
+    end
+    else if len > max_packet t then invalid_arg "Fifo.pop: corrupt entry metadata"
     else begin
       let payload = Bytes.create len in
       read_ring t
         ~at:((byte_at + slot_bytes) mod ring_bytes t)
         ~dst:payload ~dst_off:0 ~len;
       set_u32_int t.desc off_front (f + slots_for_payload len);
-      Some payload
+      Some (Inline payload)
     end
   end
+
+let pop t =
+  match pop_entry t with
+  | None -> None
+  | Some (Inline payload) -> Some payload
+  | Some (Desc _) ->
+      (* A descriptor on a channel whose consumer has no pool mapped means
+         the endpoints disagree about the negotiation — treat it like any
+         other framing corruption. *)
+      invalid_arg "Fifo.pop: descriptor entry on an inline-only consumer"

@@ -84,16 +84,80 @@ val can_accept : t -> int -> bool
     from slot arithmetic. *)
 
 val try_push : t -> Bytes.t -> bool
-(** [false] when the payload does not fit in the free space (caller queues
-    it on the waiting list). *)
+(** Inline push: [false] when the payload does not fit in the free space
+    (caller queues it on the waiting list). *)
 
-val push_many : t -> Bytes.t list -> int
+(** {1 Descriptor entries (zero-copy payload pool)}
+
+    With a {!Payload_pool} attached to the channel direction, payloads
+    above the negotiated inline threshold are written once into a pool
+    slot and the FIFO carries only a two-slot {e descriptor} entry —
+    metadata word plus [{slot, offset, len, proto_hint}] — consumed in
+    place by the receiver (DESIGN.md §7).  Without a pool every call
+    below behaves bit-for-bit like the inline path. *)
+
+type push_outcome = Pushed of { desc : bool; pool_fallback : bool } | Push_failed
+(** [desc] — the entry went through the payload pool; [pool_fallback] —
+    it was descriptor-eligible but the pool was exhausted, so it degraded
+    to the inline copy path. *)
+
+val push :
+  t ->
+  ?pool:Payload_pool.t ->
+  ?inline_max:int ->
+  ?proto_hint:int ->
+  Bytes.t ->
+  push_outcome
+(** The one producer entry point for a pooled channel.  Payloads at or
+    below [inline_max] (or with no [pool]) take the inline path exactly
+    as {!try_push}; eligible larger payloads allocate a pool slot, pay
+    their single copy into it, and publish a descriptor.  A refused push
+    never consumes a pool slot. *)
+
+val try_push_desc :
+  t -> slot:int -> offset:int -> len:int -> proto_hint:int -> bool
+(** Publish a descriptor for a payload already written to the pool
+    (two FIFO slots).  Exposed for tests; {!push} is the normal caller. *)
+
+val can_accept_entry : t -> ?pool:Payload_pool.t -> ?inline_max:int -> int -> bool
+(** {!can_accept} generalized over the descriptor path: whether {!push}
+    with the same pool and threshold would succeed right now.  The one
+    authoritative admission check for pooled queues. *)
+
+type push_report = {
+  pr_pushed : int;  (** entries that entered the FIFO *)
+  pr_desc : int;  (** of those, descriptor-backed *)
+  pr_inline : int;  (** of those, inline (copy path) *)
+  pr_fallbacks : int;  (** inline entries that were pool-exhaustion degradations *)
+}
+
+val push_many :
+  t ->
+  ?pool:Payload_pool.t ->
+  ?inline_max:int ->
+  ?proto_hint:int ->
+  Bytes.t list ->
+  push_report
 (** Push a burst of payloads in order, stopping at the first that does not
-    fit; returns the number pushed.  One batched producer publish — the
-    caller charges the amortized CPU cost and issues the single trailing
-    notification. *)
+    fit; reports how many entered and how they were backed (so per-queue
+    stats distinguish descriptor from copy traffic).  One batched producer
+    publish — the caller charges the amortized CPU cost and issues the
+    single trailing notification. *)
+
+type entry =
+  | Inline of Bytes.t
+  | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int }
+
+val pop_entry : t -> entry option
+(** Consume the next entry, whichever kind it is.  For [Desc] the caller
+    resolves the payload against its mapped pool and returns the slot on
+    the pool's free ring.
+    @raise Invalid_argument on corrupt entry metadata. *)
 
 val pop : t -> Bytes.t option
+(** Inline-only consumer view of {!pop_entry}.
+    @raise Invalid_argument on corrupt metadata or a descriptor entry
+    (an endpoint without a pool must never see one). *)
 
 val is_active : t -> bool
 val mark_inactive : t -> unit

@@ -24,6 +24,9 @@ type stats = {
   mutable steered_packets : int;
   mutable flow_cache_hits : int;
   mutable flow_cache_misses : int;
+  mutable desc_tx : int;
+  mutable inline_tx : int;
+  mutable pool_fallbacks : int;
 }
 
 type role = Listener | Connector
@@ -38,6 +41,14 @@ type queue = {
   in_fifo : Fifo.t;
   q_port : Ec.port;  (** this endpoint's event-channel port for this queue *)
   waiting : Bytes.t Queue.t;  (** serialized frames awaiting FIFO space *)
+  q_tx_pool : Payload_pool.t option;
+      (** payload pool our sends write into (zero-copy channels only);
+          per queue, so steering stays lock-free *)
+  q_rx_pool : Payload_pool.t option;
+      (** pool the peer writes into; we consume in place and return slots *)
+  q_inline_max : int;
+      (** effective inline threshold: max of our configured value and the
+          listener's stamp in the pool control page *)
   mutable q_busy : bool;
       (** an event handler is draining this queue (guards against
           re-entrant handlers interleaving across CPU charges) *)
@@ -47,6 +58,9 @@ type queue = {
   mutable q_notifies_sent : int;
   mutable q_notifies_suppressed : int;
   mutable q_steered : int;
+  mutable q_desc_tx : int;
+  mutable q_inline_tx : int;
+  mutable q_pool_fallbacks : int;
 }
 
 type channel = {
@@ -76,6 +90,7 @@ type t = {
   current_machine : unit -> Machine.t;
   k : int;
   max_queues : int;  (** what we advertise; channels carry the negotiated min *)
+  zerocopy : bool;  (** whether we advertise the zero-copy descriptor channel *)
   mapping : Mapping_table.t;
   peers : (int, peer_state) Hashtbl.t;
   flow_cache : (Steering.flow_key, cache_entry) Hashtbl.t;
@@ -136,6 +151,9 @@ type queue_stat = {
   qs_notifies_suppressed : int;
   qs_steered : int;
   qs_waiting : int;
+  qs_desc_tx : int;
+  qs_inline_tx : int;
+  qs_pool_fallbacks : int;
 }
 
 let queue_stats t ~domid =
@@ -148,9 +166,18 @@ let queue_stats t ~domid =
             qs_notifies_suppressed = q.q_notifies_suppressed;
             qs_steered = q.q_steered;
             qs_waiting = Queue.length q.waiting;
+            qs_desc_tx = q.q_desc_tx;
+            qs_inline_tx = q.q_inline_tx;
+            qs_pool_fallbacks = q.q_pool_fallbacks;
           })
         ch.queues
   | Some (Bootstrapping _) | None -> [||]
+
+let zerocopy_active t ~domid =
+  match Hashtbl.find_opt t.peers domid with
+  | Some (Active ch) ->
+      ch.connected && Array.exists (fun q -> q.q_tx_pool <> None) ch.queues
+  | Some (Bootstrapping _) | None -> false
 
 let trace t cat fmt =
   match t.trace with
@@ -170,13 +197,14 @@ let meter t = Domain.meter t.domain
 let advertise t =
   let machine = t.current_machine () in
   let domid = my_domid t in
-  (* The advert value is the advertised queue count; the original module
-     wrote "1", which is exactly what a single-queue configuration still
-     produces (version gating). *)
+  (* The advert value is the advertised queue count, plus a "zc" token
+     when this guest speaks the zero-copy descriptor channel; the
+     original module wrote "1", which is exactly what a single-queue
+     non-zero-copy configuration still produces (version gating). *)
   match
     Xenstore.write (Machine.xenstore machine) ~caller:domid
       ~path:(Discovery.advert_path ~domid)
-      ~value:(string_of_int t.max_queues)
+      ~value:(string_of_int t.max_queues ^ if t.zerocopy then " zc" else "")
   with
   | Ok () | Error _ -> ()
 
@@ -217,14 +245,58 @@ let notify_peer ?(force = false) t q =
          ~port:q.q_port ~meter:(meter t))
   end
 
-(* Copy a serialized frame into the outgoing FIFO, charging the two-copy
-   data path's sender half (paper Sect. 3.3, "Data transfer"). *)
+(* The IP protocol number straight out of the serialized frame (Ethernet
+   header + IPv4 protocol byte) — a descriptor hint only, so 0 for
+   anything that is not a long-enough IPv4 frame. *)
+let proto_hint_of raw =
+  if Bytes.length raw >= 24 && Bytes.get_uint16_be raw 12 = 0x0800 then
+    Bytes.get_uint8 raw 23
+  else 0
+
+let record_copy t len =
+  Memory.Cost_meter.record (meter t) (Memory.Cost_meter.Page_copy len)
+
+let note_outcome t q (outcome : Fifo.push_outcome) =
+  match outcome with
+  | Fifo.Push_failed -> false
+  | Fifo.Pushed { desc; pool_fallback } ->
+      if desc then begin
+        q.q_desc_tx <- q.q_desc_tx + 1;
+        t.s.desc_tx <- t.s.desc_tx + 1
+      end
+      else begin
+        q.q_inline_tx <- q.q_inline_tx + 1;
+        t.s.inline_tx <- t.s.inline_tx + 1
+      end;
+      if pool_fallback then begin
+        q.q_pool_fallbacks <- q.q_pool_fallbacks + 1;
+        t.s.pool_fallbacks <- t.s.pool_fallbacks + 1
+      end;
+      true
+
+(* Write a serialized frame into the outgoing channel, charging the
+   sender half of the data path (paper Sect. 3.3, "Data transfer").  The
+   sender always pays exactly one copy — into the FIFO on the inline
+   path, into its payload-pool slot on the descriptor path — so the
+   sender-side cost is identical either way; zero-copy wins on the
+   receiver, which consumes pool payloads in place. *)
 let push_frame t q raw =
   let p = params t in
+  let len = Bytes.length raw in
   Sim.Resource.use (cpu t)
-    (Sim.Time.span_add p.Params.xenloop_fifo_op
-       (Params.xenloop_copy_cost p (Bytes.length raw)));
-  Fifo.try_push q.out_fifo raw
+    (Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
+  let outcome =
+    Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
+      ~proto_hint:(proto_hint_of raw) raw
+  in
+  let ok = note_outcome t q outcome in
+  if ok then record_copy t len;
+  ok
+
+(* Whether a frame of this size would enter the queue right now —
+   {!Fifo.can_accept} generalized over this queue's descriptor path. *)
+let queue_can_accept q len =
+  Fifo.can_accept_entry q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max len
 
 (* A frame the bounded waiting list cannot hold leaves through the standard
    netfront path instead: the fast path degrades to the baseline, it never
@@ -258,7 +330,7 @@ let drain_waiting t q =
     let continue_draining = ref true in
     while !continue_draining && not (Queue.is_empty q.waiting) do
       let raw = Queue.peek q.waiting in
-      if Fifo.can_accept q.out_fifo (Bytes.length raw) && push_frame t q raw
+      if queue_can_accept q (Bytes.length raw) && push_frame t q raw
       then begin
         ignore (Queue.pop q.waiting);
         t.s.via_channel_tx <- t.s.via_channel_tx + 1;
@@ -318,10 +390,16 @@ let send_batch t q raws =
           (fun raw ->
             if !overflowed then enqueue_waiting t q raw
             else begin
-              Sim.Resource.use (cpu t)
-                (Params.xenloop_copy_cost p (Bytes.length raw));
-              if Fifo.try_push q.out_fifo raw then
+              let len = Bytes.length raw in
+              Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
+              let outcome =
+                Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
+                  ~proto_hint:(proto_hint_of raw) raw
+              in
+              if note_outcome t q outcome then begin
+                record_copy t len;
                 t.s.via_channel_tx <- t.s.via_channel_tx + 1
+              end
               else begin
                 overflowed := true;
                 enqueue_waiting t q raw
@@ -364,32 +442,61 @@ let drain_incoming t q =
   let consumed = ref 0 in
   let p = params t in
   let continue_draining = ref true in
+  let inject raw =
+    incr consumed;
+    match Netcore.Codec.parse raw with
+    | Ok packet ->
+        t.s.via_channel_rx <- t.s.via_channel_rx + 1;
+        Stack.inject_rx t.stack packet
+    | Error _ ->
+        (* An individual frame that fails to parse is dropped; the FIFO
+           framing itself is still sound. *)
+        ()
+  in
   while !continue_draining do
-    match Fifo.pop q.in_fifo with
+    match Fifo.pop_entry q.in_fifo with
     | exception Invalid_argument _ ->
         (* The peer scribbled over the shared FIFO state.  Never trust it,
            never crash: poison the channel and let the caller disengage. *)
         raise Corrupt_channel
     | None -> continue_draining := false
-    | Some raw -> (
+    | Some entry -> (
         (* Receiver half of the batch amortization: the first frame of a
            drain pays the FIFO bookkeeping, the rest only their copies. *)
         let bookkeeping =
           if p.Params.xenloop_batch_tx && !consumed > 0 then Sim.Time.span_zero
           else p.Params.xenloop_fifo_op
         in
-        Sim.Resource.use (cpu t)
-          (Sim.Time.span_add bookkeeping
-             (Params.xenloop_copy_cost p (Bytes.length raw)));
-        incr consumed;
-        match Netcore.Codec.parse raw with
-        | Ok packet ->
-            t.s.via_channel_rx <- t.s.via_channel_rx + 1;
-            Stack.inject_rx t.stack packet
-        | Error _ ->
-            (* An individual frame that fails to parse is dropped; the FIFO
-               framing itself is still sound. *)
-            ())
+        match entry with
+        | Fifo.Inline raw ->
+            let len = Bytes.length raw in
+            Sim.Resource.use (cpu t)
+              (Sim.Time.span_add bookkeeping (Params.xenloop_copy_cost p len));
+            record_copy t len;
+            inject raw
+        | Fifo.Desc { d_slot; d_off; d_len; d_proto = _ } -> (
+            match q.q_rx_pool with
+            | None ->
+                (* A descriptor on a channel we never negotiated pools for:
+                   the peer is off-protocol. *)
+                raise Corrupt_channel
+            | Some pool ->
+                if
+                  d_slot < 0
+                  || d_slot >= Payload_pool.slots pool
+                  || d_off < 0 || d_len <= 0
+                  || d_off + d_len > Payload_pool.slot_bytes pool
+                then raise Corrupt_channel
+                else begin
+                  (* The zero-copy receive half: the payload is consumed in
+                     place out of the mapped pool — bookkeeping only, no
+                     copy charged and none recorded — and the slot goes
+                     back on the shared free ring. *)
+                  Sim.Resource.use (cpu t) bookkeeping;
+                  let raw = Payload_pool.read pool ~slot:d_slot ~off:d_off ~len:d_len in
+                  Payload_pool.free pool d_slot;
+                  inject raw
+                end))
   done;
   !consumed
 
@@ -449,8 +556,20 @@ let teardown_channel t ~save ch =
         (try
            let reclaiming = ref true in
            while !reclaiming do
-             match Fifo.pop q.out_fifo with
-             | Some raw -> Queue.push raw stranded
+             match Fifo.pop_entry q.out_fifo with
+             | Some (Fifo.Inline raw) -> Queue.push raw stranded
+             | Some (Fifo.Desc { d_slot; d_off; d_len; _ }) -> (
+                 (* A descriptor the peer never consumed: we wrote the
+                    payload, so we can read it back out of our own tx pool
+                    before the pool pages are released with the channel.
+                    No slot return needed — the free ring dies with the
+                    pages. *)
+                 match q.q_tx_pool with
+                 | Some pool ->
+                     Queue.push
+                       (Payload_pool.read pool ~slot:d_slot ~off:d_off ~len:d_len)
+                       stranded
+                 | None -> ())
              | None -> reclaiming := false
            done
          with Invalid_argument _ -> ());
@@ -549,7 +668,7 @@ let poll_for_more t q =
       else if
         (not (Fifo.is_empty q.in_fifo))
         || ((not (Queue.is_empty q.waiting))
-           && Fifo.can_accept q.out_fifo (Bytes.length (Queue.peek q.waiting)))
+           && queue_can_accept q (Bytes.length (Queue.peek q.waiting)))
       then got_work := true
       else if Sim.Time.(Sim.Engine.now (engine t) >= deadline) then stop := true
     done;
@@ -666,28 +785,65 @@ let rec send_create_with_retry t ~peer_domid ~peer_mac ~msg ba =
           end
       | _ -> ())
 
-let listener_create t ~peer_domid ~peer_mac ~peer_queues =
+let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
   let machine = t.current_machine () in
   let domid = my_domid t in
+  let p = params t in
   match Machine.grant_table machine domid with
   | None -> ()
   | Some gt -> (
       (* The negotiated count: the min of what both sides advertise, so a
          single-queue peer gets exactly the paper's one FIFO pair. *)
       let nq = max 1 (min t.max_queues peer_queues) in
+      (* Zero-copy needs both ends willing; a misconfigured pool geometry
+         quietly downgrades the channel to the inline path rather than
+         failing the bootstrap. *)
+      let slots = p.Params.xenloop_pool_slots in
+      let slot_pages = p.Params.xenloop_pool_slot_pages in
+      let use_pools =
+        t.zerocopy && peer_zc && Payload_pool.geometry_valid ~slots ~slot_pages
+      in
+      let inline_max = max 0 p.Params.xenloop_inline_max in
+      let fifo_pages = Fifo.pages_for_queues ~k:t.k ~queues:nq in
+      let pool_pages_each =
+        if use_pools then Payload_pool.pages_for ~slots ~slot_pages else 0
+      in
       let frames = Machine.frame_allocator machine in
       (* Channel memory is real machine memory, charged to the listener;
-         one atomic grab covers every queue's descriptor and data pages,
-         so a channel never comes up with some queues memory-less. *)
+         one atomic grab covers every queue's descriptor, data, and
+         payload-pool pages, so a channel never comes up with some queues
+         memory-less or descriptor-capable in one direction only. *)
       match
         Memory.Frame_allocator.allocate_many frames ~owner:domid
-          ~count:(Fifo.pages_for_queues ~k:t.k ~queues:nq)
+          ~count:(fifo_pages + (nq * 2 * pool_pages_each))
       with
       | Error Memory.Frame_allocator.Out_of_frames -> ()
       | Ok pool ->
           let ec = Machine.evtchn machine in
           let all_grefs = ref [] in
           let all_ports = ref [] in
+          let build_pool ~qi ~dir =
+            (* Pool pages sit after the FIFO stripes: [lc | cl] per queue,
+               in queue order. *)
+            let base = fifo_pages + (((qi * 2) + dir) * pool_pages_each) in
+            let ctrl = pool.(base) in
+            let data = Array.sub pool (base + 1) (slots * slot_pages) in
+            let pp =
+              Payload_pool.init ~ctrl ~data ~slots ~slot_pages ~inline_max
+            in
+            let ctrl_gref =
+              Gt.grant_access gt ~to_dom:peer_domid ~page:ctrl ~writable:true
+            in
+            let data_grefs =
+              Array.map
+                (fun page ->
+                  Gt.grant_access gt ~to_dom:peer_domid ~page ~writable:true)
+                data
+            in
+            Payload_pool.write_grefs pp data_grefs;
+            all_grefs := (ctrl_gref :: Array.to_list data_grefs) @ !all_grefs;
+            (pp, ctrl_gref)
+          in
           let make_queue qi =
             let qp = Fifo.carve_queue ~pool ~k:t.k ~index:qi in
             Fifo.init ~desc:qp.Fifo.qp_desc_lc ~data:qp.Fifo.qp_data_lc ~k:t.k;
@@ -701,6 +857,11 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues =
                 ~data:qp.Fifo.qp_data_cl
             in
             all_grefs := ((lc_gref :: lc_data) @ (cl_gref :: cl_data)) @ !all_grefs;
+            let pools =
+              if use_pools then
+                Some (build_pool ~qi ~dir:0, build_pool ~qi ~dir:1)
+              else None
+            in
             let port = Ec.alloc_unbound ec ~dom:domid ~remote:peer_domid in
             Ec.set_handler ec ~dom:domid ~port (on_event t peer_domid qi);
             all_ports := port :: !all_ports;
@@ -711,14 +872,34 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues =
                 in_fifo = Fifo.attach ~desc:qp.Fifo.qp_desc_cl ~data:qp.Fifo.qp_data_cl;
                 q_port = port;
                 waiting = Queue.create ();
+                q_tx_pool =
+                  (match pools with Some ((lc, _), _) -> Some lc | None -> None);
+                q_rx_pool =
+                  (match pools with Some (_, (cl, _)) -> Some cl | None -> None);
+                q_inline_max = inline_max;
                 q_busy = false;
                 q_tx_draining = false;
                 q_notifies_sent = 0;
                 q_notifies_suppressed = 0;
                 q_steered = 0;
+                q_desc_tx = 0;
+                q_inline_tx = 0;
+                q_pool_fallbacks = 0;
               }
             in
-            (q, { Proto.qg_lc_gref = lc_gref; qg_cl_gref = cl_gref; qg_port = port })
+            let qg_lc_pool, qg_cl_pool =
+              match pools with
+              | Some ((_, lc_gref), (_, cl_gref)) -> (Some lc_gref, Some cl_gref)
+              | None -> (None, None)
+            in
+            ( q,
+              {
+                Proto.qg_lc_gref = lc_gref;
+                qg_cl_gref = cl_gref;
+                qg_port = port;
+                qg_lc_pool;
+                qg_cl_pool;
+              } )
           in
           let built = Array.init nq make_queue in
           let queues = Array.map fst built in
@@ -745,22 +926,27 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues =
 let start_bootstrap t ~peer_domid ~peer_mac =
   trace t Sim.Trace.Bootstrap "dom%d: bootstrap towards dom%d" (my_domid t) peer_domid;
   if my_domid t < peer_domid then begin
-    (* The listener learns the peer's advertised queue count from the
-       announcement entry that put the peer in the mapping table; an entry
-       without one (or a pre-multi-queue peer) advertises 1. *)
-    let peer_queues =
+    (* The listener learns the peer's advertised queue count and zero-copy
+       capability from the announcement entry that put the peer in the
+       mapping table; an entry without them (or a pre-multi-queue peer)
+       advertises one queue, no pools. *)
+    let peer_queues, peer_zc =
       match Mapping_table.find_domid t.mapping peer_domid with
-      | Some e -> e.Proto.entry_queues
-      | None -> 1
+      | Some e -> (e.Proto.entry_queues, e.Proto.entry_zc)
+      | None -> (1, false)
     in
-    listener_create t ~peer_domid ~peer_mac ~peer_queues
+    listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc
   end
   else begin
     Hashtbl.replace t.peers peer_domid (Bootstrapping Requested_from_listener);
     t.s.bootstraps_started <- t.s.bootstraps_started + 1;
     send_ctrl t ~dst_mac:peer_mac
       (Proto.Request_channel
-         { requester_domid = my_domid t; max_queues = t.max_queues })
+         {
+           requester_domid = my_domid t;
+           max_queues = t.max_queues;
+           zerocopy = t.zerocopy;
+         })
   end
 
 (* ------------------------------------------------------------------ *)
@@ -804,34 +990,88 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
               | fifo -> Some fifo
               | exception Invalid_argument _ -> None)
       in
+      (* Mapping a payload pool is the amortization the descriptor path is
+         built on: every page — control and data — is mapped here, once,
+         at connect time ([page_map] charged per page, the map hypercalls
+         metered as per-connect costs), so pushing a descriptor later
+         costs no mapping at all. *)
+      let map_payload_pool ctrl_gref =
+        match map_page ctrl_gref with
+        | None -> None
+        | Some ctrl -> (
+            match Payload_pool.read_grefs ~ctrl with
+            | exception Invalid_argument _ -> None
+            | data_grefs -> (
+                let data = Array.map map_page data_grefs in
+                if Array.exists Option.is_none data then None
+                else
+                  match
+                    Payload_pool.attach ~ctrl
+                      ~data:(Array.map Option.get data)
+                  with
+                  | pp -> Some pp
+                  | exception Invalid_argument _ -> None))
+      in
+      let inline_max = max 0 p.Params.xenloop_inline_max in
       let rec build qi acc = function
         | [] -> Some (List.rev acc)
         | qg :: rest -> (
             match (map_fifo qg.Proto.qg_lc_gref, map_fifo qg.Proto.qg_cl_gref) with
             | Some lc_fifo, Some cl_fifo -> (
-                match
-                  Ec.bind_interdomain ec ~dom:domid ~remote:listener_domid
-                    ~remote_port:qg.Proto.qg_port
-                with
-                | Error _ -> None
-                | Ok port ->
-                    bound := port :: !bound;
-                    Ec.set_handler ec ~dom:domid ~port (on_event t listener_domid qi);
-                    let q =
-                      {
-                        q_index = qi;
-                        out_fifo = cl_fifo;
-                        in_fifo = lc_fifo;
-                        q_port = port;
-                        waiting = Queue.create ();
-                        q_busy = false;
-                        q_tx_draining = false;
-                        q_notifies_sent = 0;
-                        q_notifies_suppressed = 0;
-                        q_steered = 0;
-                      }
-                    in
-                    build (qi + 1) (q :: acc) rest)
+                let pools =
+                  match (qg.Proto.qg_lc_pool, qg.Proto.qg_cl_pool) with
+                  | None, None -> `No_pools
+                  | Some lc, Some cl -> (
+                      match (map_payload_pool lc, map_payload_pool cl) with
+                      | Some lp, Some cp -> `Pools (lp, cp)
+                      | _ -> `Failed)
+                  | _ -> `Failed
+                in
+                match pools with
+                | `Failed -> None
+                | (`No_pools | `Pools _) as pools -> (
+                    match
+                      Ec.bind_interdomain ec ~dom:domid ~remote:listener_domid
+                        ~remote_port:qg.Proto.qg_port
+                    with
+                    | Error _ -> None
+                    | Ok port ->
+                        bound := port :: !bound;
+                        Ec.set_handler ec ~dom:domid ~port
+                          (on_event t listener_domid qi);
+                        (* The connector transmits on the cl direction, so
+                           its tx pool is the cl pool; the threshold is the
+                           conservative max of both sides' settings (the
+                           listener's rides in the pool control page). *)
+                        let q_tx_pool, q_rx_pool, q_inline_max =
+                          match pools with
+                          | `No_pools -> (None, None, inline_max)
+                          | `Pools (lp, cp) ->
+                              ( Some cp,
+                                Some lp,
+                                max inline_max (Payload_pool.inline_threshold cp) )
+                        in
+                        let q =
+                          {
+                            q_index = qi;
+                            out_fifo = cl_fifo;
+                            in_fifo = lc_fifo;
+                            q_port = port;
+                            waiting = Queue.create ();
+                            q_tx_pool;
+                            q_rx_pool;
+                            q_inline_max;
+                            q_busy = false;
+                            q_tx_draining = false;
+                            q_notifies_sent = 0;
+                            q_notifies_suppressed = 0;
+                            q_steered = 0;
+                            q_desc_tx = 0;
+                            q_inline_tx = 0;
+                            q_pool_fallbacks = 0;
+                          }
+                        in
+                        build (qi + 1) (q :: acc) rest))
             | _ -> None)
       in
       match build 0 [] queue_grants with
@@ -891,13 +1131,14 @@ let on_ctrl_packet t (packet : P.t) =
         match Proto.decode data with
         | Error _ -> ()
         | Ok (Proto.Announce entries) -> on_announce t entries
-        | Ok (Proto.Request_channel { requester_domid; max_queues }) -> (
+        | Ok (Proto.Request_channel { requester_domid; max_queues; zerocopy }) -> (
             match Hashtbl.find_opt t.peers requester_domid with
             | Some _ -> ()
             | None ->
                 if my_domid t < requester_domid then
                   listener_create t ~peer_domid:requester_domid
-                    ~peer_mac:packet.P.src_mac ~peer_queues:max_queues)
+                    ~peer_mac:packet.P.src_mac ~peer_queues:max_queues
+                    ~peer_zc:zerocopy)
         | Ok (Proto.Create_channel { listener_domid; queues }) -> (
             match Hashtbl.find_opt t.peers listener_domid with
             | Some (Active ch) when ch.role = Connector ->
@@ -1135,12 +1376,15 @@ let unload t =
   end
 
 let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queues
-    ?trace () =
+    ?zerocopy ?trace () =
   let p = Stack.params stack in
   let mq =
     match max_queues with
     | Some q -> max 1 q
     | None -> max 1 p.Params.xenloop_queues
+  in
+  let zc =
+    match zerocopy with Some z -> z | None -> p.Params.xenloop_zerocopy
   in
   let t =
     {
@@ -1149,6 +1393,7 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
       current_machine;
       k = fifo_k;
       max_queues = mq;
+      zerocopy = zc;
       mapping = Mapping_table.create ();
       peers = Hashtbl.create 8;
       flow_cache = Hashtbl.create 64;
@@ -1175,6 +1420,9 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
           steered_packets = 0;
           flow_cache_hits = 0;
           flow_cache_misses = 0;
+          desc_tx = 0;
+          inline_tx = 0;
+          pool_fallbacks = 0;
         };
       loaded = true;
     }

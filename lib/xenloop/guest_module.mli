@@ -62,6 +62,16 @@ type stats = {
       (** per-flow routing-decision cache in the transmit hook; every
           soft-state replacement or channel set change invalidates it
           wholesale via an epoch counter *)
+  mutable desc_tx : int;
+      (** frames sent as payload-pool descriptors — one copy end to end
+          ({!Hypervisor.Params.xenloop_zerocopy}, DESIGN.md §7) *)
+  mutable inline_tx : int;
+      (** frames sent on the inline copy path (at or below the negotiated
+          threshold, non-zero-copy channels, and pool-exhaustion
+          degradations) *)
+  mutable pool_fallbacks : int;
+      (** descriptor-eligible frames degraded to the inline path because
+          the payload pool had no free slot *)
 }
 
 val create :
@@ -70,6 +80,7 @@ val create :
   current_machine:(unit -> Hypervisor.Machine.t) ->
   ?fifo_k:int ->
   ?max_queues:int ->
+  ?zerocopy:bool ->
   ?trace:Sim.Trace.t ->
   unit ->
   t
@@ -80,7 +91,11 @@ val create :
     paper's setting).  [max_queues] is the queue count this guest
     advertises (default {!Hypervisor.Params.xenloop_queues}); each channel
     uses the min of both endpoints' advertised values, so 1 yields exactly
-    the paper's single FIFO pair.  [trace] receives
+    the paper's single FIFO pair.  [zerocopy] is whether this guest
+    advertises the zero-copy descriptor channel (default
+    {!Hypervisor.Params.xenloop_zerocopy}); pools are set up only when
+    both endpoints advertise it, and a channel without them is bit-for-bit
+    the inline two-copy path.  [trace] receives
     bootstrap/channel/teardown/migration events when its categories are
     enabled. *)
 
@@ -117,11 +132,19 @@ type queue_stat = {
   qs_notifies_suppressed : int;
   qs_steered : int;
   qs_waiting : int;
+  qs_desc_tx : int;
+  qs_inline_tx : int;
+  qs_pool_fallbacks : int;
 }
 
 val queue_stats : t -> domid:int -> queue_stat array
 (** Per-queue counters of the active channel to this peer (index = queue
     index); [[||]] when no channel is established. *)
+
+val zerocopy_active : t -> domid:int -> bool
+(** Whether the active channel to this peer negotiated payload pools
+    (i.e. both endpoints advertised zero-copy); [false] when the channel
+    fell back to the inline path or does not exist. *)
 
 (** {1 Transport-level shortcut}
 

@@ -1,0 +1,160 @@
+module Page = Memory.Page
+
+let mask32 = 0xFFFFFFFF
+let pool_magic = 0x4C4F4F50 (* "POOL" *)
+
+(* Control page layout (byte offsets). *)
+let off_magic = 0
+let off_slots = 4
+let off_slot_pages = 8
+let off_inline_max = 12
+let off_fr_head = 16
+let off_fr_tail = 20
+let off_ring = 32
+let off_grefs ~slots = off_ring + (4 * slots)
+
+let get_u32_int page off = Int32.to_int (Page.get_u32 page off) land mask32
+let set_u32_int page off v = Page.set_u32 page off (Int32.of_int (v land mask32))
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let ctrl_fits ~slots ~slot_pages =
+  off_grefs ~slots + (4 * slots * slot_pages) <= Page.size
+
+let pages_for ~slots ~slot_pages = 1 + (slots * slot_pages)
+
+let geometry_valid ~slots ~slot_pages =
+  is_power_of_two slots && slot_pages >= 1 && ctrl_fits ~slots ~slot_pages
+
+type t = {
+  ctrl : Page.t;
+  data : Page.t array;
+  p_slots : int;
+  p_slot_pages : int;
+}
+
+let check_geometry ~what ~slots ~slot_pages =
+  if not (is_power_of_two slots) then
+    invalid_arg (Printf.sprintf "Payload_pool.%s: slots must be a power of two" what);
+  if slot_pages < 1 then
+    invalid_arg (Printf.sprintf "Payload_pool.%s: slot_pages < 1" what);
+  if not (ctrl_fits ~slots ~slot_pages) then
+    invalid_arg
+      (Printf.sprintf "Payload_pool.%s: free ring + gref table overflow the control page"
+         what)
+
+let init ~ctrl ~data ~slots ~slot_pages ~inline_max =
+  check_geometry ~what:"init" ~slots ~slot_pages;
+  if Array.length data <> slots * slot_pages then
+    invalid_arg "Payload_pool.init: wrong number of data pages";
+  Page.zero ctrl;
+  set_u32_int ctrl off_magic pool_magic;
+  set_u32_int ctrl off_slots slots;
+  set_u32_int ctrl off_slot_pages slot_pages;
+  set_u32_int ctrl off_inline_max inline_max;
+  (* Free ring starts full: every slot is available to the sender. *)
+  for i = 0 to slots - 1 do
+    set_u32_int ctrl (off_ring + (4 * i)) i
+  done;
+  set_u32_int ctrl off_fr_head 0;
+  set_u32_int ctrl off_fr_tail slots;
+  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages }
+
+let write_grefs t grefs =
+  if Array.length grefs <> t.p_slots * t.p_slot_pages then
+    invalid_arg "Payload_pool.write_grefs: wrong number of grefs";
+  let base = off_grefs ~slots:t.p_slots in
+  Array.iteri (fun i gref -> set_u32_int t.ctrl (base + (4 * i)) gref) grefs
+
+let read_grefs ~ctrl =
+  if get_u32_int ctrl off_magic <> pool_magic then
+    invalid_arg "Payload_pool.read_grefs: control page not initialized";
+  let slots = get_u32_int ctrl off_slots in
+  let slot_pages = get_u32_int ctrl off_slot_pages in
+  let base = off_grefs ~slots in
+  Array.init (slots * slot_pages) (fun i -> get_u32_int ctrl (base + (4 * i)))
+
+let attach ~ctrl ~data =
+  if get_u32_int ctrl off_magic <> pool_magic then
+    invalid_arg "Payload_pool.attach: control page not initialized";
+  let slots = get_u32_int ctrl off_slots in
+  let slot_pages = get_u32_int ctrl off_slot_pages in
+  check_geometry ~what:"attach" ~slots ~slot_pages;
+  if Array.length data <> slots * slot_pages then
+    invalid_arg "Payload_pool.attach: wrong number of data pages";
+  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages }
+
+let slots t = t.p_slots
+let slot_bytes t = t.p_slot_pages * Page.size
+let inline_threshold t = get_u32_int t.ctrl off_inline_max
+
+let fr_head t = get_u32_int t.ctrl off_fr_head
+let fr_tail t = get_u32_int t.ctrl off_fr_tail
+let free_slots t = (fr_tail t - fr_head t) land mask32
+
+(* Free-ring protocol: the ring holds slot numbers; the sender pops free
+   slots at [fr_head], the receiver pushes consumed slots back at
+   [fr_tail].  Like the FIFO indices, each 32-bit index is only ever
+   incremented by exactly one side, so no lock is needed. *)
+
+let alloc t =
+  if free_slots t = 0 then None
+  else begin
+    let h = fr_head t in
+    let slot = get_u32_int t.ctrl (off_ring + (4 * (h land (t.p_slots - 1)))) in
+    set_u32_int t.ctrl off_fr_head (h + 1);
+    Some slot
+  end
+
+let unalloc t slot =
+  (* Sender-local revert of its own most recent [alloc] (e.g. the FIFO
+     refused the descriptor): rewind the head.  Only the allocating side
+     may call this, and only before the descriptor is published. *)
+  let h = fr_head t in
+  let pos = off_ring + (4 * ((h - 1) land (t.p_slots - 1))) in
+  set_u32_int t.ctrl pos slot;
+  set_u32_int t.ctrl off_fr_head (h - 1)
+
+let free t slot =
+  if slot < 0 || slot >= t.p_slots then invalid_arg "Payload_pool.free: bad slot";
+  let tl = fr_tail t in
+  set_u32_int t.ctrl (off_ring + (4 * (tl land (t.p_slots - 1)))) slot;
+  set_u32_int t.ctrl off_fr_tail (tl + 1)
+
+(* Byte access spanning a slot's pages. *)
+
+let check_span t ~what ~slot ~off ~len =
+  if slot < 0 || slot >= t.p_slots then
+    invalid_arg (Printf.sprintf "Payload_pool.%s: bad slot" what);
+  if off < 0 || len < 0 || off + len > slot_bytes t then
+    invalid_arg (Printf.sprintf "Payload_pool.%s: out of slot bounds" what)
+
+let write t ~slot ~src ~len =
+  check_span t ~what:"write" ~slot ~off:0 ~len;
+  let base = slot * t.p_slot_pages in
+  let rec go at src_off len =
+    if len > 0 then begin
+      let page = t.data.(base + (at / Page.size)) in
+      let page_off = at mod Page.size in
+      let chunk = min len (Page.size - page_off) in
+      Page.write page ~off:page_off ~src ~src_off ~len:chunk;
+      go (at + chunk) (src_off + chunk) (len - chunk)
+    end
+  in
+  go 0 0 len
+
+let read t ~slot ~off ~len =
+  check_span t ~what:"read" ~slot ~off ~len;
+  let dst = Bytes.create len in
+  let base = slot * t.p_slot_pages in
+  let rec go at dst_off len =
+    if len > 0 then begin
+      let page = t.data.(base + (at / Page.size)) in
+      let page_off = at mod Page.size in
+      let chunk = min len (Page.size - page_off) in
+      Page.read page ~off:page_off ~dst ~dst_off ~len:chunk;
+      go (at + chunk) (dst_off + chunk) (len - chunk)
+    end
+  in
+  go off 0 len;
+  dst

@@ -1,0 +1,80 @@
+(** Grant-mapped payload pool for the zero-copy descriptor channel.
+
+    One pool per queue per direction: a control page plus a ring of
+    [slots] fixed-size slots of [slot_pages] pages each, all granted by
+    the listener and mapped once by the connector during the channel
+    handshake — so the grant-map hypercalls are paid per connect, not per
+    packet (the XWAY-style descriptor/payload split; see DESIGN.md §7).
+
+    The sender writes a payload once into a free slot and pushes only a
+    {e descriptor} through the FIFO; the receiver consumes the payload in
+    place and returns the slot on the shared free ring.  Like the FIFO
+    indices, the free ring's head and tail are free-running 32-bit
+    counters each incremented by exactly one side, so the pool is
+    lock-free.
+
+    The control page also carries the listener's [inline_max] stamp so
+    both directions agree on the copy/descriptor threshold, and the gref
+    table of the data pages so the handshake message only needs the
+    control page's own gref. *)
+
+type t
+
+val pages_for : slots:int -> slot_pages:int -> int
+(** Total pages a pool occupies: one control page + [slots * slot_pages]. *)
+
+val geometry_valid : slots:int -> slot_pages:int -> bool
+(** Whether {!init} would accept this geometry ([slots] a power of two,
+    free ring + gref table fitting the control page); a listener with an
+    invalid configured geometry creates the channel without pools. *)
+
+val init :
+  ctrl:Memory.Page.t ->
+  data:Memory.Page.t array ->
+  slots:int ->
+  slot_pages:int ->
+  inline_max:int ->
+  t
+(** Format the control page (listener side).  [slots] must be a power of
+    two and the free ring plus gref table must fit the control page.
+    @raise Invalid_argument otherwise. *)
+
+val write_grefs : t -> Memory.Grant_table.gref array -> unit
+(** Stamp the data pages' grant references into the control page, in slot
+    order ([slots * slot_pages] entries). *)
+
+val read_grefs : ctrl:Memory.Page.t -> Memory.Grant_table.gref array
+(** What the connector reads (from the mapped control page) to learn the
+    data pages it must map. *)
+
+val attach : ctrl:Memory.Page.t -> data:Memory.Page.t array -> t
+(** Attach a view over an already-initialized pool (connector side, or
+    the listener re-deriving its own view). *)
+
+val slots : t -> int
+val slot_bytes : t -> int
+(** Payload capacity of one slot. *)
+
+val inline_threshold : t -> int
+(** The listener's [xenloop_inline_max] stamp; each sender uses
+    [max own peer_stamp] so both ends stay conservative. *)
+
+val free_slots : t -> int
+
+val alloc : t -> int option
+(** Sender: pop a free slot, or [None] when the pool is exhausted (the
+    caller degrades that packet to the inline path). *)
+
+val unalloc : t -> int -> unit
+(** Sender-local revert of its own most recent {!alloc}, before the
+    descriptor is published (e.g. the FIFO refused the entry). *)
+
+val free : t -> int -> unit
+(** Receiver: return a consumed slot on the shared free ring. *)
+
+val write : t -> slot:int -> src:Bytes.t -> len:int -> unit
+(** The sender's single payload copy, into the slot's pages. *)
+
+val read : t -> slot:int -> off:int -> len:int -> Bytes.t
+(** The receiver's in-place view of a slot (materialized as bytes for the
+    simulated stack; no copy is charged for it). *)

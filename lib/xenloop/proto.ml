@@ -3,17 +3,20 @@ type entry = {
   entry_mac : Netcore.Mac.t;
   entry_ip : Netcore.Ip.t;
   entry_queues : int;
+  entry_zc : bool;
 }
 
 type queue_grant = {
   qg_lc_gref : Memory.Grant_table.gref;
   qg_cl_gref : Memory.Grant_table.gref;
   qg_port : Evtchn.Event_channel.port;
+  qg_lc_pool : Memory.Grant_table.gref option;
+  qg_cl_pool : Memory.Grant_table.gref option;
 }
 
 type t =
   | Announce of entry list
-  | Request_channel of { requester_domid : int; max_queues : int }
+  | Request_channel of { requester_domid : int; max_queues : int; zerocopy : bool }
   | Create_channel of { listener_domid : int; queues : queue_grant list }
   | Channel_ack of { connector_domid : int }
   | App_payload of {
@@ -26,15 +29,23 @@ type t =
 (* Version gating: tags 1-5 are the original single-queue wire format, kept
    bit-for-bit so a queues=1 peer (or an old binary) interoperates
    unchanged.  The multi-queue variants (6-8) are only emitted when a
-   queue count above 1 actually needs expressing; a negotiated-to-1
-   handshake therefore reproduces the paper-faithful byte stream. *)
+   queue count above 1 actually needs expressing, and the zero-copy
+   variants (9-11) only when a zero-copy capability or pool grant
+   actually needs expressing; a negotiated-down handshake therefore
+   reproduces the earlier byte streams exactly. *)
+
+let has_pool q = q.qg_lc_pool <> None || q.qg_cl_pool <> None
 
 let tag = function
   | Announce entries ->
-      if List.for_all (fun e -> e.entry_queues <= 1) entries then 1 else 6
-  | Request_channel { max_queues; _ } -> if max_queues <= 1 then 2 else 7
-  | Create_channel { queues; _ } -> (
-      match queues with [ _ ] -> 3 | _ -> 8)
+      if List.exists (fun e -> e.entry_zc) entries then 9
+      else if List.for_all (fun e -> e.entry_queues <= 1) entries then 1
+      else 6
+  | Request_channel { max_queues; zerocopy; _ } ->
+      if zerocopy then 10 else if max_queues <= 1 then 2 else 7
+  | Create_channel { queues; _ } ->
+      if List.exists has_pool queues then 11
+      else ( match queues with [ _ ] -> 3 | _ -> 8)
   | Channel_ack _ -> 4
   | App_payload _ -> 5
 
@@ -69,19 +80,28 @@ let encode msg =
           w16 buf e.entry_domid;
           wmac buf e.entry_mac;
           wip buf e.entry_ip;
-          if t = 6 then w16 buf e.entry_queues)
+          if t = 6 || t = 9 then w16 buf e.entry_queues;
+          if t = 9 then Buffer.add_char buf (Char.chr (Bool.to_int e.entry_zc)))
         entries
-  | Request_channel { requester_domid; max_queues } ->
+  | Request_channel { requester_domid; max_queues; zerocopy } ->
       w16 buf requester_domid;
-      if t = 7 then w16 buf max_queues
+      if t = 7 || t = 10 then w16 buf max_queues;
+      if t = 10 then Buffer.add_char buf (Char.chr (Bool.to_int zerocopy))
   | Create_channel { listener_domid; queues } ->
       w16 buf listener_domid;
-      if t = 8 then w16 buf (List.length queues);
+      if t = 8 || t = 11 then w16 buf (List.length queues);
       List.iter
         (fun q ->
           w32 buf q.qg_lc_gref;
           w32 buf q.qg_cl_gref;
-          w16 buf q.qg_port)
+          w16 buf q.qg_port;
+          if t = 11 then
+            match (q.qg_lc_pool, q.qg_cl_pool) with
+            | Some lc, Some cl ->
+                Buffer.add_char buf '\001';
+                w32 buf lc;
+                w32 buf cl
+            | _ -> Buffer.add_char buf '\000')
         queues
   | Channel_ack { connector_domid } -> w16 buf connector_domid
   | App_payload { src_ip; src_port; dst_port; payload } ->
@@ -122,40 +142,70 @@ let decode data =
     done;
     Netcore.Mac.of_int64 !v
   in
-  let rentry ~queues () =
+  let rentry ~queues ~zc () =
     let entry_domid = r16 () in
     let entry_mac = rmac () in
     let entry_ip = rip () in
     let entry_queues = if queues then max 1 (r16 ()) else 1 in
-    { entry_domid; entry_mac; entry_ip; entry_queues }
+    let entry_zc = if zc then r8 () <> 0 else false in
+    { entry_domid; entry_mac; entry_ip; entry_queues; entry_zc }
   in
-  let rqueue () =
+  let rqueue ~pools () =
     let qg_lc_gref = r32 () in
     let qg_cl_gref = r32 () in
     let qg_port = r16 () in
-    { qg_lc_gref; qg_cl_gref; qg_port }
+    let qg_lc_pool, qg_cl_pool =
+      if pools && r8 () <> 0 then
+        let lc = r32 () in
+        let cl = r32 () in
+        (Some lc, Some cl)
+      else (None, None)
+    in
+    { qg_lc_gref; qg_cl_gref; qg_port; qg_lc_pool; qg_cl_pool }
   in
   try
     match r8 () with
     | 1 ->
         let n = r16 () in
-        Ok (Announce (List.init n (fun _ -> rentry ~queues:false ())))
+        Ok (Announce (List.init n (fun _ -> rentry ~queues:false ~zc:false ())))
     | 6 ->
         let n = r16 () in
-        Ok (Announce (List.init n (fun _ -> rentry ~queues:true ())))
-    | 2 -> Ok (Request_channel { requester_domid = r16 (); max_queues = 1 })
+        Ok (Announce (List.init n (fun _ -> rentry ~queues:true ~zc:false ())))
+    | 9 ->
+        let n = r16 () in
+        Ok (Announce (List.init n (fun _ -> rentry ~queues:true ~zc:true ())))
+    | 2 ->
+        Ok
+          (Request_channel
+             { requester_domid = r16 (); max_queues = 1; zerocopy = false })
     | 7 ->
         let requester_domid = r16 () in
         let max_queues = max 1 (r16 ()) in
-        Ok (Request_channel { requester_domid; max_queues })
+        Ok (Request_channel { requester_domid; max_queues; zerocopy = false })
+    | 10 ->
+        let requester_domid = r16 () in
+        let max_queues = max 1 (r16 ()) in
+        let zerocopy = r8 () <> 0 in
+        Ok (Request_channel { requester_domid; max_queues; zerocopy })
     | 3 ->
         let listener_domid = r16 () in
-        Ok (Create_channel { listener_domid; queues = [ rqueue () ] })
+        Ok (Create_channel { listener_domid; queues = [ rqueue ~pools:false () ] })
     | 8 ->
         let listener_domid = r16 () in
         let n = r16 () in
         if n < 1 then Error "create_channel with no queues"
-        else Ok (Create_channel { listener_domid; queues = List.init n (fun _ -> rqueue ()) })
+        else
+          Ok
+            (Create_channel
+               { listener_domid; queues = List.init n (fun _ -> rqueue ~pools:false ()) })
+    | 11 ->
+        let listener_domid = r16 () in
+        let n = r16 () in
+        if n < 1 then Error "create_channel with no queues"
+        else
+          Ok
+            (Create_channel
+               { listener_domid; queues = List.init n (fun _ -> rqueue ~pools:true ()) })
     | 4 -> Ok (Channel_ack { connector_domid = r16 () })
     | 5 ->
         let src_ip = rip () in
@@ -174,19 +224,24 @@ let pp fmt = function
         (String.concat "; "
            (List.map
               (fun e ->
-                Printf.sprintf "dom%d=%s q%d" e.entry_domid
+                Printf.sprintf "dom%d=%s q%d%s" e.entry_domid
                   (Netcore.Mac.to_string e.entry_mac)
-                  e.entry_queues)
+                  e.entry_queues
+                  (if e.entry_zc then " zc" else ""))
               entries))
-  | Request_channel { requester_domid; max_queues } ->
-      Format.fprintf fmt "request_channel(dom%d maxq=%d)" requester_domid max_queues
+  | Request_channel { requester_domid; max_queues; zerocopy } ->
+      Format.fprintf fmt "request_channel(dom%d maxq=%d%s)" requester_domid max_queues
+        (if zerocopy then " zc" else "")
   | Create_channel { listener_domid; queues } ->
       Format.fprintf fmt "create_channel(dom%d %s)" listener_domid
         (String.concat ","
            (List.map
               (fun q ->
-                Printf.sprintf "grefs=%d/%d port=%d" q.qg_lc_gref q.qg_cl_gref
-                  q.qg_port)
+                Printf.sprintf "grefs=%d/%d port=%d%s" q.qg_lc_gref q.qg_cl_gref
+                  q.qg_port
+                  (match (q.qg_lc_pool, q.qg_cl_pool) with
+                  | Some lc, Some cl -> Printf.sprintf " pools=%d/%d" lc cl
+                  | _ -> ""))
               queues))
   | Channel_ack { connector_domid } ->
       Format.fprintf fmt "channel_ack(dom%d)" connector_domid

@@ -14,7 +14,14 @@
     version-gated: the original single-queue tags are emitted bit-for-bit
     whenever a count of 1 is being expressed, so a queues=1 peer
     interoperates unchanged and a negotiated-to-1 handshake is exactly the
-    paper-faithful byte stream. *)
+    paper-faithful byte stream.
+
+    {b Zero-copy negotiation} (DESIGN.md §7) gates the same way: the
+    zero-copy capability bit and the payload-pool grants ride dedicated
+    tags emitted only when the capability is actually being expressed, so
+    a [xenloop_zerocopy=off] guest — or an old binary — keeps producing
+    and consuming the earlier byte streams unchanged and the channel
+    falls back to the inline copy path. *)
 
 type entry = {
   entry_domid : int;
@@ -23,6 +30,9 @@ type entry = {
   entry_queues : int;
       (** queue pairs this guest advertises per channel (1 for a
           single-queue peer, and when decoded from the legacy format) *)
+  entry_zc : bool;
+      (** the guest advertises the zero-copy descriptor channel (false
+          when decoded from any pre-zero-copy format) *)
 }
 
 type queue_grant = {
@@ -32,15 +42,20 @@ type queue_grant = {
       (** descriptor page of this queue's connector→listener FIFO *)
   qg_port : Evtchn.Event_channel.port;
       (** this queue's dedicated event channel *)
+  qg_lc_pool : Memory.Grant_table.gref option;
+      (** control page of this queue's listener→connector payload pool
+          (present only on a zero-copy channel; both directions together) *)
+  qg_cl_pool : Memory.Grant_table.gref option;
 }
 
 type t =
   | Announce of entry list
-      (** Dom0's collated [guest-ID, MAC, queues] list of willing guests. *)
-  | Request_channel of { requester_domid : int; max_queues : int }
+      (** Dom0's collated [guest-ID, MAC, queues, zc] list of willing
+          guests. *)
+  | Request_channel of { requester_domid : int; max_queues : int; zerocopy : bool }
       (** Sent by the higher-ID guest to ask the lower-ID guest (the
           listener) to create the channel resources; carries the
-          requester's advertised queue count. *)
+          requester's advertised queue count and zero-copy capability. *)
   | Create_channel of { listener_domid : int; queues : queue_grant list }
       (** One grant/port triple per negotiated queue (never empty). *)
   | Channel_ack of { connector_domid : int }

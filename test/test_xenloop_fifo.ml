@@ -167,28 +167,51 @@ let sample_messages =
           entry_mac = Mac.of_domid ~machine:0 ~domid:1;
           entry_ip = Netcore.Ip.make ~subnet:2 ~host:1;
           entry_queues = 1;
+          entry_zc = false;
         };
         {
           Proto.entry_domid = 2;
           entry_mac = Mac.of_domid ~machine:0 ~domid:2;
           entry_ip = Netcore.Ip.make ~subnet:2 ~host:2;
           entry_queues = 4;
+          entry_zc = true;
         };
       ];
-    Proto.Request_channel { requester_domid = 7; max_queues = 1 };
-    Proto.Request_channel { requester_domid = 7; max_queues = 8 };
+    Proto.Request_channel { requester_domid = 7; max_queues = 1; zerocopy = false };
+    Proto.Request_channel { requester_domid = 7; max_queues = 8; zerocopy = true };
     Proto.Create_channel
       {
         listener_domid = 1;
-        queues = [ { Proto.qg_lc_gref = 123; qg_cl_gref = 456; qg_port = 3 } ];
+        queues =
+          [
+            {
+              Proto.qg_lc_gref = 123;
+              qg_cl_gref = 456;
+              qg_port = 3;
+              qg_lc_pool = None;
+              qg_cl_pool = None;
+            };
+          ];
       };
     Proto.Create_channel
       {
         listener_domid = 1;
         queues =
           [
-            { Proto.qg_lc_gref = 123; qg_cl_gref = 456; qg_port = 3 };
-            { Proto.qg_lc_gref = 789; qg_cl_gref = 1011; qg_port = 4 };
+            {
+              Proto.qg_lc_gref = 123;
+              qg_cl_gref = 456;
+              qg_port = 3;
+              qg_lc_pool = Some 77;
+              qg_cl_pool = Some 88;
+            };
+            {
+              Proto.qg_lc_gref = 789;
+              qg_cl_gref = 1011;
+              qg_port = 4;
+              qg_lc_pool = Some 99;
+              qg_cl_pool = Some 111;
+            };
           ];
       };
     Proto.Channel_ack { connector_domid = 9 };
@@ -236,13 +259,22 @@ let test_proto_legacy_wire_format () =
     Alcotest.(check string) name expect (Bytes.to_string (Proto.encode msg))
   in
   check_bytes "request_channel q=1 is legacy tag 2" "\x02\x00\x07"
-    (Proto.Request_channel { requester_domid = 7; max_queues = 1 });
+    (Proto.Request_channel { requester_domid = 7; max_queues = 1; zerocopy = false });
   check_bytes "create_channel single queue is legacy tag 3"
     "\x03\x00\x01\x00\x00\x00\x7b\x00\x00\x01\xc8\x00\x03"
     (Proto.Create_channel
        {
          listener_domid = 1;
-         queues = [ { Proto.qg_lc_gref = 123; qg_cl_gref = 456; qg_port = 3 } ];
+         queues =
+           [
+             {
+               Proto.qg_lc_gref = 123;
+               qg_cl_gref = 456;
+               qg_port = 3;
+               qg_lc_pool = None;
+               qg_cl_pool = None;
+             };
+           ];
        });
   let entry =
     {
@@ -250,6 +282,7 @@ let test_proto_legacy_wire_format () =
       entry_mac = Mac.of_domid ~machine:0 ~domid:1;
       entry_ip = Netcore.Ip.make ~subnet:2 ~host:1;
       entry_queues = 1;
+      entry_zc = false;
     }
   in
   let tag_of msg = Char.code (Bytes.get (Proto.encode msg) 0) in
@@ -258,7 +291,7 @@ let test_proto_legacy_wire_format () =
   Alcotest.(check int) "announce with q>1 uses tag 6" 6
     (tag_of (Proto.Announce [ { entry with Proto.entry_queues = 4 } ]));
   Alcotest.(check int) "request q>1 uses tag 7" 7
-    (tag_of (Proto.Request_channel { requester_domid = 7; max_queues = 4 }));
+    (tag_of (Proto.Request_channel { requester_domid = 7; max_queues = 4; zerocopy = false }));
   Alcotest.(check int) "multi-queue create uses tag 8" 8
     (tag_of
        (Proto.Create_channel
@@ -266,8 +299,20 @@ let test_proto_legacy_wire_format () =
             listener_domid = 1;
             queues =
               [
-                { Proto.qg_lc_gref = 1; qg_cl_gref = 2; qg_port = 3 };
-                { Proto.qg_lc_gref = 4; qg_cl_gref = 5; qg_port = 6 };
+                {
+                  Proto.qg_lc_gref = 1;
+                  qg_cl_gref = 2;
+                  qg_port = 3;
+                  qg_lc_pool = None;
+                  qg_cl_pool = None;
+                };
+                {
+                  Proto.qg_lc_gref = 4;
+                  qg_cl_gref = 5;
+                  qg_port = 6;
+                  qg_lc_pool = None;
+                  qg_cl_pool = None;
+                };
               ];
           }))
 
@@ -286,6 +331,7 @@ let prop_proto_announce_roundtrip =
               entry_mac = Mac.of_domid ~machine:m ~domid;
               entry_ip = Netcore.Ip.make ~subnet:(m land 0xff) ~host:(domid land 0xff);
               entry_queues = queues;
+              entry_zc = queues land 1 = 0;
             })
           raw_entries
       in
@@ -304,8 +350,20 @@ let test_mapping_soft_state () =
   let ip2 = Netcore.Ip.make ~subnet:2 ~host:2 in
   Mapping.update t
     [
-      { Proto.entry_domid = 1; entry_mac = mac1; entry_ip = ip1; entry_queues = 1 };
-      { Proto.entry_domid = 2; entry_mac = mac2; entry_ip = ip2; entry_queues = 4 };
+      {
+        Proto.entry_domid = 1;
+        entry_mac = mac1;
+        entry_ip = ip1;
+        entry_queues = 1;
+        entry_zc = false;
+      };
+      {
+        Proto.entry_domid = 2;
+        entry_mac = mac2;
+        entry_ip = ip2;
+        entry_queues = 4;
+        entry_zc = false;
+      };
     ];
   Alcotest.(check (option int)) "lookup 1" (Some 1) (Mapping.lookup t mac1);
   Alcotest.(check (option int)) "lookup 2" (Some 2) (Mapping.lookup t mac2);
@@ -316,7 +374,15 @@ let test_mapping_soft_state () =
   Alcotest.(check int) "size" 2 (Mapping.size t);
   (* Next announcement drops guest 1: soft state forgets it. *)
   Mapping.update t
-    [ { Proto.entry_domid = 2; entry_mac = mac2; entry_ip = ip2; entry_queues = 4 } ];
+    [
+      {
+        Proto.entry_domid = 2;
+        entry_mac = mac2;
+        entry_ip = ip2;
+        entry_queues = 4;
+        entry_zc = false;
+      };
+    ];
   Alcotest.(check (option int)) "1 gone" None (Mapping.lookup t mac1);
   Alcotest.(check bool) "1 not member" false (Mapping.mem_domid t 1);
   Mapping.clear t;

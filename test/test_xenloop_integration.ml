@@ -192,8 +192,10 @@ let test_large_packets_fall_back () =
 let test_waiting_list_engages_under_pressure () =
   (* A 2 KiB FIFO holds a single MTU-sized frame: a back-to-back burst must
      overflow onto the waiting list, and everything still arrives in
-     order. *)
-  let duo = Setup.build ~fifo_k:8 Setup.Xenloop_path in
+     order.  Zero-copy stays off so the frames really are inline copies
+     rather than two-slot descriptors into the payload pool. *)
+  let params = { Hypervisor.Params.default with xenloop_zerocopy = false } in
+  let duo = Setup.build ~params ~fifo_k:8 Setup.Xenloop_path in
   let m1, _ = modules_of duo in
   let client = host_of duo.Setup.client and server = host_of duo.Setup.server in
   Experiment.execute duo (fun () ->

@@ -65,7 +65,7 @@ let test_push_many_roundtrip_across_pages () =
   let _, _, f = make_fifo ~k:10 () in
   let payload i = Bytes.init 300 (fun j -> Char.chr ((i + (j * 7)) land 0xff)) in
   let batch = List.init 20 payload in
-  Alcotest.(check int) "all 20 pushed" 20 (Fifo.push_many f batch);
+  Alcotest.(check int) "all 20 pushed" 20 (Fifo.push_many f batch).Fifo.pr_pushed;
   List.iteri
     (fun i expected ->
       match Fifo.pop f with
@@ -79,7 +79,7 @@ let test_push_many_stops_at_full () =
   let _, _, f = make_fifo ~k:6 () in
   (* Each 100-byte payload needs 14 slots; 64 slots admit 4 of them. *)
   let batch = List.init 10 (fun i -> Bytes.make 100 (Char.chr (0x30 + i))) in
-  Alcotest.(check int) "prefix pushed" 4 (Fifo.push_many f batch);
+  Alcotest.(check int) "prefix pushed" 4 (Fifo.push_many f batch).Fifo.pr_pushed;
   (* The prefix that made it is intact and in order. *)
   for i = 0 to 3 do
     match Fifo.pop f with
@@ -183,8 +183,11 @@ let test_teardown_drains_under_suppression () =
      list while doorbells are suppressed; yanking the module mid-stream
      must still deliver every frame — channel contents via the peer's
      teardown drain, waiting-list contents via the standard path.  The two
-     paths race, so we check the delivered multiset, not global order. *)
-  let duo = Setup.build ~fifo_k:8 Setup.Xenloop_path in
+     paths race, so we check the delivered multiset, not global order.
+     Zero-copy stays off: the burst must overflow the {e inline} path's
+     2 KiB capacity, not ride the descriptor pool. *)
+  let params = { Hypervisor.Params.default with xenloop_zerocopy = false } in
+  let duo = Setup.build ~params ~fifo_k:8 Setup.Xenloop_path in
   let m1, m2 = modules_of duo in
   let client = host_of duo.Setup.client and server = host_of duo.Setup.server in
   Experiment.execute duo (fun () ->

@@ -1,0 +1,398 @@
+(* Zero-copy descriptor channel tests: the payload pool's lock-free free
+   ring, descriptor entries through the FIFO, capability negotiation and
+   its fallback to the inline path, pool-exhaustion degradation, and
+   stranded descriptor reclaim at teardown. *)
+
+module Setup = Scenarios.Setup
+module Experiment = Scenarios.Experiment
+module Gm = Xenloop.Guest_module
+module Fifo = Xenloop.Fifo
+module Pool = Xenloop.Payload_pool
+module Page = Memory.Page
+module Stack = Netstack.Stack
+
+let host_of (ep : Scenarios.Endpoint.t) =
+  { Workloads.Host.stack = ep.Scenarios.Endpoint.stack; udp = ep.udp; tcp = ep.tcp }
+
+let modules_of duo =
+  match duo.Setup.modules with
+  | [ m1; m2 ] -> (m1, m2)
+  | _ -> Alcotest.fail "expected two xenloop modules"
+
+let make_pool ?(slots = 4) ?(slot_pages = 1) ?(inline_max = 256) () =
+  let ctrl = Page.create () in
+  let data = Array.init (slots * slot_pages) (fun _ -> Page.create ()) in
+  (ctrl, data, Pool.init ~ctrl ~data ~slots ~slot_pages ~inline_max)
+
+let make_fifo ?(k = 6) () =
+  let desc = Page.create () in
+  let data = Array.init (Fifo.data_pages_for ~k) (fun _ -> Page.create ()) in
+  Fifo.init ~desc ~data ~k;
+  Fifo.attach ~desc ~data
+
+(* ------------------------------------------------------------------ *)
+(* Payload pool *)
+
+let test_pool_geometry () =
+  Alcotest.(check int) "pages" (1 + (64 * 5)) (Pool.pages_for ~slots:64 ~slot_pages:5);
+  Alcotest.(check bool) "default geometry valid" true
+    (Pool.geometry_valid ~slots:64 ~slot_pages:5);
+  Alcotest.(check bool) "non-power-of-two slots invalid" false
+    (Pool.geometry_valid ~slots:48 ~slot_pages:5);
+  Alcotest.(check bool) "zero slot pages invalid" false
+    (Pool.geometry_valid ~slots:64 ~slot_pages:0);
+  (* 512 slots x 2 pages: ring (2 KiB) + gref table (4 KiB) overflow the
+     4 KiB control page. *)
+  Alcotest.(check bool) "oversized table invalid" false
+    (Pool.geometry_valid ~slots:512 ~slot_pages:2);
+  Alcotest.check_raises "init rejects bad geometry"
+    (Invalid_argument "Payload_pool.init: slots must be a power of two")
+    (fun () ->
+      let ctrl = Page.create () in
+      let data = Array.init 3 (fun _ -> Page.create ()) in
+      ignore (Pool.init ~ctrl ~data ~slots:3 ~slot_pages:1 ~inline_max:256))
+
+let test_pool_alloc_free_cycle () =
+  let _, _, p = make_pool ~slots:4 () in
+  Alcotest.(check int) "starts full" 4 (Pool.free_slots p);
+  let s0 = Option.get (Pool.alloc p) in
+  let s1 = Option.get (Pool.alloc p) in
+  let s2 = Option.get (Pool.alloc p) in
+  let s3 = Option.get (Pool.alloc p) in
+  Alcotest.(check bool) "all slots distinct" true
+    (List.length (List.sort_uniq compare [ s0; s1; s2; s3 ]) = 4);
+  Alcotest.(check int) "exhausted" 0 (Pool.free_slots p);
+  Alcotest.(check (option int)) "alloc on empty" None (Pool.alloc p);
+  (* Receiver returns slots out of order; the ring recycles them. *)
+  Pool.free p s2;
+  Pool.free p s0;
+  Alcotest.(check int) "two back" 2 (Pool.free_slots p);
+  Alcotest.(check (option int)) "recycled oldest first" (Some s2) (Pool.alloc p);
+  (* Sender-local revert: an alloc the FIFO refused goes straight back. *)
+  let s = Option.get (Pool.alloc p) in
+  Alcotest.(check int) "drained again" 0 (Pool.free_slots p);
+  Pool.unalloc p s;
+  Alcotest.(check int) "revert restores" 1 (Pool.free_slots p);
+  Alcotest.(check (option int)) "same slot comes back" (Some s) (Pool.alloc p)
+
+let test_pool_write_read_spans_pages () =
+  let _, _, p = make_pool ~slots:2 ~slot_pages:2 () in
+  Alcotest.(check int) "slot bytes" (2 * Page.size) (Pool.slot_bytes p);
+  let len = Page.size + 100 in
+  let payload = Bytes.init len (fun i -> Char.chr (i land 0xff)) in
+  Pool.write p ~slot:1 ~src:payload ~len;
+  Alcotest.(check bytes) "roundtrip across the page boundary" payload
+    (Pool.read p ~slot:1 ~off:0 ~len);
+  Alcotest.(check bytes) "offset read" (Bytes.sub payload 3996 200)
+    (Pool.read p ~slot:1 ~off:3996 ~len:200);
+  Alcotest.check_raises "out of bounds rejected"
+    (Invalid_argument "Payload_pool.read: out of slot bounds") (fun () ->
+      ignore (Pool.read p ~slot:1 ~off:0 ~len:(Pool.slot_bytes p + 1)))
+
+let test_pool_shared_views () =
+  let ctrl, data, p = make_pool ~slots:4 ~inline_max:512 () in
+  (* The connector learns the data grefs from the control page alone. *)
+  let grefs = Array.init (Array.length data) (fun i -> 1000 + i) in
+  Pool.write_grefs p grefs;
+  Alcotest.(check (array int)) "gref table roundtrip" grefs (Pool.read_grefs ~ctrl);
+  let peer = Pool.attach ~ctrl ~data in
+  Alcotest.(check int) "slots visible" 4 (Pool.slots peer);
+  Alcotest.(check int) "inline threshold stamped" 512 (Pool.inline_threshold peer);
+  (* Free-ring state is shared: a sender-side alloc is visible to the
+     receiver-side view, and a receiver-side free replenishes the sender. *)
+  let s = Option.get (Pool.alloc p) in
+  Alcotest.(check int) "peer sees the alloc" 3 (Pool.free_slots peer);
+  let payload = Bytes.make 700 'z' in
+  Pool.write p ~slot:s ~src:payload ~len:700;
+  Alcotest.(check bytes) "payload visible in place" payload
+    (Pool.read peer ~slot:s ~off:0 ~len:700);
+  Pool.free peer s;
+  Alcotest.(check int) "sender sees the return" 4 (Pool.free_slots p)
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor entries through the FIFO *)
+
+let test_fifo_descriptor_roundtrip () =
+  let f = make_fifo () in
+  Alcotest.(check bool) "descriptor pushed" true
+    (Fifo.try_push_desc f ~slot:3 ~offset:16 ~len:9000 ~proto_hint:17);
+  Alcotest.(check bool) "inline alongside" true
+    (Fifo.try_push f (Bytes.of_string "inline packet"));
+  (match Fifo.pop_entry f with
+  | Some (Fifo.Desc { d_slot; d_off; d_len; d_proto }) ->
+      Alcotest.(check int) "slot" 3 d_slot;
+      Alcotest.(check int) "offset" 16 d_off;
+      Alcotest.(check int) "len" 9000 d_len;
+      Alcotest.(check int) "proto hint" 17 d_proto
+  | Some (Fifo.Inline _) -> Alcotest.fail "expected a descriptor entry"
+  | None -> Alcotest.fail "pop_entry came up empty");
+  (match Fifo.pop_entry f with
+  | Some (Fifo.Inline b) ->
+      Alcotest.(check string) "inline preserved" "inline packet" (Bytes.to_string b)
+  | Some (Fifo.Desc _) -> Alcotest.fail "expected an inline entry"
+  | None -> Alcotest.fail "pop_entry came up empty");
+  Alcotest.(check bool) "drained" true (Fifo.is_empty f)
+
+let test_fifo_pop_refuses_descriptors () =
+  (* The inline-only consumer (legacy pop) must never silently misread a
+     descriptor as payload bytes. *)
+  let f = make_fifo () in
+  ignore (Fifo.try_push_desc f ~slot:0 ~offset:0 ~len:400 ~proto_hint:0);
+  Alcotest.check_raises "legacy pop rejects"
+    (Invalid_argument "Fifo.pop: descriptor entry on an inline-only consumer")
+    (fun () -> ignore (Fifo.pop f))
+
+let test_fifo_push_selects_path () =
+  let _, _, pool = make_pool ~slots:2 ~slot_pages:1 () in
+  let f = make_fifo ~k:8 () in
+  let small = Bytes.make 200 's' and big = Bytes.make 1000 'b' in
+  (match Fifo.push f ~pool ~inline_max:256 small with
+  | Fifo.Pushed { desc = false; pool_fallback = false } -> ()
+  | _ -> Alcotest.fail "small payload must stay inline");
+  Alcotest.(check int) "no slot consumed" 2 (Pool.free_slots pool);
+  (match Fifo.push f ~pool ~inline_max:256 ~proto_hint:6 big with
+  | Fifo.Pushed { desc = true; pool_fallback = false } -> ()
+  | _ -> Alcotest.fail "large payload must take a descriptor");
+  Alcotest.(check int) "one slot consumed" 1 (Pool.free_slots pool);
+  ignore (Fifo.push f ~pool ~inline_max:256 big);
+  (* Pool exhausted: the next large payload degrades to inline, flagged. *)
+  (match Fifo.push f ~pool ~inline_max:256 big with
+  | Fifo.Pushed { desc = false; pool_fallback = true } -> ()
+  | _ -> Alcotest.fail "exhaustion must degrade to inline");
+  (* Drain and verify content on both paths. *)
+  (match Fifo.pop_entry f with
+  | Some (Fifo.Inline b) -> Alcotest.(check bytes) "inline bytes" small b
+  | _ -> Alcotest.fail "expected inline");
+  (match Fifo.pop_entry f with
+  | Some (Fifo.Desc { d_slot; d_len; d_off; d_proto }) ->
+      Alcotest.(check int) "descriptor length" 1000 d_len;
+      Alcotest.(check int) "proto hint carried" 6 d_proto;
+      Alcotest.(check bytes) "payload in place" big
+        (Pool.read pool ~slot:d_slot ~off:d_off ~len:d_len);
+      Pool.free pool d_slot
+  | _ -> Alcotest.fail "expected descriptor");
+  (match (Fifo.pop_entry f, Fifo.pop_entry f) with
+  | Some (Fifo.Desc { d_slot; _ }), Some (Fifo.Inline b) ->
+      Pool.free pool d_slot;
+      Alcotest.(check bytes) "degraded payload intact" big b
+  | _ -> Alcotest.fail "expected desc then degraded inline");
+  Alcotest.(check int) "all slots home" 2 (Pool.free_slots pool)
+
+let test_fifo_refusal_never_burns_slots () =
+  (* k = 6: 64 slots.  Fill the FIFO, then push a descriptor-eligible
+     payload: the FIFO refuses, and the pool must be untouched. *)
+  let _, _, pool = make_pool ~slots:4 ~slot_pages:1 () in
+  let f = make_fifo ~k:6 () in
+  while Fifo.can_accept f 24 do
+    ignore (Fifo.try_push f (Bytes.make 24 'x'))
+  done;
+  (match Fifo.push f ~pool ~inline_max:256 (Bytes.make 1000 'y') with
+  | Fifo.Push_failed -> ()
+  | Fifo.Pushed _ -> Alcotest.fail "full FIFO must refuse");
+  Alcotest.(check int) "no pool slot leaked" 4 (Pool.free_slots pool);
+  Alcotest.(check bool) "admission check agrees" false
+    (Fifo.can_accept_entry f ~pool ~inline_max:256 1000)
+
+let test_push_many_reports_paths () =
+  let _, _, pool = make_pool ~slots:2 ~slot_pages:1 () in
+  let f = make_fifo ~k:10 () in
+  let batch =
+    [
+      Bytes.make 100 'a';  (* inline: under the threshold *)
+      Bytes.make 1000 'b';  (* descriptor *)
+      Bytes.make 1000 'c';  (* descriptor: drains the pool *)
+      Bytes.make 1000 'd';  (* pool exhausted: inline fallback *)
+      Bytes.make 50 'e';  (* inline *)
+    ]
+  in
+  let r = Fifo.push_many f ~pool ~inline_max:256 batch in
+  Alcotest.(check int) "all pushed" 5 r.Fifo.pr_pushed;
+  Alcotest.(check int) "descriptor-backed" 2 r.Fifo.pr_desc;
+  Alcotest.(check int) "inline" 3 r.Fifo.pr_inline;
+  Alcotest.(check int) "fallbacks" 1 r.Fifo.pr_fallbacks
+
+(* ------------------------------------------------------------------ *)
+(* End to end *)
+
+let udp_burst ~client ~server ~dst ~port ~count ~size =
+  let server_sock =
+    match Netstack.Udp.bind server.Workloads.Host.udp ~port () with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "bind"
+  in
+  let client_sock =
+    match Netstack.Udp.bind client.Workloads.Host.udp () with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "bind"
+  in
+  for i = 0 to count - 1 do
+    Netstack.Udp.sendto client_sock ~dst ~dst_port:port
+      (Bytes.make size (Char.chr (i land 0xff)))
+  done;
+  List.init count (fun _ ->
+      let _, _, payload = Netstack.Udp.recvfrom server_sock in
+      Bytes.get payload 0)
+
+let test_negotiation_enables_pools () =
+  let duo = Setup.build Setup.Xenloop_path in
+  let m1, m2 = modules_of duo in
+  let client = host_of duo.Setup.client and server = host_of duo.Setup.server in
+  Experiment.execute duo (fun () ->
+      Alcotest.(check bool) "client side active" true (Gm.zerocopy_active m1 ~domid:2);
+      Alcotest.(check bool) "server side active" true (Gm.zerocopy_active m2 ~domid:1);
+      let got =
+        udp_burst ~client ~server ~dst:duo.Setup.server_ip ~port:921 ~count:20
+          ~size:2000
+      in
+      Alcotest.(check (list char)) "delivered in order"
+        (List.init 20 (fun i -> Char.chr i))
+        got;
+      Alcotest.(check bool) "large frames rode descriptors" true
+        ((Gm.stats m1).Gm.desc_tx > 0);
+      Alcotest.(check int) "nothing degraded" 0 (Gm.stats m1).Gm.pool_fallbacks)
+
+let test_negotiation_falls_back_without_peer_support () =
+  (* The server module predates zero-copy (does not advertise "zc"): the
+     handshake must produce a pool-less PR-2-style channel, and traffic —
+     including frames far above the inline threshold — still flows on the
+     copy path. *)
+  let duo = Setup.build ~server_zerocopy:false Setup.Xenloop_path in
+  let m1, m2 = modules_of duo in
+  let client = host_of duo.Setup.client and server = host_of duo.Setup.server in
+  Experiment.execute duo (fun () ->
+      Alcotest.(check bool) "channel up" true (Gm.has_channel_with m1 ~domid:2);
+      Alcotest.(check bool) "no pools on the client" false
+        (Gm.zerocopy_active m1 ~domid:2);
+      Alcotest.(check bool) "no pools on the server" false
+        (Gm.zerocopy_active m2 ~domid:1);
+      let before_rx = (Gm.stats m2).Gm.via_channel_rx in
+      let got =
+        udp_burst ~client ~server ~dst:duo.Setup.server_ip ~port:922 ~count:20
+          ~size:2000
+      in
+      Alcotest.(check (list char)) "delivered in order"
+        (List.init 20 (fun i -> Char.chr i))
+        got;
+      Alcotest.(check bool) "traffic used the channel" true
+        ((Gm.stats m2).Gm.via_channel_rx > before_rx);
+      Alcotest.(check int) "no descriptors ever sent" 0 (Gm.stats m1).Gm.desc_tx;
+      Alcotest.(check int) "everything inline" 0
+        (Array.fold_left
+           (fun acc q -> acc + q.Gm.qs_desc_tx)
+           0
+           (Gm.queue_stats m1 ~domid:2)))
+
+let test_slot_starvation_degrades_to_inline () =
+  (* Two pool slots per queue and a receiver pinned off-CPU: a burst of
+     large datagrams must exhaust the pool, degrade the overflow to the
+     inline path, and still deliver every frame in order. *)
+  let params =
+    {
+      Hypervisor.Params.default with
+      Hypervisor.Params.xenloop_pool_slots = 2;
+      xenloop_pool_slot_pages = 1;
+    }
+  in
+  let duo = Setup.build ~params Setup.Xenloop_path in
+  let m1, _ = modules_of duo in
+  let client = host_of duo.Setup.client and server = host_of duo.Setup.server in
+  Experiment.execute duo (fun () ->
+      Alcotest.(check bool) "pools negotiated" true (Gm.zerocopy_active m1 ~domid:2);
+      (* Pin the server's vCPU so consumed slots are not returned during
+         the burst: allocation pressure is real, not a timing accident. *)
+      Sim.Engine.spawn duo.Setup.engine (fun () ->
+          Sim.Resource.use
+            (Stack.cpu duo.Setup.server.Scenarios.Endpoint.stack)
+            (Sim.Time.ms 5));
+      let n = 30 in
+      let got =
+        udp_burst ~client ~server ~dst:duo.Setup.server_ip ~port:923 ~count:n
+          ~size:1400
+      in
+      Alcotest.(check (list char)) "every frame, in order"
+        (List.init n (fun i -> Char.chr i))
+        got;
+      let s = Gm.stats m1 in
+      Alcotest.(check bool) "descriptors used until exhaustion" true (s.Gm.desc_tx > 0);
+      Alcotest.(check bool) "exhaustion degraded some to inline" true
+        (s.Gm.pool_fallbacks > 0);
+      Alcotest.(check int) "per-queue counters agree" s.Gm.pool_fallbacks
+        (Array.fold_left
+           (fun acc q -> acc + q.Gm.qs_pool_fallbacks)
+           0
+           (Gm.queue_stats m1 ~domid:2)))
+
+let test_stranded_descriptor_teardown_reclaim () =
+  (* Large app payloads ride descriptors; pin the receiver and unload the
+     sender while descriptor entries still sit in the out-FIFOs.  Teardown
+     must resolve each stranded descriptor from the sender's own tx pool,
+     flush the bytes via the standard path, and release every channel page
+     — pools included. *)
+  let duo = Setup.build Setup.Xenloop_path in
+  let m1, m2 = modules_of duo in
+  let machine = Option.get duo.Setup.machine in
+  let frames = Hypervisor.Machine.frame_allocator machine in
+  Experiment.execute duo (fun () ->
+      let received = ref [] in
+      Gm.set_app_payload_handler m2 (fun ~src_ip:_ ~src_port:_ ~dst_port:_ payload ->
+          received := int_of_string (String.sub (Bytes.to_string payload) 0 4) :: !received);
+      Sim.Engine.spawn duo.Setup.engine (fun () ->
+          Sim.Resource.use
+            (Stack.cpu duo.Setup.server.Scenarios.Endpoint.stack)
+            (Sim.Time.ms 5));
+      let n = 40 in
+      for seq = 0 to n - 1 do
+        let payload =
+          Bytes.of_string (Printf.sprintf "%04d%s" seq (String.make 996 'p'))
+        in
+        Alcotest.(check bool) "payload accepted" true
+          (Gm.send_app_payload m1 ~dst_ip:duo.Setup.server_ip ~src_port:5001
+             ~dst_port:6001 payload)
+      done;
+      Alcotest.(check bool) "descriptors in flight" true
+        ((Gm.stats m1).Gm.desc_tx > 0);
+      Alcotest.(check int) "receiver has consumed nothing yet" 0
+        (List.length !received);
+      Gm.unload m1;
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      Alcotest.(check (list int)) "every payload delivered exactly once, in order"
+        (List.init n Fun.id) (List.rev !received);
+      Alcotest.(check (list int)) "peer disengaged" [] (Gm.connected_peer_ids m2);
+      (* Page balance: FIFO pages, pool control pages, and pool data pages
+         all go home — on both sides. *)
+      Alcotest.(check int) "no pages left owned by the client" 0
+        (Memory.Frame_allocator.owned_by frames 1);
+      Alcotest.(check int) "no pages left owned by the server" 0
+        (Memory.Frame_allocator.owned_by frames 2))
+
+let suites =
+  [
+    ( "xenloop.zerocopy",
+      [
+        Alcotest.test_case "pool geometry" `Quick test_pool_geometry;
+        Alcotest.test_case "pool alloc/free/unalloc cycle" `Quick
+          test_pool_alloc_free_cycle;
+        Alcotest.test_case "pool write/read spans pages" `Quick
+          test_pool_write_read_spans_pages;
+        Alcotest.test_case "pool views share the free ring" `Quick
+          test_pool_shared_views;
+        Alcotest.test_case "fifo descriptor roundtrip" `Quick
+          test_fifo_descriptor_roundtrip;
+        Alcotest.test_case "legacy pop refuses descriptors" `Quick
+          test_fifo_pop_refuses_descriptors;
+        Alcotest.test_case "push selects inline vs descriptor" `Quick
+          test_fifo_push_selects_path;
+        Alcotest.test_case "refused push never burns a slot" `Quick
+          test_fifo_refusal_never_burns_slots;
+        Alcotest.test_case "push_many reports both paths" `Quick
+          test_push_many_reports_paths;
+        Alcotest.test_case "negotiation enables pools" `Quick
+          test_negotiation_enables_pools;
+        Alcotest.test_case "fallback without peer support" `Quick
+          test_negotiation_falls_back_without_peer_support;
+        Alcotest.test_case "slot starvation degrades to inline" `Quick
+          test_slot_starvation_degrades_to_inline;
+        Alcotest.test_case "stranded descriptor teardown reclaim" `Quick
+          test_stranded_descriptor_teardown_reclaim;
+      ] );
+  ]
