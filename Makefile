@@ -4,7 +4,7 @@
 # data path loses or duplicates a single application byte relative to the
 # baseline (see bench/main.ml).
 
-.PHONY: all build test bench-smoke bench ci check-tracked-artifacts clean
+.PHONY: all build test bench-smoke bench soak ci check-tracked-artifacts clean
 
 all: build
 
@@ -28,8 +28,15 @@ bench-smoke: build
 bench: build
 	dune exec bench/main.exe -- --json
 
-ci: check-tracked-artifacts build test bench-smoke
-	@echo "ci: artifact check + build + tests + bench smoke (delivery check) all green"
+# Chaos soak: the full fault matrix (every scenario x every applicable
+# fault kind, alone and as a storm), deterministic per seed.  Set
+# SOAK_ITERS=n for a longer sweep over seeds 42..42+n-1; a red run prints
+# the first failing seed and its replay command.
+soak: build
+	dune exec xenloopsim -- chaos
+
+ci: check-tracked-artifacts build test bench-smoke soak
+	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + chaos soak all green"
 
 clean:
 	dune clean

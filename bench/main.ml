@@ -1125,6 +1125,36 @@ let json_mode ~smoke path =
       ks
   in
   let zerocopy_sweep = zc_sweep ~smoke in
+  let chaos_summary =
+    (* The chaos soak rides along: the numbers above are only worth
+       publishing if the same data path survives fault injection without
+       losing, duplicating, or leaking anything. *)
+    if smoke then
+      let storm =
+        List.filter_map
+          (fun k ->
+            if Chaos.Harness.applicable Chaos.Harness.Xenloop_duo k then
+              Some (Chaos.Fault.default_spec k)
+            else None)
+          Chaos.Fault.all
+      in
+      Chaos.Soak.run
+        ~cases:
+          [
+            {
+              Chaos.Soak.c_name = "xenloop-duo/baseline";
+              c_scenario = Chaos.Harness.Xenloop_duo;
+              c_faults = [];
+            };
+            {
+              Chaos.Soak.c_name = "xenloop-duo/storm";
+              c_scenario = Chaos.Harness.Xenloop_duo;
+              c_faults = storm;
+            };
+          ]
+        ~seed:42 ()
+    else Chaos.Soak.run ~seed:42 ()
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "{\n  \"smoke\": %b,\n  \"scenario\": \"xenloop_path\",\n"
@@ -1179,7 +1209,9 @@ let json_mode ~smoke path =
         points;
       Buffer.add_string buf "\n    ]}")
     zerocopy_sweep;
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ],\n  \"chaos\": ";
+  Buffer.add_string buf (Chaos.Soak.to_json chaos_summary);
+  Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -1250,6 +1282,19 @@ let json_mode ~smoke path =
   if !failures <> [] then begin
     prerr_endline "DELIVERY MISMATCH: application-level delivery changed across data-path settings:";
     List.iter (fun f -> Printf.eprintf "  %s\n" f) (List.rev !failures);
+    exit 1
+  end;
+  Format.printf "%a@." Chaos.Soak.pp chaos_summary;
+  if not (Chaos.Soak.ok chaos_summary) then begin
+    prerr_endline
+      "CHAOS SOAK FAILED: invariant violation or delivery defect under fault \
+       injection:";
+    (match chaos_summary.Chaos.Soak.s_first_failure with
+    | Some f ->
+        Printf.eprintf "  first failing seed %d (%s)\n" f.Chaos.Soak.fail_seed
+          f.Chaos.Soak.fail_case;
+        List.iter (fun v -> Printf.eprintf "  %s\n" v) f.Chaos.Soak.fail_violations
+    | None -> ());
     exit 1
   end
 

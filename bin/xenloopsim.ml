@@ -245,6 +245,110 @@ let capture_cmd =
     (Cmd.info "capture" ~doc:"Packet-capture the vif through channel bootstrap.")
     Term.(const run $ const ())
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed for the fault plans.")
+  in
+  let iters =
+    let doc =
+      "Iterations over the fault matrix (each with seed base+i).  Defaults \
+       to \\$(b,SOAK_ITERS) from the environment, else 1."
+    in
+    Arg.(value & opt (some int) None & info [ "iters" ] ~doc)
+  in
+  let scenario =
+    let sc_conv =
+      Arg.conv
+        ( (fun s ->
+            match Chaos.Harness.scenario_of_label s with
+            | Some sc -> Ok sc
+            | None -> Error (`Msg (Printf.sprintf "unknown chaos scenario %S" s))),
+          fun fmt sc ->
+            Format.pp_print_string fmt (Chaos.Harness.scenario_label sc) )
+    in
+    let doc =
+      "Run a single scenario instead of the matrix: xenloop-duo, \
+       netfront-duo, cluster3, or migration-world."
+    in
+    Arg.(value & opt (some sc_conv) None & info [ "scenario" ] ~doc)
+  in
+  let fault =
+    let fault_conv =
+      Arg.conv
+        ( (fun s ->
+            match Chaos.Fault.of_label s with
+            | Some k -> Ok k
+            | None -> Error (`Msg (Printf.sprintf "unknown fault kind %S" s))),
+          fun fmt k -> Format.pp_print_string fmt (Chaos.Fault.label k) )
+    in
+    let doc =
+      "Arm one fault kind (repeatable) for the single-scenario form; \
+       without it the scenario runs its full applicable set (storm)."
+    in
+    Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~doc)
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as JSON.")
+  in
+  let print_log =
+    Arg.(
+      value & flag
+      & info [ "print-log" ]
+          ~doc:"Print the deterministic event log (single-scenario form).")
+  in
+  let run seed iters scenario faults json print_log =
+    let iters =
+      match iters with
+      | Some n -> n
+      | None -> (
+          match Sys.getenv_opt "SOAK_ITERS" with
+          | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+          | None -> 1)
+    in
+    match scenario with
+    | Some sc ->
+        (* Single scenario: one run per seed, exact fault set — this is
+           the replay path for a failing soak seed. *)
+        let kinds =
+          match faults with
+          | [] -> List.filter (Chaos.Harness.applicable sc) Chaos.Fault.all
+          | ks -> ks
+        in
+        let specs = List.map Chaos.Fault.default_spec kinds in
+        let code = ref 0 in
+        for i = 0 to iters - 1 do
+          let config =
+            Chaos.Harness.default_config ~seed:(seed + i) ~faults:specs sc
+          in
+          let v, log = Chaos.Harness.run config in
+          if print_log then
+            List.iter print_endline (Chaos.Event_log.render log);
+          Format.printf "%a@." Chaos.Harness.pp_verdict v;
+          Printf.printf "event log: %d entries, digest %s\n"
+            v.Chaos.Harness.v_log_length v.Chaos.Harness.v_log_digest;
+          if not (Chaos.Harness.ok v) then code := 1
+        done;
+        exit !code
+    | None ->
+        let summary =
+          Chaos.Soak.run ~seed ~iters ~progress:(fun line ->
+              if not json then Printf.printf "  %s\n%!" line)
+            ()
+        in
+        if json then print_endline (Chaos.Soak.to_json summary)
+        else Format.printf "%a@." Chaos.Soak.pp summary;
+        exit (if Chaos.Soak.ok summary then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic fault-injection soak: inject faults across the \
+          control and data planes, check invariants, verify exactly-once \
+          delivery.")
+    Term.(const run $ seed $ iters $ scenario $ fault $ json $ print_log)
+
 (* --- compare --- *)
 
 let compare_cmd =
@@ -268,4 +372,4 @@ let () =
   let doc = "XenLoop reproduction: drive the simulated Xen scenarios." in
   let info = Cmd.info "xenloopsim" ~version:"1.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ ping_cmd; rr_cmd; stream_cmd; sweep_cmd; migrate_cmd; compare_cmd;
-          cluster_cmd; capture_cmd ]))
+          cluster_cmd; capture_cmd; chaos_cmd ]))

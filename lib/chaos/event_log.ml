@@ -1,0 +1,20 @@
+type t = { mutable entries : (Sim.Time.t * string) list; mutable count : int }
+
+let create () = { entries = []; count = 0 }
+
+let record t ~time msg =
+  t.entries <- (time, msg) :: t.entries;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let render t =
+  List.rev_map
+    (fun (time, msg) ->
+      (* Integer microseconds: total ordering and bit-stable rendering. *)
+      Printf.sprintf "[%12Ld us] %s"
+        (Int64.div (Sim.Time.instant_to_ns time) 1_000L)
+        msg)
+    t.entries
+
+let digest t = Digest.to_hex (Digest.string (String.concat "\n" (render t)))

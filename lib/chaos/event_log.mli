@@ -1,0 +1,21 @@
+(** The chaos harness's deterministic event log.
+
+    Every run appends timestamped entries — phase transitions, every
+    injected fault, every violation — in simulation order.  The rendered
+    log and its digest are the determinism witness: {e same seed ⇒ same
+    event log ⇒ same digest}, checked by the test suite and printable for
+    replay debugging ([xenloopsim chaos --print-log]). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:Sim.Time.t -> string -> unit
+
+val length : t -> int
+
+val render : t -> string list
+(** One ["[%12d us] message"] line per entry, in append order. *)
+
+val digest : t -> string
+(** Hex MD5 over the rendered lines. *)

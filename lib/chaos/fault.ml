@@ -1,0 +1,169 @@
+type kind =
+  | Drop_notify
+  | Delay_notify
+  | Grant_map_fail
+  | Frame_exhaustion
+  | Lost_watch
+  | Stale_read
+  | Drop_announce
+  | Ctrl_drop
+  | Ctrl_dup
+  | Ctrl_delay
+  | Push_refusal
+  | Pool_exhaustion
+  | Peer_crash
+  | Suspend_resume
+  | Migrate_midstream
+
+let all =
+  [
+    Drop_notify; Delay_notify; Grant_map_fail; Frame_exhaustion; Lost_watch;
+    Stale_read; Drop_announce; Ctrl_drop; Ctrl_dup; Ctrl_delay; Push_refusal;
+    Pool_exhaustion; Peer_crash; Suspend_resume; Migrate_midstream;
+  ]
+
+let label = function
+  | Drop_notify -> "drop-notify"
+  | Delay_notify -> "delay-notify"
+  | Grant_map_fail -> "grant-map-fail"
+  | Frame_exhaustion -> "frame-exhaustion"
+  | Lost_watch -> "lost-watch"
+  | Stale_read -> "stale-read"
+  | Drop_announce -> "drop-announce"
+  | Ctrl_drop -> "ctrl-drop"
+  | Ctrl_dup -> "ctrl-dup"
+  | Ctrl_delay -> "ctrl-delay"
+  | Push_refusal -> "push-refusal"
+  | Pool_exhaustion -> "pool-exhaustion"
+  | Peer_crash -> "peer-crash"
+  | Suspend_resume -> "suspend-resume"
+  | Migrate_midstream -> "migrate-midstream"
+
+let of_label s = List.find_opt (fun k -> label k = s) all
+
+let is_oneshot = function
+  | Peer_crash | Suspend_resume | Migrate_midstream -> true
+  | _ -> false
+
+type spec = {
+  f_kind : kind;
+  f_start : Sim.Time.span;
+  f_stop : Sim.Time.span;
+  f_prob : float;
+}
+
+(* Stock windows: data-plane faults burn hot over a short slice of the
+   stream; control-plane soft-state faults (announcements, XenStore) need
+   to outlast the chaos-profile announcement cadence and soft-state TTL
+   to bite, so their windows run long enough to starve a TTL. *)
+let default_spec kind =
+  let short_start = Sim.Time.ms 2 and short_stop = Sim.Time.ms 12 in
+  let long_stop = Sim.Time.ms 60 in
+  match kind with
+  | Drop_notify ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.25 }
+  | Delay_notify ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.25 }
+  | Grant_map_fail ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Frame_exhaustion ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Lost_watch ->
+      { f_kind = kind; f_start = short_start; f_stop = long_stop; f_prob = 0.5 }
+  | Stale_read ->
+      { f_kind = kind; f_start = short_start; f_stop = long_stop; f_prob = 0.5 }
+  | Drop_announce ->
+      { f_kind = kind; f_start = short_start; f_stop = long_stop; f_prob = 1.0 }
+  | Ctrl_drop ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Ctrl_dup ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Ctrl_delay ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Push_refusal ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.3 }
+  | Pool_exhaustion ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Peer_crash | Suspend_resume | Migrate_midstream ->
+      { f_kind = kind; f_start = Sim.Time.ms 5; f_stop = Sim.Time.ms 5; f_prob = 1.0 }
+
+type armed_spec = {
+  a_spec : spec;
+  a_rng : Sim.Rng.t;  (** independent split: kinds never perturb each other *)
+  mutable a_count : int;
+}
+
+type plan = {
+  p_engine : Sim.Engine.t;
+  p_origin : Sim.Time.t;
+  p_specs : (kind * armed_spec) list;
+}
+
+let arm ~engine ~seed specs =
+  let rng = Sim.Rng.create ~seed in
+  let armed =
+    (* Split in [all] order, not spec order, so the stream a kind sees
+       depends only on the kind — adding a spec never reseeds another. *)
+    List.filter_map
+      (fun kind ->
+        let split = Sim.Rng.split rng in
+        match List.find_all (fun s -> s.f_kind = kind) specs with
+        | [] -> None
+        | [ s ] -> Some (kind, { a_spec = s; a_rng = split; a_count = 0 })
+        | _ -> invalid_arg "Fault.arm: duplicate spec for a kind")
+      all
+  in
+  { p_engine = engine; p_origin = Sim.Engine.now engine; p_specs = armed }
+
+let find plan kind = List.assq_opt kind plan.p_specs
+
+let in_window plan a =
+  let now = Sim.Engine.now plan.p_engine in
+  let start = Sim.Time.add plan.p_origin a.a_spec.f_start in
+  let stop = Sim.Time.add plan.p_origin a.a_spec.f_stop in
+  Sim.Time.(now >= start) && Sim.Time.(now < stop)
+
+let draw plan kind =
+  match find plan kind with
+  | None -> false
+  | Some a ->
+      (not (is_oneshot kind))
+      && in_window plan a
+      && Sim.Rng.float a.a_rng 1.0 < a.a_spec.f_prob
+      && begin
+           a.a_count <- a.a_count + 1;
+           true
+         end
+
+let delay_span plan kind =
+  match find plan kind with
+  | None -> Sim.Time.span_zero
+  | Some a -> Sim.Time.of_us_f (50.0 +. Sim.Rng.float a.a_rng 450.0)
+
+let armed plan kind = find plan kind <> None
+
+let oneshot_start plan kind =
+  if not (is_oneshot kind) then None
+  else
+    match find plan kind with
+    | None -> None
+    | Some a -> Some a.a_spec.f_start
+
+let clearance plan =
+  List.fold_left
+    (fun acc (_, a) -> Sim.Time.span_max acc a.a_spec.f_stop)
+    Sim.Time.span_zero plan.p_specs
+
+(* One-shots are fired by the harness, which records them here so the
+   verdict's per-kind counts cover every kind uniformly. *)
+let note_fired plan kind =
+  match find plan kind with None -> () | Some a -> a.a_count <- a.a_count + 1
+
+let injections plan =
+  List.filter_map
+    (fun (kind, a) -> if a.a_count > 0 then Some (label kind, a.a_count) else None)
+    plan.p_specs
+  |> List.sort compare
+
+let total_injected plan =
+  List.fold_left (fun acc (_, a) -> acc + a.a_count) 0 plan.p_specs

@@ -1,0 +1,87 @@
+(** The fault vocabulary of the chaos harness (DESIGN.md §9).
+
+    A fault {e kind} names one place where the simulated system can
+    misbehave; a {e spec} arms a kind over a time window with a
+    per-consultation probability; a {e plan} is the armed set bound to a
+    seeded generator, consulted by the injectors the harness wires into
+    the lower layers.
+
+    Determinism contract: a plan draws only from its own {!Sim.Rng}
+    stream (one independent split per kind, so adding a kind never
+    perturbs another kind's draws) and reads only simulation time.  Two
+    runs with the same (seed, specs, scenario) therefore make identical
+    decisions at identical instants. *)
+
+type kind =
+  | Drop_notify  (** event-channel doorbell vanishes after the hypercall *)
+  | Delay_notify  (** doorbell delivered late *)
+  | Grant_map_fail  (** transient [GNTST_*] failure mapping a granted page *)
+  | Frame_exhaustion  (** frame allocator refuses a guest's allocation *)
+  | Lost_watch  (** a XenStore watch event evaporates for one watcher *)
+  | Stale_read  (** a XenStore read returns the node's previous value *)
+  | Drop_announce  (** Dom0's announcement copy to one guest is dropped *)
+  | Ctrl_drop  (** a XenLoop bootstrap control message vanishes *)
+  | Ctrl_dup  (** a control message is delivered twice *)
+  | Ctrl_delay  (** a control message is delivered late *)
+  | Push_refusal  (** a FIFO push acts as if the ring were full *)
+  | Pool_exhaustion  (** a payload-pool slot allocation fails *)
+  | Peer_crash  (** a flow-free guest dies abruptly, no teardown *)
+  | Suspend_resume  (** a guest suspends and resumes in place *)
+  | Migrate_midstream  (** a guest live-migrates at an arbitrary instant *)
+
+val all : kind list
+
+val label : kind -> string
+(** Stable kebab-case name (CLI, JSON, event logs). *)
+
+val of_label : string -> kind option
+
+val is_oneshot : kind -> bool
+(** [Peer_crash], [Suspend_resume] and [Migrate_midstream] fire exactly
+    once at their window start; every other kind is probabilistic over
+    its whole window. *)
+
+type spec = {
+  f_kind : kind;
+  f_start : Sim.Time.span;  (** window start, relative to fault-plan arm time *)
+  f_stop : Sim.Time.span;  (** window end (exclusive) *)
+  f_prob : float;  (** per-consultation fault probability inside the window *)
+}
+
+val default_spec : kind -> spec
+(** The soak matrix's stock window and probability for this kind. *)
+
+(** {1 Armed plans} *)
+
+type plan
+
+val arm : engine:Sim.Engine.t -> seed:int -> spec list -> plan
+(** Bind the specs to a fresh seeded generator and to the engine's clock;
+    window offsets are measured from the current simulation time.  At most
+    one spec per kind ([Invalid_argument] otherwise). *)
+
+val draw : plan -> kind -> bool
+(** Consult the plan: [true] iff the kind is armed, the clock is inside
+    its window, and its probability fires.  Counts every [true]. *)
+
+val delay_span : plan -> kind -> Sim.Time.span
+(** A drawn extra latency for [Delay_notify] / [Ctrl_delay] hits. *)
+
+val armed : plan -> kind -> bool
+val oneshot_start : plan -> kind -> Sim.Time.span option
+(** The window start of an armed one-shot kind, relative to arm time. *)
+
+val note_fired : plan -> kind -> unit
+(** Record a one-shot firing (the harness fires those itself), so the
+    verdict's per-kind counts cover every kind uniformly. *)
+
+val clearance : plan -> Sim.Time.span
+(** Latest window end across all armed specs, relative to arm time: after
+    arm-time + clearance the plan never fires again.  [span_zero] for an
+    empty plan. *)
+
+val injections : plan -> (string * int) list
+(** Faults actually injected, by kind label, sorted; kinds that never
+    fired are omitted. *)
+
+val total_injected : plan -> int

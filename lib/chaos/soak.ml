@@ -1,0 +1,248 @@
+type case = {
+  c_name : string;
+  c_scenario : Harness.scenario;
+  c_faults : Fault.spec list;
+}
+
+(* In the migration world the guests start apart: there is no XenLoop
+   state to fault until the migration lands them together, so every
+   probabilistic kind rides with the migration and its window opens just
+   after the blackout. *)
+let migration_shifted kind =
+  let spec = Fault.default_spec kind in
+  let stop =
+    Sim.Time.span_max (Sim.Time.ms 20)
+      (match kind with
+      | Fault.Lost_watch | Fault.Stale_read | Fault.Drop_announce -> spec.Fault.f_stop
+      | _ -> Sim.Time.ms 20)
+  in
+  { spec with Fault.f_start = Sim.Time.ms 8; f_stop = stop }
+
+let case scenario kinds suffix =
+  let label =
+    match kinds with
+    | [] -> "baseline"
+    | [ k ] -> Fault.label k
+    | _ -> suffix
+  in
+  let specs =
+    List.map
+      (fun k ->
+        if scenario = Harness.Migration_world && not (Fault.is_oneshot k) then
+          migration_shifted k
+        else Fault.default_spec k)
+      kinds
+  in
+  {
+    c_name = Printf.sprintf "%s/%s" (Harness.scenario_label scenario) label;
+    c_scenario = scenario;
+    c_faults = specs;
+  }
+
+let matrix () =
+  let scenario_cases scenario =
+    let kinds = List.filter (Harness.applicable scenario) Fault.all in
+    match scenario with
+    | Harness.Netfront_duo -> [ case scenario [] "baseline" ]
+    | Harness.Migration_world ->
+        (* Each kind needs the migration to have anything to bite on. *)
+        case scenario [] "baseline"
+        :: case scenario [ Fault.Migrate_midstream ] ""
+        :: List.filter_map
+             (fun k ->
+               if k = Fault.Migrate_midstream then None
+               else
+                 Some
+                   {
+                     (case scenario [ Fault.Migrate_midstream; k ] "") with
+                     c_name =
+                       Printf.sprintf "%s/migrate+%s"
+                         (Harness.scenario_label scenario) (Fault.label k);
+                   })
+             kinds
+        @ [ { (case scenario kinds "storm") with c_name = "migration-world/storm" } ]
+    | Harness.Xenloop_duo | Harness.Cluster3 ->
+        (case scenario [] "baseline"
+        :: List.map (fun k -> case scenario [ k ] "") kinds)
+        @ [ case scenario kinds "storm" ]
+  in
+  List.concat_map scenario_cases Harness.all_scenarios
+
+type failure = {
+  fail_seed : int;
+  fail_case : string;
+  fail_scenario : string;
+  fail_fault : string;
+  fail_violations : string list;
+}
+
+type summary = {
+  s_base_seed : int;
+  s_iters : int;
+  s_runs : int;
+  s_scenarios : string list;
+  s_kinds : string list;
+  s_total_injected : int;
+  s_sent : int;
+  s_delivered : int;
+  s_lost : int;
+  s_duplicates : int;
+  s_violation_runs : int;
+  s_first_failure : failure option;
+  s_recovery_p50_us : float;
+  s_recovery_p99_us : float;
+  s_recovery_max_us : float;
+}
+
+let ok s = s.s_violation_runs = 0 && s.s_lost = 0 && s.s_duplicates = 0
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) idx))
+
+let run ?cases ?(seed = 42) ?(iters = 1) ?(progress = fun _ -> ()) () =
+  let cases = match cases with Some c -> c | None -> matrix () in
+  let runs = ref 0 in
+  let injected = ref 0 in
+  let sent = ref 0 in
+  let delivered = ref 0 in
+  let lost = ref 0 in
+  let dups = ref 0 in
+  let violation_runs = ref 0 in
+  let first_failure = ref None in
+  let recoveries = ref [] in
+  for i = 0 to iters - 1 do
+    List.iter
+      (fun c ->
+        let run_seed = seed + i in
+        let config =
+          Harness.default_config ~seed:run_seed ~faults:c.c_faults c.c_scenario
+        in
+        let v, _log = Harness.run config in
+        incr runs;
+        injected := !injected + v.Harness.v_total_injected;
+        sent := !sent + v.Harness.v_sent;
+        delivered := !delivered + v.Harness.v_delivered;
+        lost := !lost + v.Harness.v_lost;
+        dups := !dups + v.Harness.v_duplicates;
+        (match v.Harness.v_recovery with
+        | Some d -> recoveries := Sim.Time.to_us_f d :: !recoveries
+        | None -> ());
+        if v.Harness.v_violations <> [] then begin
+          incr violation_runs;
+          if !first_failure = None then
+            first_failure :=
+              Some
+                {
+                  fail_seed = run_seed;
+                  fail_case = c.c_name;
+                  fail_scenario = v.Harness.v_scenario;
+                  fail_fault =
+                    (match c.c_faults with
+                    | [ s ] -> Fault.label s.Fault.f_kind
+                    | _ -> "");
+                  fail_violations = v.Harness.v_violations;
+                }
+        end;
+        progress
+          (Printf.sprintf "%s seed=%d: %s (injected %d)" c.c_name run_seed
+             (if Harness.ok v then "ok" else "VIOLATED")
+             v.Harness.v_total_injected))
+      cases
+  done;
+  let sorted = Array.of_list !recoveries in
+  Array.sort compare sorted;
+  let kinds =
+    List.concat_map (fun c -> List.map (fun s -> Fault.label s.Fault.f_kind) c.c_faults) cases
+    |> List.sort_uniq compare
+  in
+  let scenarios =
+    List.map (fun c -> Harness.scenario_label c.c_scenario) cases
+    |> List.sort_uniq compare
+  in
+  {
+    s_base_seed = seed;
+    s_iters = iters;
+    s_runs = !runs;
+    s_scenarios = scenarios;
+    s_kinds = kinds;
+    s_total_injected = !injected;
+    s_sent = !sent;
+    s_delivered = !delivered;
+    s_lost = !lost;
+    s_duplicates = !dups;
+    s_violation_runs = !violation_runs;
+    s_first_failure = !first_failure;
+    s_recovery_p50_us = percentile sorted 50.0;
+    s_recovery_p99_us = percentile sorted 99.0;
+    s_recovery_max_us = percentile sorted 100.0;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>chaos soak: %d run(s), %d scenario(s), %d fault kind(s)@,"
+    s.s_runs (List.length s.s_scenarios) (List.length s.s_kinds);
+  Format.fprintf fmt "  faults injected: %d@," s.s_total_injected;
+  Format.fprintf fmt "  datagrams: %d sent, %d delivered, %d lost, %d duplicated@,"
+    s.s_sent s.s_delivered s.s_lost s.s_duplicates;
+  Format.fprintf fmt "  recovery latency: p50 %.0f us, p99 %.0f us, max %.0f us@,"
+    s.s_recovery_p50_us s.s_recovery_p99_us s.s_recovery_max_us;
+  (match s.s_first_failure with
+  | None -> Format.fprintf fmt "  violations: none@,"
+  | Some f ->
+      Format.fprintf fmt "  violations: %d run(s); first failing seed %d (%s)@,"
+        s.s_violation_runs f.fail_seed f.fail_case;
+      List.iter (fun v -> Format.fprintf fmt "    %s@," v) f.fail_violations;
+      Format.fprintf fmt "  replay: xenloopsim chaos --scenario %s%s --seed %d@,"
+        f.fail_scenario
+        (if f.fail_fault = "" then "" else " --fault " ^ f.fail_fault)
+        f.fail_seed);
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json s =
+  let b = Buffer.create 512 in
+  let field ?(last = false) name value =
+    Buffer.add_string b (Printf.sprintf "    %S: %s%s\n" name value (if last then "" else ","))
+  in
+  let strings l =
+    "[" ^ String.concat ", " (List.map (fun x -> "\"" ^ json_escape x ^ "\"") l) ^ "]"
+  in
+  Buffer.add_string b "{\n";
+  field "base_seed" (string_of_int s.s_base_seed);
+  field "iterations" (string_of_int s.s_iters);
+  field "runs" (string_of_int s.s_runs);
+  field "scenarios" (strings s.s_scenarios);
+  field "fault_kinds" (strings s.s_kinds);
+  field "faults_injected" (string_of_int s.s_total_injected);
+  field "datagrams_sent" (string_of_int s.s_sent);
+  field "datagrams_delivered" (string_of_int s.s_delivered);
+  field "datagrams_lost" (string_of_int s.s_lost);
+  field "datagrams_duplicated" (string_of_int s.s_duplicates);
+  field "violation_runs" (string_of_int s.s_violation_runs);
+  field "recovery_p50_us" (Printf.sprintf "%.1f" s.s_recovery_p50_us);
+  field "recovery_p99_us" (Printf.sprintf "%.1f" s.s_recovery_p99_us);
+  field "recovery_max_us" (Printf.sprintf "%.1f" s.s_recovery_max_us);
+  (match s.s_first_failure with
+  | None -> field ~last:true "first_failure" "null"
+  | Some f ->
+      field ~last:true "first_failure"
+        (Printf.sprintf
+           "{\"seed\": %d, \"case\": \"%s\", \"violations\": %s}" f.fail_seed
+           (json_escape f.fail_case) (strings f.fail_violations)));
+  Buffer.add_string b "  }";
+  Buffer.contents b

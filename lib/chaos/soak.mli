@@ -1,0 +1,67 @@
+(** The chaos soak: the default fault matrix, iterated over seeds.
+
+    A {e case} is one (scenario, fault set); the {e matrix} pairs every
+    scenario with its applicable fault kinds — each kind alone, plus a
+    "storm" arming all of them at once — and every iteration replays the
+    whole matrix under a fresh seed ([base seed + i]).  The summary
+    aggregates verdicts, recovery-latency percentiles, and the first
+    failing seed with its replay command, which is exactly what you need
+    to reproduce a red run: [xenloopsim chaos --scenario S --fault F
+    --seed N]. *)
+
+type case = {
+  c_name : string;
+  c_scenario : Harness.scenario;
+  c_faults : Fault.spec list;
+}
+
+val matrix : unit -> case list
+(** The stock matrix: every scenario × {baseline, each applicable kind,
+    storm}.  [Migration_world] pairs each probabilistic kind with the
+    migration itself (windows shifted past the migration instant, since
+    guests apart have no XenLoop state to fault); [Netfront_duo] runs
+    baseline only, as the fault-free control. *)
+
+type failure = {
+  fail_seed : int;
+  fail_case : string;
+  fail_scenario : string;
+  fail_fault : string;  (** kind label for replay; "" for baseline/storm *)
+  fail_violations : string list;
+}
+
+type summary = {
+  s_base_seed : int;
+  s_iters : int;
+  s_runs : int;
+  s_scenarios : string list;
+  s_kinds : string list;  (** distinct fault kinds armed across the matrix *)
+  s_total_injected : int;
+  s_sent : int;
+  s_delivered : int;
+  s_lost : int;
+  s_duplicates : int;
+  s_violation_runs : int;
+  s_first_failure : failure option;
+  s_recovery_p50_us : float;
+  s_recovery_p99_us : float;
+  s_recovery_max_us : float;
+}
+
+val ok : summary -> bool
+
+val run :
+  ?cases:case list ->
+  ?seed:int ->
+  ?iters:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  summary
+(** Run [iters] passes over [cases] (default: the full {!matrix}) with
+    seeds [seed], [seed+1], ….  [progress] is called once per completed
+    run with a one-line status. *)
+
+val pp : Format.formatter -> summary -> unit
+
+val to_json : summary -> string
+(** The [chaos] summary object embedded in BENCH_results.json. *)

@@ -22,15 +22,29 @@ and state =
   | Bound of endpoint  (** the peer endpoint *)
   | Closed
 
+type notify_fault = Notify_deliver | Notify_drop | Notify_delay of Sim.Time.span
+
 type t = {
   engine : Sim.Engine.t;
   delivery_latency : unit -> Sim.Time.span;
   endpoints : (domid * port, endpoint) Hashtbl.t;
   next_port : (domid, int) Hashtbl.t;
+  mutable fault_injector : (dom:domid -> port:port -> notify_fault) option;
+  mutable notify_faults : int;
 }
 
 let create ~engine ~delivery_latency =
-  { engine; delivery_latency; endpoints = Hashtbl.create 32; next_port = Hashtbl.create 8 }
+  {
+    engine;
+    delivery_latency;
+    endpoints = Hashtbl.create 32;
+    next_port = Hashtbl.create 8;
+    fault_injector = None;
+    notify_faults = 0;
+  }
+
+let set_fault_injector t f = t.fault_injector <- f
+let notify_faults t = t.notify_faults
 
 let fresh_port t dom =
   let p = Option.value ~default:1 (Hashtbl.find_opt t.next_port dom) in
@@ -69,11 +83,13 @@ let set_handler t ~dom ~port f =
   | None -> invalid_arg "Event_channel.set_handler: bad port"
   | Some ep -> ep.handler <- Some f
 
-let deliver t ep =
+let deliver ?(extra = Sim.Time.span_zero) t ep =
   (* Level-triggered with coalescing: a delivery in flight is represented by
      the pending bit; it is cleared just before the handler runs so that
      events arriving during the handler schedule a fresh delivery. *)
-  Sim.Engine.after t.engine (t.delivery_latency ()) (fun () ->
+  Sim.Engine.after t.engine
+    (Sim.Time.span_add (t.delivery_latency ()) extra)
+    (fun () ->
       if ep.pending && not ep.masked then begin
         ep.pending <- false;
         match ep.handler with None -> () | Some f -> f ()
@@ -88,12 +104,33 @@ let notify t ~dom ~port ~meter =
       match ep.state with
       | Closed -> Error Bad_port
       | Unbound _ -> Error Not_bound
-      | Bound peer_ep ->
-          if not peer_ep.pending then begin
-            peer_ep.pending <- true;
-            if not peer_ep.masked then deliver t peer_ep
-          end;
-          Ok ())
+      | Bound peer_ep -> (
+          let fault =
+            match t.fault_injector with
+            | None -> Notify_deliver
+            | Some f -> f ~dom ~port
+          in
+          match fault with
+          | Notify_drop ->
+              (* The hypercall happens (already metered) but the virtual IRQ
+                 never reaches the peer — a lost doorbell.  The peer's
+                 pending bit stays clear, so a later successful notify on
+                 the same port recovers everything still in the ring. *)
+              t.notify_faults <- t.notify_faults + 1;
+              Ok ()
+          | Notify_deliver | Notify_delay _ ->
+              let extra =
+                match fault with
+                | Notify_delay d ->
+                    t.notify_faults <- t.notify_faults + 1;
+                    d
+                | _ -> Sim.Time.span_zero
+              in
+              if not peer_ep.pending then begin
+                peer_ep.pending <- true;
+                if not peer_ep.masked then deliver ~extra t peer_ep
+              end;
+              Ok ()))
 
 let mask t ~dom ~port =
   match find t ~dom ~port with None -> () | Some ep -> ep.masked <- true

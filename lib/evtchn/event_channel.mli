@@ -54,3 +54,23 @@ val close : t -> dom:domid -> port:port -> unit
 
 val peer : t -> dom:domid -> port:port -> (domid * port) option
 val active_channels : t -> int
+
+(** {2 Fault injection}
+
+    Hooks for the chaos harness (lib/chaos).  The injector is consulted on
+    every {!notify} whose channel is bound; it may drop the virtual IRQ on
+    the floor or delay its delivery.  Because channels are level-triggered
+    and coalescing, a dropped doorbell is recovered by any later successful
+    notify on the same port — exactly the property the harness checks. *)
+
+type notify_fault =
+  | Notify_deliver  (** normal delivery *)
+  | Notify_drop  (** hypercall succeeds, IRQ never arrives *)
+  | Notify_delay of Sim.Time.span  (** extra delivery latency *)
+
+val set_fault_injector :
+  t -> (dom:domid -> port:port -> notify_fault) option -> unit
+(** [dom]/[port] identify the notifying end.  [None] removes the hook. *)
+
+val notify_faults : t -> int
+(** Notifications dropped or delayed by the injector since [create]. *)

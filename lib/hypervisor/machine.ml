@@ -118,12 +118,24 @@ let remove_domain t domain =
   let domid = Domain.domid domain in
   Hashtbl.remove t.domains domid;
   Hashtbl.remove t.grant_tables domid;
+  (* The departing domain's foreign mappings are torn down by the
+     hypervisor so the granters are not left Still_mapped forever. *)
+  Hashtbl.iter
+    (fun _ gt -> ignore (Memory.Grant_table.revoke_mappings_for gt ~dom:domid))
+    t.grant_tables;
   Memory.Frame_allocator.release_all t.m_frames ~owner:domid;
   match Xenstore.rm t.m_xenstore ~caller:Xenstore.dom0 ~path:(Xenstore.domain_path domid) with
   | Ok () | Error _ -> ()
 
 let shutdown_domain t domain =
   Domain.run_shutdown domain;
+  remove_domain t domain;
+  Domain.set_state domain Domain.Dead
+
+let crash_domain t domain =
+  (* No shutdown hooks: the guest dies without any chance to unadvertise,
+     flush waiting lists or notify peers.  The hypervisor still reclaims
+     everything it accounted to the domain. *)
   remove_domain t domain;
   Domain.set_state domain Domain.Dead
 

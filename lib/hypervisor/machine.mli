@@ -39,6 +39,12 @@ val shutdown_domain : t -> Domain.t -> unit
 (** Destroy a guest: runs its shutdown hooks, then detaches it and marks it
     dead. *)
 
+val crash_domain : t -> Domain.t -> unit
+(** Kill a guest without running any shutdown hook — the fault the chaos
+    harness injects for "peer crash".  The hypervisor reclaims the
+    domain's frames, grant table and XenStore subtree; surviving peers
+    must converge via soft state alone. *)
+
 val frame_allocator : t -> Memory.Frame_allocator.t
 (** The machine's physical frame pool (XenLoop channels and other shared
     memory draw from it). *)

@@ -10,3 +10,17 @@ let migrate ~src ~dst domain =
   Sim.Engine.sleep (Machine.params src).Params.migration_downtime;
   Machine.adopt_domain dst domain;
   Domain.run_post_restore domain
+
+let suspend_resume ~machine domain =
+  (match Machine.domain machine (Domain.domid domain) with
+  | Some d when d == domain && Domain.is_running domain -> ()
+  | Some _ | None ->
+      invalid_arg "Migration.suspend_resume: domain not running here");
+  (* Same callback choreography as a migration, but the domain comes back
+     on the same machine with the same domid: save/restore or a localhost
+     migration.  Frames, grants and XenStore survive untouched. *)
+  Domain.run_pre_migrate domain;
+  Domain.set_state domain Domain.Suspended;
+  Sim.Engine.sleep (Machine.params machine).Params.migration_downtime;
+  Domain.set_state domain Domain.Running;
+  Domain.run_post_restore domain

@@ -11,3 +11,9 @@
 
 val migrate : src:Machine.t -> dst:Machine.t -> Domain.t -> unit
 (** @raise Invalid_argument if the domain is not running on [src]. *)
+
+val suspend_resume : machine:Machine.t -> Domain.t -> unit
+(** Suspend the domain, run its pre-migrate hooks, wait one blackout, then
+    restore it in place (same machine, same domid) and run post-restore
+    hooks — a checkpoint/restore or localhost migration.  Process context.
+    @raise Invalid_argument if the domain is not running on [machine]. *)

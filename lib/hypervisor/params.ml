@@ -30,6 +30,8 @@ type t = {
   xenloop_pool_slots : int;
   xenloop_pool_slot_pages : int;
   discovery_period : Sim.Time.span;
+  xenloop_softstate_ttl : Sim.Time.span;
+  xenloop_bootstrap_cooldown : Sim.Time.span;
   netfront_tx : Sim.Time.span;
   netfront_rx : Sim.Time.span;
   netback_per_packet : Sim.Time.span;
@@ -79,6 +81,8 @@ let default =
     xenloop_pool_slots = 64;
     xenloop_pool_slot_pages = 5;
     discovery_period = Sim.Time.sec 5;
+    xenloop_softstate_ttl = Sim.Time.sec 15;
+    xenloop_bootstrap_cooldown = Sim.Time.sec 1;
     netfront_tx = Sim.Time.of_us_f 1.0;
     netfront_rx = Sim.Time.of_us_f 1.0;
     netback_per_packet = Sim.Time.of_us_f 2.3;

@@ -81,6 +81,16 @@ type t = {
           degrade to the inline path *)
   discovery_period : Sim.Time.span;
       (** Dom0 domain-discovery scan interval (paper: 5 s) *)
+  xenloop_softstate_ttl : Sim.Time.span;
+      (** mapping-table soft-state lifetime: a guest that hears no discovery
+          announcement for this long evicts its whole mapping table and
+          disengages its channels, falling back to netfront (paper's
+          soft-state argument, Sect. 3.5; default 3 scan periods) *)
+  xenloop_bootstrap_cooldown : Sim.Time.span;
+      (** after [max_create_retries] unanswered Create_channel (or an
+          unanswered Request_channel), the peer is marked failed and no new
+          bootstrap is attempted until this much time has passed — bounds
+          the retry storm against a dead or deaf peer *)
   (* --- Netfront / netback split driver --- *)
   netfront_tx : Sim.Time.span;  (** ring work + grant issue, per packet *)
   netfront_rx : Sim.Time.span;

@@ -5,12 +5,25 @@ type t = {
   mutable allocated : int;
   owners : (int, int) Hashtbl.t;  (* page id -> owner domid *)
   per_owner : (int, int) Hashtbl.t;  (* domid -> frame count *)
+  mutable fault_injector : (owner:int -> count:int -> bool) option;
+  mutable alloc_faults : int;
 }
 
 let create ~total_frames =
   if total_frames <= 0 then invalid_arg "Frame_allocator.create: no frames";
   { total = total_frames; allocated = 0; owners = Hashtbl.create 256;
-    per_owner = Hashtbl.create 16 }
+    per_owner = Hashtbl.create 16; fault_injector = None; alloc_faults = 0 }
+
+let set_fault_injector t f = t.fault_injector <- f
+let alloc_faults t = t.alloc_faults
+
+let fault_exhausted t ~owner ~count =
+  match t.fault_injector with
+  | None -> false
+  | Some f ->
+      let hit = f ~owner ~count in
+      if hit then t.alloc_faults <- t.alloc_faults + 1;
+      hit
 
 let total_frames t = t.total
 let free_frames t = t.total - t.allocated
@@ -21,7 +34,7 @@ let bump t owner delta =
   if next = 0 then Hashtbl.remove t.per_owner owner
   else Hashtbl.replace t.per_owner owner next
 
-let allocate t ~owner =
+let allocate_raw t ~owner =
   if t.allocated >= t.total then Error Out_of_frames
   else begin
     let page = Page.create () in
@@ -30,6 +43,10 @@ let allocate t ~owner =
     bump t owner 1;
     Ok page
   end
+
+let allocate t ~owner =
+  if fault_exhausted t ~owner ~count:1 then Error Out_of_frames
+  else allocate_raw t ~owner
 
 let release t ~owner page =
   match Hashtbl.find_opt t.owners (Page.id page) with
@@ -42,15 +59,20 @@ let release t ~owner page =
 
 let allocate_many t ~owner ~count =
   if count < 0 then invalid_arg "Frame_allocator.allocate_many: negative count";
-  if free_frames t < count then Error Out_of_frames
+  if free_frames t < count || fault_exhausted t ~owner ~count then
+    Error Out_of_frames
   else
     Ok
       (Array.init count (fun _ ->
-           match allocate t ~owner with
+           match allocate_raw t ~owner with
            | Ok page -> page
            | Error Out_of_frames -> assert false))
 
 let owned_by t owner = Option.value ~default:0 (Hashtbl.find_opt t.per_owner owner)
+
+let owners t =
+  Hashtbl.fold (fun dom n acc -> (dom, n) :: acc) t.per_owner []
+  |> List.sort compare
 
 let release_all t ~owner =
   let mine =

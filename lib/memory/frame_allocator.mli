@@ -27,5 +27,20 @@ val release : t -> owner:int -> Page.t -> unit
 val owned_by : t -> int -> int
 (** Frames currently charged to a domain. *)
 
+val owners : t -> (int * int) list
+(** Every (domid, frame count) with a nonzero balance, sorted by domid —
+    the chaos invariant checker sums these against [free_frames] to prove
+    conservation. *)
+
 val release_all : t -> owner:int -> unit
 (** Return every frame a domain owns (domain destruction). *)
+
+(** {2 Fault injection}
+
+    The injector is consulted once per {!allocate} / {!allocate_many} call
+    (not per page of a batch); returning [true] makes the call fail with
+    [Out_of_frames] even though frames are free — a transient exhaustion
+    the caller must handle like the real thing. *)
+
+val set_fault_injector : t -> (owner:int -> count:int -> bool) option -> unit
+val alloc_faults : t -> int

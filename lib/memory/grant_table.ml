@@ -31,9 +31,16 @@ type t = {
   table_owner : domid;
   entries : (gref, entry) Hashtbl.t;
   mutable next_ref : gref;
+  mutable map_fault_injector : (by:domid -> gref -> bool) option;
+  mutable map_faults : int;
 }
 
-let create ~owner = { table_owner = owner; entries = Hashtbl.create 64; next_ref = 0 }
+let create ~owner =
+  { table_owner = owner; entries = Hashtbl.create 64; next_ref = 0;
+    map_fault_injector = None; map_faults = 0 }
+
+let set_map_fault_injector t f = t.map_fault_injector <- f
+let map_faults t = t.map_faults
 
 let owner t = t.table_owner
 
@@ -77,6 +84,18 @@ let take_transferred t gref =
 
 let active_grants t = Hashtbl.length t.entries
 
+let revoke_mappings_for t ~dom =
+  let revoked = ref 0 in
+  Hashtbl.iter
+    (fun _ entry ->
+      match entry.kind with
+      | Access a when entry.to_dom = dom && a.mapped ->
+          a.mapped <- false;
+          incr revoked
+      | Access _ | Transfer _ -> ())
+    t.entries;
+  !revoked
+
 let lookup_for t gref ~by =
   match Hashtbl.find_opt t.entries gref with
   | None -> Error Bad_ref
@@ -86,6 +105,16 @@ let hypercall meter name = Cost_meter.record meter (Cost_meter.Hypercall name)
 
 let map t gref ~by ~meter =
   hypercall meter "gnttab_map_grant_ref";
+  let faulted =
+    match t.map_fault_injector with
+    | None -> false
+    | Some f ->
+        let hit = f ~by gref in
+        if hit then t.map_faults <- t.map_faults + 1;
+        hit
+  in
+  if faulted then Error Bad_ref
+  else
   match lookup_for t gref ~by with
   | Error e -> Error e
   | Ok { kind = Transfer _; _ } -> Error Wrong_kind

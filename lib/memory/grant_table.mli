@@ -42,6 +42,13 @@ val take_transferred : t -> gref -> (Page.t, error) result
 
 val active_grants : t -> int
 
+val revoke_mappings_for : t -> dom:domid -> int
+(** Forget every live mapping held by [dom], returning how many were
+    revoked.  This is the hypervisor's domain-destruction path: when a
+    domain dies — cleanly or by crashing — Xen tears down its foreign
+    mappings so granters are not wedged in [Still_mapped] forever.  Only
+    the hypervisor ({!remove_domain} in the machine) may call this. *)
+
 (** {1 Foreign-domain operations (one hypercall each)} *)
 
 val map :
@@ -86,3 +93,13 @@ val transfer :
 (** Transfer [page] into the granter's transfer slot.  Returns a fresh,
     zeroed exchange page for the transferring domain (the zeroing cost is
     recorded, matching the security argument in the paper). *)
+
+(** {1 Fault injection}
+
+    Chaos-harness hook: the injector is consulted on every {!map}
+    hypercall; returning [true] fails the map with [Bad_ref], modelling a
+    transient GNTST_general_error.  The grant itself is untouched, so a
+    retried map can succeed. *)
+
+val set_map_fault_injector : t -> (by:domid -> gref -> bool) option -> unit
+val map_faults : t -> int

@@ -22,6 +22,7 @@ type duo = {
   warmup : unit -> unit;
   modules : Xenloop.Guest_module.t list;
   machine : Machine.t option;
+  discovery : Xenloop.Discovery.t option;
 }
 
 let attach_stack_to_bridge ~params ~bridge ~stack ~name =
@@ -79,6 +80,7 @@ let build_inter_machine ~params =
     warmup = (fun () -> ping_until_replied client ~dst:(Endpoint.ip server));
     modules = [];
     machine = None;
+    discovery = None;
   }
 
 (* --- Scenarios 2 and 3: two guests on one Xen machine --- *)
@@ -152,6 +154,7 @@ let build_xen_machine ~params ~with_xenloop ~fifo_k ~client_queues ~server_queue
     warmup;
     modules;
     machine = Some machine;
+    discovery;
   }
 
 (* --- Scenario 4: native loopback --- *)
@@ -172,6 +175,7 @@ let build_native_loopback ~params =
     warmup = (fun () -> ping_until_replied ep ~dst:ip);
     modules = [];
     machine = None;
+    discovery = None;
   }
 
 (* --- N-guest XenLoop cluster --- *)

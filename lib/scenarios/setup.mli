@@ -29,6 +29,9 @@ type duo = {
       (** Loaded XenLoop modules (empty outside the XenLoop scenario). *)
   machine : Hypervisor.Machine.t option;
       (** The shared machine for the two virtualized scenarios. *)
+  discovery : Xenloop.Discovery.t option;
+      (** The Dom0 discovery module (XenLoop scenario only) — exposed so
+          the chaos harness can fault its announcements. *)
 }
 
 val build :

@@ -6,8 +6,12 @@ type t = {
   machine : Hypervisor.Machine.t;
   dom0_stack : Netstack.Stack.t;
   timer : Sim.Engine.timer;
+  mutable watch : Xenstore.watch option;
+  mutable scan_pending : bool;
   mutable last_scan : Proto.entry list;
   mutable sent : int;
+  mutable announce_fault : (domid:int -> bool) option;
+  mutable dropped : int;
 }
 
 let scan t =
@@ -64,14 +68,45 @@ let announce t entries =
   let message = Proto.encode (Proto.Announce entries) in
   List.iter
     (fun e ->
-      t.sent <- t.sent + 1;
-      Netstack.Stack.send_ctrl t.dom0_stack ~dst_mac:e.Proto.entry_mac message)
+      let drop =
+        match t.announce_fault with
+        | None -> false
+        | Some f -> f ~domid:e.Proto.entry_domid
+      in
+      if drop then t.dropped <- t.dropped + 1
+      else begin
+        t.sent <- t.sent + 1;
+        Netstack.Stack.send_ctrl t.dom0_stack ~dst_mac:e.Proto.entry_mac message
+      end)
     entries
 
 let scan_now t =
   let entries = scan t in
   t.last_scan <- entries;
   announce t entries
+
+(* React to xenbus traffic on the advert nodes: insmod/rmmod updates the
+   mapping table within ~100us instead of waiting out a full period.  The
+   periodic scan stays as the soft-state backstop — a lost watch event
+   only delays convergence until the next round. *)
+let on_store_event t path _event =
+  let suffix = "/" ^ advert_key in
+  let matches =
+    String.length path >= String.length suffix
+    && String.sub path
+         (String.length path - String.length suffix)
+         (String.length suffix)
+       = suffix
+  in
+  if matches && not t.scan_pending then begin
+    t.scan_pending <- true;
+    Sim.Engine.after
+      (Hypervisor.Machine.engine t.machine)
+      (Sim.Time.us 100)
+      (fun () ->
+        t.scan_pending <- false;
+        scan_now t)
+  end
 
 let start ~machine ~dom0_stack () =
   let period = (Hypervisor.Machine.params machine).Hypervisor.Params.discovery_period in
@@ -83,13 +118,35 @@ let start ~machine ~dom0_stack () =
         timer =
           Sim.Engine.every (Hypervisor.Machine.engine machine) period (fun () ->
               scan_now (Lazy.force t));
+        watch = None;
+        scan_pending = false;
         last_scan = [];
         sent = 0;
+        announce_fault = None;
+        dropped = 0;
       }
   in
-  Lazy.force t
+  let t = Lazy.force t in
+  (match
+     Xenstore.watch
+       (Hypervisor.Machine.xenstore machine)
+       ~caller:Xenstore.dom0 ~path:"/local/domain"
+       (fun path event -> on_store_event t path event)
+   with
+  | Ok w -> t.watch <- Some w
+  | Error _ -> ());
+  t
 
-let stop t = Sim.Engine.cancel t.timer
+let stop t =
+  Sim.Engine.cancel t.timer;
+  match t.watch with
+  | Some w ->
+      Xenstore.unwatch (Hypervisor.Machine.xenstore t.machine) w;
+      t.watch <- None
+  | None -> ()
 
 let willing_guests t = t.last_scan
 let announcements_sent t = t.sent
+
+let set_announce_fault t f = t.announce_fault <- f
+let announcements_dropped t = t.dropped

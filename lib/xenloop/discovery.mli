@@ -29,3 +29,15 @@ val willing_guests : t -> Proto.entry list
 (** The result of the last scan. *)
 
 val announcements_sent : t -> int
+
+(** {1 Fault injection}
+
+    Chaos-harness hook.  The injector is consulted once per recipient per
+    announcement round; [true] silently drops that guest's copy (the scan
+    still ran, the others still hear).  A guest starved of announcements
+    long enough must expire its whole mapping table
+    ({!Hypervisor.Params.xenloop_softstate_ttl}) and recover when they
+    resume. *)
+
+val set_announce_fault : t -> (domid:int -> bool) option -> unit
+val announcements_dropped : t -> int

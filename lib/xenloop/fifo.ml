@@ -333,3 +333,28 @@ let pop t =
          the endpoints disagree about the negotiation — treat it like any
          other framing corruption. *)
       invalid_arg "Fifo.pop: descriptor entry on an inline-only consumer"
+
+let sanity t =
+  (* The invariant checker's view: every property here must hold at any
+     instant between two well-formed shared-memory operations, whatever
+     faults the harness injected around them. *)
+  let k = get_u32_int t.desc off_k in
+  let state = get_u32_int t.desc off_state in
+  let ca = get_u32_int t.desc off_consumer_active in
+  let pw = get_u32_int t.desc off_producer_waiting in
+  if k < 1 || k > max_k then Some (Printf.sprintf "k out of range: %d" k)
+  else if 1 lsl k <> t.fifo_slots then
+    Some (Printf.sprintf "k/slots mismatch: k=%d slots=%d" k t.fifo_slots)
+  else if get_u32_int t.desc off_npages <> Array.length t.data then
+    Some "npages does not match attached data pages"
+  else if state <> 0 && state <> 1 then
+    Some (Printf.sprintf "state flag corrupt: %d" state)
+  else if ca <> 0 && ca <> 1 then
+    Some (Printf.sprintf "consumer-active flag corrupt: %d" ca)
+  else if pw <> 0 && pw <> 1 then
+    Some (Printf.sprintf "producer-waiting flag corrupt: %d" pw)
+  else if used_slots t > t.fifo_slots then
+    Some
+      (Printf.sprintf "ring overfull: front=%d back=%d slots=%d" (front t)
+         (back t) t.fifo_slots)
+  else None

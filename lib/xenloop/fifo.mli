@@ -193,3 +193,9 @@ val force_indices : desc:Memory.Page.t -> int -> unit
 
 val front : t -> int
 val back : t -> int
+
+val sanity : t -> string option
+(** Chaos-harness invariant: checks the shared descriptor header for
+    corruption — k/page geometry vs this view, boolean flags really 0/1,
+    and [used_slots <= slots] (a free-running front that overtook back).
+    Returns a description of the first violated property. *)

@@ -27,6 +27,8 @@ type stats = {
   mutable desc_tx : int;
   mutable inline_tx : int;
   mutable pool_fallbacks : int;
+  mutable bootstrap_failures : int;
+  mutable softstate_evictions : int;
 }
 
 type role = Listener | Connector
@@ -74,9 +76,19 @@ type channel = {
 
 type awaiting = { ba_channel : channel; mutable retries : int }
 
-type bootstrap = Requested_from_listener | Awaiting_ack of awaiting
+(* [Requested_from_listener] carries a token so the request-timeout timer
+   can tell "still the same unanswered request" from "a later bootstrap
+   reused the state". *)
+type bootstrap = Requested_from_listener of int | Awaiting_ack of awaiting
 
-type peer_state = Bootstrapping of bootstrap | Active of channel
+(* [Failed_until t]: bootstrap against this peer exhausted its retries (or
+   the request was never answered); no new attempt before sim-time [t].
+   Incoming control traffic from the peer proves it alive and clears the
+   cooldown early. *)
+type peer_state =
+  | Bootstrapping of bootstrap
+  | Active of channel
+  | Failed_until of Sim.Time.t
 
 (* Memoized per-flow routing decision (mapping-table lookup + steering
    hash), invalidated wholesale by bumping [epoch]. *)
@@ -102,7 +114,17 @@ type t = {
   trace : Sim.Trace.t option;
   s : stats;
   mutable loaded : bool;
+  mutable next_token : int;  (** Requested_from_listener incarnations *)
+  mutable last_announce : Sim.Time.t;
+      (** when the mapping table was last refreshed (soft-state TTL) *)
+  mutable expiry_timer : Sim.Engine.timer option;
+  (* Chaos-harness hooks (lib/chaos); [None] in production. *)
+  mutable ctrl_fault : (Proto.t -> ctrl_fault) option;
+  mutable push_fault : (unit -> bool) option;
+  mutable pool_fault : (unit -> bool) option;
 }
+
+and ctrl_fault = Ctrl_pass | Ctrl_drop | Ctrl_dup | Ctrl_delay of Sim.Time.span
 
 let max_create_retries = 3
 let ack_timeout = Sim.Time.ms 500
@@ -133,18 +155,25 @@ let connected_peer_ids t =
 let has_channel_with t ~domid =
   match Hashtbl.find_opt t.peers domid with
   | Some (Active ch) -> ch.connected
-  | Some (Bootstrapping _) | None -> false
+  | Some (Bootstrapping _ | Failed_until _) | None -> false
+
+let failed_peer_ids t =
+  Hashtbl.fold
+    (fun domid state acc ->
+      match state with Failed_until _ -> domid :: acc | _ -> acc)
+    t.peers []
+  |> List.sort compare
 
 let waiting_list_length t ~domid =
   match Hashtbl.find_opt t.peers domid with
   | Some (Active ch) ->
       Array.fold_left (fun acc q -> acc + Queue.length q.waiting) 0 ch.queues
-  | Some (Bootstrapping _) | None -> 0
+  | Some (Bootstrapping _ | Failed_until _) | None -> 0
 
 let queue_count t ~domid =
   match Hashtbl.find_opt t.peers domid with
   | Some (Active ch) -> Array.length ch.queues
-  | Some (Bootstrapping _) | None -> 0
+  | Some (Bootstrapping _ | Failed_until _) | None -> 0
 
 type queue_stat = {
   qs_notifies_sent : int;
@@ -171,13 +200,13 @@ let queue_stats t ~domid =
             qs_pool_fallbacks = q.q_pool_fallbacks;
           })
         ch.queues
-  | Some (Bootstrapping _) | None -> [||]
+  | Some (Bootstrapping _ | Failed_until _) | None -> [||]
 
 let zerocopy_active t ~domid =
   match Hashtbl.find_opt t.peers domid with
   | Some (Active ch) ->
       ch.connected && Array.exists (fun q -> q.q_tx_pool <> None) ch.queues
-  | Some (Bootstrapping _) | None -> false
+  | Some (Bootstrapping _ | Failed_until _) | None -> false
 
 let trace t cat fmt =
   match t.trace with
@@ -256,6 +285,12 @@ let proto_hint_of raw =
 let record_copy t len =
   Memory.Cost_meter.record (meter t) (Memory.Cost_meter.Page_copy len)
 
+(* Chaos-harness hook: a forced FIFO push refusal, indistinguishable from
+   a full ring to every caller (the frame queues on the waiting list and
+   is retried or flushed via netfront — never dropped). *)
+let push_refused t =
+  match t.push_fault with None -> false | Some f -> f ()
+
 let note_outcome t q (outcome : Fifo.push_outcome) =
   match outcome with
   | Fifo.Push_failed -> false
@@ -281,17 +316,20 @@ let note_outcome t q (outcome : Fifo.push_outcome) =
    sender-side cost is identical either way; zero-copy wins on the
    receiver, which consumes pool payloads in place. *)
 let push_frame t q raw =
-  let p = params t in
-  let len = Bytes.length raw in
-  Sim.Resource.use (cpu t)
-    (Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
-  let outcome =
-    Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
-      ~proto_hint:(proto_hint_of raw) raw
-  in
-  let ok = note_outcome t q outcome in
-  if ok then record_copy t len;
-  ok
+  if push_refused t then false
+  else begin
+    let p = params t in
+    let len = Bytes.length raw in
+    Sim.Resource.use (cpu t)
+      (Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
+    let outcome =
+      Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
+        ~proto_hint:(proto_hint_of raw) raw
+    in
+    let ok = note_outcome t q outcome in
+    if ok then record_copy t len;
+    ok
+  end
 
 (* Whether a frame of this size would enter the queue right now —
    {!Fifo.can_accept} generalized over this queue's descriptor path. *)
@@ -393,8 +431,10 @@ let send_batch t q raws =
               let len = Bytes.length raw in
               Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
               let outcome =
-                Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
-                  ~proto_hint:(proto_hint_of raw) raw
+                if push_refused t then Fifo.Push_failed
+                else
+                  Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
+                    ~proto_hint:(proto_hint_of raw) raw
               in
               if note_outcome t q outcome then begin
                 record_copy t len;
@@ -598,7 +638,8 @@ let disengage_peer t peer_domid ~save =
   | Some (Bootstrapping (Awaiting_ack ba)) ->
       ba.ba_channel.cleanup ();
       Hashtbl.remove t.peers peer_domid
-  | Some (Bootstrapping Requested_from_listener) -> Hashtbl.remove t.peers peer_domid
+  | Some (Bootstrapping (Requested_from_listener _)) | Some (Failed_until _) ->
+      Hashtbl.remove t.peers peer_domid
   | None -> ()
 
 let teardown_all t ~save =
@@ -752,7 +793,7 @@ let on_event t peer_domid qi () =
                   notify_peer t q
           end
         end)
-    | Some (Active _) | Some (Bootstrapping _) | None -> ()
+    | Some (Active _) | Some (Bootstrapping _) | Some (Failed_until _) | None -> ()
   end
 
 (* ------------------------------------------------------------------ *)
@@ -765,9 +806,39 @@ let grant_fifo_pages ~gt ~peer ~desc ~data =
       (Array.map (fun page -> Gt.grant_access gt ~to_dom:peer ~page ~writable:true) data)
   in
   Fifo.write_grefs ~desc data_grefs;
-  (desc_gref, data_grefs)
+  (* Pair every gref with its page so teardown can release pages
+     one-by-one as their grants become endable. *)
+  (desc_gref, (desc_gref, desc) :: List.combine data_grefs (Array.to_list data))
 
-let send_ctrl t ~dst_mac msg = Stack.send_ctrl t.stack ~dst_mac (Proto.encode msg)
+let send_ctrl t ~dst_mac msg =
+  let deliver () = Stack.send_ctrl t.stack ~dst_mac (Proto.encode msg) in
+  match t.ctrl_fault with
+  | None -> deliver ()
+  | Some f -> (
+      match f msg with
+      | Ctrl_pass -> deliver ()
+      | Ctrl_drop -> ()
+      | Ctrl_dup ->
+          deliver ();
+          deliver ()
+      | Ctrl_delay d -> Sim.Engine.after (engine t) d deliver)
+
+(* Retry exhaustion: the peer never answered, so stop — but leave a
+   tombstone with a deadline instead of nothing.  Without the cooldown
+   every packet classified towards the peer immediately restarts the
+   bootstrap, and a dead or deaf peer turns the fast path into a retry
+   storm of Create_channel grants and frame allocations. *)
+let mark_bootstrap_failed t peer_domid =
+  let deadline =
+    Sim.Time.add
+      (Sim.Engine.now (engine t))
+      (params t).Params.xenloop_bootstrap_cooldown
+  in
+  Hashtbl.replace t.peers peer_domid (Failed_until deadline);
+  t.s.bootstrap_failures <- t.s.bootstrap_failures + 1;
+  bump_epoch t;
+  trace t Sim.Trace.Bootstrap "dom%d: bootstrap to dom%d failed; cooling down"
+    (my_domid t) peer_domid
 
 let rec send_create_with_retry t ~peer_domid ~peer_mac ~msg ba =
   send_ctrl t ~dst_mac:peer_mac msg;
@@ -779,11 +850,52 @@ let rec send_create_with_retry t ~peer_domid ~peer_mac ~msg ba =
             send_create_with_retry t ~peer_domid ~peer_mac ~msg ba
           end
           else begin
-            (* Give up (paper: resend 3 times). *)
+            (* Give up (paper: resend 3 times).  Poison the offered queues
+               before releasing anything: a connector that mapped the
+               grants and whose ack is still in flight must find the FIFOs
+               inactive and disengage, not keep feeding a channel whose
+               listener end no longer exists. *)
+            Array.iter
+              (fun q ->
+                Fifo.mark_inactive q.out_fifo;
+                Fifo.mark_inactive q.in_fifo;
+                try notify_peer ~force:true t q with Invalid_argument _ -> ())
+              ba.ba_channel.queues;
             ba.ba_channel.cleanup ();
-            Hashtbl.remove t.peers peer_domid
+            mark_bootstrap_failed t peer_domid
           end
       | _ -> ())
+
+(* Grants the connector still has mapped when the listener tears down
+   ([Still_mapped]) cannot be ended yet, and their pages must NOT go back
+   to the free pool — a live peer can still write through the mapping.
+   They stay owned and granted until the peer's own disengage unmaps them
+   (or the hypervisor revokes a dead peer's mappings), and a short timer
+   reaps them: end the grant, then release the page. *)
+let reap_period = Sim.Time.of_us_f 100.0
+
+let reap_grants t ~machine ~domid ~gt pending =
+  let frames = Machine.frame_allocator machine in
+  let rec reap pending () =
+    match Machine.grant_table machine domid with
+    | Some gt' when gt' == gt ->
+        let left =
+          List.filter_map
+            (fun (gref, page) ->
+              match Gt.end_access gt gref with
+              | Ok () ->
+                  Memory.Frame_allocator.release frames ~owner:domid page;
+                  None
+              | Error _ -> Some (gref, page))
+            pending
+        in
+        if left <> [] then Sim.Engine.after (engine t) reap_period (reap left)
+    | Some _ | None ->
+        (* The domain is gone (migration or death): the hypervisor already
+           reclaimed its frames and dropped its grant table. *)
+        ()
+  in
+  Sim.Engine.after (engine t) reap_period (reap pending)
 
 let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
   let machine = t.current_machine () in
@@ -841,22 +953,25 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
                 data
             in
             Payload_pool.write_grefs pp data_grefs;
-            all_grefs := (ctrl_gref :: Array.to_list data_grefs) @ !all_grefs;
+            all_grefs :=
+              ((ctrl_gref, ctrl)
+              :: List.combine (Array.to_list data_grefs) (Array.to_list data))
+              @ !all_grefs;
             (pp, ctrl_gref)
           in
           let make_queue qi =
             let qp = Fifo.carve_queue ~pool ~k:t.k ~index:qi in
             Fifo.init ~desc:qp.Fifo.qp_desc_lc ~data:qp.Fifo.qp_data_lc ~k:t.k;
             Fifo.init ~desc:qp.Fifo.qp_desc_cl ~data:qp.Fifo.qp_data_cl ~k:t.k;
-            let lc_gref, lc_data =
+            let lc_gref, lc_pairs =
               grant_fifo_pages ~gt ~peer:peer_domid ~desc:qp.Fifo.qp_desc_lc
                 ~data:qp.Fifo.qp_data_lc
             in
-            let cl_gref, cl_data =
+            let cl_gref, cl_pairs =
               grant_fifo_pages ~gt ~peer:peer_domid ~desc:qp.Fifo.qp_desc_cl
                 ~data:qp.Fifo.qp_data_cl
             in
-            all_grefs := ((lc_gref :: lc_data) @ (cl_gref :: cl_data)) @ !all_grefs;
+            all_grefs := (lc_pairs @ cl_pairs) @ !all_grefs;
             let pools =
               if use_pools then
                 Some (build_pool ~qi ~dir:0, build_pool ~qi ~dir:1)
@@ -887,6 +1002,9 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
                 q_pool_fallbacks = 0;
               }
             in
+            (match q.q_tx_pool with
+            | Some pool -> Payload_pool.set_alloc_fault pool t.pool_fault
+            | None -> ());
             let qg_lc_pool, qg_cl_pool =
               match pools with
               | Some ((_, lc_gref), (_, cl_gref)) -> (Some lc_gref, Some cl_gref)
@@ -906,10 +1024,22 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
           let grants = Array.to_list (Array.map snd built) in
           let grefs = !all_grefs and ports = !all_ports in
           let cleanup () =
-            List.iter (fun gref -> ignore (Gt.end_access gt gref)) grefs;
-            Array.iter
-              (fun page -> Memory.Frame_allocator.release frames ~owner:domid page)
-              pool;
+            (* The connector may still hold mappings when teardown runs
+               (its unmap rides the teardown notification, a few event
+               latencies away), so a page is only returned to the free
+               pool once its grant actually ends; the rest are parked
+               with the reaper. *)
+            let pending =
+              List.filter_map
+                (fun (gref, page) ->
+                  match Gt.end_access gt gref with
+                  | Ok () ->
+                      Memory.Frame_allocator.release frames ~owner:domid page;
+                      None
+                  | Error _ -> Some (gref, page))
+                grefs
+            in
+            if pending <> [] then reap_grants t ~machine ~domid ~gt pending;
             List.iter (fun port -> Ec.close ec ~dom:domid ~port) ports
           in
           let ch =
@@ -938,7 +1068,10 @@ let start_bootstrap t ~peer_domid ~peer_mac =
     listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc
   end
   else begin
-    Hashtbl.replace t.peers peer_domid (Bootstrapping Requested_from_listener);
+    let token = t.next_token in
+    t.next_token <- token + 1;
+    Hashtbl.replace t.peers peer_domid
+      (Bootstrapping (Requested_from_listener token));
     t.s.bootstraps_started <- t.s.bootstraps_started + 1;
     send_ctrl t ~dst_mac:peer_mac
       (Proto.Request_channel
@@ -946,7 +1079,18 @@ let start_bootstrap t ~peer_domid ~peer_mac =
            requester_domid = my_domid t;
            max_queues = t.max_queues;
            zerocopy = t.zerocopy;
-         })
+         });
+    (* The requester has no retry loop of its own — the listener drives the
+       Create/Ack exchange — so bound the wait symmetrically: if nothing
+       arrived within the listener's whole retry budget, the request (or
+       every Create) was lost, and the peer goes into cooldown. *)
+    Sim.Engine.after (engine t)
+      (Sim.Time.span_scale (max_create_retries + 2) ack_timeout)
+      (fun () ->
+        match Hashtbl.find_opt t.peers peer_domid with
+        | Some (Bootstrapping (Requested_from_listener tk)) when tk = token ->
+            mark_bootstrap_failed t peer_domid
+        | _ -> ())
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1071,6 +1215,10 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
                             q_pool_fallbacks = 0;
                           }
                         in
+                        (match q.q_tx_pool with
+                        | Some pool ->
+                            Payload_pool.set_alloc_fault pool t.pool_fault
+                        | None -> ());
                         build (qi + 1) (q :: acc) rest))
             | _ -> None)
       in
@@ -1112,6 +1260,7 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
 
 let on_announce t entries =
   let domid = my_domid t in
+  t.last_announce <- Sim.Engine.now (engine t);
   let others = List.filter (fun e -> e.Proto.entry_domid <> domid) entries in
   Mapping_table.update t.mapping others;
   (* Soft-state replacement invalidates every memoized flow decision. *)
@@ -1124,6 +1273,30 @@ let on_announce t entries =
   in
   List.iter (fun id -> disengage_peer t id ~save:false) stale
 
+(* Soft-state TTL (paper Sect. 3.5: state refreshed by the periodic
+   announcements, never explicitly invalidated).  A guest that has heard
+   nothing for [xenloop_softstate_ttl] — Dom0 died, announcements lost, the
+   bridge wedged — must not keep steering into channels whose peers may be
+   long gone: evict the whole table exactly as an empty announcement
+   would. *)
+let softstate_expire t =
+  if t.loaded then begin
+    let ttl = (params t).Params.xenloop_softstate_ttl in
+    if
+      Sim.Time.span_is_positive ttl
+      && Mapping_table.size t.mapping > 0
+      && Sim.Time.(Sim.Engine.now (engine t) >= Sim.Time.add t.last_announce ttl)
+    then begin
+      let evicted = Mapping_table.size t.mapping in
+      t.s.softstate_evictions <- t.s.softstate_evictions + evicted;
+      trace t Sim.Trace.Teardown
+        "dom%d: soft-state TTL expired; evicting %d mapping entr%s" (my_domid t)
+        evicted
+        (if evicted = 1 then "y" else "ies");
+      on_announce t []
+    end
+  end
+
 let on_ctrl_packet t (packet : P.t) =
   if t.loaded then begin
     match packet.P.body with
@@ -1133,6 +1306,14 @@ let on_ctrl_packet t (packet : P.t) =
         | Ok (Proto.Announce entries) -> on_announce t entries
         | Ok (Proto.Request_channel { requester_domid; max_queues; zerocopy }) -> (
             match Hashtbl.find_opt t.peers requester_domid with
+            | Some (Failed_until _) ->
+                (* The peer speaks — it is alive after all; drop the
+                   cooldown and serve the request. *)
+                Hashtbl.remove t.peers requester_domid;
+                if my_domid t < requester_domid then
+                  listener_create t ~peer_domid:requester_domid
+                    ~peer_mac:packet.P.src_mac ~peer_queues:max_queues
+                    ~peer_zc:zerocopy
             | Some _ -> ()
             | None ->
                 if my_domid t < requester_domid then
@@ -1141,12 +1322,28 @@ let on_ctrl_packet t (packet : P.t) =
                     ~peer_zc:zerocopy)
         | Ok (Proto.Create_channel { listener_domid; queues }) -> (
             match Hashtbl.find_opt t.peers listener_domid with
-            | Some (Active ch) when ch.role = Connector ->
+            | Some (Active ch)
+              when ch.role = Connector
+                   && Array.for_all
+                        (fun q ->
+                          Fifo.is_active q.out_fifo && Fifo.is_active q.in_fifo)
+                        ch.queues ->
                 (* Duplicate create (our ack was in flight): re-ack. *)
                 send_ctrl t ~dst_mac:packet.P.src_mac
                   (Proto.Channel_ack { connector_domid = my_domid t })
+            | Some (Active ch) when ch.role = Connector ->
+                (* A fresh Create while our channel to this listener is
+                   already poisoned: the listener gave up on the old
+                   incarnation (our ack was too late) and is starting over.
+                   Disengage the zombie — its pages are going or gone on
+                   the listener side — and accept the new offer. *)
+                disengage_peer t listener_domid ~save:false;
+                connector_accept t ~listener_domid
+                  ~listener_mac:packet.P.src_mac ~queue_grants:queues
             | Some (Active _) -> ()
-            | Some (Bootstrapping Requested_from_listener) | None ->
+            | Some (Bootstrapping (Requested_from_listener _))
+            | Some (Failed_until _)
+            | None ->
                 connector_accept t ~listener_domid ~listener_mac:packet.P.src_mac
                   ~queue_grants:queues
             | Some (Bootstrapping (Awaiting_ack _)) ->
@@ -1215,6 +1412,15 @@ let classify_slow t (packet : P.t) key =
           (* Bootstrap in progress: standard path (paper Sect. 3.3).  Not
              cached — the decision flips without an epoch bump the moment
              the channel connects. *)
+          `Standard_path
+      | Some (Failed_until deadline) ->
+          (* Cooldown after retry exhaustion: standard path, no new
+             bootstrap until the deadline passes.  Not cached, so the
+             first packet after the deadline retries immediately. *)
+          if Sim.Time.(Sim.Engine.now (engine t) >= deadline) then begin
+            Hashtbl.remove t.peers peer_domid;
+            start_bootstrap t ~peer_domid ~peer_mac:packet.P.dst_mac
+          end;
           `Standard_path
       | None ->
           start_bootstrap t ~peer_domid ~peer_mac:packet.P.dst_mac;
@@ -1332,7 +1538,8 @@ let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
               send_via_channel t q raw;
               true
             end
-        | Some (Active _) | Some (Bootstrapping _) -> false
+        | Some (Active _) | Some (Bootstrapping _) | Some (Failed_until _) ->
+            false
         | None ->
             (* First co-resident traffic: kick off the bootstrap and let the
                caller use the standard path meanwhile. *)
@@ -1372,8 +1579,84 @@ let unload t =
     | Some handle -> Netstack.Netfilter.unregister (Stack.post_routing t.stack) handle
     | None -> ());
     t.hook <- None;
+    (match t.expiry_timer with
+    | Some timer -> Sim.Engine.cancel timer
+    | None -> ());
+    t.expiry_timer <- None;
     t.loaded <- false
   end
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-harness hooks and invariants *)
+
+(* The guest died abruptly: the module stops reacting, but runs none of the
+   teardown choreography — no unadvertisement, no peer notification, no
+   resource release.  Peers must learn of the loss through the control
+   plane (the guest vanishes from announcements) and reclaim their own half
+   of every shared channel; the hypervisor reclaims the rest
+   ({!Hypervisor.Machine.crash_domain}). *)
+let kill t =
+  if t.loaded then begin
+    (match t.expiry_timer with
+    | Some timer -> Sim.Engine.cancel timer
+    | None -> ());
+    t.expiry_timer <- None;
+    t.loaded <- false
+  end
+
+let set_ctrl_fault_injector t f = t.ctrl_fault <- f
+let set_push_fault_injector t f = t.push_fault <- f
+
+let iter_tx_pools t f =
+  Hashtbl.iter
+    (fun _ state ->
+      match state with
+      | Active ch | Bootstrapping (Awaiting_ack { ba_channel = ch; _ }) ->
+          Array.iter
+            (fun q -> match q.q_tx_pool with Some pool -> f pool | None -> ())
+            ch.queues
+      | Bootstrapping (Requested_from_listener _) | Failed_until _ -> ())
+    t.peers
+
+let set_pool_fault_injector t f =
+  t.pool_fault <- f;
+  (* Existing channels' tx pools pick the injector up immediately; queues
+     created later inherit it at construction. *)
+  iter_tx_pools t (fun pool -> Payload_pool.set_alloc_fault pool f)
+
+let invariant_violations t =
+  let p = params t in
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let check_channel domid ch =
+    Array.iter
+      (fun q ->
+        let where dir = Printf.sprintf "dom%d->dom%d q%d %s" (my_domid t) domid q.q_index dir in
+        (match Fifo.sanity q.out_fifo with
+        | Some msg -> note "%s fifo: %s" (where "out") msg
+        | None -> ());
+        (match Fifo.sanity q.in_fifo with
+        | Some msg -> note "%s fifo: %s" (where "in") msg
+        | None -> ());
+        (match Option.map Payload_pool.sanity q.q_tx_pool with
+        | Some (Some msg) -> note "%s pool: %s" (where "tx") msg
+        | Some None | None -> ());
+        (match Option.map Payload_pool.sanity q.q_rx_pool with
+        | Some (Some msg) -> note "%s pool: %s" (where "rx") msg
+        | Some None | None -> ());
+        if Queue.length q.waiting > p.Params.xenloop_waiting_list_max then
+          note "%s waiting list over bound: %d > %d" (where "tx")
+            (Queue.length q.waiting) p.Params.xenloop_waiting_list_max)
+      ch.queues
+  in
+  Hashtbl.fold (fun domid state acc -> (domid, state) :: acc) t.peers []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (domid, state) ->
+         match state with
+         | Active ch | Bootstrapping (Awaiting_ack { ba_channel = ch; _ }) ->
+             check_channel domid ch
+         | Bootstrapping (Requested_from_listener _) | Failed_until _ -> ());
+  List.rev !violations
 
 let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queues
     ?zerocopy ?trace () =
@@ -1423,14 +1706,35 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
           desc_tx = 0;
           inline_tx = 0;
           pool_fallbacks = 0;
+          bootstrap_failures = 0;
+          softstate_evictions = 0;
         };
       loaded = true;
+      next_token = 0;
+      last_announce = Sim.Engine.now (Stack.engine stack);
+      expiry_timer = None;
+      ctrl_fault = None;
+      push_fault = None;
+      pool_fault = None;
     }
   in
   t.hook <-
     Some (Netstack.Netfilter.register_batch (Stack.post_routing stack) (hook_fn t));
   Stack.set_ctrl_handler stack (on_ctrl_packet t);
   advertise t;
+  (let ttl = p.Params.xenloop_softstate_ttl in
+   if Sim.Time.span_is_positive ttl then begin
+     (* Check a few times per TTL so eviction lands within ~5/4 TTL of the
+        last announcement, not a whole extra TTL late. *)
+     let period =
+       Sim.Time.span_max (Sim.Time.ms 1)
+         (Sim.Time.ns_int64 (Int64.div (Sim.Time.to_ns ttl) 4L))
+     in
+     t.expiry_timer <-
+       Some
+         (Sim.Engine.every (Stack.engine stack) period (fun () ->
+              softstate_expire t))
+   end);
   Domain.on_pre_migrate domain (fun () -> if t.loaded then prepare_migration t);
   Domain.on_post_restore domain (fun () -> if t.loaded then restore_after_migration t);
   Domain.on_shutdown domain (fun () -> unload t);

@@ -72,6 +72,15 @@ type stats = {
   mutable pool_fallbacks : int;
       (** descriptor-eligible frames degraded to the inline path because
           the payload pool had no free slot *)
+  mutable bootstrap_failures : int;
+      (** peers marked failed after a bootstrap handshake exhausted its
+          retries (listener Create retries or connector ack wait); the
+          peer sits in a cooldown ({!Hypervisor.Params.xenloop_bootstrap_cooldown})
+          before any re-attempt *)
+  mutable softstate_evictions : int;
+      (** mapping-table entries dropped because no Dom0 announcement
+          arrived within {!Hypervisor.Params.xenloop_softstate_ttl} —
+          the soft-state expiry of paper Sect. 3.2 *)
 }
 
 val create :
@@ -110,6 +119,9 @@ val stats : t -> stats
 val mapping_size : t -> int
 val connected_peer_ids : t -> int list
 val has_channel_with : t -> domid:int -> bool
+
+val failed_peer_ids : t -> int list
+(** Peers currently in bootstrap-failure cooldown, sorted by domid. *)
 
 val waiting_list_length : t -> domid:int -> int
 (** Total frames parked on the waiting lists of all of this peer's
@@ -166,3 +178,44 @@ val set_app_payload_handler :
   t ->
   (src_ip:Netcore.Ip.t -> src_port:int -> dst_port:int -> Bytes.t -> unit) ->
   unit
+
+(** {1 Fault injection and invariant checking}
+
+    Chaos-harness hooks (DESIGN.md §9).  Each injector is a pure decision
+    callback: it must not touch the module, only answer "fault this one?".
+    Passing [None] clears the hook.  All hooks default to off and cost one
+    option match when unset. *)
+
+type ctrl_fault =
+  | Ctrl_pass
+  | Ctrl_drop  (** the control message silently vanishes *)
+  | Ctrl_dup  (** delivered twice back to back *)
+  | Ctrl_delay of Sim.Time.span  (** delivered late by the given span *)
+
+val set_ctrl_fault_injector : t -> (Proto.t -> ctrl_fault) option -> unit
+(** Consulted for every outgoing XenLoop control message (announcements
+    are Dom0's and are faulted at {!Discovery}).  The bootstrap handshake
+    must converge or fail cleanly under any answer sequence. *)
+
+val set_push_fault_injector : t -> (unit -> bool) option -> unit
+(** [true] makes the next FIFO push attempt act as if the FIFO were full,
+    forcing the waiting-list / netfront degradation paths. *)
+
+val set_pool_fault_injector : t -> (unit -> bool) option -> unit
+(** [true] makes a payload-pool slot allocation fail, forcing the inline
+    fallback ([pool_fallbacks]).  Applies to all current and future
+    transmit pools of this module. *)
+
+val kill : t -> unit
+(** Model the guest dying abruptly (chaos Peer_crash): the module stops
+    reacting — no teardown, no unadvertisement, no peer notification, no
+    resource release.  Pair with {!Hypervisor.Machine.crash_domain}, which
+    reclaims everything the hypervisor accounted to the domain; peers must
+    detect the loss through the soft-state control plane and reclaim their
+    own half of every shared channel. *)
+
+val invariant_violations : t -> string list
+(** Structural invariants over every live channel: FIFO control-word
+    sanity both directions, payload-pool slot conservation, waiting lists
+    within bound.  Empty list = healthy.  Messages carry peer domid and
+    queue index; ordering is deterministic (sorted by peer). *)

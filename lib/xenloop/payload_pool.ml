@@ -31,6 +31,9 @@ type t = {
   data : Page.t array;
   p_slots : int;
   p_slot_pages : int;
+  (* Chaos-harness hook: lives in this *view*, not the shared page, so only
+     the endpoint that registered it sees forced exhaustion. *)
+  mutable alloc_fault : (unit -> bool) option;
 }
 
 let check_geometry ~what ~slots ~slot_pages =
@@ -58,7 +61,7 @@ let init ~ctrl ~data ~slots ~slot_pages ~inline_max =
   done;
   set_u32_int ctrl off_fr_head 0;
   set_u32_int ctrl off_fr_tail slots;
-  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages }
+  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages; alloc_fault = None }
 
 let write_grefs t grefs =
   if Array.length grefs <> t.p_slots * t.p_slot_pages then
@@ -82,7 +85,7 @@ let attach ~ctrl ~data =
   check_geometry ~what:"attach" ~slots ~slot_pages;
   if Array.length data <> slots * slot_pages then
     invalid_arg "Payload_pool.attach: wrong number of data pages";
-  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages }
+  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages; alloc_fault = None }
 
 let slots t = t.p_slots
 let slot_bytes t = t.p_slot_pages * Page.size
@@ -97,8 +100,13 @@ let free_slots t = (fr_tail t - fr_head t) land mask32
    [fr_tail].  Like the FIFO indices, each 32-bit index is only ever
    incremented by exactly one side, so no lock is needed. *)
 
+let set_alloc_fault t f = t.alloc_fault <- f
+
+let alloc_faulted t =
+  match t.alloc_fault with None -> false | Some f -> f ()
+
 let alloc t =
-  if free_slots t = 0 then None
+  if free_slots t = 0 || alloc_faulted t then None
   else begin
     let h = fr_head t in
     let slot = get_u32_int t.ctrl (off_ring + (4 * (h land (t.p_slots - 1)))) in
@@ -158,3 +166,37 @@ let read t ~slot ~off ~len =
   in
   go off 0 len;
   dst
+
+let sanity t =
+  (* Slot conservation over the shared free ring: the live window
+     [fr_head, fr_tail) must never exceed the pool size, and every slot
+     number in it must be a valid, distinct slot.  Slots outside the
+     window are in flight (allocated by the sender or being read by the
+     receiver) — free + in-flight = total by construction, so the window
+     bounds are the whole invariant. *)
+  if get_u32_int t.ctrl off_magic <> pool_magic then Some "control page magic corrupt"
+  else if get_u32_int t.ctrl off_slots <> t.p_slots then
+    Some "slot count does not match attached view"
+  else if free_slots t > t.p_slots then
+    Some
+      (Printf.sprintf "free ring overfull: head=%d tail=%d slots=%d" (fr_head t)
+         (fr_tail t) t.p_slots)
+  else begin
+    let h = fr_head t and n = free_slots t in
+    let seen = Array.make t.p_slots false in
+    let rec go i =
+      if i >= n then None
+      else begin
+        let slot = get_u32_int t.ctrl (off_ring + (4 * ((h + i) land (t.p_slots - 1)))) in
+        if slot < 0 || slot >= t.p_slots then
+          Some (Printf.sprintf "free ring holds bad slot %d" slot)
+        else if seen.(slot) then
+          Some (Printf.sprintf "slot %d on the free ring twice" slot)
+        else begin
+          seen.(slot) <- true;
+          go (i + 1)
+        end
+      end
+    in
+    go 0
+  end

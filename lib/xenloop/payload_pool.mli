@@ -78,3 +78,16 @@ val write : t -> slot:int -> src:Bytes.t -> len:int -> unit
 val read : t -> slot:int -> off:int -> len:int -> Bytes.t
 (** The receiver's in-place view of a slot (materialized as bytes for the
     simulated stack; no copy is charged for it). *)
+
+val sanity : t -> string option
+(** Chaos-harness invariant: slot conservation over the shared free ring —
+    magic/geometry intact, [free_slots <= slots], and every slot number in
+    the live ring window valid and distinct (free + in-flight = total).
+    Returns a description of the first violated property. *)
+
+val set_alloc_fault : t -> (unit -> bool) option -> unit
+(** Chaos-harness hook: when the callback returns [true], {!alloc} reports
+    exhaustion even though free slots exist.  Registered per view — only
+    this endpoint's allocations are affected — so the data path's
+    pool-exhaustion fallback (degrade to the inline copy path) is exercised
+    without corrupting the shared ring. *)

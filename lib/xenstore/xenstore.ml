@@ -22,10 +22,17 @@ type watch_entry = {
 
 type watch = { id : int }
 
+type fault = Pass | Lost_watch | Stale_read
+
 type t = {
   root : node;
   mutable watches : watch_entry list;
   mutable next_watch : int;
+  (* Last value each node held before its most recent write — what a stale
+     read returns.  Keyed by canonical path string. *)
+  prev_values : (string, string) Hashtbl.t;
+  mutable fault_injector : (op:[ `Read | `Watch ] -> path:string -> fault) option;
+  mutable faults_injected : int;
 }
 
 let dom0 = 0
@@ -34,7 +41,15 @@ let domain_path dom = Printf.sprintf "/local/domain/%d" dom
 
 let make_node () = { value = None; children = Hashtbl.create 4 }
 
-let create () = { root = make_node (); watches = []; next_watch = 0 }
+let create () =
+  { root = make_node (); watches = []; next_watch = 0;
+    prev_values = Hashtbl.create 32; fault_injector = None; faults_injected = 0 }
+
+let set_fault_injector t f = t.fault_injector <- f
+let faults_injected t = t.faults_injected
+
+let consult t ~op ~path =
+  match t.fault_injector with None -> Pass | Some f -> f ~op ~path
 
 let split_path path =
   if String.length path = 0 || path.[0] <> '/' then None
@@ -86,7 +101,13 @@ let is_prefix prefix segments =
 let fire_watches t segments event =
   let path = "/" ^ String.concat "/" segments in
   List.iter
-    (fun w -> if is_prefix w.prefix segments then w.callback path event)
+    (fun w ->
+      if is_prefix w.prefix segments then
+        match consult t ~op:`Watch ~path with
+        | Lost_watch ->
+            (* The event evaporates for this watcher. *)
+            t.faults_injected <- t.faults_injected + 1
+        | Pass | Stale_read -> w.callback path event)
     t.watches
 
 let with_path path f =
@@ -97,6 +118,9 @@ let write t ~caller ~path ~value =
       if not (permitted ~caller segments) then Error Eacces
       else begin
         let node = ensure_node t.root segments in
+        (match node.value with
+        | Some old -> Hashtbl.replace t.prev_values ("/" ^ String.concat "/" segments) old
+        | None -> ());
         node.value <- Some value;
         fire_watches t segments (Written value);
         Ok ()
@@ -106,10 +130,22 @@ let read t ~caller ~path =
   with_path path (fun segments ->
       if not (permitted ~caller segments) then Error Eacces
       else
-        match find_node t.root segments with
-        | None -> Error Noent
-        | Some { value = None; _ } -> Error Noent
-        | Some { value = Some v; _ } -> Ok v)
+        let path = "/" ^ String.concat "/" segments in
+        let stale =
+          match consult t ~op:`Read ~path with
+          | Stale_read ->
+              let prev = Hashtbl.find_opt t.prev_values path in
+              if prev <> None then t.faults_injected <- t.faults_injected + 1;
+              prev
+          | Pass | Lost_watch -> None
+        in
+        match stale with
+        | Some v -> Ok v
+        | None -> (
+            match find_node t.root segments with
+            | None -> Error Noent
+            | Some { value = None; _ } -> Error Noent
+            | Some { value = Some v; _ } -> Ok v))
 
 let rm t ~caller ~path =
   with_path path (fun segments ->

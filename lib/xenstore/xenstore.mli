@@ -50,3 +50,22 @@ val unwatch : t -> watch -> unit
 (** {1 Introspection} *)
 
 val node_count : t -> int
+
+(** {1 Fault injection}
+
+    Chaos-harness hooks.  The injector is consulted per watch delivery
+    ([`Watch], once per matching watcher) and per [read] ([`Read]).
+    [Lost_watch] silently swallows the watch event for that watcher;
+    [Stale_read] makes the read return the value the node held before its
+    most recent write (a torn view of the store) — if the node was never
+    overwritten the read proceeds normally.  Soft-state protocols built on
+    periodic scans (the paper's discovery module) must converge despite
+    both. *)
+
+type fault = Pass | Lost_watch | Stale_read
+
+val set_fault_injector :
+  t -> (op:[ `Read | `Watch ] -> path:string -> fault) option -> unit
+
+val faults_injected : t -> int
+(** Watch events lost plus reads served stale since [create]. *)

@@ -1,0 +1,273 @@
+(* Chaos-harness tests: determinism of a seeded run, a quick soak subset,
+   the sabotage self-test (a deliberately broken invariant must be
+   caught), and direct exercises of the soft-state recovery paths the
+   harness leans on — TTL eviction, bootstrap-retry exhaustion with
+   cooldown, and the reactive discovery watch. *)
+
+module Setup = Scenarios.Setup
+module Experiment = Scenarios.Experiment
+module Gm = Xenloop.Guest_module
+module Discovery = Xenloop.Discovery
+module Fault = Chaos.Fault
+module Harness = Chaos.Harness
+module Soak = Chaos.Soak
+module Invariant = Chaos.Invariant
+
+let storm scenario =
+  List.filter_map
+    (fun k ->
+      if Harness.applicable scenario k then Some (Fault.default_spec k)
+      else None)
+    Fault.all
+
+let modules_of duo =
+  match duo.Setup.modules with
+  | [ m1; m2 ] -> (m1, m2)
+  | _ -> Alcotest.fail "expected two xenloop modules"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let test_same_seed_same_digest () =
+  let config =
+    Harness.default_config ~seed:9 ~faults:(storm Harness.Xenloop_duo)
+      Harness.Xenloop_duo
+  in
+  let v1, _ = Harness.run config in
+  let v2, _ = Harness.run config in
+  Alcotest.(check string) "digest" v1.Harness.v_log_digest v2.Harness.v_log_digest;
+  Alcotest.(check int) "log length" v1.Harness.v_log_length v2.Harness.v_log_length;
+  Alcotest.(check int) "injections" v1.Harness.v_total_injected
+    v2.Harness.v_total_injected;
+  Alcotest.(check (list (pair string int)))
+    "per-kind counts" v1.Harness.v_faults v2.Harness.v_faults;
+  Alcotest.(check int) "delivered" v1.Harness.v_delivered v2.Harness.v_delivered;
+  Alcotest.(check bool) "clean" true (Harness.ok v1)
+
+let test_different_seed_different_plan () =
+  let run seed =
+    let config =
+      Harness.default_config ~seed ~faults:(storm Harness.Xenloop_duo)
+        Harness.Xenloop_duo
+    in
+    fst (Harness.run config)
+  in
+  let v1 = run 1 and v2 = run 2 in
+  Alcotest.(check bool) "digests differ" true
+    (v1.Harness.v_log_digest <> v2.Harness.v_log_digest);
+  Alcotest.(check bool) "both clean" true (Harness.ok v1 && Harness.ok v2)
+
+(* ------------------------------------------------------------------ *)
+(* Soak subset *)
+
+let test_soak_subset_clean () =
+  let cases =
+    [
+      {
+        Soak.c_name = "xenloop-duo/baseline";
+        c_scenario = Harness.Xenloop_duo;
+        c_faults = [];
+      };
+      {
+        Soak.c_name = "xenloop-duo/storm";
+        c_scenario = Harness.Xenloop_duo;
+        c_faults = storm Harness.Xenloop_duo;
+      };
+      {
+        Soak.c_name = "cluster3/peer-crash";
+        c_scenario = Harness.Cluster3;
+        c_faults = [ Fault.default_spec Fault.Peer_crash ];
+      };
+      {
+        Soak.c_name = "migration-world/migrate-midstream";
+        c_scenario = Harness.Migration_world;
+        c_faults = [ Fault.default_spec Fault.Migrate_midstream ];
+      };
+    ]
+  in
+  let s = Soak.run ~cases ~seed:42 ~iters:1 () in
+  Alcotest.(check int) "runs" 4 s.Soak.s_runs;
+  Alcotest.(check int) "lost" 0 s.Soak.s_lost;
+  Alcotest.(check int) "duplicates" 0 s.Soak.s_duplicates;
+  Alcotest.(check int) "violation runs" 0 s.Soak.s_violation_runs;
+  Alcotest.(check int) "all delivered" s.Soak.s_sent s.Soak.s_delivered;
+  Alcotest.(check bool) "faults actually fired" true (s.Soak.s_total_injected > 0);
+  Alcotest.(check bool) "summary ok" true (Soak.ok s)
+
+(* ------------------------------------------------------------------ *)
+(* Sabotage: the checker must catch a deliberately broken invariant *)
+
+let test_sabotage_detected () =
+  let sabotage ctx =
+    match ctx.Invariant.iv_machines with
+    | (_, machine) :: _ ->
+        (* Leak one frame to a guest: accounting stays conserved, but the
+           final sweep requires every guest to have returned its memory. *)
+        let frames = Hypervisor.Machine.frame_allocator machine in
+        ignore (Memory.Frame_allocator.allocate frames ~owner:1)
+    | [] -> Alcotest.fail "sabotage hook saw no machines"
+  in
+  let config = Harness.default_config ~seed:4242 Harness.Xenloop_duo in
+  let v, _ = Harness.run ~sabotage config in
+  Alcotest.(check bool) "verdict not ok" false (Harness.ok v);
+  Alcotest.(check int) "failing seed reported" 4242 v.Harness.v_seed;
+  Alcotest.(check bool) "frame leak named" true
+    (List.exists
+       (fun m ->
+         let contains s sub =
+           let n = String.length sub in
+           let rec go i = i + n <= String.length s
+             && (String.sub s i n = sub || go (i + 1)) in
+           go 0
+         in
+         contains m "frame")
+       v.Harness.v_violations);
+  (* The very same config without the sabotage is clean. *)
+  let clean, _ = Harness.run config in
+  Alcotest.(check bool) "clean without sabotage" true (Harness.ok clean)
+
+(* ------------------------------------------------------------------ *)
+(* Soft-state recovery paths *)
+
+let fast_params =
+  {
+    Hypervisor.Params.default with
+    discovery_period = Sim.Time.ms 5;
+    xenloop_softstate_ttl = Sim.Time.ms 40;
+    xenloop_bootstrap_cooldown = Sim.Time.ms 800;
+  }
+
+let test_softstate_ttl_eviction () =
+  let duo = Setup.build ~params:fast_params Setup.Xenloop_path in
+  let m1, m2 = modules_of duo in
+  let discovery = Option.get duo.Setup.discovery in
+  Experiment.execute duo (fun () ->
+      Alcotest.(check bool) "channel up after warmup" true
+        (Gm.has_channel_with m1 ~domid:2);
+      (* Starve both guests of announcements: every mapping entry must
+         age out within the TTL and take its channel down with it. *)
+      Discovery.set_announce_fault discovery (Some (fun ~domid:_ -> true));
+      Sim.Engine.sleep (Sim.Time.ms 100);
+      Alcotest.(check bool) "client evicted peer" true
+        ((Gm.stats m1).Gm.softstate_evictions > 0);
+      Alcotest.(check bool) "server evicted peer" true
+        ((Gm.stats m2).Gm.softstate_evictions > 0);
+      Alcotest.(check bool) "channel torn down" false
+        (Gm.has_channel_with m1 ~domid:2);
+      Alcotest.(check int) "mapping empty" 0 (Gm.mapping_size m1);
+      (* Announcements resume: the mapping refills and traffic pulls the
+         channel back up. *)
+      Discovery.set_announce_fault discovery None;
+      Sim.Engine.sleep (Sim.Time.ms 15);
+      Alcotest.(check bool) "mapping repopulated" true (Gm.mapping_size m1 > 0);
+      let server_sock =
+        match Netstack.Udp.bind duo.Setup.server.Scenarios.Endpoint.udp ~port:921 () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let client_sock =
+        match Netstack.Udp.bind duo.Setup.client.Scenarios.Endpoint.udp () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      Netstack.Udp.sendto client_sock ~dst:duo.Setup.server_ip ~dst_port:921
+        (Bytes.make 64 'r');
+      let _, _, got = Netstack.Udp.recvfrom server_sock in
+      Alcotest.(check int) "datagram survived the outage" 64 (Bytes.length got);
+      Sim.Engine.sleep (Sim.Time.ms 20);
+      Alcotest.(check bool) "channel re-established" true
+        (Gm.has_channel_with m1 ~domid:2))
+
+let test_bootstrap_exhaustion_and_cooldown () =
+  let duo = Setup.build ~params:fast_params Setup.Xenloop_path in
+  let m1, m2 = modules_of duo in
+  let discovery = Option.get duo.Setup.discovery in
+  Experiment.execute ~limit:(Sim.Time.sec 60) duo (fun () ->
+      (* Tear the warmed-up channel down via soft-state expiry, then make
+         every re-bootstrap control message vanish. *)
+      Discovery.set_announce_fault discovery (Some (fun ~domid:_ -> true));
+      Sim.Engine.sleep (Sim.Time.ms 100);
+      Alcotest.(check bool) "channel torn down" false
+        (Gm.has_channel_with m1 ~domid:2);
+      Gm.set_ctrl_fault_injector m1 (Some (fun _ -> Gm.Ctrl_drop));
+      Gm.set_ctrl_fault_injector m2 (Some (fun _ -> Gm.Ctrl_drop));
+      Discovery.set_announce_fault discovery None;
+      Sim.Engine.sleep (Sim.Time.ms 15);
+      let server_sock =
+        match Netstack.Udp.bind duo.Setup.server.Scenarios.Endpoint.udp ~port:922 () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let client_sock =
+        match Netstack.Udp.bind duo.Setup.client.Scenarios.Endpoint.udp () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      (* The first datagram kicks off the doomed bootstrap — and must
+         still arrive via netfront while the handshake flounders. *)
+      Netstack.Udp.sendto client_sock ~dst:duo.Setup.server_ip ~dst_port:922
+        (Bytes.make 64 'x');
+      let _, _, got = Netstack.Udp.recvfrom server_sock in
+      Alcotest.(check int) "netfront carried the datagram" 64 (Bytes.length got);
+      (* Let the Create retries exhaust (3 retries x 500 ms ack timeout). *)
+      Sim.Engine.sleep (Sim.Time.sec 3);
+      Alcotest.(check bool) "bootstrap failure counted" true
+        ((Gm.stats m1).Gm.bootstrap_failures >= 1);
+      Alcotest.(check (list int)) "peer in cooldown" [ 2 ] (Gm.failed_peer_ids m1);
+      Alcotest.(check bool) "still no channel" false
+        (Gm.has_channel_with m1 ~domid:2);
+      (* Heal the control plane; after the cooldown the next packet may
+         bootstrap again and the fast path returns. *)
+      Gm.set_ctrl_fault_injector m1 None;
+      Gm.set_ctrl_fault_injector m2 None;
+      Sim.Engine.sleep fast_params.Hypervisor.Params.xenloop_bootstrap_cooldown;
+      let deadline = Sim.Time.add (Sim.Engine.now duo.Setup.engine) (Sim.Time.sec 10) in
+      let rec stir () =
+        if Gm.has_channel_with m1 ~domid:2 then ()
+        else if Sim.Time.(Sim.Engine.now duo.Setup.engine >= deadline) then
+          Alcotest.fail "channel never recovered after cooldown"
+        else begin
+          Netstack.Udp.sendto client_sock ~dst:duo.Setup.server_ip ~dst_port:922
+            (Bytes.make 32 's');
+          Sim.Engine.sleep (Sim.Time.ms 50);
+          stir ()
+        end
+      in
+      stir ();
+      Alcotest.(check bool) "cooldown cleared" true (Gm.failed_peer_ids m1 = []))
+
+let test_reactive_discovery_watch () =
+  (* With the paper's 5 s discovery period, only the XenStore watch can
+     explain Dom0 noticing a withdrawn advertisement within a
+     millisecond. *)
+  let duo = Setup.build Setup.Xenloop_path in
+  let _, m2 = modules_of duo in
+  let discovery = Option.get duo.Setup.discovery in
+  Experiment.execute duo (fun () ->
+      Alcotest.(check int) "both guests willing" 2
+        (List.length (Discovery.willing_guests discovery));
+      Gm.unload m2;
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      Alcotest.(check int) "withdrawal noticed without a period" 1
+        (List.length (Discovery.willing_guests discovery)))
+
+let suites =
+  [
+    ( "chaos.harness",
+      [
+        Alcotest.test_case "same seed, same digest" `Quick test_same_seed_same_digest;
+        Alcotest.test_case "different seed, different plan" `Quick
+          test_different_seed_different_plan;
+        Alcotest.test_case "soak subset is clean" `Quick test_soak_subset_clean;
+        Alcotest.test_case "sabotage is detected" `Quick test_sabotage_detected;
+      ] );
+    ( "chaos.softstate",
+      [
+        Alcotest.test_case "ttl eviction and recovery" `Quick
+          test_softstate_ttl_eviction;
+        Alcotest.test_case "bootstrap exhaustion and cooldown" `Quick
+          test_bootstrap_exhaustion_and_cooldown;
+        Alcotest.test_case "reactive discovery watch" `Quick
+          test_reactive_discovery_watch;
+      ] );
+  ]

@@ -365,6 +365,100 @@ let test_stranded_descriptor_teardown_reclaim () =
       Alcotest.(check int) "no pages left owned by the server" 0
         (Memory.Frame_allocator.owned_by frames 2))
 
+let test_migration_with_descriptors_in_flight () =
+  (* Live-migrate the sender while descriptor entries still sit in the
+     out-FIFOs: the pre-migrate wind-down must resolve every stranded
+     slot from the tx pool and flush the bytes via the standard path,
+     page balance must return to zero on both machines, the stream must
+     keep flowing over the wire while the guests are apart, and the
+     channel must come back when they are reunited. *)
+  let w = Scenarios.Migration_world.create () in
+  let open Scenarios.Migration_world in
+  Experiment.run_process ~limit:(Sim.Time.sec 120) w.engine (fun () ->
+      let g1 = w.guest1.xl_module and g2 = w.guest2.xl_module in
+      let dst_ip = Hypervisor.Domain.ip w.guest2.domain in
+      let received = ref [] in
+      Gm.set_app_payload_handler g2 (fun ~src_ip:_ ~src_port:_ ~dst_port:_ payload ->
+          received :=
+            int_of_string (String.sub (Bytes.to_string payload) 0 4) :: !received);
+      let server_sock =
+        match Netstack.Udp.bind w.guest2.ep.Scenarios.Endpoint.udp ~port:924 () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      let client_sock =
+        match Netstack.Udp.bind w.guest1.ep.Scenarios.Endpoint.udp () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind"
+      in
+      (* Become co-resident; the first datagram kicks off the bootstrap. *)
+      migrate w w.guest1 ~dst:w.m2;
+      Sim.Engine.sleep (Sim.Time.sec 6);
+      Netstack.Udp.sendto client_sock ~dst:dst_ip ~dst_port:924
+        (Bytes.of_string "warm");
+      ignore (Netstack.Udp.recvfrom server_sock);
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      let warm = Bytes.of_string "0000warm" in
+      Alcotest.(check bool) "channel engaged" true
+        (Gm.send_app_payload g1 ~dst_ip ~src_port:5002 ~dst_port:6002 warm);
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      received := [];
+      Alcotest.(check bool) "pools negotiated" true
+        (Gm.zerocopy_active g1 ~domid:(Hypervisor.Domain.domid w.guest2.domain));
+      (* Pin the receiver so the burst's descriptors stay in flight. *)
+      Sim.Engine.spawn w.engine (fun () ->
+          Sim.Resource.use
+            (Stack.cpu w.guest2.ep.Scenarios.Endpoint.stack)
+            (Sim.Time.ms 5));
+      let n = 40 in
+      for seq = 0 to n - 1 do
+        let payload =
+          Bytes.of_string (Printf.sprintf "%04d%s" seq (String.make 996 'm'))
+        in
+        Alcotest.(check bool) "payload accepted" true
+          (Gm.send_app_payload g1 ~dst_ip ~src_port:5002 ~dst_port:6002 payload)
+      done;
+      Alcotest.(check bool) "descriptors in flight" true ((Gm.stats g1).Gm.desc_tx > 0);
+      Alcotest.(check int) "receiver has consumed nothing yet" 0
+        (List.length !received);
+      (* Migrate away mid-stream: wind-down resolves the stranded
+         descriptors and flushes them before the vif detaches. *)
+      migrate w w.guest1 ~dst:w.m1;
+      Sim.Engine.sleep (Sim.Time.ms 50);
+      Alcotest.(check (list int)) "every payload delivered exactly once, in order"
+        (List.init n Fun.id) (List.rev !received);
+      (* Channel memory all went home — on both machines. *)
+      List.iter
+        (fun (name, env) ->
+          let frames = Hypervisor.Machine.frame_allocator env.machine in
+          Alcotest.(check int)
+            (name ^ ": no frames left owned")
+            0
+            (List.fold_left
+               (fun acc (_, count) -> acc + count)
+               0
+               (Memory.Frame_allocator.owners frames)))
+        [ ("m1", w.m1); ("m2", w.m2) ];
+      (* Apart: the stream continues over the wire via netfront. *)
+      Netstack.Udp.sendto client_sock ~dst:dst_ip ~dst_port:924
+        (Bytes.of_string "over the wire");
+      let _, _, got = Netstack.Udp.recvfrom server_sock in
+      Alcotest.(check string) "netfront carried it" "over the wire"
+        (Bytes.to_string got);
+      (* Reunite: the fast path re-establishes. *)
+      migrate w w.guest1 ~dst:w.m2;
+      Sim.Engine.sleep (Sim.Time.sec 6);
+      Netstack.Udp.sendto client_sock ~dst:dst_ip ~dst_port:924
+        (Bytes.of_string "warm again");
+      ignore (Netstack.Udp.recvfrom server_sock);
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      received := [];
+      Alcotest.(check bool) "channel re-engaged" true
+        (Gm.send_app_payload g1 ~dst_ip ~src_port:5002 ~dst_port:6002 warm);
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      Alcotest.(check int) "payload arrived over the new channel" 1
+        (List.length !received))
+
 let suites =
   [
     ( "xenloop.zerocopy",
@@ -394,5 +488,7 @@ let suites =
           test_slot_starvation_degrades_to_inline;
         Alcotest.test_case "stranded descriptor teardown reclaim" `Quick
           test_stranded_descriptor_teardown_reclaim;
+        Alcotest.test_case "migration with descriptors in flight" `Slow
+          test_migration_with_descriptors_in_flight;
       ] );
   ]
