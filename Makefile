@@ -4,7 +4,7 @@
 # data path loses or duplicates a single application byte relative to the
 # baseline (see bench/main.ml).
 
-.PHONY: all build test bench-smoke bench soak ci check-tracked-artifacts clean
+.PHONY: all build test bench-smoke bench perf engine-check soak ci check-tracked-artifacts clean
 
 all: build
 
@@ -28,6 +28,17 @@ bench-smoke: build
 bench: build
 	dune exec bench/main.exe -- --json
 
+# Full engine microbenchmark sweep (sim_events_per_sec per scenario,
+# best-of-three).
+perf: build
+	dune exec bench/main.exe -- --engine-bench
+
+# Regression gate: re-measure the headline engine scenario in smoke mode
+# and fail loudly if it lost more than 25% against the committed
+# BENCH_results.json.
+engine-check: build
+	dune exec bench/main.exe -- --engine-bench-check BENCH_results.json
+
 # Chaos soak: the full fault matrix (every scenario x every applicable
 # fault kind, alone and as a storm), deterministic per seed.  Set
 # SOAK_ITERS=n for a longer sweep over seeds 42..42+n-1; a red run prints
@@ -35,8 +46,8 @@ bench: build
 soak: build
 	dune exec xenloopsim -- chaos
 
-ci: check-tracked-artifacts build test bench-smoke soak
-	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + chaos soak all green"
+ci: check-tracked-artifacts build test bench-smoke engine-check soak
+	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + chaos soak all green"
 
 clean:
 	dune clean

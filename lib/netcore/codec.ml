@@ -12,25 +12,49 @@ let pp_error fmt = function
   | Bad_checksum layer -> Format.fprintf fmt "bad %s checksum" layer
   | Malformed what -> Format.fprintf fmt "malformed %s" what
 
-(* --- Writers --- *)
+(* --- Writers ---
 
-let w8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+   Serialization targets an exact-size [Bytes.t] through a mutable write
+   cursor.  The previous [Buffer]-based writers re-allocated on every
+   doubling: for an MTU-sized frame the final backing block crosses the
+   minor-heap large-object threshold, so every serialized packet paid a
+   direct major-heap allocation plus the doubling garbage.  Sizes are
+   known up front for every layer, so nothing here ever resizes. *)
 
-let w16 buf v =
-  w8 buf (v lsr 8);
-  w8 buf v
+type wcursor = { wdata : Bytes.t; mutable wpos : int }
 
-let w32 buf (v : int32) =
-  w16 buf (Int32.to_int (Int32.shift_right_logical v 16));
-  w16 buf (Int32.to_int (Int32.logand v 0xFFFFl))
+let w8 w v =
+  Bytes.unsafe_set w.wdata w.wpos (Char.unsafe_chr (v land 0xFF));
+  w.wpos <- w.wpos + 1
 
-let wmac buf mac =
+let w16 w v =
+  w8 w (v lsr 8);
+  w8 w v
+
+let w32 w (v : int32) =
+  w16 w (Int32.to_int (Int32.shift_right_logical v 16));
+  w16 w (Int32.to_int (Int32.logand v 0xFFFFl))
+
+let wmac w mac =
   let v = Mac.to_int64 mac in
   for i = 5 downto 0 do
-    w8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+    w8 w (Int64.to_int (Int64.shift_right_logical v (8 * i)))
   done
 
-let wip buf ip = w32 buf (Ip.to_int32 ip)
+let wip w ip = w32 w (Ip.to_int32 ip)
+
+let wbytes w b =
+  let len = Bytes.length b in
+  Bytes.blit b 0 w.wdata w.wpos len;
+  w.wpos <- w.wpos + len
+
+let transport_header_length = function
+  | Transport.Icmp _ -> 8
+  | Transport.Udp _ -> 8
+  | Transport.Tcp _ -> 20
+
+let transport_length transport ~payload =
+  transport_header_length transport + Bytes.length payload
 
 (* --- Readers (cursor over bytes) --- *)
 
@@ -87,42 +111,47 @@ let tcp_flags_of_bits bits : Transport.tcp_flags =
     ack = bits land 0x10 <> 0;
   }
 
-(* Serialize transport header with a zero checksum field, then patch the
-   real checksum (computed over header + payload) into [cksum_off]. *)
-let serialize_transport transport ~payload =
-  let buf = Buffer.create 64 in
+(* Serialize transport header with a zero checksum field into [w], then
+   patch the real checksum (computed over header + payload) in place. *)
+let write_transport w transport ~payload =
+  let start = w.wpos in
   let cksum_off =
     match transport with
     | Transport.Icmp i ->
-        w8 buf (match i.echo_kind with `Request -> 8 | `Reply -> 0);
-        w8 buf 0;
-        w16 buf 0;
-        w16 buf i.icmp_ident;
-        w16 buf i.icmp_seq;
+        w8 w (match i.echo_kind with `Request -> 8 | `Reply -> 0);
+        w8 w 0;
+        w16 w 0;
+        w16 w i.icmp_ident;
+        w16 w i.icmp_seq;
         2
     | Transport.Udp u ->
-        w16 buf u.udp_src_port;
-        w16 buf u.udp_dst_port;
-        w16 buf (8 + Bytes.length payload);
-        w16 buf 0;
+        w16 w u.udp_src_port;
+        w16 w u.udp_dst_port;
+        w16 w (8 + Bytes.length payload);
+        w16 w 0;
         6
     | Transport.Tcp t ->
-        w16 buf t.tcp_src_port;
-        w16 buf t.tcp_dst_port;
-        w32 buf t.seq;
-        w32 buf t.ack_seq;
-        w16 buf (0x5000 lor tcp_flag_bits t.flags);
-        w16 buf t.window;
-        w16 buf 0;
-        w16 buf 0;
+        w16 w t.tcp_src_port;
+        w16 w t.tcp_dst_port;
+        w32 w t.seq;
+        w32 w t.ack_seq;
+        w16 w (0x5000 lor tcp_flag_bits t.flags);
+        w16 w t.window;
+        w16 w 0;
+        w16 w 0;
         16
   in
-  Buffer.add_bytes buf payload;
-  let blob = Buffer.to_bytes buf in
-  let cksum = Checksum.compute blob ~off:0 ~len:(Bytes.length blob) in
-  Bytes.set_uint8 blob cksum_off (cksum lsr 8);
-  Bytes.set_uint8 blob (cksum_off + 1) (cksum land 0xFF);
-  blob
+  wbytes w payload;
+  let cksum = Checksum.compute w.wdata ~off:start ~len:(w.wpos - start) in
+  Bytes.set_uint8 w.wdata (start + cksum_off) (cksum lsr 8);
+  Bytes.set_uint8 w.wdata (start + cksum_off + 1) (cksum land 0xFF)
+
+let serialize_transport transport ~payload =
+  let w =
+    { wdata = Bytes.create (transport_length transport ~payload); wpos = 0 }
+  in
+  write_transport w transport ~payload;
+  w.wdata
 
 let parse_transport protocol blob =
   let c = { data = blob; pos = 0 } in
@@ -180,24 +209,22 @@ let parse_transport protocol blob =
 
 (* --- IPv4 --- *)
 
-let serialize_ipv4_header buf (h : Ipv4.header) ~content_length =
-  let header = Buffer.create Ipv4.header_length in
-  w8 header 0x45;
-  w8 header 0;
-  w16 header (Ipv4.header_length + content_length);
-  w16 header h.ident;
+let serialize_ipv4_header w (h : Ipv4.header) ~content_length =
+  let start = w.wpos in
+  w8 w 0x45;
+  w8 w 0;
+  w16 w (Ipv4.header_length + content_length);
+  w16 w h.ident;
   assert (h.frag_offset mod 8 = 0);
-  w16 header (((if h.more_fragments then 1 else 0) lsl 13) lor (h.frag_offset / 8));
-  w8 header h.ttl;
-  w8 header (Ipv4.protocol_number h.protocol);
-  w16 header 0;
-  wip header h.src;
-  wip header h.dst;
-  let raw = Buffer.to_bytes header in
-  let cksum = Checksum.compute raw ~off:0 ~len:Ipv4.header_length in
-  Bytes.set_uint8 raw 10 (cksum lsr 8);
-  Bytes.set_uint8 raw 11 (cksum land 0xFF);
-  Buffer.add_bytes buf raw
+  w16 w (((if h.more_fragments then 1 else 0) lsl 13) lor (h.frag_offset / 8));
+  w8 w h.ttl;
+  w8 w (Ipv4.protocol_number h.protocol);
+  w16 w 0;
+  wip w h.src;
+  wip w h.dst;
+  let cksum = Checksum.compute w.wdata ~off:start ~len:Ipv4.header_length in
+  Bytes.set_uint8 w.wdata (start + 10) (cksum lsr 8);
+  Bytes.set_uint8 w.wdata (start + 11) (cksum land 0xFF)
 
 let parse_ipv4 c =
   let start = c.pos in
@@ -248,16 +275,18 @@ let parse_ipv4 c =
 
 (* --- ARP --- *)
 
-let serialize_arp buf (a : Arp.t) =
-  w16 buf 1;
-  w16 buf 0x0800;
-  w8 buf 6;
-  w8 buf 4;
-  w16 buf (match a.op with Arp.Request -> 1 | Arp.Reply -> 2);
-  wmac buf a.sender_mac;
-  wip buf a.sender_ip;
-  wmac buf a.target_mac;
-  wip buf a.target_ip
+let arp_length = 28
+
+let serialize_arp w (a : Arp.t) =
+  w16 w 1;
+  w16 w 0x0800;
+  w8 w 6;
+  w8 w 4;
+  w16 w (match a.op with Arp.Request -> 1 | Arp.Reply -> 2);
+  wmac w a.sender_mac;
+  wip w a.sender_ip;
+  wmac w a.target_mac;
+  wip w a.target_ip
 
 let parse_arp c =
   let htype = r16 c in
@@ -281,26 +310,40 @@ let parse_arp c =
 
 (* --- Frames --- *)
 
+let ethernet_header_length = 14
+
+let body_length (body : Packet.body) =
+  match body with
+  | Packet.Ipv4_body { content = Packet.Full { transport; payload }; _ } ->
+      Ipv4.header_length + transport_length transport ~payload
+  | Packet.Ipv4_body { content = Packet.Fragment blob; _ } ->
+      Ipv4.header_length + Bytes.length blob
+  | Packet.Arp_body _ -> arp_length
+  | Packet.Xenloop_body data -> 2 + Bytes.length data
+
 let serialize (p : Packet.t) =
-  let buf = Buffer.create 128 in
-  wmac buf p.dst_mac;
-  wmac buf p.src_mac;
-  w16 buf (Packet.ethertype p.body);
+  let w =
+    { wdata = Bytes.create (ethernet_header_length + body_length p.body);
+      wpos = 0 }
+  in
+  wmac w p.dst_mac;
+  wmac w p.src_mac;
+  w16 w (Packet.ethertype p.body);
   (match p.body with
   | Packet.Ipv4_body { header; content } -> (
       match content with
       | Packet.Full { transport; payload } ->
-          let blob = serialize_transport transport ~payload in
-          serialize_ipv4_header buf header ~content_length:(Bytes.length blob);
-          Buffer.add_bytes buf blob
+          serialize_ipv4_header w header
+            ~content_length:(transport_length transport ~payload);
+          write_transport w transport ~payload
       | Packet.Fragment blob ->
-          serialize_ipv4_header buf header ~content_length:(Bytes.length blob);
-          Buffer.add_bytes buf blob)
-  | Packet.Arp_body a -> serialize_arp buf a
+          serialize_ipv4_header w header ~content_length:(Bytes.length blob);
+          wbytes w blob)
+  | Packet.Arp_body a -> serialize_arp w a
   | Packet.Xenloop_body data ->
-      w16 buf (Bytes.length data);
-      Buffer.add_bytes buf data);
-  Buffer.to_bytes buf
+      w16 w (Bytes.length data);
+      wbytes w data);
+  w.wdata
 
 let parse data =
   let c = { data; pos = 0 } in

@@ -25,5 +25,9 @@ val parse : Bytes.t -> (Packet.t, error) result
     these are the helpers the fragmenter and reassembler use. *)
 
 val serialize_transport : Transport.t -> payload:Bytes.t -> Bytes.t
+
+(** Length of [serialize_transport transport ~payload] without building
+    it — the fragmenter's fits-in-one-MTU test needs only the size. *)
+val transport_length : Transport.t -> payload:Bytes.t -> int
 val parse_transport :
   Ipv4.protocol -> Bytes.t -> (Transport.t * Bytes.t, error) result

@@ -4,13 +4,23 @@ let fragment ~mtu packet =
   match packet.Packet.body with
   | Packet.Arp_body _ | Packet.Xenloop_body _ -> [ packet ]
   | Packet.Ipv4_body { header; content } ->
-      let blob =
+      (* The fits-in-one-MTU test needs only the serialized length; the
+         common unfragmented case must not serialize (and checksum) a blob
+         it would throw away. *)
+      let content_length =
         match content with
-        | Packet.Full { transport; payload } -> Codec.serialize_transport transport ~payload
-        | Packet.Fragment blob -> blob
+        | Packet.Full { transport; payload } ->
+            Codec.transport_length transport ~payload
+        | Packet.Fragment blob -> Bytes.length blob
       in
-      if Ipv4.header_length + Bytes.length blob <= mtu then [ packet ]
+      if Ipv4.header_length + content_length <= mtu then [ packet ]
       else begin
+        let blob =
+          match content with
+          | Packet.Full { transport; payload } ->
+              Codec.serialize_transport transport ~payload
+          | Packet.Fragment blob -> blob
+        in
         let chunk = max_fragment_payload ~mtu in
         if chunk <= 0 then invalid_arg "Fragment.fragment: mtu too small";
         let total = Bytes.length blob in

@@ -37,7 +37,25 @@ let run t packet =
   in
   go t.hooks
 
-let run_batch t packets =
+let pad_verdicts packets vs =
+  (* The general path treats a short verdict list as Accept for the rest;
+     the single-hook fast path must agree. *)
+  let rec go packets vs acc =
+    match (packets, vs) with
+    | [], _ -> List.rev acc
+    | _ :: ps, v :: vs' -> go ps vs' (v :: acc)
+    | _ :: ps, [] -> go ps [] (Accept :: acc)
+  in
+  go packets vs []
+
+let rec run_batch t packets =
+  match t.hooks with
+  | [] -> List.map (fun _ -> Accept) packets
+  | [ (_, Single f) ] -> List.map (fun p -> f p) packets
+  | [ (_, Batch f) ] -> pad_verdicts packets (f packets)
+  | _ -> run_batch_general t packets
+
+and run_batch_general t packets =
   (* Hooks run in registration order over the whole burst; a packet stolen
      by an earlier hook is not shown to later ones.  Relative order within
      the burst is preserved for every hook. *)

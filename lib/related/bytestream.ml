@@ -11,8 +11,8 @@ let off_state = 12
 
 let pages_for ~size = (size + Page.size - 1) / Page.size
 
-let get page off = Int32.to_int (Page.get_u32 page off) land mask32
-let set page off v = Page.set_u32 page off (Int32.of_int (v land mask32))
+let get page off = Page.get_u32 page off
+let set page off v = Page.set_u32 page off (v land mask32)
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 

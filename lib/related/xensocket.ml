@@ -65,9 +65,9 @@ let create_pipe ~machine ~owner ~writer_domid ?(size = 65536) () =
   (* Stash the data grefs in the descriptor page, XenLoop-FIFO style, at a
      fixed offset past the stream header. *)
   List.iteri
-    (fun i gref -> Page.set_u32 desc (64 + (4 * i)) (Int32.of_int gref))
+    (fun i gref -> Page.set_u32 desc (64 + (4 * i)) gref)
     data_grefs;
-  Page.set_u32 desc 60 (Int32.of_int n);
+  Page.set_u32 desc 60 n;
   let ec = Machine.evtchn machine in
   let port = Ec.alloc_unbound ec ~dom:owner_id ~remote:writer_domid in
   let side =
@@ -104,9 +104,9 @@ let connect ~machine ~domain ~reader_domid handle =
       match Gt.map reader_gt handle.desc_gref ~by:my_id ~meter with
       | Error e -> Error (Gt.error_to_string e)
       | Ok desc -> (
-          let n = Int32.to_int (Page.get_u32 desc 60) in
+          let n = Page.get_u32 desc 60 in
           let data_grefs =
-            List.init n (fun i -> Int32.to_int (Page.get_u32 desc (64 + (4 * i))))
+            List.init n (fun i -> Page.get_u32 desc (64 + (4 * i)))
           in
           let mapped = List.filter_map
               (fun gref ->

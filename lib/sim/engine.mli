@@ -69,3 +69,7 @@ val step : t -> bool
 (** Process a single event.  Returns [false] if the queue was empty. *)
 
 val pending_events : t -> int
+
+val events_executed : t -> int
+(** Total events this engine has run since creation — the numerator of the
+    [sim_events_per_sec] benchmark metric. *)

@@ -1,0 +1,58 @@
+(** Calendar-queue event scheduler: a circular timer wheel for the
+    near-future window, a binary heap of the same cells as far-future
+    overflow, preserving exact (time, seq) pop order.
+
+    Cells are caller-owned mutable records; the steady-state
+    insert/remove/pop cycle performs no allocation, which is what lets
+    {!Engine} pool them.  A cell belongs to at most one wheel at a time.
+
+    Time is in plain [int] nanoseconds (63-bit — ±146 years of simulated
+    time) so cell updates never box an [Int64]. *)
+
+type 'a cell = {
+  mutable c_time : int;  (** event time, ns *)
+  mutable c_seq : int;  (** tie-break: insertion sequence *)
+  mutable c_value : 'a;
+  mutable c_next : 'a cell;  (** intra-slot link; the wheel's {!nil} ends lists *)
+  mutable c_loc : int;  (** where the cell currently lives (internal) *)
+}
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** An empty wheel.  [dummy] fills the internal sentinel cell's value. *)
+
+val make_cell : 'a t -> 'a -> 'a cell
+(** A fresh unlinked cell usable with this wheel. *)
+
+val nil : 'a t -> 'a cell
+(** The wheel's sentinel: returned by {!pop} on an empty wheel, and the
+    list terminator for [c_next] chains (callers may reuse it as their own
+    freelist terminator). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> 'a cell -> unit
+(** Queue a cell at its [c_time]/[c_seq].  Times before the current cursor
+    are admitted (they pop at the cursor position, still in (time, seq)
+    order relative to their slot). *)
+
+val remove : 'a t -> 'a cell -> bool
+(** Unlink a queued cell ([false] if it was not queued).  O(slot length)
+    in the wheel, O(heap) in the overflow. *)
+
+val pop : 'a t -> 'a cell
+(** Remove and return the minimum-(time, seq) cell, or {!nil} when empty.
+    Advances the internal cursor; callers must only advance their clock
+    monotonically with the popped times (which the engine does). *)
+
+val pop_before : 'a t -> int -> 'a cell
+(** [pop_before t limit_ns] pops the minimum cell if its time is at most
+    [limit_ns], else returns {!nil} leaving the queue's contents intact.
+    One slot scan instead of the peek-then-pop two — the bounded run
+    loop's fast path. *)
+
+val next_time : 'a t -> int
+(** Earliest pending [c_time], or [max_int] when empty.  Never moves the
+    cursor, so it is safe around bounded runs that stop short. *)

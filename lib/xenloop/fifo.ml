@@ -57,102 +57,107 @@ let carve_queue ~pool ~k ~index =
 let entry_magic = 0x584C (* "XL" *)
 let flag_desc = 1
 
-let get_u32_int page off = Int32.to_int (Page.get_u32 page off) land mask32
-let set_u32_int page off v = Page.set_u32 page off (Int32.of_int (v land mask32))
 
 let init ~desc ~data ~k =
   if k < 1 || k > max_k then invalid_arg "Fifo.init: k out of range";
   if Array.length data <> data_pages_for ~k then
     invalid_arg "Fifo.init: wrong number of data pages";
   Page.zero desc;
-  set_u32_int desc off_front 0;
-  set_u32_int desc off_back 0;
-  set_u32_int desc off_state 1;
-  set_u32_int desc off_k k;
-  set_u32_int desc off_npages (Array.length data)
+  Page.set_u32 desc off_front 0;
+  Page.set_u32 desc off_back 0;
+  Page.set_u32 desc off_state 1;
+  Page.set_u32 desc off_k k;
+  Page.set_u32 desc off_npages (Array.length data)
 
 let write_grefs ~desc grefs =
-  List.iteri (fun i gref -> set_u32_int desc (off_grefs + (4 * i)) gref) grefs
+  List.iteri (fun i gref -> Page.set_u32 desc (off_grefs + (4 * i)) gref) grefs
 
 let read_grefs ~desc =
-  let n = get_u32_int desc off_npages in
-  List.init n (fun i -> get_u32_int desc (off_grefs + (4 * i)))
+  let n = Page.get_u32 desc off_npages in
+  List.init n (fun i -> Page.get_u32 desc (off_grefs + (4 * i)))
 
 type t = {
   desc : Page.t;
   data : Page.t array;
   fifo_slots : int;
-  scratch : Bytes.t;
-      (* per-view scratch for entry metadata words: the push/pop hot paths
-         run once per packet and must not allocate for bookkeeping *)
+  (* Scratch descriptor for [pop_into]: the consumer's per-packet path
+     reads the fields through the accessors below instead of allocating an
+     [entry] per pop. *)
+  mutable e_slot : int;
+  mutable e_off : int;
+  mutable e_len : int;
+  mutable e_proto : int;
 }
 
 let attach ~desc ~data =
-  let k = get_u32_int desc off_k in
+  let k = Page.get_u32 desc off_k in
   if k < 1 || k > max_k then invalid_arg "Fifo.attach: descriptor not initialized";
   if Array.length data <> data_pages_for ~k then
     invalid_arg "Fifo.attach: wrong number of data pages";
-  { desc; data; fifo_slots = 1 lsl k; scratch = Bytes.create slot_bytes }
+  { desc; data; fifo_slots = 1 lsl k; e_slot = 0; e_off = 0; e_len = 0; e_proto = 0 }
 
 let slots t = t.fifo_slots
 let max_packet t = (t.fifo_slots - 1) * slot_bytes
 
-let front t = get_u32_int t.desc off_front
-let back t = get_u32_int t.desc off_back
+let front t = Page.get_u32 t.desc off_front
+let back t = Page.get_u32 t.desc off_back
 
 let used_slots t = (back t - front t) land mask32
 let free_slots t = t.fifo_slots - used_slots t
 let is_empty t = used_slots t = 0
 
-let is_active t = get_u32_int t.desc off_state = 1
-let mark_inactive t = set_u32_int t.desc off_state 0
+let is_active t = Page.get_u32 t.desc off_state = 1
+let mark_inactive t = Page.set_u32 t.desc off_state 0
 
 (* Notification-suppression flags (engineering extension over the paper's
    Sect. 3.3 layout, in the spirit of Xen's RING_PUSH_REQUESTS_AND_CHECK_NOTIFY).
    Both live in the shared descriptor page so either endpoint can read the
    other's published state without a hypercall. *)
 
-let consumer_active t = get_u32_int t.desc off_consumer_active = 1
-let set_consumer_active t v = set_u32_int t.desc off_consumer_active (Bool.to_int v)
+let consumer_active t = Page.get_u32 t.desc off_consumer_active = 1
+let set_consumer_active t v = Page.set_u32 t.desc off_consumer_active (Bool.to_int v)
 
-let producer_waiting t = get_u32_int t.desc off_producer_waiting = 1
-let set_producer_waiting t v = set_u32_int t.desc off_producer_waiting (Bool.to_int v)
+let producer_waiting t = Page.get_u32 t.desc off_producer_waiting = 1
+let set_producer_waiting t v = Page.set_u32 t.desc off_producer_waiting (Bool.to_int v)
 
 let force_indices ~desc v =
-  set_u32_int desc off_front v;
-  set_u32_int desc off_back v
+  Page.set_u32 desc off_front v;
+  Page.set_u32 desc off_back v
 
 (* Byte-level ring access spanning the data pages. *)
 
 let ring_bytes t = t.fifo_slots * slot_bytes
 
+(* Iterative (a local recursive helper would allocate a closure; these run
+   once per packet on both hot paths). *)
+
 let write_ring t ~at ~src ~src_off ~len =
   let size = ring_bytes t in
-  let rec go at src_off len =
-    if len > 0 then begin
-      let at = at mod size in
-      let page = t.data.(at / Page.size) in
-      let page_off = at mod Page.size in
-      let chunk = min len (Page.size - page_off) in
-      Page.write page ~off:page_off ~src ~src_off ~len:chunk;
-      go (at + chunk) (src_off + chunk) (len - chunk)
-    end
-  in
-  go at src_off len
+  let at = ref at and src_off = ref src_off and left = ref len in
+  while !left > 0 do
+    let a = !at mod size in
+    let page = t.data.(a / Page.size) in
+    let page_off = a mod Page.size in
+    let chunk = min !left (Page.size - page_off) in
+    Page.write page ~off:page_off ~src ~src_off:!src_off ~len:chunk;
+    at := a + chunk;
+    src_off := !src_off + chunk;
+    left := !left - chunk
+  done
 
 let read_ring t ~at ~dst ~dst_off ~len =
   let size = ring_bytes t in
-  let rec go at dst_off len =
-    if len > 0 then begin
-      let at = at mod size in
-      let page = t.data.(at / Page.size) in
-      let page_off = at mod Page.size in
-      let chunk = min len (Page.size - page_off) in
-      Page.read page ~off:page_off ~dst ~dst_off ~len:chunk;
-      go (at + chunk) (dst_off + chunk) (len - chunk)
-    end
-  in
-  go at dst_off len
+  let at = ref at and dst_off = ref dst_off and left = ref len in
+  while !left > 0 do
+    let a = !at mod size in
+    let page = t.data.(a / Page.size) in
+    let page_off = a mod Page.size in
+    let chunk = min !left (Page.size - page_off) in
+    Page.read page ~off:page_off ~dst ~dst_off:!dst_off ~len:chunk;
+    at := a + chunk;
+    dst_off := !dst_off + chunk;
+    left := !left - chunk
+  done
 
 let slots_for_payload len = 1 + ((len + slot_bytes - 1) / slot_bytes)
 
@@ -174,17 +179,19 @@ let try_push t payload =
       let b = back t in
       let slot_index = b land (t.fifo_slots - 1) in
       let byte_at = slot_index * slot_bytes in
-      (* Metadata word: u32 length, u16 magic, u16 flags (none set). *)
-      let meta = t.scratch in
-      Bytes.set_int32_le meta 0 (Int32.of_int len);
-      Bytes.set_uint16_le meta 4 entry_magic;
-      Bytes.set_uint16_le meta 6 0;
-      write_ring t ~at:byte_at ~src:meta ~src_off:0 ~len:slot_bytes;
+      (* Metadata word: u32 length, u16 magic, u16 flags (none set).
+         An 8-byte slot never straddles a 4 KiB page, so the word is
+         written in place — no scratch buffer, no allocation. *)
+      let mpage = t.data.(byte_at / Page.size) in
+      let moff = byte_at mod Page.size in
+      Page.set_u32 mpage moff len;
+      Page.set_u16 mpage (moff + 4) entry_magic;
+      Page.set_u16 mpage (moff + 6) 0;
       write_ring t
         ~at:((byte_at + slot_bytes) mod ring_bytes t)
         ~src:payload ~src_off:0 ~len;
       (* Publish: the producer's atomic increment of [back]. *)
-      set_u32_int t.desc off_back (b + needed);
+      Page.set_u32 t.desc off_back (b + needed);
       true
     end
   end
@@ -200,18 +207,18 @@ let try_push_desc t ~slot ~offset ~len ~proto_hint =
     let b = back t in
     let slot_index = b land (t.fifo_slots - 1) in
     let byte_at = slot_index * slot_bytes in
-    let meta = t.scratch in
-    Bytes.set_int32_le meta 0 (Int32.of_int len);
-    Bytes.set_uint16_le meta 4 entry_magic;
-    Bytes.set_uint16_le meta 6 flag_desc;
-    write_ring t ~at:byte_at ~src:meta ~src_off:0 ~len:slot_bytes;
-    Bytes.set_uint16_le meta 0 slot;
-    Bytes.set_uint16_le meta 2 proto_hint;
-    Bytes.set_int32_le meta 4 (Int32.of_int offset);
-    write_ring t
-      ~at:((byte_at + slot_bytes) mod ring_bytes t)
-      ~src:meta ~src_off:0 ~len:slot_bytes;
-    set_u32_int t.desc off_back (b + 2);
+    let mpage = t.data.(byte_at / Page.size) in
+    let moff = byte_at mod Page.size in
+    Page.set_u32 mpage moff len;
+    Page.set_u16 mpage (moff + 4) entry_magic;
+    Page.set_u16 mpage (moff + 6) flag_desc;
+    let at2 = (byte_at + slot_bytes) mod ring_bytes t in
+    let ppage = t.data.(at2 / Page.size) in
+    let poff = at2 mod Page.size in
+    Page.set_u16 ppage poff slot;
+    Page.set_u16 ppage (poff + 2) proto_hint;
+    Page.set_u32 ppage (poff + 4) offset;
+    Page.set_u32 t.desc off_back (b + 2);
     true
   end
 
@@ -224,36 +231,48 @@ let desc_eligible t ~pool ~inline_max len =
 
 type push_outcome = Pushed of { desc : bool; pool_fallback : bool } | Push_failed
 
-let push t ?pool ?(inline_max = max_int) ?(proto_hint = 0) payload =
+(* [push_entry] result codes.  Plain ints: the per-packet producer path
+   must not allocate a [push_outcome] block per call. *)
+let push_failed = 0
+let pushed_inline = 1
+let pushed_desc = 2
+let pushed_inline_fallback = 3
+
+let push_entry t ~pool ~inline_max ~proto_hint payload =
   let len = Bytes.length payload in
   match pool with
-  | Some pool when desc_eligible t ~pool ~inline_max len -> (
-      match Payload_pool.alloc pool with
-      | Some slot ->
-          if not (is_active t) || free_slots t < 2 then begin
-            (* Don't burn a pool slot on a push the FIFO refuses; the
-               caller queues the frame and retries. *)
-            Payload_pool.unalloc pool slot;
-            Push_failed
-          end
+  | Some pool when desc_eligible t ~pool ~inline_max len ->
+      let slot = Payload_pool.alloc_slot pool in
+      if slot >= 0 then begin
+        if not (is_active t) || free_slots t < 2 then begin
+          (* Don't burn a pool slot on a push the FIFO refuses; the
+             caller queues the frame and retries. *)
+          Payload_pool.unalloc pool slot;
+          push_failed
+        end
+        else begin
+          Payload_pool.write pool ~slot ~src:payload ~len;
+          if try_push_desc t ~slot ~offset:0 ~len ~proto_hint then pushed_desc
           else begin
-            Payload_pool.write pool ~slot ~src:payload ~len;
-            if try_push_desc t ~slot ~offset:0 ~len ~proto_hint then
-              Pushed { desc = true; pool_fallback = false }
-            else begin
-              Payload_pool.unalloc pool slot;
-              Push_failed
-            end
+            Payload_pool.unalloc pool slot;
+            push_failed
           end
-      | None ->
-          (* Pool exhausted: transparently degrade this packet to the
-             inline copy path rather than blocking behind the receiver's
-             slot returns. *)
-          if try_push t payload then Pushed { desc = false; pool_fallback = true }
-          else Push_failed)
-  | _ ->
-      if try_push t payload then Pushed { desc = false; pool_fallback = false }
-      else Push_failed
+        end
+      end
+      else if
+        (* Pool exhausted: transparently degrade this packet to the
+           inline copy path rather than blocking behind the receiver's
+           slot returns. *)
+        try_push t payload
+      then pushed_inline_fallback
+      else push_failed
+  | _ -> if try_push t payload then pushed_inline else push_failed
+
+let push t ?pool ?(inline_max = max_int) ?(proto_hint = 0) payload =
+  let r = push_entry t ~pool ~inline_max ~proto_hint payload in
+  if r = push_failed then Push_failed
+  else
+    Pushed { desc = r = pushed_desc; pool_fallback = r = pushed_inline_fallback }
 
 let can_accept_entry t ?pool ?(inline_max = max_int) len =
   match pool with
@@ -270,18 +289,18 @@ type push_report = {
   pr_fallbacks : int;
 }
 
-let push_many t ?pool ?inline_max ?proto_hint payloads =
+let push_many t ?pool ?(inline_max = max_int) ?(proto_hint = 0) payloads =
   let pushed = ref 0 and descs = ref 0 and inlines = ref 0 and fallbacks = ref 0 in
   let rec go = function
     | [] -> ()
-    | payload :: rest -> (
-        match push t ?pool ?inline_max ?proto_hint payload with
-        | Push_failed -> ()
-        | Pushed { desc; pool_fallback } ->
-            incr pushed;
-            if desc then incr descs else incr inlines;
-            if pool_fallback then incr fallbacks;
-            go rest)
+    | payload :: rest ->
+        let r = push_entry t ~pool ~inline_max ~proto_hint payload in
+        if r <> push_failed then begin
+          incr pushed;
+          if r = pushed_desc then incr descs else incr inlines;
+          if r = pushed_inline_fallback then incr fallbacks;
+          go rest
+        end
   in
   go payloads;
   { pr_pushed = !pushed; pr_desc = !descs; pr_inline = !inlines; pr_fallbacks = !fallbacks }
@@ -290,27 +309,72 @@ type entry =
   | Inline of Bytes.t
   | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int }
 
+(* [pop_into] result codes. *)
+let popped_empty = -1
+let popped_desc = -2
+
+let pop_into t dst =
+  if is_empty t then popped_empty
+  else begin
+    let f = front t in
+    let slot_index = f land (t.fifo_slots - 1) in
+    let byte_at = slot_index * slot_bytes in
+    let mpage = t.data.(byte_at / Page.size) in
+    let moff = byte_at mod Page.size in
+    let len = Page.get_u32 mpage moff in
+    let magic = Page.get_u16 mpage (moff + 4) in
+    let flags = Page.get_u16 mpage (moff + 6) in
+    if magic <> entry_magic || len <= 0 then
+      invalid_arg "Fifo.pop: corrupt entry metadata"
+    else if flags land flag_desc <> 0 then begin
+      let at2 = (byte_at + slot_bytes) mod ring_bytes t in
+      let ppage = t.data.(at2 / Page.size) in
+      let poff = at2 mod Page.size in
+      t.e_slot <- Page.get_u16 ppage poff;
+      t.e_proto <- Page.get_u16 ppage (poff + 2);
+      t.e_off <- Page.get_u32 ppage (poff + 4);
+      t.e_len <- len;
+      Page.set_u32 t.desc off_front (f + 2);
+      popped_desc
+    end
+    else if len > max_packet t then invalid_arg "Fifo.pop: corrupt entry metadata"
+    else if Bytes.length dst < len then
+      invalid_arg "Fifo.pop_into: destination buffer too small"
+    else begin
+      read_ring t
+        ~at:((byte_at + slot_bytes) mod ring_bytes t)
+        ~dst ~dst_off:0 ~len;
+      Page.set_u32 t.desc off_front (f + slots_for_payload len);
+      len
+    end
+  end
+
+let desc_slot t = t.e_slot
+let desc_off t = t.e_off
+let desc_len t = t.e_len
+let desc_proto t = t.e_proto
+
 let pop_entry t =
   if is_empty t then None
   else begin
     let f = front t in
     let slot_index = f land (t.fifo_slots - 1) in
     let byte_at = slot_index * slot_bytes in
-    let meta = t.scratch in
-    read_ring t ~at:byte_at ~dst:meta ~dst_off:0 ~len:slot_bytes;
-    let len = Int32.to_int (Bytes.get_int32_le meta 0) in
-    let magic = Bytes.get_uint16_le meta 4 in
-    let flags = Bytes.get_uint16_le meta 6 in
+    let mpage = t.data.(byte_at / Page.size) in
+    let moff = byte_at mod Page.size in
+    let len = Page.get_u32 mpage moff in
+    let magic = Page.get_u16 mpage (moff + 4) in
+    let flags = Page.get_u16 mpage (moff + 6) in
     if magic <> entry_magic || len <= 0 then
       invalid_arg "Fifo.pop: corrupt entry metadata"
     else if flags land flag_desc <> 0 then begin
-      read_ring t
-        ~at:((byte_at + slot_bytes) mod ring_bytes t)
-        ~dst:meta ~dst_off:0 ~len:slot_bytes;
-      let d_slot = Bytes.get_uint16_le meta 0 in
-      let d_proto = Bytes.get_uint16_le meta 2 in
-      let d_off = Int32.to_int (Bytes.get_int32_le meta 4) in
-      set_u32_int t.desc off_front (f + 2);
+      let at2 = (byte_at + slot_bytes) mod ring_bytes t in
+      let ppage = t.data.(at2 / Page.size) in
+      let poff = at2 mod Page.size in
+      let d_slot = Page.get_u16 ppage poff in
+      let d_proto = Page.get_u16 ppage (poff + 2) in
+      let d_off = Page.get_u32 ppage (poff + 4) in
+      Page.set_u32 t.desc off_front (f + 2);
       Some (Desc { d_slot; d_off; d_len = len; d_proto })
     end
     else if len > max_packet t then invalid_arg "Fifo.pop: corrupt entry metadata"
@@ -319,7 +383,7 @@ let pop_entry t =
       read_ring t
         ~at:((byte_at + slot_bytes) mod ring_bytes t)
         ~dst:payload ~dst_off:0 ~len;
-      set_u32_int t.desc off_front (f + slots_for_payload len);
+      Page.set_u32 t.desc off_front (f + slots_for_payload len);
       Some (Inline payload)
     end
   end
@@ -338,14 +402,14 @@ let sanity t =
   (* The invariant checker's view: every property here must hold at any
      instant between two well-formed shared-memory operations, whatever
      faults the harness injected around them. *)
-  let k = get_u32_int t.desc off_k in
-  let state = get_u32_int t.desc off_state in
-  let ca = get_u32_int t.desc off_consumer_active in
-  let pw = get_u32_int t.desc off_producer_waiting in
+  let k = Page.get_u32 t.desc off_k in
+  let state = Page.get_u32 t.desc off_state in
+  let ca = Page.get_u32 t.desc off_consumer_active in
+  let pw = Page.get_u32 t.desc off_producer_waiting in
   if k < 1 || k > max_k then Some (Printf.sprintf "k out of range: %d" k)
   else if 1 lsl k <> t.fifo_slots then
     Some (Printf.sprintf "k/slots mismatch: k=%d slots=%d" k t.fifo_slots)
-  else if get_u32_int t.desc off_npages <> Array.length t.data then
+  else if Page.get_u32 t.desc off_npages <> Array.length t.data then
     Some "npages does not match attached data pages"
   else if state <> 0 && state <> 1 then
     Some (Printf.sprintf "state flag corrupt: %d" state)

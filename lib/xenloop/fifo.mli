@@ -108,6 +108,30 @@ val push :
   ?proto_hint:int ->
   Bytes.t ->
   push_outcome
+
+(** {2 Zero-allocation producer path}
+
+    [push_entry] is {!push} without the [push_outcome] block: the result is
+    one of the int codes below, the labelled arguments are non-optional
+    (optional-argument defaults box), and nothing is allocated on the OCaml
+    heap for an inline push.  The per-packet path of the guest TX engine. *)
+
+val push_failed : int  (** 0 — the entry did not enter the FIFO *)
+
+val pushed_inline : int  (** 1 — inline copy path *)
+
+val pushed_desc : int  (** 2 — descriptor through the payload pool *)
+
+val pushed_inline_fallback : int
+(** 3 — descriptor-eligible but the pool was exhausted; degraded inline *)
+
+val push_entry :
+  t ->
+  pool:Payload_pool.t option ->
+  inline_max:int ->
+  proto_hint:int ->
+  Bytes.t ->
+  int
 (** The one producer entry point for a pooled channel.  Payloads at or
     below [inline_max] (or with no [pool]) take the inline path exactly
     as {!try_push}; eligible larger payloads allocate a pool slot, pay
@@ -158,6 +182,31 @@ val pop : t -> Bytes.t option
 (** Inline-only consumer view of {!pop_entry}.
     @raise Invalid_argument on corrupt metadata or a descriptor entry
     (an endpoint without a pool must never see one). *)
+
+(** {2 Zero-allocation consumer path}
+
+    [pop_into] is {!pop_entry} without the [entry] allocation: inline
+    payload bytes land in the caller's reusable buffer, and a descriptor
+    entry parks its fields in the view (read them through the accessors
+    below before the next pop). *)
+
+val popped_empty : int  (** -1 — the FIFO was empty *)
+
+val popped_desc : int
+(** -2 — a descriptor entry; fields via {!desc_slot} & co. *)
+
+val pop_into : t -> Bytes.t -> int
+(** Consume the next entry.  Returns the inline payload length (written at
+    offset 0 of the buffer), or one of the codes above.
+    @raise Invalid_argument on corrupt metadata or a buffer smaller than
+    the entry's payload (size it with {!max_packet}). *)
+
+val desc_slot : t -> int
+val desc_off : t -> int
+val desc_len : t -> int
+val desc_proto : t -> int
+(** Fields of the most recent {!popped_desc} entry from {!pop_into};
+    overwritten by the next descriptor pop on this view. *)
 
 val is_active : t -> bool
 val mark_inactive : t -> unit

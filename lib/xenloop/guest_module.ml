@@ -291,23 +291,25 @@ let record_copy t len =
 let push_refused t =
   match t.push_fault with None -> false | Some f -> f ()
 
-let note_outcome t q (outcome : Fifo.push_outcome) =
-  match outcome with
-  | Fifo.Push_failed -> false
-  | Fifo.Pushed { desc; pool_fallback } ->
-      if desc then begin
-        q.q_desc_tx <- q.q_desc_tx + 1;
-        t.s.desc_tx <- t.s.desc_tx + 1
-      end
-      else begin
-        q.q_inline_tx <- q.q_inline_tx + 1;
-        t.s.inline_tx <- t.s.inline_tx + 1
-      end;
-      if pool_fallback then begin
-        q.q_pool_fallbacks <- q.q_pool_fallbacks + 1;
-        t.s.pool_fallbacks <- t.s.pool_fallbacks + 1
-      end;
-      true
+(* [outcome] is a {!Fifo.push_entry} result code; plain ints keep the
+   per-packet TX path allocation-free. *)
+let note_outcome t q outcome =
+  if outcome = Fifo.push_failed then false
+  else begin
+    if outcome = Fifo.pushed_desc then begin
+      q.q_desc_tx <- q.q_desc_tx + 1;
+      t.s.desc_tx <- t.s.desc_tx + 1
+    end
+    else begin
+      q.q_inline_tx <- q.q_inline_tx + 1;
+      t.s.inline_tx <- t.s.inline_tx + 1
+    end;
+    if outcome = Fifo.pushed_inline_fallback then begin
+      q.q_pool_fallbacks <- q.q_pool_fallbacks + 1;
+      t.s.pool_fallbacks <- t.s.pool_fallbacks + 1
+    end;
+    true
+  end
 
 (* Write a serialized frame into the outgoing channel, charging the
    sender half of the data path (paper Sect. 3.3, "Data transfer").  The
@@ -323,7 +325,7 @@ let push_frame t q raw =
     Sim.Resource.use (cpu t)
       (Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
     let outcome =
-      Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
+      Fifo.push_entry q.out_fifo ~pool:q.q_tx_pool ~inline_max:q.q_inline_max
         ~proto_hint:(proto_hint_of raw) raw
     in
     let ok = note_outcome t q outcome in
@@ -431,10 +433,10 @@ let send_batch t q raws =
               let len = Bytes.length raw in
               Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
               let outcome =
-                if push_refused t then Fifo.Push_failed
+                if push_refused t then Fifo.push_failed
                 else
-                  Fifo.push q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
-                    ~proto_hint:(proto_hint_of raw) raw
+                  Fifo.push_entry q.out_fifo ~pool:q.q_tx_pool
+                    ~inline_max:q.q_inline_max ~proto_hint:(proto_hint_of raw) raw
               in
               if note_outcome t q outcome then begin
                 record_copy t len;

@@ -13,8 +13,6 @@ let off_fr_tail = 20
 let off_ring = 32
 let off_grefs ~slots = off_ring + (4 * slots)
 
-let get_u32_int page off = Int32.to_int (Page.get_u32 page off) land mask32
-let set_u32_int page off v = Page.set_u32 page off (Int32.of_int (v land mask32))
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
@@ -51,37 +49,37 @@ let init ~ctrl ~data ~slots ~slot_pages ~inline_max =
   if Array.length data <> slots * slot_pages then
     invalid_arg "Payload_pool.init: wrong number of data pages";
   Page.zero ctrl;
-  set_u32_int ctrl off_magic pool_magic;
-  set_u32_int ctrl off_slots slots;
-  set_u32_int ctrl off_slot_pages slot_pages;
-  set_u32_int ctrl off_inline_max inline_max;
+  Page.set_u32 ctrl off_magic pool_magic;
+  Page.set_u32 ctrl off_slots slots;
+  Page.set_u32 ctrl off_slot_pages slot_pages;
+  Page.set_u32 ctrl off_inline_max inline_max;
   (* Free ring starts full: every slot is available to the sender. *)
   for i = 0 to slots - 1 do
-    set_u32_int ctrl (off_ring + (4 * i)) i
+    Page.set_u32 ctrl (off_ring + (4 * i)) i
   done;
-  set_u32_int ctrl off_fr_head 0;
-  set_u32_int ctrl off_fr_tail slots;
+  Page.set_u32 ctrl off_fr_head 0;
+  Page.set_u32 ctrl off_fr_tail slots;
   { ctrl; data; p_slots = slots; p_slot_pages = slot_pages; alloc_fault = None }
 
 let write_grefs t grefs =
   if Array.length grefs <> t.p_slots * t.p_slot_pages then
     invalid_arg "Payload_pool.write_grefs: wrong number of grefs";
   let base = off_grefs ~slots:t.p_slots in
-  Array.iteri (fun i gref -> set_u32_int t.ctrl (base + (4 * i)) gref) grefs
+  Array.iteri (fun i gref -> Page.set_u32 t.ctrl (base + (4 * i)) gref) grefs
 
 let read_grefs ~ctrl =
-  if get_u32_int ctrl off_magic <> pool_magic then
+  if Page.get_u32 ctrl off_magic <> pool_magic then
     invalid_arg "Payload_pool.read_grefs: control page not initialized";
-  let slots = get_u32_int ctrl off_slots in
-  let slot_pages = get_u32_int ctrl off_slot_pages in
+  let slots = Page.get_u32 ctrl off_slots in
+  let slot_pages = Page.get_u32 ctrl off_slot_pages in
   let base = off_grefs ~slots in
-  Array.init (slots * slot_pages) (fun i -> get_u32_int ctrl (base + (4 * i)))
+  Array.init (slots * slot_pages) (fun i -> Page.get_u32 ctrl (base + (4 * i)))
 
 let attach ~ctrl ~data =
-  if get_u32_int ctrl off_magic <> pool_magic then
+  if Page.get_u32 ctrl off_magic <> pool_magic then
     invalid_arg "Payload_pool.attach: control page not initialized";
-  let slots = get_u32_int ctrl off_slots in
-  let slot_pages = get_u32_int ctrl off_slot_pages in
+  let slots = Page.get_u32 ctrl off_slots in
+  let slot_pages = Page.get_u32 ctrl off_slot_pages in
   check_geometry ~what:"attach" ~slots ~slot_pages;
   if Array.length data <> slots * slot_pages then
     invalid_arg "Payload_pool.attach: wrong number of data pages";
@@ -89,10 +87,10 @@ let attach ~ctrl ~data =
 
 let slots t = t.p_slots
 let slot_bytes t = t.p_slot_pages * Page.size
-let inline_threshold t = get_u32_int t.ctrl off_inline_max
+let inline_threshold t = Page.get_u32 t.ctrl off_inline_max
 
-let fr_head t = get_u32_int t.ctrl off_fr_head
-let fr_tail t = get_u32_int t.ctrl off_fr_tail
+let fr_head t = Page.get_u32 t.ctrl off_fr_head
+let fr_tail t = Page.get_u32 t.ctrl off_fr_tail
 let free_slots t = (fr_tail t - fr_head t) land mask32
 
 (* Free-ring protocol: the ring holds slot numbers; the sender pops free
@@ -105,14 +103,18 @@ let set_alloc_fault t f = t.alloc_fault <- f
 let alloc_faulted t =
   match t.alloc_fault with None -> false | Some f -> f ()
 
-let alloc t =
-  if free_slots t = 0 || alloc_faulted t then None
+let alloc_slot t =
+  if free_slots t = 0 || alloc_faulted t then -1
   else begin
     let h = fr_head t in
-    let slot = get_u32_int t.ctrl (off_ring + (4 * (h land (t.p_slots - 1)))) in
-    set_u32_int t.ctrl off_fr_head (h + 1);
-    Some slot
+    let slot = Page.get_u32 t.ctrl (off_ring + (4 * (h land (t.p_slots - 1)))) in
+    Page.set_u32 t.ctrl off_fr_head (h + 1);
+    slot
   end
+
+let alloc t =
+  let slot = alloc_slot t in
+  if slot < 0 then None else Some slot
 
 let unalloc t slot =
   (* Sender-local revert of its own most recent [alloc] (e.g. the FIFO
@@ -120,14 +122,14 @@ let unalloc t slot =
      may call this, and only before the descriptor is published. *)
   let h = fr_head t in
   let pos = off_ring + (4 * ((h - 1) land (t.p_slots - 1))) in
-  set_u32_int t.ctrl pos slot;
-  set_u32_int t.ctrl off_fr_head (h - 1)
+  Page.set_u32 t.ctrl pos slot;
+  Page.set_u32 t.ctrl off_fr_head (h - 1)
 
 let free t slot =
   if slot < 0 || slot >= t.p_slots then invalid_arg "Payload_pool.free: bad slot";
   let tl = fr_tail t in
-  set_u32_int t.ctrl (off_ring + (4 * (tl land (t.p_slots - 1)))) slot;
-  set_u32_int t.ctrl off_fr_tail (tl + 1)
+  Page.set_u32 t.ctrl (off_ring + (4 * (tl land (t.p_slots - 1)))) slot;
+  Page.set_u32 t.ctrl off_fr_tail (tl + 1)
 
 (* Byte access spanning a slot's pages. *)
 
@@ -137,19 +139,21 @@ let check_span t ~what ~slot ~off ~len =
   if off < 0 || len < 0 || off + len > slot_bytes t then
     invalid_arg (Printf.sprintf "Payload_pool.%s: out of slot bounds" what)
 
+(* Iterative copy (the sender's once-per-packet path must not allocate,
+   and a local recursive helper would close over the arguments). *)
 let write t ~slot ~src ~len =
   check_span t ~what:"write" ~slot ~off:0 ~len;
   let base = slot * t.p_slot_pages in
-  let rec go at src_off len =
-    if len > 0 then begin
-      let page = t.data.(base + (at / Page.size)) in
-      let page_off = at mod Page.size in
-      let chunk = min len (Page.size - page_off) in
-      Page.write page ~off:page_off ~src ~src_off ~len:chunk;
-      go (at + chunk) (src_off + chunk) (len - chunk)
-    end
-  in
-  go 0 0 len
+  let at = ref 0 and src_off = ref 0 and left = ref len in
+  while !left > 0 do
+    let page = t.data.(base + (!at / Page.size)) in
+    let page_off = !at mod Page.size in
+    let chunk = min !left (Page.size - page_off) in
+    Page.write page ~off:page_off ~src ~src_off:!src_off ~len:chunk;
+    at := !at + chunk;
+    src_off := !src_off + chunk;
+    left := !left - chunk
+  done
 
 let read t ~slot ~off ~len =
   check_span t ~what:"read" ~slot ~off ~len;
@@ -174,8 +178,8 @@ let sanity t =
      window are in flight (allocated by the sender or being read by the
      receiver) — free + in-flight = total by construction, so the window
      bounds are the whole invariant. *)
-  if get_u32_int t.ctrl off_magic <> pool_magic then Some "control page magic corrupt"
-  else if get_u32_int t.ctrl off_slots <> t.p_slots then
+  if Page.get_u32 t.ctrl off_magic <> pool_magic then Some "control page magic corrupt"
+  else if Page.get_u32 t.ctrl off_slots <> t.p_slots then
     Some "slot count does not match attached view"
   else if free_slots t > t.p_slots then
     Some
@@ -187,7 +191,7 @@ let sanity t =
     let rec go i =
       if i >= n then None
       else begin
-        let slot = get_u32_int t.ctrl (off_ring + (4 * ((h + i) land (t.p_slots - 1)))) in
+        let slot = Page.get_u32 t.ctrl (off_ring + (4 * ((h + i) land (t.p_slots - 1)))) in
         if slot < 0 || slot >= t.p_slots then
           Some (Printf.sprintf "free ring holds bad slot %d" slot)
         else if seen.(slot) then

@@ -65,6 +65,11 @@ val alloc : t -> int option
 (** Sender: pop a free slot, or [None] when the pool is exhausted (the
     caller degrades that packet to the inline path). *)
 
+val alloc_slot : t -> int
+(** {!alloc} without the option box: the slot number, or [-1] when the
+    free ring is empty (or a fault forces exhaustion).  The sender's
+    per-packet path. *)
+
 val unalloc : t -> int -> unit
 (** Sender-local revert of its own most recent {!alloc}, before the
     descriptor is published (e.g. the FIFO refused the entry). *)

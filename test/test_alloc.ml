@@ -1,0 +1,113 @@
+(* Allocation-regression tests: the simulator hot paths must not allocate
+   on the minor heap in steady state.  Each test warms the path to steady
+   state (pools populated, wheel slots touched), then measures
+   [Gc.minor_words] across many iterations.
+
+   The wheel and FIFO paths are plain mutation and must be EXACTLY zero.
+   The engine paths carry a documented slack that is the OCaml effects
+   runtime, not engine bookkeeping:
+
+   - a sleep/wake cycle is an [Effect.perform] + [Effect.Deep.continue]
+     pair, which allocates the suspended continuation (10 minor words per
+     event as of OCaml 5.1);
+   - every callback entry is an [Effect.Deep.match_with], which allocates
+     a fresh fiber (5 minor words per event).
+
+   If either number creeps above the bound, engine bookkeeping has started
+   allocating again — the regression these tests exist to catch. *)
+
+let minor_per_iter ~iters f =
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int iters
+
+let check_words name ~bound per =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f minor words/iter (bound %.1f)" name per bound)
+    true (per <= bound)
+
+let test_wheel_cycle_zero_alloc () =
+  let module W = Sim.Wheel in
+  let w = W.create ~dummy:0 in
+  let seq = ref 0 in
+  Array.iter
+    (fun c ->
+      c.W.c_time <- 1_000;
+      c.W.c_seq <- !seq;
+      incr seq;
+      W.insert w c)
+    (Array.init 64 (fun i -> W.make_cell w i));
+  let per =
+    minor_per_iter ~iters:50_000 (fun () ->
+        let c = W.pop w in
+        c.W.c_time <- c.W.c_time + 5_000;
+        c.W.c_seq <- !seq;
+        incr seq;
+        W.insert w c)
+  in
+  check_words "wheel pop+insert" ~bound:0.0 per
+
+let test_fifo_roundtrip_zero_alloc () =
+  let module Page = Memory.Page in
+  let module Fifo = Xenloop.Fifo in
+  let k = 8 in
+  let desc = Page.create () in
+  let data = Array.init (Fifo.data_pages_for ~k) (fun _ -> Page.create ()) in
+  Fifo.init ~desc ~data ~k;
+  let tx = Fifo.attach ~desc ~data in
+  let rx = Fifo.attach ~desc ~data in
+  let payload = Bytes.make 1_400 'x' in
+  let dst = Bytes.create (Fifo.max_packet rx) in
+  (* Warm one cycle so first-touch effects are outside the window. *)
+  ignore (Fifo.push_entry tx ~pool:None ~inline_max:max_int ~proto_hint:0 payload);
+  ignore (Fifo.pop_into rx dst);
+  let per =
+    minor_per_iter ~iters:50_000 (fun () ->
+        ignore (Fifo.push_entry tx ~pool:None ~inline_max:max_int ~proto_hint:0 payload);
+        ignore (Fifo.pop_into rx dst))
+  in
+  check_words "fifo push_entry+pop_into" ~bound:0.0 per
+
+let test_engine_sleep_wake_slack () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.spawn e (fun () ->
+      for _ = 1 to 1_000_000 do
+        Sim.Engine.sleep (Sim.Time.us 1)
+      done);
+  Sim.Engine.spawn e (fun () ->
+      for _ = 1 to 1_000_000 do
+        Sim.Engine.sleep (Sim.Time.us 3)
+      done);
+  for _ = 1 to 100 do
+    ignore (Sim.Engine.step e)
+  done;
+  let per = minor_per_iter ~iters:50_000 (fun () -> ignore (Sim.Engine.step e)) in
+  (* 10 words = the perform/continue continuation; +2 headroom for future
+     compiler versions, still far below one boxed closure per event. *)
+  check_words "engine step, sleep/wake pair" ~bound:12.0 per
+
+let test_engine_timer_fire_slack () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.every e (Sim.Time.us 1) (fun () -> ()));
+  for _ = 1 to 100 do
+    ignore (Sim.Engine.step e)
+  done;
+  let per = minor_per_iter ~iters:50_000 (fun () -> ignore (Sim.Engine.step e)) in
+  (* 5 words = the match_with fiber; +1 headroom. *)
+  check_words "engine step, periodic timer fire" ~bound:6.0 per
+
+let suites =
+  [
+    ( "sim.alloc",
+      [
+        Alcotest.test_case "wheel cycle allocates nothing" `Quick test_wheel_cycle_zero_alloc;
+        Alcotest.test_case "fifo roundtrip allocates nothing" `Quick
+          test_fifo_roundtrip_zero_alloc;
+        Alcotest.test_case "engine sleep/wake within effect slack" `Quick
+          test_engine_sleep_wake_slack;
+        Alcotest.test_case "engine timer fire within fiber slack" `Quick
+          test_engine_timer_fire_slack;
+      ] );
+  ]

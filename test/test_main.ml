@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "xenloop-repro"
-    (Test_sim.suites @ Test_memory.suites @ Test_evtchn.suites
+    (Test_sim.suites @ Test_wheel.suites @ Test_alloc.suites @ Test_memory.suites
+   @ Test_evtchn.suites
    @ Test_xenstore.suites @ Test_netcore.suites @ Test_netstack.suites
    @ Test_xennet.suites @ Test_physnet.suites @ Test_xenloop_fifo.suites
    @ Test_xenloop_notify.suites @ Test_xenloop_integration.suites

@@ -37,10 +37,10 @@ let test_page_bounds () =
 let test_page_integers () =
   let p = Page.create () in
   Page.set_u8 p 0 0x7f;
-  Page.set_u32 p 4 0xdeadbeefl;
+  Page.set_u32 p 4 0xdeadbeef;
   Page.set_u64 p 8 0x0123456789abcdefL;
   Alcotest.(check int) "u8" 0x7f (Page.get_u8 p 0);
-  Alcotest.(check int32) "u32" 0xdeadbeefl (Page.get_u32 p 4);
+  Alcotest.(check int) "u32" 0xdeadbeef (Page.get_u32 p 4);
   Alcotest.(check int64) "u64" 0x0123456789abcdefL (Page.get_u64 p 8)
 
 let test_page_zero () =

@@ -98,6 +98,36 @@ let prop_checksum_detects_single_bit_flips =
       Bytes.set_uint8 data idx corrupted;
       Checksum.compute data ~off:0 ~len <> ck)
 
+(* The production sum is accumulated 32 bits at a time in native byte
+   order; this reference is the textbook big-endian byte-pair fold.  They
+   must agree bit-for-bit on every input, offset, and length parity. *)
+let reference_checksum data ~off ~len =
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum :=
+      !sum
+      + (Char.code (Bytes.get data !i) lsl 8)
+      + Char.code (Bytes.get data (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get data !i) lsl 8);
+  let s = ref !sum in
+  while !s > 0xffff do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  lnot !s land 0xffff
+
+let prop_checksum_matches_reference =
+  QCheck.Test.make ~name:"wide checksum matches byte-pair reference" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 80)) (int_bound 7))
+    (fun (s, off) ->
+      let data = Bytes.of_string s in
+      QCheck.assume (off <= Bytes.length data);
+      let len = Bytes.length data - off in
+      Checksum.compute data ~off ~len = reference_checksum data ~off ~len)
+
 let prop_checksum_incremental_matches_full =
   QCheck.Test.make ~name:"incremental update matches recomputation" ~count:200
     QCheck.(triple (string_of_size (QCheck.Gen.return 8)) (int_bound 3) (int_bound 0xffff))
@@ -431,7 +461,11 @@ let suites =
         Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
       ]
       @ qsuite
-          [ prop_checksum_detects_single_bit_flips; prop_checksum_incremental_matches_full ]
+          [
+            prop_checksum_detects_single_bit_flips;
+            prop_checksum_matches_reference;
+            prop_checksum_incremental_matches_full;
+          ]
     );
     ( "netcore.codec",
       [

@@ -322,6 +322,46 @@ let test_engine_every_start () =
   Sim.Engine.run e;
   Alcotest.(check (list int64)) "stamps" [ 2_000_000L; 1_000_000L; 0L ] !stamps
 
+let test_engine_every_no_drift () =
+  let e = Sim.Engine.create () in
+  (* A periodic callback that consumes simulated time must not push its own
+     schedule: firings rearm from the scheduled fire instant, not from the
+     clock after the callback ran. *)
+  let fires = ref [] in
+  let timer =
+    Sim.Engine.every e (Sim.Time.ms 1) (fun () ->
+        fires := Sim.Time.instant_to_ns (Sim.Engine.now e) :: !fires;
+        Sim.Engine.sleep (Sim.Time.us 300))
+  in
+  Sim.Engine.after e (Sim.Time.of_us_f 3500.0) (fun () -> Sim.Engine.cancel timer);
+  Sim.Engine.run e;
+  Alcotest.(check (list int64))
+    "exact period multiples" [ 3_000_000L; 2_000_000L; 1_000_000L ] !fires
+
+let test_engine_cancel_immediate () =
+  let e = Sim.Engine.create () in
+  let timer = Sim.Engine.every e (Sim.Time.ms 1) (fun () -> Alcotest.fail "fired") in
+  Alcotest.(check int) "armed" 1 (Sim.Engine.pending_events e);
+  Sim.Engine.cancel timer;
+  (* The pending entry is gone now, not lazily skipped at fire time. *)
+  Alcotest.(check int) "disarmed immediately" 0 (Sim.Engine.pending_events e);
+  Sim.Engine.cancel timer;
+  (* double-cancel is a no-op *)
+  Sim.Engine.run e
+
+let test_engine_cancel_in_own_callback () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let tref = ref None in
+  let timer =
+    Sim.Engine.every e (Sim.Time.ms 1) (fun () ->
+        incr count;
+        if !count = 2 then Sim.Engine.cancel (Option.get !tref))
+  in
+  tref := Some timer;
+  Sim.Engine.run ~until:(Sim.Time.add Sim.Time.zero (Sim.Time.ms 10)) e;
+  Alcotest.(check int) "fired exactly twice" 2 !count
+
 let test_engine_suspend_resume () =
   let e = Sim.Engine.create () in
   let resumer = ref (fun () -> ()) in
@@ -625,6 +665,9 @@ let suites =
         Alcotest.test_case "at rejects the past" `Quick test_engine_at_past_rejected;
         Alcotest.test_case "periodic timer" `Quick test_engine_every;
         Alcotest.test_case "periodic timer with start" `Quick test_engine_every_start;
+        Alcotest.test_case "periodic timer does not drift" `Quick test_engine_every_no_drift;
+        Alcotest.test_case "cancel disarms immediately" `Quick test_engine_cancel_immediate;
+        Alcotest.test_case "cancel in own callback" `Quick test_engine_cancel_in_own_callback;
         Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
         Alcotest.test_case "double resume rejected" `Quick test_engine_double_resume_rejected;
         Alcotest.test_case "negative sleep clamped" `Quick test_engine_negative_sleep_clamped;

@@ -312,7 +312,7 @@ let test_corrupt_peer_is_quarantined () =
           (* Make back > front by a bogus amount with garbage where entry
              metadata should be: the next pop on that FIFO sees a corrupt
              entry. *)
-          Memory.Page.set_u32 desc 4 9999l
+          Memory.Page.set_u32 desc 4 9999
       | Error e ->
           Alcotest.failf "could not map descriptor: %s"
             (Memory.Grant_table.error_to_string e));
