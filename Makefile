@@ -4,7 +4,7 @@
 # data path loses or duplicates a single application byte relative to the
 # baseline (see bench/main.ml).
 
-.PHONY: all build test bench-smoke bench perf engine-check soak ci check-tracked-artifacts clean
+.PHONY: all build test bench-smoke bench perf engine-check datapath-check soak ci check-tracked-artifacts clean
 
 all: build
 
@@ -39,6 +39,12 @@ perf: build
 engine-check: build
 	dune exec bench/main.exe -- --engine-bench-check BENCH_results.json
 
+# Data-path gate: with loaned-slot receive on (the default), a 16 KiB TCP
+# stream must cross the channel at <= 0.1 memcpy'd bytes per delivered
+# byte; more means the zero-copy borrow silently degenerated to copy-out.
+datapath-check: build
+	dune exec bench/main.exe -- --datapath-check
+
 # Chaos soak: the full fault matrix (every scenario x every applicable
 # fault kind, alone and as a storm), deterministic per seed.  Set
 # SOAK_ITERS=n for a longer sweep over seeds 42..42+n-1; a red run prints
@@ -46,8 +52,8 @@ engine-check: build
 soak: build
 	dune exec xenloopsim -- chaos
 
-ci: check-tracked-artifacts build test bench-smoke engine-check soak
-	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + chaos soak all green"
+ci: check-tracked-artifacts build test bench-smoke engine-check datapath-check soak
+	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + data-path copy gate + chaos soak all green"
 
 clean:
 	dune clean

@@ -762,6 +762,10 @@ type counters = {
   c_desc_tx : int;
   c_inline_tx : int;
   c_pool_fallbacks : int;
+  c_loan_tx : int;
+  c_loan_rx : int;
+  c_loan_returns : int;
+  c_loan_credit_stalls : int;
 }
 
 let counters_of_modules modules =
@@ -779,6 +783,10 @@ let counters_of_modules modules =
         c_desc_tx = acc.c_desc_tx + s.Gm.desc_tx;
         c_inline_tx = acc.c_inline_tx + s.Gm.inline_tx;
         c_pool_fallbacks = acc.c_pool_fallbacks + s.Gm.pool_fallbacks;
+        c_loan_tx = acc.c_loan_tx + s.Gm.loan_tx;
+        c_loan_rx = acc.c_loan_rx + s.Gm.loan_rx;
+        c_loan_returns = acc.c_loan_returns + s.Gm.loan_returns;
+        c_loan_credit_stalls = acc.c_loan_credit_stalls + s.Gm.loan_credit_stalls;
       })
     {
       c_delivered = 0;
@@ -791,6 +799,10 @@ let counters_of_modules modules =
       c_desc_tx = 0;
       c_inline_tx = 0;
       c_pool_fallbacks = 0;
+      c_loan_tx = 0;
+      c_loan_rx = 0;
+      c_loan_returns = 0;
+      c_loan_credit_stalls = 0;
     }
     modules
 
@@ -806,6 +818,10 @@ let sub_counters a b =
     c_desc_tx = a.c_desc_tx - b.c_desc_tx;
     c_inline_tx = a.c_inline_tx - b.c_inline_tx;
     c_pool_fallbacks = a.c_pool_fallbacks - b.c_pool_fallbacks;
+    c_loan_tx = a.c_loan_tx - b.c_loan_tx;
+    c_loan_rx = a.c_loan_rx - b.c_loan_rx;
+    c_loan_returns = a.c_loan_returns - b.c_loan_returns;
+    c_loan_credit_stalls = a.c_loan_credit_stalls - b.c_loan_credit_stalls;
   }
 
 type wl_result = {
@@ -1036,6 +1052,63 @@ let run_mixed ~params ~smoke () =
         mx_queue_stats;
       })
 
+(* ------------------------------------------------------------------ *)
+(* Poll-mode sweep: TCP_RR with the adaptive doorbell + poll-window
+   receiver against the run-to-completion busy-poll receiver (DESIGN.md
+   §11), at 1 and 4 queues.  Busy-poll trades a spinning receiver fiber
+   for the doorbell round-trip on every transaction, so the win shows up
+   in the tail: busy-poll p99 must land below adaptive p99. *)
+
+type poll_point = {
+  pp_mode : string;  (* "adaptive" | "busy-poll" *)
+  pp_queues : int;
+  pp_transactions : int;
+  pp_p50_us : float;
+  pp_p99_us : float;
+  pp_poll_rounds : int;
+  pp_notifies_sent : int;
+}
+
+let run_poll_point ~smoke ~poll ~queues () =
+  let params =
+    {
+      Hypervisor.Params.default with
+      Hypervisor.Params.xenloop_poll_mode = poll;
+      xenloop_queues = queues;
+    }
+  in
+  let ctx = make_ctx ~params Setup.Xenloop_path in
+  in_ctx ctx (fun { duo; client; server; dst } ->
+      let before = counters_of_modules duo.Setup.modules in
+      let n = if smoke then 150 else 1500 in
+      let r = Netperf.tcp_rr ~client ~server ~dst ~transactions:n () in
+      let after = counters_of_modules duo.Setup.modules in
+      let c = sub_counters after before in
+      {
+        pp_mode = (if poll then "busy-poll" else "adaptive");
+        pp_queues = queues;
+        pp_transactions = r.Netperf.transactions;
+        pp_p50_us = r.Netperf.p50_latency_us;
+        pp_p99_us = r.Netperf.p99_latency_us;
+        pp_poll_rounds = c.c_poll_rounds;
+        pp_notifies_sent = c.c_notifies_sent;
+      })
+
+let poll_sweep ~smoke =
+  List.concat_map
+    (fun queues ->
+      List.map (fun poll -> run_poll_point ~smoke ~poll ~queues ()) [ false; true ])
+    [ 1; 4 ]
+
+let json_of_poll_point buf p =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"mode\": \"%s\", \"queues\": %d, \"transactions\": %d, \
+        \"rr_p50_latency_us\": %.3f, \"rr_p99_latency_us\": %.3f, \
+        \"poll_rounds\": %d, \"notifies_sent\": %d}"
+       p.pp_mode p.pp_queues p.pp_transactions p.pp_p50_us p.pp_p99_us
+       p.pp_poll_rounds p.pp_notifies_sent)
+
 let notifies_per_packet c =
   if c.c_delivered = 0 then 0.0
   else float_of_int c.c_notifies_sent /. float_of_int c.c_delivered
@@ -1050,11 +1123,14 @@ let json_of_side buf r =
         \"notifies_sent\": %d, \"notifies_suppressed\": %d, \"batches\": %d, \
         \"poll_rounds\": %d, \"steered_packets\": %d, \
         \"waiting_overflows\": %d, \"desc_tx\": %d, \"inline_tx\": %d, \
-        \"pool_fallbacks\": %d, \"notifies_per_packet\": %.4f}"
+        \"pool_fallbacks\": %d, \"loan_tx\": %d, \"loan_rx\": %d, \
+        \"loan_returns\": %d, \"loan_credit_stalls\": %d, \
+        \"notifies_per_packet\": %.4f}"
        (jopt r.w_mbps) (jopt r.w_latency_us) r.w_delivered_app c.c_delivered
        c.c_notifies_sent c.c_notifies_suppressed c.c_batches c.c_poll_rounds
        c.c_steered c.c_waiting_overflows c.c_desc_tx c.c_inline_tx
-       c.c_pool_fallbacks (notifies_per_packet c))
+       c.c_pool_fallbacks c.c_loan_tx c.c_loan_rx c.c_loan_returns
+       c.c_loan_credit_stalls (notifies_per_packet c))
 
 let json_of_mixed buf m =
   let c = m.mx_counters in
@@ -1319,6 +1395,30 @@ let engine_bench_check path =
         exit 1
       end
 
+let datapath_check () =
+  (* CI gate for the loaned receive path (make datapath-check): with
+     loans negotiated (the default), a 16 KiB TCP stream must cross the
+     channel with almost no memcpy — copies/byte above 0.1 means the
+     borrow degenerated back into copy-out somewhere.  TCP deliberately:
+     large UDP datagrams fragment and the reassembly merge is an honest
+     copy this gate must not count against the loan path. *)
+  let size = 16384 in
+  let p =
+    run_zc_point ~params:Hypervisor.Params.default ~smoke:true
+      ~workload:`Tcp_stream size
+  in
+  Printf.printf
+    "datapath-check: tcp_stream %dB  %.1f Mbps  copies/byte %.4f (budget \
+     0.10)  desc %d  fallbacks %d\n"
+    size p.zp_mbps p.zp_copies_per_byte p.zp_desc_tx p.zp_pool_fallbacks;
+  if p.zp_copies_per_byte > 0.1 then begin
+    Printf.eprintf
+      "DATA PATH REGRESSION: %.4f copies per delivered byte at %d B with \
+       loans on (budget 0.10) — loaned receive is copying out\n"
+      p.zp_copies_per_byte size;
+    exit 1
+  end
+
 let json_mode ~smoke path =
   let names = [ "udp_stream"; "tcp_stream"; "udp_rr"; "tcp_rr" ] in
   let results =
@@ -1340,6 +1440,7 @@ let json_mode ~smoke path =
           ~smoke ())
       qs
   in
+  let poll_points = poll_sweep ~smoke in
   let sweep =
     (* Fig. 5 sensitivity under the optimized path. *)
     let ks = if smoke then [ 9; 13 ] else [ 9; 10; 11; 12; 13; 14; 15 ] in
@@ -1377,11 +1478,13 @@ let json_mode ~smoke path =
               Chaos.Soak.c_name = "xenloop-duo/baseline";
               c_scenario = Chaos.Harness.Xenloop_duo;
               c_faults = [];
+              c_loans = false;
             };
             {
               Chaos.Soak.c_name = "xenloop-duo/storm";
               c_scenario = Chaos.Harness.Xenloop_duo;
               c_faults = storm;
+              c_loans = false;
             };
           ]
         ~seed:42 ()
@@ -1417,6 +1520,13 @@ let json_mode ~smoke path =
       Buffer.add_string buf "    ";
       json_of_mixed buf m)
     queue_sweep;
+  Buffer.add_string buf "\n  ],\n  \"poll_sweep\": [\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "    ";
+      json_of_poll_point buf p)
+    poll_points;
   Buffer.add_string buf "\n  ],\n  \"fifo_sweep_udp_stream\": [\n";
   List.iteri
     (fun i (k, mbps) ->
@@ -1461,6 +1571,11 @@ let json_mode ~smoke path =
         m.mx_queues m.mx_stream_mbps m.mx_rr_p99_us)
     queue_sweep;
   List.iter
+    (fun p ->
+      Printf.printf "poll %-9s q=%d  rr p50 %7.1f us  p99 %7.1f us  notifies %d\n"
+        p.pp_mode p.pp_queues p.pp_p50_us p.pp_p99_us p.pp_notifies_sent)
+    poll_points;
+  List.iter
     (fun (name, points) ->
       List.iter
         (fun (size, on, off) ->
@@ -1497,6 +1612,20 @@ let json_mode ~smoke path =
               :: !failures)
         points)
     zerocopy_sweep;
+  (match poll_points with
+  | first :: rest ->
+      List.iter
+        (fun p ->
+          if p.pp_transactions <> first.pp_transactions then
+            failures :=
+              Printf.sprintf
+                "poll_sweep: %s q=%d completed %d transactions but %s q=%d \
+                 completed %d"
+                p.pp_mode p.pp_queues p.pp_transactions first.pp_mode
+                first.pp_queues first.pp_transactions
+              :: !failures)
+        rest
+  | [] -> ());
   (match queue_sweep with
   | first :: rest ->
       List.iter
@@ -1683,6 +1812,7 @@ let () =
   | [ "--engine-bench-smoke" ] ->
       ignore (engine_bench_report (engine_bench_run ~smoke:true ()))
   | [ "--engine-bench-check"; path ] -> engine_bench_check path
+  | [ "--datapath-check" ] -> datapath_check ()
   | [] ->
       Format.fprintf fmt
         "XenLoop reproduction benchmark suite (simulated Xen substrate)@.@.";
@@ -1691,5 +1821,5 @@ let () =
       prerr_endline
         "usage: main.exe [--list | --only name1,name2,... | --json [path] | \
          --json-smoke path | --engine-bench | --engine-bench-smoke | \
-         --engine-bench-check path]";
+         --engine-bench-check path | --datapath-check]";
       exit 1

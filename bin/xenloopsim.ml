@@ -298,7 +298,16 @@ let chaos_cmd =
       & info [ "print-log" ]
           ~doc:"Print the deterministic event log (single-scenario form).")
   in
-  let run seed iters scenario faults json print_log =
+  let loans =
+    Arg.(
+      value & flag
+      & info [ "loans" ]
+          ~doc:
+            "Build the world with loaned-slot receive negotiated on \
+             (single-scenario form) — the replay path for loans-on soak \
+             cases.")
+  in
+  let run seed iters scenario faults json print_log loans =
     let iters =
       match iters with
       | Some n -> n
@@ -320,7 +329,7 @@ let chaos_cmd =
         let code = ref 0 in
         for i = 0 to iters - 1 do
           let config =
-            Chaos.Harness.default_config ~seed:(seed + i) ~faults:specs sc
+            Chaos.Harness.default_config ~seed:(seed + i) ~faults:specs ~loans sc
           in
           let v, log = Chaos.Harness.run config in
           if print_log then
@@ -347,7 +356,7 @@ let chaos_cmd =
          "Deterministic fault-injection soak: inject faults across the \
           control and data planes, check invariants, verify exactly-once \
           delivery.")
-    Term.(const run $ seed $ iters $ scenario $ fault $ json $ print_log)
+    Term.(const run $ seed $ iters $ scenario $ fault $ json $ print_log $ loans)
 
 (* --- compare --- *)
 

@@ -14,12 +14,17 @@ type kind =
   | Peer_crash
   | Suspend_resume
   | Migrate_midstream
+  (* New kinds append at the end: [arm] splits the RNG in [all] order, so
+     appending never reseeds the stream an existing kind sees. *)
+  | Loan_leak
+  | Slow_consumer
 
 let all =
   [
     Drop_notify; Delay_notify; Grant_map_fail; Frame_exhaustion; Lost_watch;
     Stale_read; Drop_announce; Ctrl_drop; Ctrl_dup; Ctrl_delay; Push_refusal;
-    Pool_exhaustion; Peer_crash; Suspend_resume; Migrate_midstream;
+    Pool_exhaustion; Peer_crash; Suspend_resume; Migrate_midstream; Loan_leak;
+    Slow_consumer;
   ]
 
 let label = function
@@ -38,6 +43,8 @@ let label = function
   | Peer_crash -> "peer-crash"
   | Suspend_resume -> "suspend-resume"
   | Migrate_midstream -> "migrate-midstream"
+  | Loan_leak -> "loan-leak"
+  | Slow_consumer -> "slow-consumer"
 
 let of_label s = List.find_opt (fun k -> label k = s) all
 
@@ -83,6 +90,10 @@ let default_spec kind =
   | Push_refusal ->
       { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.3 }
   | Pool_exhaustion ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Loan_leak ->
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.3 }
+  | Slow_consumer ->
       { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
   | Peer_crash | Suspend_resume | Migrate_midstream ->
       { f_kind = kind; f_start = Sim.Time.ms 5; f_stop = Sim.Time.ms 5; f_prob = 1.0 }

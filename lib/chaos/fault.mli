@@ -28,6 +28,9 @@ type kind =
   | Peer_crash  (** a flow-free guest dies abruptly, no teardown *)
   | Suspend_resume  (** a guest suspends and resumes in place *)
   | Migrate_midstream  (** a guest live-migrates at an arbitrary instant *)
+  | Loan_leak  (** a borrowed pool-slot view is never released by the app *)
+  | Slow_consumer
+      (** a loaned slot's release is deferred, holding loan credit *)
 
 val all : kind list
 

@@ -27,6 +27,10 @@ let scenario_of_label s =
 
 let applicable scenario kind =
   match (scenario, kind) with
+  (* Loan faults only bite in a loans-on world; the standard matrix runs
+     with loans pinned off (see [chaos_params]), so they are armed only by
+     the explicit loans-on cases ([config.loans]). *)
+  | _, (Fault.Loan_leak | Fault.Slow_consumer) -> false
   | Netfront_duo, _ -> false
   | Cluster3, Fault.Peer_crash -> true
   | _, Fault.Peer_crash -> false
@@ -43,9 +47,10 @@ type config = {
   packets : int;
   payload : int;
   check_period : Sim.Time.span;
+  loans : bool;
 }
 
-let default_config ?(seed = 1) ?(faults = []) scenario =
+let default_config ?(seed = 1) ?(faults = []) ?(loans = false) scenario =
   {
     seed;
     scenario;
@@ -53,6 +58,7 @@ let default_config ?(seed = 1) ?(faults = []) scenario =
     packets = 250;
     payload = 256;
     check_period = Sim.Time.ms 1;
+    loans;
   }
 
 type verdict = {
@@ -97,6 +103,11 @@ let chaos_params =
     xenloop_softstate_ttl = Sim.Time.ms 40;
     xenloop_bootstrap_cooldown = Sim.Time.ms 100;
     migration_downtime = Sim.Time.ms 2;
+    (* Pinned off so the standard matrix stays bit-for-bit reproducible
+       against captures taken before loaned-slot receive and poll mode
+       existed; loans-on runs opt in through [config.loans]. *)
+    xenloop_loans = false;
+    xenloop_poll_mode = false;
   }
 
 type world = {
@@ -137,9 +148,9 @@ let expected_peers_colocated modules () =
   let n = List.length live in
   List.map (fun (name, m) -> (name, Gm.mapping_size m, n - 1)) live
 
-let build_duo ~xenloop =
+let build_duo ~params ~xenloop =
   let kind = if xenloop then Setup.Xenloop_path else Setup.Netfront_netback in
-  let duo = Setup.build ~params:chaos_params kind in
+  let duo = Setup.build ~params kind in
   let machine = Option.get duo.Setup.machine in
   let modules =
     ref
@@ -178,8 +189,8 @@ let build_duo ~xenloop =
     w_migrate = None;
   }
 
-let build_cluster3 () =
-  let c = Setup.build_cluster ~params:chaos_params ~guests:3 () in
+let build_cluster3 ~params () =
+  let c = Setup.build_cluster ~params ~guests:3 () in
   let machine = c.Setup.c_machine in
   let guests = Array.of_list c.Setup.guests in
   let domain_of i = match guests.(i) with d, _, _ -> d in
@@ -224,8 +235,8 @@ let build_cluster3 () =
     w_migrate = None;
   }
 
-let build_migration_world () =
-  let w = Mw.create ~params:chaos_params () in
+let build_migration_world ~params () =
+  let w = Mw.create ~params () in
   let g1 = w.Mw.guest1 and g2 = w.Mw.guest2 in
   let modules =
     ref [ ("guest1", g1.Mw.xl_module); ("guest2", g2.Mw.xl_module) ]
@@ -273,11 +284,11 @@ let build_migration_world () =
     w_migrate = Some (fun () -> Mw.migrate w g1 ~dst:w.Mw.m2);
   }
 
-let build = function
-  | Xenloop_duo -> build_duo ~xenloop:true
-  | Netfront_duo -> build_duo ~xenloop:false
-  | Cluster3 -> build_cluster3 ()
-  | Migration_world -> build_migration_world ()
+let build ~params = function
+  | Xenloop_duo -> build_duo ~params ~xenloop:true
+  | Netfront_duo -> build_duo ~params ~xenloop:false
+  | Cluster3 -> build_cluster3 ~params ()
+  | Migration_world -> build_migration_world ~params ()
 
 (* ------------------------------------------------------------------ *)
 (* Injector wiring *)
@@ -420,7 +431,24 @@ let wire w plan rec_ =
                rec_ (Printf.sprintf "%s: payload-pool slot refused" mname);
                true
              end
-             else false)))
+             else false));
+      (* Consulted only at loaned-delivery time, so in a loans-off world
+         these kinds never draw and never perturb another kind's stream. *)
+      Gm.set_loan_fault_injector m
+        (Some
+           (fun () ->
+             if Fault.draw plan Fault.Loan_leak then begin
+               rec_ (Printf.sprintf "%s: loaned view leaked by app" mname);
+               Gm.Loan_leak
+             end
+             else if Fault.draw plan Fault.Slow_consumer then begin
+               let d = Fault.delay_span plan Fault.Slow_consumer in
+               rec_
+                 (Printf.sprintf "%s: slow consumer holds loan %.0fus" mname
+                    (Sim.Time.to_us_f d));
+               Gm.Loan_delay d
+             end
+             else Gm.Loan_pass)))
     !(w.w_modules)
 
 (* ------------------------------------------------------------------ *)
@@ -528,7 +556,11 @@ let min_span a b = if Sim.Time.span_compare a b <= 0 then a else b
 let run ?sabotage config =
   if config.payload < 6 then invalid_arg "Harness.run: payload below stamp size";
   if config.packets < 1 then invalid_arg "Harness.run: no packets";
-  let w = build config.scenario in
+  let params =
+    if config.loans then { chaos_params with Params.xenloop_loans = true }
+    else chaos_params
+  in
+  let w = build ~params config.scenario in
   let engine = w.w_engine in
   let log = Event_log.create () in
   let rec_ msg = Event_log.record log ~time:(Sim.Engine.now engine) msg in
@@ -674,6 +706,18 @@ let run ?sabotage config =
       (* Finale: quiesce, unload, final sweep. *)
       List.iter Discovery.stop w.w_discoveries;
       Sim.Engine.cancel checker;
+      (* Loan quiescence: with every datagram drained, no borrowed slot
+         view may still be out — unless the plan deliberately leaked some,
+         in which case teardown's force-return must recover them below. *)
+      if not (Fault.armed plan Fault.Loan_leak) then
+        List.iter
+          (fun (name, m) ->
+            let out = Gm.outstanding_loans m in
+            if out > 0 then
+              note_violation
+                (Printf.sprintf "%s: %d loaned slot(s) outstanding at quiescence"
+                   name out))
+          !(w.w_modules);
       List.iter
         (fun (_, m) ->
           if Gm.is_loaded m then begin
@@ -682,6 +726,13 @@ let run ?sabotage config =
           end)
         !(w.w_modules);
       Sim.Engine.sleep (Sim.Time.ms 2);
+      List.iter
+        (fun (name, m) ->
+          let out = Gm.outstanding_loans m in
+          if out > 0 then
+            note_violation
+              (Printf.sprintf "%s: %d loaned slot(s) survived unload" name out))
+        !(w.w_modules);
       running := false;
       Sim.Engine.sleep (Sim.Time.ms 1);
       (match sabotage with Some f -> f (ctx ()) | None -> ());

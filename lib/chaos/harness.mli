@@ -30,8 +30,10 @@ val applicable : scenario -> Fault.kind -> bool
 (** Whether the soak matrix arms this kind in this scenario:
     [Peer_crash] needs a flow-free third guest ([Cluster3]),
     [Migrate_midstream] needs two machines ([Migration_world]),
-    [Suspend_resume] needs a co-resident pair from the start, and
-    [Netfront_duo] is the fault-free control. *)
+    [Suspend_resume] needs a co-resident pair from the start,
+    [Netfront_duo] is the fault-free control, and the loan kinds
+    ([Loan_leak], [Slow_consumer]) only bite in a loans-on world so they
+    are armed only by explicit loans-on cases ([config.loans]). *)
 
 type config = {
   seed : int;
@@ -40,10 +42,15 @@ type config = {
   packets : int;  (** datagrams per flow (two flows, one per direction) *)
   payload : int;  (** datagram payload bytes (>= 8 for the stamp) *)
   check_period : Sim.Time.span;  (** runtime invariant-checker cadence *)
+  loans : bool;
+      (** build the world with loaned-slot receive negotiated on
+          ({!Hypervisor.Params.xenloop_loans}); the standard matrix runs
+          with it pinned off so digests match pre-loan captures *)
 }
 
-val default_config : ?seed:int -> ?faults:Fault.spec list -> scenario -> config
-(** 250 packets of 256 B per flow, 1 ms checker cadence. *)
+val default_config :
+  ?seed:int -> ?faults:Fault.spec list -> ?loans:bool -> scenario -> config
+(** 250 packets of 256 B per flow, 1 ms checker cadence, loans off. *)
 
 type verdict = {
   v_seed : int;

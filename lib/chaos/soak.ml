@@ -2,6 +2,7 @@ type case = {
   c_name : string;
   c_scenario : Harness.scenario;
   c_faults : Fault.spec list;
+  c_loans : bool;  (** loans-on world: loaned-slot receive negotiated *)
 }
 
 (* In the migration world the guests start apart: there is no XenLoop
@@ -37,7 +38,39 @@ let case scenario kinds suffix =
     c_name = Printf.sprintf "%s/%s" (Harness.scenario_label scenario) label;
     c_scenario = scenario;
     c_faults = specs;
+    c_loans = false;
   }
+
+(* Loaned-slot receive soaks its own corner of the matrix: worlds with
+   loans negotiated on, against the loan faults alone, mixed with the
+   data-plane kinds, and across a mid-window teardown (suspend/resume
+   forces a force-return of every outstanding loan, then re-bootstrap). *)
+let loan_cases () =
+  let mk scenario kinds label =
+    {
+      (case scenario kinds label) with
+      c_name =
+        Printf.sprintf "%s/loans-%s" (Harness.scenario_label scenario) label;
+      c_loans = true;
+    }
+  in
+  [
+    mk Harness.Xenloop_duo [] "baseline";
+    mk Harness.Xenloop_duo [ Fault.Loan_leak ] "leak";
+    mk Harness.Xenloop_duo [ Fault.Slow_consumer ] "slow-consumer";
+    mk Harness.Xenloop_duo
+      [ Fault.Loan_leak; Fault.Suspend_resume ]
+      "leak-teardown";
+    mk Harness.Xenloop_duo
+      [
+        Fault.Loan_leak; Fault.Slow_consumer; Fault.Drop_notify;
+        Fault.Push_refusal; Fault.Pool_exhaustion;
+      ]
+      "storm";
+    mk Harness.Migration_world
+      [ Fault.Migrate_midstream; Fault.Loan_leak; Fault.Slow_consumer ]
+      "migrate";
+  ]
 
 let matrix () =
   let scenario_cases scenario =
@@ -66,7 +99,7 @@ let matrix () =
         :: List.map (fun k -> case scenario [ k ] "") kinds)
         @ [ case scenario kinds "storm" ]
   in
-  List.concat_map scenario_cases Harness.all_scenarios
+  List.concat_map scenario_cases Harness.all_scenarios @ loan_cases ()
 
 type failure = {
   fail_seed : int;
@@ -119,7 +152,8 @@ let run ?cases ?(seed = 42) ?(iters = 1) ?(progress = fun _ -> ()) () =
       (fun c ->
         let run_seed = seed + i in
         let config =
-          Harness.default_config ~seed:run_seed ~faults:c.c_faults c.c_scenario
+          Harness.default_config ~seed:run_seed ~faults:c.c_faults
+            ~loans:c.c_loans c.c_scenario
         in
         let v, _log = Harness.run config in
         incr runs;

@@ -13,14 +13,22 @@ type case = {
   c_name : string;
   c_scenario : Harness.scenario;
   c_faults : Fault.spec list;
+  c_loans : bool;  (** loans-on world: loaned-slot receive negotiated *)
 }
+
+val loan_cases : unit -> case list
+(** Loaned-slot receive cases (DESIGN.md §11): loans-on worlds soaked
+    against [Loan_leak] / [Slow_consumer] alone, mixed with data-plane
+    kinds, and across mid-window teardowns (suspend/resume and the
+    migration world), which force-return every outstanding loan. *)
 
 val matrix : unit -> case list
 (** The stock matrix: every scenario × {baseline, each applicable kind,
-    storm}.  [Migration_world] pairs each probabilistic kind with the
-    migration itself (windows shifted past the migration instant, since
-    guests apart have no XenLoop state to fault); [Netfront_duo] runs
-    baseline only, as the fault-free control. *)
+    storm}, plus {!loan_cases}.  [Migration_world] pairs each
+    probabilistic kind with the migration itself (windows shifted past
+    the migration instant, since guests apart have no XenLoop state to
+    fault); [Netfront_duo] runs baseline only, as the fault-free
+    control. *)
 
 type failure = {
   fail_seed : int;

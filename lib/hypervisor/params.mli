@@ -79,6 +79,37 @@ type t = {
       (** pages per pool slot; must fit the largest TSO frame that reaches
           the hook (gso_size + link/IP/TCP headers) or large TCP frames
           degrade to the inline path *)
+  xenloop_loans : bool;
+      (** advertise and use loaned-slot receive: instead of copying a
+          descriptor payload out of the pool slot, the receiver's socket
+          layer borrows the mapped slot and returns it to the free ring
+          only when the application releases it — the last copy on the
+          descriptor path disappears.  Requires [xenloop_zerocopy]; a peer
+          that doesn't speak it (or [false]) restores the copy-out path
+          bit-for-bit *)
+  xenloop_max_loans : int;
+      (** loan credit: the most pool slots a receiver may hold borrowed per
+          queue direction at once; at the limit further descriptor
+          deliveries degrade transparently to copy-out so a slow consumer
+          can never pin the whole pool (each side uses min(own, peer's
+          stamp)) *)
+  xenloop_poll_mode : bool;
+      (** DPDK-style busy-poll receive: a pinned receiver fiber spins
+          run-to-completion on the descriptor rings with event-channel
+          doorbells suppressed in both directions; idle channels back off
+          spin → pause → sleep.  Assumes symmetric deployment (both ends
+          poll), like a DPDK l2fwd pair *)
+  xenloop_poll_spin : Sim.Time.span;
+      (** poll-mode spin-phase re-check interval (hot loop granularity) *)
+  xenloop_poll_pause : Sim.Time.span;
+      (** poll-mode pause-phase re-check interval (PAUSE-instruction
+          analogue; still far below [evtchn_delivery]) *)
+  xenloop_poll_sleep : Sim.Time.span;
+      (** poll-mode sleep-phase re-check interval after a long idle *)
+  xenloop_poll_spin_iters : int;
+      (** idle iterations spent in the spin phase before easing to pause *)
+  xenloop_poll_pause_iters : int;
+      (** idle iterations spent in the pause phase before easing to sleep *)
   discovery_period : Sim.Time.span;
       (** Dom0 domain-discovery scan interval (paper: 5 s) *)
   xenloop_softstate_ttl : Sim.Time.span;

@@ -28,6 +28,10 @@ type t = {
   mutable udp_handler : (P.t -> unit) option;
   mutable tcp_handler : (P.t -> unit) option;
   mutable ctrl_handler : (P.t -> unit) option;
+  (* Loaned-slot receive (DESIGN.md §11): set for the duration of one
+     [inject_rx_borrowed] delivery; the transport layer that decides to
+     keep the payload claims it with [take_rx_release]. *)
+  mutable pending_release : (copied:bool -> unit) option;
   ping_waiters : (int, unit -> unit) Hashtbl.t;
   s_stats : stats;
 }
@@ -248,6 +252,13 @@ let handle_full_ipv4 t (packet : P.t) =
           match t.tcp_handler with Some h -> h packet | None -> ()))
   | _ -> ()
 
+let take_rx_release t =
+  match t.pending_release with
+  | None -> None
+  | some ->
+      t.pending_release <- None;
+      some
+
 let inject_rx t (packet : P.t) =
   if not (is_for_us t packet) then
     t.s_stats.dropped_not_mine <- t.s_stats.dropped_not_mine + 1
@@ -262,9 +273,31 @@ let inject_rx t (packet : P.t) =
           t.s_stats.dropped_not_mine <- t.s_stats.dropped_not_mine + 1
         else
           match Netcore.Fragment.push t.reassembler packet with
-          | Ok (Some whole) -> handle_full_ipv4 t whole
-          | Ok None -> ()
+          | Ok (Some whole) ->
+              (* A merged datagram lives in reassembly memory, not in the
+                 borrowed frame — the borrow ends here as a copy.  When the
+                 frame passed through whole ([whole == packet]) the borrow
+                 stays pending for the transport layer to claim. *)
+              if whole != packet then begin
+                match take_rx_release t with
+                | Some r -> r ~copied:true
+                | None -> ()
+              end;
+              handle_full_ipv4 t whole
+          | Ok None -> (
+              (* Fragment parked inside the reassembler: its bytes outlive
+                 this delivery, so a borrowed frame counts as copied. *)
+              match take_rx_release t with
+              | Some r -> r ~copied:true
+              | None -> ())
           | Error _ -> t.s_stats.dropped_not_mine <- t.s_stats.dropped_not_mine + 1)
+
+let inject_rx_borrowed t (packet : P.t) ~release =
+  t.pending_release <- Some release;
+  inject_rx t packet;
+  (* Nobody kept the payload (dropped, no handler, ARP/ctrl frame): the
+     slot goes straight back, no copy was made. *)
+  match take_rx_release t with Some r -> r ~copied:false | None -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -327,6 +360,7 @@ let create ~engine ~params ~cpu ~ip ~mac () =
       udp_handler = None;
       tcp_handler = None;
       ctrl_handler = None;
+      pending_release = None;
       ping_waiters = Hashtbl.create 4;
       s_stats =
         {

@@ -68,6 +68,23 @@ val inject_rx : t -> Netcore.Packet.t -> unit
 (** Deliver a frame into the stack as if it came from a device ([netif_rx]).
     This is the entry point the XenLoop receiver uses.  Process context. *)
 
+val inject_rx_borrowed :
+  t -> Netcore.Packet.t -> release:(copied:bool -> unit) -> unit
+(** {!inject_rx} for a frame whose payload is a borrowed view of a
+    grant-mapped pool slot (loaned-slot receive, DESIGN.md §11).
+    [release] must be called exactly once when the payload's borrow ends:
+    [~copied:false] if the bytes were consumed or dropped in place,
+    [~copied:true] if they had to be duplicated into private memory (a
+    parked reassembly fragment, an out-of-order TCP hold).  The transport
+    layer claims the release with {!take_rx_release}; if nothing claims it
+    by the time delivery returns, it fires here with [~copied:false].
+    [release] must tolerate a second call (idempotent). *)
+
+val take_rx_release : t -> (copied:bool -> unit) option
+(** Transport-layer side of {!inject_rx_borrowed}: claim (and clear) the
+    in-flight delivery's release callback.  [None] for a normal, unborrowed
+    delivery — the caller then treats the payload as private memory. *)
+
 val set_protocol_handler :
   t -> Netcore.Ipv4.protocol -> (Netcore.Packet.t -> unit) -> unit
 (** Register the UDP or TCP input function.  Handlers receive reassembled

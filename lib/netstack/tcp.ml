@@ -43,9 +43,21 @@ type conn = {
   mutable snd_una : int32;
   mutable peer_window : int;
   window_avail : Sim.Condition.t;
+  cork : Bytes.t;
+      (** autocork buffer (DESIGN.md §11): sub-MSS writes issued while
+          data is in flight accumulate here instead of each becoming a
+          tinygram segment — and, on a XenLoop channel, each pinning a
+          whole pool slot.  Never holds a full MSS: reaching one flushes. *)
+  mutable cork_len : int;
+  mutable nodelay : bool;
+      (** TCP_NODELAY: latency-sensitive pipelined senders (MPI-style
+          windowed workloads) opt out of autocorking entirely *)
   (* Receive side *)
   mutable rcv_nxt : int32;
-  recv_chunks : Bytes.t Queue.t;
+  recv_chunks : (Bytes.t * (copied:bool -> unit) option) Queue.t;
+      (** in-order data; a chunk delivered as a borrowed pool-slot view
+          (loaned-slot receive, DESIGN.md §11) carries its release, fired
+          when the app drains past it *)
   mutable head_offset : int;
   mutable recv_buffered : int;
   recv_capacity : int;
@@ -149,6 +161,44 @@ let send_tracked c ~seq ~flags ~payload =
   arm_rto c;
   send_segment c ~seq ~flags ~payload
 
+(* Send as much of the cork as the peer window admits.  The cork never
+   holds a full MSS, so this is at most one segment; PSH unconditionally —
+   corked bytes are always the tail of an application write, and the
+   immediate ACK it forces is what re-triggers the flush machinery. *)
+let cork_flush_avail c =
+  if c.cork_len > 0 && c.state = Established then begin
+    let in_flight = seq_diff c.snd_nxt c.snd_una in
+    let window_room = c.peer_window - in_flight in
+    if window_room > 0 then begin
+      let len = min c.cork_len window_room in
+      let payload = Bytes.sub c.cork 0 len in
+      if len < c.cork_len then Bytes.blit c.cork len c.cork 0 (c.cork_len - len);
+      c.cork_len <- c.cork_len - len;
+      (* Advance [snd_nxt] before transmitting: [send_tracked] yields
+         inside the CPU charge, and this flush may run in the receive
+         fiber (handle_ack) concurrently with the app fiber sitting in
+         [send] — both picking up the same pre-update [snd_nxt] would
+         emit two different segments at one sequence number. *)
+      let seq = c.snd_nxt in
+      c.snd_nxt <- seq_add c.snd_nxt len;
+      c.sent_bytes <- c.sent_bytes + len;
+      send_tracked c ~seq
+        ~flags:{ T.no_flags with T.ack = true; psh = true }
+        ~payload
+    end
+  end
+
+let flush_cork_blocking c =
+  while c.cork_len > 0 && c.state = Established do
+    let in_flight = seq_diff c.snd_nxt c.snd_una in
+    if c.peer_window - in_flight <= 0 then Sim.Condition.await c.window_avail
+    else cork_flush_avail c
+  done
+
+let set_nodelay c v =
+  c.nodelay <- v;
+  if v then flush_cork_blocking c
+
 let send_pure_ack c =
   c.unacked_segments <- 0;
   Sim.Resource.use (cpu c) (params c).Hypervisor.Params.tcp_ack;
@@ -177,8 +227,8 @@ let send_rst t ~dst ~dst_port ~src_port ~seq =
 
 (* --- Receive-side buffering --- *)
 
-let append_data c payload =
-  Queue.push payload c.recv_chunks;
+let append_data c ?release payload =
+  Queue.push (payload, release) c.recv_chunks;
   c.recv_buffered <- c.recv_buffered + Bytes.length payload;
   c.received_bytes <- c.received_bytes + Bytes.length payload
 
@@ -186,12 +236,15 @@ let take_data c max =
   let buf = Buffer.create (min max c.recv_buffered) in
   let rec fill () =
     if Buffer.length buf < max && not (Queue.is_empty c.recv_chunks) then begin
-      let head = Queue.peek c.recv_chunks in
+      let head, head_release = Queue.peek c.recv_chunks in
       let available = Bytes.length head - c.head_offset in
       let want = max - Buffer.length buf in
       if available <= want then begin
         Buffer.add_subbytes buf head c.head_offset available;
         ignore (Queue.pop c.recv_chunks);
+        (* Chunk fully drained into the app's buffer: the borrow ends —
+           the recv copy is the same one the private-buffer path pays. *)
+        (match head_release with Some r -> r ~copied:false | None -> ());
         c.head_offset <- 0;
         fill ()
       end
@@ -216,6 +269,15 @@ let maybe_reap c =
 
 let abort c =
   c.state <- Conn_closed;
+  (* End any borrows parked in the receive buffer; the bytes stay readable
+     to a late reader, but the pool slots must not remain pinned. *)
+  let kept = Queue.create () in
+  Queue.transfer c.recv_chunks kept;
+  Queue.iter
+    (fun (payload, release) ->
+      (match release with Some r -> r ~copied:false | None -> ());
+      Queue.push (payload, None) c.recv_chunks)
+    kept;
   Hashtbl.remove c.tcp.conns c.key;
   Sim.Condition.broadcast c.window_avail;
   Sim.Condition.broadcast c.data_arrived;
@@ -228,17 +290,37 @@ let handle_ack c (h : T.tcp) =
     if seq_lt c.snd_una h.T.ack_seq then c.snd_una <- h.T.ack_seq;
     c.peer_window <- h.T.window * window_scale;
     prune_retx c;
+    (* Autocork: the flight just drained — a corked tail must not sit
+       waiting for application bytes that may never come. *)
+    if c.cork_len > 0 && seq_diff c.snd_nxt c.snd_una = 0 then
+      cork_flush_avail c;
     Sim.Condition.broadcast c.window_avail
   end
 
-let handle_segment_for_conn c (h : T.tcp) payload =
+let handle_segment_for_conn c ~release (h : T.tcp) payload =
   let p = params c in
+  (* A borrowed payload is consumed out of the pool slot — no kernel copy
+     to charge on this edge. *)
   Sim.Resource.use (cpu c)
     (if Bytes.length payload = 0 then p.Hypervisor.Params.tcp_ack
      else
-       Sim.Time.span_add p.Hypervisor.Params.tcp_rx
-         (Hypervisor.Params.copy_cost p (Bytes.length payload)));
-  if h.T.flags.T.rst then abort c
+       match release with
+       | Some _ -> p.Hypervisor.Params.tcp_rx
+       | None ->
+           Sim.Time.span_add p.Hypervisor.Params.tcp_rx
+             (Hypervisor.Params.copy_cost p (Bytes.length payload)));
+  let release_pending = ref release in
+  let end_borrow ~copied =
+    match !release_pending with
+    | Some r ->
+        release_pending := None;
+        r ~copied
+    | None -> ()
+  in
+  if h.T.flags.T.rst then begin
+    end_borrow ~copied:false;
+    abort c
+  end
   else begin
     match c.state with
     | Syn_sent ->
@@ -264,7 +346,11 @@ let handle_segment_for_conn c (h : T.tcp) payload =
         let seg_len = Bytes.length payload in
         if seg_len > 0 then begin
           if Int32.equal h.T.seq c.rcv_nxt then begin
-            append_data c payload;
+            (* In-order: the borrowed view parks in the receive queue and
+               releases when the app drains past it. *)
+            let r = !release_pending in
+            release_pending := None;
+            append_data c ?release:r payload;
             c.rcv_nxt <- seq_add c.rcv_nxt seg_len;
             (* Drain any out-of-order segments that are now contiguous. *)
             let rec drain () =
@@ -288,13 +374,17 @@ let handle_segment_for_conn c (h : T.tcp) payload =
             (* Duplicate: re-ACK so the peer can make progress. *)
             send_pure_ack c
           else begin
-            (* Future data: hold for reassembly and re-ACK the gap. *)
+            (* Future data: held in reassembly memory until the gap fills —
+               a borrowed view cannot stay pinned for that long, so the
+               hold counts as the borrow degenerating into a copy. *)
             if not (List.exists (fun (s, _) -> Int32.equal s h.T.seq) c.ooo_segments)
-            then
+            then begin
+              end_borrow ~copied:true;
               c.ooo_segments <-
                 List.sort
                   (fun (a, _) (b, _) -> if seq_lt a b then -1 else 1)
-                  ((h.T.seq, payload) :: c.ooo_segments);
+                  ((h.T.seq, payload) :: c.ooo_segments)
+            end;
             send_pure_ack c
           end
         end;
@@ -306,7 +396,10 @@ let handle_segment_for_conn c (h : T.tcp) payload =
           send_pure_ack c;
           maybe_reap c
         end
-  end
+  end;
+  (* Anything that did not park the payload (handshake states, stale
+     duplicates, pure ACKs) ends the borrow untouched. *)
+  end_borrow ~copied:false
 
 let fresh_isn t =
   t.isn <- Int32.add t.isn 64021l;
@@ -322,6 +415,9 @@ let make_conn t ~key ~mss ~state ~isn =
     snd_una = isn;
     peer_window = default_recv_capacity;
     window_avail = Sim.Condition.create ();
+    cork = Bytes.create (max 1 mss);
+    cork_len = 0;
+    nodelay = false;
     rcv_nxt = 0l;
     recv_chunks = Queue.create ();
     head_offset = 0;
@@ -376,9 +472,11 @@ let handle_packet t (packet : P.t) =
           peer_port = h.T.tcp_src_port;
         }
       in
+      let release = Stack.take_rx_release t.stack in
       match Hashtbl.find_opt t.conns key with
-      | Some conn -> handle_segment_for_conn conn h payload
+      | Some conn -> handle_segment_for_conn conn ~release h payload
       | None ->
+          (match release with Some r -> r ~copied:false | None -> ());
           if h.T.flags.T.syn && not h.T.flags.T.ack then handle_syn t header h
           else if not h.T.flags.T.rst then
             send_rst t ~dst:header.Netcore.Ipv4.src ~dst_port:h.T.tcp_src_port
@@ -454,19 +552,51 @@ let send c data =
   let off = ref 0 in
   while !off < total do
     if c.state <> Established then raise (Tcp_error Closed);
-    let in_flight = seq_diff c.snd_nxt c.snd_una in
-    let window_room = c.peer_window - in_flight in
-    if window_room <= 0 then Sim.Condition.await c.window_avail
+    if c.cork_len > 0 then begin
+      (* Top up the cork first so bytes leave in order; a full cork
+         flushes as one MSS-sized segment. *)
+      let n = min (c.conn_mss - c.cork_len) (total - !off) in
+      Bytes.blit data !off c.cork c.cork_len n;
+      c.cork_len <- c.cork_len + n;
+      off := !off + n;
+      if c.cork_len >= c.conn_mss then flush_cork_blocking c
+    end
     else begin
-      let len = min (min c.conn_mss (total - !off)) window_room in
-      let last = !off + len >= total in
-      let payload = Bytes.sub data !off len in
-      send_tracked c ~seq:c.snd_nxt
-        ~flags:{ T.no_flags with T.ack = true; psh = last }
-        ~payload;
-      c.snd_nxt <- seq_add c.snd_nxt len;
-      c.sent_bytes <- c.sent_bytes + len;
-      off := !off + len
+      let in_flight = seq_diff c.snd_nxt c.snd_una in
+      let window_room = c.peer_window - in_flight in
+      let remaining = total - !off in
+      if (not c.nodelay) && total * 2 <= c.conn_mss && in_flight > 0 then begin
+        (* Autocork (Nagle): a whole small write (at most half an MSS, so
+           near-MSS streaming writes stay on the direct path) with data
+           still unacked waits for more bytes or the flight to drain
+           instead of becoming a tinygram segment — on a XenLoop loan
+           channel every such segment would otherwise pin a whole pool
+           slot.  Only whole small writes cork: the sub-MSS tail of a
+           larger write still goes out directly with PSH, because its
+           mid-write siblings carry no PSH and a delayed-ACK receiver
+           would otherwise sit on the ACK the corked tail is waiting
+           for. *)
+        Bytes.blit data !off c.cork 0 remaining;
+        c.cork_len <- remaining;
+        off := total
+      end
+      else if window_room <= 0 then Sim.Condition.await c.window_avail
+      else begin
+        let len = min (min c.conn_mss remaining) window_room in
+        let last = !off + len >= total in
+        let payload = Bytes.sub data !off len in
+        (* Same pre-update discipline as [cork_flush_avail]: an ACK
+           arriving while [send_tracked] yields can flush the cork from
+           the receive fiber, which must see this segment's sequence
+           space as already consumed. *)
+        let seq = c.snd_nxt in
+        c.snd_nxt <- seq_add c.snd_nxt len;
+        c.sent_bytes <- c.sent_bytes + len;
+        off := !off + len;
+        send_tracked c ~seq
+          ~flags:{ T.no_flags with T.ack = true; psh = last }
+          ~payload
+      end
     end
   done
 
@@ -501,9 +631,15 @@ let recv_exact c n =
 let close c =
   if not c.fin_sent && c.state <> Conn_closed then begin
     c.fin_sent <- true;
+    (* A corked tail goes out before the FIN so the stream ends complete
+       and in order. *)
+    flush_cork_blocking c;
     (* Wait for all data to be acknowledged before FIN, so the FIN carries
        the right sequence number and the peer sees an ordered stream end. *)
-    while c.state = Established && seq_diff c.snd_nxt c.snd_una > 0 do
+    while (c.state = Established && seq_diff c.snd_nxt c.snd_una > 0)
+          || (c.state = Established && c.cork_len > 0)
+    do
+      flush_cork_blocking c;
       Sim.Condition.await c.window_avail
     done;
     if c.state <> Conn_closed then begin

@@ -39,8 +39,16 @@ val connect :
 
 val send : conn -> Bytes.t -> unit
 (** Blocking stream send: segments at the connection MSS and respects the
-    peer's advertised window.
+    peer's advertised window.  Whole writes of at most half an MSS issued
+    while data is in flight are autocorked (Nagle) unless {!set_nodelay}
+    was called.
     @raise Tcp_error if the connection is closed under us. *)
+
+val set_nodelay : conn -> bool -> unit
+(** TCP_NODELAY: disable autocorking of small writes.  Enabling flushes
+    any corked bytes immediately.  Latency-sensitive pipelined senders
+    (MPI-style windowed workloads) set this, mirroring real MPI-over-TCP
+    transports. *)
 
 val recv : conn -> max:int -> Bytes.t
 (** Blocking; returns 1..max bytes, or the empty string at end-of-stream. *)

@@ -6,10 +6,14 @@ let receive_buffer_bytes = 212_992
 let ephemeral_base = 32768
 let ephemeral_limit = 61000
 
+(* A queued datagram may be a borrowed view of a grant-mapped pool slot
+   (loaned-slot receive, DESIGN.md §11): the release travels with it and
+   fires when the datagram leaves the socket buffer. *)
 type socket = {
   layer : t;
   sock_port : int;
-  inbox : (Netcore.Ip.t * int * Bytes.t) Sim.Mailbox.t;
+  inbox :
+    (Netcore.Ip.t * int * Bytes.t * (copied:bool -> unit) option) Sim.Mailbox.t;
   mutable buffered : int;
   mutable dropped : int;
   mutable closed : bool;
@@ -25,23 +29,37 @@ and t = {
 
 type bind_error = Port_in_use | No_ports_left
 
+let enqueue sock ~src ~src_port payload release =
+  if sock.buffered + Bytes.length payload > receive_buffer_bytes then begin
+    sock.dropped <- sock.dropped + 1;
+    (* Dropped in place: the borrowed slot goes straight back, no copy. *)
+    match release with Some r -> r ~copied:false | None -> ()
+  end
+  else begin
+    sock.buffered <- sock.buffered + Bytes.length payload;
+    Sim.Mailbox.send sock.inbox (src, src_port, payload, release)
+  end
+
 let handle_packet t (packet : P.t) =
   match packet.P.body with
   | P.Ipv4_body { header; content = P.Full { transport = T.Udp udp; payload } } -> (
+      let release = Stack.take_rx_release t.stack in
       match Hashtbl.find_opt t.ports udp.T.udp_dst_port with
-      | None -> ()
+      | None -> (
+          (* No receiver: the borrow ends here, untouched. *)
+          match release with Some r -> r ~copied:false | None -> ())
       | Some sock ->
           let params = Stack.params t.stack in
+          (* A borrowed payload stays in the pool slot until the app reads
+             it — no socket-buffer copy to charge. *)
           Sim.Resource.use (Stack.cpu t.stack)
-            (Sim.Time.span_add params.Hypervisor.Params.udp_rx
-               (Hypervisor.Params.copy_cost params (Bytes.length payload)));
-          if sock.buffered + Bytes.length payload > receive_buffer_bytes then
-            sock.dropped <- sock.dropped + 1
-          else begin
-            sock.buffered <- sock.buffered + Bytes.length payload;
-            Sim.Mailbox.send sock.inbox
-              (header.Netcore.Ipv4.src, udp.T.udp_src_port, payload)
-          end)
+            (match release with
+            | None ->
+                Sim.Time.span_add params.Hypervisor.Params.udp_rx
+                  (Hypervisor.Params.copy_cost params (Bytes.length payload))
+            | Some _ -> params.Hypervisor.Params.udp_rx);
+          enqueue sock ~src:header.Netcore.Ipv4.src ~src_port:udp.T.udp_src_port
+            payload release)
   | _ -> ()
 
 let attach stack =
@@ -122,18 +140,41 @@ let recvfrom sock =
   let params = Stack.params stack in
   Sim.Resource.use (Stack.cpu stack) params.Hypervisor.Params.syscall;
   let blocked = Sim.Mailbox.is_empty sock.inbox in
-  let ((_, _, payload) as msg) = Sim.Mailbox.recv sock.inbox in
+  let src, src_port, payload, release = Sim.Mailbox.recv sock.inbox in
   if blocked then
     Sim.Resource.use (Stack.cpu stack) params.Hypervisor.Params.app_wakeup;
   sock.buffered <- sock.buffered - Bytes.length payload;
-  msg
+  (* The app consumed the datagram straight out of the slot view (the
+     syscall's user copy is the same one the private-buffer path pays) —
+     the borrow ends without an extra kernel copy. *)
+  (match release with Some r -> r ~copied:false | None -> ());
+  (src, src_port, payload)
 
 let recv_opt sock =
   match Sim.Mailbox.recv_opt sock.inbox with
   | None -> None
-  | Some ((_, _, payload) as msg) ->
+  | Some (src, src_port, payload, release) ->
       sock.buffered <- sock.buffered - Bytes.length payload;
-      Some msg
+      (match release with Some r -> r ~copied:false | None -> ());
+      Some (src, src_port, payload)
+
+let recvfrom_view sock =
+  let stack = sock.layer.stack in
+  let params = Stack.params stack in
+  Sim.Resource.use (Stack.cpu stack) params.Hypervisor.Params.syscall;
+  let blocked = Sim.Mailbox.is_empty sock.inbox in
+  let src, src_port, payload, release = Sim.Mailbox.recv sock.inbox in
+  if blocked then
+    Sim.Resource.use (Stack.cpu stack) params.Hypervisor.Params.app_wakeup;
+  sock.buffered <- sock.buffered - Bytes.length payload;
+  let released = ref false in
+  let release () =
+    if not !released then begin
+      released := true;
+      match release with Some r -> r ~copied:false | None -> ()
+    end
+  in
+  (src, src_port, payload, release)
 
 let deliver_local t ~src ~src_port ~dst_port payload =
   match Hashtbl.find_opt t.ports dst_port with
@@ -142,15 +183,29 @@ let deliver_local t ~src ~src_port ~dst_port payload =
       let params = Stack.params t.stack in
       Sim.Resource.use (Stack.cpu t.stack)
         (Hypervisor.Params.copy_cost params (Bytes.length payload));
-      if sock.buffered + Bytes.length payload > receive_buffer_bytes then
-        sock.dropped <- sock.dropped + 1
-      else begin
-        sock.buffered <- sock.buffered + Bytes.length payload;
-        Sim.Mailbox.send sock.inbox (src, src_port, payload)
-      end
+      enqueue sock ~src ~src_port payload None
+
+let deliver_local_borrowed t ~src ~src_port ~dst_port payload ~release =
+  match Hashtbl.find_opt t.ports dst_port with
+  | None -> release ~copied:false
+  | Some sock ->
+      (* The datagram is parked in the pool slot, not copied into the
+         socket buffer: no copy charge at all on this edge. *)
+      enqueue sock ~src ~src_port payload (Some release)
 
 let close sock =
   sock.closed <- true;
+  (* Drain borrowed datagrams still parked in the buffer: their slots must
+     not stay pinned behind a dead socket. *)
+  let rec drain () =
+    match Sim.Mailbox.recv_opt sock.inbox with
+    | None -> ()
+    | Some (_, _, payload, release) ->
+        sock.buffered <- sock.buffered - Bytes.length payload;
+        (match release with Some r -> r ~copied:false | None -> ());
+        drain ()
+  in
+  drain ();
   Hashtbl.remove sock.layer.ports sock.sock_port
 
 let drops sock = sock.dropped

@@ -25,9 +25,19 @@ val sendto : socket -> dst:Netcore.Ip.t -> dst_port:int -> Bytes.t -> unit
     @raise Stack.Unreachable / {!Stack.No_route} as from the IP layer. *)
 
 val recvfrom : socket -> Netcore.Ip.t * int * Bytes.t
-(** Blocking receive. *)
+(** Blocking receive.  A datagram delivered as a borrowed pool-slot view
+    (loaned-slot receive, DESIGN.md §11) is released here — the app read
+    it straight out of the slot, so the borrow ends with no extra kernel
+    copy. *)
 
 val recv_opt : socket -> (Netcore.Ip.t * int * Bytes.t) option
+
+val recvfrom_view :
+  socket -> Netcore.Ip.t * int * Bytes.t * (unit -> unit)
+(** {!recvfrom} with an explicit release: the returned thunk ends the
+    datagram's borrow (idempotent; a no-op for datagrams that arrived by
+    copy).  For apps that want to hold the view across further receives —
+    each held view pins one pool slot until released. *)
 
 val close : socket -> unit
 
@@ -57,3 +67,16 @@ val deliver_local :
 (** Deliver a payload straight into the socket bound to [dst_port], as the
     shortcut's receive side.  Charges only the copy into the socket buffer
     (no transport processing — that is the point). *)
+
+val deliver_local_borrowed :
+  t ->
+  src:Netcore.Ip.t ->
+  src_port:int ->
+  dst_port:int ->
+  Bytes.t ->
+  release:(copied:bool -> unit) ->
+  unit
+(** {!deliver_local} for a payload that is a borrowed pool-slot view: the
+    datagram parks in the socket buffer without any copy charge and
+    [release ~copied:false] fires when it leaves (received, dropped, or
+    the socket closes).  [release] must be idempotent. *)

@@ -33,7 +33,12 @@ let establish ~client ~server ~dst ?port () =
     Sim.Engine.sleep (Sim.Time.us 100)
   done;
   match !server_conn with
-  | Some sc -> (client_conn, sc)
+  | Some sc ->
+      (* MPI transports over TCP disable Nagle: windowed pipelined sends
+         must not serialize behind the autocork waiting for ACKs. *)
+      Tcp.set_nodelay client_conn true;
+      Tcp.set_nodelay sc true;
+      (client_conn, sc)
   | None -> failwith "Mpi.establish: accept never completed"
 
 let send conn payload =

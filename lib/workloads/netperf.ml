@@ -5,6 +5,7 @@ type rr_result = {
   transactions : int;
   transactions_per_sec : float;
   avg_latency_us : float;
+  p50_latency_us : float;
   p99_latency_us : float;
   rr_client_cpu : float;
   rr_server_cpu : float;
@@ -103,6 +104,7 @@ let tcp_rr ~client ~server ~dst ?port ?client_port ?interval
     transactions;
     transactions_per_sec = float_of_int transactions /. dt;
     avg_latency_us = Sim.Stats.mean lat;
+    p50_latency_us = Sim.Stats.percentile lat 50.0;
     p99_latency_us = Sim.Stats.percentile lat 99.0;
     rr_client_cpu = client_cpu ~wall_s:dt;
     rr_server_cpu = server_cpu ~wall_s:dt;
@@ -136,6 +138,7 @@ let udp_rr ~client ~server ~dst ?port ?(transactions = 2000) ?(request_size = 1)
     transactions;
     transactions_per_sec = float_of_int transactions /. dt;
     avg_latency_us = Sim.Stats.mean lat;
+    p50_latency_us = Sim.Stats.percentile lat 50.0;
     p99_latency_us = Sim.Stats.percentile lat 99.0;
     rr_client_cpu = client_cpu ~wall_s:dt;
     rr_server_cpu = server_cpu ~wall_s:dt;

@@ -6,6 +6,7 @@ type rr_result = {
   transactions : int;
   transactions_per_sec : float;
   avg_latency_us : float;
+  p50_latency_us : float;  (** median transaction latency *)
   p99_latency_us : float;
       (** 99th-percentile transaction latency — the head-of-line-blocking
           signal: a concurrent bulk stream sharing the rr flow's channel

@@ -34,14 +34,18 @@ let scan t =
                anything unparsable is treated the same way (version
                gating); an old Dom0 reading "4 zc" likewise fails its
                int parse and falls back to one queue, no pools. *)
-            let queues, zc =
+            let queues, zc, loans =
               match String.split_on_char ' ' (String.trim advert) with
               | count :: caps ->
                   ( (match int_of_string_opt count with
                     | Some q when q >= 1 -> q
                     | Some _ | None -> 1),
-                    List.mem "zc" caps )
-              | [] -> (1, false)
+                    List.mem "zc" caps,
+                    (* Loans ride on top of the descriptor channel; an
+                       advert claiming "ln" without "zc" is malformed and
+                       version-gates down to plain zero-copy-off. *)
+                    List.mem "zc" caps && List.mem "ln" caps )
+              | [] -> (1, false, false)
             in
             match
               ( Xenstore.read xs ~caller:Xenstore.dom0
@@ -59,6 +63,7 @@ let scan t =
                         entry_ip = ip;
                         entry_queues = queues;
                         entry_zc = zc;
+                        entry_loans = loans;
                       }
                 | _ -> None)
             | _ -> None))

@@ -57,6 +57,11 @@ let carve_queue ~pool ~k ~index =
 let entry_magic = 0x584C (* "XL" *)
 let flag_desc = 1
 
+(* Descriptor carries a socket-shortcut app datagram instead of an Ethernet
+   frame: the slot payload starts with an 8-byte app header (src ip u32,
+   src port u16, 2 pad) and [proto_hint] is the destination port. *)
+let flag_app = 2
+
 
 let init ~desc ~data ~k =
   if k < 1 || k > max_k then invalid_arg "Fifo.init: k out of range";
@@ -87,6 +92,7 @@ type t = {
   mutable e_off : int;
   mutable e_len : int;
   mutable e_proto : int;
+  mutable e_flags : int;
 }
 
 let attach ~desc ~data =
@@ -94,7 +100,16 @@ let attach ~desc ~data =
   if k < 1 || k > max_k then invalid_arg "Fifo.attach: descriptor not initialized";
   if Array.length data <> data_pages_for ~k then
     invalid_arg "Fifo.attach: wrong number of data pages";
-  { desc; data; fifo_slots = 1 lsl k; e_slot = 0; e_off = 0; e_len = 0; e_proto = 0 }
+  {
+    desc;
+    data;
+    fifo_slots = 1 lsl k;
+    e_slot = 0;
+    e_off = 0;
+    e_len = 0;
+    e_proto = 0;
+    e_flags = 0;
+  }
 
 let slots t = t.fifo_slots
 let max_packet t = (t.fifo_slots - 1) * slot_bytes
@@ -200,7 +215,7 @@ let try_push t payload =
    the descriptor flag set, then one payload word carrying
    {slot, proto_hint, offset} into the channel's payload pool. *)
 
-let try_push_desc t ~slot ~offset ~len ~proto_hint =
+let try_push_desc t ?(flags = 0) ~slot ~offset ~len ~proto_hint () =
   if len <= 0 || not (is_active t) then false
   else if free_slots t < 2 then false
   else begin
@@ -211,7 +226,7 @@ let try_push_desc t ~slot ~offset ~len ~proto_hint =
     let moff = byte_at mod Page.size in
     Page.set_u32 mpage moff len;
     Page.set_u16 mpage (moff + 4) entry_magic;
-    Page.set_u16 mpage (moff + 6) flag_desc;
+    Page.set_u16 mpage (moff + 6) (flag_desc lor flags);
     let at2 = (byte_at + slot_bytes) mod ring_bytes t in
     let ppage = t.data.(at2 / Page.size) in
     let poff = at2 mod Page.size in
@@ -252,7 +267,7 @@ let push_entry t ~pool ~inline_max ~proto_hint payload =
         end
         else begin
           Payload_pool.write pool ~slot ~src:payload ~len;
-          if try_push_desc t ~slot ~offset:0 ~len ~proto_hint then pushed_desc
+          if try_push_desc t ~slot ~offset:0 ~len ~proto_hint () then pushed_desc
           else begin
             Payload_pool.unalloc pool slot;
             push_failed
@@ -287,9 +302,11 @@ type push_report = {
   pr_desc : int;
   pr_inline : int;
   pr_fallbacks : int;
+  pr_loans : int;
 }
 
-let push_many t ?pool ?(inline_max = max_int) ?(proto_hint = 0) payloads =
+let push_many t ?pool ?(inline_max = max_int) ?(proto_hint = 0) ?(loans = false)
+    payloads =
   let pushed = ref 0 and descs = ref 0 and inlines = ref 0 and fallbacks = ref 0 in
   let rec go = function
     | [] -> ()
@@ -303,11 +320,19 @@ let push_many t ?pool ?(inline_max = max_int) ?(proto_hint = 0) payloads =
         end
   in
   go payloads;
-  { pr_pushed = !pushed; pr_desc = !descs; pr_inline = !inlines; pr_fallbacks = !fallbacks }
+  {
+    pr_pushed = !pushed;
+    pr_desc = !descs;
+    pr_inline = !inlines;
+    pr_fallbacks = !fallbacks;
+    (* On a loan-negotiated channel every descriptor push is loan-eligible
+       at the receiver; inline and fallback entries are always copied. *)
+    pr_loans = (if loans then !descs else 0);
+  }
 
 type entry =
   | Inline of Bytes.t
-  | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int }
+  | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int; d_flags : int }
 
 (* [pop_into] result codes. *)
 let popped_empty = -1
@@ -334,6 +359,7 @@ let pop_into t dst =
       t.e_proto <- Page.get_u16 ppage (poff + 2);
       t.e_off <- Page.get_u32 ppage (poff + 4);
       t.e_len <- len;
+      t.e_flags <- flags;
       Page.set_u32 t.desc off_front (f + 2);
       popped_desc
     end
@@ -353,6 +379,7 @@ let desc_slot t = t.e_slot
 let desc_off t = t.e_off
 let desc_len t = t.e_len
 let desc_proto t = t.e_proto
+let desc_flags t = t.e_flags
 
 let pop_entry t =
   if is_empty t then None
@@ -375,7 +402,7 @@ let pop_entry t =
       let d_proto = Page.get_u16 ppage (poff + 2) in
       let d_off = Page.get_u32 ppage (poff + 4) in
       Page.set_u32 t.desc off_front (f + 2);
-      Some (Desc { d_slot; d_off; d_len = len; d_proto })
+      Some (Desc { d_slot; d_off; d_len = len; d_proto; d_flags = flags })
     end
     else if len > max_packet t then invalid_arg "Fifo.pop: corrupt entry metadata"
     else begin

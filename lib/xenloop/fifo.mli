@@ -138,10 +138,25 @@ val push_entry :
     their single copy into it, and publish a descriptor.  A refused push
     never consumes a pool slot. *)
 
+val flag_app : int
+(** Descriptor-flag bit: the slot payload is a socket-shortcut app datagram
+    (8-byte app header — src ip u32, src port u16, 2 pad — then the datagram
+    bytes) and [proto_hint] carries the destination port, not an
+    EtherType/protocol hint. *)
+
 val try_push_desc :
-  t -> slot:int -> offset:int -> len:int -> proto_hint:int -> bool
+  t ->
+  ?flags:int ->
+  slot:int ->
+  offset:int ->
+  len:int ->
+  proto_hint:int ->
+  unit ->
+  bool
 (** Publish a descriptor for a payload already written to the pool
-    (two FIFO slots).  Exposed for tests; {!push} is the normal caller. *)
+    (two FIFO slots).  [flags] (default none) is OR-ed into the entry's
+    flag word next to the descriptor bit — {!flag_app} is the only defined
+    extra bit.  {!push} is the normal caller for plain frames. *)
 
 val can_accept_entry : t -> ?pool:Payload_pool.t -> ?inline_max:int -> int -> bool
 (** {!can_accept} generalized over the descriptor path: whether {!push}
@@ -153,6 +168,11 @@ type push_report = {
   pr_desc : int;  (** of those, descriptor-backed *)
   pr_inline : int;  (** of those, inline (copy path) *)
   pr_fallbacks : int;  (** inline entries that were pool-exhaustion degradations *)
+  pr_loans : int;
+      (** of the descriptor-backed entries, how many are loan-eligible at
+          the receiver — [pr_desc] when the burst went to a loan-negotiated
+          channel, [0] otherwise (loaned vs copied deliveries stay
+          distinguishable in per-queue counters) *)
 }
 
 val push_many :
@@ -160,17 +180,20 @@ val push_many :
   ?pool:Payload_pool.t ->
   ?inline_max:int ->
   ?proto_hint:int ->
+  ?loans:bool ->
   Bytes.t list ->
   push_report
 (** Push a burst of payloads in order, stopping at the first that does not
     fit; reports how many entered and how they were backed (so per-queue
-    stats distinguish descriptor from copy traffic).  One batched producer
-    publish — the caller charges the amortized CPU cost and issues the
-    single trailing notification. *)
+    stats distinguish descriptor from copy traffic).  [loans] (default
+    [false]) declares the burst bound for a loan-negotiated channel and
+    only affects [pr_loans] accounting.  One batched producer publish — the
+    caller charges the amortized CPU cost and issues the single trailing
+    notification. *)
 
 type entry =
   | Inline of Bytes.t
-  | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int }
+  | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int; d_flags : int }
 
 val pop_entry : t -> entry option
 (** Consume the next entry, whichever kind it is.  For [Desc] the caller
@@ -205,6 +228,7 @@ val desc_slot : t -> int
 val desc_off : t -> int
 val desc_len : t -> int
 val desc_proto : t -> int
+val desc_flags : t -> int
 (** Fields of the most recent {!popped_desc} entry from {!pop_into};
     overwritten by the next descriptor pop on this view. *)
 

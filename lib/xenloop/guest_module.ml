@@ -27,6 +27,11 @@ type stats = {
   mutable desc_tx : int;
   mutable inline_tx : int;
   mutable pool_fallbacks : int;
+  mutable loan_tx : int;
+  mutable loan_rx : int;
+  mutable loan_returns : int;
+  mutable loan_credit_stalls : int;
+  mutable loans_force_returned : int;
   mutable bootstrap_failures : int;
   mutable softstate_evictions : int;
 }
@@ -51,6 +56,11 @@ type queue = {
   q_inline_max : int;
       (** effective inline threshold: max of our configured value and the
           listener's stamp in the pool control page *)
+  q_max_loans : int;
+      (** effective loan credit for this queue direction: min of our
+          configured [xenloop_max_loans] and the listener's stamp in the
+          pool control page; 0 = loaned-slot receive off (copy-out path,
+          bit-for-bit the pre-loan behaviour) *)
   mutable q_busy : bool;
       (** an event handler is draining this queue (guards against
           re-entrant handlers interleaving across CPU charges) *)
@@ -63,6 +73,10 @@ type queue = {
   mutable q_desc_tx : int;
   mutable q_inline_tx : int;
   mutable q_pool_fallbacks : int;
+  mutable q_loan_tx : int;
+  mutable q_loan_rx : int;
+  mutable q_loan_returns : int;
+  mutable q_loan_credit_stalls : int;
 }
 
 type channel = {
@@ -103,6 +117,7 @@ type t = {
   k : int;
   max_queues : int;  (** what we advertise; channels carry the negotiated min *)
   zerocopy : bool;  (** whether we advertise the zero-copy descriptor channel *)
+  loans : bool;  (** whether we advertise loaned-slot receive (implies zerocopy) *)
   mapping : Mapping_table.t;
   peers : (int, peer_state) Hashtbl.t;
   flow_cache : (Steering.flow_key, cache_entry) Hashtbl.t;
@@ -111,6 +126,14 @@ type t = {
   mutable saved_frames : Bytes.t list;
   mutable app_handler :
     (src_ip:Netcore.Ip.t -> src_port:int -> dst_port:int -> Bytes.t -> unit) option;
+  mutable app_view_handler :
+    (src_ip:Netcore.Ip.t ->
+    src_port:int ->
+    dst_port:int ->
+    Bytes.t ->
+    release:(copied:bool -> unit) ->
+    unit)
+    option;
   trace : Sim.Trace.t option;
   s : stats;
   mutable loaded : bool;
@@ -122,9 +145,15 @@ type t = {
   mutable ctrl_fault : (Proto.t -> ctrl_fault) option;
   mutable push_fault : (unit -> bool) option;
   mutable pool_fault : (unit -> bool) option;
+  mutable loan_fault : (unit -> loan_fault) option;
 }
 
 and ctrl_fault = Ctrl_pass | Ctrl_drop | Ctrl_dup | Ctrl_delay of Sim.Time.span
+
+and loan_fault =
+  | Loan_pass
+  | Loan_leak  (** the application never releases this borrowed view *)
+  | Loan_delay of Sim.Time.span  (** slow consumer: release runs this much later *)
 
 let max_create_retries = 3
 let ack_timeout = Sim.Time.ms 500
@@ -183,6 +212,10 @@ type queue_stat = {
   qs_desc_tx : int;
   qs_inline_tx : int;
   qs_pool_fallbacks : int;
+  qs_loan_tx : int;
+  qs_loan_rx : int;
+  qs_loan_returns : int;
+  qs_loan_credit_stalls : int;
 }
 
 let queue_stats t ~domid =
@@ -198,6 +231,10 @@ let queue_stats t ~domid =
             qs_desc_tx = q.q_desc_tx;
             qs_inline_tx = q.q_inline_tx;
             qs_pool_fallbacks = q.q_pool_fallbacks;
+            qs_loan_tx = q.q_loan_tx;
+            qs_loan_rx = q.q_loan_rx;
+            qs_loan_returns = q.q_loan_returns;
+            qs_loan_credit_stalls = q.q_loan_credit_stalls;
           })
         ch.queues
   | Some (Bootstrapping _ | Failed_until _) | None -> [||]
@@ -207,6 +244,30 @@ let zerocopy_active t ~domid =
   | Some (Active ch) ->
       ch.connected && Array.exists (fun q -> q.q_tx_pool <> None) ch.queues
   | Some (Bootstrapping _ | Failed_until _) | None -> false
+
+let loans_active t ~domid =
+  match Hashtbl.find_opt t.peers domid with
+  | Some (Active ch) ->
+      ch.connected && Array.exists (fun q -> q.q_max_loans > 0) ch.queues
+  | Some (Bootstrapping _ | Failed_until _) | None -> false
+
+let outstanding_loans t =
+  (* A killed module's views are conceptually dead with the guest; the
+     hypervisor reclaims its mappings, so nothing is outstanding. *)
+  if not t.loaded then 0
+  else
+    Hashtbl.fold
+      (fun _ state acc ->
+        match state with
+        | Active ch | Bootstrapping (Awaiting_ack { ba_channel = ch; _ }) ->
+            Array.fold_left
+              (fun acc q ->
+                match q.q_rx_pool with
+                | Some pool -> acc + Payload_pool.outstanding_loans pool
+                | None -> acc)
+              acc ch.queues
+        | Bootstrapping (Requested_from_listener _) | Failed_until _ -> acc)
+      t.peers 0
 
 let trace t cat fmt =
   match t.trace with
@@ -227,13 +288,17 @@ let advertise t =
   let machine = t.current_machine () in
   let domid = my_domid t in
   (* The advert value is the advertised queue count, plus a "zc" token
-     when this guest speaks the zero-copy descriptor channel; the
-     original module wrote "1", which is exactly what a single-queue
-     non-zero-copy configuration still produces (version gating). *)
+     when this guest speaks the zero-copy descriptor channel and an "ln"
+     token when it additionally speaks loaned-slot receive; the original
+     module wrote "1", which is exactly what a single-queue non-zero-copy
+     configuration still produces (version gating). *)
   match
     Xenstore.write (Machine.xenstore machine) ~caller:domid
       ~path:(Discovery.advert_path ~domid)
-      ~value:(string_of_int t.max_queues ^ if t.zerocopy then " zc" else "")
+      ~value:
+        (string_of_int t.max_queues
+        ^ (if t.zerocopy then " zc" else "")
+        ^ if t.zerocopy && t.loans then " ln" else "")
   with
   | Ok () | Error _ -> ()
 
@@ -259,7 +324,7 @@ let notify_peer ?(force = false) t q =
   let p = params t in
   if
     (not force)
-    && p.Params.xenloop_notify_suppression
+    && (p.Params.xenloop_notify_suppression || p.Params.xenloop_poll_mode)
     && Fifo.consumer_active q.out_fifo
   then begin
     t.s.notifies_suppressed <- t.s.notifies_suppressed + 1;
@@ -298,7 +363,14 @@ let note_outcome t q outcome =
   else begin
     if outcome = Fifo.pushed_desc then begin
       q.q_desc_tx <- q.q_desc_tx + 1;
-      t.s.desc_tx <- t.s.desc_tx + 1
+      t.s.desc_tx <- t.s.desc_tx + 1;
+      (* Every descriptor on a loan-negotiated channel is loan-eligible at
+         the receiver (which may still degrade it to copy-out under credit
+         pressure — that shows up in its loan_credit_stalls, not here). *)
+      if q.q_max_loans > 0 then begin
+        q.q_loan_tx <- q.q_loan_tx + 1;
+        t.s.loan_tx <- t.s.loan_tx + 1
+      end
     end
     else begin
       q.q_inline_tx <- q.q_inline_tx + 1;
@@ -317,19 +389,41 @@ let note_outcome t q outcome =
    path, into its payload-pool slot on the descriptor path — so the
    sender-side cost is identical either way; zero-copy wins on the
    receiver, which consumes pool payloads in place. *)
+(* Whether this frame is about to take the descriptor path on a
+   loan-negotiated channel.  On such channels the pool slot is the frame's
+   only resting place — the frame is built in the slot and the receiver's
+   socket layer borrows it — so the sender skips both the copy charge and
+   the copy record.  The prediction mirrors {!Fifo.desc_eligible} plus the
+   exhaustion check; a chaos alloc fault can still downgrade the actual
+   outcome to an inline fallback, whose copy is then recorded (the metric
+   follows the real outcome, only the CPU charge follows the prediction). *)
+let tx_loan_desc q len =
+  q.q_max_loans > 0
+  &&
+  match q.q_tx_pool with
+  | Some pool ->
+      len > q.q_inline_max
+      && len <= Payload_pool.slot_bytes pool
+      && len <= Fifo.max_packet q.out_fifo
+      && Payload_pool.free_slots pool > 0
+  | None -> false
+
 let push_frame t q raw =
   if push_refused t then false
   else begin
     let p = params t in
     let len = Bytes.length raw in
     Sim.Resource.use (cpu t)
-      (Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
+      (if tx_loan_desc q len then p.Params.xenloop_fifo_op
+       else
+         Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
     let outcome =
       Fifo.push_entry q.out_fifo ~pool:q.q_tx_pool ~inline_max:q.q_inline_max
         ~proto_hint:(proto_hint_of raw) raw
     in
     let ok = note_outcome t q outcome in
-    if ok then record_copy t len;
+    if ok && not (outcome = Fifo.pushed_desc && q.q_max_loans > 0) then
+      record_copy t len;
     ok
   end
 
@@ -431,7 +525,8 @@ let send_batch t q raws =
             if !overflowed then enqueue_waiting t q raw
             else begin
               let len = Bytes.length raw in
-              Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
+              if not (tx_loan_desc q len) then
+                Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
               let outcome =
                 if push_refused t then Fifo.push_failed
                 else
@@ -439,7 +534,8 @@ let send_batch t q raws =
                     ~inline_max:q.q_inline_max ~proto_hint:(proto_hint_of raw) raw
               in
               if note_outcome t q outcome then begin
-                record_copy t len;
+                if not (outcome = Fifo.pushed_desc && q.q_max_loans > 0) then
+                  record_copy t len;
                 t.s.via_channel_tx <- t.s.via_channel_tx + 1
               end
               else begin
@@ -480,6 +576,72 @@ let flush_waiting_via_standard_path t ch =
 
 exception Corrupt_channel
 
+(* The release closure handed out with a borrowed pool-slot view.  The
+   receiver's socket layer (or the application, through recvfrom_view)
+   calls it exactly once when done with the view; [copied] reports whether
+   the borrow degenerated into a copy somewhere in the stack (out-of-order
+   TCP hold, fragment reassembly, explicit copy-out), which is then
+   recorded so the copies/byte metric stays honest.  Idempotent: late
+   duplicate releases are no-ops, as are releases after channel teardown
+   already force-returned the slot (the pool view is dead by then). *)
+let make_release t q pool ~slot ~len =
+  let released = ref false in
+  let finish ~copied =
+    if not !released then begin
+      released := true;
+      q.q_loan_returns <- q.q_loan_returns + 1;
+      t.s.loan_returns <- t.s.loan_returns + 1;
+      if copied then record_copy t len;
+      Payload_pool.release pool slot
+    end
+  in
+  match (match t.loan_fault with None -> Loan_pass | Some f -> f ()) with
+  | Loan_pass -> finish
+  | Loan_leak ->
+      (* Leaky application: the view is never handed back, the slot stays
+         pinned until teardown force-returns it, and the credit check
+         degrades later deliveries to copy-out. *)
+      fun ~copied:_ -> ()
+  | Loan_delay d -> fun ~copied -> Sim.Engine.after (engine t) d (fun () -> finish ~copied)
+
+(* A [flag_app] descriptor: a socket-shortcut datagram living in the pool
+   slot behind an 8-byte app header, delivered to the application layer
+   directly — as a borrowed view with an explicit release when credit
+   allows, by copy-out to the plain handler otherwise. *)
+let consume_app_desc t q pool ~slot ~off ~len ~dst_port =
+  if len <= 8 then
+    (* No room for the app header: off-protocol. *)
+    raise Corrupt_channel
+  else begin
+    let hdr = Payload_pool.read pool ~slot ~off ~len:8 in
+    let src_ip = Netcore.Ip.of_int32 (Bytes.get_int32_be hdr 0) in
+    let src_port = Bytes.get_uint16_be hdr 4 in
+    let plen = len - 8 in
+    match t.app_view_handler with
+    | Some handler
+      when q.q_max_loans > 0
+           && Payload_pool.outstanding_loans pool < q.q_max_loans ->
+        Payload_pool.loan pool slot;
+        q.q_loan_rx <- q.q_loan_rx + 1;
+        t.s.loan_rx <- t.s.loan_rx + 1;
+        let payload = Payload_pool.read pool ~slot ~off:(off + 8) ~len:plen in
+        let release = make_release t q pool ~slot ~len:plen in
+        t.s.via_channel_rx <- t.s.via_channel_rx + 1;
+        handler ~src_ip ~src_port ~dst_port payload ~release
+    | Some _ | None ->
+        let payload = Payload_pool.read pool ~slot ~off:(off + 8) ~len:plen in
+        Payload_pool.free pool slot;
+        if q.q_max_loans > 0 then begin
+          q.q_loan_credit_stalls <- q.q_loan_credit_stalls + 1;
+          t.s.loan_credit_stalls <- t.s.loan_credit_stalls + 1;
+          record_copy t plen
+        end;
+        t.s.via_channel_rx <- t.s.via_channel_rx + 1;
+        (match t.app_handler with
+        | Some handler -> handler ~src_ip ~src_port ~dst_port payload
+        | None -> ())
+  end
+
 let drain_incoming t q =
   let consumed = ref 0 in
   let p = params t in
@@ -516,7 +678,7 @@ let drain_incoming t q =
               (Sim.Time.span_add bookkeeping (Params.xenloop_copy_cost p len));
             record_copy t len;
             inject raw
-        | Fifo.Desc { d_slot; d_off; d_len; d_proto = _ } -> (
+        | Fifo.Desc { d_slot; d_off; d_len; d_proto; d_flags } -> (
             match q.q_rx_pool with
             | None ->
                 (* A descriptor on a channel we never negotiated pools for:
@@ -531,13 +693,51 @@ let drain_incoming t q =
                 then raise Corrupt_channel
                 else begin
                   (* The zero-copy receive half: the payload is consumed in
-                     place out of the mapped pool — bookkeeping only, no
-                     copy charged and none recorded — and the slot goes
-                     back on the shared free ring. *)
+                     place out of the mapped pool — bookkeeping only. *)
                   Sim.Resource.use (cpu t) bookkeeping;
-                  let raw = Payload_pool.read pool ~slot:d_slot ~off:d_off ~len:d_len in
-                  Payload_pool.free pool d_slot;
-                  inject raw
+                  if d_flags land Fifo.flag_app <> 0 then begin
+                    incr consumed;
+                    consume_app_desc t q pool ~slot:d_slot ~off:d_off
+                      ~len:d_len ~dst_port:d_proto
+                  end
+                  else if
+                    q.q_max_loans > 0
+                    && Payload_pool.outstanding_loans pool < q.q_max_loans
+                  then begin
+                    (* Loaned delivery: the socket layer borrows the slot
+                       and the free-ring return waits for the application's
+                       release — no copy charged, none recorded. *)
+                    Payload_pool.loan pool d_slot;
+                    q.q_loan_rx <- q.q_loan_rx + 1;
+                    t.s.loan_rx <- t.s.loan_rx + 1;
+                    let raw =
+                      Payload_pool.read pool ~slot:d_slot ~off:d_off ~len:d_len
+                    in
+                    let release = make_release t q pool ~slot:d_slot ~len:d_len in
+                    incr consumed;
+                    match Netcore.Codec.parse raw with
+                    | Ok packet ->
+                        t.s.via_channel_rx <- t.s.via_channel_rx + 1;
+                        Stack.inject_rx_borrowed t.stack packet ~release
+                    | Error _ -> release ~copied:false
+                  end
+                  else begin
+                    (* Copy-out: on a pre-loan channel this is the plain
+                       descriptor receive (no copy charged or recorded, as
+                       before); on a loan channel it is the transparent
+                       credit-exhaustion fallback, whose one real copy is
+                       recorded. *)
+                    if q.q_max_loans > 0 then begin
+                      q.q_loan_credit_stalls <- q.q_loan_credit_stalls + 1;
+                      t.s.loan_credit_stalls <- t.s.loan_credit_stalls + 1;
+                      record_copy t d_len
+                    end;
+                    let raw =
+                      Payload_pool.read pool ~slot:d_slot ~off:d_off ~len:d_len
+                    in
+                    Payload_pool.free pool d_slot;
+                    inject raw
+                  end
                 end))
   done;
   !consumed
@@ -545,6 +745,25 @@ let drain_incoming t q =
 let drain_all_incoming t ch =
   Array.iter
     (fun q -> try ignore (drain_incoming t q) with Corrupt_channel -> ())
+    ch.queues
+
+(* Channel teardown must not wait for application releases: every loan
+   still in flight is force-returned to the free ring now (the pool pages
+   are about to be unmapped) and the rx views go dead, so a late release
+   from a socket buffer that outlives the channel is a harmless no-op. *)
+let force_return_channel_loans t ch =
+  Array.iter
+    (fun q ->
+      match q.q_rx_pool with
+      | None -> ()
+      | Some pool ->
+          let n = Payload_pool.force_return_loans pool in
+          if n > 0 then begin
+            t.s.loans_force_returned <- t.s.loans_force_returned + n;
+            trace t Sim.Trace.Teardown
+              "dom%d: force-returned %d in-flight loan(s) on q%d to dom%d"
+              (my_domid t) n q.q_index ch.peer_domid
+          end)
     ch.queues
 
 (* Abandon a channel whose shared state can no longer be trusted.  One
@@ -564,6 +783,7 @@ let quarantine t peer_domid ch =
   Array.iter
     (fun q -> try notify_peer ~force:true t q with Invalid_argument _ -> ())
     ch.queues;
+  force_return_channel_loans t ch;
   ch.cleanup ();
   Hashtbl.remove t.peers peer_domid;
   bump_epoch t;
@@ -600,7 +820,7 @@ let teardown_channel t ~save ch =
            while !reclaiming do
              match Fifo.pop_entry q.out_fifo with
              | Some (Fifo.Inline raw) -> Queue.push raw stranded
-             | Some (Fifo.Desc { d_slot; d_off; d_len; _ }) -> (
+             | Some (Fifo.Desc { d_slot; d_off; d_len; d_proto; d_flags }) -> (
                  (* A descriptor the peer never consumed: we wrote the
                     payload, so we can read it back out of our own tx pool
                     before the pool pages are released with the channel.
@@ -608,9 +828,32 @@ let teardown_channel t ~save ch =
                     pages. *)
                  match q.q_tx_pool with
                  | Some pool ->
-                     Queue.push
-                       (Payload_pool.read pool ~slot:d_slot ~off:d_off ~len:d_len)
-                       stranded
+                     let raw =
+                       Payload_pool.read pool ~slot:d_slot ~off:d_off ~len:d_len
+                     in
+                     if d_flags land Fifo.flag_app <> 0 && d_len > 8 then begin
+                       (* App descriptor: the slot holds [app header |
+                          datagram], not a serialized frame.  Rebuild the
+                          equivalent control frame so the save/flush path
+                          can carry it over netfront. *)
+                       let msg =
+                         Proto.App_payload
+                           {
+                             src_ip =
+                               Netcore.Ip.of_int32 (Bytes.get_int32_be raw 0);
+                             src_port = Bytes.get_uint16_be raw 4;
+                             dst_port = d_proto;
+                             payload = Bytes.sub raw 8 (d_len - 8);
+                           }
+                       in
+                       Queue.push
+                         (Netcore.Codec.serialize
+                            (Netcore.Packet.xenloop_ctrl
+                               ~src_mac:(Stack.mac_addr t.stack)
+                               ~dst_mac:ch.peer_mac (Proto.encode msg)))
+                         stranded
+                     end
+                     else Queue.push raw stranded
                  | None -> ())
              | None -> reclaiming := false
            done
@@ -626,6 +869,7 @@ let teardown_channel t ~save ch =
       ch.queues
   else flush_waiting_via_standard_path t ch;
   if ch.connected then Array.iter (fun q -> notify_peer ~force:true t q) ch.queues;
+  force_return_channel_loans t ch;
   ch.cleanup ();
   t.s.channels_torn_down <- t.s.channels_torn_down + 1
 
@@ -668,6 +912,7 @@ let handle_peer_teardown t peer_domid ch =
       bump_epoch t;
       drain_all_incoming t ch;
       flush_waiting_via_standard_path t ch;
+      force_return_channel_loans t ch;
       ch.cleanup ();
       t.s.channels_torn_down <- t.s.channels_torn_down + 1
   | _ -> ()
@@ -718,8 +963,76 @@ let poll_for_more t q =
     !got_work
   end
 
+(* ------------------------------------------------------------------ *)
+(* Busy-poll receive mode (DPDK-style run-to-completion) *)
+
+let channel_current t peer_domid ch =
+  match Hashtbl.find_opt t.peers peer_domid with
+  | Some (Active ch') -> ch' == ch
+  | Some (Bootstrapping _ | Failed_until _) | None -> false
+
+(* One pinned poller fiber per queue, started when the channel connects:
+   it publishes consumer-active permanently (so the peer's sends are
+   doorbell-free from the first packet) and spins run-to-completion on the
+   descriptor rings.  An idle queue eases off in three phases —
+   spin (hot loop) → pause (PAUSE-instruction analogue) → sleep — each a
+   re-check granularity far below [evtchn_delivery], which is where the
+   rr latency win comes from.  Idle iterations advance only this fiber's
+   virtual time, not the shared CPU resource: the model is a core pinned
+   to the poller, burning cycles nobody else wanted (DESIGN.md §11). *)
+let start_poller t peer_domid ch q =
+  Sim.Engine.spawn (engine t) (fun () ->
+      let p = params t in
+      (try Fifo.set_consumer_active q.in_fifo true with Invalid_argument _ -> ());
+      let idle = ref 0 in
+      let running = ref true in
+      while !running do
+        if not (t.loaded && channel_current t peer_domid ch) then
+          (* Unloaded, migrated, or the channel was replaced/torn down
+             while we slept; never touch pages that may be reclaimed. *)
+          running := false
+        else if not (Fifo.is_active q.in_fifo && Fifo.is_active q.out_fifo) then begin
+          (* Peer-initiated teardown: with event handlers disengaged, the
+             poller is the one who notices and runs the disengage. *)
+          running := false;
+          handle_peer_teardown t peer_domid ch
+        end
+        else begin
+          match
+            let consumed = drain_incoming t q in
+            let pushed = drain_waiting t q in
+            consumed + pushed
+          with
+          | exception Corrupt_channel ->
+              running := false;
+              if channel_current t peer_domid ch then quarantine t peer_domid ch
+          | 0 ->
+              incr idle;
+              t.s.poll_rounds <- t.s.poll_rounds + 1;
+              let span =
+                if !idle <= p.Params.xenloop_poll_spin_iters then
+                  p.Params.xenloop_poll_spin
+                else if
+                  !idle
+                  <= p.Params.xenloop_poll_spin_iters
+                     + p.Params.xenloop_poll_pause_iters
+                then p.Params.xenloop_poll_pause
+                else p.Params.xenloop_poll_sleep
+              in
+              Sim.Engine.sleep span
+          | _ -> idle := 0
+        end
+      done)
+
+let maybe_start_pollers t peer_domid ch =
+  if (params t).Params.xenloop_poll_mode then
+    Array.iter (fun q -> start_poller t peer_domid ch q) ch.queues
+
 let on_event t peer_domid qi () =
-  if t.loaded then begin
+  (* In busy-poll mode the pollers own the receive path: the doorbell
+     handler stands down entirely (notifies are suppressed anyway, but
+     bootstrap-era stragglers must not interleave with a poller's drain). *)
+  if t.loaded && not (params t).Params.xenloop_poll_mode then begin
     match Hashtbl.find_opt t.peers peer_domid with
     | Some (Active ch) when qi < Array.length ch.queues -> (
         let q = ch.queues.(qi) in
@@ -899,7 +1212,7 @@ let reap_grants t ~machine ~domid ~gt pending =
   in
   Sim.Engine.after (engine t) reap_period (reap pending)
 
-let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
+let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
   let machine = t.current_machine () in
   let domid = my_domid t in
   let p = params t in
@@ -918,6 +1231,15 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
         t.zerocopy && peer_zc && Payload_pool.geometry_valid ~slots ~slot_pages
       in
       let inline_max = max 0 p.Params.xenloop_inline_max in
+      (* Loan credit rides the pool control page (DESIGN.md §11): stamped
+         only when both sides advertise loans on top of an actual pooled
+         channel, zero otherwise — which version-gates the whole loan
+         machinery off bit-for-bit. *)
+      let max_loans =
+        if use_pools && t.loans && peer_loans then
+          max 0 p.Params.xenloop_max_loans
+        else 0
+      in
       let fifo_pages = Fifo.pages_for_queues ~k:t.k ~queues:nq in
       let pool_pages_each =
         if use_pools then Payload_pool.pages_for ~slots ~slot_pages else 0
@@ -943,7 +1265,8 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
             let ctrl = pool.(base) in
             let data = Array.sub pool (base + 1) (slots * slot_pages) in
             let pp =
-              Payload_pool.init ~ctrl ~data ~slots ~slot_pages ~inline_max
+              Payload_pool.init ~max_loans ~ctrl ~data ~slots ~slot_pages
+                ~inline_max ()
             in
             let ctrl_gref =
               Gt.grant_access gt ~to_dom:peer_domid ~page:ctrl ~writable:true
@@ -1002,6 +1325,11 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc =
                 q_desc_tx = 0;
                 q_inline_tx = 0;
                 q_pool_fallbacks = 0;
+                q_max_loans = max_loans;
+                q_loan_tx = 0;
+                q_loan_rx = 0;
+                q_loan_returns = 0;
+                q_loan_credit_stalls = 0;
               }
             in
             (match q.q_tx_pool with
@@ -1062,12 +1390,12 @@ let start_bootstrap t ~peer_domid ~peer_mac =
        capability from the announcement entry that put the peer in the
        mapping table; an entry without them (or a pre-multi-queue peer)
        advertises one queue, no pools. *)
-    let peer_queues, peer_zc =
+    let peer_queues, peer_zc, peer_loans =
       match Mapping_table.find_domid t.mapping peer_domid with
-      | Some e -> (e.Proto.entry_queues, e.Proto.entry_zc)
-      | None -> (1, false)
+      | Some e -> (e.Proto.entry_queues, e.Proto.entry_zc, e.Proto.entry_loans)
+      | None -> (1, false, false)
     in
-    listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc
+    listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans
   end
   else begin
     let token = t.next_token in
@@ -1081,6 +1409,7 @@ let start_bootstrap t ~peer_domid ~peer_mac =
            requester_domid = my_domid t;
            max_queues = t.max_queues;
            zerocopy = t.zerocopy;
+           loans = t.loans;
          });
     (* The requester has no retry loop of its own — the listener drives the
        Create/Ack exchange — so bound the wait symmetrically: if nothing
@@ -1197,6 +1526,19 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
                                 Some lp,
                                 max inline_max (Payload_pool.inline_threshold cp) )
                         in
+                        (* The listener stamps the negotiated loan credit
+                           into the pool control page; a stamp of zero (or
+                           this side opting out) disables loans for the
+                           queue on both ends. *)
+                        let q_max_loans =
+                          match pools with
+                          | `No_pools -> 0
+                          | `Pools (lp, _) ->
+                              let stamp = Payload_pool.max_loans_stamp lp in
+                              if t.loans && stamp > 0 then
+                                min (max 0 p.Params.xenloop_max_loans) stamp
+                              else 0
+                        in
                         let q =
                           {
                             q_index = qi;
@@ -1215,6 +1557,11 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
                             q_desc_tx = 0;
                             q_inline_tx = 0;
                             q_pool_fallbacks = 0;
+                            q_max_loans;
+                            q_loan_tx = 0;
+                            q_loan_rx = 0;
+                            q_loan_returns = 0;
+                            q_loan_credit_stalls = 0;
                           }
                         in
                         (match q.q_tx_pool with
@@ -1253,9 +1600,12 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
             listener_domid (Array.length queues);
           send_ctrl t ~dst_mac:listener_mac
             (Proto.Channel_ack { connector_domid = domid });
+          maybe_start_pollers t listener_domid ch;
           (* Anything already in the FIFOs must not wait for another
-             notification that may never come. *)
-          Array.iteri (fun qi _ -> on_event t listener_domid qi ()) queues)
+             notification that may never come (in poll mode the pollers
+             just spawned cover this). *)
+          if not p.Params.xenloop_poll_mode then
+            Array.iteri (fun qi _ -> on_event t listener_domid qi ()) queues)
 
 (* ------------------------------------------------------------------ *)
 (* Control-plane input *)
@@ -1306,7 +1656,8 @@ let on_ctrl_packet t (packet : P.t) =
         match Proto.decode data with
         | Error _ -> ()
         | Ok (Proto.Announce entries) -> on_announce t entries
-        | Ok (Proto.Request_channel { requester_domid; max_queues; zerocopy }) -> (
+        | Ok (Proto.Request_channel { requester_domid; max_queues; zerocopy; loans })
+          -> (
             match Hashtbl.find_opt t.peers requester_domid with
             | Some (Failed_until _) ->
                 (* The peer speaks — it is alive after all; drop the
@@ -1315,13 +1666,13 @@ let on_ctrl_packet t (packet : P.t) =
                 if my_domid t < requester_domid then
                   listener_create t ~peer_domid:requester_domid
                     ~peer_mac:packet.P.src_mac ~peer_queues:max_queues
-                    ~peer_zc:zerocopy
+                    ~peer_zc:zerocopy ~peer_loans:loans
             | Some _ -> ()
             | None ->
                 if my_domid t < requester_domid then
                   listener_create t ~peer_domid:requester_domid
                     ~peer_mac:packet.P.src_mac ~peer_queues:max_queues
-                    ~peer_zc:zerocopy)
+                    ~peer_zc:zerocopy ~peer_loans:loans)
         | Ok (Proto.Create_channel { listener_domid; queues }) -> (
             match Hashtbl.find_opt t.peers listener_domid with
             | Some (Active ch)
@@ -1367,12 +1718,15 @@ let on_ctrl_packet t (packet : P.t) =
                   "dom%d: channel to dom%d connected (listener, %d queue(s))"
                   (my_domid t) connector_domid
                   (Array.length ba.ba_channel.queues);
+                maybe_start_pollers t connector_domid ba.ba_channel;
                 (* The connector may have pushed data before its ack reached
                    us; the matching notification was consumed while we were
-                   still awaiting the ack, so drain every queue now. *)
-                Array.iteri
-                  (fun qi _ -> on_event t connector_domid qi ())
-                  ba.ba_channel.queues
+                   still awaiting the ack, so drain every queue now (in poll
+                   mode the pollers just spawned cover this). *)
+                if not (params t).Params.xenloop_poll_mode then
+                  Array.iteri
+                    (fun qi _ -> on_event t connector_domid qi ())
+                    ba.ba_channel.queues
             | Some _ | None -> ()))
     | P.Ipv4_body _ | P.Arp_body _ -> ()
   end
@@ -1498,6 +1852,7 @@ let hook_fn t (packets : P.t list) =
 (* Transport-level shortcut (paper Sect. 6 future work) *)
 
 let set_app_payload_handler t handler = t.app_handler <- Some handler
+let set_app_view_handler t handler = t.app_view_handler <- Some handler
 
 let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
   if not t.loaded then false
@@ -1508,20 +1863,6 @@ let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
         let peer_domid = entry.Proto.entry_domid in
         match Hashtbl.find_opt t.peers peer_domid with
         | Some (Active ch) when ch.connected ->
-            let msg =
-              Proto.App_payload
-                {
-                  src_ip = Stack.ip_addr t.stack;
-                  src_port;
-                  dst_port;
-                  payload;
-                }
-            in
-            let frame =
-              Netcore.Packet.xenloop_ctrl ~src_mac:(Stack.mac_addr t.stack)
-                ~dst_mac:entry.Proto.entry_mac (Proto.encode msg)
-            in
-            let raw = Netcore.Codec.serialize frame in
             (* Shortcut payloads steer like hook traffic: UDP-flavoured
                5-tuple, so distinct port pairs spread across queues. *)
             let key =
@@ -1530,15 +1871,83 @@ let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
             in
             let qi = Steering.queue_index key ~queues:(Array.length ch.queues) in
             let q = ch.queues.(qi) in
-            if Bytes.length raw > Fifo.max_packet q.out_fifo then begin
-              t.s.too_big_fallback <- t.s.too_big_fallback + 1;
-              false
-            end
+            (* App-descriptor fast path (DESIGN.md §11): on a
+               loan-negotiated queue the datagram is written once into a
+               pool slot behind the 8-byte app header and the FIFO carries
+               only a two-slot descriptor the receiver's socket layer
+               borrows in place — no Proto encode, no inline copy, no
+               copy-out.  Ordering demands an empty waiting list; any
+               refusal falls through to the ctrl-frame path unchanged. *)
+            let app_desc_sent =
+              q.q_max_loans > 0
+              && Queue.is_empty q.waiting
+              &&
+              match q.q_tx_pool with
+              | None -> false
+              | Some pool -> (
+                  let total = Bytes.length payload + 8 in
+                  if
+                    total <= q.q_inline_max
+                    || total > Payload_pool.slot_bytes pool
+                    || total > Fifo.max_packet q.out_fifo
+                  then false
+                  else
+                    match Payload_pool.alloc_slot pool with
+                    | -1 -> false
+                    | slot ->
+                        let buf = Bytes.create total in
+                        Bytes.set_int32_be buf 0
+                          (Netcore.Ip.to_int32 (Stack.ip_addr t.stack));
+                        Bytes.set_uint16_be buf 4 src_port;
+                        Bytes.blit payload 0 buf 8 (Bytes.length payload);
+                        Payload_pool.write pool ~slot ~src:buf ~len:total;
+                        if
+                          Fifo.try_push_desc q.out_fifo ~flags:Fifo.flag_app
+                            ~slot ~offset:0 ~len:total ~proto_hint:dst_port ()
+                        then begin
+                          let p = params t in
+                          Sim.Resource.use (cpu t) p.Params.xenloop_fifo_op;
+                          q.q_steered <- q.q_steered + 1;
+                          t.s.steered_packets <- t.s.steered_packets + 1;
+                          q.q_desc_tx <- q.q_desc_tx + 1;
+                          t.s.desc_tx <- t.s.desc_tx + 1;
+                          q.q_loan_tx <- q.q_loan_tx + 1;
+                          t.s.loan_tx <- t.s.loan_tx + 1;
+                          t.s.via_channel_tx <- t.s.via_channel_tx + 1;
+                          notify_peer t q;
+                          true
+                        end
+                        else begin
+                          Payload_pool.unalloc pool slot;
+                          false
+                        end)
+            in
+            if app_desc_sent then true
             else begin
-              q.q_steered <- q.q_steered + 1;
-              t.s.steered_packets <- t.s.steered_packets + 1;
-              send_via_channel t q raw;
-              true
+              let msg =
+                Proto.App_payload
+                  {
+                    src_ip = Stack.ip_addr t.stack;
+                    src_port;
+                    dst_port;
+                    payload;
+                  }
+              in
+              let frame =
+                Netcore.Packet.xenloop_ctrl ~src_mac:(Stack.mac_addr t.stack)
+                  ~dst_mac:entry.Proto.entry_mac (Proto.encode msg)
+              in
+              let raw = Netcore.Codec.serialize frame in
+              if Bytes.length raw > Fifo.max_packet q.out_fifo then begin
+                t.s.too_big_fallback <- t.s.too_big_fallback + 1;
+                false
+              end
+              else begin
+                q.q_steered <- q.q_steered + 1;
+                t.s.steered_packets <- t.s.steered_packets + 1;
+                send_via_channel t q raw;
+                true
+              end
             end
         | Some (Active _) | Some (Bootstrapping _) | Some (Failed_until _) ->
             false
@@ -1626,6 +2035,8 @@ let set_pool_fault_injector t f =
      created later inherit it at construction. *)
   iter_tx_pools t (fun pool -> Payload_pool.set_alloc_fault pool f)
 
+let set_loan_fault_injector t f = t.loan_fault <- f
+
 let invariant_violations t =
   let p = params t in
   let violations = ref [] in
@@ -1646,6 +2057,15 @@ let invariant_violations t =
         (match Option.map Payload_pool.sanity q.q_rx_pool with
         | Some (Some msg) -> note "%s pool: %s" (where "rx") msg
         | Some None | None -> ());
+        (match q.q_rx_pool with
+        | Some pool ->
+            (* The negotiated credit is a hard cap: the receive path must
+               degrade to copy-out rather than borrow past it. *)
+            let out = Payload_pool.outstanding_loans pool in
+            if out > q.q_max_loans then
+              note "%s loans over credit: %d > %d" (where "rx") out
+                q.q_max_loans
+        | None -> ());
         if Queue.length q.waiting > p.Params.xenloop_waiting_list_max then
           note "%s waiting list over bound: %d > %d" (where "tx")
             (Queue.length q.waiting) p.Params.xenloop_waiting_list_max)
@@ -1661,7 +2081,7 @@ let invariant_violations t =
   List.rev !violations
 
 let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queues
-    ?zerocopy ?trace () =
+    ?zerocopy ?loans ?trace () =
   let p = Stack.params stack in
   let mq =
     match max_queues with
@@ -1671,6 +2091,10 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
   let zc =
     match zerocopy with Some z -> z | None -> p.Params.xenloop_zerocopy
   in
+  (* Loans ride on the descriptor channel: no zero-copy, no loans. *)
+  let ln =
+    (match loans with Some l -> l | None -> p.Params.xenloop_loans) && zc
+  in
   let t =
     {
       domain;
@@ -1679,6 +2103,7 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
       k = fifo_k;
       max_queues = mq;
       zerocopy = zc;
+      loans = ln;
       mapping = Mapping_table.create ();
       peers = Hashtbl.create 8;
       flow_cache = Hashtbl.create 64;
@@ -1686,6 +2111,7 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
       hook = None;
       saved_frames = [];
       app_handler = None;
+      app_view_handler = None;
       trace;
       s =
         {
@@ -1708,6 +2134,11 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
           desc_tx = 0;
           inline_tx = 0;
           pool_fallbacks = 0;
+          loan_tx = 0;
+          loan_rx = 0;
+          loan_returns = 0;
+          loan_credit_stalls = 0;
+          loans_force_returned = 0;
           bootstrap_failures = 0;
           softstate_evictions = 0;
         };
@@ -1718,6 +2149,7 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
       ctrl_fault = None;
       push_fault = None;
       pool_fault = None;
+      loan_fault = None;
     }
   in
   t.hook <-

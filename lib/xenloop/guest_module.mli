@@ -72,6 +72,21 @@ type stats = {
   mutable pool_fallbacks : int;
       (** descriptor-eligible frames degraded to the inline path because
           the payload pool had no free slot *)
+  mutable loan_tx : int;
+      (** descriptors pushed onto loan-negotiated queues — loan-eligible at
+          the receiver ({!Hypervisor.Params.xenloop_loans}, DESIGN.md §11) *)
+  mutable loan_rx : int;
+      (** received descriptors delivered as borrowed pool-slot views (the
+          slot stays out of the free ring until the consumer releases it) *)
+  mutable loan_returns : int;
+      (** borrowed slots handed back by the consumer (including those that
+          degenerated into a copy, e.g. out-of-order TCP holds) *)
+  mutable loan_credit_stalls : int;
+      (** received descriptors degraded to copy-out because the negotiated
+          loan credit was exhausted (a slow consumer pinning the pool) *)
+  mutable loans_force_returned : int;
+      (** borrowed slots reclaimed at channel teardown (migration, peer
+          loss, unload) before the pool pages were unmapped *)
   mutable bootstrap_failures : int;
       (** peers marked failed after a bootstrap handshake exhausted its
           retries (listener Create retries or connector ack wait); the
@@ -90,6 +105,7 @@ val create :
   ?fifo_k:int ->
   ?max_queues:int ->
   ?zerocopy:bool ->
+  ?loans:bool ->
   ?trace:Sim.Trace.t ->
   unit ->
   t
@@ -104,9 +120,13 @@ val create :
     advertises the zero-copy descriptor channel (default
     {!Hypervisor.Params.xenloop_zerocopy}); pools are set up only when
     both endpoints advertise it, and a channel without them is bit-for-bit
-    the inline two-copy path.  [trace] receives
-    bootstrap/channel/teardown/migration events when its categories are
-    enabled. *)
+    the inline two-copy path.  [loans] is whether this guest advertises
+    loaned-slot receive on top of zero-copy (default
+    {!Hypervisor.Params.xenloop_loans}, forced off without [zerocopy]);
+    the per-queue loan credit is negotiated through the pool control page
+    and a credit of zero reproduces the copy-out receive path exactly.
+    [trace] receives bootstrap/channel/teardown/migration events when its
+    categories are enabled. *)
 
 val unload : t -> unit
 (** Remove the module: tears down all channels (flushing waiting packets
@@ -147,6 +167,10 @@ type queue_stat = {
   qs_desc_tx : int;
   qs_inline_tx : int;
   qs_pool_fallbacks : int;
+  qs_loan_tx : int;
+  qs_loan_rx : int;
+  qs_loan_returns : int;
+  qs_loan_credit_stalls : int;
 }
 
 val queue_stats : t -> domid:int -> queue_stat array
@@ -157,6 +181,16 @@ val zerocopy_active : t -> domid:int -> bool
 (** Whether the active channel to this peer negotiated payload pools
     (i.e. both endpoints advertised zero-copy); [false] when the channel
     fell back to the inline path or does not exist. *)
+
+val loans_active : t -> domid:int -> bool
+(** Whether the active channel to this peer negotiated a non-zero loan
+    credit on any queue (both endpoints advertised loans on a pooled
+    channel); [false] otherwise. *)
+
+val outstanding_loans : t -> int
+(** Pool slots currently borrowed by this guest's socket layer across all
+    live channels.  Must be zero at quiescence (every loaned view released
+    or force-returned) — the chaos harness's loan-conservation check. *)
 
 (** {1 Transport-level shortcut}
 
@@ -178,6 +212,24 @@ val set_app_payload_handler :
   t ->
   (src_ip:Netcore.Ip.t -> src_port:int -> dst_port:int -> Bytes.t -> unit) ->
   unit
+
+val set_app_view_handler :
+  t ->
+  (src_ip:Netcore.Ip.t ->
+  src_port:int ->
+  dst_port:int ->
+  Bytes.t ->
+  release:(copied:bool -> unit) ->
+  unit) ->
+  unit
+(** Loaned-slot delivery of transport-shortcut datagrams (DESIGN.md §11):
+    on a loan-negotiated queue with available credit the handler receives a
+    borrowed view of the pool slot and must call [release] exactly once
+    when done — [~copied:false] for a pure zero-copy consume/drop,
+    [~copied:true] if the datagram had to be duplicated into private
+    memory first.  [release] is idempotent (extra calls no-op).  Without
+    this handler — or without credit — delivery transparently degrades to
+    the copy-out {!set_app_payload_handler} path. *)
 
 (** {1 Fault injection and invariant checking}
 
@@ -205,6 +257,21 @@ val set_pool_fault_injector : t -> (unit -> bool) option -> unit
 (** [true] makes a payload-pool slot allocation fail, forcing the inline
     fallback ([pool_fallbacks]).  Applies to all current and future
     transmit pools of this module. *)
+
+type loan_fault =
+  | Loan_pass
+  | Loan_leak
+      (** the consumer never releases this borrowed slot — it stays pinned
+          until channel teardown force-returns it *)
+  | Loan_delay of Sim.Time.span
+      (** the release is deferred by the given span (a slow consumer
+          holding credit) *)
+
+val set_loan_fault_injector : t -> (unit -> loan_fault) option -> unit
+(** Consulted once per loaned delivery, at borrow time.  The loan-credit
+    cap and slot conservation must hold under any answer sequence, and
+    every leaked slot must be reclaimed by teardown
+    ([loans_force_returned]). *)
 
 val kill : t -> unit
 (** Model the guest dying abruptly (chaos Peer_crash): the module stops

@@ -10,6 +10,7 @@ let off_slot_pages = 8
 let off_inline_max = 12
 let off_fr_head = 16
 let off_fr_tail = 20
+let off_max_loans = 24
 let off_ring = 32
 let off_grefs ~slots = off_ring + (4 * slots)
 
@@ -32,6 +33,16 @@ type t = {
   (* Chaos-harness hook: lives in this *view*, not the shared page, so only
      the endpoint that registered it sees forced exhaustion. *)
   mutable alloc_fault : (unit -> bool) option;
+  (* Loan bookkeeping is view-local: only the receiving endpoint loans
+     slots out to its socket layer, and only it needs to know which.  The
+     shared page never records loans — a loaned slot is simply "in flight"
+     from the free ring's point of view, exactly like one being read. *)
+  pl_loaned : bool array;
+  mutable pl_outstanding : int;
+  (* Set by [force_return_loans] at channel teardown: any release arriving
+     after the slots were force-returned must be a silent no-op, not a
+     double-free onto a ring someone else now owns. *)
+  mutable pl_dead : bool;
 }
 
 let check_geometry ~what ~slots ~slot_pages =
@@ -44,7 +55,19 @@ let check_geometry ~what ~slots ~slot_pages =
       (Printf.sprintf "Payload_pool.%s: free ring + gref table overflow the control page"
          what)
 
-let init ~ctrl ~data ~slots ~slot_pages ~inline_max =
+let make_view ~ctrl ~data ~slots ~slot_pages =
+  {
+    ctrl;
+    data;
+    p_slots = slots;
+    p_slot_pages = slot_pages;
+    alloc_fault = None;
+    pl_loaned = Array.make slots false;
+    pl_outstanding = 0;
+    pl_dead = false;
+  }
+
+let init ?(max_loans = 0) ~ctrl ~data ~slots ~slot_pages ~inline_max () =
   check_geometry ~what:"init" ~slots ~slot_pages;
   if Array.length data <> slots * slot_pages then
     invalid_arg "Payload_pool.init: wrong number of data pages";
@@ -53,13 +76,14 @@ let init ~ctrl ~data ~slots ~slot_pages ~inline_max =
   Page.set_u32 ctrl off_slots slots;
   Page.set_u32 ctrl off_slot_pages slot_pages;
   Page.set_u32 ctrl off_inline_max inline_max;
+  Page.set_u32 ctrl off_max_loans (max 0 max_loans);
   (* Free ring starts full: every slot is available to the sender. *)
   for i = 0 to slots - 1 do
     Page.set_u32 ctrl (off_ring + (4 * i)) i
   done;
   Page.set_u32 ctrl off_fr_head 0;
   Page.set_u32 ctrl off_fr_tail slots;
-  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages; alloc_fault = None }
+  make_view ~ctrl ~data ~slots ~slot_pages
 
 let write_grefs t grefs =
   if Array.length grefs <> t.p_slots * t.p_slot_pages then
@@ -83,11 +107,12 @@ let attach ~ctrl ~data =
   check_geometry ~what:"attach" ~slots ~slot_pages;
   if Array.length data <> slots * slot_pages then
     invalid_arg "Payload_pool.attach: wrong number of data pages";
-  { ctrl; data; p_slots = slots; p_slot_pages = slot_pages; alloc_fault = None }
+  make_view ~ctrl ~data ~slots ~slot_pages
 
 let slots t = t.p_slots
 let slot_bytes t = t.p_slot_pages * Page.size
 let inline_threshold t = Page.get_u32 t.ctrl off_inline_max
+let max_loans_stamp t = Page.get_u32 t.ctrl off_max_loans
 
 let fr_head t = Page.get_u32 t.ctrl off_fr_head
 let fr_tail t = Page.get_u32 t.ctrl off_fr_tail
@@ -131,6 +156,46 @@ let free t slot =
   Page.set_u32 t.ctrl (off_ring + (4 * (tl land (t.p_slots - 1)))) slot;
   Page.set_u32 t.ctrl off_fr_tail (tl + 1)
 
+(* Loaned-slot receive: instead of copying out and freeing immediately, the
+   receiver marks the slot loaned and defers [free] until the application
+   releases its view.  All state is in this view (see the type above). *)
+
+let outstanding_loans t = t.pl_outstanding
+
+let loan t slot =
+  if slot < 0 || slot >= t.p_slots then invalid_arg "Payload_pool.loan: bad slot";
+  if t.pl_loaned.(slot) then
+    invalid_arg (Printf.sprintf "Payload_pool.loan: slot %d already loaned" slot);
+  t.pl_loaned.(slot) <- true;
+  t.pl_outstanding <- t.pl_outstanding + 1
+
+let release t slot =
+  if slot < 0 || slot >= t.p_slots then invalid_arg "Payload_pool.release: bad slot";
+  if t.pl_loaned.(slot) then begin
+    t.pl_loaned.(slot) <- false;
+    t.pl_outstanding <- t.pl_outstanding - 1;
+    if not t.pl_dead then free t slot
+  end
+  else if not t.pl_dead then
+    invalid_arg (Printf.sprintf "Payload_pool.release: slot %d not loaned" slot)
+
+let force_return_loans t =
+  (* Channel teardown with loans still out (e.g. migration mid-stream): the
+     pool pages are about to be unmapped, so every borrowed slot goes back
+     on the free ring now and any release the application fires later is a
+     no-op against this dead view. *)
+  let returned = ref 0 in
+  for slot = 0 to t.p_slots - 1 do
+    if t.pl_loaned.(slot) then begin
+      t.pl_loaned.(slot) <- false;
+      t.pl_outstanding <- t.pl_outstanding - 1;
+      free t slot;
+      incr returned
+    end
+  done;
+  t.pl_dead <- true;
+  !returned
+
 (* Byte access spanning a slot's pages. *)
 
 let check_span t ~what ~slot ~off ~len =
@@ -171,6 +236,24 @@ let read t ~slot ~off ~len =
   go off 0 len;
   dst
 
+(* Zero-alloc variant for the busy-poll receive loop: same walk as [read]
+   but into a caller-owned scratch buffer. *)
+let read_into t ~slot ~off ~len ~dst ~dst_off =
+  check_span t ~what:"read_into" ~slot ~off ~len;
+  if dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Payload_pool.read_into: out of dst bounds";
+  let base = slot * t.p_slot_pages in
+  let at = ref off and d = ref dst_off and left = ref len in
+  while !left > 0 do
+    let page = t.data.(base + (!at / Page.size)) in
+    let page_off = !at mod Page.size in
+    let chunk = min !left (Page.size - page_off) in
+    Page.read page ~off:page_off ~dst ~dst_off:!d ~len:chunk;
+    at := !at + chunk;
+    d := !d + chunk;
+    left := !left - chunk
+  done
+
 let sanity t =
   (* Slot conservation over the shared free ring: the live window
      [fr_head, fr_tail) must never exceed the pool size, and every slot
@@ -196,6 +279,8 @@ let sanity t =
           Some (Printf.sprintf "free ring holds bad slot %d" slot)
         else if seen.(slot) then
           Some (Printf.sprintf "slot %d on the free ring twice" slot)
+        else if (not t.pl_dead) && t.pl_loaned.(slot) then
+          Some (Printf.sprintf "slot %d on the free ring while loaned out" slot)
         else begin
           seen.(slot) <- true;
           go (i + 1)

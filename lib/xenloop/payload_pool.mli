@@ -29,14 +29,19 @@ val geometry_valid : slots:int -> slot_pages:int -> bool
     invalid configured geometry creates the channel without pools. *)
 
 val init :
+  ?max_loans:int ->
   ctrl:Memory.Page.t ->
   data:Memory.Page.t array ->
   slots:int ->
   slot_pages:int ->
   inline_max:int ->
+  unit ->
   t
 (** Format the control page (listener side).  [slots] must be a power of
     two and the free ring plus gref table must fit the control page.
+    [max_loans] (default 0 = loans off) is the listener's loan-credit
+    stamp: the most slots either receiver may hold borrowed at once (each
+    side uses [min own stamp]).
     @raise Invalid_argument otherwise. *)
 
 val write_grefs : t -> Memory.Grant_table.gref array -> unit
@@ -59,6 +64,10 @@ val inline_threshold : t -> int
 (** The listener's [xenloop_inline_max] stamp; each sender uses
     [max own peer_stamp] so both ends stay conservative. *)
 
+val max_loans_stamp : t -> int
+(** The listener's loan-credit stamp; [0] means loaned-slot receive is off
+    for this channel and the receiver always copies out. *)
+
 val free_slots : t -> int
 
 val alloc : t -> int option
@@ -77,6 +86,28 @@ val unalloc : t -> int -> unit
 val free : t -> int -> unit
 (** Receiver: return a consumed slot on the shared free ring. *)
 
+val loan : t -> int -> unit
+(** Receiver: mark a popped descriptor's slot as borrowed by the
+    application instead of freeing it — the slot stays off the free ring
+    until {!release}.  Loan state is view-local (the shared page never
+    records it).
+    @raise Invalid_argument on a double loan. *)
+
+val release : t -> int -> unit
+(** Application handed the view back: clear the loan and return the slot
+    on the free ring.  After {!force_return_loans} the view is dead and
+    any late release is a silent no-op.
+    @raise Invalid_argument if the slot was never loaned (on a live view). *)
+
+val outstanding_loans : t -> int
+(** Slots currently borrowed through this view — the receiver's loan
+    credit check, and the chaos harness's quiescence check. *)
+
+val force_return_loans : t -> int
+(** Channel teardown: return every borrowed slot to the free ring now
+    (the pool pages are about to be unmapped) and mark the view dead so
+    late releases no-op.  Returns how many loans were force-returned. *)
+
 val write : t -> slot:int -> src:Bytes.t -> len:int -> unit
 (** The sender's single payload copy, into the slot's pages. *)
 
@@ -84,10 +115,16 @@ val read : t -> slot:int -> off:int -> len:int -> Bytes.t
 (** The receiver's in-place view of a slot (materialized as bytes for the
     simulated stack; no copy is charged for it). *)
 
+val read_into :
+  t -> slot:int -> off:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+(** {!read} into a caller-owned scratch buffer — the busy-poll receive
+    loop's zero-allocation path. *)
+
 val sanity : t -> string option
 (** Chaos-harness invariant: slot conservation over the shared free ring —
     magic/geometry intact, [free_slots <= slots], and every slot number in
-    the live ring window valid and distinct (free + in-flight = total).
+    the live ring window valid, distinct, and not currently loaned out
+    through this view (free + in-flight + loaned = total).
     Returns a description of the first violated property. *)
 
 val set_alloc_fault : t -> (unit -> bool) option -> unit

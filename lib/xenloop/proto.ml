@@ -4,6 +4,7 @@ type entry = {
   entry_ip : Netcore.Ip.t;
   entry_queues : int;
   entry_zc : bool;
+  entry_loans : bool;
 }
 
 type queue_grant = {
@@ -16,7 +17,12 @@ type queue_grant = {
 
 type t =
   | Announce of entry list
-  | Request_channel of { requester_domid : int; max_queues : int; zerocopy : bool }
+  | Request_channel of {
+      requester_domid : int;
+      max_queues : int;
+      zerocopy : bool;
+      loans : bool;
+    }
   | Create_channel of { listener_domid : int; queues : queue_grant list }
   | Channel_ack of { connector_domid : int }
   | App_payload of {
@@ -29,20 +35,28 @@ type t =
 (* Version gating: tags 1-5 are the original single-queue wire format, kept
    bit-for-bit so a queues=1 peer (or an old binary) interoperates
    unchanged.  The multi-queue variants (6-8) are only emitted when a
-   queue count above 1 actually needs expressing, and the zero-copy
+   queue count above 1 actually needs expressing, the zero-copy
    variants (9-11) only when a zero-copy capability or pool grant
-   actually needs expressing; a negotiated-down handshake therefore
-   reproduces the earlier byte streams exactly. *)
+   actually needs expressing, and the loan variants (12-13) only when a
+   loaned-slot-receive capability actually needs expressing; a
+   negotiated-down handshake therefore reproduces the earlier byte
+   streams exactly.  Create_channel needs no loan variant: the loan
+   credit rides as a stamp in the payload-pool control page, invisible
+   to the wire format. *)
 
 let has_pool q = q.qg_lc_pool <> None || q.qg_cl_pool <> None
 
 let tag = function
   | Announce entries ->
-      if List.exists (fun e -> e.entry_zc) entries then 9
+      if List.exists (fun e -> e.entry_loans) entries then 12
+      else if List.exists (fun e -> e.entry_zc) entries then 9
       else if List.for_all (fun e -> e.entry_queues <= 1) entries then 1
       else 6
-  | Request_channel { max_queues; zerocopy; _ } ->
-      if zerocopy then 10 else if max_queues <= 1 then 2 else 7
+  | Request_channel { max_queues; zerocopy; loans; _ } ->
+      if loans then 13
+      else if zerocopy then 10
+      else if max_queues <= 1 then 2
+      else 7
   | Create_channel { queues; _ } ->
       if List.exists has_pool queues then 11
       else ( match queues with [ _ ] -> 3 | _ -> 8)
@@ -80,13 +94,16 @@ let encode msg =
           w16 buf e.entry_domid;
           wmac buf e.entry_mac;
           wip buf e.entry_ip;
-          if t = 6 || t = 9 then w16 buf e.entry_queues;
-          if t = 9 then Buffer.add_char buf (Char.chr (Bool.to_int e.entry_zc)))
+          if t = 6 || t = 9 || t = 12 then w16 buf e.entry_queues;
+          if t = 9 || t = 12 then
+            Buffer.add_char buf (Char.chr (Bool.to_int e.entry_zc));
+          if t = 12 then Buffer.add_char buf (Char.chr (Bool.to_int e.entry_loans)))
         entries
-  | Request_channel { requester_domid; max_queues; zerocopy } ->
+  | Request_channel { requester_domid; max_queues; zerocopy; loans } ->
       w16 buf requester_domid;
-      if t = 7 || t = 10 then w16 buf max_queues;
-      if t = 10 then Buffer.add_char buf (Char.chr (Bool.to_int zerocopy))
+      if t = 7 || t = 10 || t = 13 then w16 buf max_queues;
+      if t = 10 || t = 13 then Buffer.add_char buf (Char.chr (Bool.to_int zerocopy));
+      if t = 13 then Buffer.add_char buf (Char.chr (Bool.to_int loans))
   | Create_channel { listener_domid; queues } ->
       w16 buf listener_domid;
       if t = 8 || t = 11 then w16 buf (List.length queues);
@@ -142,13 +159,14 @@ let decode data =
     done;
     Netcore.Mac.of_int64 !v
   in
-  let rentry ~queues ~zc () =
+  let rentry ~queues ~zc ~loans () =
     let entry_domid = r16 () in
     let entry_mac = rmac () in
     let entry_ip = rip () in
     let entry_queues = if queues then max 1 (r16 ()) else 1 in
     let entry_zc = if zc then r8 () <> 0 else false in
-    { entry_domid; entry_mac; entry_ip; entry_queues; entry_zc }
+    let entry_loans = if loans then r8 () <> 0 else false in
+    { entry_domid; entry_mac; entry_ip; entry_queues; entry_zc; entry_loans }
   in
   let rqueue ~pools () =
     let qg_lc_gref = r32 () in
@@ -167,26 +185,50 @@ let decode data =
     match r8 () with
     | 1 ->
         let n = r16 () in
-        Ok (Announce (List.init n (fun _ -> rentry ~queues:false ~zc:false ())))
+        Ok
+          (Announce
+             (List.init n (fun _ -> rentry ~queues:false ~zc:false ~loans:false ())))
     | 6 ->
         let n = r16 () in
-        Ok (Announce (List.init n (fun _ -> rentry ~queues:true ~zc:false ())))
+        Ok
+          (Announce
+             (List.init n (fun _ -> rentry ~queues:true ~zc:false ~loans:false ())))
     | 9 ->
         let n = r16 () in
-        Ok (Announce (List.init n (fun _ -> rentry ~queues:true ~zc:true ())))
+        Ok
+          (Announce
+             (List.init n (fun _ -> rentry ~queues:true ~zc:true ~loans:false ())))
+    | 12 ->
+        let n = r16 () in
+        Ok
+          (Announce
+             (List.init n (fun _ -> rentry ~queues:true ~zc:true ~loans:true ())))
     | 2 ->
         Ok
           (Request_channel
-             { requester_domid = r16 (); max_queues = 1; zerocopy = false })
+             {
+               requester_domid = r16 ();
+               max_queues = 1;
+               zerocopy = false;
+               loans = false;
+             })
     | 7 ->
         let requester_domid = r16 () in
         let max_queues = max 1 (r16 ()) in
-        Ok (Request_channel { requester_domid; max_queues; zerocopy = false })
+        Ok
+          (Request_channel
+             { requester_domid; max_queues; zerocopy = false; loans = false })
     | 10 ->
         let requester_domid = r16 () in
         let max_queues = max 1 (r16 ()) in
         let zerocopy = r8 () <> 0 in
-        Ok (Request_channel { requester_domid; max_queues; zerocopy })
+        Ok (Request_channel { requester_domid; max_queues; zerocopy; loans = false })
+    | 13 ->
+        let requester_domid = r16 () in
+        let max_queues = max 1 (r16 ()) in
+        let zerocopy = r8 () <> 0 in
+        let loans = r8 () <> 0 in
+        Ok (Request_channel { requester_domid; max_queues; zerocopy; loans })
     | 3 ->
         let listener_domid = r16 () in
         Ok (Create_channel { listener_domid; queues = [ rqueue ~pools:false () ] })
@@ -224,14 +266,17 @@ let pp fmt = function
         (String.concat "; "
            (List.map
               (fun e ->
-                Printf.sprintf "dom%d=%s q%d%s" e.entry_domid
+                Printf.sprintf "dom%d=%s q%d%s%s" e.entry_domid
                   (Netcore.Mac.to_string e.entry_mac)
                   e.entry_queues
-                  (if e.entry_zc then " zc" else ""))
+                  (if e.entry_zc then " zc" else "")
+                  (if e.entry_loans then " ln" else ""))
               entries))
-  | Request_channel { requester_domid; max_queues; zerocopy } ->
-      Format.fprintf fmt "request_channel(dom%d maxq=%d%s)" requester_domid max_queues
+  | Request_channel { requester_domid; max_queues; zerocopy; loans } ->
+      Format.fprintf fmt "request_channel(dom%d maxq=%d%s%s)" requester_domid
+        max_queues
         (if zerocopy then " zc" else "")
+        (if loans then " ln" else "")
   | Create_channel { listener_domid; queues } ->
       Format.fprintf fmt "create_channel(dom%d %s)" listener_domid
         (String.concat ","

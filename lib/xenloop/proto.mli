@@ -21,7 +21,14 @@
     tags emitted only when the capability is actually being expressed, so
     a [xenloop_zerocopy=off] guest — or an old binary — keeps producing
     and consuming the earlier byte streams unchanged and the channel
-    falls back to the inline copy path. *)
+    falls back to the inline copy path.
+
+    {b Loan negotiation} (DESIGN.md §11) adds one more rung: the
+    loaned-slot-receive capability bit rides tags emitted only when a
+    guest actually advertises it ([xenloop_loans] and zero-copy both on),
+    so every earlier configuration keeps its exact byte streams.
+    [Create_channel] needs no loan variant — the negotiated loan credit is
+    stamped into the payload-pool control page, not the wire format. *)
 
 type entry = {
   entry_domid : int;
@@ -33,6 +40,9 @@ type entry = {
   entry_zc : bool;
       (** the guest advertises the zero-copy descriptor channel (false
           when decoded from any pre-zero-copy format) *)
+  entry_loans : bool;
+      (** the guest advertises loaned-slot receive on top of zero-copy
+          (false when decoded from any pre-loan format) *)
 }
 
 type queue_grant = {
@@ -52,10 +62,16 @@ type t =
   | Announce of entry list
       (** Dom0's collated [guest-ID, MAC, queues, zc] list of willing
           guests. *)
-  | Request_channel of { requester_domid : int; max_queues : int; zerocopy : bool }
+  | Request_channel of {
+      requester_domid : int;
+      max_queues : int;
+      zerocopy : bool;
+      loans : bool;
+    }
       (** Sent by the higher-ID guest to ask the lower-ID guest (the
           listener) to create the channel resources; carries the
-          requester's advertised queue count and zero-copy capability. *)
+          requester's advertised queue count and zero-copy/loan
+          capabilities. *)
   | Create_channel of { listener_domid : int; queues : queue_grant list }
       (** One grant/port triple per negotiated queue (never empty). *)
   | Channel_ack of { connector_domid : int }

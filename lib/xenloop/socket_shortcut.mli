@@ -30,5 +30,12 @@ val disable : t -> unit
 val is_enabled : t -> bool
 
 val sent_via_shortcut : t -> int
+
 val received_via_shortcut : t -> int
+(** All shortcut deliveries, loaned views included. *)
+
+val received_as_view : t -> int
+(** The subset of {!received_via_shortcut} delivered as borrowed pool-slot
+    views (loaned-slot receive, DESIGN.md §11) rather than copied out. *)
+
 val fallbacks : t -> int

@@ -70,6 +70,48 @@ let test_fifo_roundtrip_zero_alloc () =
   in
   check_words "fifo push_entry+pop_into" ~bound:0.0 per
 
+let test_busy_poll_receive_zero_alloc () =
+  (* The busy-poll receive cycle (DESIGN.md §11): producer writes a slot
+     and publishes a descriptor; the spinning consumer pops it with
+     [pop_into], borrows the slot, reads it into a reusable scratch
+     buffer, and releases the borrow.  Run-to-completion, and — like the
+     FIFO path it extends — it must allocate EXACTLY nothing. *)
+  let module Page = Memory.Page in
+  let module Fifo = Xenloop.Fifo in
+  let module Pool = Xenloop.Payload_pool in
+  let k = 8 in
+  let desc = Page.create () in
+  let data = Array.init (Fifo.data_pages_for ~k) (fun _ -> Page.create ()) in
+  Fifo.init ~desc ~data ~k;
+  let tx = Fifo.attach ~desc ~data in
+  let rx = Fifo.attach ~desc ~data in
+  let slots = 8 in
+  let pctrl = Page.create () in
+  let pdata = Array.init slots (fun _ -> Page.create ()) in
+  let pool =
+    Pool.init ~max_loans:slots ~ctrl:pctrl ~data:pdata ~slots ~slot_pages:1
+      ~inline_max:64 ()
+  in
+  let len = 1_400 in
+  let payload = Bytes.make len 'x' in
+  let scratch = Bytes.create (Fifo.max_packet rx) in
+  let cycle () =
+    let slot = Pool.alloc_slot pool in
+    Pool.write pool ~slot ~src:payload ~len;
+    ignore (Fifo.try_push_desc tx ~slot ~offset:0 ~len ~proto_hint:17 ());
+    let code = Fifo.pop_into rx scratch in
+    if code <> Fifo.popped_desc then Alcotest.fail "expected a descriptor";
+    let s = Fifo.desc_slot rx in
+    Pool.loan pool s;
+    Pool.read_into pool ~slot:s ~off:0 ~len:(Fifo.desc_len rx) ~dst:scratch
+      ~dst_off:0;
+    Pool.release pool s
+  in
+  (* Warm one cycle so first-touch effects are outside the window. *)
+  cycle ();
+  let per = minor_per_iter ~iters:50_000 cycle in
+  check_words "busy-poll pop_into+loan+read_into+release" ~bound:0.0 per
+
 let test_engine_sleep_wake_slack () =
   let e = Sim.Engine.create () in
   Sim.Engine.spawn e (fun () ->
@@ -105,6 +147,8 @@ let suites =
         Alcotest.test_case "wheel cycle allocates nothing" `Quick test_wheel_cycle_zero_alloc;
         Alcotest.test_case "fifo roundtrip allocates nothing" `Quick
           test_fifo_roundtrip_zero_alloc;
+        Alcotest.test_case "busy-poll receive cycle allocates nothing" `Quick
+          test_busy_poll_receive_zero_alloc;
         Alcotest.test_case "engine sleep/wake within effect slack" `Quick
           test_engine_sleep_wake_slack;
         Alcotest.test_case "engine timer fire within fiber slack" `Quick

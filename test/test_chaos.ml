@@ -67,21 +67,25 @@ let test_soak_subset_clean () =
         Soak.c_name = "xenloop-duo/baseline";
         c_scenario = Harness.Xenloop_duo;
         c_faults = [];
+        c_loans = false;
       };
       {
         Soak.c_name = "xenloop-duo/storm";
         c_scenario = Harness.Xenloop_duo;
         c_faults = storm Harness.Xenloop_duo;
+        c_loans = false;
       };
       {
         Soak.c_name = "cluster3/peer-crash";
         c_scenario = Harness.Cluster3;
         c_faults = [ Fault.default_spec Fault.Peer_crash ];
+        c_loans = false;
       };
       {
         Soak.c_name = "migration-world/migrate-midstream";
         c_scenario = Harness.Migration_world;
         c_faults = [ Fault.default_spec Fault.Migrate_midstream ];
+        c_loans = false;
       };
     ]
   in
@@ -92,6 +96,47 @@ let test_soak_subset_clean () =
   Alcotest.(check int) "violation runs" 0 s.Soak.s_violation_runs;
   Alcotest.(check int) "all delivered" s.Soak.s_sent s.Soak.s_delivered;
   Alcotest.(check bool) "faults actually fired" true (s.Soak.s_total_injected > 0);
+  Alcotest.(check bool) "summary ok" true (Soak.ok s)
+
+(* ------------------------------------------------------------------ *)
+(* Loans-on chaos: leaked and slow-released borrows must not break
+   exactly-once delivery, and a mid-window teardown must force-return
+   every outstanding loan (zero outstanding at quiescence). *)
+
+let test_loans_chaos_clean () =
+  let faults =
+    [
+      Fault.default_spec Fault.Loan_leak;
+      Fault.default_spec Fault.Slow_consumer;
+      Fault.default_spec Fault.Suspend_resume;
+    ]
+  in
+  let config =
+    Harness.default_config ~seed:7 ~faults ~loans:true Harness.Xenloop_duo
+  in
+  let v, _ = Harness.run config in
+  if not (Harness.ok v) then
+    Alcotest.failf "loans-on chaos run violated: %s"
+      (String.concat "; " v.Harness.v_violations);
+  Alcotest.(check bool) "loan faults fired" true
+    (List.mem_assoc "loan-leak" v.Harness.v_faults
+    || List.mem_assoc "slow-consumer" v.Harness.v_faults);
+  (* Determinism holds for loans-on runs too. *)
+  let v2, _ = Harness.run config in
+  Alcotest.(check string) "digest stable" v.Harness.v_log_digest
+    v2.Harness.v_log_digest
+
+let test_loans_soak_subset_clean () =
+  let cases =
+    List.filter
+      (fun c -> c.Soak.c_scenario = Harness.Xenloop_duo)
+      (Soak.loan_cases ())
+  in
+  Alcotest.(check bool) "duo loan cases exist" true (List.length cases >= 4);
+  let s = Soak.run ~cases ~seed:42 ~iters:1 () in
+  Alcotest.(check int) "violation runs" 0 s.Soak.s_violation_runs;
+  Alcotest.(check int) "lost" 0 s.Soak.s_lost;
+  Alcotest.(check int) "duplicates" 0 s.Soak.s_duplicates;
   Alcotest.(check bool) "summary ok" true (Soak.ok s)
 
 (* ------------------------------------------------------------------ *)
@@ -259,6 +304,10 @@ let suites =
         Alcotest.test_case "different seed, different plan" `Quick
           test_different_seed_different_plan;
         Alcotest.test_case "soak subset is clean" `Quick test_soak_subset_clean;
+        Alcotest.test_case "loans-on chaos run is clean" `Quick
+          test_loans_chaos_clean;
+        Alcotest.test_case "loans-on soak subset is clean" `Quick
+          test_loans_soak_subset_clean;
         Alcotest.test_case "sabotage is detected" `Quick test_sabotage_detected;
       ] );
     ( "chaos.softstate",

@@ -22,7 +22,7 @@ let modules_of duo =
 let make_pool ?(slots = 4) ?(slot_pages = 1) ?(inline_max = 256) () =
   let ctrl = Page.create () in
   let data = Array.init (slots * slot_pages) (fun _ -> Page.create ()) in
-  (ctrl, data, Pool.init ~ctrl ~data ~slots ~slot_pages ~inline_max)
+  (ctrl, data, Pool.init ~ctrl ~data ~slots ~slot_pages ~inline_max ())
 
 let make_fifo ?(k = 6) () =
   let desc = Page.create () in
@@ -50,7 +50,7 @@ let test_pool_geometry () =
     (fun () ->
       let ctrl = Page.create () in
       let data = Array.init 3 (fun _ -> Page.create ()) in
-      ignore (Pool.init ~ctrl ~data ~slots:3 ~slot_pages:1 ~inline_max:256))
+      ignore (Pool.init ~ctrl ~data ~slots:3 ~slot_pages:1 ~inline_max:256 ()))
 
 let test_pool_alloc_free_cycle () =
   let _, _, p = make_pool ~slots:4 () in
@@ -115,11 +115,11 @@ let test_pool_shared_views () =
 let test_fifo_descriptor_roundtrip () =
   let f = make_fifo () in
   Alcotest.(check bool) "descriptor pushed" true
-    (Fifo.try_push_desc f ~slot:3 ~offset:16 ~len:9000 ~proto_hint:17);
+    (Fifo.try_push_desc f ~slot:3 ~offset:16 ~len:9000 ~proto_hint:17 ());
   Alcotest.(check bool) "inline alongside" true
     (Fifo.try_push f (Bytes.of_string "inline packet"));
   (match Fifo.pop_entry f with
-  | Some (Fifo.Desc { d_slot; d_off; d_len; d_proto }) ->
+  | Some (Fifo.Desc { d_slot; d_off; d_len; d_proto; d_flags = _ }) ->
       Alcotest.(check int) "slot" 3 d_slot;
       Alcotest.(check int) "offset" 16 d_off;
       Alcotest.(check int) "len" 9000 d_len;
@@ -137,7 +137,7 @@ let test_fifo_pop_refuses_descriptors () =
   (* The inline-only consumer (legacy pop) must never silently misread a
      descriptor as payload bytes. *)
   let f = make_fifo () in
-  ignore (Fifo.try_push_desc f ~slot:0 ~offset:0 ~len:400 ~proto_hint:0);
+  ignore (Fifo.try_push_desc f ~slot:0 ~offset:0 ~len:400 ~proto_hint:0 ());
   Alcotest.check_raises "legacy pop rejects"
     (Invalid_argument "Fifo.pop: descriptor entry on an inline-only consumer")
     (fun () -> ignore (Fifo.pop f))
@@ -164,7 +164,7 @@ let test_fifo_push_selects_path () =
   | Some (Fifo.Inline b) -> Alcotest.(check bytes) "inline bytes" small b
   | _ -> Alcotest.fail "expected inline");
   (match Fifo.pop_entry f with
-  | Some (Fifo.Desc { d_slot; d_len; d_off; d_proto }) ->
+  | Some (Fifo.Desc { d_slot; d_len; d_off; d_proto; d_flags = _ }) ->
       Alcotest.(check int) "descriptor length" 1000 d_len;
       Alcotest.(check int) "proto hint carried" 6 d_proto;
       Alcotest.(check bytes) "payload in place" big
