@@ -4,7 +4,7 @@
 # data path loses or duplicates a single application byte relative to the
 # baseline (see bench/main.ml).
 
-.PHONY: all build test bench-smoke bench perf engine-check datapath-check soak ci check-tracked-artifacts clean
+.PHONY: all build test bench-smoke bench perf engine-check datapath-check mesh-check soak ci check-tracked-artifacts clean
 
 all: build
 
@@ -45,6 +45,14 @@ engine-check: build
 datapath-check: build
 	dune exec bench/main.exe -- --datapath-check
 
+# Control-plane gate: re-measure the N=128 mesh point with delta
+# announcements on and fail if steady-state announce bytes/guest blow the
+# hard budget, if channel bring-up lost more than 25% against the
+# committed BENCH_results.json, or if the live channel population exceeds
+# the per-guest cap.
+mesh-check: build
+	dune exec bench/main.exe -- --mesh-check BENCH_results.json
+
 # Chaos soak: the full fault matrix (every scenario x every applicable
 # fault kind, alone and as a storm), deterministic per seed.  Set
 # SOAK_ITERS=n for a longer sweep over seeds 42..42+n-1; a red run prints
@@ -52,8 +60,8 @@ datapath-check: build
 soak: build
 	dune exec xenloopsim -- chaos
 
-ci: check-tracked-artifacts build test bench-smoke engine-check datapath-check soak
-	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + data-path copy gate + chaos soak all green"
+ci: check-tracked-artifacts build test bench-smoke engine-check datapath-check mesh-check soak
+	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + data-path copy gate + mesh control-plane gate + chaos soak all green"
 
 clean:
 	dune clean

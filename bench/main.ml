@@ -1419,6 +1419,211 @@ let datapath_check () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Mesh sweep: the cluster-scale control plane (DESIGN.md §12).
+
+   One point builds an N-guest mesh on compressed control-plane
+   timescales, establishes ring-neighbour traffic, then sits through a
+   churn-free steady-state window.  Reported per point: channel bring-up
+   rate, steady-state announcement bytes per guest — the O(churn) claim:
+   flat as N grows with delta announcements on, linear in N under the
+   legacy full-list rebroadcast ablation — and the live memory footprint
+   (channel pool bytes, grant-table entries) the per-guest channel cap
+   keeps bounded regardless of mesh size. *)
+
+module Mesh = Scenarios.Mesh
+
+type mesh_point = {
+  me_guests : int;
+  me_delta : bool;
+  me_hosts : int;
+  me_channels_per_sec : float;
+  me_established : int;
+  me_evicted : int;
+  me_live_channels : int;
+  me_pool_bytes : int;
+  me_grant_entries : int;
+  me_steady_bytes_per_guest : float;  (** over {!mesh_steady_window} *)
+  me_announces_sent : int;
+  me_suppressed : int;
+}
+
+let mesh_channel_cap = 8
+let mesh_ring_degree = 4
+
+(* The control-plane cadence must scale with per-host population: a scan
+   costs Dom0 real (simulated) CPU per guest — XenStore reads plus a
+   netback crossing per announcement — so a fixed compressed period
+   saturates Dom0 outright once per-guest scan work exceeds the period,
+   starving the very data path being measured.  One scan period per
+   per-host guest count (floor 10 ms) keeps Dom0 load roughly constant
+   across mesh sizes; the steady-state window is a fixed 20 scan periods
+   so announce bytes per guest stays comparable across N. *)
+let mesh_period ~guests ~hosts =
+  Sim.Time.ms (max 10 (guests / hosts))
+
+let mesh_steady_window ~guests ~hosts =
+  Sim.Time.span_scale 20 (mesh_period ~guests ~hosts)
+
+let run_mesh_point ~guests ~hosts ~delta () =
+  let period = mesh_period ~guests ~hosts in
+  let params =
+    {
+      Hypervisor.Params.default with
+      Hypervisor.Params.discovery_period = period;
+      xenloop_softstate_ttl = Sim.Time.span_scale 8 period;
+      xenloop_delta_announce = delta;
+      xenloop_channel_cap = mesh_channel_cap;
+    }
+  in
+  (* Smallest channel geometry: the sweep measures the control plane, not
+     the data path, and 512 guests at the default ~10 MB per channel
+     would measure the allocator instead. *)
+  let m =
+    Mesh.build ~params ~fifo_k:9 ~queues:1 ~zerocopy:false ~guests ~hosts ()
+  in
+  Experiment.run_process ~limit:(Sim.Time.sec 300) m.Mesh.engine (fun () ->
+      Mesh.warmup m;
+      let t0 = Sim.Engine.now m.Mesh.engine in
+      Mesh.establish_ring m ~degree:mesh_ring_degree;
+      Sim.Engine.sleep (Sim.Time.ms 20);
+      let secs =
+        Sim.Time.to_sec_f (Sim.Time.diff (Sim.Engine.now m.Mesh.engine) t0)
+      in
+      let established = Mesh.channels_established m in
+      (* Steady state: no churn, so every announced byte from here on is
+         protocol overhead — heartbeats under delta, the full list under
+         legacy. *)
+      let b0 = Mesh.announce_bytes m in
+      let a0 = Mesh.announcements_sent m in
+      let s0 = Mesh.announcements_suppressed m in
+      Sim.Engine.sleep (mesh_steady_window ~guests ~hosts);
+      {
+        me_guests = guests;
+        me_delta = delta;
+        me_hosts = hosts;
+        me_channels_per_sec =
+          (if secs > 0.0 then float_of_int established /. secs else 0.0);
+        me_established = established;
+        me_evicted = Mesh.channels_evicted m;
+        me_live_channels = Mesh.live_channels m;
+        me_pool_bytes = Mesh.channel_pool_bytes m;
+        me_grant_entries = Mesh.grant_entries m;
+        me_steady_bytes_per_guest =
+          float_of_int (Mesh.announce_bytes m - b0) /. float_of_int guests;
+        me_announces_sent = Mesh.announcements_sent m - a0;
+        me_suppressed = Mesh.announcements_suppressed m - s0;
+      })
+
+let mesh_sweep ~smoke =
+  (* Single host up to 128 guests — per-host population is what the
+     legacy rebroadcast is linear in — then 512 guests spread over 4
+     hosts for the cluster-scale point the cap is sized against. *)
+  let sizes =
+    if smoke then [ (8, 1); (32, 1) ]
+    else [ (8, 1); (32, 1); (128, 1); (512, 4) ]
+  in
+  List.concat_map
+    (fun (guests, hosts) ->
+      List.map (fun delta -> run_mesh_point ~guests ~hosts ~delta ()) [ true; false ])
+    sizes
+
+let json_of_mesh_point buf p =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"guests\": %d, \"delta\": %b, \"hosts\": %d, \"channels_per_sec\": \
+        %.1f, \"channels_established\": %d, \"channels_evicted\": %d, \
+        \"live_channels\": %d, \"channel_pool_bytes\": %d, \"grant_entries\": \
+        %d, \"steady_announce_bytes_per_guest\": %.1f, \"announcements_sent\": \
+        %d, \"announcements_suppressed\": %d}"
+       p.me_guests p.me_delta p.me_hosts p.me_channels_per_sec p.me_established
+       p.me_evicted p.me_live_channels p.me_pool_bytes p.me_grant_entries
+       p.me_steady_bytes_per_guest p.me_announces_sent p.me_suppressed)
+
+let mesh_point_report p =
+  Printf.printf
+    "mesh N=%-3d %s  %7.0f ch/s  live %4d  pool %8d B  grants %5d  \
+     announce %8.1f B/guest  suppressed %d\n"
+    p.me_guests
+    (if p.me_delta then "delta " else "legacy")
+    p.me_channels_per_sec p.me_live_channels p.me_pool_bytes p.me_grant_entries
+    p.me_steady_bytes_per_guest p.me_suppressed
+
+(* CI gate (make mesh-check): re-measure the 128-guest delta point and
+   hold it to (a) a hard ceiling on steady-state announce bytes per guest
+   — O(churn) means a churn-free window costs heartbeats only, orders of
+   magnitude under the legacy full-list rebroadcast — (b) no more than a
+   25% channel bring-up regression vs the recorded run, and (c) the
+   per-guest channel cap actually bounding the live population. *)
+
+let mesh_announce_budget = 1024.0 (* bytes/guest over mesh_steady_window *)
+
+let mesh_recorded_channels_per_sec path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match find_substring s "\"mesh_sweep\"" 0 with
+  | None -> None
+  | Some i -> (
+      match find_substring s "\"guests\": 128, \"delta\": true" i with
+      | None -> None
+      | Some j -> (
+          match find_substring s "\"channels_per_sec\":" j with
+          | None -> None
+          | Some k ->
+              let k = ref k in
+              let n = String.length s in
+              while !k < n && s.[!k] = ' ' do incr k done;
+              let e = ref !k in
+              while
+                !e < n
+                && (match s.[!e] with
+                   | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+                   | _ -> false)
+              do
+                incr e
+              done;
+              float_of_string_opt (String.sub s !k (!e - !k))))
+
+let mesh_check path =
+  match mesh_recorded_channels_per_sec path with
+  | None ->
+      Printf.eprintf "mesh-check: no 128-guest delta mesh record in %s\n" path;
+      exit 1
+  | Some recorded ->
+      let p = run_mesh_point ~guests:128 ~hosts:1 ~delta:true () in
+      Printf.printf
+        "mesh-check: channels/sec %.0f vs recorded %.0f (%.0f%%)  steady \
+         announce %.1f B/guest (budget %.0f)  live %d (cap %d)\n"
+        p.me_channels_per_sec recorded
+        (100.0 *. p.me_channels_per_sec /. recorded)
+        p.me_steady_bytes_per_guest mesh_announce_budget p.me_live_channels
+        (p.me_guests * mesh_channel_cap);
+      let failed = ref false in
+      if p.me_steady_bytes_per_guest > mesh_announce_budget then begin
+        Printf.eprintf
+          "MESH CONTROL-PLANE REGRESSION: steady-state announce %.1f \
+           bytes/guest exceeds the O(churn) budget %.0f — delta \
+           announcements have degenerated toward full-list rebroadcast\n"
+          p.me_steady_bytes_per_guest mesh_announce_budget;
+        failed := true
+      end;
+      if p.me_channels_per_sec < 0.75 *. recorded then begin
+        Printf.eprintf
+          "MESH BRING-UP REGRESSION: %.0f channels/sec is more than 25%% \
+           below the recorded %.0f\n"
+          p.me_channels_per_sec recorded;
+        failed := true
+      end;
+      if p.me_live_channels > p.me_guests * mesh_channel_cap then begin
+        Printf.eprintf
+          "MESH CAP VIOLATION: %d live channels across %d guests exceeds \
+           the per-guest cap of %d\n"
+          p.me_live_channels p.me_guests mesh_channel_cap;
+        failed := true
+      end;
+      if !failed then exit 1
+
 let json_mode ~smoke path =
   let names = [ "udp_stream"; "tcp_stream"; "udp_rr"; "tcp_rr" ] in
   let results =
@@ -1457,6 +1662,7 @@ let json_mode ~smoke path =
       ks
   in
   let zerocopy_sweep = zc_sweep ~smoke in
+  let mesh_points = mesh_sweep ~smoke in
   let engine_points = engine_bench_run ~smoke () in
   let chaos_summary =
     (* The chaos soak rides along: the numbers above are only worth
@@ -1479,12 +1685,14 @@ let json_mode ~smoke path =
               c_scenario = Chaos.Harness.Xenloop_duo;
               c_faults = [];
               c_loans = false;
+              c_evictions = false;
             };
             {
               Chaos.Soak.c_name = "xenloop-duo/storm";
               c_scenario = Chaos.Harness.Xenloop_duo;
               c_faults = storm;
               c_loans = false;
+              c_evictions = false;
             };
           ]
         ~seed:42 ()
@@ -1551,6 +1759,13 @@ let json_mode ~smoke path =
         points;
       Buffer.add_string buf "\n    ]}")
     zerocopy_sweep;
+  Buffer.add_string buf "\n  ],\n  \"mesh_sweep\": [\n";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "    ";
+      json_of_mesh_point buf p)
+    mesh_points;
   Buffer.add_string buf "\n  ],\n  \"engine_bench\": ";
   json_of_engine_bench buf engine_points;
   Buffer.add_string buf ",\n  \"chaos\": ";
@@ -1586,6 +1801,7 @@ let json_mode ~smoke path =
             on.zp_copies_per_byte on.zp_pool_fallbacks)
         points)
     zerocopy_sweep;
+  List.iter mesh_point_report mesh_points;
   ignore (engine_bench_report engine_points);
   Printf.printf "wrote %s\n" path;
   (* Delivery invariance: the fast path may change timing, never what the
@@ -1813,6 +2029,11 @@ let () =
       ignore (engine_bench_report (engine_bench_run ~smoke:true ()))
   | [ "--engine-bench-check"; path ] -> engine_bench_check path
   | [ "--datapath-check" ] -> datapath_check ()
+  | [ "--mesh-check"; path ] -> mesh_check path
+  | [ "--mesh-point"; g; h; d ] ->
+      mesh_point_report
+        (run_mesh_point ~guests:(int_of_string g) ~hosts:(int_of_string h)
+           ~delta:(bool_of_string d) ())
   | [] ->
       Format.fprintf fmt
         "XenLoop reproduction benchmark suite (simulated Xen substrate)@.@.";
@@ -1821,5 +2042,5 @@ let () =
       prerr_endline
         "usage: main.exe [--list | --only name1,name2,... | --json [path] | \
          --json-smoke path | --engine-bench | --engine-bench-smoke | \
-         --engine-bench-check path | --datapath-check]";
+         --engine-bench-check path | --datapath-check | --mesh-check path]";
       exit 1

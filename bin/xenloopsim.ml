@@ -307,7 +307,17 @@ let chaos_cmd =
              (single-scenario form) — the replay path for loans-on soak \
              cases.")
   in
-  let run seed iters scenario faults json print_log loans =
+  let evictions =
+    Arg.(
+      value & flag
+      & info [ "evictions" ]
+          ~doc:
+            "Build the world with the cluster-scale control plane on: \
+             delta announcements, a tight channel cap and idle-LRU \
+             eviction (single-scenario form) — the replay path for \
+             eviction soak cases.")
+  in
+  let run seed iters scenario faults json print_log loans evictions =
     let iters =
       match iters with
       | Some n -> n
@@ -329,7 +339,8 @@ let chaos_cmd =
         let code = ref 0 in
         for i = 0 to iters - 1 do
           let config =
-            Chaos.Harness.default_config ~seed:(seed + i) ~faults:specs ~loans sc
+            Chaos.Harness.default_config ~seed:(seed + i) ~faults:specs ~loans
+              ~evictions sc
           in
           let v, log = Chaos.Harness.run config in
           if print_log then
@@ -356,7 +367,9 @@ let chaos_cmd =
          "Deterministic fault-injection soak: inject faults across the \
           control and data planes, check invariants, verify exactly-once \
           delivery.")
-    Term.(const run $ seed $ iters $ scenario $ fault $ json $ print_log $ loans)
+    Term.(
+      const run $ seed $ iters $ scenario $ fault $ json $ print_log $ loans
+      $ evictions)
 
 (* --- compare --- *)
 

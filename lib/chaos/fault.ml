@@ -18,13 +18,14 @@ type kind =
      appending never reseeds the stream an existing kind sees. *)
   | Loan_leak
   | Slow_consumer
+  | Evict_storm
 
 let all =
   [
     Drop_notify; Delay_notify; Grant_map_fail; Frame_exhaustion; Lost_watch;
     Stale_read; Drop_announce; Ctrl_drop; Ctrl_dup; Ctrl_delay; Push_refusal;
     Pool_exhaustion; Peer_crash; Suspend_resume; Migrate_midstream; Loan_leak;
-    Slow_consumer;
+    Slow_consumer; Evict_storm;
   ]
 
 let label = function
@@ -45,6 +46,7 @@ let label = function
   | Migrate_midstream -> "migrate-midstream"
   | Loan_leak -> "loan-leak"
   | Slow_consumer -> "slow-consumer"
+  | Evict_storm -> "evict-storm"
 
 let of_label s = List.find_opt (fun k -> label k = s) all
 
@@ -95,6 +97,10 @@ let default_spec kind =
       { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.3 }
   | Slow_consumer ->
       { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.5 }
+  | Evict_storm ->
+      (* Long window: each forced eviction must overlap the cooldown and
+         the subsequent re-establishment to stress exactly-once delivery. *)
+      { f_kind = kind; f_start = short_start; f_stop = long_stop; f_prob = 0.25 }
   | Peer_crash | Suspend_resume | Migrate_midstream ->
       { f_kind = kind; f_start = Sim.Time.ms 5; f_stop = Sim.Time.ms 5; f_prob = 1.0 }
 

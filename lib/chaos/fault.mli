@@ -31,6 +31,9 @@ type kind =
   | Loan_leak  (** a borrowed pool-slot view is never released by the app *)
   | Slow_consumer
       (** a loaned slot's release is deferred, holding loan credit *)
+  | Evict_storm
+      (** the LRU evictor fires far ahead of policy, shedding live
+          channels mid-stream (opt-in eviction worlds only) *)
 
 val all : kind list
 

@@ -31,6 +31,10 @@ let applicable scenario kind =
      with loans pinned off (see [chaos_params]), so they are armed only by
      the explicit loans-on cases ([config.loans]). *)
   | _, (Fault.Loan_leak | Fault.Slow_consumer) -> false
+  (* Forced eviction needs the bounded-channel knobs on; the standard
+     matrix pins them off, so the storm is armed only by the explicit
+     eviction cases ([config.evictions]). *)
+  | _, Fault.Evict_storm -> false
   | Netfront_duo, _ -> false
   | Cluster3, Fault.Peer_crash -> true
   | _, Fault.Peer_crash -> false
@@ -48,9 +52,13 @@ type config = {
   payload : int;
   check_period : Sim.Time.span;
   loans : bool;
+  evictions : bool;
+      (** eviction world: delta announcements on, tight channel cap,
+          short idle TTL — the regime [Fault.Evict_storm] bites in *)
 }
 
-let default_config ?(seed = 1) ?(faults = []) ?(loans = false) scenario =
+let default_config ?(seed = 1) ?(faults = []) ?(loans = false)
+    ?(evictions = false) scenario =
   {
     seed;
     scenario;
@@ -59,6 +67,7 @@ let default_config ?(seed = 1) ?(faults = []) ?(loans = false) scenario =
     payload = 256;
     check_period = Sim.Time.ms 1;
     loans;
+    evictions;
   }
 
 type verdict = {
@@ -108,6 +117,14 @@ let chaos_params =
        existed; loans-on runs opt in through [config.loans]. *)
     xenloop_loans = false;
     xenloop_poll_mode = false;
+    (* Same story for the cluster-scale control plane (DESIGN.md §12):
+       with these pinned, discovery performs exactly the legacy sequence
+       of XenStore reads, announce encodes, sends, and injector draws, so
+       pre-delta scenario digests replay unchanged; eviction runs opt in
+       through [config.evictions]. *)
+    xenloop_delta_announce = false;
+    xenloop_channel_cap = 0;
+    xenloop_channel_idle_ttl = Sim.Time.span_zero;
   }
 
 type world = {
@@ -298,6 +315,7 @@ let ctrl_label = function
   | Xenloop.Proto.Create_channel _ -> "create"
   | Xenloop.Proto.Channel_ack _ -> "ack"
   | Xenloop.Proto.Announce _ -> "announce"
+  | Xenloop.Proto.Delta_announce _ -> "delta"
   | Xenloop.Proto.App_payload _ -> "payload"
 
 let wire w plan rec_ =
@@ -414,7 +432,8 @@ let wire w plan rec_ =
                    Gm.Ctrl_delay d
                  end
                  else Gm.Ctrl_pass
-             | Xenloop.Proto.Announce _ | Xenloop.Proto.App_payload _ ->
+             | Xenloop.Proto.Announce _ | Xenloop.Proto.Delta_announce _
+             | Xenloop.Proto.App_payload _ ->
                  Gm.Ctrl_pass));
       Gm.set_push_fault_injector m
         (Some
@@ -557,8 +576,22 @@ let run ?sabotage config =
   if config.payload < 6 then invalid_arg "Harness.run: payload below stamp size";
   if config.packets < 1 then invalid_arg "Harness.run: no packets";
   let params =
-    if config.loans then { chaos_params with Params.xenloop_loans = true }
-    else chaos_params
+    let p =
+      if config.loans then { chaos_params with Params.xenloop_loans = true }
+      else chaos_params
+    in
+    if config.evictions then
+      (* Eviction world: the bounded-channel knobs come back on, tight
+         enough that the cap, the idle TTL and the post-eviction cooldown
+         all cycle several times inside one run. *)
+      {
+        p with
+        Params.xenloop_delta_announce = true;
+        xenloop_channel_cap = 2;
+        xenloop_channel_idle_ttl = Sim.Time.ms 20;
+        xenloop_evict_cooldown = Sim.Time.ms 2;
+      }
+    else p
   in
   let w = build ~params config.scenario in
   let engine = w.w_engine in
@@ -570,6 +603,23 @@ let run ?sabotage config =
       rec_ (Printf.sprintf "%s warmed up" w.w_label);
       let plan = Fault.arm ~engine ~seed:config.seed config.faults in
       wire w plan rec_;
+      (* Evict-storm: shed LRU channels far ahead of policy while the
+         window is open — mid-stream, so in-flight frames must fall back
+         to netfront and still land exactly once. *)
+      let evictor =
+        if not (Fault.armed plan Fault.Evict_storm) then None
+        else
+          Some
+            (Sim.Engine.every engine (Sim.Time.ms 1) (fun () ->
+                 List.iter
+                   (fun (name, m) ->
+                     if Fault.draw plan Fault.Evict_storm && Gm.evict_lru m
+                     then
+                       rec_
+                         (Printf.sprintf "evict-storm: %s sheds its LRU channel"
+                            name))
+                   !(w.w_modules)))
+      in
       let seen = Hashtbl.create 16 in
       let violations = ref [] in
       let note_violation msg =
@@ -706,6 +756,7 @@ let run ?sabotage config =
       (* Finale: quiesce, unload, final sweep. *)
       List.iter Discovery.stop w.w_discoveries;
       Sim.Engine.cancel checker;
+      Option.iter (Sim.Engine.cancel) evictor;
       (* Loan quiescence: with every datagram drained, no borrowed slot
          view may still be out — unless the plan deliberately leaked some,
          in which case teardown's force-return must recover them below. *)

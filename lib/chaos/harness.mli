@@ -31,9 +31,11 @@ val applicable : scenario -> Fault.kind -> bool
     [Peer_crash] needs a flow-free third guest ([Cluster3]),
     [Migrate_midstream] needs two machines ([Migration_world]),
     [Suspend_resume] needs a co-resident pair from the start,
-    [Netfront_duo] is the fault-free control, and the loan kinds
+    [Netfront_duo] is the fault-free control, the loan kinds
     ([Loan_leak], [Slow_consumer]) only bite in a loans-on world so they
-    are armed only by explicit loans-on cases ([config.loans]). *)
+    are armed only by explicit loans-on cases ([config.loans]), and
+    [Evict_storm] likewise only bites with the bounded-channel knobs on
+    ([config.evictions]). *)
 
 type config = {
   seed : int;
@@ -46,11 +48,23 @@ type config = {
       (** build the world with loaned-slot receive negotiated on
           ({!Hypervisor.Params.xenloop_loans}); the standard matrix runs
           with it pinned off so digests match pre-loan captures *)
+  evictions : bool;
+      (** build the world with the cluster-scale control plane on: delta
+          announcements, a channel cap of 2, a 20 ms idle TTL and a 2 ms
+          eviction cooldown — the regime {!Fault.Evict_storm} bites in;
+          the standard matrix pins all of that off so pre-delta digests
+          replay unchanged *)
 }
 
 val default_config :
-  ?seed:int -> ?faults:Fault.spec list -> ?loans:bool -> scenario -> config
-(** 250 packets of 256 B per flow, 1 ms checker cadence, loans off. *)
+  ?seed:int ->
+  ?faults:Fault.spec list ->
+  ?loans:bool ->
+  ?evictions:bool ->
+  scenario ->
+  config
+(** 250 packets of 256 B per flow, 1 ms checker cadence, loans and
+    evictions off. *)
 
 type verdict = {
   v_seed : int;

@@ -3,6 +3,8 @@ type case = {
   c_scenario : Harness.scenario;
   c_faults : Fault.spec list;
   c_loans : bool;  (** loans-on world: loaned-slot receive negotiated *)
+  c_evictions : bool;
+      (** eviction world: delta announcements on, tight channel cap *)
 }
 
 (* In the migration world the guests start apart: there is no XenLoop
@@ -39,6 +41,7 @@ let case scenario kinds suffix =
     c_scenario = scenario;
     c_faults = specs;
     c_loans = false;
+    c_evictions = false;
   }
 
 (* Loaned-slot receive soaks its own corner of the matrix: worlds with
@@ -72,6 +75,29 @@ let loan_cases () =
       "migrate";
   ]
 
+(* The cluster-scale control plane (DESIGN.md §12) soaks the same way:
+   eviction worlds run with delta announcements on and a tight channel
+   cap, first fault-free, then under the forced eviction storm, then the
+   storm mixed with the control-plane kinds it races against. *)
+let evict_cases () =
+  let mk scenario kinds label =
+    {
+      (case scenario kinds label) with
+      c_name =
+        Printf.sprintf "%s/evict-%s" (Harness.scenario_label scenario) label;
+      c_evictions = true;
+    }
+  in
+  [
+    mk Harness.Xenloop_duo [] "baseline";
+    mk Harness.Cluster3 [] "baseline";
+    mk Harness.Cluster3 [ Fault.Evict_storm ] "storm";
+    mk Harness.Cluster3
+      [ Fault.Evict_storm; Fault.Drop_announce; Fault.Ctrl_drop ]
+      "storm-ctrl";
+    mk Harness.Cluster3 [ Fault.Evict_storm; Fault.Suspend_resume ] "teardown";
+  ]
+
 let matrix () =
   let scenario_cases scenario =
     let kinds = List.filter (Harness.applicable scenario) Fault.all in
@@ -99,7 +125,8 @@ let matrix () =
         :: List.map (fun k -> case scenario [ k ] "") kinds)
         @ [ case scenario kinds "storm" ]
   in
-  List.concat_map scenario_cases Harness.all_scenarios @ loan_cases ()
+  List.concat_map scenario_cases Harness.all_scenarios
+  @ loan_cases () @ evict_cases ()
 
 type failure = {
   fail_seed : int;
@@ -153,7 +180,7 @@ let run ?cases ?(seed = 42) ?(iters = 1) ?(progress = fun _ -> ()) () =
         let run_seed = seed + i in
         let config =
           Harness.default_config ~seed:run_seed ~faults:c.c_faults
-            ~loans:c.c_loans c.c_scenario
+            ~loans:c.c_loans ~evictions:c.c_evictions c.c_scenario
         in
         let v, _log = Harness.run config in
         incr runs;

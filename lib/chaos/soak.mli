@@ -14,6 +14,8 @@ type case = {
   c_scenario : Harness.scenario;
   c_faults : Fault.spec list;
   c_loans : bool;  (** loans-on world: loaned-slot receive negotiated *)
+  c_evictions : bool;
+      (** eviction world: delta announcements on, tight channel cap *)
 }
 
 val loan_cases : unit -> case list
@@ -22,13 +24,20 @@ val loan_cases : unit -> case list
     kinds, and across mid-window teardowns (suspend/resume and the
     migration world), which force-return every outstanding loan. *)
 
+val evict_cases : unit -> case list
+(** Cluster-scale control-plane cases (DESIGN.md §12): eviction worlds
+    (delta announcements on, channel cap 2, short idle TTL) soaked
+    fault-free, under the forced [Evict_storm], under the storm mixed
+    with the control-plane kinds it races, and across a mid-window
+    teardown. *)
+
 val matrix : unit -> case list
 (** The stock matrix: every scenario × {baseline, each applicable kind,
-    storm}, plus {!loan_cases}.  [Migration_world] pairs each
-    probabilistic kind with the migration itself (windows shifted past
-    the migration instant, since guests apart have no XenLoop state to
-    fault); [Netfront_duo] runs baseline only, as the fault-free
-    control. *)
+    storm}, plus {!loan_cases} and {!evict_cases}.  [Migration_world]
+    pairs each probabilistic kind with the migration itself (windows
+    shifted past the migration instant, since guests apart have no
+    XenLoop state to fault); [Netfront_duo] runs baseline only, as the
+    fault-free control. *)
 
 type failure = {
   fail_seed : int;

@@ -40,6 +40,12 @@ type t = {
   discovery_period : Sim.Time.span;
   xenloop_softstate_ttl : Sim.Time.span;
   xenloop_bootstrap_cooldown : Sim.Time.span;
+  xenloop_delta_announce : bool;
+  xenloop_announce_refresh : Sim.Time.span;
+  xenloop_channel_cap : int;
+  xenloop_channel_idle_ttl : Sim.Time.span;
+  xenloop_evict_cooldown : Sim.Time.span;
+  xenloop_bootstrap_max_inflight : int;
   netfront_tx : Sim.Time.span;
   netfront_rx : Sim.Time.span;
   netback_per_packet : Sim.Time.span;
@@ -99,6 +105,27 @@ let default =
     discovery_period = Sim.Time.sec 5;
     xenloop_softstate_ttl = Sim.Time.sec 15;
     xenloop_bootstrap_cooldown = Sim.Time.sec 1;
+    (* Cluster-scale control plane (DESIGN.md §12).  Delta announcements
+       are on by default: a delta-capable guest advertises "dl" and Dom0
+       sends it joins/leaves since its acked epoch instead of the full
+       list.  The refresh span bounds announce suppression — an unchanged
+       peer still hears from Dom0 at least this often, which must stay
+       well under [xenloop_softstate_ttl] or idle guests expire their
+       whole mapping table. *)
+    xenloop_delta_announce = true;
+    xenloop_announce_refresh = Sim.Time.sec 10;
+    (* 0 = unbounded (the pre-cap behaviour).  A positive cap bounds the
+       number of Active channels per guest; bootstrap evicts the
+       least-recently-active channel to make room. *)
+    xenloop_channel_cap = 0;
+    (* zero = no idle eviction.  Positive: a channel with no traffic for
+       this long is evicted by the soft-state expiry timer. *)
+    xenloop_channel_idle_ttl = Sim.Time.span_zero;
+    xenloop_evict_cooldown = Sim.Time.ms 100;
+    (* Join-storm damping: a guest runs at most this many concurrent
+       channel bootstraps; excess co-resident flows stay on netfront and
+       retry on their next packet. *)
+    xenloop_bootstrap_max_inflight = 32;
     netfront_tx = Sim.Time.of_us_f 1.0;
     netfront_rx = Sim.Time.of_us_f 1.0;
     netback_per_packet = Sim.Time.of_us_f 2.3;

@@ -122,6 +122,33 @@ type t = {
           unanswered Request_channel), the peer is marked failed and no new
           bootstrap is attempted until this much time has passed — bounds
           the retry storm against a dead or deaf peer *)
+  xenloop_delta_announce : bool;
+      (** Dom0 sends versioned delta announcements to guests advertising
+          the "dl" token (epoch-stamped joins/leaves since the guest's
+          acked epoch, DESIGN.md §12) instead of rebroadcasting the full
+          list every scan; off reproduces the legacy full-list broadcast
+          bit for bit *)
+  xenloop_announce_refresh : Sim.Time.span;
+      (** ceiling on announce silence towards an up-to-date guest: when
+          nothing changed, Dom0 still sends a keep-alive (empty delta, or
+          a full list to a legacy guest) this often so the soft-state TTL
+          keeps being refreshed; must stay below [xenloop_softstate_ttl] *)
+  xenloop_channel_cap : int;
+      (** per-guest bound on simultaneously Active channels; establishing
+          one more evicts the least-recently-active channel first.  0 =
+          unbounded (the pre-cap behaviour) *)
+  xenloop_channel_idle_ttl : Sim.Time.span;
+      (** a connected channel with no traffic for this long is evicted
+          (grant-balanced teardown; traffic falls back to netfront and
+          re-establishes on demand).  Zero/negative = never *)
+  xenloop_evict_cooldown : Sim.Time.span;
+      (** how long an evicted peer stays in Failed_until before traffic
+          may re-bootstrap the channel — keeps a cap-thrashing mesh from
+          churning establish/evict cycles back to back *)
+  xenloop_bootstrap_max_inflight : int;
+      (** bound on concurrent bootstrap handshakes (join-storm damping: a
+          100-guest announcement must not thundering-herd grant allocation);
+          refused bootstraps retry on later traffic.  0 = unbounded *)
   (* --- Netfront / netback split driver --- *)
   netfront_tx : Sim.Time.span;  (** ring work + grant issue, per packet *)
   netfront_rx : Sim.Time.span;

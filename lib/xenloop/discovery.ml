@@ -2,6 +2,26 @@ let advert_key = "xenloop"
 
 let advert_path ~domid = Xenstore.domain_path domid ^ "/" ^ advert_key
 
+(* The guest's acked-epoch node lives in its own subtree (so the guest may
+   write it) under a key that does NOT end in "/xenloop" — the discovery
+   watch suffix-matches advert writes only, so ack writes never trigger a
+   scan storm. *)
+let ack_key = "xenloop-ack"
+
+let ack_path ~domid = Xenstore.domain_path domid ^ "/" ^ ack_key
+
+(* How many epochs of joins/leaves Dom0 remembers.  A guest whose acked
+   epoch fell out of the window gets a full resync instead of a delta. *)
+let delta_log_window = 256
+
+(* Per-recipient delta bookkeeping, kept only while the guest is in the
+   scan result. *)
+type peer_track = {
+  mutable pt_delta : bool;  (** advertised the "dl" token this scan *)
+  mutable pt_sent_epoch : int;  (** epoch as of our last actual send *)
+  mutable pt_last_sent : Sim.Time.t;
+}
+
 type t = {
   machine : Hypervisor.Machine.t;
   dom0_stack : Netstack.Stack.t;
@@ -12,8 +32,21 @@ type t = {
   mutable sent : int;
   mutable announce_fault : (domid:int -> bool) option;
   mutable dropped : int;
+  (* Delta-announcement state (DESIGN.md §12); inert when
+     [xenloop_delta_announce] is off. *)
+  mutable epoch : int;
+  mutable delta_log : (int * Proto.entry list * int list) list;
+      (** newest first: (epoch, joins, leaves) *)
+  tracks : (int, peer_track) Hashtbl.t;
+  mutable suppressed : int;
+  mutable bytes_sent : int;
+  mutable batches : int;
+  mutable full_resyncs : int;
 }
 
+(* One scan returns each willing guest's announcement entry plus whether
+   it advertised delta capability ("dl"); the capability is Dom0-private —
+   other guests never need to know it, so it stays out of [Proto.entry]. *)
 let scan t =
   let xs = Hypervisor.Machine.xenstore t.machine in
   let ids =
@@ -34,7 +67,7 @@ let scan t =
                anything unparsable is treated the same way (version
                gating); an old Dom0 reading "4 zc" likewise fails its
                int parse and falls back to one queue, no pools. *)
-            let queues, zc, loans =
+            let queues, zc, loans, delta =
               match String.split_on_char ' ' (String.trim advert) with
               | count :: caps ->
                   ( (match int_of_string_opt count with
@@ -44,8 +77,9 @@ let scan t =
                     (* Loans ride on top of the descriptor channel; an
                        advert claiming "ln" without "zc" is malformed and
                        version-gates down to plain zero-copy-off. *)
-                    List.mem "zc" caps && List.mem "ln" caps )
-              | [] -> (1, false, false)
+                    List.mem "zc" caps && List.mem "ln" caps,
+                    List.mem "dl" caps )
+              | [] -> (1, false, false, false)
             in
             match
               ( Xenstore.read xs ~caller:Xenstore.dom0
@@ -57,38 +91,257 @@ let scan t =
                 match (Netcore.Mac.of_string mac_str, Netcore.Ip.of_string ip_str) with
                 | Some mac, Some ip ->
                     Some
-                      {
-                        Proto.entry_domid = domid;
-                        entry_mac = mac;
-                        entry_ip = ip;
-                        entry_queues = queues;
-                        entry_zc = zc;
-                        entry_loans = loans;
-                      }
+                      ( {
+                          Proto.entry_domid = domid;
+                          entry_mac = mac;
+                          entry_ip = ip;
+                          entry_queues = queues;
+                          entry_zc = zc;
+                          entry_loans = loans;
+                        },
+                        delta )
                 | _ -> None)
             | _ -> None))
     (List.sort compare ids)
 
+let deliver t ~dst_domid ~dst_mac message =
+  let drop =
+    match t.announce_fault with None -> false | Some f -> f ~domid:dst_domid
+  in
+  if drop then t.dropped <- t.dropped + 1
+  else begin
+    t.sent <- t.sent + 1;
+    t.bytes_sent <- t.bytes_sent + Bytes.length message;
+    Netstack.Stack.send_ctrl t.dom0_stack ~dst_mac message
+  end
+
+(* Legacy announcement round: encode the full list once, send a copy to
+   every willing guest.  This is the paper's behaviour and the exact byte
+   stream every pre-delta configuration keeps producing. *)
 let announce t entries =
   let message = Proto.encode (Proto.Announce entries) in
   List.iter
     (fun e ->
-      let drop =
-        match t.announce_fault with
-        | None -> false
-        | Some f -> f ~domid:e.Proto.entry_domid
-      in
-      if drop then t.dropped <- t.dropped + 1
-      else begin
-        t.sent <- t.sent + 1;
-        Netstack.Stack.send_ctrl t.dom0_stack ~dst_mac:e.Proto.entry_mac message
-      end)
+      deliver t ~dst_domid:e.Proto.entry_domid ~dst_mac:e.Proto.entry_mac message)
     entries
 
+let read_ack t domid =
+  let xs = Hypervisor.Machine.xenstore t.machine in
+  match Xenstore.read xs ~caller:Xenstore.dom0 ~path:(ack_path ~domid) with
+  | Ok s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 0 && v <= t.epoch -> v
+      | Some _ | None -> 0)
+  | Error _ -> 0
+
+(* Collapse the log entries (base, current] into one net (joins, leaves)
+   pair, oldest first.  [None] when the base fell out of the bounded log.
+   A guest that joined and left inside the window appears in neither
+   list; one that left and rejoined appears as a plain join (the guest
+   applies joins as replace-or-add). *)
+let aggregate t ~base =
+  if base >= t.epoch then Some ([], [])
+  else begin
+    let span = List.filter (fun (e, _, _) -> e > base) t.delta_log in
+    if List.length span <> t.epoch - base then None
+    else begin
+      let span = List.rev span (* oldest first *) in
+      let joins = Hashtbl.create 8 in
+      let leaves = Hashtbl.create 8 in
+      List.iter
+        (fun (_, j, l) ->
+          List.iter
+            (fun d ->
+              if Hashtbl.mem joins d then Hashtbl.remove joins d
+              else Hashtbl.replace leaves d ())
+            l;
+          List.iter
+            (fun e ->
+              Hashtbl.remove leaves e.Proto.entry_domid;
+              Hashtbl.replace joins e.Proto.entry_domid e)
+            j)
+        span;
+      let js =
+        Hashtbl.fold (fun _ e acc -> e :: acc) joins []
+        |> List.sort (fun a b -> compare a.Proto.entry_domid b.Proto.entry_domid)
+      in
+      let ls = Hashtbl.fold (fun d () acc -> d :: acc) leaves [] |> List.sort compare in
+      Some (js, ls)
+    end
+  end
+
+(* Delta announcement round.  Recipients are grouped by the message they
+   need — one encode per distinct (base, kind) serves the whole group —
+   and a recipient with nothing new to hear is skipped entirely until the
+   refresh deadline, where it gets a tiny heartbeat (delta peers) or one
+   full list (legacy peers) to keep its soft-state TTL alive. *)
+let announce_delta t scanned =
+  let engine = Hypervisor.Machine.engine t.machine in
+  let p = Hypervisor.Machine.params t.machine in
+  let now = Sim.Engine.now engine in
+  (* The heartbeat exists to keep guests' soft-state TTLs alive, so its
+     deadline is clamped to half the TTL regardless of the configured
+     refresh — a test world compressing the TTL to milliseconds must not
+     be starved by a 10 s refresh default. *)
+  let refresh =
+    let r = p.Hypervisor.Params.xenloop_announce_refresh in
+    let ttl = p.Hypervisor.Params.xenloop_softstate_ttl in
+    if not (Sim.Time.span_is_positive ttl) then r
+    else begin
+      let half = Sim.Time.ns_int64 (Int64.div (Sim.Time.to_ns ttl) 2L) in
+      if
+        Sim.Time.span_is_positive r
+        && Int64.compare (Sim.Time.to_ns r) (Sim.Time.to_ns half) < 0
+      then r
+      else half
+    end
+  in
+  let encoded : (int, Bytes.t) Hashtbl.t = Hashtbl.create 4 in
+  (* Message cache keys: base epoch for a delta, -1 full resync, -2
+     legacy full list. *)
+  let message key build =
+    match Hashtbl.find_opt encoded key with
+    | Some m -> m
+    | None ->
+        let m = Proto.encode (build ()) in
+        Hashtbl.replace encoded key m;
+        t.batches <- t.batches + 1;
+        m
+  in
+  let full_resync () =
+    t.full_resyncs <- t.full_resyncs + 1;
+    message (-1) (fun () ->
+        Proto.Delta_announce
+          {
+            da_base = 0;
+            da_epoch = t.epoch;
+            da_full = true;
+            da_joins = t.last_scan;
+            da_leaves = [];
+          })
+  in
+  List.iter
+    (fun (e, dl) ->
+      let domid = e.Proto.entry_domid in
+      let track =
+        match Hashtbl.find_opt t.tracks domid with
+        | Some tr -> tr
+        | None ->
+            let tr =
+              { pt_delta = dl; pt_sent_epoch = -1; pt_last_sent = Sim.Time.zero }
+            in
+            Hashtbl.replace t.tracks domid tr;
+            tr
+      in
+      track.pt_delta <- dl;
+      let due_refresh =
+        track.pt_sent_epoch < 0
+        || (not (Sim.Time.span_is_positive refresh))
+        || Sim.Time.(now >= Sim.Time.add track.pt_last_sent refresh)
+      in
+      let send m =
+        track.pt_sent_epoch <- t.epoch;
+        track.pt_last_sent <- now;
+        deliver t ~dst_domid:domid ~dst_mac:e.Proto.entry_mac m
+      in
+      if dl then begin
+        let acked = read_ack t domid in
+        if acked < t.epoch then
+          match aggregate t ~base:acked with
+          | Some (joins, leaves) ->
+              (* A guest's own entry may ride along (it filters itself on
+                 receipt, like it does for full announcements); keeping the
+                 message recipient-independent is what lets one encode
+                 serve every guest acked at the same epoch. *)
+              send
+                (message acked (fun () ->
+                     Proto.Delta_announce
+                       {
+                         da_base = acked;
+                         da_epoch = t.epoch;
+                         da_full = false;
+                         da_joins = joins;
+                         da_leaves = leaves;
+                       }))
+          | None -> send (full_resync ())
+        else if due_refresh then
+          (* Nothing new — a heartbeat only refreshes the TTL. *)
+          send
+            (message t.epoch (fun () ->
+                 Proto.Delta_announce
+                   {
+                     da_base = t.epoch;
+                     da_epoch = t.epoch;
+                     da_full = false;
+                     da_joins = [];
+                     da_leaves = [];
+                   }))
+        else t.suppressed <- t.suppressed + 1
+      end
+      else if track.pt_sent_epoch < t.epoch || due_refresh then
+        (* Version gating: a legacy peer keeps hearing the classic full
+           list — tags 1/6/9/12, exactly the pre-delta byte stream —
+           whenever anything changed or its refresh is due. *)
+        send (message (-2) (fun () -> Proto.Announce t.last_scan))
+      else t.suppressed <- t.suppressed + 1)
+    scanned
+
 let scan_now t =
-  let entries = scan t in
-  t.last_scan <- entries;
-  announce t entries
+  let scanned = scan t in
+  let entries = List.map fst scanned in
+  let p = Hypervisor.Machine.params t.machine in
+  if not p.Hypervisor.Params.xenloop_delta_announce then begin
+    (* Pre-delta behaviour, bit for bit: full list to everyone, every
+       round, no acked-epoch reads, no suppression. *)
+    t.last_scan <- entries;
+    announce t entries
+  end
+  else begin
+    let prev = t.last_scan in
+    let joins =
+      List.filter
+        (fun e ->
+          match
+            List.find_opt
+              (fun o -> o.Proto.entry_domid = e.Proto.entry_domid)
+              prev
+          with
+          | None -> true
+          | Some o -> o <> e)
+        entries
+    in
+    let leaves =
+      List.filter_map
+        (fun o ->
+          if
+            List.exists
+              (fun e -> e.Proto.entry_domid = o.Proto.entry_domid)
+              entries
+          then None
+          else Some o.Proto.entry_domid)
+        prev
+    in
+    if joins <> [] || leaves <> [] then begin
+      t.epoch <- t.epoch + 1;
+      t.delta_log <- (t.epoch, joins, leaves) :: t.delta_log;
+      (* Bound the log; a guest acked before the window resyncs in full. *)
+      if List.length t.delta_log > delta_log_window then
+        t.delta_log <-
+          List.filteri (fun i _ -> i < delta_log_window) t.delta_log
+    end;
+    t.last_scan <- entries;
+    (* Forget recipients that left; a rejoin starts from a fresh track
+       (and a fresh ack node, written by the guest's advertise). *)
+    let present = Hashtbl.create 16 in
+    List.iter (fun (e, _) -> Hashtbl.replace present e.Proto.entry_domid ()) scanned;
+    let stale =
+      Hashtbl.fold
+        (fun d _ acc -> if Hashtbl.mem present d then acc else d :: acc)
+        t.tracks []
+    in
+    List.iter (Hashtbl.remove t.tracks) stale;
+    announce_delta t scanned
+  end
 
 (* React to xenbus traffic on the advert nodes: insmod/rmmod updates the
    mapping table within ~100us instead of waiting out a full period.  The
@@ -129,6 +382,13 @@ let start ~machine ~dom0_stack () =
         sent = 0;
         announce_fault = None;
         dropped = 0;
+        epoch = 0;
+        delta_log = [];
+        tracks = Hashtbl.create 16;
+        suppressed = 0;
+        bytes_sent = 0;
+        batches = 0;
+        full_resyncs = 0;
       }
   in
   let t = Lazy.force t in
@@ -152,6 +412,11 @@ let stop t =
 
 let willing_guests t = t.last_scan
 let announcements_sent t = t.sent
+let announcements_suppressed t = t.suppressed
+let announce_bytes t = t.bytes_sent
+let announce_batches t = t.batches
+let full_resyncs t = t.full_resyncs
+let current_epoch t = t.epoch
 
 let set_announce_fault t f = t.announce_fault <- f
 let announcements_dropped t = t.dropped

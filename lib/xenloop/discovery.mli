@@ -5,7 +5,21 @@
     only Dom0 is allowed to do, which is the whole reason discovery lives
     in Dom0 — collates their [guest-ID, MAC] pairs, and transmits an
     announcement message (a XenLoop-type layer-3 packet) to each willing
-    guest. *)
+    guest.
+
+    {b Delta announcements} (DESIGN.md §12).  With
+    {!Hypervisor.Params.t.xenloop_delta_announce} on, Dom0 versions the
+    willing-guest list with an epoch, keeps a bounded log of per-epoch
+    joins/leaves, and reads each delta-capable guest's acked epoch back
+    from its {!ack_path} XenStore node: a guest behind the current epoch
+    receives only the aggregated joins/leaves since its acked epoch (one
+    encode shared by every guest at the same base), a guest that is up to
+    date is skipped entirely until the announce-refresh deadline, and a
+    guest whose base fell out of the log gets a full resync.  Legacy
+    guests (no "dl" token in their advert) keep receiving the classic
+    full-list announcement whenever anything changed or their refresh is
+    due — version gating.  With the knob off, every round is the
+    pre-delta full-list broadcast, bit for bit. *)
 
 type t
 
@@ -13,6 +27,14 @@ val advert_key : string
 (** ["xenloop"] — the XenStore key guests advertise under their subtree. *)
 
 val advert_path : domid:int -> string
+
+val ack_key : string
+(** ["xenloop-ack"] — where a delta-capable guest records the announce
+    epoch it last applied.  In the guest's own subtree (guests may only
+    write there) and deliberately not ending in "/xenloop", so ack writes
+    never trigger the discovery watch. *)
+
+val ack_path : domid:int -> string
 
 val start :
   machine:Hypervisor.Machine.t -> dom0_stack:Netstack.Stack.t -> unit -> t
@@ -29,15 +51,38 @@ val willing_guests : t -> Proto.entry list
 (** The result of the last scan. *)
 
 val announcements_sent : t -> int
+(** Announcement copies actually handed to the stack (all kinds). *)
+
+val announcements_suppressed : t -> int
+(** Recipients skipped because they were up to date and inside their
+    refresh window (delta mode only; always 0 with the knob off). *)
+
+val announce_bytes : t -> int
+(** Total payload bytes across every announcement copy sent — the
+    numerator of the bench's announce-bytes-per-guest metric. *)
+
+val announce_batches : t -> int
+(** Distinct messages encoded across all rounds; recipients sharing a
+    base epoch share one encode (delta mode; legacy rounds count one per
+    round). *)
+
+val full_resyncs : t -> int
+(** Delta-capable recipients that had to be sent the complete list
+    because their acked epoch fell out of the bounded delta log. *)
+
+val current_epoch : t -> int
+(** The version of the current willing-guest list (0 until the first
+    change in delta mode; always 0 with the knob off). *)
 
 (** {1 Fault injection}
 
     Chaos-harness hook.  The injector is consulted once per recipient per
-    announcement round; [true] silently drops that guest's copy (the scan
-    still ran, the others still hear).  A guest starved of announcements
-    long enough must expire its whole mapping table
-    ({!Hypervisor.Params.xenloop_softstate_ttl}) and recover when they
-    resume. *)
+    announcement round (in delta mode: once per recipient actually being
+    sent to — suppressed recipients are not consulted); [true] silently
+    drops that guest's copy (the scan still ran, the others still hear).
+    A guest starved of announcements long enough must expire its whole
+    mapping table ({!Hypervisor.Params.xenloop_softstate_ttl}) and
+    recover when they resume. *)
 
 val set_announce_fault : t -> (domid:int -> bool) option -> unit
 val announcements_dropped : t -> int

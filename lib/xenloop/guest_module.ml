@@ -34,6 +34,8 @@ type stats = {
   mutable loans_force_returned : int;
   mutable bootstrap_failures : int;
   mutable softstate_evictions : int;
+  mutable channels_evicted : int;
+  mutable delta_announces : int;
 }
 
 type role = Listener | Connector
@@ -85,6 +87,9 @@ type channel = {
   role : role;
   queues : queue array;  (** negotiated min of both sides' advertised counts *)
   mutable connected : bool;
+  mutable ch_last_active : Sim.Time.t;
+      (** last sim-time this channel moved a packet in either direction —
+          the LRU key for cap/idle eviction (DESIGN.md §12) *)
   cleanup : unit -> unit;  (** releases every queue's pages, grants, ports *)
 }
 
@@ -140,6 +145,9 @@ type t = {
   mutable next_token : int;  (** Requested_from_listener incarnations *)
   mutable last_announce : Sim.Time.t;
       (** when the mapping table was last refreshed (soft-state TTL) *)
+  mutable announce_epoch : int;
+      (** the Dom0 announce epoch this guest has applied and acked
+          (delta announcements only; 0 otherwise) *)
   mutable expiry_timer : Sim.Engine.timer option;
   (* Chaos-harness hooks (lib/chaos); [None] in production. *)
   mutable ctrl_fault : (Proto.t -> ctrl_fault) option;
@@ -284,32 +292,62 @@ let meter t = Domain.meter t.domain
 (* ------------------------------------------------------------------ *)
 (* XenStore advertisement *)
 
+(* Record the announce epoch this guest has applied where Dom0's scan can
+   read it back (delta announcements, DESIGN.md §12).  The node is in our
+   own subtree (the only place a guest may write) and does not end in
+   "/xenloop", so ack writes never retrigger the discovery watch. *)
+let write_ack t epoch =
+  if (params t).Params.xenloop_delta_announce then begin
+    t.announce_epoch <- epoch;
+    let machine = t.current_machine () in
+    let domid = my_domid t in
+    match
+      Xenstore.write (Machine.xenstore machine) ~caller:domid
+        ~path:(Discovery.ack_path ~domid)
+        ~value:(string_of_int epoch)
+    with
+    | Ok () | Error _ -> ()
+  end
+
 let advertise t =
   let machine = t.current_machine () in
   let domid = my_domid t in
+  let delta = (params t).Params.xenloop_delta_announce in
   (* The advert value is the advertised queue count, plus a "zc" token
-     when this guest speaks the zero-copy descriptor channel and an "ln"
-     token when it additionally speaks loaned-slot receive; the original
-     module wrote "1", which is exactly what a single-queue non-zero-copy
-     configuration still produces (version gating). *)
-  match
-    Xenstore.write (Machine.xenstore machine) ~caller:domid
-      ~path:(Discovery.advert_path ~domid)
-      ~value:
-        (string_of_int t.max_queues
-        ^ (if t.zerocopy then " zc" else "")
-        ^ if t.zerocopy && t.loans then " ln" else "")
-  with
-  | Ok () | Error _ -> ()
+     when this guest speaks the zero-copy descriptor channel, an "ln"
+     token when it additionally speaks loaned-slot receive, and a "dl"
+     token when it understands delta announcements; the original module
+     wrote "1", which is exactly what a single-queue non-zero-copy
+     non-delta configuration still produces (version gating). *)
+  (match
+     Xenstore.write (Machine.xenstore machine) ~caller:domid
+       ~path:(Discovery.advert_path ~domid)
+       ~value:
+         (string_of_int t.max_queues
+         ^ (if t.zerocopy then " zc" else "")
+         ^ (if t.zerocopy && t.loans then " ln" else "")
+         ^ if delta then " dl" else "")
+   with
+  | Ok () | Error _ -> ());
+  (* A fresh advert means a fresh mapping table: ack epoch 0 so Dom0's
+     first delta to us is a full resync rather than a diff against state
+     we no longer hold (e.g. after migration or reload). *)
+  write_ack t 0
 
 let unadvertise t =
   let machine = t.current_machine () in
   let domid = my_domid t in
-  match
-    Xenstore.rm (Machine.xenstore machine) ~caller:domid
-      ~path:(Discovery.advert_path ~domid)
-  with
-  | Ok () | Error _ -> ()
+  (match
+     Xenstore.rm (Machine.xenstore machine) ~caller:domid
+       ~path:(Discovery.advert_path ~domid)
+   with
+  | Ok () | Error _ -> ());
+  if (params t).Params.xenloop_delta_announce then
+    match
+      Xenstore.rm (Machine.xenstore machine) ~caller:domid
+        ~path:(Discovery.ack_path ~domid)
+    with
+    | Ok () | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Channel data path (all per queue) *)
@@ -895,6 +933,165 @@ let teardown_all t ~save =
   bump_epoch t
 
 (* ------------------------------------------------------------------ *)
+(* Bounded channel state (DESIGN.md §12): per-guest channel cap with
+   idle-LRU eviction, plus join-storm damping on bootstrap *)
+
+let active_channel_count t =
+  Hashtbl.fold
+    (fun _ state acc -> match state with Active _ -> acc + 1 | _ -> acc)
+    t.peers 0
+
+let bootstraps_inflight t =
+  Hashtbl.fold
+    (fun _ state acc ->
+      match state with Bootstrapping _ -> acc + 1 | _ -> acc)
+    t.peers 0
+
+(* Join-storm damping: when a big announcement lands (say 100 guests at
+   once), every co-resident packet wants to start a bootstrap in the same
+   scan window.  Bounding the concurrent handshakes keeps grant/page
+   allocation bursts flat; a refused bootstrap leaves no state behind, the
+   packet takes the standard path, and the next packet towards that peer
+   simply tries again once a slot frees up. *)
+let bootstrap_allowed t =
+  let lim = (params t).Params.xenloop_bootstrap_max_inflight in
+  lim <= 0 || bootstraps_inflight t < lim
+
+(* Oldest Active channel by last traffic, ties broken towards the lower
+   domid — deterministic, so chaos digests stay replayable. *)
+let lru_active_peer t ~excluding =
+  Hashtbl.fold
+    (fun domid state best ->
+      match state with
+      | Active ch when domid <> excluding -> (
+          match best with
+          | Some (_, best_t, best_d)
+            when Sim.Time.compare best_t ch.ch_last_active < 0
+                 || (Sim.Time.compare best_t ch.ch_last_active = 0
+                    && best_d < domid) ->
+              best
+          | Some _ | None -> Some (ch, ch.ch_last_active, domid))
+      | _ -> best)
+    t.peers None
+
+(* Evict one Active channel: the peer state flips to a short cooldown
+   {e before} the teardown runs (teardown yields the CPU, and a
+   concurrently waking handler or the very next packet must not race a new
+   bootstrap into the slot being freed).  The teardown itself is the
+   ordinary grant-balanced one — pending receives drained, stranded frames
+   reclaimed, unsent traffic flushed over netfront exactly once — so
+   eviction is transparent to the flows riding the channel; they fall back
+   to netfront until traffic re-establishes it.  Not a bootstrap failure:
+   the peer is fine, we just chose to shed the state. *)
+let evict_channel t peer_domid =
+  match Hashtbl.find_opt t.peers peer_domid with
+  | Some (Active ch) ->
+      let deadline =
+        Sim.Time.add
+          (Sim.Engine.now (engine t))
+          (params t).Params.xenloop_evict_cooldown
+      in
+      Hashtbl.replace t.peers peer_domid (Failed_until deadline);
+      bump_epoch t;
+      t.s.channels_evicted <- t.s.channels_evicted + 1;
+      trace t Sim.Trace.Teardown "dom%d: evicting channel to dom%d (LRU)"
+        (my_domid t) peer_domid;
+      teardown_channel t ~save:false ch;
+      true
+  | Some (Bootstrapping _) | Some (Failed_until _) | None -> false
+
+let evict_lru t =
+  if not t.loaded then false
+  else
+    match lru_active_peer t ~excluding:(-1) with
+    | Some (_, _, domid) -> evict_channel t domid
+    | None -> false
+
+(* Make room for a channel to [peer_domid] under the configured cap by
+   evicting LRU channels (never the one being established).  The guard
+   bounds the loop against a pathological cap; in practice one round
+   evicts one channel. *)
+let make_room_under_cap t ~peer_domid =
+  let cap = (params t).Params.xenloop_channel_cap in
+  if cap > 0 then begin
+    let guard = ref 64 in
+    while active_channel_count t >= cap && !guard > 0 do
+      decr guard;
+      match lru_active_peer t ~excluding:peer_domid with
+      | Some (_, _, victim) -> ignore (evict_channel t victim)
+      | None -> guard := 0
+    done
+  end
+
+(* Idle-LRU sweep, driven by the same periodic timer as the soft-state
+   TTL: any connected channel quiet for [xenloop_channel_idle_ttl] is
+   evicted, so an N-guest mesh's steady-state mapped memory tracks the
+   traffic matrix, not N². *)
+let idle_evict t =
+  if t.loaded then begin
+    let idle = (params t).Params.xenloop_channel_idle_ttl in
+    if Sim.Time.span_is_positive idle then begin
+      let now = Sim.Engine.now (engine t) in
+      let victims =
+        Hashtbl.fold
+          (fun domid state acc ->
+            match state with
+            | Active ch
+              when ch.connected
+                   && Sim.Time.(now >= Sim.Time.add ch.ch_last_active idle) ->
+                domid :: acc
+            | _ -> acc)
+          t.peers []
+        |> List.sort compare
+      in
+      List.iter (fun domid -> ignore (evict_channel t domid)) victims
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Live memory accounting (bench JSON): how much shared state this
+   guest's channel set pins at steady state *)
+
+let live_channels t =
+  Hashtbl.fold
+    (fun _ state acc ->
+      match state with Active ch when ch.connected -> acc + 1 | _ -> acc)
+    t.peers 0
+
+(* Bytes of machine memory backing this guest's Active channels, counted
+   once by the side that allocated them (the listener): every queue's FIFO
+   descriptor+data pages plus both directions' payload pools.  Summing
+   this over a mesh gives the total mapped pool, without double counting
+   the connector's mappings of the same pages. *)
+let channel_pool_bytes t =
+  let pool_bytes = function
+    | Some pp ->
+        Memory.Page.size
+        + (Payload_pool.slots pp * Payload_pool.slot_bytes pp)
+    | None -> 0
+  in
+  Hashtbl.fold
+    (fun _ state acc ->
+      match state with
+      | Active ch when ch.role = Listener ->
+          let fifo_pages =
+            Fifo.pages_for_queues ~k:t.k ~queues:(Array.length ch.queues)
+          in
+          Array.fold_left
+            (fun acc q -> acc + pool_bytes q.q_tx_pool + pool_bytes q.q_rx_pool)
+            (acc + (fifo_pages * Memory.Page.size))
+            ch.queues
+      | _ -> acc)
+    t.peers 0
+
+let grant_entries t =
+  match Machine.grant_table (t.current_machine ()) (my_domid t) with
+  | Some gt -> Gt.active_grants gt
+  | None -> 0
+
+let announce_epoch t = t.announce_epoch
+
+(* ------------------------------------------------------------------ *)
 (* Event-channel handler: packets arrived, or space was freed *)
 
 (* Peer marked the channel inactive: drain what's left on every queue,
@@ -1088,6 +1285,8 @@ let on_event t peer_domid qi () =
                 quarantine t peer_domid ch
             | total_consumed, total_pushed, final_consumed, final_pushed ->
                 q.q_busy <- false;
+                if total_consumed > 0 || total_pushed > 0 then
+                  ch.ch_last_active <- Sim.Engine.now (engine t);
                 if not (Fifo.is_active q.in_fifo && Fifo.is_active q.out_fifo)
                 then
                   (* The peer tore the channel down while we were busy; its
@@ -1216,6 +1415,9 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
   let machine = t.current_machine () in
   let domid = my_domid t in
   let p = params t in
+  if not (bootstrap_allowed t) then ()
+  else begin
+  make_room_under_cap t ~peer_domid;
   match Machine.grant_table machine domid with
   | None -> ()
   | Some gt -> (
@@ -1373,7 +1575,15 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
             List.iter (fun port -> Ec.close ec ~dom:domid ~port) ports
           in
           let ch =
-            { peer_domid; peer_mac; role = Listener; queues; connected = false; cleanup }
+            {
+              peer_domid;
+              peer_mac;
+              role = Listener;
+              queues;
+              connected = false;
+              ch_last_active = Sim.Engine.now (engine t);
+              cleanup;
+            }
           in
           let ba = { ba_channel = ch; retries = 0 } in
           Hashtbl.replace t.peers peer_domid (Bootstrapping (Awaiting_ack ba));
@@ -1382,6 +1592,7 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
             domid nq peer_domid;
           let msg = Proto.Create_channel { listener_domid = domid; queues = grants } in
           send_create_with_retry t ~peer_domid ~peer_mac ~msg ba)
+  end
 
 let start_bootstrap t ~peer_domid ~peer_mac =
   trace t Sim.Trace.Bootstrap "dom%d: bootstrap towards dom%d" (my_domid t) peer_domid;
@@ -1397,7 +1608,9 @@ let start_bootstrap t ~peer_domid ~peer_mac =
     in
     listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans
   end
+  else if not (bootstrap_allowed t) then ()
   else begin
+    make_room_under_cap t ~peer_domid;
     let token = t.next_token in
     t.next_token <- token + 1;
     Hashtbl.replace t.peers peer_domid
@@ -1431,6 +1644,7 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
   let machine = t.current_machine () in
   let domid = my_domid t in
   let p = params t in
+  make_room_under_cap t ~peer_domid:listener_domid;
   match Machine.grant_table machine listener_domid with
   | None -> ()
   | Some listener_gt -> (
@@ -1589,6 +1803,7 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
               role = Connector;
               queues;
               connected = true;
+              ch_last_active = Sim.Engine.now (engine t);
               cleanup;
             }
           in
@@ -1645,7 +1860,11 @@ let softstate_expire t =
         "dom%d: soft-state TTL expired; evicting %d mapping entr%s" (my_domid t)
         evicted
         (if evicted = 1 then "y" else "ies");
-      on_announce t []
+      on_announce t [];
+      (* We just threw the whole table away: under delta announcements our
+         acked epoch must go back to zero, or Dom0 would keep treating us
+         as up to date and never resend what we dropped. *)
+      write_ack t 0
     end
   end
 
@@ -1656,6 +1875,43 @@ let on_ctrl_packet t (packet : P.t) =
         match Proto.decode data with
         | Error _ -> ()
         | Ok (Proto.Announce entries) -> on_announce t entries
+        | Ok (Proto.Delta_announce { da_base; da_epoch; da_full; da_joins; da_leaves })
+          ->
+            t.s.delta_announces <- t.s.delta_announces + 1;
+            if da_full then begin
+              (* Resync: our acked base fell out of Dom0's delta log (or we
+                 just advertised) — the joins are the complete list, so this
+                 is exactly a classic announcement plus an ack. *)
+              on_announce t da_joins;
+              write_ack t da_epoch
+            end
+            else if da_base = t.announce_epoch then begin
+              (* In-order delta: even an empty one is the keep-alive
+                 heartbeat that refreshes the soft-state TTL. *)
+              t.last_announce <- Sim.Engine.now (engine t);
+              if da_joins <> [] || da_leaves <> [] then begin
+                let domid = my_domid t in
+                let joins =
+                  List.filter (fun e -> e.Proto.entry_domid <> domid) da_joins
+                in
+                Mapping_table.apply_delta t.mapping ~joins ~leaves:da_leaves;
+                bump_epoch t;
+                (* Soft state under deltas: leaves are the explicit
+                   departures, so disengage exactly those (a rejoined guest
+                   never appears in the aggregated leaves). *)
+                List.iter
+                  (fun id ->
+                    if not (Mapping_table.mem_domid t.mapping id) then
+                      disengage_peer t id ~save:false)
+                  da_leaves
+              end;
+              write_ack t da_epoch
+            end
+            (* A delta against a base we do not hold is dropped whole —
+               applying it could strand a guest that joined and left inside
+               the gap.  No ack update either: Dom0 rereads our real acked
+               epoch next scan and resends from the right base (or a full
+               resync). *)
         | Ok (Proto.Request_channel { requester_domid; max_queues; zerocopy; loans })
           -> (
             match Hashtbl.find_opt t.peers requester_domid with
@@ -1763,6 +2019,7 @@ let classify_slow t (packet : P.t) key =
           let q = ch.queues.(qi) in
           Hashtbl.replace t.flow_cache key
             { ce_epoch = t.epoch; ce_decision = Cache_queue (ch, q) };
+          ch.ch_last_active <- Sim.Engine.now (engine t);
           frame_for_queue t q packet
       | Some (Active _) | Some (Bootstrapping _) ->
           (* Bootstrap in progress: standard path (paper Sect. 3.3).  Not
@@ -1802,6 +2059,9 @@ let classify t (packet : P.t) =
           | Cache_queue (ch, q)
             when ch.connected && Fifo.is_active q.out_fifo ->
               t.s.flow_cache_hits <- t.s.flow_cache_hits + 1;
+              (* LRU timestamp: a plain field store of the engine's already
+                 boxed clock — no allocation on the fast path. *)
+              ch.ch_last_active <- Sim.Engine.now (engine t);
               frame_for_queue t q packet
           | Cache_queue _ ->
               (* The channel died since this was cached (the epoch bump and
@@ -1863,6 +2123,7 @@ let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
         let peer_domid = entry.Proto.entry_domid in
         match Hashtbl.find_opt t.peers peer_domid with
         | Some (Active ch) when ch.connected ->
+            ch.ch_last_active <- Sim.Engine.now (engine t);
             (* Shortcut payloads steer like hook traffic: UDP-flavoured
                5-tuple, so distinct port pairs spread across queues. *)
             let key =
@@ -2141,10 +2402,13 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
           loans_force_returned = 0;
           bootstrap_failures = 0;
           softstate_evictions = 0;
+          channels_evicted = 0;
+          delta_announces = 0;
         };
       loaded = true;
       next_token = 0;
       last_announce = Sim.Engine.now (Stack.engine stack);
+      announce_epoch = 0;
       expiry_timer = None;
       ctrl_fault = None;
       push_fault = None;
@@ -2157,17 +2421,28 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
   Stack.set_ctrl_handler stack (on_ctrl_packet t);
   advertise t;
   (let ttl = p.Params.xenloop_softstate_ttl in
-   if Sim.Time.span_is_positive ttl then begin
+   let idle = p.Params.xenloop_channel_idle_ttl in
+   let pos = Sim.Time.span_is_positive in
+   (* One periodic timer serves both expiries; its period tracks the
+      shorter of the two configured horizons. *)
+   let basis =
+     if pos ttl && pos idle then
+       Sim.Time.ns_int64 (Int64.min (Sim.Time.to_ns ttl) (Sim.Time.to_ns idle))
+     else if pos ttl then ttl
+     else idle
+   in
+   if pos basis then begin
      (* Check a few times per TTL so eviction lands within ~5/4 TTL of the
-        last announcement, not a whole extra TTL late. *)
+        last announcement (or last traffic), not a whole extra TTL late. *)
      let period =
        Sim.Time.span_max (Sim.Time.ms 1)
-         (Sim.Time.ns_int64 (Int64.div (Sim.Time.to_ns ttl) 4L))
+         (Sim.Time.ns_int64 (Int64.div (Sim.Time.to_ns basis) 4L))
      in
      t.expiry_timer <-
        Some
          (Sim.Engine.every (Stack.engine stack) period (fun () ->
-              softstate_expire t))
+              softstate_expire t;
+              idle_evict t))
    end);
   Domain.on_pre_migrate domain (fun () -> if t.loaded then prepare_migration t);
   Domain.on_post_restore domain (fun () -> if t.loaded then restore_after_migration t);

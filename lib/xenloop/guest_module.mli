@@ -96,6 +96,15 @@ type stats = {
       (** mapping-table entries dropped because no Dom0 announcement
           arrived within {!Hypervisor.Params.xenloop_softstate_ttl} —
           the soft-state expiry of paper Sect. 3.2 *)
+  mutable channels_evicted : int;
+      (** Active channels torn down by the bounded-state policy (the
+          per-guest cap {!Hypervisor.Params.xenloop_channel_cap} or the
+          idle LRU {!Hypervisor.Params.xenloop_channel_idle_ttl},
+          DESIGN.md §12); grant-balanced, with in-flight traffic flushed
+          over netfront exactly once *)
+  mutable delta_announces : int;
+      (** versioned delta announcements received from Dom0 (including
+          full resyncs and keep-alive heartbeats, DESIGN.md §12) *)
 }
 
 val create :
@@ -149,6 +158,38 @@ val waiting_list_length : t -> domid:int -> int
 
 val fifo_k : t -> int
 val fifo_capacity_bytes : t -> int
+
+(** {1 Bounded channel state (DESIGN.md §12)} *)
+
+val live_channels : t -> int
+(** Connected Active channels right now (both roles). *)
+
+val active_channel_count : t -> int
+(** Active channels including those whose ack is still in flight — the
+    population the per-guest cap is enforced against. *)
+
+val channel_pool_bytes : t -> int
+(** Machine memory (bytes) backing this guest's Active channels — FIFO
+    pages plus payload pools — counted only on the allocating (listener)
+    side, so summing over a mesh never double counts. *)
+
+val grant_entries : t -> int
+(** Live entries in this guest's grant table (channel pages granted to
+    peers).  Zero after a clean teardown of everything — the
+    grant-balance half of the eviction contract. *)
+
+val evict_lru : t -> bool
+(** Tear down the least-recently-active channel (grant-balanced; waiting
+    and in-flight frames flushed over netfront), leaving the peer in a
+    short {!Hypervisor.Params.xenloop_evict_cooldown} so the freed slot
+    is not immediately re-bootstrapped.  [false] when no Active channel
+    exists.  The cap and idle-TTL policies use this internally; the chaos
+    harness's Evict_storm fault drives it directly. *)
+
+val announce_epoch : t -> int
+(** The Dom0 announce epoch this guest has applied and acked (delta
+    announcements, DESIGN.md §12); 0 under legacy full-list
+    announcements. *)
 
 (** {1 Multi-queue observability} *)
 

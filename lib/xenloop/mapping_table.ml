@@ -38,6 +38,19 @@ let update t entries =
   t.current <- entries;
   reindex t
 
+(* Delta application (DESIGN.md §12): remove the left guests and any
+   older incarnation of the joining ones, then append the joins.  One
+   rebuild of the indices per delta keeps the per-packet lookups O(1)
+   without a per-join O(n) reindex. *)
+let apply_delta t ~joins ~leaves =
+  let gone d =
+    List.mem d leaves
+    || List.exists (fun e -> e.Proto.entry_domid = d) joins
+  in
+  t.current <-
+    List.filter (fun e -> not (gone e.Proto.entry_domid)) t.current @ joins;
+  reindex t
+
 let lookup t mac =
   Option.map (fun e -> e.Proto.entry_domid) (Hashtbl.find_opt t.by_mac mac)
 

@@ -12,6 +12,12 @@ val create : unit -> t
 val update : t -> Proto.entry list -> unit
 (** Replace the table contents with a fresh announcement. *)
 
+val apply_delta : t -> joins:Proto.entry list -> leaves:int list -> unit
+(** Apply a delta announcement: drop the guests in [leaves], replace or
+    add the guests in [joins].  Entries not named stay untouched — under
+    deltas, soft-state aging is driven by explicit leaves plus the TTL
+    backstop rather than wholesale replacement. *)
+
 val lookup : t -> Netcore.Mac.t -> int option
 (** Guest id of the co-resident guest owning this MAC, if any. *)
 

@@ -17,6 +17,13 @@ type queue_grant = {
 
 type t =
   | Announce of entry list
+  | Delta_announce of {
+      da_base : int;
+      da_epoch : int;
+      da_full : bool;
+      da_joins : entry list;
+      da_leaves : int list;
+    }
   | Request_channel of {
       requester_domid : int;
       max_queues : int;
@@ -42,7 +49,11 @@ type t =
    negotiated-down handshake therefore reproduces the earlier byte
    streams exactly.  Create_channel needs no loan variant: the loan
    credit rides as a stamp in the payload-pool control page, invisible
-   to the wire format. *)
+   to the wire format.  The delta-announcement variant (14) is only ever
+   sent to a guest that advertised the "dl" token, so its entries always
+   carry the full queues/zc/loans capability set — no per-list gating
+   needed; a legacy peer keeps receiving tags 1/6/9/12 and never sees a
+   14. *)
 
 let has_pool q = q.qg_lc_pool <> None || q.qg_cl_pool <> None
 
@@ -52,6 +63,7 @@ let tag = function
       else if List.exists (fun e -> e.entry_zc) entries then 9
       else if List.for_all (fun e -> e.entry_queues <= 1) entries then 1
       else 6
+  | Delta_announce _ -> 14
   | Request_channel { max_queues; zerocopy; loans; _ } ->
       if loans then 13
       else if zerocopy then 10
@@ -99,6 +111,22 @@ let encode msg =
             Buffer.add_char buf (Char.chr (Bool.to_int e.entry_zc));
           if t = 12 then Buffer.add_char buf (Char.chr (Bool.to_int e.entry_loans)))
         entries
+  | Delta_announce { da_base; da_epoch; da_full; da_joins; da_leaves } ->
+      w32 buf da_base;
+      w32 buf da_epoch;
+      Buffer.add_char buf (Char.chr (Bool.to_int da_full));
+      w16 buf (List.length da_joins);
+      List.iter
+        (fun e ->
+          w16 buf e.entry_domid;
+          wmac buf e.entry_mac;
+          wip buf e.entry_ip;
+          w16 buf e.entry_queues;
+          Buffer.add_char buf (Char.chr (Bool.to_int e.entry_zc));
+          Buffer.add_char buf (Char.chr (Bool.to_int e.entry_loans)))
+        da_joins;
+      w16 buf (List.length da_leaves);
+      List.iter (fun d -> w16 buf d) da_leaves
   | Request_channel { requester_domid; max_queues; zerocopy; loans } ->
       w16 buf requester_domid;
       if t = 7 || t = 10 || t = 13 then w16 buf max_queues;
@@ -203,6 +231,17 @@ let decode data =
         Ok
           (Announce
              (List.init n (fun _ -> rentry ~queues:true ~zc:true ~loans:true ())))
+    | 14 ->
+        let da_base = r32 () in
+        let da_epoch = r32 () in
+        let da_full = r8 () <> 0 in
+        let nj = r16 () in
+        let da_joins =
+          List.init nj (fun _ -> rentry ~queues:true ~zc:true ~loans:true ())
+        in
+        let nl = r16 () in
+        let da_leaves = List.init nl (fun _ -> r16 ()) in
+        Ok (Delta_announce { da_base; da_epoch; da_full; da_joins; da_leaves })
     | 2 ->
         Ok
           (Request_channel
@@ -272,6 +311,12 @@ let pp fmt = function
                   (if e.entry_zc then " zc" else "")
                   (if e.entry_loans then " ln" else ""))
               entries))
+  | Delta_announce { da_base; da_epoch; da_full; da_joins; da_leaves } ->
+      Format.fprintf fmt "delta_announce(%d->%d%s +[%s] -[%s])" da_base da_epoch
+        (if da_full then " full" else "")
+        (String.concat ";"
+           (List.map (fun e -> string_of_int e.entry_domid) da_joins))
+        (String.concat ";" (List.map string_of_int da_leaves))
   | Request_channel { requester_domid; max_queues; zerocopy; loans } ->
       Format.fprintf fmt "request_channel(dom%d maxq=%d%s%s)" requester_domid
         max_queues

@@ -62,6 +62,22 @@ type t =
   | Announce of entry list
       (** Dom0's collated [guest-ID, MAC, queues, zc] list of willing
           guests. *)
+  | Delta_announce of {
+      da_base : int;
+          (** the epoch this delta starts from — the recipient's acked
+              epoch as Dom0 last read it (0 together with [da_full]) *)
+      da_epoch : int;  (** the epoch this message brings the recipient to *)
+      da_full : bool;
+          (** [da_joins] is the complete willing-guest list (resync);
+              [da_leaves] is empty *)
+      da_joins : entry list;
+      da_leaves : int list;  (** domids gone since [da_base] *)
+    }
+      (** Versioned delta announcement (DESIGN.md §12): sent only to
+          guests that advertised the "dl" token, so steady-state announce
+          bytes per guest are O(churn), not O(cluster size).  An empty
+          delta ([da_base = da_epoch], no joins/leaves) is the keep-alive
+          heartbeat that refreshes the recipient's soft-state TTL. *)
   | Request_channel of {
       requester_domid : int;
       max_queues : int;

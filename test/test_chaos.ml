@@ -68,24 +68,28 @@ let test_soak_subset_clean () =
         c_scenario = Harness.Xenloop_duo;
         c_faults = [];
         c_loans = false;
+        c_evictions = false;
       };
       {
         Soak.c_name = "xenloop-duo/storm";
         c_scenario = Harness.Xenloop_duo;
         c_faults = storm Harness.Xenloop_duo;
         c_loans = false;
+        c_evictions = false;
       };
       {
         Soak.c_name = "cluster3/peer-crash";
         c_scenario = Harness.Cluster3;
         c_faults = [ Fault.default_spec Fault.Peer_crash ];
         c_loans = false;
+        c_evictions = false;
       };
       {
         Soak.c_name = "migration-world/migrate-midstream";
         c_scenario = Harness.Migration_world;
         c_faults = [ Fault.default_spec Fault.Migrate_midstream ];
         c_loans = false;
+        c_evictions = false;
       };
     ]
   in

@@ -1,0 +1,389 @@
+(* Tests for the cluster-scale control plane (DESIGN.md §12): versioned
+   delta announcements with per-guest acks and suppression, version-gated
+   legacy interop, the bounded channel state (per-guest cap, idle LRU,
+   grant-balanced eviction, netfront fallback, re-establishment), and the
+   parameterized mesh topology generator itself. *)
+
+module Mesh = Scenarios.Mesh
+module Setup = Scenarios.Setup
+module Experiment = Scenarios.Experiment
+module Endpoint = Scenarios.Endpoint
+module Gm = Xenloop.Guest_module
+module Discovery = Xenloop.Discovery
+module Params = Hypervisor.Params
+module Machine = Hypervisor.Machine
+module Domain = Hypervisor.Domain
+module Udp = Netstack.Udp
+
+(* Control-plane timings compressed ~100x against the paper's 5 s scan so
+   whole soft-state lifetimes fit in a quick test. *)
+let ctl_params =
+  {
+    Params.default with
+    Params.discovery_period = Sim.Time.ms 50;
+    xenloop_softstate_ttl = Sim.Time.ms 400;
+    xenloop_announce_refresh = Sim.Time.ms 100;
+    xenloop_delta_announce = true;
+  }
+
+let with_mesh ?(params = ctl_params) ~guests ~hosts f =
+  let t = Mesh.build ~params ~guests ~hosts () in
+  Experiment.run_process t.Mesh.engine (fun () ->
+      Mesh.warmup t;
+      f t)
+
+let guest t i = t.Mesh.guests.(i)
+let module_of t i = (guest t i).Mesh.g_module
+let domid t i = Domain.domid (guest t i).Mesh.g_domain
+
+(* --- Delta announcements --- *)
+
+let test_delta_epoch_acked () =
+  with_mesh ~guests:4 ~hosts:1 (fun t ->
+      let d = t.Mesh.hosts.(0).Mesh.h_discovery in
+      let epoch = Discovery.current_epoch d in
+      Alcotest.(check bool) "joins advanced the epoch" true (epoch >= 1);
+      Array.iter
+        (fun g ->
+          let m = g.Mesh.g_module in
+          Alcotest.(check int) "guest acked the current epoch" epoch
+            (Gm.announce_epoch m);
+          Alcotest.(check bool) "guest heard delta announcements" true
+            ((Gm.stats m).Gm.delta_announces >= 1);
+          Alcotest.(check int) "mapping holds all co-residents" 3
+            (Gm.mapping_size m))
+        t.Mesh.guests)
+
+let test_delta_suppression_steady_state () =
+  with_mesh ~guests:4 ~hosts:1 (fun t ->
+      let d = t.Mesh.hosts.(0).Mesh.h_discovery in
+      let bytes0 = Discovery.announce_bytes d in
+      let supp0 = Discovery.announcements_suppressed d in
+      for _ = 1 to 3 do
+        Discovery.scan_now d;
+        Sim.Engine.sleep (Sim.Time.ms 1)
+      done;
+      Alcotest.(check int) "no churn, no announce bytes" bytes0
+        (Discovery.announce_bytes d);
+      Alcotest.(check bool) "every up-to-date recipient was suppressed" true
+        (Discovery.announcements_suppressed d - supp0 >= 3 * 4))
+
+let test_delta_heartbeat_keeps_softstate () =
+  with_mesh ~guests:3 ~hosts:1 (fun t ->
+      let d = t.Mesh.hosts.(0).Mesh.h_discovery in
+      (* Several whole soft-state lifetimes with zero churn: suppression
+         must not starve the TTL — the refresh heartbeat keeps every
+         mapping alive. *)
+      Sim.Engine.sleep (Sim.Time.sec 2);
+      Array.iter
+        (fun g ->
+          Alcotest.(check int) "mapping survived the silence" 2
+            (Gm.mapping_size g.Mesh.g_module);
+          Alcotest.(check int) "no soft-state evictions" 0
+            (Gm.stats g.Mesh.g_module).Gm.softstate_evictions)
+        t.Mesh.guests;
+      Alcotest.(check bool) "steady state suppressed most rounds" true
+        (Discovery.announcements_suppressed d > 0))
+
+let test_delta_leave_propagates () =
+  with_mesh ~guests:4 ~hosts:1 (fun t ->
+      let h = t.Mesh.hosts.(0) in
+      let d = h.Mesh.h_discovery in
+      let e0 = Discovery.current_epoch d in
+      Machine.shutdown_domain h.Mesh.h_machine (guest t 3).Mesh.g_domain;
+      Discovery.scan_now d;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      let e1 = Discovery.current_epoch d in
+      Alcotest.(check bool) "the leave bumped the epoch" true (e1 > e0);
+      for i = 0 to 2 do
+        Alcotest.(check int) "survivors applied the leave delta" 2
+          (Gm.mapping_size (module_of t i));
+        Alcotest.(check int) "survivors acked the new epoch" e1
+          (Gm.announce_epoch (module_of t i))
+      done)
+
+(* Version gating: a Dom0 running delta announcements keeps feeding the
+   classic full list to a guest whose module predates the protocol (no
+   "dl" token in its advert), while delta-capable neighbours get epochs.
+   The two kinds interoperate on one machine, channels included. *)
+let test_legacy_guest_interop () =
+  let engine = Sim.Engine.create () in
+  let params = ctl_params in
+  let legacy_params = { ctl_params with Params.xenloop_delta_announce = false } in
+  let machine = Machine.create ~engine ~params ~id:0 () in
+  let dom0 = Machine.dom0 machine in
+  let bridge =
+    Xennet.Bridge.create ~engine ~params ~cpu:(Domain.cpu dom0) ~name:"xenbr0"
+  in
+  let dom0_ep =
+    Endpoint.make ~engine ~params ~cpu:(Domain.cpu dom0) ~name:"dom0"
+      ~ip:(Domain.ip dom0) ~mac:(Domain.mac dom0)
+  in
+  Setup.attach_stack_to_bridge ~params ~bridge ~stack:dom0_ep.Endpoint.stack
+    ~name:"dom0-vif";
+  let discovery =
+    Discovery.start ~machine ~dom0_stack:dom0_ep.Endpoint.stack ()
+  in
+  let make_guest ~params i =
+    let name = Printf.sprintf "guest%d" i in
+    let domain =
+      Machine.create_domain machine ~name ~ip:(Netcore.Ip.make ~subnet:2 ~host:i)
+    in
+    let ep =
+      Endpoint.make ~engine ~params ~cpu:(Domain.cpu domain) ~name
+        ~ip:(Domain.ip domain) ~mac:(Domain.mac domain)
+    in
+    let _vif =
+      Xennet.Vif.create ~machine ~guest:domain ~bridge ~stack:ep.Endpoint.stack ()
+    in
+    let m =
+      Gm.create ~domain ~stack:ep.Endpoint.stack
+        ~current_machine:(fun () -> machine)
+        ()
+    in
+    (domain, ep, m)
+  in
+  let da, ea, ma = make_guest ~params 1 in
+  let db, _eb, mb = make_guest ~params:legacy_params 2 in
+  Experiment.run_process engine (fun () ->
+      Discovery.scan_now discovery;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      let epoch = Discovery.current_epoch discovery in
+      Alcotest.(check bool) "delta-capable guest rides the epochs" true
+        (epoch >= 1 && Gm.announce_epoch ma = epoch);
+      Alcotest.(check bool) "delta-capable guest got delta messages" true
+        ((Gm.stats ma).Gm.delta_announces >= 1);
+      Alcotest.(check int) "legacy guest never sees an epoch" 0
+        (Gm.announce_epoch mb);
+      Alcotest.(check int) "legacy guest got no delta messages" 0
+        (Gm.stats mb).Gm.delta_announces;
+      Alcotest.(check int) "legacy guest still maps its neighbour" 1
+        (Gm.mapping_size mb);
+      Alcotest.(check int) "delta guest maps the legacy one" 1
+        (Gm.mapping_size ma);
+      (* And the data plane is indifferent to the gating: a channel comes
+         up between the two generations. *)
+      (match
+         Netstack.Stack.ping ea.Endpoint.stack ~dst:(Domain.ip db) ()
+       with
+      | Some _ -> ()
+      | None -> Alcotest.fail "ping across generations failed");
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      Alcotest.(check bool) "channel established across generations" true
+        (Gm.has_channel_with ma ~domid:(Domain.domid db)
+        && Gm.has_channel_with mb ~domid:(Domain.domid da)))
+
+(* --- Bounded channel state: cap, LRU, grant balance, re-establishment --- *)
+
+let evict_params =
+  {
+    ctl_params with
+    Params.xenloop_channel_cap = 2;
+    xenloop_evict_cooldown = Sim.Time.ms 5;
+  }
+
+let test_cap_evicts_lru () =
+  with_mesh ~params:evict_params ~guests:4 ~hosts:1 (fun t ->
+      Mesh.establish_all_pairs t;
+      Sim.Engine.sleep (Sim.Time.ms 5);
+      Array.iter
+        (fun g ->
+          Alcotest.(check bool) "per-guest cap holds after all-pairs churn"
+            true
+            (Gm.active_channel_count g.Mesh.g_module <= 2))
+        t.Mesh.guests;
+      Alcotest.(check bool) "the cap forced evictions" true
+        (Mesh.channels_evicted t >= 1);
+      (* Evicted pairs still talk — transparently, over netfront. *)
+      Mesh.ping t ~src:0 ~dst:3)
+
+let test_eviction_grant_balanced () =
+  with_mesh ~params:evict_params ~guests:4 ~hosts:1 (fun t ->
+      Mesh.establish_all_pairs t;
+      Sim.Engine.sleep (Sim.Time.ms 5);
+      Alcotest.(check bool) "channels granted pages" true
+        (Mesh.grant_entries t > 0 && Mesh.channel_pool_bytes t > 0);
+      (* Drain every module's channel set through the LRU evictor. *)
+      Array.iter
+        (fun g ->
+          while Gm.evict_lru g.Mesh.g_module do
+            ()
+          done)
+        t.Mesh.guests;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      Alcotest.(check int) "no live channels remain" 0 (Mesh.live_channels t);
+      Alcotest.(check int) "grant tables balanced back to zero" 0
+        (Mesh.grant_entries t);
+      Alcotest.(check int) "channel memory pool fully released" 0
+        (Mesh.channel_pool_bytes t))
+
+let test_exactly_once_across_eviction () =
+  with_mesh ~params:evict_params ~guests:2 ~hosts:1 (fun t ->
+      Mesh.ping t ~src:0 ~dst:1;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      Alcotest.(check bool) "channel up before the stream" true
+        (Gm.has_channel_with (module_of t 0) ~domid:(domid t 1));
+      let server =
+        match Udp.bind (guest t 1).Mesh.g_endpoint.Endpoint.udp ~port:7000 () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind server"
+      in
+      let client =
+        match Udp.bind (guest t 0).Mesh.g_endpoint.Endpoint.udp () with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "bind client"
+      in
+      let dst = Endpoint.ip (guest t 1).Mesh.g_endpoint in
+      let send seq =
+        Udp.sendto client ~dst ~dst_port:7000
+          (Bytes.of_string (Printf.sprintf "%04d" seq))
+      in
+      for seq = 0 to 49 do
+        send seq
+      done;
+      (* Shed the channel mid-stream: whatever is still in the FIFO must be
+         flushed over netfront, once. *)
+      Alcotest.(check bool) "evictor found the live channel" true
+        (Gm.evict_lru (module_of t 0));
+      for seq = 50 to 99 do
+        send seq
+      done;
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      let seen = Hashtbl.create 128 in
+      let rec drain n =
+        match Udp.recv_opt server with
+        | None -> n
+        | Some (_, _, payload) ->
+            let seq = int_of_string (Bytes.to_string payload) in
+            Alcotest.(check bool)
+              (Printf.sprintf "seq %d delivered once" seq)
+              false (Hashtbl.mem seen seq);
+            Hashtbl.replace seen seq ();
+            drain (n + 1)
+      in
+      let n = drain 0 in
+      Alcotest.(check int) "no datagram lost across the eviction" 100 n;
+      Alcotest.(check int) "receive buffer never overflowed" 0
+        (Udp.drops server))
+
+let test_reestablish_after_cooldown () =
+  with_mesh ~params:evict_params ~guests:2 ~hosts:1 (fun t ->
+      let m0 = module_of t 0 in
+      let peer = domid t 1 in
+      Mesh.ping t ~src:0 ~dst:1;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      Alcotest.(check bool) "channel up" true (Gm.has_channel_with m0 ~domid:peer);
+      Alcotest.(check bool) "evicted" true (Gm.evict_lru m0);
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      (* Inside the cooldown traffic flows but must not re-bootstrap. *)
+      Mesh.ping t ~src:0 ~dst:1;
+      Sim.Engine.sleep (Sim.Time.ms 1);
+      Alcotest.(check bool) "cooldown blocks re-establishment" false
+        (Gm.has_channel_with m0 ~domid:peer);
+      (* Past the cooldown the first packet re-bootstraps on demand. *)
+      Sim.Engine.sleep (Sim.Time.ms 10);
+      Mesh.ping t ~src:0 ~dst:1;
+      Sim.Engine.sleep (Sim.Time.ms 5);
+      Alcotest.(check bool) "channel re-established after cooldown" true
+        (Gm.has_channel_with m0 ~domid:peer);
+      Alcotest.(check bool) "second establishment counted" true
+        ((Gm.stats m0).Gm.channels_established >= 2))
+
+let test_idle_ttl_evicts () =
+  let params =
+    { ctl_params with Params.xenloop_channel_idle_ttl = Sim.Time.ms 10 }
+  in
+  with_mesh ~params ~guests:2 ~hosts:1 (fun t ->
+      let m0 = module_of t 0 in
+      let peer = domid t 1 in
+      Mesh.ping t ~src:0 ~dst:1;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      Alcotest.(check bool) "channel up" true (Gm.has_channel_with m0 ~domid:peer);
+      (* Long silence: the idle LRU reaps the channel, but the soft state —
+         kept warm by announce heartbeats — survives. *)
+      Sim.Engine.sleep (Sim.Time.ms 200);
+      Alcotest.(check bool) "idle channel evicted" false
+        (Gm.has_channel_with m0 ~domid:peer);
+      Alcotest.(check bool) "eviction counted" true
+        ((Gm.stats m0).Gm.channels_evicted >= 1
+        || (Gm.stats (module_of t 1)).Gm.channels_evicted >= 1);
+      Alcotest.(check int) "soft state intact" 1 (Gm.mapping_size m0))
+
+(* --- The topology generator --- *)
+
+let test_mesh_topology_shape () =
+  with_mesh ~params:Params.default ~guests:12 ~hosts:3 (fun t ->
+      Alcotest.(check int) "three hosts" 3 (Array.length t.Mesh.hosts);
+      Alcotest.(check int) "twelve guests" 12 (Array.length t.Mesh.guests);
+      Array.iter
+        (fun g ->
+          Alcotest.(check int)
+            (Printf.sprintf "guest %d in its block" g.Mesh.g_index)
+            (g.Mesh.g_index * 3 / 12)
+            g.Mesh.g_host)
+        t.Mesh.guests;
+      Alcotest.(check bool) "block mates co-resident" true
+        (Mesh.co_resident t 0 3);
+      Alcotest.(check bool) "block boundary splits" false (Mesh.co_resident t 3 4);
+      (* Warmed up: every guest maps exactly its three block mates. *)
+      Array.iter
+        (fun g ->
+          Alcotest.(check int) "mapping = co-residents only" 3
+            (Gm.mapping_size g.Mesh.g_module))
+        t.Mesh.guests;
+      (* Co-resident traffic raises a channel; cross-host traffic takes the
+         wire and raises none. *)
+      Mesh.ping t ~src:0 ~dst:1;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      Alcotest.(check bool) "co-resident pair on the fast path" true
+        (Gm.has_channel_with (module_of t 0) ~domid:(domid t 1));
+      Mesh.ping t ~src:3 ~dst:4;
+      Alcotest.(check int) "cross-host pair stays on the wire" 0
+        (Gm.live_channels (module_of t 4)))
+
+let test_mesh_guest_ips_unique () =
+  let seen = Hashtbl.create 1024 in
+  for i = 0 to 599 do
+    let ip = Mesh.guest_ip i in
+    Alcotest.(check bool)
+      (Printf.sprintf "guest %d ip fresh" i)
+      false (Hashtbl.mem seen ip);
+    Hashtbl.replace seen ip ()
+  done
+
+let suites =
+  [
+    ( "xenloop.delta",
+      [
+        Alcotest.test_case "epoch advances and guests ack" `Quick
+          test_delta_epoch_acked;
+        Alcotest.test_case "steady state is suppressed" `Quick
+          test_delta_suppression_steady_state;
+        Alcotest.test_case "heartbeat keeps soft state" `Quick
+          test_delta_heartbeat_keeps_softstate;
+        Alcotest.test_case "leave propagates as a delta" `Quick
+          test_delta_leave_propagates;
+        Alcotest.test_case "legacy guest interop (version gating)" `Quick
+          test_legacy_guest_interop;
+      ] );
+    ( "xenloop.evict",
+      [
+        Alcotest.test_case "cap holds under all-pairs churn" `Quick
+          test_cap_evicts_lru;
+        Alcotest.test_case "eviction is grant-balanced" `Quick
+          test_eviction_grant_balanced;
+        Alcotest.test_case "exactly-once delivery across eviction" `Quick
+          test_exactly_once_across_eviction;
+        Alcotest.test_case "re-establishment after cooldown" `Quick
+          test_reestablish_after_cooldown;
+        Alcotest.test_case "idle TTL evicts, soft state survives" `Quick
+          test_idle_ttl_evicts;
+      ] );
+    ( "xenloop.mesh",
+      [
+        Alcotest.test_case "topology shape and placement" `Quick
+          test_mesh_topology_shape;
+        Alcotest.test_case "guest addresses unique at scale" `Quick
+          test_mesh_guest_ips_unique;
+      ] );
+  ]
