@@ -4,7 +4,7 @@
 # data path loses or duplicates a single application byte relative to the
 # baseline (see bench/main.ml).
 
-.PHONY: all build test bench-smoke bench perf engine-check datapath-check mesh-check soak ci check-tracked-artifacts clean
+.PHONY: all build test bench-smoke bench perf engine-check datapath-check mesh-check fairness-check soak ci check-tracked-artifacts clean
 
 all: build
 
@@ -53,6 +53,13 @@ datapath-check: build
 mesh-check: build
 	dune exec bench/main.exe -- --mesh-check BENCH_results.json
 
+# QoS fairness gate: re-measure the incast and elephant-vs-mice sweeps in
+# smoke mode and fail if the per-flow scheduler stops enforcing fairness —
+# qos-on incast Jain index < 0.95, or the elephant-vs-mice victim's rr p99
+# under qos-on regresses to within 5x of the qos-off pile-up.
+fairness-check: build
+	dune exec bench/main.exe -- --fairness-check
+
 # Chaos soak: the full fault matrix (every scenario x every applicable
 # fault kind, alone and as a storm), deterministic per seed.  Set
 # SOAK_ITERS=n for a longer sweep over seeds 42..42+n-1; a red run prints
@@ -60,8 +67,8 @@ mesh-check: build
 soak: build
 	dune exec xenloopsim -- chaos
 
-ci: check-tracked-artifacts build test bench-smoke engine-check datapath-check mesh-check soak
-	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + data-path copy gate + mesh control-plane gate + chaos soak all green"
+ci: check-tracked-artifacts build test bench-smoke engine-check datapath-check mesh-check fairness-check soak
+	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + data-path copy gate + mesh control-plane gate + QoS fairness gate + chaos soak all green"
 
 clean:
 	dune clean

@@ -1624,6 +1624,290 @@ let mesh_check path =
       end;
       if !failed then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Fairness sweep (DESIGN.md §14): incast fan-in and elephant-vs-mice,
+   QoS off vs on.  Every UDP sender blasts a shared single-queue channel
+   with a deliberately small FIFO; the flooder/elephant is a misbehaving
+   tenant (non-blocking sends, ignores EWOULDBLOCK) while the victims
+   use the blocking socket path and feel the backpressure.  Jain's index
+   is computed over per-flow bytes delivered inside a fixed window; the
+   mice are a concurrent TCP_RR whose p99 is the victim latency the CI
+   gate tracks. *)
+
+type fairness_side = {
+  fz_qos : bool;
+  fz_jain : float option;  (* incast: over raw per-flow delivered bytes *)
+  fz_flows : (int * int * bool) list;  (* port, window bytes, misbehaving *)
+  fz_victim_transactions : int;
+  fz_victim_p50_us : float;
+  fz_victim_p99_us : float;
+  fz_udp_mbps : float;  (* aggregate UDP goodput over the window *)
+  fz_flow_stats : Gm.flow_stat list;  (* client tx module; [] when QoS off *)
+}
+
+let jain = function
+  | [] -> 1.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let s = List.fold_left ( +. ) 0.0 xs in
+      let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+      if s2 = 0.0 then 1.0 else s *. s /. (n *. s2)
+
+let fairness_params ~qos =
+  {
+    Hypervisor.Params.default with
+    Hypervisor.Params.qos_enabled = qos;
+    (* One queue: every flow contends for the same channel, the regime
+       the per-flow scheduler exists for. *)
+    xenloop_queues = 1;
+    (* Small sub-queues so the heavy flow trips its watermark (and the
+       misbehaving sender's EWOULDBLOCK clamp) within the bench window. *)
+    qos_flow_queue_max = 32;
+  }
+
+(* Senders are (udp port, payload bytes, datagrams per 10 us tick,
+   misbehaving).  The sender guest is one serial vCPU, so per-process
+   charge rotation equalizes packet rates across flows no matter the
+   burst count — offered-load skew comes from the heavy hitter using
+   jumbo datagrams (more bytes per CPU grant).  The receiver guest runs
+   CPU burners so the rx dispatcher lags, the small FIFO fills, and the
+   tx side actually has a standing backlog for the scheduler to
+   arbitrate; without them everything offered drains instantly and
+   qos on/off are indistinguishable. *)
+let fairness_burners = 3
+
+let run_fairness_side ~smoke ~qos ~with_jain ~senders () =
+  let ctx =
+    make_ctx ~params:(fairness_params ~qos) ~fifo_k:9 Setup.Xenloop_path
+  in
+  in_ctx ctx (fun { duo; client; server; dst } ->
+      let engine = duo.Setup.engine in
+      let window = Sim.Time.ms (if smoke then 15 else 40) in
+      let deadline = Sim.Time.add (Sim.Engine.now engine) window in
+      let nflows = List.length senders in
+      let received = Array.make nflows 0 in
+      let stop = ref false in
+      let rr_done = ref false in
+      (* Burn the receiver's vCPU: identical load on both sides of the
+         comparison, it exists only to make the channel the bottleneck. *)
+      let server_cpu = Netstack.Stack.cpu server.Host.stack in
+      for _ = 1 to fairness_burners do
+        Sim.Engine.spawn engine (fun () ->
+            while not !stop do
+              Sim.Resource.use server_cpu (Sim.Time.us 2)
+            done)
+      done;
+      List.iteri
+        (fun i (port, _, _, _) ->
+          let sock =
+            match Netstack.Udp.bind server.Host.udp ~port () with
+            | Ok s -> s
+            | Error _ -> failwith "fairness: server bind"
+          in
+          Sim.Engine.spawn engine (fun () ->
+              (* Poll rather than block, so the receiver can stop
+                 counting at the window deadline and exit cleanly. *)
+              while not !stop do
+                match Netstack.Udp.recv_opt sock with
+                | Some (_, _, b) ->
+                    if Sim.Time.(Sim.Engine.now engine < deadline) then
+                      received.(i) <- received.(i) + Bytes.length b
+                | None -> Sim.Engine.sleep (Sim.Time.us 20)
+              done))
+        senders;
+      List.iter
+        (fun (port, bytes, burst, misbehaving) ->
+          let sock =
+            match Netstack.Udp.bind client.Host.udp () with
+            | Ok s -> s
+            | Error _ -> failwith "fairness: client bind"
+          in
+          let payload = Bytes.make bytes 'f' in
+          Sim.Engine.spawn engine (fun () ->
+              (* Blast until the window has closed AND the rr victim is
+                 done, so every rr sample sees full contention. *)
+              while
+                (not !rr_done) || Sim.Time.(Sim.Engine.now engine < deadline)
+              do
+                for _ = 1 to burst do
+                  if misbehaving then
+                    ignore
+                      (Netstack.Udp.sendto_nb sock ~dst ~dst_port:port payload)
+                  else Netstack.Udp.sendto sock ~dst ~dst_port:port payload
+                done;
+                Sim.Engine.sleep (Sim.Time.us 10)
+              done))
+        senders;
+      (* Let the blast establish a standing backlog first. *)
+      Sim.Engine.sleep (Sim.Time.us 300);
+      let trans = if smoke then 25 else 80 in
+      let rr =
+        Netperf.tcp_rr ~client ~server ~dst ~port:9300 ~client_port:40001
+          ~interval:(Sim.Time.us 300) ~transactions:trans ()
+      in
+      rr_done := true;
+      while Sim.Time.(Sim.Engine.now engine < deadline) do
+        Sim.Engine.sleep (Sim.Time.us 200)
+      done;
+      let flow_bytes =
+        List.mapi (fun i (port, _, _, mis) -> (port, received.(i), mis)) senders
+      in
+      let client_module = List.hd duo.Setup.modules in
+      let fz_flow_stats = Gm.flow_stats client_module in
+      stop := true;
+      Sim.Engine.sleep (Sim.Time.ms 2);
+      {
+        fz_qos = qos;
+        fz_jain =
+          (if with_jain then
+             Some (jain (List.map (fun (_, b, _) -> float_of_int b) flow_bytes))
+           else None);
+        fz_flows = flow_bytes;
+        fz_victim_transactions = rr.Netperf.transactions;
+        fz_victim_p50_us = rr.Netperf.p50_latency_us;
+        fz_victim_p99_us = rr.Netperf.p99_latency_us;
+        fz_udp_mbps =
+          (let total = Array.fold_left ( + ) 0 received in
+           float_of_int (total * 8) /. Sim.Time.to_us_f window);
+        fz_flow_stats;
+      })
+
+(* Incast fan-in: 8 sockets on one guest into one receiver, one of them
+   a jumbo-datagram flood (fragmented, so it keys one heavy flow while
+   each victim keeps its own unfragmented per-port flow).  Fair share is
+   equal, so Jain over raw window bytes is the figure of merit. *)
+let incast_senders =
+  (8100, 4096, 4, true) :: List.init 7 (fun i -> (8101 + i, 1024, 1, false))
+
+(* Elephant-vs-mice: one heavy-hitter blasting jumbo datagrams; the
+   mice are the TCP_RR victim sharing the queue.  The victim's p99 is
+   the figure of merit (Jain over one UDP flow says nothing). *)
+let elephant_senders = [ (8100, 4096, 6, true) ]
+
+type fairness_sweep = {
+  fw_incast_off : fairness_side;
+  fw_incast_on : fairness_side;
+  fw_elephant_off : fairness_side;
+  fw_elephant_on : fairness_side;
+}
+
+let run_fairness_sweep ~smoke =
+  {
+    fw_incast_off =
+      run_fairness_side ~smoke ~qos:false ~with_jain:true
+        ~senders:incast_senders ();
+    fw_incast_on =
+      run_fairness_side ~smoke ~qos:true ~with_jain:true
+        ~senders:incast_senders ();
+    fw_elephant_off =
+      run_fairness_side ~smoke ~qos:false ~with_jain:false
+        ~senders:elephant_senders ();
+    fw_elephant_on =
+      run_fairness_side ~smoke ~qos:true ~with_jain:false
+        ~senders:elephant_senders ();
+  }
+
+let json_of_fairness_side buf z =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"qos\": %b, \"jain\": %s, \"udp_mbps\": %.1f,\n       \
+        \"victim_rr\": {\"transactions\": %d, \"p50_us\": %.1f, \"p99_us\": \
+        %.1f},\n       \"flows\": ["
+       z.fz_qos
+       (match z.fz_jain with Some j -> Printf.sprintf "%.4f" j | None -> "null")
+       z.fz_udp_mbps z.fz_victim_transactions z.fz_victim_p50_us
+       z.fz_victim_p99_us);
+  List.iteri
+    (fun i (port, bytes, mis) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"port\": %d, \"bytes\": %d, \"misbehaving\": %b}"
+           port bytes mis))
+    z.fz_flows;
+  Buffer.add_string buf "],\n       \"flow_stats\": [";
+  List.iteri
+    (fun i fs ->
+      if i > 0 then Buffer.add_string buf ",\n         ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"flow\": \"%s\", \"tenant\": %d, \"weight\": %d, \"bytes\": %d, \
+            \"frames\": %d, \"descs\": %d, \"waiting_overflows\": %d, \
+            \"congestion_raises\": %d, \"congestion_clears\": %d}"
+           fs.Gm.fs_label fs.Gm.fs_tenant fs.Gm.fs_weight fs.Gm.fs_bytes
+           fs.Gm.fs_frames fs.Gm.fs_descs fs.Gm.fs_overflows
+           fs.Gm.fs_congestion_raises fs.Gm.fs_congestion_clears))
+    z.fz_flow_stats;
+  Buffer.add_string buf "]}"
+
+let json_of_fairness buf s =
+  Buffer.add_string buf "{\n    \"incast\": {\n      \"qos_off\": ";
+  json_of_fairness_side buf s.fw_incast_off;
+  Buffer.add_string buf ",\n      \"qos_on\": ";
+  json_of_fairness_side buf s.fw_incast_on;
+  Buffer.add_string buf "},\n    \"elephant_mice\": {\n      \"qos_off\": ";
+  json_of_fairness_side buf s.fw_elephant_off;
+  Buffer.add_string buf ",\n      \"qos_on\": ";
+  json_of_fairness_side buf s.fw_elephant_on;
+  let improvement =
+    if s.fw_elephant_on.fz_victim_p99_us > 0.0 then
+      s.fw_elephant_off.fz_victim_p99_us /. s.fw_elephant_on.fz_victim_p99_us
+    else Float.infinity
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "},\n    \"victim_p99_improvement\": %s\n  }"
+       (if Float.is_finite improvement then Printf.sprintf "%.2f" improvement
+        else "null"))
+
+let fairness_report s =
+  let side name z =
+    Printf.printf
+      "fairness %-22s jain %-6s udp %8.1f Mbps  victim rr p99 %8.1f us  \
+       overflowing flows %d\n"
+      name
+      (match z.fz_jain with Some j -> Printf.sprintf "%.3f" j | None -> "-")
+      z.fz_udp_mbps z.fz_victim_p99_us
+      (List.length (List.filter (fun f -> f.Gm.fs_overflows > 0) z.fz_flow_stats))
+  in
+  side "incast/qos-off" s.fw_incast_off;
+  side "incast/qos-on" s.fw_incast_on;
+  side "elephant-mice/qos-off" s.fw_elephant_off;
+  side "elephant-mice/qos-on" s.fw_elephant_on
+
+(* CI gate (make fairness-check): re-measure the sweep in smoke mode;
+   QoS-on incast must hold Jain >= 0.95 and the elephant-vs-mice victim
+   p99 must be >= 5x better than the unisolated baseline. *)
+let fairness_check () =
+  let s = run_fairness_sweep ~smoke:true in
+  fairness_report s;
+  let jain_on = Option.value ~default:0.0 s.fw_incast_on.fz_jain in
+  let improvement =
+    if s.fw_elephant_on.fz_victim_p99_us > 0.0 then
+      s.fw_elephant_off.fz_victim_p99_us /. s.fw_elephant_on.fz_victim_p99_us
+    else Float.infinity
+  in
+  Printf.printf
+    "fairness-check: qos-on incast jain %.3f (floor 0.95)  victim p99 %.1f \
+     -> %.1f us (%.1fx, floor 5x)\n"
+    jain_on s.fw_elephant_off.fz_victim_p99_us s.fw_elephant_on.fz_victim_p99_us
+    improvement;
+  let failed = ref false in
+  if jain_on < 0.95 then begin
+    Printf.eprintf
+      "FAIRNESS REGRESSION: QoS-on incast Jain index %.3f below the 0.95 \
+       floor — the DRR scheduler is no longer isolating the flooder\n"
+      jain_on;
+    failed := true
+  end;
+  if improvement < 5.0 then begin
+    Printf.eprintf
+      "VICTIM LATENCY REGRESSION: elephant-vs-mice rr p99 improved only \
+       %.1fx with QoS on (floor 5x): off %.1f us, on %.1f us\n"
+      improvement s.fw_elephant_off.fz_victim_p99_us
+      s.fw_elephant_on.fz_victim_p99_us;
+    failed := true
+  end;
+  if !failed then exit 1
+
 let json_mode ~smoke path =
   let names = [ "udp_stream"; "tcp_stream"; "udp_rr"; "tcp_rr" ] in
   let results =
@@ -1663,6 +1947,7 @@ let json_mode ~smoke path =
   in
   let zerocopy_sweep = zc_sweep ~smoke in
   let mesh_points = mesh_sweep ~smoke in
+  let fairness = run_fairness_sweep ~smoke in
   let engine_points = engine_bench_run ~smoke () in
   let chaos_summary =
     (* The chaos soak rides along: the numbers above are only worth
@@ -1686,6 +1971,7 @@ let json_mode ~smoke path =
               c_faults = [];
               c_loans = false;
               c_evictions = false;
+              c_qos = false;
             };
             {
               Chaos.Soak.c_name = "xenloop-duo/storm";
@@ -1693,6 +1979,7 @@ let json_mode ~smoke path =
               c_faults = storm;
               c_loans = false;
               c_evictions = false;
+              c_qos = false;
             };
           ]
         ~seed:42 ()
@@ -1766,7 +2053,9 @@ let json_mode ~smoke path =
       Buffer.add_string buf "    ";
       json_of_mesh_point buf p)
     mesh_points;
-  Buffer.add_string buf "\n  ],\n  \"engine_bench\": ";
+  Buffer.add_string buf "\n  ],\n  \"fairness_sweep\": ";
+  json_of_fairness buf fairness;
+  Buffer.add_string buf ",\n  \"engine_bench\": ";
   json_of_engine_bench buf engine_points;
   Buffer.add_string buf ",\n  \"chaos\": ";
   Buffer.add_string buf (Chaos.Soak.to_json chaos_summary);
@@ -1802,6 +2091,7 @@ let json_mode ~smoke path =
         points)
     zerocopy_sweep;
   List.iter mesh_point_report mesh_points;
+  fairness_report fairness;
   ignore (engine_bench_report engine_points);
   Printf.printf "wrote %s\n" path;
   (* Delivery invariance: the fast path may change timing, never what the
@@ -2030,6 +2320,8 @@ let () =
   | [ "--engine-bench-check"; path ] -> engine_bench_check path
   | [ "--datapath-check" ] -> datapath_check ()
   | [ "--mesh-check"; path ] -> mesh_check path
+  | [ "--fairness-check" ] -> fairness_check ()
+  | [ "--fairness-sweep" ] -> fairness_report (run_fairness_sweep ~smoke:false)
   | [ "--mesh-point"; g; h; d ] ->
       mesh_point_report
         (run_mesh_point ~guests:(int_of_string g) ~hosts:(int_of_string h)
@@ -2042,5 +2334,6 @@ let () =
       prerr_endline
         "usage: main.exe [--list | --only name1,name2,... | --json [path] | \
          --json-smoke path | --engine-bench | --engine-bench-smoke | \
-         --engine-bench-check path | --datapath-check | --mesh-check path]";
+         --engine-bench-check path | --datapath-check | --mesh-check path | \
+         --fairness-check | --fairness-sweep]";
       exit 1

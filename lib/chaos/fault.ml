@@ -19,13 +19,14 @@ type kind =
   | Loan_leak
   | Slow_consumer
   | Evict_storm
+  | Tenant_flood
 
 let all =
   [
     Drop_notify; Delay_notify; Grant_map_fail; Frame_exhaustion; Lost_watch;
     Stale_read; Drop_announce; Ctrl_drop; Ctrl_dup; Ctrl_delay; Push_refusal;
     Pool_exhaustion; Peer_crash; Suspend_resume; Migrate_midstream; Loan_leak;
-    Slow_consumer; Evict_storm;
+    Slow_consumer; Evict_storm; Tenant_flood;
   ]
 
 let label = function
@@ -47,6 +48,7 @@ let label = function
   | Loan_leak -> "loan-leak"
   | Slow_consumer -> "slow-consumer"
   | Evict_storm -> "evict-storm"
+  | Tenant_flood -> "tenant-flood"
 
 let of_label s = List.find_opt (fun k -> label k = s) all
 
@@ -101,6 +103,10 @@ let default_spec kind =
       (* Long window: each forced eviction must overlap the cooldown and
          the subsequent re-establishment to stress exactly-once delivery. *)
       { f_kind = kind; f_start = short_start; f_stop = long_stop; f_prob = 0.25 }
+  | Tenant_flood ->
+      (* Consulted by the flooder's pacer: every tick inside the window
+         bursts the misbehaving tenant's flow (opt-in QoS worlds only). *)
+      { f_kind = kind; f_start = short_start; f_stop = Sim.Time.ms 30; f_prob = 1.0 }
   | Peer_crash | Suspend_resume | Migrate_midstream ->
       { f_kind = kind; f_start = Sim.Time.ms 5; f_stop = Sim.Time.ms 5; f_prob = 1.0 }
 

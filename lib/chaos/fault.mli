@@ -34,6 +34,10 @@ type kind =
   | Evict_storm
       (** the LRU evictor fires far ahead of policy, shedding live
           channels mid-stream (opt-in eviction worlds only) *)
+  | Tenant_flood
+      (** one tenant floods its flow flat-out and ignores congestion
+          signals (the per-flow backpressure edge is swallowed); victims
+          must keep their fair share (opt-in QoS worlds only) *)
 
 val all : kind list
 

@@ -35,6 +35,10 @@ let applicable scenario kind =
      matrix pins them off, so the storm is armed only by the explicit
      eviction cases ([config.evictions]). *)
   | _, Fault.Evict_storm -> false
+  (* The flood needs the QoS scheduler on to have fairness to attack;
+     the standard matrix pins QoS off, so it is armed only by the
+     explicit QoS cases ([config.qos]). *)
+  | _, Fault.Tenant_flood -> false
   | Netfront_duo, _ -> false
   | Cluster3, Fault.Peer_crash -> true
   | _, Fault.Peer_crash -> false
@@ -55,10 +59,13 @@ type config = {
   evictions : bool;
       (** eviction world: delta announcements on, tight channel cap,
           short idle TTL — the regime [Fault.Evict_storm] bites in *)
+  qos : bool;
+      (** QoS world: the multi-tenant scheduler on, with a deliberately
+          shallow per-flow bound so [Fault.Tenant_flood] overflows *)
 }
 
 let default_config ?(seed = 1) ?(faults = []) ?(loans = false)
-    ?(evictions = false) scenario =
+    ?(evictions = false) ?(qos = false) scenario =
   {
     seed;
     scenario;
@@ -68,6 +75,7 @@ let default_config ?(seed = 1) ?(faults = []) ?(loans = false)
     check_period = Sim.Time.ms 1;
     loans;
     evictions;
+    qos;
   }
 
 type verdict = {
@@ -125,6 +133,10 @@ let chaos_params =
     xenloop_delta_announce = false;
     xenloop_channel_cap = 0;
     xenloop_channel_idle_ttl = Sim.Time.span_zero;
+    (* And for the QoS subsystem (DESIGN.md §14): off, the tx path is the
+       legacy FIFO-order waiting list bit-for-bit; QoS runs opt in
+       through [config.qos]. *)
+    qos_enabled = false;
   }
 
 type world = {
@@ -580,6 +592,14 @@ let run ?sabotage config =
       if config.loans then { chaos_params with Params.xenloop_loans = true }
       else chaos_params
     in
+    let p =
+      if config.qos then
+        (* QoS world: scheduler on, per-flow bound shallow enough that a
+           flooding tenant actually overflows (to netfront, per flow)
+           inside one run. *)
+        { p with Params.qos_enabled = true; qos_flow_queue_max = 16 }
+      else p
+    in
     if config.evictions then
       (* Eviction world: the bounded-channel knobs come back on, tight
          enough that the cap, the idle TTL and the post-eviction cooldown
@@ -620,6 +640,44 @@ let run ?sabotage config =
                             name))
                    !(w.w_modules)))
       in
+      (* Tenant-flood (QoS worlds): one misbehaving tenant bursts its own
+         flow flat-out while the window is open, with its congestion
+         edges swallowed — a tenant that ignores backpressure.  Victims
+         must keep exactly-once delivery and their own fair share; the
+         flooder's excess overflows to netfront, per flow. *)
+      let flood_port = 7999 in
+      (if config.qos && Fault.armed plan Fault.Tenant_flood then begin
+         List.iter
+           (fun (_, m) ->
+             Gm.set_congestion_fault_injector m
+               (Some
+                  (fun key ->
+                    match key with
+                    | Xenloop.Steering.Ip_flow { dport; _ } -> dport = flood_port
+                    | Xenloop.Steering.Mac_flow _ -> false)))
+           !(w.w_modules);
+         match w.w_flows with
+         | [] -> ()
+         | (src, dst) :: _ ->
+             let deadline =
+               Sim.Time.add (Sim.Engine.now engine) (Fault.clearance plan)
+             in
+             Sim.Engine.spawn engine ~name:"tenant-flood" (fun () ->
+                 match Udp.bind src.Endpoint.udp () with
+                 | Error _ -> ()
+                 | Ok sock ->
+                     rec_ "tenant-flood: flooder online";
+                     let payload = Bytes.make 1024 '\xfa' in
+                     while Sim.Time.(Sim.Engine.now engine < deadline) do
+                       if Fault.draw plan Fault.Tenant_flood then
+                         for _ = 1 to 16 do
+                           ignore
+                             (Udp.sendto_nb sock ~dst:(Endpoint.ip dst)
+                                ~dst_port:flood_port payload)
+                         done;
+                       Sim.Engine.sleep (Sim.Time.us 100)
+                     done)
+       end);
       let seen = Hashtbl.create 16 in
       let violations = ref [] in
       let note_violation msg =
@@ -743,6 +801,27 @@ let run ?sabotage config =
         w.w_stir ();
         Sim.Engine.sleep (Sim.Time.ms 1)
       done;
+      (* Tenant-flood fairness: per-flow sub-queues mean only the flooder
+         may be forced to spill to netfront; a victim flow overflowing
+         means the flood evicted someone else's frames. *)
+      (if config.qos && Fault.armed plan Fault.Tenant_flood then
+         let flood_suffix = Printf.sprintf ":%d" flood_port in
+         let is_flood label =
+           let n = String.length flood_suffix and l = String.length label in
+           l >= n && String.sub label (l - n) n = flood_suffix
+         in
+         List.iter
+           (fun (name, m) ->
+             List.iter
+               (fun fs ->
+                 if (not (is_flood fs.Gm.fs_label)) && fs.Gm.fs_overflows > 0
+                 then
+                   note_violation
+                     (Printf.sprintf
+                        "%s: victim flow %s overflowed under tenant flood (%d)"
+                        name fs.Gm.fs_label fs.Gm.fs_overflows))
+               (Gm.flow_stats m))
+           !(w.w_modules));
       (* Soft state must have converged on the surviving population before
          teardown. *)
       List.iter

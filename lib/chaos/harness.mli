@@ -33,9 +33,10 @@ val applicable : scenario -> Fault.kind -> bool
     [Suspend_resume] needs a co-resident pair from the start,
     [Netfront_duo] is the fault-free control, the loan kinds
     ([Loan_leak], [Slow_consumer]) only bite in a loans-on world so they
-    are armed only by explicit loans-on cases ([config.loans]), and
+    are armed only by explicit loans-on cases ([config.loans]),
     [Evict_storm] likewise only bites with the bounded-channel knobs on
-    ([config.evictions]). *)
+    ([config.evictions]), and [Tenant_flood] only in a QoS world
+    ([config.qos]). *)
 
 type config = {
   seed : int;
@@ -54,6 +55,12 @@ type config = {
           eviction cooldown — the regime {!Fault.Evict_storm} bites in;
           the standard matrix pins all of that off so pre-delta digests
           replay unchanged *)
+  qos : bool;
+      (** build the world with the multi-tenant QoS subsystem on
+          ({!Hypervisor.Params.qos_enabled}) and deliberately small
+          per-flow sub-queues, the regime {!Fault.Tenant_flood} bites in;
+          the standard matrix pins QoS off so pre-QoS digests replay
+          unchanged *)
 }
 
 val default_config :
@@ -61,10 +68,11 @@ val default_config :
   ?faults:Fault.spec list ->
   ?loans:bool ->
   ?evictions:bool ->
+  ?qos:bool ->
   scenario ->
   config
-(** 250 packets of 256 B per flow, 1 ms checker cadence, loans and
-    evictions off. *)
+(** 250 packets of 256 B per flow, 1 ms checker cadence, loans,
+    evictions and QoS off. *)
 
 type verdict = {
   v_seed : int;

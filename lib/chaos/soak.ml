@@ -5,6 +5,7 @@ type case = {
   c_loans : bool;  (** loans-on world: loaned-slot receive negotiated *)
   c_evictions : bool;
       (** eviction world: delta announcements on, tight channel cap *)
+  c_qos : bool;  (** QoS world: per-flow DRR scheduler, small sub-queues *)
 }
 
 (* In the migration world the guests start apart: there is no XenLoop
@@ -42,6 +43,7 @@ let case scenario kinds suffix =
     c_faults = specs;
     c_loans = false;
     c_evictions = false;
+    c_qos = false;
   }
 
 (* Loaned-slot receive soaks its own corner of the matrix: worlds with
@@ -98,6 +100,33 @@ let evict_cases () =
     mk Harness.Cluster3 [ Fault.Evict_storm; Fault.Suspend_resume ] "teardown";
   ]
 
+(* The QoS subsystem (DESIGN.md §14) soaks its own worlds: per-flow DRR
+   scheduling on with deliberately small sub-queues, first fault-free,
+   then under the misbehaving-tenant flood alone, then the flood mixed
+   with FIFO push refusal (so the flooder actually backlogs), across a
+   mid-window teardown, and at cluster scale.  The invariants ride in the
+   harness: victims stay exactly-once and never overflow to netfront. *)
+let qos_cases () =
+  let mk scenario kinds label =
+    {
+      (case scenario kinds label) with
+      c_name =
+        Printf.sprintf "%s/qos-%s" (Harness.scenario_label scenario) label;
+      c_qos = true;
+    }
+  in
+  [
+    mk Harness.Xenloop_duo [] "baseline";
+    mk Harness.Xenloop_duo [ Fault.Tenant_flood ] "flood";
+    mk Harness.Xenloop_duo
+      [ Fault.Tenant_flood; Fault.Push_refusal ]
+      "flood-full";
+    mk Harness.Cluster3 [ Fault.Tenant_flood ] "flood";
+    mk Harness.Xenloop_duo
+      [ Fault.Tenant_flood; Fault.Suspend_resume ]
+      "flood-teardown";
+  ]
+
 let matrix () =
   let scenario_cases scenario =
     let kinds = List.filter (Harness.applicable scenario) Fault.all in
@@ -126,7 +155,7 @@ let matrix () =
         @ [ case scenario kinds "storm" ]
   in
   List.concat_map scenario_cases Harness.all_scenarios
-  @ loan_cases () @ evict_cases ()
+  @ loan_cases () @ evict_cases () @ qos_cases ()
 
 type failure = {
   fail_seed : int;
@@ -180,7 +209,8 @@ let run ?cases ?(seed = 42) ?(iters = 1) ?(progress = fun _ -> ()) () =
         let run_seed = seed + i in
         let config =
           Harness.default_config ~seed:run_seed ~faults:c.c_faults
-            ~loans:c.c_loans ~evictions:c.c_evictions c.c_scenario
+            ~loans:c.c_loans ~evictions:c.c_evictions ~qos:c.c_qos
+            c.c_scenario
         in
         let v, _log = Harness.run config in
         incr runs;

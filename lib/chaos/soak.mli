@@ -16,6 +16,7 @@ type case = {
   c_loans : bool;  (** loans-on world: loaned-slot receive negotiated *)
   c_evictions : bool;
       (** eviction world: delta announcements on, tight channel cap *)
+  c_qos : bool;  (** QoS world: per-flow DRR scheduler, small sub-queues *)
 }
 
 val loan_cases : unit -> case list
@@ -31,9 +32,17 @@ val evict_cases : unit -> case list
     with the control-plane kinds it races, and across a mid-window
     teardown. *)
 
+val qos_cases : unit -> case list
+(** Multi-tenant QoS cases (DESIGN.md §14): QoS worlds (per-flow DRR on,
+    deliberately small sub-queues) soaked fault-free, under the
+    misbehaving-tenant [Tenant_flood] alone, mixed with [Push_refusal]
+    (so the flooder actually backlogs), across a mid-window teardown,
+    and at cluster scale.  Victims must stay exactly-once and must never
+    be forced to overflow to netfront. *)
+
 val matrix : unit -> case list
 (** The stock matrix: every scenario × {baseline, each applicable kind,
-    storm}, plus {!loan_cases} and {!evict_cases}.  [Migration_world]
+    storm}, plus {!loan_cases}, {!evict_cases} and {!qos_cases}.  [Migration_world]
     pairs each probabilistic kind with the migration itself (windows
     shifted past the migration instant, since guests apart have no
     XenLoop state to fault); [Netfront_duo] runs baseline only, as the

@@ -46,6 +46,15 @@ type t = {
   xenloop_channel_idle_ttl : Sim.Time.span;
   xenloop_evict_cooldown : Sim.Time.span;
   xenloop_bootstrap_max_inflight : int;
+  qos_enabled : bool;
+  qos_quantum : int;
+  qos_flow_queue_max : int;
+  qos_max_flows : int;
+  qos_high_watermark : float;
+  qos_low_watermark : float;
+  qos_default_weight : int;
+  qos_tenant_weights : (int * int) list;
+  qos_udp_sendspace : int;
   netfront_tx : Sim.Time.span;
   netfront_rx : Sim.Time.span;
   netback_per_packet : Sim.Time.span;
@@ -126,6 +135,22 @@ let default =
        channel bootstraps; excess co-resident flows stay on netfront and
        retry on their next packet. *)
     xenloop_bootstrap_max_inflight = 32;
+    (* Multi-tenant QoS (DESIGN.md §14).  Off by default: with
+       [qos_enabled = false] every channel keeps the legacy FIFO-order
+       waiting list and the tx path is bit-for-bit identical to the
+       pre-QoS tree. *)
+    qos_enabled = false;
+    qos_quantum = 1500;
+    qos_flow_queue_max = 128;
+    qos_max_flows = 4096;
+    qos_high_watermark = 0.75;
+    qos_low_watermark = 0.25;
+    qos_default_weight = 1;
+    qos_tenant_weights = [];
+    (* UDP sendspace budget (bytes) a congested socket may have
+       outstanding before sendto blocks / sendto_nb reports
+       EWOULDBLOCK. *)
+    qos_udp_sendspace = 65536;
     netfront_tx = Sim.Time.of_us_f 1.0;
     netfront_rx = Sim.Time.of_us_f 1.0;
     netback_per_packet = Sim.Time.of_us_f 2.3;

@@ -149,6 +149,39 @@ type t = {
       (** bound on concurrent bootstrap handshakes (join-storm damping: a
           100-guest announcement must not thundering-herd grant allocation);
           refused bootstraps retry on later traffic.  0 = unbounded *)
+  (* --- Multi-tenant QoS (DESIGN.md §14) --- *)
+  qos_enabled : bool;
+      (** per-flow fairness on the channel tx path: each queue's waiting
+          list becomes per-flow sub-queues served by weighted deficit
+          round robin, with per-flow overflow-to-netfront and
+          watermark-driven congestion signals into the socket layer.
+          [false] (the default) keeps the legacy FIFO-order waiting list
+          bit-for-bit *)
+  qos_quantum : int;
+      (** DRR byte credit per scheduler visit for a weight-1 flow; a
+          flow's share per round is quantum * weight *)
+  qos_flow_queue_max : int;
+      (** per-flow sub-queue depth bound (frames); a flow at its bound
+          overflows its *own* frames to netfront instead of evicting
+          other flows' *)
+  qos_max_flows : int;
+      (** flow-table bound per channel; on overflow the table resets
+          wholesale (accounting restarts, frames unaffected) *)
+  qos_high_watermark : float;
+      (** fraction of [qos_flow_queue_max] at which a flow's congestion
+          signal is raised (once per crossing) *)
+  qos_low_watermark : float;
+      (** fraction at which a raised signal clears; the gap provides
+          hysteresis so a hovering producer gets one edge per genuine
+          crossing *)
+  qos_default_weight : int;
+      (** DRR weight for tenants absent from [qos_tenant_weights] *)
+  qos_tenant_weights : (int * int) list;
+      (** (tenant id, weight) overrides for the default classifier *)
+  qos_udp_sendspace : int;
+      (** bytes a congested UDP socket may have outstanding before
+          [sendto] blocks ([sendto_nb] reports EWOULDBLOCK-style
+          refusal); accounting resets when the congestion clears *)
   (* --- Netfront / netback split driver --- *)
   netfront_tx : Sim.Time.span;  (** ring work + grant issue, per packet *)
   netfront_rx : Sim.Time.span;

@@ -32,6 +32,12 @@ type t = {
      [inject_rx_borrowed] delivery; the transport layer that decides to
      keep the payload claims it with [take_rx_release]. *)
   mutable pending_release : (copied:bool -> unit) option;
+  (* Per-flow congestion signals from below (QoS backpressure,
+     DESIGN.md §14): transport layers register by protocol number so a
+     channel watermark edge can reach the owning socket. *)
+  congestion_handlers :
+    (int, sport:int -> dst:Netcore.Ip.t -> dport:int -> congested:bool -> unit)
+    Hashtbl.t;
   ping_waiters : (int, unit -> unit) Hashtbl.t;
   s_stats : stats;
 }
@@ -310,6 +316,14 @@ let set_protocol_handler t protocol handler =
 
 let set_ctrl_handler t handler = t.ctrl_handler <- Some handler
 
+let set_congestion_handler t ~proto handler =
+  Hashtbl.replace t.congestion_handlers proto handler
+
+let notify_congestion t ~proto ~sport ~dst ~dport ~congested =
+  match Hashtbl.find_opt t.congestion_handlers proto with
+  | Some h -> h ~sport ~dst ~dport ~congested
+  | None -> ()
+
 let attach_device t dev =
   t.eth <- Some dev;
   Netdevice.set_receive_handler dev (fun packet -> inject_rx t packet)
@@ -361,6 +375,7 @@ let create ~engine ~params ~cpu ~ip ~mac () =
       tcp_handler = None;
       ctrl_handler = None;
       pending_release = None;
+      congestion_handlers = Hashtbl.create 2;
       ping_waiters = Hashtbl.create 4;
       s_stats =
         {

@@ -91,6 +91,31 @@ val set_protocol_handler :
     [Full] packets in process context.  ICMP is handled internally.
     @raise Invalid_argument for [Icmp]. *)
 
+(** {1 Per-flow congestion signals (QoS backpressure, DESIGN.md §14)} *)
+
+val set_congestion_handler :
+  t ->
+  proto:int ->
+  (sport:int -> dst:Netcore.Ip.t -> dport:int -> congested:bool -> unit) ->
+  unit
+(** Register the transport-layer receiver for congestion edges on flows
+    of IP protocol number [proto] (6 = TCP, 17 = UDP).  {!Tcp.attach}
+    and {!Udp.create} install theirs. *)
+
+val notify_congestion :
+  t ->
+  proto:int ->
+  sport:int ->
+  dst:Netcore.Ip.t ->
+  dport:int ->
+  congested:bool ->
+  unit
+(** Deliver a congestion edge for the local flow
+    [(proto, sport) -> (dst, dport)].  Called by the XenLoop channel
+    when a per-flow watermark crosses; a [sport] of 0 addresses every
+    socket towards [dst] (3-tuple aggregate — fragmented-UDP flows
+    carry no ports).  No-op when no handler is registered. *)
+
 (** {1 XenLoop control frames} *)
 
 val set_ctrl_handler : t -> (Netcore.Packet.t -> unit) -> unit

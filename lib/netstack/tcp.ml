@@ -52,6 +52,12 @@ type conn = {
   mutable nodelay : bool;
       (** TCP_NODELAY: latency-sensitive pipelined senders (MPI-style
           windowed workloads) opt out of autocorking entirely *)
+  mutable congested : bool;
+      (** per-flow congestion signal from below (QoS backpressure,
+          DESIGN.md §14): while set, the effective send window is
+          clamped to one MSS and the flight-drained autocork flush is
+          deferred, so the connection trickles instead of refilling the
+          channel's sub-queue *)
   (* Receive side *)
   mutable rcv_nxt : int32;
   recv_chunks : (Bytes.t * (copied:bool -> unit) option) Queue.t;
@@ -91,6 +97,7 @@ and t = {
 }
 
 let mss c = c.conn_mss
+let is_congested c = c.congested
 let peer c = (c.key.peer_ip, c.key.peer_port)
 let local_port c = c.key.local_port
 let bytes_sent c = c.sent_bytes
@@ -101,6 +108,12 @@ let cpu c = Stack.cpu c.tcp.stack
 let conn_engine c = Stack.engine c.tcp.stack
 
 let current_window c = c.recv_capacity - c.recv_buffered
+
+(* The window the send side actually respects: the peer's advertised
+   window, clamped to one MSS while the channel below signals
+   congestion (a cwnd clamp in a stack whose loss-free substrate never
+   grew a real congestion window). *)
+let send_window c = if c.congested then min c.peer_window c.conn_mss else c.peer_window
 
 (* --- Segment transmission --- *)
 
@@ -168,7 +181,7 @@ let send_tracked c ~seq ~flags ~payload =
 let cork_flush_avail c =
   if c.cork_len > 0 && c.state = Established then begin
     let in_flight = seq_diff c.snd_nxt c.snd_una in
-    let window_room = c.peer_window - in_flight in
+    let window_room = send_window c - in_flight in
     if window_room > 0 then begin
       let len = min c.cork_len window_room in
       let payload = Bytes.sub c.cork 0 len in
@@ -191,7 +204,7 @@ let cork_flush_avail c =
 let flush_cork_blocking c =
   while c.cork_len > 0 && c.state = Established do
     let in_flight = seq_diff c.snd_nxt c.snd_una in
-    if c.peer_window - in_flight <= 0 then Sim.Condition.await c.window_avail
+    if send_window c - in_flight <= 0 then Sim.Condition.await c.window_avail
     else cork_flush_avail c
   done
 
@@ -291,8 +304,10 @@ let handle_ack c (h : T.tcp) =
     c.peer_window <- h.T.window * window_scale;
     prune_retx c;
     (* Autocork: the flight just drained — a corked tail must not sit
-       waiting for application bytes that may never come. *)
-    if c.cork_len > 0 && seq_diff c.snd_nxt c.snd_una = 0 then
+       waiting for application bytes that may never come.  Under a
+       congestion signal the flush is deferred: the tail waits for the
+       clear edge instead of poking the congested channel. *)
+    if c.cork_len > 0 && (not c.congested) && seq_diff c.snd_nxt c.snd_una = 0 then
       cork_flush_avail c;
     Sim.Condition.broadcast c.window_avail
   end
@@ -418,6 +433,7 @@ let make_conn t ~key ~mss ~state ~isn =
     cork = Bytes.create (max 1 mss);
     cork_len = 0;
     nodelay = false;
+    congested = false;
     rcv_nxt = 0l;
     recv_chunks = Queue.create ();
     head_offset = 0;
@@ -494,6 +510,30 @@ let attach stack =
     }
   in
   Stack.set_protocol_handler stack Netcore.Ipv4.Tcp (handle_packet t);
+  (* QoS backpressure (DESIGN.md §14): a channel watermark edge on one
+     of our flows toggles the cwnd clamp.  The clear edge may arrive in
+     XenLoop's own send/drain context, so the catch-up cork flush is
+     deferred to a fresh fiber rather than re-entering the netfilter
+     hook from inside it; blocked senders are woken immediately. *)
+  Stack.set_congestion_handler stack ~proto:6 (fun ~sport ~dst ~dport ~congested ->
+      let apply c =
+        if c.congested <> congested then begin
+          c.congested <- congested;
+          if not congested then begin
+            Sim.Condition.broadcast c.window_avail;
+            if c.cork_len > 0 && seq_diff c.snd_nxt c.snd_una = 0 then
+              Sim.Engine.spawn (Stack.engine stack) (fun () -> cork_flush_avail c)
+          end
+        end
+      in
+      Hashtbl.iter
+        (fun key c ->
+          if
+            Netcore.Ip.equal key.peer_ip dst
+            && (sport = 0 || key.local_port = sport)
+            && (dport = 0 || key.peer_port = dport)
+          then apply c)
+        t.conns);
   t
 
 (* --- Blocking API --- *)
@@ -563,7 +603,7 @@ let send c data =
     end
     else begin
       let in_flight = seq_diff c.snd_nxt c.snd_una in
-      let window_room = c.peer_window - in_flight in
+      let window_room = send_window c - in_flight in
       let remaining = total - !off in
       if (not c.nodelay) && total * 2 <= c.conn_mss && in_flight > 0 then begin
         (* Autocork (Nagle): a whole small write (at most half an MSS, so

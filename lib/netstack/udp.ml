@@ -17,6 +17,16 @@ type socket = {
   mutable buffered : int;
   mutable dropped : int;
   mutable closed : bool;
+  (* QoS backpressure (DESIGN.md §14): while the channel below holds
+     this socket's congestion signal raised, sends are charged against
+     a sendspace budget — [sendto] blocks at the limit and [sendto_nb]
+     refuses (EWOULDBLOCK).  The accounting resets on the clear edge.
+     One flag per socket: a socket with several destinations is
+     throttled as a whole while any of its flows is congested. *)
+  mutable congested : bool;
+  mutable send_accounted : int;
+  send_avail : Sim.Condition.t;
+  mutable rejected : int;
 }
 
 and t = {
@@ -72,6 +82,22 @@ let attach stack =
     }
   in
   Stack.set_protocol_handler stack Netcore.Ipv4.Udp (handle_packet t);
+  Stack.set_congestion_handler stack ~proto:17
+    (fun ~sport ~dst:_ ~dport:_ ~congested ->
+      let apply sock =
+        if sock.congested <> congested then begin
+          sock.congested <- congested;
+          if not congested then begin
+            sock.send_accounted <- 0;
+            Sim.Condition.broadcast sock.send_avail
+          end
+        end
+      in
+      if sport = 0 then Hashtbl.iter (fun _ sock -> apply sock) t.ports
+      else
+        match Hashtbl.find_opt t.ports sport with
+        | Some sock -> apply sock
+        | None -> ());
   t
 
 let set_tx_shortcut t f = t.tx_shortcut <- Some f
@@ -109,6 +135,10 @@ let bind t ?port () =
           buffered = 0;
           dropped = 0;
           closed = false;
+          congested = false;
+          send_accounted = 0;
+          send_avail = Sim.Condition.create ();
+          rejected = 0;
         }
       in
       Hashtbl.replace t.ports p sock;
@@ -116,12 +146,35 @@ let bind t ?port () =
 
 let port sock = sock.sock_port
 
-let sendto sock ~dst ~dst_port payload =
-  if sock.closed then invalid_arg "Udp.sendto: socket closed";
-  if Bytes.length payload > max_datagram then
-    invalid_arg "Udp.sendto: datagram too large";
+let sendspace sock =
+  (Stack.params sock.layer.stack).Hypervisor.Params.qos_udp_sendspace
+
+(* Charge [len] bytes against the congested-socket sendspace budget.
+   [block:true] waits for the clear edge (or a budget reset) like a
+   blocking sendto; [block:false] reports refusal (EWOULDBLOCK). *)
+let account_send sock ~block len =
+  if not sock.congested then true
+  else begin
+    let budget = sendspace sock in
+    if block then begin
+      while sock.congested && sock.send_accounted + len > budget do
+        Sim.Condition.await sock.send_avail
+      done;
+      if sock.congested then sock.send_accounted <- sock.send_accounted + len;
+      true
+    end
+    else if sock.send_accounted + len > budget then begin
+      sock.rejected <- sock.rejected + 1;
+      false
+    end
+    else begin
+      sock.send_accounted <- sock.send_accounted + len;
+      true
+    end
+  end
+
+let transmit_datagram sock ~dst ~dst_port payload =
   let stack = sock.layer.stack in
-  Sim.Resource.use (Stack.cpu stack) (Stack.params stack).Hypervisor.Params.syscall;
   let taken_by_shortcut =
     match sock.layer.tx_shortcut with
     | Some shortcut when not (Netcore.Ip.equal dst (Stack.ip_addr stack)) ->
@@ -134,6 +187,28 @@ let sendto sock ~dst ~dst_port payload =
     in
     Stack.ip_send stack ~dst ~transport ~payload
   end
+
+let check_sendable sock payload =
+  if sock.closed then invalid_arg "Udp.sendto: socket closed";
+  if Bytes.length payload > max_datagram then
+    invalid_arg "Udp.sendto: datagram too large"
+
+let sendto sock ~dst ~dst_port payload =
+  check_sendable sock payload;
+  let stack = sock.layer.stack in
+  Sim.Resource.use (Stack.cpu stack) (Stack.params stack).Hypervisor.Params.syscall;
+  ignore (account_send sock ~block:true (Bytes.length payload));
+  transmit_datagram sock ~dst ~dst_port payload
+
+let sendto_nb sock ~dst ~dst_port payload =
+  check_sendable sock payload;
+  let stack = sock.layer.stack in
+  Sim.Resource.use (Stack.cpu stack) (Stack.params stack).Hypervisor.Params.syscall;
+  if account_send sock ~block:false (Bytes.length payload) then begin
+    transmit_datagram sock ~dst ~dst_port payload;
+    true
+  end
+  else false
 
 let recvfrom sock =
   let stack = sock.layer.stack in
@@ -209,3 +284,5 @@ let close sock =
   Hashtbl.remove sock.layer.ports sock.sock_port
 
 let drops sock = sock.dropped
+let is_congested sock = sock.congested
+let rejected sock = sock.rejected

@@ -21,8 +21,25 @@ val max_datagram : int
 
 val sendto : socket -> dst:Netcore.Ip.t -> dst_port:int -> Bytes.t -> unit
 (** Blocking (process context); charges syscall plus stack costs.
+    While the socket's congestion signal is raised (QoS backpressure,
+    DESIGN.md §14) the send is charged against the
+    [Params.qos_udp_sendspace] budget and blocks at the limit until the
+    channel clears.
     @raise Invalid_argument beyond {!max_datagram}.
     @raise Stack.Unreachable / {!Stack.No_route} as from the IP layer. *)
+
+val sendto_nb : socket -> dst:Netcore.Ip.t -> dst_port:int -> Bytes.t -> bool
+(** Non-blocking {!sendto}: where the blocking variant would wait for
+    sendspace it returns [false] without transmitting (EWOULDBLOCK) and
+    counts the refusal in {!rejected}.  Always [true] when the socket
+    is not congested. *)
+
+val is_congested : socket -> bool
+(** Whether the channel below currently holds this socket's congestion
+    signal raised. *)
+
+val rejected : socket -> int
+(** {!sendto_nb} refusals (EWOULDBLOCK) so far. *)
 
 val recvfrom : socket -> Netcore.Ip.t * int * Bytes.t
 (** Blocking receive.  A datagram delivered as a borrowed pool-slot view

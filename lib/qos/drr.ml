@@ -1,0 +1,226 @@
+(* Weighted deficit round robin over per-flow sub-queues.
+
+   Each flow key owns a bounded FIFO of (value, length) items and a
+   deficit counter.  Active flows sit on a ring; [select] visits the
+   ring head, replenishes its deficit by quantum * weight, peels the
+   longest prefix whose lengths fit the deficit, and rotates the flow
+   to the ring tail.  A flow whose queue drains leaves the ring with
+   its deficit zeroed (the classic DRR rule that stops an idle flow
+   from banking credit).
+
+   [restore] exists for the consumer-full case: when the caller could
+   only push part of a selected batch downstream, the unpushed suffix
+   goes back to the *front* of the flow's queue, its deficit is
+   refunded, and the flow returns to the ring *front* so the next
+   round resumes exactly where this one stopped. *)
+
+module Dq = struct
+  type 'a t = {
+    mutable front : 'a list;
+    mutable back : 'a list;
+    mutable len : int;
+  }
+
+  let create () = { front = []; back = []; len = 0 }
+  let length t = t.len
+  let is_empty t = t.len = 0
+  let clear t = t.front <- []; t.back <- []; t.len <- 0
+  let push_back t v = t.back <- v :: t.back; t.len <- t.len + 1
+  let push_front t v = t.front <- v :: t.front; t.len <- t.len + 1
+
+  let normalize t =
+    match t.front with
+    | [] -> t.front <- List.rev t.back; t.back <- []
+    | _ -> ()
+
+  let peek_front t =
+    normalize t;
+    match t.front with [] -> None | v :: _ -> Some v
+
+  let pop_front t =
+    normalize t;
+    match t.front with
+    | [] -> None
+    | v :: rest -> t.front <- rest; t.len <- t.len - 1; Some v
+
+  let iter f t =
+    List.iter f t.front;
+    List.iter f (List.rev t.back)
+end
+
+type ('k, 'v) cls = {
+  c_key : 'k;
+  mutable c_weight : int;
+  mutable c_deficit : int;
+  c_items : ('v * int) Dq.t;
+  mutable c_bytes : int;
+  mutable c_on_ring : bool;
+}
+
+type ('k, 'v) t = {
+  quantum : int;
+  max_per_flow : int;
+  classes : ('k, ('k, 'v) cls) Hashtbl.t;
+  ring : ('k, 'v) cls Dq.t;
+  mutable total_items : int;
+  mutable total_bytes : int;
+}
+
+let create ~quantum ~max_per_flow () =
+  if quantum <= 0 then invalid_arg "Drr.create: quantum must be positive";
+  if max_per_flow <= 0 then invalid_arg "Drr.create: max_per_flow must be positive";
+  {
+    quantum;
+    max_per_flow;
+    classes = Hashtbl.create 64;
+    ring = Dq.create ();
+    total_items = 0;
+    total_bytes = 0;
+  }
+
+let quantum t = t.quantum
+let max_per_flow t = t.max_per_flow
+let length t = t.total_items
+let bytes t = t.total_bytes
+let is_empty t = t.total_items = 0
+
+let find_class t key weight =
+  match Hashtbl.find_opt t.classes key with
+  | Some c ->
+      if c.c_weight <> weight then c.c_weight <- max 1 weight;
+      c
+  | None ->
+      let c =
+        {
+          c_key = key;
+          c_weight = max 1 weight;
+          c_deficit = 0;
+          c_items = Dq.create ();
+          c_bytes = 0;
+          c_on_ring = false;
+        }
+      in
+      Hashtbl.replace t.classes key c;
+      c
+
+let activate_back t c =
+  if not c.c_on_ring then begin
+    c.c_on_ring <- true;
+    Dq.push_back t.ring c
+  end
+
+let activate_front t c =
+  if not c.c_on_ring then begin
+    c.c_on_ring <- true;
+    Dq.push_front t.ring c
+  end
+
+let enqueue t ~key ~weight ~len v =
+  let c = find_class t key weight in
+  if Dq.length c.c_items >= t.max_per_flow then false
+  else begin
+    Dq.push_back c.c_items (v, len);
+    c.c_bytes <- c.c_bytes + len;
+    t.total_items <- t.total_items + 1;
+    t.total_bytes <- t.total_bytes + len;
+    activate_back t c;
+    true
+  end
+
+let flow_length t key =
+  match Hashtbl.find_opt t.classes key with
+  | None -> 0
+  | Some c -> Dq.length c.c_items
+
+let flow_bytes t key =
+  match Hashtbl.find_opt t.classes key with
+  | None -> 0
+  | Some c -> c.c_bytes
+
+let head_len t =
+  match Dq.peek_front t.ring with
+  | None -> None
+  | Some c -> (
+      match Dq.peek_front c.c_items with
+      | None -> None (* unreachable: on-ring classes are non-empty *)
+      | Some (_, len) -> Some len)
+
+let take_prefix t c =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Dq.peek_front c.c_items with
+    | Some (v, len) when len <= c.c_deficit ->
+        ignore (Dq.pop_front c.c_items);
+        c.c_deficit <- c.c_deficit - len;
+        c.c_bytes <- c.c_bytes - len;
+        t.total_items <- t.total_items - 1;
+        t.total_bytes <- t.total_bytes - len;
+        out := (v, len) :: !out
+    | _ -> continue := false
+  done;
+  List.rev !out
+
+let select t =
+  (* Visit ring classes until one yields a non-empty prefix.  An empty
+     visit (head item larger than the replenished deficit) banks the
+     deficit and rotates, so each pass strictly grows that class's
+     credit and the loop terminates. *)
+  let rec visit () =
+    match Dq.pop_front t.ring with
+    | None -> None
+    | Some c ->
+        c.c_deficit <- c.c_deficit + (t.quantum * c.c_weight);
+        let batch = take_prefix t c in
+        if Dq.is_empty c.c_items then begin
+          c.c_deficit <- 0;
+          c.c_on_ring <- false
+        end
+        else Dq.push_back t.ring c;
+        (match batch with [] -> visit () | _ -> Some (c.c_key, batch))
+  in
+  visit ()
+
+let restore t key items =
+  match items with
+  | [] -> ()
+  | _ ->
+      let c = find_class t key 1 in
+      List.iter
+        (fun (v, len) ->
+          Dq.push_front c.c_items (v, len);
+          c.c_deficit <- c.c_deficit + len;
+          c.c_bytes <- c.c_bytes + len;
+          t.total_items <- t.total_items + 1;
+          t.total_bytes <- t.total_bytes + len)
+        (List.rev items);
+      activate_front t c
+
+let drain_all t =
+  let out = ref [] in
+  let rec loop () =
+    match Dq.pop_front t.ring with
+    | None -> ()
+    | Some c ->
+        Dq.iter (fun (v, len) -> out := (c.c_key, v, len) :: !out) c.c_items;
+        Dq.clear c.c_items;
+        c.c_bytes <- 0;
+        c.c_deficit <- 0;
+        c.c_on_ring <- false;
+        loop ()
+  in
+  loop ();
+  t.total_items <- 0;
+  t.total_bytes <- 0;
+  List.rev !out
+
+let clear t = ignore (drain_all t)
+
+let fold_flows f t init =
+  (* Ring order: only active (non-empty) flows are folded, in service
+     order, which keeps the result deterministic across runs. *)
+  let acc = ref init in
+  Dq.iter
+    (fun c -> acc := f !acc c.c_key ~items:(Dq.length c.c_items) ~bytes:c.c_bytes)
+    t.ring;
+  !acc

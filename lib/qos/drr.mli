@@ -1,0 +1,61 @@
+(** Weighted deficit-round-robin scheduler over per-flow sub-queues.
+
+    Generic in both the flow key ['k] and the queued value ['v]; the
+    caller supplies each item's byte length so the scheduler never
+    inspects payloads.  Flows are created lazily on first [enqueue],
+    carry a weight (re-asserted on every enqueue, so classifier
+    changes take effect immediately), and share service in proportion
+    to [quantum * weight] bytes per round. *)
+
+type ('k, 'v) t
+
+(** [create ~quantum ~max_per_flow ()] builds an empty scheduler.
+    [quantum] is the per-visit byte credit for weight-1 flows;
+    [max_per_flow] bounds each flow's sub-queue depth in items.
+    Raises [Invalid_argument] if either is non-positive. *)
+val create : quantum:int -> max_per_flow:int -> unit -> ('k, 'v) t
+
+val quantum : ('k, 'v) t -> int
+val max_per_flow : ('k, 'v) t -> int
+
+(** [enqueue t ~key ~weight ~len v] appends [v] to [key]'s sub-queue.
+    Returns [false] without queueing when the sub-queue already holds
+    [max_per_flow] items — the caller decides the overflow policy
+    (XenLoop reroutes that frame through netfront). *)
+val enqueue : ('k, 'v) t -> key:'k -> weight:int -> len:int -> 'v -> bool
+
+(** One DRR visit: replenish the ring-head flow's deficit, dequeue the
+    longest prefix of its sub-queue whose byte lengths fit, rotate the
+    flow to the ring tail.  Flows whose head item exceeds the
+    replenished deficit bank the credit and are skipped this call.
+    [None] iff the scheduler is empty. *)
+val select : ('k, 'v) t -> ('k * ('v * int) list) option
+
+(** [restore t key items] returns the unpushed suffix of a selected
+    batch to the front of [key]'s sub-queue (order preserved),
+    refunds the consumed deficit, and puts the flow back at the ring
+    front so the next [select] resumes with it. *)
+val restore : ('k, 'v) t -> 'k -> ('v * int) list -> unit
+
+(** Byte length of the item the next [select] would serve first, or
+    [None] when empty.  Used by the drain loop's "does the head fit in
+    the FIFO" check. *)
+val head_len : ('k, 'v) t -> int option
+
+val flow_length : ('k, 'v) t -> 'k -> int
+val flow_bytes : ('k, 'v) t -> 'k -> int
+val length : ('k, 'v) t -> int
+val bytes : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+(** Remove and return every queued item, grouped by flow in ring
+    (service) order, each flow's items in FIFO order.  Deficits are
+    zeroed.  Used at channel teardown to hand frames back to the
+    legacy waiting list. *)
+val drain_all : ('k, 'v) t -> ('k * 'v * int) list
+
+val clear : ('k, 'v) t -> unit
+
+(** Fold over active (non-empty) flows in service order. *)
+val fold_flows :
+  ('a -> 'k -> items:int -> bytes:int -> 'a) -> ('k, 'v) t -> 'a -> 'a

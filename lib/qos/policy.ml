@@ -1,0 +1,38 @@
+(* Tenant policy hook: a vtable a tenant installs to see raw
+   descriptor-level entries on its flows and steer delivery.  The
+   default policy is inert — with it installed (or none installed)
+   the data path behaves exactly as if the hook did not exist, which
+   is the QoS-off equivalence contract leans on. *)
+
+type 'k entry = { pe_key : 'k; pe_len : int; pe_desc : bool }
+
+type action = Pass | Divert | Drop
+
+type 'k t = {
+  p_name : string;
+  p_classify : 'k -> int option;
+  p_enqueue : 'k entry -> action;
+  p_dequeue : 'k entry -> unit;
+  p_on_congestion : 'k -> congested:bool -> unit;
+}
+
+let default =
+  {
+    p_name = "default";
+    p_classify = (fun _ -> None);
+    p_enqueue = (fun _ -> Pass);
+    p_dequeue = (fun _ -> ());
+    p_on_congestion = (fun _ ~congested:_ -> ());
+  }
+
+let make ?(name = "anon") ?classify ?enqueue ?dequeue ?on_congestion () =
+  {
+    p_name = name;
+    p_classify = (match classify with Some f -> f | None -> default.p_classify);
+    p_enqueue = (match enqueue with Some f -> f | None -> default.p_enqueue);
+    p_dequeue = (match dequeue with Some f -> f | None -> default.p_dequeue);
+    p_on_congestion =
+      (match on_congestion with
+      | Some f -> f
+      | None -> default.p_on_congestion);
+  }

@@ -1,0 +1,39 @@
+(** Tenant-installable delivery policy.
+
+    A tenant sees raw descriptor-level entries for its flows and can
+    reclassify, divert, or drop them before they reach the channel
+    scheduler, and observe per-flow congestion edges.  {!default} is
+    inert: installing it changes nothing, which is what the QoS-off
+    equivalence contract requires. *)
+
+(** One frame as the hook sees it: the flow key, the serialized byte
+    length, and whether the channel would send it as a zero-copy
+    descriptor ([pe_desc = true]) or inline. *)
+type 'k entry = { pe_key : 'k; pe_len : int; pe_desc : bool }
+
+type action =
+  | Pass  (** hand to the DRR scheduler normally *)
+  | Divert  (** bypass the channel: send via the standard netfront path
+                (not counted as an overflow) *)
+  | Drop  (** discard silently — the tenant opted out of delivery *)
+
+type 'k t = {
+  p_name : string;
+  p_classify : 'k -> int option;
+      (** override the channel classifier's tenant id, [None] = defer *)
+  p_enqueue : 'k entry -> action;  (** called before scheduling *)
+  p_dequeue : 'k entry -> unit;  (** called as the frame enters the FIFO *)
+  p_on_congestion : 'k -> congested:bool -> unit;
+      (** called on each watermark edge for the tenant's flows *)
+}
+
+val default : 'k t
+
+val make :
+  ?name:string ->
+  ?classify:('k -> int option) ->
+  ?enqueue:('k entry -> action) ->
+  ?dequeue:('k entry -> unit) ->
+  ?on_congestion:('k -> congested:bool -> unit) ->
+  unit ->
+  'k t

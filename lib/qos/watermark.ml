@@ -1,0 +1,43 @@
+(* Two-threshold hysteresis over an occupancy ratio.  The signal is
+   raised exactly once when used/capacity crosses [high] from below and
+   cleared exactly once when it falls back to [low]; between the two
+   thresholds the state latches.  Counters record every edge so tests
+   can assert one raise per crossing. *)
+
+type edge = [ `Raise | `Clear | `None ]
+
+type t = {
+  high : float;
+  low : float;
+  mutable congested : bool;
+  mutable raises : int;
+  mutable clears : int;
+}
+
+let create ~high ~low =
+  if not (0. <= low && low <= high && high <= 1.) then
+    invalid_arg "Watermark.create: need 0 <= low <= high <= 1";
+  { high; low; congested = false; raises = 0; clears = 0 }
+
+let update t ~used ~capacity : edge =
+  if capacity <= 0 then `None
+  else begin
+    let frac = float_of_int used /. float_of_int capacity in
+    if (not t.congested) && frac >= t.high then begin
+      t.congested <- true;
+      t.raises <- t.raises + 1;
+      `Raise
+    end
+    else if t.congested && frac <= t.low then begin
+      t.congested <- false;
+      t.clears <- t.clears + 1;
+      `Clear
+    end
+    else `None
+  end
+
+let congested t = t.congested
+let raises t = t.raises
+let clears t = t.clears
+
+let reset t = t.congested <- false

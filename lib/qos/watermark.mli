@@ -1,0 +1,32 @@
+(** Two-threshold hysteresis for occupancy-driven congestion signals.
+
+    A watermark latches: it raises once when [used/capacity >= high]
+    and stays raised until the ratio falls to [low] or below, so a
+    producer hovering around the high threshold emits one signal per
+    genuine crossing rather than one per enqueue. *)
+
+type edge = [ `Raise | `Clear | `None ]
+
+type t
+
+(** [create ~high ~low] builds a watermark with the given fractional
+    thresholds.  Raises [Invalid_argument] unless
+    [0 <= low <= high <= 1]. *)
+val create : high:float -> low:float -> t
+
+(** [update t ~used ~capacity] feeds the current occupancy and returns
+    the edge this sample produced, if any.  [capacity <= 0] is treated
+    as "no information" and returns [`None]. *)
+val update : t -> used:int -> capacity:int -> edge
+
+(** Current latched state. *)
+val congested : t -> bool
+
+(** Total [`Raise] edges emitted since creation. *)
+val raises : t -> int
+
+(** Total [`Clear] edges emitted since creation. *)
+val clears : t -> int
+
+(** Drop the latched state without emitting an edge (teardown path). *)
+val reset : t -> unit

@@ -50,6 +50,10 @@ type queue = {
   in_fifo : Fifo.t;
   q_port : Ec.port;  (** this endpoint's event-channel port for this queue *)
   waiting : Bytes.t Queue.t;  (** serialized frames awaiting FIFO space *)
+  q_sched : (Steering.flow_key, Bytes.t) Qos.Drr.t option;
+      (** QoS mode only (DESIGN.md §14): the waiting list becomes per-flow
+          sub-queues served by weighted deficit round robin; [None] keeps
+          the legacy FIFO-order list bit-for-bit *)
   q_tx_pool : Payload_pool.t option;
       (** payload pool our sends write into (zero-copy channels only);
           per queue, so steering stays lock-free *)
@@ -115,6 +119,23 @@ type cached_decision = Cache_standard | Cache_queue of channel * queue
 
 type cache_entry = { ce_epoch : int; ce_decision : cached_decision }
 
+(* Multi-tenant QoS (DESIGN.md §14): per-module flow table (keys carry
+   the peer address, so one table covers every channel), installed
+   tenant policies, and the composed classifier.  [None] on t.qos means
+   QoS is off and every path below stays bit-for-bit legacy. *)
+type qos_state = {
+  qt_flows : Steering.flow_key Qos.Flow_table.t;
+  qt_policies : (int, Steering.flow_key Qos.Policy.t) Hashtbl.t;
+  qt_base_classify : (Steering.flow_key -> int) ref;
+  qt_composed : Steering.flow_key -> int;
+      (** policy [p_classify] overrides (lowest tenant id first), then
+          the base classifier — what the flow table actually runs *)
+  qt_weight_of : int -> int;
+  mutable qt_congestion_fault : (Steering.flow_key -> bool) option;
+      (** chaos hook: [true] swallows this flow's congestion signal
+          before it reaches the socket layer (Tenant_flood) *)
+}
+
 type t = {
   domain : Domain.t;
   stack : Stack.t;
@@ -123,6 +144,7 @@ type t = {
   max_queues : int;  (** what we advertise; channels carry the negotiated min *)
   zerocopy : bool;  (** whether we advertise the zero-copy descriptor channel *)
   loans : bool;  (** whether we advertise loaned-slot receive (implies zerocopy) *)
+  qos : qos_state option;
   mapping : Mapping_table.t;
   peers : (int, peer_state) Hashtbl.t;
   flow_cache : (Steering.flow_key, cache_entry) Hashtbl.t;
@@ -201,10 +223,35 @@ let failed_peer_ids t =
     t.peers []
   |> List.sort compare
 
+(* The tx backlog is the per-flow DRR scheduler in QoS mode, the legacy
+   FIFO-order waiting list otherwise.  These helpers let the rest of the
+   module stay agnostic about which one a queue carries. *)
+let tx_backlog_length q =
+  match q.q_sched with
+  | Some sched -> Qos.Drr.length sched
+  | None -> Queue.length q.waiting
+
+let tx_backlog_empty q =
+  match q.q_sched with
+  | Some sched -> Qos.Drr.is_empty sched && Queue.is_empty q.waiting
+  | None -> Queue.is_empty q.waiting
+
+let tx_backlog_head_len q =
+  match q.q_sched with
+  | Some sched -> (
+      match Qos.Drr.head_len sched with
+      | Some _ as l -> l
+      | None ->
+          if Queue.is_empty q.waiting then None
+          else Some (Bytes.length (Queue.peek q.waiting)))
+  | None ->
+      if Queue.is_empty q.waiting then None
+      else Some (Bytes.length (Queue.peek q.waiting))
+
 let waiting_list_length t ~domid =
   match Hashtbl.find_opt t.peers domid with
   | Some (Active ch) ->
-      Array.fold_left (fun acc q -> acc + Queue.length q.waiting) 0 ch.queues
+      Array.fold_left (fun acc q -> acc + tx_backlog_length q) 0 ch.queues
   | Some (Bootstrapping _ | Failed_until _) | None -> 0
 
 let queue_count t ~domid =
@@ -235,7 +282,7 @@ let queue_stats t ~domid =
             qs_notifies_sent = q.q_notifies_sent;
             qs_notifies_suppressed = q.q_notifies_suppressed;
             qs_steered = q.q_steered;
-            qs_waiting = Queue.length q.waiting;
+            qs_waiting = tx_backlog_length q;
             qs_desc_tx = q.q_desc_tx;
             qs_inline_tx = q.q_inline_tx;
             qs_pool_fallbacks = q.q_pool_fallbacks;
@@ -470,17 +517,22 @@ let push_frame t q raw =
 let queue_can_accept q len =
   Fifo.can_accept_entry q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max len
 
-(* A frame the bounded waiting list cannot hold leaves through the standard
-   netfront path instead: the fast path degrades to the baseline, it never
-   drops or queues without bound. *)
-let route_overflow_standard t raw =
-  t.s.waiting_overflows <- t.s.waiting_overflows + 1;
+(* Bypass the channel entirely: the frame leaves through the standard
+   netfront path (overflow reroute, tenant Divert, teardown flush). *)
+let transmit_standard t raw =
   match Stack.device t.stack with
   | None -> ()
   | Some dev -> (
       match Netcore.Codec.parse raw with
       | Ok packet -> Netstack.Netdevice.transmit dev packet
       | Error _ -> ())
+
+(* A frame the bounded waiting list cannot hold leaves through the standard
+   netfront path instead: the fast path degrades to the baseline, it never
+   drops or queues without bound. *)
+let route_overflow_standard t raw =
+  t.s.waiting_overflows <- t.s.waiting_overflows + 1;
+  transmit_standard t raw
 
 let enqueue_waiting t q raw =
   let p = params t in
@@ -494,7 +546,182 @@ let enqueue_waiting t q raw =
     Fifo.set_producer_waiting q.out_fifo true
   end
 
-let drain_waiting t q =
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant QoS tx path (DESIGN.md §14).  Active only when t.qos is
+   Some — the legacy functions above are untouched, so qos-off runs are
+   bit-for-bit identical to the pre-QoS tree. *)
+
+let make_queue_sched t =
+  match t.qos with
+  | None -> None
+  | Some _ ->
+      let p = params t in
+      Some
+        (Qos.Drr.create
+           ~quantum:(max 1 p.Params.qos_quantum)
+           ~max_per_flow:(max 1 p.Params.qos_flow_queue_max)
+           ())
+
+let qos_policy_for qs flow =
+  Hashtbl.find_opt qs.qt_policies flow.Qos.Flow_table.f_tenant
+
+(* Deliver a congestion edge for [flow]: tenant hook first, then —
+   unless a chaos fault swallows it — the per-socket signal into the
+   netstack (TCP window clamp / UDP sendspace accounting).  MAC-keyed
+   flows have no socket to signal. *)
+let qos_signal t qs flow ~congested =
+  let key = flow.Qos.Flow_table.f_key in
+  (match qos_policy_for qs flow with
+  | Some pol -> pol.Qos.Policy.p_on_congestion key ~congested
+  | None -> ());
+  let swallowed =
+    match qs.qt_congestion_fault with Some f -> f key | None -> false
+  in
+  if not swallowed then
+    match key with
+    | Steering.Ip_flow { proto; src = _; dst; sport; dport } ->
+        Stack.notify_congestion t.stack ~proto ~sport
+          ~dst:(Netcore.Ip.of_int32 dst) ~dport ~congested
+    | Steering.Mac_flow _ -> ()
+
+let qos_update_watermark t qs sched flow =
+  let used = Qos.Drr.flow_length sched flow.Qos.Flow_table.f_key in
+  match
+    Qos.Watermark.update flow.Qos.Flow_table.f_mark ~used
+      ~capacity:(Qos.Drr.max_per_flow sched)
+  with
+  | `Raise -> qos_signal t qs flow ~congested:true
+  | `Clear -> qos_signal t qs flow ~congested:false
+  | `None -> ()
+
+(* Classify, account, apply the tenant enqueue hook, and queue one frame
+   on its flow's sub-queue.  A full sub-queue reroutes THIS flow's frame
+   through netfront — per-flow overflow, so a flooder spills its own
+   traffic instead of evicting other tenants' frames. *)
+let qos_enqueue_frame t qs q sched ~key raw =
+  let flow = Qos.Flow_table.lookup qs.qt_flows key in
+  let len = Bytes.length raw in
+  flow.Qos.Flow_table.f_bytes <- flow.Qos.Flow_table.f_bytes + len;
+  flow.Qos.Flow_table.f_frames <- flow.Qos.Flow_table.f_frames + 1;
+  let action =
+    match qos_policy_for qs flow with
+    | Some pol ->
+        pol.Qos.Policy.p_enqueue
+          {
+            Qos.Policy.pe_key = key;
+            pe_len = len;
+            pe_desc = len > q.q_inline_max && q.q_tx_pool <> None;
+          }
+    | None -> Qos.Policy.Pass
+  in
+  match action with
+  | Qos.Policy.Drop -> ()
+  | Qos.Policy.Divert -> transmit_standard t raw
+  | Qos.Policy.Pass ->
+      if Qos.Drr.enqueue sched ~key ~weight:flow.Qos.Flow_table.f_weight ~len raw
+      then begin
+        t.s.queued_to_waiting <- t.s.queued_to_waiting + 1;
+        Fifo.set_producer_waiting q.out_fifo true;
+        qos_update_watermark t qs sched flow
+      end
+      else begin
+        flow.Qos.Flow_table.f_overflows <- flow.Qos.Flow_table.f_overflows + 1;
+        route_overflow_standard t raw
+      end
+
+let rec take_drop n xs =
+  if n <= 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: rest ->
+        let taken, rem = take_drop (n - 1) rest in
+        (x :: taken, rem)
+
+(* DRR service loop: move scheduled frames into the FIFO in weighted
+   round-robin order.  Each selected batch pays one [xenloop_fifo_op]
+   (the same amortization as the legacy batch path) plus per-frame copy
+   charges; a batch the FIFO cannot finish is restored to its flow's
+   sub-queue front with the deficit refunded, and draining stops until
+   the peer frees space. *)
+let qos_drain t qs q sched =
+  if q.q_tx_draining then 0
+  else begin
+    q.q_tx_draining <- true;
+    let p = params t in
+    let pushed_total = ref 0 in
+    let continue_draining = ref true in
+    while
+      !continue_draining
+      &&
+      match Qos.Drr.head_len sched with
+      | Some len -> queue_can_accept q len
+      | None -> false
+    do
+      if push_refused t then continue_draining := false
+      else
+        match Qos.Drr.select sched with
+        | None -> continue_draining := false
+        | Some (key, items) ->
+            let flow = Qos.Flow_table.lookup qs.qt_flows key in
+            Sim.Resource.use (cpu t) p.Params.xenloop_fifo_op;
+            let report =
+              Fifo.push_many q.out_fifo ?pool:q.q_tx_pool
+                ~inline_max:q.q_inline_max
+                ~proto_hint:
+                  (match items with (raw, _) :: _ -> proto_hint_of raw | [] -> 0)
+                ~loans:(q.q_max_loans > 0)
+                (List.map fst items)
+            in
+            let pushed_items, leftover = take_drop report.Fifo.pr_pushed items in
+            q.q_desc_tx <- q.q_desc_tx + report.Fifo.pr_desc;
+            t.s.desc_tx <- t.s.desc_tx + report.Fifo.pr_desc;
+            q.q_inline_tx <- q.q_inline_tx + report.Fifo.pr_inline;
+            t.s.inline_tx <- t.s.inline_tx + report.Fifo.pr_inline;
+            q.q_pool_fallbacks <- q.q_pool_fallbacks + report.Fifo.pr_fallbacks;
+            t.s.pool_fallbacks <- t.s.pool_fallbacks + report.Fifo.pr_fallbacks;
+            q.q_loan_tx <- q.q_loan_tx + report.Fifo.pr_loans;
+            t.s.loan_tx <- t.s.loan_tx + report.Fifo.pr_loans;
+            t.s.via_channel_tx <- t.s.via_channel_tx + report.Fifo.pr_pushed;
+            pushed_total := !pushed_total + report.Fifo.pr_pushed;
+            (* Per-frame charges and tenant dequeue hooks, attributing
+               descriptor outcomes in push order: the first size-eligible
+               frames took the [pr_desc] descriptor slots.  A descriptor
+               on a loan-negotiated channel lives its whole life in the
+               pool slot — no sender copy to charge or record. *)
+            let desc_left = ref report.Fifo.pr_desc in
+            let policy = qos_policy_for qs flow in
+            List.iter
+              (fun (raw, len) ->
+                let is_desc = !desc_left > 0 && len > q.q_inline_max in
+                if is_desc then begin
+                  decr desc_left;
+                  flow.Qos.Flow_table.f_descs <-
+                    flow.Qos.Flow_table.f_descs + 1
+                end;
+                let loan_desc = is_desc && q.q_max_loans > 0 in
+                if not loan_desc then begin
+                  Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
+                  record_copy t len
+                end;
+                match policy with
+                | Some pol ->
+                    pol.Qos.Policy.p_dequeue
+                      { Qos.Policy.pe_key = key; pe_len = len; pe_desc = is_desc }
+                | None -> ignore raw)
+              pushed_items;
+            if leftover <> [] then begin
+              Qos.Drr.restore sched key leftover;
+              continue_draining := false
+            end;
+            qos_update_watermark t qs sched flow
+    done;
+    if Qos.Drr.is_empty sched then Fifo.set_producer_waiting q.out_fifo false;
+    q.q_tx_draining <- false;
+    !pushed_total
+  end
+
+let drain_waiting_legacy t q =
   if q.q_tx_draining then 0
   else begin
     q.q_tx_draining <- true;
@@ -514,6 +741,25 @@ let drain_waiting t q =
     q.q_tx_draining <- false;
     !pushed
   end
+
+let drain_waiting t q =
+  match (t.qos, q.q_sched) with
+  | Some qs, Some sched -> qos_drain t qs q sched
+  | _ -> drain_waiting_legacy t q
+
+(* QoS-mode frame admission: every frame enters its flow's sub-queue
+   first and reaches the FIFO only through the DRR drain — scheduling
+   order is always weighted-fair, never FIFO-arrival.  One trailing
+   notification per burst, exactly like the legacy batch path. *)
+let qos_send_batch t qs q sched keyed_frames =
+  (match keyed_frames with
+  | _ :: _ :: _ -> t.s.batches <- t.s.batches + 1
+  | _ -> ());
+  List.iter
+    (fun (key, raw) -> qos_enqueue_frame t qs q sched ~key raw)
+    keyed_frames;
+  ignore (qos_drain t qs q sched);
+  notify_peer t q
 
 let send_via_channel t q raw =
   (* Packets behind a non-empty waiting list must queue too (per-queue
@@ -588,6 +834,32 @@ let send_batch t q raws =
 (* ------------------------------------------------------------------ *)
 (* Teardown *)
 
+(* Hand a scheduler's frames back to the legacy waiting list (service
+   order, each flow FIFO) so the teardown paths below need only one
+   backlog representation. *)
+let spill_sched_to_waiting q =
+  match q.q_sched with
+  | None -> ()
+  | Some sched ->
+      List.iter
+        (fun (_, raw, _) -> Queue.push raw q.waiting)
+        (Qos.Drr.drain_all sched)
+
+(* Channel death must not leave sockets clamped behind a congestion
+   signal that will never clear: reset every latched flow watermark and
+   emit the clear edge. *)
+let qos_release_congestion t =
+  match t.qos with
+  | None -> ()
+  | Some qs ->
+      List.iter
+        (fun flow ->
+          if Qos.Watermark.congested flow.Qos.Flow_table.f_mark then begin
+            Qos.Watermark.reset flow.Qos.Flow_table.f_mark;
+            qos_signal t qs flow ~congested:false
+          end)
+        (Qos.Flow_table.flows qs.qt_flows)
+
 let flush_waiting_via_standard_path t ch =
   (* Transparent fallback: packets that never made it into any queue's
      FIFO leave through the standard netfront path instead of being
@@ -597,6 +869,7 @@ let flush_waiting_via_standard_path t ch =
   let frames =
     Array.fold_left
       (fun acc q ->
+        spill_sched_to_waiting q;
         let fs = List.of_seq (Queue.to_seq q.waiting) in
         Queue.clear q.waiting;
         acc @ fs)
@@ -814,9 +1087,11 @@ let quarantine t peer_domid ch =
   Array.iter
     (fun q ->
       Queue.clear q.waiting;
+      (match q.q_sched with Some sched -> Qos.Drr.clear sched | None -> ());
       (try Fifo.mark_inactive q.out_fifo with Invalid_argument _ -> ());
       try Fifo.mark_inactive q.in_fifo with Invalid_argument _ -> ())
     ch.queues;
+  qos_release_congestion t;
   (* Tell the peer on every queue so it disengages too. *)
   Array.iter
     (fun q -> try notify_peer ~force:true t q with Invalid_argument _ -> ())
@@ -844,6 +1119,12 @@ let teardown_channel t ~save ch =
       Fifo.mark_inactive q.out_fifo;
       Fifo.mark_inactive q.in_fifo)
     ch.queues;
+  (* QoS mode: scheduled frames rejoin the plain waiting list so the
+     save/flush below handles one backlog representation; any latched
+     congestion signal is released so no socket stays clamped behind a
+     dead channel. *)
+  Array.iter spill_sched_to_waiting ch.queues;
+  qos_release_congestion t;
   if ch.connected then
     Array.iter
       (fun q ->
@@ -1152,8 +1433,10 @@ let poll_for_more t q =
         stop := true
       else if
         (not (Fifo.is_empty q.in_fifo))
-        || ((not (Queue.is_empty q.waiting))
-           && queue_can_accept q (Bytes.length (Queue.peek q.waiting)))
+        ||
+        match tx_backlog_head_len q with
+        | Some len -> queue_can_accept q len
+        | None -> false
       then got_work := true
       else if Sim.Time.(Sim.Engine.now (engine t) >= deadline) then stop := true
     done;
@@ -1514,6 +1797,7 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
                 in_fifo = Fifo.attach ~desc:qp.Fifo.qp_desc_cl ~data:qp.Fifo.qp_data_cl;
                 q_port = port;
                 waiting = Queue.create ();
+                q_sched = make_queue_sched t;
                 q_tx_pool =
                   (match pools with Some ((lc, _), _) -> Some lc | None -> None);
                 q_rx_pool =
@@ -1760,6 +2044,7 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
                             in_fifo = lc_fifo;
                             q_port = port;
                             waiting = Queue.create ();
+                            q_sched = make_queue_sched t;
                             q_tx_pool;
                             q_rx_pool;
                             q_inline_max;
@@ -1999,7 +2284,7 @@ let frame_for_queue t q (packet : P.t) =
   else begin
     q.q_steered <- q.q_steered + 1;
     t.s.steered_packets <- t.s.steered_packets + 1;
-    `Channel (q, raw)
+    `Channel (q, raw, packet)
   end
 
 (* Slow path of the routing decision: mapping-table lookup plus steering
@@ -2084,7 +2369,18 @@ let hook_fn t (packets : P.t list) =
     let flush group =
       match List.rev group with
       | [] -> ()
-      | (q, _) :: _ as frames -> send_batch t q (List.map snd frames)
+      | (q, _, _) :: _ as frames -> (
+          (* QoS mode keys each frame by its accounting flow (5-tuple for
+             unfragmented UDP, so concurrent sockets are distinct flows)
+             and admits the burst through the DRR scheduler; legacy mode
+             is the FIFO-order batch path, untouched. *)
+          match (t.qos, q.q_sched) with
+          | Some qs, Some sched ->
+              qos_send_batch t qs q sched
+                (List.map
+                   (fun (_, raw, pkt) -> (Steering.qos_flow_key pkt, raw))
+                   frames)
+          | _ -> send_batch t q (List.map (fun (_, raw, _) -> raw) frames))
     in
     let pending =
       List.fold_left
@@ -2093,11 +2389,11 @@ let hook_fn t (packets : P.t list) =
           | `Standard_path, pending ->
               flush pending;
               []
-          | `Channel (q, raw), ((q', _) :: _ as pending) when q == q' ->
-              (q, raw) :: pending
-          | `Channel (q, raw), pending ->
+          | `Channel (q, raw, pkt), ((q', _, _) :: _ as pending) when q == q' ->
+              (q, raw, pkt) :: pending
+          | `Channel (q, raw, pkt), pending ->
               flush pending;
-              [ (q, raw) ])
+              [ (q, raw, pkt) ])
         [] decisions
     in
     flush pending;
@@ -2141,7 +2437,7 @@ let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
                refusal falls through to the ctrl-frame path unchanged. *)
             let app_desc_sent =
               q.q_max_loans > 0
-              && Queue.is_empty q.waiting
+              && tx_backlog_empty q
               &&
               match q.q_tx_pool with
               | None -> false
@@ -2206,7 +2502,9 @@ let send_app_payload t ~dst_ip ~src_port ~dst_port payload =
               else begin
                 q.q_steered <- q.q_steered + 1;
                 t.s.steered_packets <- t.s.steered_packets + 1;
-                send_via_channel t q raw;
+                (match (t.qos, q.q_sched) with
+                | Some qs, Some sched -> qos_send_batch t qs q sched [ (key, raw) ]
+                | _ -> send_via_channel t q raw);
                 true
               end
             end
@@ -2298,6 +2596,74 @@ let set_pool_fault_injector t f =
 
 let set_loan_fault_injector t f = t.loan_fault <- f
 
+(* ------------------------------------------------------------------ *)
+(* QoS observability and tenant control surface *)
+
+let qos_enabled t = t.qos <> None
+
+let set_congestion_fault_injector t f =
+  match t.qos with None -> () | Some qs -> qs.qt_congestion_fault <- f
+
+(* The composed classifier closure reads [qt_base_classify] and the
+   policy table dynamically, so swapping either only requires forcing
+   the flow table to re-resolve existing flows. *)
+let reresolve_flows qs =
+  Qos.Flow_table.set_classify qs.qt_flows qs.qt_composed qs.qt_weight_of
+
+let set_qos_classifier t f =
+  match t.qos with
+  | None -> ()
+  | Some qs ->
+      qs.qt_base_classify := f;
+      reresolve_flows qs
+
+let install_tenant_policy t ~tenant policy =
+  match t.qos with
+  | None -> ()
+  | Some qs ->
+      Hashtbl.replace qs.qt_policies tenant policy;
+      reresolve_flows qs
+
+let remove_tenant_policy t ~tenant =
+  match t.qos with
+  | None -> ()
+  | Some qs ->
+      Hashtbl.remove qs.qt_policies tenant;
+      reresolve_flows qs
+
+type flow_stat = {
+  fs_label : string;
+  fs_tenant : int;
+  fs_weight : int;
+  fs_bytes : int;
+  fs_frames : int;
+  fs_descs : int;
+  fs_overflows : int;
+  fs_congestion_raises : int;
+  fs_congestion_clears : int;
+  fs_congested : bool;
+}
+
+let flow_stats t =
+  match t.qos with
+  | None -> []
+  | Some qs ->
+      List.map
+        (fun f ->
+          {
+            fs_label = f.Qos.Flow_table.f_label;
+            fs_tenant = f.Qos.Flow_table.f_tenant;
+            fs_weight = f.Qos.Flow_table.f_weight;
+            fs_bytes = f.Qos.Flow_table.f_bytes;
+            fs_frames = f.Qos.Flow_table.f_frames;
+            fs_descs = f.Qos.Flow_table.f_descs;
+            fs_overflows = f.Qos.Flow_table.f_overflows;
+            fs_congestion_raises = Qos.Watermark.raises f.Qos.Flow_table.f_mark;
+            fs_congestion_clears = Qos.Watermark.clears f.Qos.Flow_table.f_mark;
+            fs_congested = Qos.Watermark.congested f.Qos.Flow_table.f_mark;
+          })
+        (Qos.Flow_table.flows qs.qt_flows)
+
 let invariant_violations t =
   let p = params t in
   let violations = ref [] in
@@ -2327,9 +2693,20 @@ let invariant_violations t =
               note "%s loans over credit: %d > %d" (where "rx") out
                 q.q_max_loans
         | None -> ());
-        if Queue.length q.waiting > p.Params.xenloop_waiting_list_max then
-          note "%s waiting list over bound: %d > %d" (where "tx")
-            (Queue.length q.waiting) p.Params.xenloop_waiting_list_max)
+        (match q.q_sched with
+        | Some sched ->
+            (* QoS mode: the bound is per flow sub-queue, not global. *)
+            Qos.Drr.fold_flows
+              (fun () key ~items ~bytes:_ ->
+                if items > Qos.Drr.max_per_flow sched then
+                  note "%s flow %s sub-queue over bound: %d > %d" (where "tx")
+                    (Steering.describe_key key) items
+                    (Qos.Drr.max_per_flow sched))
+              sched ()
+        | None ->
+            if Queue.length q.waiting > p.Params.xenloop_waiting_list_max then
+              note "%s waiting list over bound: %d > %d" (where "tx")
+                (Queue.length q.waiting) p.Params.xenloop_waiting_list_max))
       ch.queues
   in
   Hashtbl.fold (fun domid state acc -> (domid, state) :: acc) t.peers []
@@ -2342,7 +2719,7 @@ let invariant_violations t =
   List.rev !violations
 
 let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queues
-    ?zerocopy ?loans ?trace () =
+    ?zerocopy ?loans ?qos ?trace () =
   let p = Stack.params stack in
   let mq =
     match max_queues with
@@ -2356,6 +2733,51 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
   let ln =
     (match loans with Some l -> l | None -> p.Params.xenloop_loans) && zc
   in
+  let qos_on = match qos with Some b -> b | None -> p.Params.qos_enabled in
+  let qos_state =
+    if not qos_on then None
+    else begin
+      let policies = Hashtbl.create 4 in
+      let base_classify = ref (fun _ -> 0) in
+      let weight_of tenant =
+        match List.assoc_opt tenant p.Params.qos_tenant_weights with
+        | Some w -> max 1 w
+        | None -> max 1 p.Params.qos_default_weight
+      in
+      (* Tenant-policy classify overrides run first (lowest tenant id
+         wins when several policies claim a flow — deterministic), then
+         the installable base classifier.  Reads the policy table and
+         base ref dynamically, so installs only need a re-resolve. *)
+      let composed key =
+        let overrides =
+          Hashtbl.fold (fun tid pol acc -> (tid, pol) :: acc) policies []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let rec first = function
+          | [] -> !base_classify key
+          | (_, pol) :: rest -> (
+              match pol.Qos.Policy.p_classify key with
+              | Some tenant -> tenant
+              | None -> first rest)
+        in
+        first overrides
+      in
+      Some
+        {
+          qt_flows =
+            Qos.Flow_table.create
+              ~max_flows:(max 1 p.Params.qos_max_flows)
+              ~high:p.Params.qos_high_watermark
+              ~low:p.Params.qos_low_watermark
+              ~label_of:Steering.describe_key ~classify:composed ~weight_of ();
+          qt_policies = policies;
+          qt_base_classify = base_classify;
+          qt_composed = composed;
+          qt_weight_of = weight_of;
+          qt_congestion_fault = None;
+        }
+    end
+  in
   let t =
     {
       domain;
@@ -2365,6 +2787,7 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
       max_queues = mq;
       zerocopy = zc;
       loans = ln;
+      qos = qos_state;
       mapping = Mapping_table.create ();
       peers = Hashtbl.create 8;
       flow_cache = Hashtbl.create 64;

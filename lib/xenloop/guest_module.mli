@@ -115,6 +115,7 @@ val create :
   ?max_queues:int ->
   ?zerocopy:bool ->
   ?loans:bool ->
+  ?qos:bool ->
   ?trace:Sim.Trace.t ->
   unit ->
   t
@@ -134,6 +135,11 @@ val create :
     {!Hypervisor.Params.xenloop_loans}, forced off without [zerocopy]);
     the per-queue loan credit is negotiated through the pool control page
     and a credit of zero reproduces the copy-out receive path exactly.
+    [qos] enables the multi-tenant QoS subsystem (default
+    {!Hypervisor.Params.qos_enabled}, DESIGN.md §14): per-flow accounting,
+    weighted-DRR transmit scheduling in place of the FIFO-order waiting
+    list, watermark backpressure into the socket layer, and tenant
+    policies; off, every path is bit-for-bit the legacy behavior.
     [trace] receives bootstrap/channel/teardown/migration events when its
     categories are enabled. *)
 
@@ -232,6 +238,57 @@ val outstanding_loans : t -> int
 (** Pool slots currently borrowed by this guest's socket layer across all
     live channels.  Must be zero at quiescence (every loaned view released
     or force-returned) — the chaos harness's loan-conservation check. *)
+
+(** {1 Multi-tenant QoS (DESIGN.md §14)}
+
+    Active only when the module was created with QoS on; every function
+    here is a no-op (or returns the empty/default answer) otherwise, so
+    harness code can call them unconditionally. *)
+
+val qos_enabled : t -> bool
+
+val set_qos_classifier : t -> (Steering.flow_key -> int) -> unit
+(** Install the base flow→tenant classifier (default: everything is
+    tenant 0).  Existing flows are re-resolved immediately; per-tenant
+    weights come from {!Hypervisor.Params.qos_tenant_weights} (default
+    {!Hypervisor.Params.qos_default_weight}). *)
+
+val install_tenant_policy :
+  t -> tenant:int -> Steering.flow_key Qos.Policy.t -> unit
+(** Install (or replace) a tenant's delivery policy.  Its [p_classify]
+    runs before the base classifier (lowest tenant id wins when several
+    policies claim a flow); [p_enqueue]/[p_dequeue] see that tenant's
+    frames at admission and FIFO entry; [p_on_congestion] observes the
+    tenant's watermark edges.  Installing {!Qos.Policy.default} changes
+    nothing — the QoS-off equivalence contract. *)
+
+val remove_tenant_policy : t -> tenant:int -> unit
+
+type flow_stat = {
+  fs_label : string;  (** human-readable flow key *)
+  fs_tenant : int;
+  fs_weight : int;
+  fs_bytes : int;  (** admitted to the QoS layer (pre-overflow) *)
+  fs_frames : int;
+  fs_descs : int;  (** of those pushed, descriptor-backed *)
+  fs_overflows : int;
+      (** frames rerouted via netfront because THIS flow's sub-queue was
+          full (per-flow overflow: also counted in the module-wide
+          [waiting_overflows]) *)
+  fs_congestion_raises : int;
+  fs_congestion_clears : int;
+  fs_congested : bool;
+}
+
+val flow_stats : t -> flow_stat list
+(** Per-flow accounting in flow-creation order; [[]] when QoS is off. *)
+
+val set_congestion_fault_injector :
+  t -> (Steering.flow_key -> bool) option -> unit
+(** Chaos hook (Tenant_flood): [true] swallows that flow's congestion
+    edge before it reaches the socket layer — a tenant that ignores
+    backpressure.  Per-flow fairness must still hold: the misbehaving
+    flow's frames overflow to netfront, never other tenants'. *)
 
 (** {1 Transport-level shortcut}
 

@@ -53,6 +53,44 @@ let flow_key (packet : Netcore.Packet.t) =
   | Netcore.Packet.Arp_body _ | Netcore.Packet.Xenloop_body _ ->
       Mac_flow (Netcore.Mac.to_int64 packet.Netcore.Packet.dst_mac)
 
+(* The QoS flow identity is finer than the steering identity: steering
+   zeroes UDP ports so a socket's fragmented and unfragmented datagrams
+   stay on one queue, but fairness accounting wants one flow per UDP
+   socket pair.  Unfragmented datagrams (ports visible on every packet)
+   therefore keep their ports here; fragments and fragmented-datagram
+   heads still collapse to the 3-tuple.  TCP and everything else match
+   [flow_key] exactly. *)
+let qos_flow_key (packet : Netcore.Packet.t) =
+  match packet.Netcore.Packet.body with
+  | Netcore.Packet.Ipv4_body { header; content } -> (
+      match content with
+      | Netcore.Packet.Full { transport = Netcore.Transport.Udp _ as transport; _ }
+        when not (Netcore.Ipv4.is_fragment header) -> (
+          let proto = Netcore.Ipv4.protocol_number header.Netcore.Ipv4.protocol in
+          match
+            ( Netcore.Transport.src_port transport,
+              Netcore.Transport.dst_port transport )
+          with
+          | Some sport, Some dport ->
+              ip_flow ~proto ~src:header.Netcore.Ipv4.src
+                ~dst:header.Netcore.Ipv4.dst ~sport ~dport
+          | _ -> flow_key packet)
+      | _ -> flow_key packet)
+  | _ -> flow_key packet
+
+let describe_key = function
+  | Ip_flow { proto; src; dst; sport; dport } ->
+      let ip v =
+        let v = Int32.to_int v land 0xFFFFFFFF in
+        Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xFF) ((v lsr 16) land 0xFF)
+          ((v lsr 8) land 0xFF) (v land 0xFF)
+      in
+      let proto_name =
+        match proto with 6 -> "tcp" | 17 -> "udp" | 1 -> "icmp" | p -> string_of_int p
+      in
+      Printf.sprintf "%s:%s:%d>%s:%d" proto_name (ip src) sport (ip dst) dport
+  | Mac_flow mac -> Printf.sprintf "mac:%Lx" mac
+
 (* FNV-1a over the key's words: cheap, stateless, and well-mixed in the
    low bits (which is all [queue_index] keeps). *)
 

@@ -25,6 +25,16 @@ val flow_key : Netcore.Packet.t -> flow_key
     (ports zeroed) for UDP and for any fragment, destination MAC
     otherwise. *)
 
+val qos_flow_key : Netcore.Packet.t -> flow_key
+(** The QoS accounting identity: like {!flow_key} but unfragmented UDP
+    keeps its ports (one flow per socket pair), so a flooding socket is
+    isolated from its neighbours even when steering maps both to the
+    same queue.  Fragments still collapse to the 3-tuple. *)
+
+val describe_key : flow_key -> string
+(** Stable human-readable rendering, e.g. ["udp:10.0.0.1:5001>10.0.0.2:9000"],
+    used as the flow label in stats and bench JSON. *)
+
 val hash : flow_key -> int
 (** Non-negative FNV-1a hash of the key. *)
 

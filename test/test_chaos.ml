@@ -69,6 +69,7 @@ let test_soak_subset_clean () =
         c_faults = [];
         c_loans = false;
         c_evictions = false;
+        c_qos = false;
       };
       {
         Soak.c_name = "xenloop-duo/storm";
@@ -76,6 +77,7 @@ let test_soak_subset_clean () =
         c_faults = storm Harness.Xenloop_duo;
         c_loans = false;
         c_evictions = false;
+        c_qos = false;
       };
       {
         Soak.c_name = "cluster3/peer-crash";
@@ -83,6 +85,7 @@ let test_soak_subset_clean () =
         c_faults = [ Fault.default_spec Fault.Peer_crash ];
         c_loans = false;
         c_evictions = false;
+        c_qos = false;
       };
       {
         Soak.c_name = "migration-world/migrate-midstream";
@@ -90,6 +93,7 @@ let test_soak_subset_clean () =
         c_faults = [ Fault.default_spec Fault.Migrate_midstream ];
         c_loans = false;
         c_evictions = false;
+        c_qos = false;
       };
     ]
   in
@@ -137,6 +141,67 @@ let test_loans_soak_subset_clean () =
       (Soak.loan_cases ())
   in
   Alcotest.(check bool) "duo loan cases exist" true (List.length cases >= 4);
+  let s = Soak.run ~cases ~seed:42 ~iters:1 () in
+  Alcotest.(check int) "violation runs" 0 s.Soak.s_violation_runs;
+  Alcotest.(check int) "lost" 0 s.Soak.s_lost;
+  Alcotest.(check int) "duplicates" 0 s.Soak.s_duplicates;
+  Alcotest.(check bool) "summary ok" true (Soak.ok s)
+
+(* ------------------------------------------------------------------ *)
+(* QoS chaos: a misbehaving tenant flooding flat-out must not cost any
+   victim flow a datagram (exactly-once holds) nor force a victim to
+   spill to netfront (the harness checks per-flow overflow counters),
+   and arming the new kind must not perturb any pre-QoS digest. *)
+
+let test_qos_flood_clean () =
+  let faults = [ Fault.default_spec Fault.Tenant_flood ] in
+  let config =
+    Harness.default_config ~seed:11 ~faults ~qos:true Harness.Xenloop_duo
+  in
+  let v, _ = Harness.run config in
+  if not (Harness.ok v) then
+    Alcotest.failf "qos flood run violated: %s"
+      (String.concat "; " v.Harness.v_violations);
+  Alcotest.(check bool) "flood actually fired" true
+    (List.mem_assoc "tenant-flood" v.Harness.v_faults);
+  Alcotest.(check int) "victims exactly-once: lost" 0 v.Harness.v_lost;
+  Alcotest.(check int) "victims exactly-once: dups" 0 v.Harness.v_duplicates;
+  (* Determinism holds for QoS worlds too. *)
+  let v2, _ = Harness.run config in
+  Alcotest.(check string) "digest stable" v.Harness.v_log_digest
+    v2.Harness.v_log_digest
+
+let test_qos_off_digest_unperturbed () =
+  (* With QoS off, Tenant_flood is inert: arming it must reproduce the
+     exact same run — the RNG split discipline means a new kind never
+     reseeds the streams existing kinds consume. *)
+  let base =
+    Harness.default_config ~seed:23 ~faults:(storm Harness.Xenloop_duo)
+      Harness.Xenloop_duo
+  in
+  let armed =
+    {
+      base with
+      Harness.faults =
+        base.Harness.faults @ [ Fault.default_spec Fault.Tenant_flood ];
+    }
+  in
+  let v1, _ = Harness.run base in
+  let v2, _ = Harness.run armed in
+  Alcotest.(check string) "digest bit-for-bit" v1.Harness.v_log_digest
+    v2.Harness.v_log_digest;
+  Alcotest.(check int) "log length" v1.Harness.v_log_length
+    v2.Harness.v_log_length;
+  Alcotest.(check (list (pair string int)))
+    "per-kind counts" v1.Harness.v_faults v2.Harness.v_faults
+
+let test_qos_soak_subset_clean () =
+  let cases =
+    List.filter
+      (fun c -> c.Soak.c_scenario = Harness.Xenloop_duo)
+      (Soak.qos_cases ())
+  in
+  Alcotest.(check bool) "duo qos cases exist" true (List.length cases >= 4);
   let s = Soak.run ~cases ~seed:42 ~iters:1 () in
   Alcotest.(check int) "violation runs" 0 s.Soak.s_violation_runs;
   Alcotest.(check int) "lost" 0 s.Soak.s_lost;
@@ -312,6 +377,12 @@ let suites =
           test_loans_chaos_clean;
         Alcotest.test_case "loans-on soak subset is clean" `Quick
           test_loans_soak_subset_clean;
+        Alcotest.test_case "qos tenant-flood run is clean" `Quick
+          test_qos_flood_clean;
+        Alcotest.test_case "qos-off digest unperturbed by new kind" `Quick
+          test_qos_off_digest_unperturbed;
+        Alcotest.test_case "qos soak subset is clean" `Quick
+          test_qos_soak_subset_clean;
         Alcotest.test_case "sabotage is detected" `Quick test_sabotage_detected;
       ] );
     ( "chaos.softstate",
