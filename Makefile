@@ -4,7 +4,7 @@
 # data path loses or duplicates a single application byte relative to the
 # baseline (see bench/main.ml).
 
-.PHONY: all build test bench-smoke bench perf engine-check datapath-check mesh-check fairness-check soak ci check-tracked-artifacts clean
+.PHONY: all build test bench-smoke bench perf engine-check datapath-check gso-check mesh-check fairness-check soak ci check-tracked-artifacts clean
 
 all: build
 
@@ -45,6 +45,14 @@ engine-check: build
 datapath-check: build
 	dune exec bench/main.exe -- --datapath-check
 
+# Segmentation-offload gate: a 64 KiB gso-on TCP stream must beat the
+# gso-off path by >= 20% with the channel descriptor rate down >= 10x,
+# deliver byte-for-byte the same application data, and leave the gso-off
+# chaos digest matrix bit-for-bit unperturbed whether or not the
+# Jumbo_truncate fault is armed.
+gso-check: build
+	dune exec bench/main.exe -- --gso-check
+
 # Control-plane gate: re-measure the N=128 mesh point with delta
 # announcements on and fail if steady-state announce bytes/guest blow the
 # hard budget, if channel bring-up lost more than 25% against the
@@ -67,8 +75,8 @@ fairness-check: build
 soak: build
 	dune exec xenloopsim -- chaos
 
-ci: check-tracked-artifacts build test bench-smoke engine-check datapath-check mesh-check fairness-check soak
-	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + data-path copy gate + mesh control-plane gate + QoS fairness gate + chaos soak all green"
+ci: check-tracked-artifacts build test bench-smoke engine-check datapath-check gso-check mesh-check fairness-check soak
+	@echo "ci: artifact check + build + tests + bench smoke (delivery check) + engine perf gate + data-path copy gate + gso offload gate + mesh control-plane gate + QoS fairness gate + chaos soak all green"
 
 clean:
 	dune clean

@@ -766,6 +766,10 @@ type counters = {
   c_loan_rx : int;
   c_loan_returns : int;
   c_loan_credit_stalls : int;
+  c_jumbo_tx : int;
+  c_jumbo_rx : int;
+  c_jumbo_chunks_tx : int;
+  c_jumbo_drops : int;
 }
 
 let counters_of_modules modules =
@@ -787,6 +791,10 @@ let counters_of_modules modules =
         c_loan_rx = acc.c_loan_rx + s.Gm.loan_rx;
         c_loan_returns = acc.c_loan_returns + s.Gm.loan_returns;
         c_loan_credit_stalls = acc.c_loan_credit_stalls + s.Gm.loan_credit_stalls;
+        c_jumbo_tx = acc.c_jumbo_tx + s.Gm.jumbo_tx;
+        c_jumbo_rx = acc.c_jumbo_rx + s.Gm.jumbo_rx;
+        c_jumbo_chunks_tx = acc.c_jumbo_chunks_tx + s.Gm.jumbo_chunks_tx;
+        c_jumbo_drops = acc.c_jumbo_drops + s.Gm.jumbo_drops;
       })
     {
       c_delivered = 0;
@@ -803,6 +811,10 @@ let counters_of_modules modules =
       c_loan_rx = 0;
       c_loan_returns = 0;
       c_loan_credit_stalls = 0;
+      c_jumbo_tx = 0;
+      c_jumbo_rx = 0;
+      c_jumbo_chunks_tx = 0;
+      c_jumbo_drops = 0;
     }
     modules
 
@@ -822,6 +834,10 @@ let sub_counters a b =
     c_loan_rx = a.c_loan_rx - b.c_loan_rx;
     c_loan_returns = a.c_loan_returns - b.c_loan_returns;
     c_loan_credit_stalls = a.c_loan_credit_stalls - b.c_loan_credit_stalls;
+    c_jumbo_tx = a.c_jumbo_tx - b.c_jumbo_tx;
+    c_jumbo_rx = a.c_jumbo_rx - b.c_jumbo_rx;
+    c_jumbo_chunks_tx = a.c_jumbo_chunks_tx - b.c_jumbo_chunks_tx;
+    c_jumbo_drops = a.c_jumbo_drops - b.c_jumbo_drops;
   }
 
 type wl_result = {
@@ -832,12 +848,32 @@ type wl_result = {
          completed transactions for request/response.  Must be invariant
          across parameter settings — the fast path may change timing,
          never delivery. *)
+  w_cycles_per_byte : float;
+      (* vCPU busy time across both guests over the measured run, at the
+         nominal 1 GHz simulated clock, per application byte moved.  For
+         rr workloads the byte basis is the 1 B request + 1 B response
+         per transaction, so the number is dominated by per-packet fixed
+         costs — which is the point of reporting it. *)
   w_counters : counters;
 }
+
+let nominal_hz = 1e9
+
+let host_busy_meter hosts =
+  let cpus = List.map (fun h -> Netstack.Stack.cpu h.Host.stack) hosts in
+  fun () ->
+    List.fold_left
+      (fun acc cpu -> acc +. Sim.Time.to_sec_f (Sim.Resource.busy_time cpu))
+      0.0 cpus
+
+let cycles_per_byte ~busy_s ~bytes =
+  if bytes <= 0 then 0.0 else busy_s *. nominal_hz /. float_of_int bytes
 
 let run_json_workload ~params ~smoke name =
   let ctx = make_ctx ~params Setup.Xenloop_path in
   in_ctx ctx (fun { duo; client; server; dst } ->
+      let busy = host_busy_meter [ client; server ] in
+      let busy0 = busy () in
       let before = counters_of_modules duo.Setup.modules in
       let w_mbps, w_latency_us, w_delivered_app =
         match name with
@@ -860,7 +896,18 @@ let run_json_workload ~params ~smoke name =
         | _ -> invalid_arg "run_json_workload"
       in
       let after = counters_of_modules duo.Setup.modules in
-      { w_mbps; w_latency_us; w_delivered_app; w_counters = sub_counters after before })
+      let app_bytes =
+        match name with
+        | "udp_rr" | "tcp_rr" -> w_delivered_app * 2
+        | _ -> w_delivered_app
+      in
+      {
+        w_mbps;
+        w_latency_us;
+        w_delivered_app;
+        w_cycles_per_byte = cycles_per_byte ~busy_s:(busy () -. busy0) ~bytes:app_bytes;
+        w_counters = sub_counters after before;
+      })
 
 (* ------------------------------------------------------------------ *)
 (* Zero-copy message-size sweep (NetPIPE-style, 64 B to 64 KiB): the
@@ -1079,9 +1126,45 @@ let run_poll_point ~smoke ~poll ~queues () =
   in
   let ctx = make_ctx ~params Setup.Xenloop_path in
   in_ctx ctx (fun { duo; client; server; dst } ->
+      (* The rr flow runs against a concurrent paced UDP stream between
+         the same guest pair: an idle deterministic channel gives every
+         transaction the identical latency (p50 == p99 exactly, which is
+         a sampling artifact, not a tail), while the background load
+         injects real queueing variance so the busy-poll-vs-adaptive
+         comparison actually measures the tail it claims to. *)
+      let engine = Host.engine client in
+      let stop = ref false in
+      let sink =
+        match Netstack.Udp.bind server.Host.udp ~port:9200 () with
+        | Ok s -> s
+        | Error _ -> failwith "poll_sweep: sink bind"
+      in
+      Sim.Engine.spawn (Host.engine server) (fun () ->
+          while not !stop do
+            match Netstack.Udp.recv_opt sink with
+            | Some _ -> ()
+            | None -> Sim.Engine.sleep (Sim.Time.us 50)
+          done);
+      let blast =
+        match Netstack.Udp.bind client.Host.udp () with
+        | Ok s -> s
+        | Error _ -> failwith "poll_sweep: blast bind"
+      in
+      let payload = Bytes.make 4096 'p' in
+      Sim.Engine.spawn engine (fun () ->
+          while not !stop do
+            for _ = 1 to 4 do
+              Netstack.Udp.sendto blast ~dst ~dst_port:9200 payload
+            done;
+            Sim.Engine.sleep (Sim.Time.us 50)
+          done);
+      (* Let the blast establish a standing backlog before sampling. *)
+      Sim.Engine.sleep (Sim.Time.us 300);
       let before = counters_of_modules duo.Setup.modules in
       let n = if smoke then 150 else 1500 in
       let r = Netperf.tcp_rr ~client ~server ~dst ~transactions:n () in
+      stop := true;
+      Sim.Engine.sleep (Sim.Time.ms 1);
       let after = counters_of_modules duo.Setup.modules in
       let c = sub_counters after before in
       {
@@ -1125,12 +1208,15 @@ let json_of_side buf r =
         \"waiting_overflows\": %d, \"desc_tx\": %d, \"inline_tx\": %d, \
         \"pool_fallbacks\": %d, \"loan_tx\": %d, \"loan_rx\": %d, \
         \"loan_returns\": %d, \"loan_credit_stalls\": %d, \
+        \"jumbo_tx\": %d, \"jumbo_rx\": %d, \"jumbo_chunks_tx\": %d, \
+        \"jumbo_drops\": %d, \"cycles_per_byte\": %.4f, \
         \"notifies_per_packet\": %.4f}"
        (jopt r.w_mbps) (jopt r.w_latency_us) r.w_delivered_app c.c_delivered
        c.c_notifies_sent c.c_notifies_suppressed c.c_batches c.c_poll_rounds
        c.c_steered c.c_waiting_overflows c.c_desc_tx c.c_inline_tx
        c.c_pool_fallbacks c.c_loan_tx c.c_loan_rx c.c_loan_returns
-       c.c_loan_credit_stalls (notifies_per_packet c))
+       c.c_loan_credit_stalls c.c_jumbo_tx c.c_jumbo_rx c.c_jumbo_chunks_tx
+       c.c_jumbo_drops r.w_cycles_per_byte (notifies_per_packet c))
 
 let json_of_mixed buf m =
   let c = m.mx_counters in
@@ -1418,6 +1504,206 @@ let datapath_check () =
       p.zp_copies_per_byte size;
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Segmentation-offload sweep (DESIGN.md §15): TCP streams at large
+   message sizes with the jumbo-descriptor path negotiated on vs forced
+   off.  The headline numbers are throughput and channel descriptors per
+   MiB delivered — one jumbo covers up to ~45 per-MSS frames, so the
+   descriptor rate collapses — plus cycles/byte, since what the offload
+   actually buys is fewer per-descriptor fixed costs. *)
+
+type gso_point = {
+  gp_size : int;  (* application message size *)
+  gp_gso : bool;
+  gp_mbps : float;
+  gp_delivered : int;
+  gp_descs : int;  (* channel entries pushed: descriptor + inline *)
+  gp_descs_per_mib : float;
+  gp_jumbo_tx : int;
+  gp_jumbo_rx : int;
+  gp_jumbo_chunks_tx : int;
+  gp_cycles_per_byte : float;
+}
+
+let run_gso_point ?(wire = false) ~smoke ~gso size =
+  (* [wire]: strip the vif's TSO budget too, so the sender emits
+     wire-exact-MSS (~1460 B) frames — the per-MSS fallback baseline of
+     DESIGN.md §15 that the descriptor-collapse clause of the gso gate
+     is defined against.  The plain gso-off point keeps netfront TSO
+     (16 KiB super-frames), which is the fair throughput baseline but
+     already amortizes descriptors ~11x over the wire path. *)
+  let params =
+    {
+      Hypervisor.Params.default with
+      Hypervisor.Params.xenloop_gso = gso;
+      vif_gso_size =
+        (if wire then None else Hypervisor.Params.default.vif_gso_size);
+    }
+  in
+  let ctx = make_ctx ~params Setup.Xenloop_path in
+  in_ctx ctx (fun { duo; client; server; dst } ->
+      let busy = host_busy_meter [ client; server ] in
+      let busy0 = busy () in
+      let before = counters_of_modules duo.Setup.modules in
+      let total = if smoke then 2 * 1024 * 1024 else 8 * 1024 * 1024 in
+      let r =
+        Netperf.tcp_stream ~client ~server ~dst ~message_size:size
+          ~total_bytes:total ()
+      in
+      let c = sub_counters (counters_of_modules duo.Setup.modules) before in
+      let busy_s = busy () -. busy0 in
+      let descs = c.c_desc_tx + c.c_inline_tx in
+      let mib = float_of_int r.Netperf.bytes_received /. (1024.0 *. 1024.0) in
+      {
+        gp_size = size;
+        gp_gso = gso;
+        gp_mbps = r.Netperf.mbps;
+        gp_delivered = r.Netperf.bytes_received;
+        gp_descs = descs;
+        gp_descs_per_mib = (if mib > 0.0 then float_of_int descs /. mib else 0.0);
+        gp_jumbo_tx = c.c_jumbo_tx;
+        gp_jumbo_rx = c.c_jumbo_rx;
+        gp_jumbo_chunks_tx = c.c_jumbo_chunks_tx;
+        gp_cycles_per_byte =
+          cycles_per_byte ~busy_s ~bytes:r.Netperf.bytes_received;
+      })
+
+let gso_sweep ~smoke =
+  let sizes = if smoke then [ 16384; 65536 ] else [ 4096; 16384; 65536 ] in
+  List.map
+    (fun size ->
+      let on = run_gso_point ~smoke ~gso:true size in
+      let off = run_gso_point ~smoke ~gso:false size in
+      (size, on, off))
+    sizes
+
+let json_of_gso_point buf p =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"mbps\": %.3f, \"delivered_app\": %d, \"descriptors\": %d, \
+        \"descriptors_per_mib\": %.1f, \"jumbo_tx\": %d, \"jumbo_rx\": %d, \
+        \"jumbo_chunks_tx\": %d, \"cycles_per_byte\": %.4f}"
+       p.gp_mbps p.gp_delivered p.gp_descs p.gp_descs_per_mib p.gp_jumbo_tx
+       p.gp_jumbo_rx p.gp_jumbo_chunks_tx p.gp_cycles_per_byte)
+
+let gso_point_report (size, on, off) =
+  Printf.printf
+    "gso %6dB  off %8.1f Mbps (%7.1f desc/MiB)  on %8.1f Mbps (%7.1f \
+     desc/MiB)  jumbos %d  cycles/B %.3f -> %.3f\n"
+    size off.gp_mbps off.gp_descs_per_mib on.gp_mbps on.gp_descs_per_mib
+    on.gp_jumbo_tx off.gp_cycles_per_byte on.gp_cycles_per_byte
+
+(* CI gate (make gso-check): three independent clauses.
+   (a) Offload must pay: gso-on 64 KiB TCP_STREAM >= 1.2x the gso-off
+       throughput (gso-off keeps netfront TSO, so this is the hard
+       baseline), with the jumbo path actually engaged, and the channel
+       descriptor rate down at least 10x against the per-MSS wire
+       baseline (vif TSO stripped) — the frame population the receiver
+       would software-segment back to on netfront fallback, and the
+       granularity the paper's loopback moves at.
+   (b) Offload may not change delivery: byte counts identical on vs off.
+   (c) Offload-off must be invisible: the chaos digest matrix with gso
+       off is bit-for-bit identical whether or not the Jumbo_truncate
+       fault is armed — the gso machinery contributes nothing, not even
+       an RNG draw, to a world that did not negotiate it. *)
+let gso_check () =
+  let on = run_gso_point ~smoke:true ~gso:true 65536 in
+  let off = run_gso_point ~smoke:true ~gso:false 65536 in
+  let wire = run_gso_point ~wire:true ~smoke:true ~gso:false 65536 in
+  gso_point_report (65536, on, off);
+  Printf.printf
+    "gso  wire-MSS baseline (vif TSO off): %8.1f Mbps (%7.1f desc/MiB)\n"
+    wire.gp_mbps wire.gp_descs_per_mib;
+  let failed = ref false in
+  if on.gp_mbps < 1.2 *. off.gp_mbps then begin
+    Printf.eprintf
+      "GSO REGRESSION: 64 KiB tcp_stream %.1f Mbps with offload on vs %.1f \
+       off (%.2fx, floor 1.20x)\n"
+      on.gp_mbps off.gp_mbps
+      (if off.gp_mbps > 0.0 then on.gp_mbps /. off.gp_mbps else 0.0);
+    failed := true
+  end;
+  if on.gp_descs_per_mib > wire.gp_descs_per_mib /. 10.0 then begin
+    Printf.eprintf
+      "GSO REGRESSION: %.1f descriptors/MiB with offload on vs %.1f on the \
+       per-MSS wire baseline — the jumbo path is not coalescing 10x\n"
+      on.gp_descs_per_mib wire.gp_descs_per_mib;
+    failed := true
+  end;
+  if on.gp_jumbo_tx = 0 then begin
+    Printf.eprintf
+      "GSO REGRESSION: no jumbo descriptors moved on a 64 KiB gso-on stream\n";
+    failed := true
+  end;
+  if on.gp_delivered <> off.gp_delivered then begin
+    Printf.eprintf
+      "GSO DELIVERY MISMATCH: offload on delivered %d bytes, off delivered \
+       %d\n"
+      on.gp_delivered off.gp_delivered;
+    failed := true
+  end;
+  (* (c): gso-off digest matrix, armed vs unarmed Jumbo_truncate.
+
+     One caveat bounds which fault sets can be compared this way: the
+     harness logs a generic "fault windows cleared" event at
+     [Fault.clearance] (the max [f_stop] over every armed spec,
+     whatever its kind), so appending ANY spec to a set whose window
+     envelope it extends moves that bookkeeping timestamp — for any
+     fault kind, armed or not, gso or not.  That is harness scheduling,
+     not gso machinery.  The invisibility claim under test is that the
+     jumbo fault contributes no *draws or injections*, so the matrix
+     compares exactly the sets whose envelope already covers the jumbo
+     window: each applicable single whose default window ends no
+     earlier, plus the full storm. *)
+  let digest_of ~seed ~faults =
+    let v, _ =
+      Chaos.Harness.run
+        (Chaos.Harness.default_config ~seed ~faults Chaos.Harness.Xenloop_duo)
+    in
+    (v.Chaos.Harness.v_log_digest, v.Chaos.Harness.v_log_length)
+  in
+  let applicable_specs =
+    List.filter_map
+      (fun k ->
+        if Chaos.Harness.applicable Chaos.Harness.Xenloop_duo k then
+          Some (Chaos.Fault.default_spec k)
+        else None)
+      Chaos.Fault.all
+  in
+  let jumbo_spec = Chaos.Fault.default_spec Chaos.Fault.Jumbo_truncate in
+  let envelope_stable specs =
+    List.exists
+      (fun s -> s.Chaos.Fault.f_stop >= jumbo_spec.Chaos.Fault.f_stop)
+      specs
+  in
+  let singles =
+    List.filter_map
+      (fun s ->
+        if envelope_stable [ s ] then
+          Some (Chaos.Fault.label s.Chaos.Fault.f_kind, [ s ])
+        else None)
+      applicable_specs
+  in
+  List.iter
+    (fun (name, faults) ->
+      List.iter
+        (fun seed ->
+          let d0 = digest_of ~seed ~faults in
+          let d1 = digest_of ~seed ~faults:(faults @ [ jumbo_spec ]) in
+          if d0 = d1 then
+            Printf.printf "gso-check: %s seed=%d digest %s unperturbed\n" name
+              seed (fst d0)
+          else begin
+            Printf.eprintf
+              "GSO DIGEST PERTURBATION: %s seed=%d digest %s (len %d) became \
+               %s (len %d) when Jumbo_truncate was armed in a gso-off world\n"
+              name seed (fst d0) (snd d0) (fst d1) (snd d1);
+            failed := true
+          end)
+        [ 42; 43 ])
+    (singles @ [ ("storm", applicable_specs) ]);
+  if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Mesh sweep: the cluster-scale control plane (DESIGN.md §12).
@@ -1946,6 +2232,7 @@ let json_mode ~smoke path =
       ks
   in
   let zerocopy_sweep = zc_sweep ~smoke in
+  let gso_points = gso_sweep ~smoke in
   let mesh_points = mesh_sweep ~smoke in
   let fairness = run_fairness_sweep ~smoke in
   let engine_points = engine_bench_run ~smoke () in
@@ -1972,6 +2259,7 @@ let json_mode ~smoke path =
               c_loans = false;
               c_evictions = false;
               c_qos = false;
+              c_gso = false;
             };
             {
               Chaos.Soak.c_name = "xenloop-duo/storm";
@@ -1980,6 +2268,7 @@ let json_mode ~smoke path =
               c_loans = false;
               c_evictions = false;
               c_qos = false;
+              c_gso = false;
             };
           ]
         ~seed:42 ()
@@ -2046,6 +2335,17 @@ let json_mode ~smoke path =
         points;
       Buffer.add_string buf "\n    ]}")
     zerocopy_sweep;
+  Buffer.add_string buf "\n  ],\n  \"gso_sweep\": [\n";
+  List.iteri
+    (fun i (size, on, off) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"size\": %d,\n     \"gso\": " size);
+      json_of_gso_point buf on;
+      Buffer.add_string buf ",\n     \"gso_off\": ";
+      json_of_gso_point buf off;
+      Buffer.add_string buf "}")
+    gso_points;
   Buffer.add_string buf "\n  ],\n  \"mesh_sweep\": [\n";
   List.iteri
     (fun i p ->
@@ -2090,6 +2390,7 @@ let json_mode ~smoke path =
             on.zp_copies_per_byte on.zp_pool_fallbacks)
         points)
     zerocopy_sweep;
+  List.iter gso_point_report gso_points;
   List.iter mesh_point_report mesh_points;
   fairness_report fairness;
   ignore (engine_bench_report engine_points);
@@ -2118,6 +2419,15 @@ let json_mode ~smoke path =
               :: !failures)
         points)
     zerocopy_sweep;
+  List.iter
+    (fun (size, on, off) ->
+      if on.gp_delivered <> off.gp_delivered then
+        failures :=
+          Printf.sprintf
+            "gso size=%d: offload on delivered %d bytes, off delivered %d"
+            size on.gp_delivered off.gp_delivered
+          :: !failures)
+    gso_points;
   (match poll_points with
   | first :: rest ->
       List.iter
@@ -2319,6 +2629,8 @@ let () =
       ignore (engine_bench_report (engine_bench_run ~smoke:true ()))
   | [ "--engine-bench-check"; path ] -> engine_bench_check path
   | [ "--datapath-check" ] -> datapath_check ()
+  | [ "--gso-check" ] -> gso_check ()
+  | [ "--gso-sweep" ] -> List.iter gso_point_report (gso_sweep ~smoke:false)
   | [ "--mesh-check"; path ] -> mesh_check path
   | [ "--fairness-check" ] -> fairness_check ()
   | [ "--fairness-sweep" ] -> fairness_report (run_fairness_sweep ~smoke:false)
@@ -2334,6 +2646,7 @@ let () =
       prerr_endline
         "usage: main.exe [--list | --only name1,name2,... | --json [path] | \
          --json-smoke path | --engine-bench | --engine-bench-smoke | \
-         --engine-bench-check path | --datapath-check | --mesh-check path | \
-         --fairness-check | --fairness-sweep]";
+         --engine-bench-check path | --datapath-check | --gso-check | \
+         --gso-sweep | --mesh-check path | --fairness-check | \
+         --fairness-sweep]";
       exit 1

@@ -20,13 +20,14 @@ type kind =
   | Slow_consumer
   | Evict_storm
   | Tenant_flood
+  | Jumbo_truncate
 
 let all =
   [
     Drop_notify; Delay_notify; Grant_map_fail; Frame_exhaustion; Lost_watch;
     Stale_read; Drop_announce; Ctrl_drop; Ctrl_dup; Ctrl_delay; Push_refusal;
     Pool_exhaustion; Peer_crash; Suspend_resume; Migrate_midstream; Loan_leak;
-    Slow_consumer; Evict_storm; Tenant_flood;
+    Slow_consumer; Evict_storm; Tenant_flood; Jumbo_truncate;
   ]
 
 let label = function
@@ -49,6 +50,7 @@ let label = function
   | Slow_consumer -> "slow-consumer"
   | Evict_storm -> "evict-storm"
   | Tenant_flood -> "tenant-flood"
+  | Jumbo_truncate -> "jumbo-truncate"
 
 let of_label s = List.find_opt (fun k -> label k = s) all
 
@@ -107,6 +109,11 @@ let default_spec kind =
       (* Consulted by the flooder's pacer: every tick inside the window
          bursts the misbehaving tenant's flow (opt-in QoS worlds only). *)
       { f_kind = kind; f_start = short_start; f_stop = Sim.Time.ms 30; f_prob = 1.0 }
+  | Jumbo_truncate ->
+      (* Consulted once per jumbo push: corrupts the scatter length
+         vector so the receiver's frame-level validation must drop and
+         account (opt-in gso worlds only). *)
+      { f_kind = kind; f_start = short_start; f_stop = short_stop; f_prob = 0.3 }
   | Peer_crash | Suspend_resume | Migrate_midstream ->
       { f_kind = kind; f_start = Sim.Time.ms 5; f_stop = Sim.Time.ms 5; f_prob = 1.0 }
 

@@ -38,6 +38,11 @@ type kind =
       (** one tenant floods its flow flat-out and ignores congestion
           signals (the per-flow backpressure edge is swallowed); victims
           must keep their fair share (opt-in QoS worlds only) *)
+  | Jumbo_truncate
+      (** a jumbo descriptor's scatter length vector is corrupted in
+          flight; the receiver must drop the frame loudly and never
+          deliver bytes the vector does not account for (opt-in gso
+          worlds only) *)
 
 val all : kind list
 

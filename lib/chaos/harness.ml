@@ -11,6 +11,7 @@ module Endpoint = Scenarios.Endpoint
 module Experiment = Scenarios.Experiment
 module Stack = Netstack.Stack
 module Udp = Netstack.Udp
+module Tcp = Netstack.Tcp
 
 type scenario = Xenloop_duo | Netfront_duo | Cluster3 | Migration_world
 
@@ -39,6 +40,10 @@ let applicable scenario kind =
      the standard matrix pins QoS off, so it is armed only by the
      explicit QoS cases ([config.qos]). *)
   | _, Fault.Tenant_flood -> false
+  (* Truncation corrupts jumbo scatter vectors, which only exist in a
+     gso world; the standard matrix pins gso off, so it is armed only by
+     the explicit gso cases ([config.gso]). *)
+  | _, Fault.Jumbo_truncate -> false
   | Netfront_duo, _ -> false
   | Cluster3, Fault.Peer_crash -> true
   | _, Fault.Peer_crash -> false
@@ -62,10 +67,14 @@ type config = {
   qos : bool;
       (** QoS world: the multi-tenant scheduler on, with a deliberately
           shallow per-flow bound so [Fault.Tenant_flood] overflows *)
+  gso : bool;
+      (** gso world: jumbo segmentation offload negotiated, plus an
+          auxiliary TCP bulk stream that keeps jumbo descriptors in
+          flight for [Fault.Jumbo_truncate] to corrupt *)
 }
 
 let default_config ?(seed = 1) ?(faults = []) ?(loans = false)
-    ?(evictions = false) ?(qos = false) scenario =
+    ?(evictions = false) ?(qos = false) ?(gso = false) scenario =
   {
     seed;
     scenario;
@@ -76,6 +85,7 @@ let default_config ?(seed = 1) ?(faults = []) ?(loans = false)
     loans;
     evictions;
     qos;
+    gso;
   }
 
 type verdict = {
@@ -137,6 +147,11 @@ let chaos_params =
        legacy FIFO-order waiting list bit-for-bit; QoS runs opt in
        through [config.qos]. *)
     qos_enabled = false;
+    (* And for segmentation offload (DESIGN.md §15): off, negotiation
+       never advertises "gs", announce wires carry the legacy tags, and
+       the tx path never consults the jumbo injector, so pre-gso digests
+       replay unchanged; gso runs opt in through [config.gso]. *)
+    xenloop_gso = false;
   }
 
 type world = {
@@ -479,7 +494,19 @@ let wire w plan rec_ =
                     (Sim.Time.to_us_f d));
                Gm.Loan_delay d
              end
-             else Gm.Loan_pass)))
+             else Gm.Loan_pass));
+      (* Consulted only when a jumbo descriptor is pushed, so in a
+         gso-off world this kind never draws and never perturbs another
+         kind's stream. *)
+      Gm.set_jumbo_fault_injector m
+        (Some
+           (fun () ->
+             if Fault.draw plan Fault.Jumbo_truncate then begin
+               rec_
+                 (Printf.sprintf "%s: jumbo scatter vector truncated" mname);
+               true
+             end
+             else false)))
     !(w.w_modules)
 
 (* ------------------------------------------------------------------ *)
@@ -593,6 +620,11 @@ let run ?sabotage config =
       else chaos_params
     in
     let p =
+      (* gso world: jumbo negotiation back on (zerocopy pools are already
+         on in [chaos_params], which gso rides on). *)
+      if config.gso then { p with Params.xenloop_gso = true } else p
+    in
+    let p =
       if config.qos then
         (* QoS world: scheduler on, per-flow bound shallow enough that a
            flooding tenant actually overflows (to netfront, per flow)
@@ -678,6 +710,51 @@ let run ?sabotage config =
                        Sim.Engine.sleep (Sim.Time.us 100)
                      done)
        end);
+      (* Jumbo-truncate (gso worlds): the stamped UDP datagrams are far
+         below jumbo size, so an auxiliary TCP bulk stream keeps jumbo
+         descriptors in flight while the fault window is open.  The
+         stream must still land byte-identical — a truncated jumbo is
+         dropped loudly at rx and recovered by TCP retransmission. *)
+      let aux_bulk =
+        if not config.gso then None
+        else
+          match w.w_flows with
+          | [] -> None
+          | (src, dst) :: _ ->
+              let total = 512 * 1024 in
+              let data =
+                Bytes.init total (fun i -> Char.chr ((i * 131) land 0xff))
+              in
+              let state = ref `Running in
+              (match Tcp.listen dst.Endpoint.tcp ~port:7997 with
+              | Error _ -> state := `Failed
+              | Ok listener ->
+                  Sim.Engine.spawn engine ~name:"gso-bulk-rx" (fun () ->
+                      let conn = Tcp.accept listener in
+                      let got = Tcp.recv_exact conn total in
+                      state :=
+                        (if Bytes.equal got data then `Done else `Corrupt));
+                  Sim.Engine.spawn engine ~name:"gso-bulk-tx" (fun () ->
+                      match
+                        Tcp.connect src.Endpoint.tcp ~dst:(Endpoint.ip dst)
+                          ~dst_port:7997 ()
+                      with
+                      | Ok conn ->
+                          (* Paced in jumbo-sized chunks so descriptor
+                             pushes span the whole fault window instead
+                             of bursting before it opens. *)
+                          let chunk = 64 * 1024 in
+                          let off = ref 0 in
+                          while !off < total do
+                            let n = min chunk (total - !off) in
+                            Tcp.send conn (Bytes.sub data !off n);
+                            off := !off + n;
+                            Sim.Engine.sleep (Sim.Time.ms 1)
+                          done;
+                          Tcp.close conn
+                      | Error _ -> state := `Failed));
+              Some state
+      in
       let seen = Hashtbl.create 16 in
       let violations = ref [] in
       let note_violation msg =
@@ -801,6 +878,45 @@ let run ?sabotage config =
         w.w_stir ();
         Sim.Engine.sleep (Sim.Time.ms 1)
       done;
+      (* gso worlds: the bulk stream must have completed byte-identical,
+         jumbo descriptors must actually have moved (else the world
+         tested nothing), and every injected truncation must show up as
+         an accounted rx drop — never as delivered bytes. *)
+      (match aux_bulk with
+      | None -> ()
+      | Some state ->
+          let aux_deadline =
+            Sim.Time.add (Sim.Engine.now engine) (Sim.Time.sec 8)
+          in
+          while
+            !state = `Running
+            && Sim.Time.(Sim.Engine.now engine < aux_deadline)
+          do
+            Sim.Engine.sleep (Sim.Time.ms 1)
+          done;
+          (match !state with
+          | `Done -> rec_ "gso bulk stream delivered byte-identical"
+          | `Running -> note_violation "gso bulk stream did not complete"
+          | `Corrupt -> note_violation "gso bulk stream delivered corrupt bytes"
+          | `Failed -> note_violation "gso bulk stream failed to establish");
+          let sum f =
+            List.fold_left (fun a (_, m) -> a + f (Gm.stats m)) 0 !(w.w_modules)
+          in
+          if sum (fun s -> s.Gm.jumbo_tx) = 0 then
+            note_violation "gso world moved no jumbo descriptors";
+          let truncations =
+            match List.assoc_opt "jumbo-truncate" (Fault.injections plan) with
+            | Some n -> n
+            | None -> 0
+          in
+          let drops = sum (fun s -> s.Gm.jumbo_drops) in
+          if truncations > 0 && drops = 0 then
+            note_violation
+              "jumbo truncations injected but no rx drop accounted";
+          if drops > truncations then
+            note_violation
+              (Printf.sprintf "%d jumbo drop(s) accounted for %d truncation(s)"
+                 drops truncations));
       (* Tenant-flood fairness: per-flow sub-queues mean only the flooder
          may be forced to spill to netfront; a victim flow overflowing
          means the flood evicted someone else's frames. *)

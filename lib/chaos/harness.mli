@@ -35,8 +35,9 @@ val applicable : scenario -> Fault.kind -> bool
     ([Loan_leak], [Slow_consumer]) only bite in a loans-on world so they
     are armed only by explicit loans-on cases ([config.loans]),
     [Evict_storm] likewise only bites with the bounded-channel knobs on
-    ([config.evictions]), and [Tenant_flood] only in a QoS world
-    ([config.qos]). *)
+    ([config.evictions]), [Tenant_flood] only in a QoS world
+    ([config.qos]), and [Jumbo_truncate] only in a gso world
+    ([config.gso]). *)
 
 type config = {
   seed : int;
@@ -61,6 +62,12 @@ type config = {
           per-flow sub-queues, the regime {!Fault.Tenant_flood} bites in;
           the standard matrix pins QoS off so pre-QoS digests replay
           unchanged *)
+  gso : bool;
+      (** build the world with jumbo segmentation offload negotiated on
+          ({!Hypervisor.Params.xenloop_gso}) and run an auxiliary TCP
+          bulk stream that keeps jumbo descriptors in flight — the
+          regime {!Fault.Jumbo_truncate} bites in; the standard matrix
+          pins gso off so pre-gso digests replay unchanged *)
 }
 
 val default_config :
@@ -69,10 +76,11 @@ val default_config :
   ?loans:bool ->
   ?evictions:bool ->
   ?qos:bool ->
+  ?gso:bool ->
   scenario ->
   config
 (** 250 packets of 256 B per flow, 1 ms checker cadence, loans,
-    evictions and QoS off. *)
+    evictions, QoS and gso off. *)
 
 type verdict = {
   v_seed : int;

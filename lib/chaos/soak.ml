@@ -6,6 +6,7 @@ type case = {
   c_evictions : bool;
       (** eviction world: delta announcements on, tight channel cap *)
   c_qos : bool;  (** QoS world: per-flow DRR scheduler, small sub-queues *)
+  c_gso : bool;  (** gso world: jumbo offload negotiated, TCP bulk aux flow *)
 }
 
 (* In the migration world the guests start apart: there is no XenLoop
@@ -44,6 +45,7 @@ let case scenario kinds suffix =
     c_loans = false;
     c_evictions = false;
     c_qos = false;
+    c_gso = false;
   }
 
 (* Loaned-slot receive soaks its own corner of the matrix: worlds with
@@ -127,6 +129,34 @@ let qos_cases () =
       "flood-teardown";
   ]
 
+(* Segmentation offload (DESIGN.md §15) soaks its own worlds: jumbo
+   descriptors negotiated on and an auxiliary TCP bulk stream in flight,
+   first fault-free, then under scatter-vector truncation alone (plain
+   and loaned receive), mixed with the data-plane kinds that starve the
+   jumbo allocator, and across a mid-window teardown (which must reclaim
+   or drop stranded multi-slot frames, never leak or mis-deliver). *)
+let gso_cases () =
+  let mk ?(loans = false) scenario kinds label =
+    {
+      (case scenario kinds label) with
+      c_name =
+        Printf.sprintf "%s/gso-%s" (Harness.scenario_label scenario) label;
+      c_gso = true;
+      c_loans = loans;
+    }
+  in
+  [
+    mk Harness.Xenloop_duo [] "baseline";
+    mk Harness.Xenloop_duo [ Fault.Jumbo_truncate ] "truncate";
+    mk ~loans:true Harness.Xenloop_duo [ Fault.Jumbo_truncate ] "truncate-loans";
+    mk Harness.Xenloop_duo
+      [ Fault.Jumbo_truncate; Fault.Push_refusal; Fault.Pool_exhaustion ]
+      "storm";
+    mk ~loans:true Harness.Xenloop_duo
+      [ Fault.Jumbo_truncate; Fault.Suspend_resume ]
+      "truncate-teardown";
+  ]
+
 let matrix () =
   let scenario_cases scenario =
     let kinds = List.filter (Harness.applicable scenario) Fault.all in
@@ -155,7 +185,7 @@ let matrix () =
         @ [ case scenario kinds "storm" ]
   in
   List.concat_map scenario_cases Harness.all_scenarios
-  @ loan_cases () @ evict_cases () @ qos_cases ()
+  @ loan_cases () @ evict_cases () @ qos_cases () @ gso_cases ()
 
 type failure = {
   fail_seed : int;
@@ -210,7 +240,7 @@ let run ?cases ?(seed = 42) ?(iters = 1) ?(progress = fun _ -> ()) () =
         let config =
           Harness.default_config ~seed:run_seed ~faults:c.c_faults
             ~loans:c.c_loans ~evictions:c.c_evictions ~qos:c.c_qos
-            c.c_scenario
+            ~gso:c.c_gso c.c_scenario
         in
         let v, _log = Harness.run config in
         incr runs;

@@ -17,6 +17,7 @@ type case = {
   c_evictions : bool;
       (** eviction world: delta announcements on, tight channel cap *)
   c_qos : bool;  (** QoS world: per-flow DRR scheduler, small sub-queues *)
+  c_gso : bool;  (** gso world: jumbo offload negotiated, TCP bulk aux flow *)
 }
 
 val loan_cases : unit -> case list
@@ -40,9 +41,20 @@ val qos_cases : unit -> case list
     and at cluster scale.  Victims must stay exactly-once and must never
     be forced to overflow to netfront. *)
 
+val gso_cases : unit -> case list
+(** Segmentation-offload cases (DESIGN.md §15): gso worlds (jumbo
+    descriptors negotiated, an auxiliary TCP bulk stream in flight)
+    soaked fault-free, under scatter-vector [Jumbo_truncate] alone
+    (plain and loaned receive), mixed with [Push_refusal] and
+    [Pool_exhaustion] (so the multi-slot allocator actually fails), and
+    across a mid-window teardown.  The bulk stream must land
+    byte-identical and every truncation must be accounted as a loud rx
+    drop. *)
+
 val matrix : unit -> case list
 (** The stock matrix: every scenario × {baseline, each applicable kind,
-    storm}, plus {!loan_cases}, {!evict_cases} and {!qos_cases}.  [Migration_world]
+    storm}, plus {!loan_cases}, {!evict_cases}, {!qos_cases} and
+    {!gso_cases}.  [Migration_world]
     pairs each probabilistic kind with the migration itself (windows
     shifted past the migration instant, since guests apart have no
     XenLoop state to fault); [Netfront_duo] runs baseline only, as the

@@ -31,6 +31,8 @@ type t = {
   xenloop_pool_slot_pages : int;
   xenloop_loans : bool;
   xenloop_max_loans : int;
+  xenloop_gso : bool;
+  xenloop_gso_max : int;
   xenloop_poll_mode : bool;
   xenloop_poll_spin : Sim.Time.span;
   xenloop_poll_pause : Sim.Time.span;
@@ -61,6 +63,7 @@ type t = {
   netback_per_page : Sim.Time.span;
   bridge_forward : Sim.Time.span;
   tso_max_frame : int;
+  vif_gso_size : int option;
   wire_gbps : float;
   wire_latency : Sim.Time.span;
   nic_tx : Sim.Time.span;
@@ -105,6 +108,14 @@ let default =
     xenloop_pool_slot_pages = 5;
     xenloop_loans = true;
     xenloop_max_loans = 32;
+    (* Segmentation offload on the trusted channel (DESIGN.md §15).  A
+       gso-capable pair moves one jumbo descriptor (multi-slot scatter
+       list, checksum elided) per TCP send of up to [xenloop_gso_max]
+       payload bytes instead of per-MSS frames; off (or a peer without
+       "gs") keeps the per-MSS path bit-for-bit.  Requires
+       [xenloop_zerocopy]. *)
+    xenloop_gso = true;
+    xenloop_gso_max = 65536;
     xenloop_poll_mode = false;
     xenloop_poll_spin = Sim.Time.ns 100;
     xenloop_poll_pause = Sim.Time.of_us_f 1.0;
@@ -157,6 +168,7 @@ let default =
     netback_per_page = Sim.Time.of_us_f 5.4;
     bridge_forward = Sim.Time.ns 600;
     tso_max_frame = 65536;
+    vif_gso_size = Some 16384;
     wire_gbps = 1.0;
     wire_latency = Sim.Time.of_us_f 8.0;
     nic_tx = Sim.Time.of_us_f 2.0;

@@ -93,6 +93,18 @@ type t = {
           deliveries degrade transparently to copy-out so a slow consumer
           can never pin the whole pool (each side uses min(own, peer's
           stamp)) *)
+  xenloop_gso : bool;
+      (** advertise and use jumbo-descriptor segmentation offload
+          (GSO/GRO, DESIGN.md §15): a TCP sender on a gso-negotiated
+          channel emits one multi-slot jumbo descriptor of up to
+          [xenloop_gso_max] payload bytes instead of per-MSS frames, with
+          transport checksums elided on the trusted shared-memory path
+          (recomputed on any netfront/physnet fallback).  Requires
+          [xenloop_zerocopy]; [false] (or a peer that doesn't speak it)
+          keeps the per-MSS descriptor path bit-for-bit *)
+  xenloop_gso_max : int;
+      (** largest TCP payload one jumbo descriptor may carry; each side
+          uses min(own, peer's control-page stamp) *)
   xenloop_poll_mode : bool;
       (** DPDK-style busy-poll receive: a pinned receiver fiber spins
           run-to-completion on the descriptor rings with event-channel
@@ -191,6 +203,11 @@ type t = {
   bridge_forward : Sim.Time.span;  (** software bridge lookup+forward *)
   tso_max_frame : int;
       (** TCP large frames through netfront (TSO-style); UDP gets none *)
+  vif_gso_size : int option;
+      (** the TSO budget a guest vif advertises to its stack ([None] =
+          no offload, sender emits wire-MSS frames).  The per-MSS
+          baseline the gso descriptor gate compares against (DESIGN.md
+          §15) is this knob set to [None]. *)
   (* --- Physical network --- *)
   wire_gbps : float;
   wire_latency : Sim.Time.span;  (** propagation + switch store-and-forward *)

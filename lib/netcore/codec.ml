@@ -112,8 +112,13 @@ let tcp_flags_of_bits bits : Transport.tcp_flags =
   }
 
 (* Serialize transport header with a zero checksum field into [w], then
-   patch the real checksum (computed over header + payload) in place. *)
-let write_transport w transport ~payload =
+   patch the real checksum (computed over header + payload) in place.
+   [~csum:false] leaves the field zero — the checksum-elision contract on
+   the trusted xenloop channel (DESIGN.md §15): such bytes are only valid
+   against [parse ~verify_transport:false], and any path that re-enters
+   an untrusted transport (netfront, physnet) must re-serialize, which
+   recomputes. *)
+let write_transport ?(csum = true) w transport ~payload =
   let start = w.wpos in
   let cksum_off =
     match transport with
@@ -142,21 +147,24 @@ let write_transport w transport ~payload =
         16
   in
   wbytes w payload;
-  let cksum = Checksum.compute w.wdata ~off:start ~len:(w.wpos - start) in
-  Bytes.set_uint8 w.wdata (start + cksum_off) (cksum lsr 8);
-  Bytes.set_uint8 w.wdata (start + cksum_off + 1) (cksum land 0xFF)
+  if csum then begin
+    let cksum = Checksum.compute w.wdata ~off:start ~len:(w.wpos - start) in
+    Bytes.set_uint8 w.wdata (start + cksum_off) (cksum lsr 8);
+    Bytes.set_uint8 w.wdata (start + cksum_off + 1) (cksum land 0xFF)
+  end
+  else ignore cksum_off
 
-let serialize_transport transport ~payload =
+let serialize_transport ?(csum = true) transport ~payload =
   let w =
     { wdata = Bytes.create (transport_length transport ~payload); wpos = 0 }
   in
-  write_transport w transport ~payload;
+  write_transport ~csum w transport ~payload;
   w.wdata
 
-let parse_transport protocol blob =
+let parse_transport ?(verify = true) protocol blob =
   let c = { data = blob; pos = 0 } in
   try
-    if not (Checksum.verify blob ~off:0 ~len:(Bytes.length blob)) then
+    if verify && not (Checksum.verify blob ~off:0 ~len:(Bytes.length blob)) then
       Error (Bad_checksum "transport")
     else begin
       let transport =
@@ -226,7 +234,7 @@ let serialize_ipv4_header w (h : Ipv4.header) ~content_length =
   Bytes.set_uint8 w.wdata (start + 10) (cksum lsr 8);
   Bytes.set_uint8 w.wdata (start + 11) (cksum land 0xFF)
 
-let parse_ipv4 c =
+let parse_ipv4 ?(verify_transport = true) c =
   let start = c.pos in
   let vihl = r8 c in
   if vihl <> 0x45 then Error (Malformed "IPv4 version/IHL")
@@ -264,7 +272,7 @@ let parse_ipv4 c =
             if Ipv4.is_fragment header then
               Ok (Packet.Ipv4_body { header; content = Packet.Fragment blob })
             else
-              match parse_transport protocol blob with
+              match parse_transport ~verify:verify_transport protocol blob with
               | Error e -> Error e
               | Ok (transport, payload) ->
                   Ok
@@ -321,7 +329,7 @@ let body_length (body : Packet.body) =
   | Packet.Arp_body _ -> arp_length
   | Packet.Xenloop_body data -> 2 + Bytes.length data
 
-let serialize (p : Packet.t) =
+let serialize ?(csum = true) (p : Packet.t) =
   let w =
     { wdata = Bytes.create (ethernet_header_length + body_length p.body);
       wpos = 0 }
@@ -335,7 +343,7 @@ let serialize (p : Packet.t) =
       | Packet.Full { transport; payload } ->
           serialize_ipv4_header w header
             ~content_length:(transport_length transport ~payload);
-          write_transport w transport ~payload
+          write_transport ~csum w transport ~payload
       | Packet.Fragment blob ->
           serialize_ipv4_header w header ~content_length:(Bytes.length blob);
           wbytes w blob)
@@ -345,7 +353,7 @@ let serialize (p : Packet.t) =
       wbytes w data);
   w.wdata
 
-let parse data =
+let parse ?(verify_transport = true) data =
   let c = { data; pos = 0 } in
   try
     let dst_mac = rmac c in
@@ -353,7 +361,7 @@ let parse data =
     let ethertype = r16 c in
     let body =
       match ethertype with
-      | 0x0800 -> parse_ipv4 c
+      | 0x0800 -> parse_ipv4 ~verify_transport c
       | 0x0806 -> parse_arp c
       | 0x58D0 ->
           let len = r16 c in

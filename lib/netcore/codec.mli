@@ -16,18 +16,28 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val serialize : Packet.t -> Bytes.t
-val parse : Bytes.t -> (Packet.t, error) result
+val serialize : ?csum:bool -> Packet.t -> Bytes.t
+(** [~csum:false] leaves the transport checksum field zero (checksum
+    elision on the trusted xenloop channel, DESIGN.md §15).  Such bytes
+    parse only with [~verify_transport:false]; re-serializing them with
+    the default [~csum:true] — as any netfront/physnet fallback does —
+    reproduces the always-compute baseline bit for bit.  IPv4 header
+    checksums are always computed. *)
+
+val parse : ?verify_transport:bool -> Bytes.t -> (Packet.t, error) result
+(** [~verify_transport:false] skips the transport-checksum check (GRO on
+    a channel whose descriptor carries the [csum_ok] flag); IPv4 header
+    checksums are still verified. *)
 
 (** {1 Transport blobs}
 
     IP fragmentation slices the serialized transport-header+payload blob;
     these are the helpers the fragmenter and reassembler use. *)
 
-val serialize_transport : Transport.t -> payload:Bytes.t -> Bytes.t
+val serialize_transport : ?csum:bool -> Transport.t -> payload:Bytes.t -> Bytes.t
 
 (** Length of [serialize_transport transport ~payload] without building
     it — the fragmenter's fits-in-one-MTU test needs only the size. *)
 val transport_length : Transport.t -> payload:Bytes.t -> int
 val parse_transport :
-  Ipv4.protocol -> Bytes.t -> (Transport.t * Bytes.t, error) result
+  ?verify:bool -> Ipv4.protocol -> Bytes.t -> (Transport.t * Bytes.t, error) result

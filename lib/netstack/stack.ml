@@ -10,6 +10,9 @@ type stats = {
   mutable stolen_by_hook : int;
   mutable dropped_not_mine : int;
   mutable echo_requests_served : int;
+  mutable sw_segmented : int;
+      (** jumbo TCP frames software-segmented back to wire MSS because a
+          netfilter hook declined them (DESIGN.md §15 fallback) *)
 }
 
 type t = {
@@ -32,6 +35,10 @@ type t = {
      [inject_rx_borrowed] delivery; the transport layer that decides to
      keep the payload claims it with [take_rx_release]. *)
   mutable pending_release : (copied:bool -> unit) option;
+  (* Segmentation offload (DESIGN.md §15): the xenloop module answers
+     "how many TCP payload bytes may one segment to [dst] carry?"; 0
+     means no jumbo path and the per-MSS sender is untouched. *)
+  mutable jumbo_hint : (dst:Netcore.Ip.t -> int) option;
   (* Per-flow congestion signals from below (QoS backpressure,
      DESIGN.md §14): transport layers register by protocol number so a
      channel watermark edge can reach the owning socket. *)
@@ -60,6 +67,11 @@ let fresh_ident t =
 
 let use_cpu t span = Sim.Resource.use t.s_cpu span
 
+let set_tx_jumbo_hint t f = t.jumbo_hint <- f
+
+let tx_jumbo_hint t ~dst =
+  match t.jumbo_hint with None -> 0 | Some f -> max 0 (f ~dst)
+
 (* ------------------------------------------------------------------ *)
 (* Input path *)
 
@@ -85,6 +97,67 @@ let handle_arp t (msg : Netcore.Arp.t) =
             (P.arp ~src_mac:t.s_mac ~dst_mac:msg.Netcore.Arp.sender_mac reply))
   | Netcore.Arp.Request | Netcore.Arp.Reply -> ()
 
+(* The largest TCP payload one frame may carry on this device's wire
+   path (its TSO budget, or the plain MTU), i.e. the MSS the sender
+   would have used without a jumbo hint. *)
+let wire_seg_max dev =
+  (match Netdevice.gso_size dev with
+  | Some gso -> max (Netdevice.mtu dev) gso
+  | None -> Netdevice.mtu dev)
+  - 40
+
+(* Software GSO fallback (DESIGN.md §15): a jumbo TCP frame the xenloop
+   hook declined — the channel died between the send decision and the
+   hook, or steering diverted the flow — must not reach netfront or the
+   physical wire oversized.  Re-segment it into exactly the wire-MSS
+   frames the sender would have emitted without the hint: sequence
+   numbers advance per chunk, PSH/FIN ride only on the last chunk, and
+   each chunk gets its own IP ident.  Checksums need no special care
+   here: elision exists only in the FIFO's serialized bytes, and every
+   device-boundary serialization recomputes them from scratch. *)
+let resegment_tcp t ~mss frame =
+  match frame.P.body with
+  | P.Ipv4_body { header; content = P.Full { transport = T.Tcp tcp; payload } }
+    ->
+      let total = Bytes.length payload in
+      let mss = max 1 mss in
+      t.s_stats.sw_segmented <- t.s_stats.sw_segmented + 1;
+      let rec chunks off acc =
+        if off >= total then List.rev acc
+        else begin
+          let len = min mss (total - off) in
+          let last = off + len >= total in
+          let transport =
+            T.Tcp
+              {
+                tcp with
+                T.seq = Int32.add tcp.T.seq (Int32.of_int off);
+                flags =
+                  {
+                    tcp.T.flags with
+                    T.psh = tcp.T.flags.T.psh && last;
+                    fin = tcp.T.flags.T.fin && last;
+                  };
+              }
+          in
+          let seg =
+            {
+              frame with
+              P.body =
+                P.Ipv4_body
+                  {
+                    header = { header with Netcore.Ipv4.ident = fresh_ident t };
+                    content =
+                      P.Full { transport; payload = Bytes.sub payload off len };
+                  };
+            }
+          in
+          chunks (off + len) (seg :: acc)
+        end
+      in
+      chunks 0 []
+  | _ -> [ frame ]
+
 let transmit_fragments t dev frags =
   let p = t.s_params in
   let hook_cost =
@@ -98,11 +171,23 @@ let transmit_fragments t dev frags =
      hook cost is unchanged. *)
   use_cpu t (Sim.Time.span_scale (List.length frags) hook_cost);
   let verdicts = Netfilter.run_batch t.s_post_routing frags in
+  let wire_max = wire_seg_max dev in
   List.iter2
     (fun frag verdict ->
       match verdict with
       | Netfilter.Steal -> t.s_stats.stolen_by_hook <- t.s_stats.stolen_by_hook + 1
-      | Netfilter.Accept -> Netdevice.transmit dev frag)
+      | Netfilter.Accept -> (
+          match frag.P.body with
+          | P.Ipv4_body
+              { content = P.Full { transport = T.Tcp _; payload }; _ }
+            when Bytes.length payload > wire_max ->
+              (* Extra per-segment tx work the jumbo send skipped. *)
+              let n = (Bytes.length payload + wire_max - 1) / wire_max in
+              use_cpu t
+                (Sim.Time.span_scale (n - 1) p.Hypervisor.Params.tcp_tx);
+              List.iter (Netdevice.transmit dev)
+                (resegment_tcp t ~mss:wire_max frag)
+          | _ -> Netdevice.transmit dev frag))
     frags verdicts
 
 let send_ip_packet t ~dst ~dst_mac ~dev ~transport ~payload =
@@ -128,10 +213,14 @@ let send_ip_packet t ~dst ~dst_mac ~dev ~transport ~payload =
   in
   t.s_stats.tx_datagrams <- t.s_stats.tx_datagrams + 1;
   (* TSO: TCP super-frames bypass IP fragmentation — the device (or its
-     backend) segments them where the real wire needs it. *)
+     backend) segments them where the real wire needs it.  A jumbo hint
+     for this destination (gso xenloop channel, DESIGN.md §15) widens
+     the bypass further; if the hook then declines the frame,
+     [transmit_fragments] software-segments it back to wire MSS. *)
   let limit =
     match (transport, Netdevice.gso_size dev) with
-    | T.Tcp _, Some gso -> max (Netdevice.mtu dev) gso + 60
+    | T.Tcp _, Some gso ->
+        max (max (Netdevice.mtu dev) gso) (tx_jumbo_hint t ~dst) + 60
     | (T.Tcp _ | T.Udp _ | T.Icmp _), _ -> Netdevice.mtu dev
   in
   let frags = Netcore.Fragment.fragment ~mtu:limit packet in
@@ -375,6 +464,7 @@ let create ~engine ~params ~cpu ~ip ~mac () =
       tcp_handler = None;
       ctrl_handler = None;
       pending_release = None;
+      jumbo_hint = None;
       congestion_handlers = Hashtbl.create 2;
       ping_waiters = Hashtbl.create 4;
       s_stats =
@@ -384,6 +474,7 @@ let create ~engine ~params ~cpu ~ip ~mac () =
           stolen_by_hook = 0;
           dropped_not_mine = 0;
           echo_requests_served = 0;
+          sw_segmented = 0;
         };
     }
   in

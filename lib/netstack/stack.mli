@@ -62,6 +62,21 @@ val tcp_mss : t -> Netcore.Ip.t -> int
     device TCP may emit GSO super-frames up to the device's gso size;
     otherwise MTU - 40. *)
 
+(** {1 Jumbo segmentation offload (DESIGN.md §15)} *)
+
+val set_tx_jumbo_hint : t -> (dst:Netcore.Ip.t -> int) option -> unit
+(** Register the xenloop module's answer to "how many TCP payload bytes
+    may one segment towards [dst] carry?" — the negotiated gso ceiling
+    of an active gso-capable channel, or 0 (no jumbo path; the per-MSS
+    sender is untouched).  The hint is consulted per send, so a channel
+    tearing down mid-stream simply stops coalescing; a jumbo frame
+    already in flight that the xenloop hook then declines is
+    software-segmented back to wire-exact MSS before it reaches
+    netfront or the physical device. *)
+
+val tx_jumbo_hint : t -> dst:Netcore.Ip.t -> int
+(** The current hint for [dst] (0 when none is registered). *)
+
 (** {1 Input path} *)
 
 val inject_rx : t -> Netcore.Packet.t -> unit
@@ -150,6 +165,9 @@ type stats = {
   mutable stolen_by_hook : int;
   mutable dropped_not_mine : int;
   mutable echo_requests_served : int;
+  mutable sw_segmented : int;
+      (** jumbo TCP frames software-segmented back to wire MSS because a
+          netfilter hook declined them (DESIGN.md §15 fallback) *)
 }
 
 val stats : t -> stats

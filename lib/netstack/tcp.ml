@@ -43,11 +43,15 @@ type conn = {
   mutable snd_una : int32;
   mutable peer_window : int;
   window_avail : Sim.Condition.t;
-  cork : Bytes.t;
+  mutable cork : Bytes.t;
       (** autocork buffer (DESIGN.md §11): sub-MSS writes issued while
           data is in flight accumulate here instead of each becoming a
           tinygram segment — and, on a XenLoop channel, each pinning a
-          whole pool slot.  Never holds a full MSS: reaching one flushes. *)
+          whole pool slot.  Flushes on reaching the segment ceiling: one
+          MSS normally, the jumbo limit when segmentation offload is
+          negotiated (DESIGN.md §15) — the buffer is grown on demand so
+          the sub-MSS tail of one large write coalesces into the front
+          of the next jumbo instead of leaving as a runt segment. *)
   mutable cork_len : int;
   mutable nodelay : bool;
       (** TCP_NODELAY: latency-sensitive pipelined senders (MPI-style
@@ -590,16 +594,38 @@ let send c data =
   Sim.Resource.use (cpu c) p.Hypervisor.Params.syscall;
   let total = Bytes.length data in
   let off = ref 0 in
+  (* Jumbo segmentation offload (DESIGN.md §15): when the stack's hint
+     says this peer is reachable over a gso-capable xenloop channel, one
+     segment may carry up to the negotiated ceiling instead of one MSS.
+     The hint is 0 everywhere else, so the per-MSS sender below is
+     bit-for-bit untouched.  The payload of one segment is additionally
+     capped so the IPv4 total length (payload + 40 bytes of IP/TCP
+     headers) still fits the datagram's 16-bit length field — a 64 KiB
+     ceiling would otherwise wrap it. *)
+  let seg_limit =
+    max c.conn_mss
+      (min
+         (Stack.tx_jumbo_hint c.tcp.stack ~dst:c.key.peer_ip)
+         (65535 - Netcore.Ipv4.header_length - 20))
+  in
+  if Bytes.length c.cork < seg_limit then begin
+    let grown = Bytes.create seg_limit in
+    Bytes.blit c.cork 0 grown 0 c.cork_len;
+    c.cork <- grown
+  end;
   while !off < total do
     if c.state <> Established then raise (Tcp_error Closed);
     if c.cork_len > 0 then begin
       (* Top up the cork first so bytes leave in order; a full cork
-         flushes as one MSS-sized segment. *)
-      let n = min (c.conn_mss - c.cork_len) (total - !off) in
+         flushes as one ceiling-sized segment.  [seg_limit] may have
+         shrunk below the corked length (channel torn down mid-stream):
+         top up nothing and flush — the standard-path resegmenter cuts
+         the oversized flush back to wire MSS. *)
+      let n = max 0 (min (seg_limit - c.cork_len) (total - !off)) in
       Bytes.blit data !off c.cork c.cork_len n;
       c.cork_len <- c.cork_len + n;
       off := !off + n;
-      if c.cork_len >= c.conn_mss then flush_cork_blocking c
+      if c.cork_len >= seg_limit then flush_cork_blocking c
     end
     else begin
       let in_flight = seq_diff c.snd_nxt c.snd_una in
@@ -620,9 +646,25 @@ let send c data =
         c.cork_len <- remaining;
         off := total
       end
+      else if
+        (not c.nodelay) && seg_limit > c.conn_mss && remaining < c.conn_mss
+        && in_flight > 0
+      then begin
+        (* Jumbo tail coalescing: the IPv4 length field caps one jumbo
+           at 65495 B of payload, so a 64 KiB application write leaves a
+           runt behind the jumbo it just emitted.  Corking the runt lets
+           it ride the front of the next write's jumbo — a back-to-back
+           stream emits exactly one descriptor per write — while the
+           flight-drained autocork flush bounds its latency when the
+           stream goes quiet.  Guarded on [seg_limit > conn_mss], so the
+           per-MSS path never takes it. *)
+        Bytes.blit data !off c.cork 0 remaining;
+        c.cork_len <- remaining;
+        off := total
+      end
       else if window_room <= 0 then Sim.Condition.await c.window_avail
       else begin
-        let len = min (min c.conn_mss remaining) window_room in
+        let len = min (min seg_limit remaining) window_room in
         let last = !off + len >= total in
         let payload = Bytes.sub data !off len in
         (* Same pre-update discipline as [cork_flush_avail]: an ACK

@@ -67,19 +67,21 @@ let scan t =
                anything unparsable is treated the same way (version
                gating); an old Dom0 reading "4 zc" likewise fails its
                int parse and falls back to one queue, no pools. *)
-            let queues, zc, loans, delta =
+            let queues, zc, loans, gso, delta =
               match String.split_on_char ' ' (String.trim advert) with
               | count :: caps ->
                   ( (match int_of_string_opt count with
                     | Some q when q >= 1 -> q
                     | Some _ | None -> 1),
                     List.mem "zc" caps,
-                    (* Loans ride on top of the descriptor channel; an
-                       advert claiming "ln" without "zc" is malformed and
-                       version-gates down to plain zero-copy-off. *)
+                    (* Loans and gso ride on top of the descriptor
+                       channel; an advert claiming "ln" or "gs" without
+                       "zc" is malformed and version-gates down to plain
+                       zero-copy-off. *)
                     List.mem "zc" caps && List.mem "ln" caps,
+                    List.mem "zc" caps && List.mem "gs" caps,
                     List.mem "dl" caps )
-              | [] -> (1, false, false, false)
+              | [] -> (1, false, false, false, false)
             in
             match
               ( Xenstore.read xs ~caller:Xenstore.dom0
@@ -98,6 +100,7 @@ let scan t =
                           entry_queues = queues;
                           entry_zc = zc;
                           entry_loans = loans;
+                          entry_gso = gso;
                         },
                         delta )
                 | _ -> None)

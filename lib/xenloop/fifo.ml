@@ -62,6 +62,20 @@ let flag_desc = 1
    src port u16, 2 pad) and [proto_hint] is the destination port. *)
 let flag_app = 2
 
+(* Jumbo descriptor (GSO, DESIGN.md §15): the entry scatter-gathers one
+   oversized frame across several pool slots.  Layout after the metadata
+   word (which carries the total frame length): one header word
+   {u16 nchunks, u16 proto_hint, u32 reserved}, then [nchunks] chunk words
+   {u16 slot, u16 0, u32 len}. *)
+let flag_jumbo = 4
+
+(* The frame's transport checksum was elided by the sender (trusted
+   shared-memory path); the receiver must parse it verify-free and any
+   re-entry into netfront/physnet must re-serialize (recompute). *)
+let flag_csum_ok = 8
+
+let max_jumbo_chunks = 32
+
 
 let init ~desc ~data ~k =
   if k < 1 || k > max_k then invalid_arg "Fifo.init: k out of range";
@@ -93,6 +107,11 @@ type t = {
   mutable e_len : int;
   mutable e_proto : int;
   mutable e_flags : int;
+  (* Jumbo scratch: chunk (slot, len) pairs of the most recent jumbo pop,
+     preallocated so the consumer hot path stays zero-alloc. *)
+  mutable e_nchunks : int;
+  e_chunk_slots : int array;
+  e_chunk_lens : int array;
 }
 
 let attach ~desc ~data =
@@ -109,6 +128,9 @@ let attach ~desc ~data =
     e_len = 0;
     e_proto = 0;
     e_flags = 0;
+    e_nchunks = 0;
+    e_chunk_slots = Array.make max_jumbo_chunks 0;
+    e_chunk_lens = Array.make max_jumbo_chunks 0;
   }
 
 let slots t = t.fifo_slots
@@ -237,6 +259,57 @@ let try_push_desc t ?(flags = 0) ~slot ~offset ~len ~proto_hint () =
     true
   end
 
+(* A jumbo entry occupies 2 + nchunks slots: metadata word (total length,
+   descriptor + jumbo flags), a header word {nchunks, proto_hint}, then one
+   chunk word {slot, len} per pool slot of the scatter list.  The caller
+   has already written the payload into those slots; on [false] it owns
+   the rollback (unalloc in reverse order). *)
+
+let jumbo_ring_slots nchunks = 2 + nchunks
+
+let can_accept_jumbo t ~nchunks =
+  nchunks >= 1 && nchunks <= max_jumbo_chunks
+  && is_active t
+  && jumbo_ring_slots nchunks <= free_slots t
+
+let try_push_jumbo t ?(flags = 0) ~chunk_slots ~chunk_lens ~nchunks ~total_len
+    ~proto_hint () =
+  if
+    total_len <= 0 || nchunks < 1 || nchunks > max_jumbo_chunks
+    || nchunks > Array.length chunk_slots
+    || nchunks > Array.length chunk_lens
+    || not (is_active t)
+    || free_slots t < jumbo_ring_slots nchunks
+  then false
+  else begin
+    let b = back t in
+    let slot_index = b land (t.fifo_slots - 1) in
+    let byte_at = slot_index * slot_bytes in
+    let mpage = t.data.(byte_at / Page.size) in
+    let moff = byte_at mod Page.size in
+    Page.set_u32 mpage moff total_len;
+    Page.set_u16 mpage (moff + 4) entry_magic;
+    Page.set_u16 mpage (moff + 6) (flag_desc lor flag_jumbo lor flags);
+    let size = ring_bytes t in
+    let word_at i =
+      (* 8-byte slots never straddle a page. *)
+      let a = (byte_at + (slot_bytes * i)) mod size in
+      (t.data.(a / Page.size), a mod Page.size)
+    in
+    let hpage, hoff = word_at 1 in
+    Page.set_u16 hpage hoff nchunks;
+    Page.set_u16 hpage (hoff + 2) proto_hint;
+    Page.set_u32 hpage (hoff + 4) 0;
+    for i = 0 to nchunks - 1 do
+      let cpage, coff = word_at (2 + i) in
+      Page.set_u16 cpage coff chunk_slots.(i);
+      Page.set_u16 cpage (coff + 2) 0;
+      Page.set_u32 cpage (coff + 4) chunk_lens.(i)
+    done;
+    Page.set_u32 t.desc off_back (b + jumbo_ring_slots nchunks);
+    true
+  end
+
 (* A payload goes through the pool when it is above the negotiated inline
    threshold but still small enough for both a pool slot and an inline
    fallback — keeping every descriptor-eligible packet degradable to the
@@ -333,10 +406,45 @@ let push_many t ?pool ?(inline_max = max_int) ?(proto_hint = 0) ?(loans = false)
 type entry =
   | Inline of Bytes.t
   | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int; d_flags : int }
+  | Jumbo of {
+      j_len : int;
+      j_proto : int;
+      j_flags : int;
+      j_chunks : (int * int) array;  (** (pool slot, chunk length) *)
+    }
 
 (* [pop_into] result codes. *)
 let popped_empty = -1
 let popped_desc = -2
+let popped_jumbo = -3
+
+(* Shared by both consumer entry points: park the jumbo header + chunk
+   vector in the scratch fields and advance [front].  The chunk count is
+   the only structurally-load-bearing field — out of range means the ring
+   framing itself is gone (the next entry cannot be located), so it raises
+   like any other corrupt metadata.  Chunk slots/lengths are validated by
+   the caller against its pool, where a bad vector is a droppable frame,
+   not a dead channel. *)
+let pop_jumbo_into_scratch t ~f ~byte_at ~len ~flags =
+  let size = ring_bytes t in
+  let word_at i =
+    let a = (byte_at + (slot_bytes * i)) mod size in
+    (t.data.(a / Page.size), a mod Page.size)
+  in
+  let hpage, hoff = word_at 1 in
+  let nchunks = Page.get_u16 hpage hoff in
+  if nchunks < 1 || nchunks > max_jumbo_chunks then
+    invalid_arg "Fifo.pop: corrupt jumbo entry metadata";
+  t.e_proto <- Page.get_u16 hpage (hoff + 2);
+  t.e_len <- len;
+  t.e_flags <- flags;
+  t.e_nchunks <- nchunks;
+  for i = 0 to nchunks - 1 do
+    let cpage, coff = word_at (2 + i) in
+    t.e_chunk_slots.(i) <- Page.get_u16 cpage coff;
+    t.e_chunk_lens.(i) <- Page.get_u32 cpage (coff + 4)
+  done;
+  Page.set_u32 t.desc off_front (f + jumbo_ring_slots nchunks)
 
 let pop_into t dst =
   if is_empty t then popped_empty
@@ -351,6 +459,10 @@ let pop_into t dst =
     let flags = Page.get_u16 mpage (moff + 6) in
     if magic <> entry_magic || len <= 0 then
       invalid_arg "Fifo.pop: corrupt entry metadata"
+    else if flags land flag_jumbo <> 0 then begin
+      pop_jumbo_into_scratch t ~f ~byte_at ~len ~flags;
+      popped_jumbo
+    end
     else if flags land flag_desc <> 0 then begin
       let at2 = (byte_at + slot_bytes) mod ring_bytes t in
       let ppage = t.data.(at2 / Page.size) in
@@ -380,6 +492,9 @@ let desc_off t = t.e_off
 let desc_len t = t.e_len
 let desc_proto t = t.e_proto
 let desc_flags t = t.e_flags
+let desc_nchunks t = t.e_nchunks
+let desc_chunk_slot t i = t.e_chunk_slots.(i)
+let desc_chunk_len t i = t.e_chunk_lens.(i)
 
 let pop_entry t =
   if is_empty t then None
@@ -394,6 +509,14 @@ let pop_entry t =
     let flags = Page.get_u16 mpage (moff + 6) in
     if magic <> entry_magic || len <= 0 then
       invalid_arg "Fifo.pop: corrupt entry metadata"
+    else if flags land flag_jumbo <> 0 then begin
+      pop_jumbo_into_scratch t ~f ~byte_at ~len ~flags;
+      let j_chunks =
+        Array.init t.e_nchunks (fun i ->
+            (t.e_chunk_slots.(i), t.e_chunk_lens.(i)))
+      in
+      Some (Jumbo { j_len = len; j_proto = t.e_proto; j_flags = flags; j_chunks })
+    end
     else if flags land flag_desc <> 0 then begin
       let at2 = (byte_at + slot_bytes) mod ring_bytes t in
       let ppage = t.data.(at2 / Page.size) in
@@ -419,7 +542,7 @@ let pop t =
   match pop_entry t with
   | None -> None
   | Some (Inline payload) -> Some payload
-  | Some (Desc _) ->
+  | Some (Desc _ | Jumbo _) ->
       (* A descriptor on a channel whose consumer has no pool mapped means
          the endpoints disagree about the negotiation — treat it like any
          other framing corruption. *)

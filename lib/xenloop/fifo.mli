@@ -155,8 +155,52 @@ val try_push_desc :
   bool
 (** Publish a descriptor for a payload already written to the pool
     (two FIFO slots).  [flags] (default none) is OR-ed into the entry's
-    flag word next to the descriptor bit — {!flag_app} is the only defined
-    extra bit.  {!push} is the normal caller for plain frames. *)
+    flag word next to the descriptor bit — {!flag_app} and
+    {!flag_csum_ok} are the defined extra bits.  {!push} is the normal
+    caller for plain frames. *)
+
+(** {2 Jumbo descriptors (segmentation offload, DESIGN.md §15)}
+
+    A gso-negotiated sender publishes one entry for a frame larger than a
+    single pool slot: the payload is scatter-written across several slots
+    and the entry carries the chunk vector.  Never produced or consumed
+    unless both endpoints negotiated gso — a gso-off channel's byte
+    streams are bit-for-bit free of these. *)
+
+val flag_jumbo : int
+(** Descriptor-flag bit: multi-slot scatter entry (always set together
+    with the descriptor bit). *)
+
+val flag_csum_ok : int
+(** Descriptor-flag bit: the sender elided the transport checksum on this
+    trusted channel; the receiver parses verify-free and any
+    netfront/physnet fallback must re-serialize (which recomputes). *)
+
+val max_jumbo_chunks : int
+(** Structural bound on a jumbo entry's chunk count (32). *)
+
+val jumbo_ring_slots : int -> int
+(** Ring slots a jumbo entry with this many chunks occupies (2 + n). *)
+
+val can_accept_jumbo : t -> nchunks:int -> bool
+(** Whether a jumbo entry with this many chunks would fit right now.  Pool
+    slot availability is the caller's check — the chunk payloads are
+    already written when the entry is pushed. *)
+
+val try_push_jumbo :
+  t ->
+  ?flags:int ->
+  chunk_slots:int array ->
+  chunk_lens:int array ->
+  nchunks:int ->
+  total_len:int ->
+  proto_hint:int ->
+  unit ->
+  bool
+(** Publish a jumbo entry for a frame already scatter-written into
+    [nchunks] pool slots (prefixes of [chunk_slots]/[chunk_lens]).
+    [total_len] is the whole frame length and may exceed {!max_packet}.
+    On [false] the caller owns the pool-slot rollback. *)
 
 val can_accept_entry : t -> ?pool:Payload_pool.t -> ?inline_max:int -> int -> bool
 (** {!can_accept} generalized over the descriptor path: whether {!push}
@@ -194,12 +238,22 @@ val push_many :
 type entry =
   | Inline of Bytes.t
   | Desc of { d_slot : int; d_off : int; d_len : int; d_proto : int; d_flags : int }
+  | Jumbo of {
+      j_len : int;
+      j_proto : int;
+      j_flags : int;
+      j_chunks : (int * int) array;  (** (pool slot, chunk length) *)
+    }
 
 val pop_entry : t -> entry option
-(** Consume the next entry, whichever kind it is.  For [Desc] the caller
-    resolves the payload against its mapped pool and returns the slot on
-    the pool's free ring.
-    @raise Invalid_argument on corrupt entry metadata. *)
+(** Consume the next entry, whichever kind it is.  For [Desc] and [Jumbo]
+    the caller resolves the payload against its mapped pool and returns
+    the slot(s) on the pool's free ring.  A [Jumbo] chunk vector is
+    delivered as read — the caller validates slots and lengths against
+    its pool and drops (with accounting) on mismatch.
+    @raise Invalid_argument on corrupt entry metadata (including a jumbo
+    chunk count outside [1, {!max_jumbo_chunks}], which breaks ring
+    framing itself). *)
 
 val pop : t -> Bytes.t option
 (** Inline-only consumer view of {!pop_entry}.
@@ -218,6 +272,10 @@ val popped_empty : int  (** -1 — the FIFO was empty *)
 val popped_desc : int
 (** -2 — a descriptor entry; fields via {!desc_slot} & co. *)
 
+val popped_jumbo : int
+(** -3 — a jumbo entry; header via {!desc_len}/{!desc_proto}/{!desc_flags},
+    chunk vector via {!desc_nchunks} and {!desc_chunk_slot}/{!desc_chunk_len}. *)
+
 val pop_into : t -> Bytes.t -> int
 (** Consume the next entry.  Returns the inline payload length (written at
     offset 0 of the buffer), or one of the codes above.
@@ -231,6 +289,12 @@ val desc_proto : t -> int
 val desc_flags : t -> int
 (** Fields of the most recent {!popped_desc} entry from {!pop_into};
     overwritten by the next descriptor pop on this view. *)
+
+val desc_nchunks : t -> int
+val desc_chunk_slot : t -> int -> int
+val desc_chunk_len : t -> int -> int
+(** Chunk vector of the most recent {!popped_jumbo} entry from
+    {!pop_into}; overwritten by the next jumbo pop on this view. *)
 
 val is_active : t -> bool
 val mark_inactive : t -> unit

@@ -36,6 +36,15 @@ type stats = {
   mutable softstate_evictions : int;
   mutable channels_evicted : int;
   mutable delta_announces : int;
+  mutable jumbo_tx : int;  (** jumbo descriptors pushed (DESIGN.md §15) *)
+  mutable jumbo_rx : int;  (** jumbo descriptors delivered *)
+  mutable jumbo_chunks_tx : int;  (** pool slots those descriptors carried *)
+  mutable jumbo_drops : int;
+      (** jumbo descriptors dropped at rx for a corrupt chunk vector
+          (slots returned, frame lost loudly — never mis-delivered) *)
+  mutable csum_elided : int;
+      (** frames serialized without a transport checksum because they
+          were bound for a gso channel (the descriptor carries csum_ok) *)
 }
 
 type role = Listener | Connector
@@ -67,6 +76,12 @@ type queue = {
           configured [xenloop_max_loans] and the listener's stamp in the
           pool control page; 0 = loaned-slot receive off (copy-out path,
           bit-for-bit the pre-loan behaviour) *)
+  q_gso_max : int;
+      (** negotiated jumbo ceiling (max TCP payload bytes one jumbo
+          descriptor may carry, DESIGN.md §15): min of our configured
+          [xenloop_gso_max] and the listener's stamp in the pool control
+          page; 0 = segmentation offload off for this queue, every frame
+          keeps the per-MSS paths bit-for-bit *)
   mutable q_busy : bool;
       (** an event handler is draining this queue (guards against
           re-entrant handlers interleaving across CPU charges) *)
@@ -144,6 +159,8 @@ type t = {
   max_queues : int;  (** what we advertise; channels carry the negotiated min *)
   zerocopy : bool;  (** whether we advertise the zero-copy descriptor channel *)
   loans : bool;  (** whether we advertise loaned-slot receive (implies zerocopy) *)
+  gso : bool;
+      (** whether we advertise jumbo segmentation offload (implies zerocopy) *)
   qos : qos_state option;
   mapping : Mapping_table.t;
   peers : (int, peer_state) Hashtbl.t;
@@ -176,6 +193,9 @@ type t = {
   mutable push_fault : (unit -> bool) option;
   mutable pool_fault : (unit -> bool) option;
   mutable loan_fault : (unit -> loan_fault) option;
+  mutable jumbo_fault : (unit -> bool) option;
+      (** [true] corrupts one chunk length in the next jumbo descriptor's
+          scatter vector (the payload itself is written intact) *)
 }
 
 and ctrl_fault = Ctrl_pass | Ctrl_drop | Ctrl_dup | Ctrl_delay of Sim.Time.span
@@ -306,6 +326,12 @@ let loans_active t ~domid =
       ch.connected && Array.exists (fun q -> q.q_max_loans > 0) ch.queues
   | Some (Bootstrapping _ | Failed_until _) | None -> false
 
+let gso_active t ~domid =
+  match Hashtbl.find_opt t.peers domid with
+  | Some (Active ch) ->
+      ch.connected && Array.exists (fun q -> q.q_gso_max > 0) ch.queues
+  | Some (Bootstrapping _ | Failed_until _) | None -> false
+
 let outstanding_loans t =
   (* A killed module's views are conceptually dead with the guest; the
      hypervisor reclaims its mappings, so nothing is outstanding. *)
@@ -362,7 +388,8 @@ let advertise t =
   let delta = (params t).Params.xenloop_delta_announce in
   (* The advert value is the advertised queue count, plus a "zc" token
      when this guest speaks the zero-copy descriptor channel, an "ln"
-     token when it additionally speaks loaned-slot receive, and a "dl"
+     token when it additionally speaks loaned-slot receive, a "gs" token
+     when it additionally speaks jumbo segmentation offload, and a "dl"
      token when it understands delta announcements; the original module
      wrote "1", which is exactly what a single-queue non-zero-copy
      non-delta configuration still produces (version gating). *)
@@ -373,6 +400,7 @@ let advertise t =
          (string_of_int t.max_queues
          ^ (if t.zerocopy then " zc" else "")
          ^ (if t.zerocopy && t.loans then " ln" else "")
+         ^ (if t.zerocopy && t.gso then " gs" else "")
          ^ if delta then " dl" else "")
    with
   | Ok () | Error _ -> ());
@@ -493,37 +521,193 @@ let tx_loan_desc q len =
       && Payload_pool.free_slots pool > 0
   | None -> false
 
+(* ------------------------------------------------------------------ *)
+(* Jumbo segmentation offload (DESIGN.md §15).  A TCP super-frame larger
+   than one pool slot rides the channel as a single jumbo descriptor
+   whose scatter vector spans several slots; the receiver reassembles and
+   delivers it as one frame (GRO).  [q_gso_max = 0] means every frame
+   keeps the per-MSS paths bit-for-bit. *)
+
+let jumbo_nchunks pool len =
+  let sb = Payload_pool.slot_bytes pool in
+  (len + sb - 1) / sb
+
+(* Ethernet + IPv4 + TCP header bytes a serialized jumbo frame adds on
+   top of its TCP payload; [q_gso_max] bounds the payload, so the frame
+   bound is [q_gso_max + jumbo_header_slack]. *)
+let jumbo_header_slack = 54
+
+let jumbo_eligible q len =
+  q.q_gso_max > 0
+  && len <= q.q_gso_max + jumbo_header_slack
+  &&
+  match q.q_tx_pool with
+  | Some pool ->
+      len > Payload_pool.slot_bytes pool
+      && jumbo_nchunks pool len <= Fifo.max_jumbo_chunks
+  | None -> false
+
+(* Push one frame as a jumbo descriptor: allocate the scatter vector,
+   write the frame across the slots, publish one descriptor covering all
+   of them.  Any refusal (ring room, slot exhaustion, a chaos alloc
+   fault mid-vector) rolls the allocations back and reports [false], so
+   the caller queues the frame exactly as it would on a full ring.
+   [amortized] skips the per-push [xenloop_fifo_op] when the caller
+   already charged it for the whole batch.
+
+   The descriptor always carries [flag_csum_ok]: frames on the channel
+   come from a trusted co-resident sender, so the receiver may skip
+   transport-checksum verification whether or not this particular frame
+   had its checksum elided at serialization time. *)
+let push_jumbo ?(amortized = false) t q raw =
+  match q.q_tx_pool with
+  | None -> false
+  | Some pool ->
+      let p = params t in
+      let len = Bytes.length raw in
+      let sb = Payload_pool.slot_bytes pool in
+      let nchunks = jumbo_nchunks pool len in
+      if
+        (not (Fifo.can_accept_jumbo q.out_fifo ~nchunks))
+        || Payload_pool.free_slots pool < nchunks
+      then false
+      else begin
+        if not amortized then Sim.Resource.use (cpu t) p.Params.xenloop_fifo_op;
+        (* Like the loaned descriptor path, on a loan channel the slots
+           are the frame's only resting place — no sender copy charged or
+           recorded; a plain gso channel pays the one real copy. *)
+        if q.q_max_loans = 0 then begin
+          Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
+          record_copy t len
+        end;
+        let chunk_slots = Array.make nchunks 0 in
+        let chunk_lens = Array.make nchunks 0 in
+        let allocated = ref 0 in
+        (try
+           for i = 0 to nchunks - 1 do
+             let slot = Payload_pool.alloc_slot pool in
+             if slot < 0 then raise Exit;
+             chunk_slots.(i) <- slot;
+             allocated := i + 1;
+             let off = i * sb in
+             let clen = min sb (len - off) in
+             chunk_lens.(i) <- clen;
+             Payload_pool.write_from pool ~slot ~src:raw ~src_off:off ~len:clen
+           done
+         with Exit -> ());
+        (* [unalloc] rewinds only the most recent allocation, so the
+           rollback must walk the vector most-recent-first. *)
+        let rollback () =
+          for i = !allocated - 1 downto 0 do
+            Payload_pool.unalloc pool chunk_slots.(i)
+          done
+        in
+        if !allocated < nchunks then begin
+          rollback ();
+          q.q_pool_fallbacks <- q.q_pool_fallbacks + 1;
+          t.s.pool_fallbacks <- t.s.pool_fallbacks + 1;
+          false
+        end
+        else begin
+          (* Chaos hook: corrupt one chunk length in the published vector
+             — [total_len] stays honest and the payload was written
+             intact, so the receiver must catch the sum mismatch and drop
+             this frame loudly rather than mis-deliver it. *)
+          (match t.jumbo_fault with
+          | Some f when chunk_lens.(0) > 1 && f () ->
+              chunk_lens.(0) <- chunk_lens.(0) - 1
+          | _ -> ());
+          if
+            Fifo.try_push_jumbo q.out_fifo ~flags:Fifo.flag_csum_ok ~chunk_slots
+              ~chunk_lens ~nchunks ~total_len:len ~proto_hint:(proto_hint_of raw)
+              ()
+          then begin
+            q.q_desc_tx <- q.q_desc_tx + 1;
+            t.s.desc_tx <- t.s.desc_tx + 1;
+            t.s.jumbo_tx <- t.s.jumbo_tx + 1;
+            t.s.jumbo_chunks_tx <- t.s.jumbo_chunks_tx + nchunks;
+            if q.q_max_loans > 0 then begin
+              q.q_loan_tx <- q.q_loan_tx + 1;
+              t.s.loan_tx <- t.s.loan_tx + 1
+            end;
+            true
+          end
+          else begin
+            rollback ();
+            false
+          end
+        end
+      end
+
+let push_frame_legacy t q raw =
+  let p = params t in
+  let len = Bytes.length raw in
+  Sim.Resource.use (cpu t)
+    (if tx_loan_desc q len then p.Params.xenloop_fifo_op
+     else
+       Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
+  let outcome =
+    Fifo.push_entry q.out_fifo ~pool:q.q_tx_pool ~inline_max:q.q_inline_max
+      ~proto_hint:(proto_hint_of raw) raw
+  in
+  let ok = note_outcome t q outcome in
+  if ok && not (outcome = Fifo.pushed_desc && q.q_max_loans > 0) then
+    record_copy t len;
+  ok
+
+(* Jumbo push with the legacy chunked-inline copy as its degraded path:
+   when the pool refuses the scatter vector (slot exhaustion, a chaos
+   alloc fault) or the descriptor ring refuses the jumbo, the frame
+   falls back to the multi-slot inline copy the pre-gso path would have
+   used — after restoring the transport checksum the jumbo serializer
+   elided, since an inline entry carries no [flag_csum_ok] vouching and
+   the receiver will verify it (the checksum-elision equivalence
+   property).  A gso sender therefore degrades instead of parking
+   frames behind an empty ring, where no peer notification would ever
+   come to flush them. *)
+let push_jumbo_or_inline ?(amortized = false) t q raw =
+  push_jumbo ~amortized t q raw
+  ||
+  match Netcore.Codec.parse ~verify_transport:false raw with
+  | Ok packet -> push_frame_legacy t q (Netcore.Codec.serialize packet)
+  | Error _ -> false
+
 let push_frame t q raw =
   if push_refused t then false
-  else begin
-    let p = params t in
-    let len = Bytes.length raw in
-    Sim.Resource.use (cpu t)
-      (if tx_loan_desc q len then p.Params.xenloop_fifo_op
-       else
-         Sim.Time.span_add p.Params.xenloop_fifo_op (Params.xenloop_copy_cost p len));
-    let outcome =
-      Fifo.push_entry q.out_fifo ~pool:q.q_tx_pool ~inline_max:q.q_inline_max
-        ~proto_hint:(proto_hint_of raw) raw
-    in
-    let ok = note_outcome t q outcome in
-    if ok && not (outcome = Fifo.pushed_desc && q.q_max_loans > 0) then
-      record_copy t len;
-    ok
-  end
+  else if jumbo_eligible q (Bytes.length raw) then push_jumbo_or_inline t q raw
+  else push_frame_legacy t q raw
 
 (* Whether a frame of this size would enter the queue right now —
-   {!Fifo.can_accept} generalized over this queue's descriptor path. *)
+   {!Fifo.can_accept} generalized over this queue's descriptor path,
+   and over the jumbo path for gso-eligible lengths. *)
 let queue_can_accept q len =
-  Fifo.can_accept_entry q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max len
+  if jumbo_eligible q len then
+    (match q.q_tx_pool with
+    | Some pool ->
+        let nchunks = jumbo_nchunks pool len in
+        Fifo.can_accept_jumbo q.out_fifo ~nchunks
+        && Payload_pool.free_slots pool >= nchunks
+    | None -> false)
+    (* [push_jumbo_or_inline]'s degraded path: a jumbo the pool cannot
+       scatter still enters if the chunked inline copy fits. *)
+    || Fifo.can_accept_entry q.out_fifo ?pool:q.q_tx_pool
+         ~inline_max:q.q_inline_max len
+  else
+    Fifo.can_accept_entry q.out_fifo ?pool:q.q_tx_pool ~inline_max:q.q_inline_max
+      len
 
 (* Bypass the channel entirely: the frame leaves through the standard
-   netfront path (overflow reroute, tenant Divert, teardown flush). *)
+   netfront path (overflow reroute, tenant Divert, teardown flush).
+   These are always frames this guest serialized itself, and a
+   gso-bound frame may carry an elided (zeroed) transport checksum —
+   parse without verifying it; the device codec recomputes a correct
+   checksum when the structured packet is next serialized, which is
+   what the checksum-elision equivalence property pins down. *)
 let transmit_standard t raw =
   match Stack.device t.stack with
   | None -> ()
   | Some dev -> (
-      match Netcore.Codec.parse raw with
+      match Netcore.Codec.parse ~verify_transport:false raw with
       | Ok packet -> Netstack.Netdevice.transmit dev packet
       | Error _ -> ())
 
@@ -662,8 +846,49 @@ let qos_drain t qs q sched =
       else
         match Qos.Drr.select sched with
         | None -> continue_draining := false
-        | Some (key, items) ->
+        | Some (key, items) -> (
             let flow = Qos.Flow_table.lookup qs.qt_flows key in
+            (* Jumbo frames cannot ride [push_many]: split the batch at
+               the first jumbo-eligible frame — the plain prefix takes
+               the bulk push below, a jumbo head is pushed singly, and
+               whatever remains is restored to the flow's sub-queue
+               front (deficit refunded) for the next round. *)
+            let rec split acc = function
+              | ((raw, _) as it) :: rest
+                when not (jumbo_eligible q (Bytes.length raw)) ->
+                  split (it :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let plain, jumbo_rest = split [] items in
+            match plain with
+            | [] -> (
+                match jumbo_rest with
+                | [] -> continue_draining := false
+                | (raw, len) :: rest ->
+                    Sim.Resource.use (cpu t) p.Params.xenloop_fifo_op;
+                    if push_jumbo_or_inline ~amortized:true t q raw then begin
+                      pushed_total := !pushed_total + 1;
+                      t.s.via_channel_tx <- t.s.via_channel_tx + 1;
+                      flow.Qos.Flow_table.f_descs <-
+                        flow.Qos.Flow_table.f_descs + 1;
+                      (match qos_policy_for qs flow with
+                      | Some pol ->
+                          pol.Qos.Policy.p_dequeue
+                            {
+                              Qos.Policy.pe_key = key;
+                              pe_len = len;
+                              pe_desc = true;
+                            }
+                      | None -> ());
+                      if rest <> [] then Qos.Drr.restore sched key rest
+                    end
+                    else begin
+                      Qos.Drr.restore sched key jumbo_rest;
+                      continue_draining := false
+                    end;
+                    qos_update_watermark t qs sched flow)
+            | _ :: _ ->
+            let items = plain in
             Sim.Resource.use (cpu t) p.Params.xenloop_fifo_op;
             let report =
               Fifo.push_many q.out_fifo ?pool:q.q_tx_pool
@@ -710,11 +935,14 @@ let qos_drain t qs q sched =
                       { Qos.Policy.pe_key = key; pe_len = len; pe_desc = is_desc }
                 | None -> ignore raw)
               pushed_items;
-            if leftover <> [] then begin
-              Qos.Drr.restore sched key leftover;
-              continue_draining := false
-            end;
-            qos_update_watermark t qs sched flow
+            (* Frames the FIFO refused, plus any jumbo tail we carved
+               off, go back to the sub-queue front; only a FIFO refusal
+               stops the drain (a restored jumbo tail is simply the next
+               round's head). *)
+            if leftover @ jumbo_rest <> [] then
+              Qos.Drr.restore sched key (leftover @ jumbo_rest);
+            if leftover <> [] then continue_draining := false;
+            qos_update_watermark t qs sched flow)
     done;
     if Qos.Drr.is_empty sched then Fifo.set_producer_waiting q.out_fifo false;
     q.q_tx_draining <- false;
@@ -763,11 +991,16 @@ let qos_send_batch t qs q sched keyed_frames =
 
 let send_via_channel t q raw =
   (* Packets behind a non-empty waiting list must queue too (per-queue
-     ordering); the waiting list itself is serviced only when the receiver
-     signals that it freed space — "sent once enough resources are
-     available" (paper Sect. 3.1).  This is what makes the FIFO size
-     matter (Fig. 5): a small FIFO forces an event-channel round trip per
-     FIFO-full of packets. *)
+     ordering).  Like the batch path, the waiting list is first serviced
+     from the sending context: forward progress must not depend solely
+     on a peer notify-back, because a frame parked while the ring was
+     {e empty} (a refused push, an exhausted pool) leaves the peer
+     nothing to consume and hence no reason to signal.  Whatever still
+     cannot leave waits for the receiver's freed-space signal — "sent
+     once enough resources are available" (paper Sect. 3.1).  This is
+     what makes the FIFO size matter (Fig. 5): a small FIFO forces an
+     event-channel round trip per FIFO-full of packets. *)
+  if not (Queue.is_empty q.waiting) then ignore (drain_waiting t q);
   let sent_now =
     if Queue.is_empty q.waiting && push_frame t q raw then true
     else begin
@@ -809,22 +1042,35 @@ let send_batch t q raws =
             if !overflowed then enqueue_waiting t q raw
             else begin
               let len = Bytes.length raw in
-              if not (tx_loan_desc q len) then
-                Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
-              let outcome =
-                if push_refused t then Fifo.push_failed
-                else
-                  Fifo.push_entry q.out_fifo ~pool:q.q_tx_pool
-                    ~inline_max:q.q_inline_max ~proto_hint:(proto_hint_of raw) raw
-              in
-              if note_outcome t q outcome then begin
-                if not (outcome = Fifo.pushed_desc && q.q_max_loans > 0) then
-                  record_copy t len;
-                t.s.via_channel_tx <- t.s.via_channel_tx + 1
+              if jumbo_eligible q len then begin
+                if
+                  (not (push_refused t))
+                  && push_jumbo_or_inline ~amortized:true t q raw
+                then t.s.via_channel_tx <- t.s.via_channel_tx + 1
+                else begin
+                  overflowed := true;
+                  enqueue_waiting t q raw
+                end
               end
               else begin
-                overflowed := true;
-                enqueue_waiting t q raw
+                if not (tx_loan_desc q len) then
+                  Sim.Resource.use (cpu t) (Params.xenloop_copy_cost p len);
+                let outcome =
+                  if push_refused t then Fifo.push_failed
+                  else
+                    Fifo.push_entry q.out_fifo ~pool:q.q_tx_pool
+                      ~inline_max:q.q_inline_max ~proto_hint:(proto_hint_of raw)
+                      raw
+                in
+                if note_outcome t q outcome then begin
+                  if not (outcome = Fifo.pushed_desc && q.q_max_loans > 0) then
+                    record_copy t len;
+                  t.s.via_channel_tx <- t.s.via_channel_tx + 1
+                end
+                else begin
+                  overflowed := true;
+                  enqueue_waiting t q raw
+                end
               end
             end)
           raws
@@ -880,7 +1126,9 @@ let flush_waiting_via_standard_path t ch =
   | Some dev ->
       List.iter
         (fun raw ->
-          match Netcore.Codec.parse raw with
+          (* Our own serialization; a reclaimed jumbo may carry an elided
+             transport checksum (see {!transmit_standard}). *)
+          match Netcore.Codec.parse ~verify_transport:false raw with
           | Ok packet -> Netstack.Netdevice.transmit dev packet
           | Error _ -> ())
         frames
@@ -913,6 +1161,26 @@ let make_release t q pool ~slot ~len =
          pinned until teardown force-returns it, and the credit check
          degrades later deliveries to copy-out. *)
       fun ~copied:_ -> ()
+  | Loan_delay d -> fun ~copied -> Sim.Engine.after (engine t) d (fun () -> finish ~copied)
+
+(* Multi-slot variant of {!make_release} for a loaned jumbo delivery
+   (DESIGN.md §15): one release closure hands back every chunk slot of
+   the scatter vector at once.  One closure, one loan_return — mirroring
+   the one loan_rx the delivery counted. *)
+let make_jumbo_release t q pool ~chunks ~len =
+  let released = ref false in
+  let finish ~copied =
+    if not !released then begin
+      released := true;
+      q.q_loan_returns <- q.q_loan_returns + 1;
+      t.s.loan_returns <- t.s.loan_returns + 1;
+      if copied then record_copy t len;
+      Array.iter (fun (slot, _) -> Payload_pool.release pool slot) chunks
+    end
+  in
+  match (match t.loan_fault with None -> Loan_pass | Some f -> f ()) with
+  | Loan_pass -> finish
+  | Loan_leak -> fun ~copied:_ -> ()
   | Loan_delay d -> fun ~copied -> Sim.Engine.after (engine t) d (fun () -> finish ~copied)
 
 (* A [flag_app] descriptor: a socket-shortcut datagram living in the pool
@@ -1049,6 +1317,114 @@ let drain_incoming t q =
                     Payload_pool.free pool d_slot;
                     inject raw
                   end
+                end)
+        | Fifo.Jumbo { j_len; j_proto = _; j_flags; j_chunks } -> (
+            match q.q_rx_pool with
+            | None ->
+                (* A jumbo descriptor on a channel we never negotiated
+                   pools for: the peer is off-protocol. *)
+                raise Corrupt_channel
+            | Some pool ->
+                (* GRO receive: the scatter vector reassembles into one
+                   frame delivered whole to the stack — no per-MSS
+                   segment processing on this side either. *)
+                Sim.Resource.use (cpu t) bookkeeping;
+                let nslots = Payload_pool.slots pool in
+                let sb = Payload_pool.slot_bytes pool in
+                let nchunks = Array.length j_chunks in
+                (* Slot sanity is framing-level: an out-of-range or
+                   repeated slot means the shared state itself cannot be
+                   trusted — poison the channel. *)
+                let slots_ok = ref (nchunks > 0) in
+                for i = 0 to nchunks - 1 do
+                  let s, _ = j_chunks.(i) in
+                  if s < 0 || s >= nslots then slots_ok := false;
+                  for k = 0 to i - 1 do
+                    if fst j_chunks.(k) = s then slots_ok := false
+                  done
+                done;
+                if not !slots_ok then raise Corrupt_channel;
+                (* Length-vector sanity is frame-level: a corrupted
+                   scatter length (chaos [Jumbo_truncate]) makes exactly
+                   this frame undeliverable — return the slots, account
+                   the drop loudly, keep the channel.  Never deliver
+                   bytes the vector does not account for. *)
+                let sum = Array.fold_left (fun a (_, l) -> a + l) 0 j_chunks in
+                let lens_ok =
+                  j_len > 0 && sum = j_len
+                  && Array.for_all (fun (_, l) -> l > 0 && l <= sb) j_chunks
+                in
+                if not lens_ok then begin
+                  Array.iter (fun (s, _) -> Payload_pool.free pool s) j_chunks;
+                  t.s.jumbo_drops <- t.s.jumbo_drops + 1;
+                  trace t Sim.Trace.Channel
+                    "dom%d: dropped corrupt jumbo on q%d \
+                     (len=%d chunk-sum=%d chunks=%d)"
+                    (my_domid t) q.q_index j_len sum nchunks;
+                  incr consumed
+                end
+                else begin
+                  (* The sender stamped [flag_csum_ok] when it vouches
+                     for the payload (trusted-channel checksum elision);
+                     only an unstamped frame still gets its transport
+                     checksum verified. *)
+                  let verify_transport =
+                    j_flags land Fifo.flag_csum_ok = 0
+                  in
+                  let gather () =
+                    let raw = Bytes.create j_len in
+                    let off = ref 0 in
+                    Array.iter
+                      (fun (s, l) ->
+                        Payload_pool.read_into pool ~slot:s ~off:0 ~len:l
+                          ~dst:raw ~dst_off:!off;
+                        off := !off + l)
+                      j_chunks;
+                    raw
+                  in
+                  if
+                    q.q_max_loans > 0
+                    && Payload_pool.outstanding_loans pool + nchunks
+                       <= q.q_max_loans
+                  then begin
+                    (* Loaned GRO delivery: every chunk slot is borrowed
+                       for the lifetime of the one view; no copy charged
+                       or recorded. *)
+                    Array.iter (fun (s, _) -> Payload_pool.loan pool s) j_chunks;
+                    q.q_loan_rx <- q.q_loan_rx + 1;
+                    t.s.loan_rx <- t.s.loan_rx + 1;
+                    let raw = gather () in
+                    let release =
+                      make_jumbo_release t q pool ~chunks:j_chunks ~len:j_len
+                    in
+                    incr consumed;
+                    match Netcore.Codec.parse ~verify_transport raw with
+                    | Ok packet ->
+                        t.s.jumbo_rx <- t.s.jumbo_rx + 1;
+                        t.s.via_channel_rx <- t.s.via_channel_rx + 1;
+                        Stack.inject_rx_borrowed t.stack packet ~release
+                    | Error _ -> release ~copied:false
+                  end
+                  else begin
+                    (* Copy-out: the plain gso receive on a pre-loan
+                       channel, or the transparent credit-exhaustion
+                       fallback on a loan channel (whose one real copy
+                       is recorded). *)
+                    if q.q_max_loans > 0 then begin
+                      q.q_loan_credit_stalls <- q.q_loan_credit_stalls + 1;
+                      t.s.loan_credit_stalls <- t.s.loan_credit_stalls + 1;
+                      record_copy t j_len
+                    end;
+                    let raw = gather () in
+                    Array.iter (fun (s, _) -> Payload_pool.free pool s) j_chunks;
+                    incr consumed;
+                    match Netcore.Codec.parse ~verify_transport raw with
+                    | Ok packet ->
+                        t.s.jumbo_rx <- t.s.jumbo_rx + 1;
+                        t.s.via_channel_rx <- t.s.via_channel_rx + 1;
+                        Stack.inject_rx t.stack packet
+                    | Error _ -> ()
+                  end
                 end))
   done;
   !consumed
@@ -1174,6 +1550,35 @@ let teardown_channel t ~save ch =
                      end
                      else Queue.push raw stranded
                  | None -> ())
+             | Some (Fifo.Jumbo { j_len; j_chunks; _ }) -> (
+                 (* A jumbo the peer never consumed: gather it back out
+                    of our own tx pool so the save/flush below can carry
+                    it (it re-enters as one frame; netfront re-segments).
+                    A scatter vector we cannot trust — a chaos fault
+                    corrupted it before teardown — is dropped rather
+                    than read out of range. *)
+                 match q.q_tx_pool with
+                 | Some pool
+                   when j_len > 0
+                        && Array.for_all
+                             (fun (s, l) ->
+                               s >= 0
+                               && s < Payload_pool.slots pool
+                               && l > 0
+                               && l <= Payload_pool.slot_bytes pool)
+                             j_chunks
+                        && Array.fold_left (fun a (_, l) -> a + l) 0 j_chunks
+                           = j_len ->
+                     let raw = Bytes.create j_len in
+                     let off = ref 0 in
+                     Array.iter
+                       (fun (s, l) ->
+                         Payload_pool.read_into pool ~slot:s ~off:0 ~len:l
+                           ~dst:raw ~dst_off:!off;
+                         off := !off + l)
+                       j_chunks;
+                     Queue.push raw stranded
+                 | Some _ | None -> t.s.jumbo_drops <- t.s.jumbo_drops + 1)
              | None -> reclaiming := false
            done
          with Invalid_argument _ -> ());
@@ -1694,7 +2099,8 @@ let reap_grants t ~machine ~domid ~gt pending =
   in
   Sim.Engine.after (engine t) reap_period (reap pending)
 
-let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
+let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans
+    ~peer_gso =
   let machine = t.current_machine () in
   let domid = my_domid t in
   let p = params t in
@@ -1725,6 +2131,14 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
           max 0 p.Params.xenloop_max_loans
         else 0
       in
+      (* The jumbo ceiling rides the pool control page the same way
+         (DESIGN.md §15): stamped only when both sides advertise gso on a
+         pooled channel, zero otherwise — gso-off channels never see a
+         jumbo descriptor and stay bit-for-bit legacy. *)
+      let gso_max =
+        if use_pools && t.gso && peer_gso then max 0 p.Params.xenloop_gso_max
+        else 0
+      in
       let fifo_pages = Fifo.pages_for_queues ~k:t.k ~queues:nq in
       let pool_pages_each =
         if use_pools then Payload_pool.pages_for ~slots ~slot_pages else 0
@@ -1750,8 +2164,8 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
             let ctrl = pool.(base) in
             let data = Array.sub pool (base + 1) (slots * slot_pages) in
             let pp =
-              Payload_pool.init ~max_loans ~ctrl ~data ~slots ~slot_pages
-                ~inline_max ()
+              Payload_pool.init ~max_loans ~gso_max ~ctrl ~data ~slots
+                ~slot_pages ~inline_max ()
             in
             let ctrl_gref =
               Gt.grant_access gt ~to_dom:peer_domid ~page:ctrl ~writable:true
@@ -1812,6 +2226,7 @@ let listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans =
                 q_inline_tx = 0;
                 q_pool_fallbacks = 0;
                 q_max_loans = max_loans;
+                q_gso_max = gso_max;
                 q_loan_tx = 0;
                 q_loan_rx = 0;
                 q_loan_returns = 0;
@@ -1885,12 +2300,17 @@ let start_bootstrap t ~peer_domid ~peer_mac =
        capability from the announcement entry that put the peer in the
        mapping table; an entry without them (or a pre-multi-queue peer)
        advertises one queue, no pools. *)
-    let peer_queues, peer_zc, peer_loans =
+    let peer_queues, peer_zc, peer_loans, peer_gso =
       match Mapping_table.find_domid t.mapping peer_domid with
-      | Some e -> (e.Proto.entry_queues, e.Proto.entry_zc, e.Proto.entry_loans)
-      | None -> (1, false, false)
+      | Some e ->
+          ( e.Proto.entry_queues,
+            e.Proto.entry_zc,
+            e.Proto.entry_loans,
+            e.Proto.entry_gso )
+      | None -> (1, false, false, false)
     in
     listener_create t ~peer_domid ~peer_mac ~peer_queues ~peer_zc ~peer_loans
+      ~peer_gso
   end
   else if not (bootstrap_allowed t) then ()
   else begin
@@ -1907,6 +2327,7 @@ let start_bootstrap t ~peer_domid ~peer_mac =
            max_queues = t.max_queues;
            zerocopy = t.zerocopy;
            loans = t.loans;
+           gso = t.gso;
          });
     (* The requester has no retry loop of its own — the listener drives the
        Create/Ack exchange — so bound the wait symmetrically: if nothing
@@ -2037,6 +2458,18 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
                                 min (max 0 p.Params.xenloop_max_loans) stamp
                               else 0
                         in
+                        (* Same negotiation for the jumbo ceiling: each
+                           side uses the min of its own configured limit
+                           and the listener's stamp. *)
+                        let q_gso_max =
+                          match pools with
+                          | `No_pools -> 0
+                          | `Pools (lp, _) ->
+                              let stamp = Payload_pool.gso_stamp lp in
+                              if t.gso && stamp > 0 then
+                                min (max 0 p.Params.xenloop_gso_max) stamp
+                              else 0
+                        in
                         let q =
                           {
                             q_index = qi;
@@ -2057,6 +2490,7 @@ let connector_accept t ~listener_domid ~listener_mac ~queue_grants =
                             q_inline_tx = 0;
                             q_pool_fallbacks = 0;
                             q_max_loans;
+                            q_gso_max;
                             q_loan_tx = 0;
                             q_loan_rx = 0;
                             q_loan_returns = 0;
@@ -2197,7 +2631,9 @@ let on_ctrl_packet t (packet : P.t) =
                the gap.  No ack update either: Dom0 rereads our real acked
                epoch next scan and resends from the right base (or a full
                resync). *)
-        | Ok (Proto.Request_channel { requester_domid; max_queues; zerocopy; loans })
+        | Ok
+            (Proto.Request_channel
+               { requester_domid; max_queues; zerocopy; loans; gso })
           -> (
             match Hashtbl.find_opt t.peers requester_domid with
             | Some (Failed_until _) ->
@@ -2207,13 +2643,13 @@ let on_ctrl_packet t (packet : P.t) =
                 if my_domid t < requester_domid then
                   listener_create t ~peer_domid:requester_domid
                     ~peer_mac:packet.P.src_mac ~peer_queues:max_queues
-                    ~peer_zc:zerocopy ~peer_loans:loans
+                    ~peer_zc:zerocopy ~peer_loans:loans ~peer_gso:gso
             | Some _ -> ()
             | None ->
                 if my_domid t < requester_domid then
                   listener_create t ~peer_domid:requester_domid
                     ~peer_mac:packet.P.src_mac ~peer_queues:max_queues
-                    ~peer_zc:zerocopy ~peer_loans:loans)
+                    ~peer_zc:zerocopy ~peer_loans:loans ~peer_gso:gso)
         | Ok (Proto.Create_channel { listener_domid; queues }) -> (
             match Hashtbl.find_opt t.peers listener_domid with
             | Some (Active ch)
@@ -2276,8 +2712,22 @@ let on_ctrl_packet t (packet : P.t) =
 (* The netfilter hook: the guest-specific software bridge *)
 
 let frame_for_queue t q (packet : P.t) =
-  let raw = Netcore.Codec.serialize packet in
-  if Bytes.length raw > Fifo.max_packet q.out_fifo then begin
+  (* Jumbo intent is decided before serializing ({!Packet.wire_length}
+     sizes without building) so the transport-checksum compute can be
+     elided over the whole super-frame — the jumbo descriptor carries
+     [flag_csum_ok] and the trusted receiver skips verification
+     (DESIGN.md §15).  If the push later degrades to a fallback path,
+     {!transmit_standard} parses our own bytes without verifying and the
+     device codec recomputes the checksum on re-serialization. *)
+  let jumbo = jumbo_eligible q (P.wire_length packet) in
+  let raw =
+    if jumbo then begin
+      t.s.csum_elided <- t.s.csum_elided + 1;
+      Netcore.Codec.serialize ~csum:false packet
+    end
+    else Netcore.Codec.serialize packet
+  in
+  if (not jumbo) && Bytes.length raw > Fifo.max_packet q.out_fifo then begin
     t.s.too_big_fallback <- t.s.too_big_fallback + 1;
     `Standard_path
   end
@@ -2529,13 +2979,15 @@ let restore_after_migration t =
   trace t Sim.Trace.Migration "dom%d: restored; re-advertising, %d saved frame(s)"
     (my_domid t) (List.length t.saved_frames);
   advertise t;
-  (* Resend packets saved from the waiting lists (paper Sect. 3.4). *)
+  (* Resend packets saved from the waiting lists (paper Sect. 3.4).  Our
+     own serialization; a reclaimed jumbo may carry an elided transport
+     checksum (see {!transmit_standard}). *)
   (match Stack.device t.stack with
   | None -> ()
   | Some dev ->
       List.iter
         (fun raw ->
-          match Netcore.Codec.parse raw with
+          match Netcore.Codec.parse ~verify_transport:false raw with
           | Ok packet -> Netstack.Netdevice.transmit dev packet
           | Error _ -> ())
         t.saved_frames);
@@ -2544,6 +2996,7 @@ let restore_after_migration t =
 let unload t =
   if t.loaded then begin
     unadvertise t;
+    Stack.set_tx_jumbo_hint t.stack None;
     teardown_all t ~save:false;
     (match t.hook with
     | Some handle -> Netstack.Netfilter.unregister (Stack.post_routing t.stack) handle
@@ -2595,6 +3048,7 @@ let set_pool_fault_injector t f =
   iter_tx_pools t (fun pool -> Payload_pool.set_alloc_fault pool f)
 
 let set_loan_fault_injector t f = t.loan_fault <- f
+let set_jumbo_fault_injector t f = t.jumbo_fault <- f
 
 (* ------------------------------------------------------------------ *)
 (* QoS observability and tenant control surface *)
@@ -2718,8 +3172,24 @@ let invariant_violations t =
          | Bootstrapping (Requested_from_listener _) | Failed_until _ -> ());
   List.rev !violations
 
+(* The answer this module gives the TCP sender through
+   {!Stack.set_tx_jumbo_hint}: the largest TCP payload one segment
+   towards [dst] may carry — the best negotiated gso ceiling across the
+   connected channel's queues, or 0 when there is no gso channel and the
+   per-MSS sender stays untouched. *)
+let jumbo_hint_for t ~dst =
+  if not t.loaded then 0
+  else
+    match Mapping_table.lookup_by_ip t.mapping dst with
+    | None -> 0
+    | Some entry -> (
+        match Hashtbl.find_opt t.peers entry.Proto.entry_domid with
+        | Some (Active ch) when ch.connected ->
+            Array.fold_left (fun acc q -> max acc q.q_gso_max) 0 ch.queues
+        | Some _ | None -> 0)
+
 let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queues
-    ?zerocopy ?loans ?qos ?trace () =
+    ?zerocopy ?loans ?gso ?qos ?trace () =
   let p = Stack.params stack in
   let mq =
     match max_queues with
@@ -2733,6 +3203,8 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
   let ln =
     (match loans with Some l -> l | None -> p.Params.xenloop_loans) && zc
   in
+  (* So does segmentation offload: no zero-copy, no jumbo descriptors. *)
+  let gs = (match gso with Some g -> g | None -> p.Params.xenloop_gso) && zc in
   let qos_on = match qos with Some b -> b | None -> p.Params.qos_enabled in
   let qos_state =
     if not qos_on then None
@@ -2787,6 +3259,7 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
       max_queues = mq;
       zerocopy = zc;
       loans = ln;
+      gso = gs;
       qos = qos_state;
       mapping = Mapping_table.create ();
       peers = Hashtbl.create 8;
@@ -2827,6 +3300,11 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
           softstate_evictions = 0;
           channels_evicted = 0;
           delta_announces = 0;
+          jumbo_tx = 0;
+          jumbo_rx = 0;
+          jumbo_chunks_tx = 0;
+          jumbo_drops = 0;
+          csum_elided = 0;
         };
       loaded = true;
       next_token = 0;
@@ -2837,11 +3315,17 @@ let create ~domain ~stack ~current_machine ?(fifo_k = Fifo.default_k) ?max_queue
       push_fault = None;
       pool_fault = None;
       loan_fault = None;
+      jumbo_fault = None;
     }
   in
   t.hook <-
     Some (Netstack.Netfilter.register_batch (Stack.post_routing stack) (hook_fn t));
   Stack.set_ctrl_handler stack (on_ctrl_packet t);
+  (* A gso-capable module tells its own TCP sender how large a segment
+     each destination's channel can swallow; with gso off the hint stays
+     unregistered and the sender is bit-for-bit the per-MSS legacy. *)
+  if gs then
+    Stack.set_tx_jumbo_hint stack (Some (fun ~dst -> jumbo_hint_for t ~dst));
   advertise t;
   (let ttl = p.Params.xenloop_softstate_ttl in
    let idle = p.Params.xenloop_channel_idle_ttl in

@@ -105,6 +105,22 @@ type stats = {
   mutable delta_announces : int;
       (** versioned delta announcements received from Dom0 (including
           full resyncs and keep-alive heartbeats, DESIGN.md §12) *)
+  mutable jumbo_tx : int;
+      (** jumbo descriptors pushed — one 64 KiB-class TCP super-frame
+          carried as a single multi-slot scatter descriptor
+          ({!Hypervisor.Params.xenloop_gso}, DESIGN.md §15) *)
+  mutable jumbo_rx : int;
+      (** jumbo descriptors reassembled and delivered whole (GRO) *)
+  mutable jumbo_chunks_tx : int;
+      (** pool slots the pushed jumbo descriptors carried in total *)
+  mutable jumbo_drops : int;
+      (** received jumbo descriptors dropped because their scatter-length
+          vector was corrupt (chaos Jumbo_truncate): the slots are
+          returned and the frame is lost loudly, never mis-delivered *)
+  mutable csum_elided : int;
+      (** frames serialized without computing a transport checksum
+          because they were bound for a gso channel — the jumbo
+          descriptor's [csum_ok] flag vouches for them instead *)
 }
 
 val create :
@@ -115,6 +131,7 @@ val create :
   ?max_queues:int ->
   ?zerocopy:bool ->
   ?loans:bool ->
+  ?gso:bool ->
   ?qos:bool ->
   ?trace:Sim.Trace.t ->
   unit ->
@@ -135,6 +152,11 @@ val create :
     {!Hypervisor.Params.xenloop_loans}, forced off without [zerocopy]);
     the per-queue loan credit is negotiated through the pool control page
     and a credit of zero reproduces the copy-out receive path exactly.
+    [gso] is whether this guest advertises jumbo segmentation offload on
+    top of zero-copy (default {!Hypervisor.Params.xenloop_gso}, forced
+    off without [zerocopy], DESIGN.md §15); the per-queue jumbo ceiling
+    is negotiated through the pool control page and a ceiling of zero
+    keeps every frame on the per-MSS paths bit-for-bit.
     [qos] enables the multi-tenant QoS subsystem (default
     {!Hypervisor.Params.qos_enabled}, DESIGN.md §14): per-flow accounting,
     weighted-DRR transmit scheduling in place of the FIFO-order waiting
@@ -233,6 +255,11 @@ val loans_active : t -> domid:int -> bool
 (** Whether the active channel to this peer negotiated a non-zero loan
     credit on any queue (both endpoints advertised loans on a pooled
     channel); [false] otherwise. *)
+
+val gso_active : t -> domid:int -> bool
+(** Whether the active channel to this peer negotiated a non-zero jumbo
+    ceiling on any queue (both endpoints advertised gso on a pooled
+    channel, DESIGN.md §15); [false] otherwise. *)
 
 val outstanding_loans : t -> int
 (** Pool slots currently borrowed by this guest's socket layer across all
@@ -370,6 +397,14 @@ val set_loan_fault_injector : t -> (unit -> loan_fault) option -> unit
     cap and slot conservation must hold under any answer sequence, and
     every leaked slot must be reclaimed by teardown
     ([loans_force_returned]). *)
+
+val set_jumbo_fault_injector : t -> (unit -> bool) option -> unit
+(** Chaos hook (Jumbo_truncate): [true] corrupts one chunk length in the
+    next pushed jumbo descriptor's scatter vector (the payload is written
+    intact and [total_len] stays honest).  The receiver must detect the
+    mismatch, return the slots, and account the drop ([jumbo_drops]) —
+    never deliver bytes the vector does not cover, never poison the
+    channel. *)
 
 val kill : t -> unit
 (** Model the guest dying abruptly (chaos Peer_crash): the module stops

@@ -11,6 +11,7 @@ let off_inline_max = 12
 let off_fr_head = 16
 let off_fr_tail = 20
 let off_max_loans = 24
+let off_gso_max = 28
 let off_ring = 32
 let off_grefs ~slots = off_ring + (4 * slots)
 
@@ -67,7 +68,8 @@ let make_view ~ctrl ~data ~slots ~slot_pages =
     pl_dead = false;
   }
 
-let init ?(max_loans = 0) ~ctrl ~data ~slots ~slot_pages ~inline_max () =
+let init ?(max_loans = 0) ?(gso_max = 0) ~ctrl ~data ~slots ~slot_pages
+    ~inline_max () =
   check_geometry ~what:"init" ~slots ~slot_pages;
   if Array.length data <> slots * slot_pages then
     invalid_arg "Payload_pool.init: wrong number of data pages";
@@ -77,6 +79,7 @@ let init ?(max_loans = 0) ~ctrl ~data ~slots ~slot_pages ~inline_max () =
   Page.set_u32 ctrl off_slot_pages slot_pages;
   Page.set_u32 ctrl off_inline_max inline_max;
   Page.set_u32 ctrl off_max_loans (max 0 max_loans);
+  Page.set_u32 ctrl off_gso_max (max 0 gso_max);
   (* Free ring starts full: every slot is available to the sender. *)
   for i = 0 to slots - 1 do
     Page.set_u32 ctrl (off_ring + (4 * i)) i
@@ -113,6 +116,7 @@ let slots t = t.p_slots
 let slot_bytes t = t.p_slot_pages * Page.size
 let inline_threshold t = Page.get_u32 t.ctrl off_inline_max
 let max_loans_stamp t = Page.get_u32 t.ctrl off_max_loans
+let gso_stamp t = Page.get_u32 t.ctrl off_gso_max
 
 let fr_head t = Page.get_u32 t.ctrl off_fr_head
 let fr_tail t = Page.get_u32 t.ctrl off_fr_tail
@@ -205,11 +209,15 @@ let check_span t ~what ~slot ~off ~len =
     invalid_arg (Printf.sprintf "Payload_pool.%s: out of slot bounds" what)
 
 (* Iterative copy (the sender's once-per-packet path must not allocate,
-   and a local recursive helper would close over the arguments). *)
-let write t ~slot ~src ~len =
+   and a local recursive helper would close over the arguments).
+   [write_from] is the scatter variant a jumbo sender uses to carve one
+   oversized frame across several slots. *)
+let write_from t ~slot ~src ~src_off ~len =
   check_span t ~what:"write" ~slot ~off:0 ~len;
+  if src_off < 0 || src_off + len > Bytes.length src then
+    invalid_arg "Payload_pool.write_from: out of src bounds";
   let base = slot * t.p_slot_pages in
-  let at = ref 0 and src_off = ref 0 and left = ref len in
+  let at = ref 0 and src_off = ref src_off and left = ref len in
   while !left > 0 do
     let page = t.data.(base + (!at / Page.size)) in
     let page_off = !at mod Page.size in
@@ -219,6 +227,8 @@ let write t ~slot ~src ~len =
     src_off := !src_off + chunk;
     left := !left - chunk
   done
+
+let write t ~slot ~src ~len = write_from t ~slot ~src ~src_off:0 ~len
 
 let read t ~slot ~off ~len =
   check_span t ~what:"read" ~slot ~off ~len;

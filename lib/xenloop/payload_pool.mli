@@ -30,6 +30,7 @@ val geometry_valid : slots:int -> slot_pages:int -> bool
 
 val init :
   ?max_loans:int ->
+  ?gso_max:int ->
   ctrl:Memory.Page.t ->
   data:Memory.Page.t array ->
   slots:int ->
@@ -41,7 +42,10 @@ val init :
     two and the free ring plus gref table must fit the control page.
     [max_loans] (default 0 = loans off) is the listener's loan-credit
     stamp: the most slots either receiver may hold borrowed at once (each
-    side uses [min own stamp]).
+    side uses [min own stamp]).  [gso_max] (default 0 = gso off) is the
+    listener's segmentation-offload stamp: the largest TCP payload one
+    jumbo descriptor may carry on this channel (each side uses
+    [min own stamp], DESIGN.md §15).
     @raise Invalid_argument otherwise. *)
 
 val write_grefs : t -> Memory.Grant_table.gref array -> unit
@@ -67,6 +71,10 @@ val inline_threshold : t -> int
 val max_loans_stamp : t -> int
 (** The listener's loan-credit stamp; [0] means loaned-slot receive is off
     for this channel and the receiver always copies out. *)
+
+val gso_stamp : t -> int
+(** The listener's segmentation-offload stamp; [0] means gso is off for
+    this channel and every frame keeps the per-MSS descriptor path. *)
 
 val free_slots : t -> int
 
@@ -110,6 +118,11 @@ val force_return_loans : t -> int
 
 val write : t -> slot:int -> src:Bytes.t -> len:int -> unit
 (** The sender's single payload copy, into the slot's pages. *)
+
+val write_from :
+  t -> slot:int -> src:Bytes.t -> src_off:int -> len:int -> unit
+(** {!write} from an offset within [src] — the jumbo sender's scatter
+    path, carving one oversized frame across several slots. *)
 
 val read : t -> slot:int -> off:int -> len:int -> Bytes.t
 (** The receiver's in-place view of a slot (materialized as bytes for the

@@ -5,6 +5,7 @@ type entry = {
   entry_queues : int;
   entry_zc : bool;
   entry_loans : bool;
+  entry_gso : bool;
 }
 
 type queue_grant = {
@@ -29,6 +30,7 @@ type t =
       max_queues : int;
       zerocopy : bool;
       loans : bool;
+      gso : bool;
     }
   | Create_channel of { listener_domid : int; queues : queue_grant list }
   | Channel_ack of { connector_domid : int }
@@ -53,19 +55,26 @@ type t =
    sent to a guest that advertised the "dl" token, so its entries always
    carry the full queues/zc/loans capability set — no per-list gating
    needed; a legacy peer keeps receiving tags 1/6/9/12 and never sees a
-   14. *)
+   14.  The gso variants (15 = Announce, 16 = Delta_announce, 17 =
+   Request_channel) add one capability byte per entry and are only
+   emitted when a segmentation-offload capability actually needs
+   expressing; Create_channel again needs no variant because the
+   negotiated gso ceiling rides as a payload-pool control-page stamp. *)
 
 let has_pool q = q.qg_lc_pool <> None || q.qg_cl_pool <> None
 
 let tag = function
   | Announce entries ->
-      if List.exists (fun e -> e.entry_loans) entries then 12
+      if List.exists (fun e -> e.entry_gso) entries then 15
+      else if List.exists (fun e -> e.entry_loans) entries then 12
       else if List.exists (fun e -> e.entry_zc) entries then 9
       else if List.for_all (fun e -> e.entry_queues <= 1) entries then 1
       else 6
-  | Delta_announce _ -> 14
-  | Request_channel { max_queues; zerocopy; loans; _ } ->
-      if loans then 13
+  | Delta_announce { da_joins; _ } ->
+      if List.exists (fun e -> e.entry_gso) da_joins then 16 else 14
+  | Request_channel { max_queues; zerocopy; loans; gso; _ } ->
+      if gso then 17
+      else if loans then 13
       else if zerocopy then 10
       else if max_queues <= 1 then 2
       else 7
@@ -106,10 +115,12 @@ let encode msg =
           w16 buf e.entry_domid;
           wmac buf e.entry_mac;
           wip buf e.entry_ip;
-          if t = 6 || t = 9 || t = 12 then w16 buf e.entry_queues;
-          if t = 9 || t = 12 then
+          if t = 6 || t = 9 || t = 12 || t = 15 then w16 buf e.entry_queues;
+          if t = 9 || t = 12 || t = 15 then
             Buffer.add_char buf (Char.chr (Bool.to_int e.entry_zc));
-          if t = 12 then Buffer.add_char buf (Char.chr (Bool.to_int e.entry_loans)))
+          if t = 12 || t = 15 then
+            Buffer.add_char buf (Char.chr (Bool.to_int e.entry_loans));
+          if t = 15 then Buffer.add_char buf (Char.chr (Bool.to_int e.entry_gso)))
         entries
   | Delta_announce { da_base; da_epoch; da_full; da_joins; da_leaves } ->
       w32 buf da_base;
@@ -123,15 +134,19 @@ let encode msg =
           wip buf e.entry_ip;
           w16 buf e.entry_queues;
           Buffer.add_char buf (Char.chr (Bool.to_int e.entry_zc));
-          Buffer.add_char buf (Char.chr (Bool.to_int e.entry_loans)))
+          Buffer.add_char buf (Char.chr (Bool.to_int e.entry_loans));
+          if t = 16 then Buffer.add_char buf (Char.chr (Bool.to_int e.entry_gso)))
         da_joins;
       w16 buf (List.length da_leaves);
       List.iter (fun d -> w16 buf d) da_leaves
-  | Request_channel { requester_domid; max_queues; zerocopy; loans } ->
+  | Request_channel { requester_domid; max_queues; zerocopy; loans; gso } ->
       w16 buf requester_domid;
-      if t = 7 || t = 10 || t = 13 then w16 buf max_queues;
-      if t = 10 || t = 13 then Buffer.add_char buf (Char.chr (Bool.to_int zerocopy));
-      if t = 13 then Buffer.add_char buf (Char.chr (Bool.to_int loans))
+      if t = 7 || t = 10 || t = 13 || t = 17 then w16 buf max_queues;
+      if t = 10 || t = 13 || t = 17 then
+        Buffer.add_char buf (Char.chr (Bool.to_int zerocopy));
+      if t = 13 || t = 17 then
+        Buffer.add_char buf (Char.chr (Bool.to_int loans));
+      if t = 17 then Buffer.add_char buf (Char.chr (Bool.to_int gso))
   | Create_channel { listener_domid; queues } ->
       w16 buf listener_domid;
       if t = 8 || t = 11 then w16 buf (List.length queues);
@@ -187,14 +202,23 @@ let decode data =
     done;
     Netcore.Mac.of_int64 !v
   in
-  let rentry ~queues ~zc ~loans () =
+  let rentry ~queues ~zc ~loans ~gso () =
     let entry_domid = r16 () in
     let entry_mac = rmac () in
     let entry_ip = rip () in
     let entry_queues = if queues then max 1 (r16 ()) else 1 in
     let entry_zc = if zc then r8 () <> 0 else false in
     let entry_loans = if loans then r8 () <> 0 else false in
-    { entry_domid; entry_mac; entry_ip; entry_queues; entry_zc; entry_loans }
+    let entry_gso = if gso then r8 () <> 0 else false in
+    {
+      entry_domid;
+      entry_mac;
+      entry_ip;
+      entry_queues;
+      entry_zc;
+      entry_loans;
+      entry_gso;
+    }
   in
   let rqueue ~pools () =
     let qg_lc_gref = r32 () in
@@ -215,29 +239,40 @@ let decode data =
         let n = r16 () in
         Ok
           (Announce
-             (List.init n (fun _ -> rentry ~queues:false ~zc:false ~loans:false ())))
+             (List.init n (fun _ ->
+                  rentry ~queues:false ~zc:false ~loans:false ~gso:false ())))
     | 6 ->
         let n = r16 () in
         Ok
           (Announce
-             (List.init n (fun _ -> rentry ~queues:true ~zc:false ~loans:false ())))
+             (List.init n (fun _ ->
+                  rentry ~queues:true ~zc:false ~loans:false ~gso:false ())))
     | 9 ->
         let n = r16 () in
         Ok
           (Announce
-             (List.init n (fun _ -> rentry ~queues:true ~zc:true ~loans:false ())))
+             (List.init n (fun _ ->
+                  rentry ~queues:true ~zc:true ~loans:false ~gso:false ())))
     | 12 ->
         let n = r16 () in
         Ok
           (Announce
-             (List.init n (fun _ -> rentry ~queues:true ~zc:true ~loans:true ())))
-    | 14 ->
+             (List.init n (fun _ ->
+                  rentry ~queues:true ~zc:true ~loans:true ~gso:false ())))
+    | 15 ->
+        let n = r16 () in
+        Ok
+          (Announce
+             (List.init n (fun _ ->
+                  rentry ~queues:true ~zc:true ~loans:true ~gso:true ())))
+    | (14 | 16) as t ->
         let da_base = r32 () in
         let da_epoch = r32 () in
         let da_full = r8 () <> 0 in
         let nj = r16 () in
         let da_joins =
-          List.init nj (fun _ -> rentry ~queues:true ~zc:true ~loans:true ())
+          List.init nj (fun _ ->
+              rentry ~queues:true ~zc:true ~loans:true ~gso:(t = 16) ())
         in
         let nl = r16 () in
         let da_leaves = List.init nl (fun _ -> r16 ()) in
@@ -250,24 +285,34 @@ let decode data =
                max_queues = 1;
                zerocopy = false;
                loans = false;
+               gso = false;
              })
     | 7 ->
         let requester_domid = r16 () in
         let max_queues = max 1 (r16 ()) in
         Ok
           (Request_channel
-             { requester_domid; max_queues; zerocopy = false; loans = false })
+             {
+               requester_domid;
+               max_queues;
+               zerocopy = false;
+               loans = false;
+               gso = false;
+             })
     | 10 ->
         let requester_domid = r16 () in
         let max_queues = max 1 (r16 ()) in
         let zerocopy = r8 () <> 0 in
-        Ok (Request_channel { requester_domid; max_queues; zerocopy; loans = false })
-    | 13 ->
+        Ok
+          (Request_channel
+             { requester_domid; max_queues; zerocopy; loans = false; gso = false })
+    | (13 | 17) as t ->
         let requester_domid = r16 () in
         let max_queues = max 1 (r16 ()) in
         let zerocopy = r8 () <> 0 in
         let loans = r8 () <> 0 in
-        Ok (Request_channel { requester_domid; max_queues; zerocopy; loans })
+        let gso = if t = 17 then r8 () <> 0 else false in
+        Ok (Request_channel { requester_domid; max_queues; zerocopy; loans; gso })
     | 3 ->
         let listener_domid = r16 () in
         Ok (Create_channel { listener_domid; queues = [ rqueue ~pools:false () ] })
@@ -305,11 +350,12 @@ let pp fmt = function
         (String.concat "; "
            (List.map
               (fun e ->
-                Printf.sprintf "dom%d=%s q%d%s%s" e.entry_domid
+                Printf.sprintf "dom%d=%s q%d%s%s%s" e.entry_domid
                   (Netcore.Mac.to_string e.entry_mac)
                   e.entry_queues
                   (if e.entry_zc then " zc" else "")
-                  (if e.entry_loans then " ln" else ""))
+                  (if e.entry_loans then " ln" else "")
+                  (if e.entry_gso then " gs" else ""))
               entries))
   | Delta_announce { da_base; da_epoch; da_full; da_joins; da_leaves } ->
       Format.fprintf fmt "delta_announce(%d->%d%s +[%s] -[%s])" da_base da_epoch
@@ -317,11 +363,12 @@ let pp fmt = function
         (String.concat ";"
            (List.map (fun e -> string_of_int e.entry_domid) da_joins))
         (String.concat ";" (List.map string_of_int da_leaves))
-  | Request_channel { requester_domid; max_queues; zerocopy; loans } ->
-      Format.fprintf fmt "request_channel(dom%d maxq=%d%s%s)" requester_domid
+  | Request_channel { requester_domid; max_queues; zerocopy; loans; gso } ->
+      Format.fprintf fmt "request_channel(dom%d maxq=%d%s%s%s)" requester_domid
         max_queues
         (if zerocopy then " zc" else "")
         (if loans then " ln" else "")
+        (if gso then " gs" else "")
   | Create_channel { listener_domid; queues } ->
       Format.fprintf fmt "create_channel(dom%d %s)" listener_domid
         (String.concat ","

@@ -28,7 +28,15 @@
     guest actually advertises it ([xenloop_loans] and zero-copy both on),
     so every earlier configuration keeps its exact byte streams.
     [Create_channel] needs no loan variant — the negotiated loan credit is
-    stamped into the payload-pool control page, not the wire format. *)
+    stamped into the payload-pool control page, not the wire format.
+
+    {b Segmentation-offload negotiation} (DESIGN.md §15) is the next
+    rung: the gso capability bit rides tags emitted only when a guest
+    actually advertises it ([xenloop_gso] on top of zero-copy), and —
+    like the loan credit — the negotiated jumbo ceiling travels as a
+    payload-pool control-page stamp, so [Create_channel] again needs no
+    variant and every gso-off configuration keeps its exact byte
+    streams. *)
 
 type entry = {
   entry_domid : int;
@@ -43,6 +51,9 @@ type entry = {
   entry_loans : bool;
       (** the guest advertises loaned-slot receive on top of zero-copy
           (false when decoded from any pre-loan format) *)
+  entry_gso : bool;
+      (** the guest advertises jumbo-descriptor segmentation offload on
+          top of zero-copy (false when decoded from any pre-gso format) *)
 }
 
 type queue_grant = {
@@ -83,10 +94,11 @@ type t =
       max_queues : int;
       zerocopy : bool;
       loans : bool;
+      gso : bool;
     }
       (** Sent by the higher-ID guest to ask the lower-ID guest (the
           listener) to create the channel resources; carries the
-          requester's advertised queue count and zero-copy/loan
+          requester's advertised queue count and zero-copy/loan/gso
           capabilities. *)
   | Create_channel of { listener_domid : int; queues : queue_grant list }
       (** One grant/port triple per negotiated queue (never empty). *)

@@ -153,7 +153,7 @@ let create ~machine ~guest ~bridge ~stack () =
   let dev =
     Netstack.Netdevice.create
       ~name:(Printf.sprintf "vif%d.0" domid)
-      ~mtu:params.Params.nic_mtu ~gso_size:16384
+      ~mtu:params.Params.nic_mtu ?gso_size:params.Params.vif_gso_size
       ~mac:(Hypervisor.Domain.mac guest)
       ()
   in

@@ -70,6 +70,7 @@ let test_soak_subset_clean () =
         c_loans = false;
         c_evictions = false;
         c_qos = false;
+        c_gso = false;
       };
       {
         Soak.c_name = "xenloop-duo/storm";
@@ -78,6 +79,7 @@ let test_soak_subset_clean () =
         c_loans = false;
         c_evictions = false;
         c_qos = false;
+        c_gso = false;
       };
       {
         Soak.c_name = "cluster3/peer-crash";
@@ -86,6 +88,7 @@ let test_soak_subset_clean () =
         c_loans = false;
         c_evictions = false;
         c_qos = false;
+        c_gso = false;
       };
       {
         Soak.c_name = "migration-world/migrate-midstream";
@@ -94,6 +97,7 @@ let test_soak_subset_clean () =
         c_loans = false;
         c_evictions = false;
         c_qos = false;
+        c_gso = false;
       };
     ]
   in
@@ -202,6 +206,65 @@ let test_qos_soak_subset_clean () =
       (Soak.qos_cases ())
   in
   Alcotest.(check bool) "duo qos cases exist" true (List.length cases >= 4);
+  let s = Soak.run ~cases ~seed:42 ~iters:1 () in
+  Alcotest.(check int) "violation runs" 0 s.Soak.s_violation_runs;
+  Alcotest.(check int) "lost" 0 s.Soak.s_lost;
+  Alcotest.(check int) "duplicates" 0 s.Soak.s_duplicates;
+  Alcotest.(check bool) "summary ok" true (Soak.ok s)
+
+(* ------------------------------------------------------------------ *)
+(* GSO chaos: corrupting a jumbo descriptor's scatter length vector must
+   cost nothing — the receiver drops the frame loudly (accounted, never
+   mis-delivered) and TCP retransmission repairs the bulk stream, which
+   still lands byte-identical.  Arming the new kind must not perturb any
+   pre-gso digest. *)
+
+let test_gso_truncate_clean () =
+  let faults = [ Fault.default_spec Fault.Jumbo_truncate ] in
+  let config =
+    Harness.default_config ~seed:13 ~faults ~gso:true Harness.Xenloop_duo
+  in
+  let v, _ = Harness.run config in
+  if not (Harness.ok v) then
+    Alcotest.failf "gso truncate run violated: %s"
+      (String.concat "; " v.Harness.v_violations);
+  Alcotest.(check bool) "truncations actually fired" true
+    (List.mem_assoc "jumbo-truncate" v.Harness.v_faults);
+  Alcotest.(check int) "exactly-once: lost" 0 v.Harness.v_lost;
+  Alcotest.(check int) "exactly-once: dups" 0 v.Harness.v_duplicates;
+  (* Determinism holds for gso worlds too. *)
+  let v2, _ = Harness.run config in
+  Alcotest.(check string) "digest stable" v.Harness.v_log_digest
+    v2.Harness.v_log_digest
+
+let test_gso_off_digest_unperturbed () =
+  (* With gso off, Jumbo_truncate is inert: arming it must reproduce the
+     exact same run — the RNG split discipline means a new kind never
+     reseeds the streams existing kinds consume, and a gso-off world
+     never pushes a jumbo descriptor for the injector to consult. *)
+  let base =
+    Harness.default_config ~seed:29 ~faults:(storm Harness.Xenloop_duo)
+      Harness.Xenloop_duo
+  in
+  let armed =
+    {
+      base with
+      Harness.faults =
+        base.Harness.faults @ [ Fault.default_spec Fault.Jumbo_truncate ];
+    }
+  in
+  let v1, _ = Harness.run base in
+  let v2, _ = Harness.run armed in
+  Alcotest.(check string) "digest bit-for-bit" v1.Harness.v_log_digest
+    v2.Harness.v_log_digest;
+  Alcotest.(check int) "log length" v1.Harness.v_log_length
+    v2.Harness.v_log_length;
+  Alcotest.(check (list (pair string int)))
+    "per-kind counts" v1.Harness.v_faults v2.Harness.v_faults
+
+let test_gso_soak_subset_clean () =
+  let cases = Soak.gso_cases () in
+  Alcotest.(check bool) "gso cases exist" true (List.length cases >= 4);
   let s = Soak.run ~cases ~seed:42 ~iters:1 () in
   Alcotest.(check int) "violation runs" 0 s.Soak.s_violation_runs;
   Alcotest.(check int) "lost" 0 s.Soak.s_lost;
@@ -383,6 +446,12 @@ let suites =
           test_qos_off_digest_unperturbed;
         Alcotest.test_case "qos soak subset is clean" `Quick
           test_qos_soak_subset_clean;
+        Alcotest.test_case "gso truncate run is clean" `Quick
+          test_gso_truncate_clean;
+        Alcotest.test_case "gso-off digest unperturbed by new kind" `Quick
+          test_gso_off_digest_unperturbed;
+        Alcotest.test_case "gso soak subset is clean" `Quick
+          test_gso_soak_subset_clean;
         Alcotest.test_case "sabotage is detected" `Quick test_sabotage_detected;
       ] );
     ( "chaos.softstate",

@@ -291,6 +291,57 @@ let prop_codec_tcp_roundtrip =
       | Ok p' -> Packet.equal p p'
       | Error _ -> false)
 
+(* Checksum-elision trust contract (DESIGN.md §15): a frame sent over
+   the xenloop channel with its transport checksum elided, then bounced
+   to netfront/physnet by the fallback (parse without verification,
+   re-serialize with the default always-compute), must be bit for bit
+   the frame the sender would have produced with no elision at all.
+   Payloads are sliced out of a backing buffer at unaligned offsets and
+   biased toward odd lengths, and zero length is generated, because the
+   16-bit ones'-complement sum is exactly where odd tails and offset
+   bugs hide. *)
+let elision_payload_gen =
+  QCheck.Gen.(
+    let* backing = string_size (0 -- 2000) in
+    let* off = 0 -- 7 in
+    let off = min off (String.length backing) in
+    let* len = 0 -- (String.length backing - off) in
+    let* odd_bias = bool in
+    let len = if odd_bias && len > 0 && len mod 2 = 0 then len - 1 else len in
+    return (Bytes.sub (Bytes.of_string backing) off len))
+
+let arbitrary_elision_tcp_packet =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Packet.pp p)
+    QCheck.Gen.(
+      let* sp = 0 -- 0xffff and* dp = 0 -- 0xffff in
+      let* seq = map Int32.of_int (0 -- 0x3FFFFFFF) in
+      let* ack = bool and* fin = bool and* psh = bool in
+      let* payload = elision_payload_gen in
+      let header =
+        {
+          Transport.tcp_src_port = sp;
+          tcp_dst_port = dp;
+          seq;
+          ack_seq = 0l;
+          flags = { Transport.syn = false; ack; fin; psh; rst = false };
+          window = 0xffff;
+        }
+      in
+      return
+        (Packet.tcp ~src_mac:mac_a ~dst_mac:mac_b ~src_ip:ip_a ~dst_ip:ip_b ~header
+           payload))
+
+let prop_csum_elision_fallback =
+  QCheck.Test.make
+    ~name:"csum elision + fallback recompute equals always-compute baseline"
+    ~count:400 arbitrary_elision_tcp_packet (fun p ->
+      let baseline = Codec.serialize p in
+      let elided = Codec.serialize ~csum:false p in
+      match Codec.parse ~verify_transport:false elided with
+      | Error _ -> false
+      | Ok p' -> Bytes.equal (Codec.serialize p') baseline)
+
 let prop_mac_string_roundtrip =
   QCheck.Test.make ~name:"mac to_string/of_string roundtrip" ~count:200
     QCheck.(map Int64.of_int int)
@@ -479,7 +530,12 @@ let suites =
         Alcotest.test_case "rejects truncation" `Quick test_codec_truncated;
         Alcotest.test_case "rejects unknown ethertype" `Quick test_codec_bad_ethertype;
       ]
-      @ qsuite [ prop_codec_roundtrip; prop_codec_tcp_roundtrip ] );
+      @ qsuite
+          [
+            prop_codec_roundtrip;
+            prop_codec_tcp_roundtrip;
+            prop_csum_elision_fallback;
+          ] );
     ( "netcore.fragment",
       [
         Alcotest.test_case "small packet untouched" `Quick

@@ -169,6 +169,7 @@ let sample_messages =
           entry_queues = 1;
           entry_zc = false;
           entry_loans = false;
+          entry_gso = false;
         };
         {
           Proto.entry_domid = 2;
@@ -177,10 +178,13 @@ let sample_messages =
           entry_queues = 4;
           entry_zc = true;
           entry_loans = true;
+          entry_gso = true;
         };
       ];
-    Proto.Request_channel { requester_domid = 7; max_queues = 1; zerocopy = false; loans = false };
-    Proto.Request_channel { requester_domid = 7; max_queues = 8; zerocopy = true; loans = true };
+    Proto.Request_channel
+      { requester_domid = 7; max_queues = 1; zerocopy = false; loans = false; gso = false };
+    Proto.Request_channel
+      { requester_domid = 7; max_queues = 8; zerocopy = true; loans = true; gso = true };
     Proto.Create_channel
       {
         listener_domid = 1;
@@ -261,7 +265,8 @@ let test_proto_legacy_wire_format () =
     Alcotest.(check string) name expect (Bytes.to_string (Proto.encode msg))
   in
   check_bytes "request_channel q=1 is legacy tag 2" "\x02\x00\x07"
-    (Proto.Request_channel { requester_domid = 7; max_queues = 1; zerocopy = false; loans = false });
+    (Proto.Request_channel
+       { requester_domid = 7; max_queues = 1; zerocopy = false; loans = false; gso = false });
   check_bytes "create_channel single queue is legacy tag 3"
     "\x03\x00\x01\x00\x00\x00\x7b\x00\x00\x01\xc8\x00\x03"
     (Proto.Create_channel
@@ -286,6 +291,7 @@ let test_proto_legacy_wire_format () =
       entry_queues = 1;
       entry_zc = false;
       entry_loans = false;
+      entry_gso = false;
     }
   in
   let tag_of msg = Char.code (Bytes.get (Proto.encode msg) 0) in
@@ -294,7 +300,9 @@ let test_proto_legacy_wire_format () =
   Alcotest.(check int) "announce with q>1 uses tag 6" 6
     (tag_of (Proto.Announce [ { entry with Proto.entry_queues = 4 } ]));
   Alcotest.(check int) "request q>1 uses tag 7" 7
-    (tag_of (Proto.Request_channel { requester_domid = 7; max_queues = 4; zerocopy = false; loans = false }));
+    (tag_of
+       (Proto.Request_channel
+          { requester_domid = 7; max_queues = 4; zerocopy = false; loans = false; gso = false }));
   Alcotest.(check int) "multi-queue create uses tag 8" 8
     (tag_of
        (Proto.Create_channel
@@ -336,6 +344,7 @@ let prop_proto_announce_roundtrip =
               entry_queues = queues;
               entry_zc = queues land 1 = 0;
               entry_loans = queues land 3 = 0;
+              entry_gso = queues land 5 = 0;
             })
           raw_entries
       in
@@ -361,6 +370,7 @@ let test_mapping_soft_state () =
         entry_queues = 1;
         entry_zc = false;
         entry_loans = false;
+        entry_gso = false;
       };
       {
         Proto.entry_domid = 2;
@@ -369,6 +379,7 @@ let test_mapping_soft_state () =
         entry_queues = 4;
         entry_zc = false;
         entry_loans = false;
+        entry_gso = false;
       };
     ];
   Alcotest.(check (option int)) "lookup 1" (Some 1) (Mapping.lookup t mac1);
@@ -388,6 +399,7 @@ let test_mapping_soft_state () =
         entry_queues = 4;
         entry_zc = false;
         entry_loans = false;
+        entry_gso = false;
       };
     ];
   Alcotest.(check (option int)) "1 gone" None (Mapping.lookup t mac1);

@@ -124,12 +124,13 @@ let test_fifo_descriptor_roundtrip () =
       Alcotest.(check int) "offset" 16 d_off;
       Alcotest.(check int) "len" 9000 d_len;
       Alcotest.(check int) "proto hint" 17 d_proto
-  | Some (Fifo.Inline _) -> Alcotest.fail "expected a descriptor entry"
+  | Some (Fifo.Inline _ | Fifo.Jumbo _) ->
+      Alcotest.fail "expected a descriptor entry"
   | None -> Alcotest.fail "pop_entry came up empty");
   (match Fifo.pop_entry f with
   | Some (Fifo.Inline b) ->
       Alcotest.(check string) "inline preserved" "inline packet" (Bytes.to_string b)
-  | Some (Fifo.Desc _) -> Alcotest.fail "expected an inline entry"
+  | Some (Fifo.Desc _ | Fifo.Jumbo _) -> Alcotest.fail "expected an inline entry"
   | None -> Alcotest.fail "pop_entry came up empty");
   Alcotest.(check bool) "drained" true (Fifo.is_empty f)
 
